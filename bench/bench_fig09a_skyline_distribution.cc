@@ -1,0 +1,34 @@
+// Figure 9(a): skyline processing time vs the edge-cost distribution
+// (anti-correlated / independent / correlated), defaults otherwise.
+// Expected shape: anti-correlated slowest (more candidates, larger
+// skyline), correlated fastest; CEA wins throughout.
+#include <cstdio>
+
+#include "harness.h"
+
+int main() {
+  using namespace mcn;
+  bench::BenchEnv env = bench::BenchEnv::FromEnvironment();
+  gen::ExperimentConfig base;
+  bench::PrintHeader("Figure 9(a): skyline, time vs cost distribution",
+                     "distribution", base.Scaled(env.scale), env);
+
+  for (auto dist : {gen::CostDistribution::kAntiCorrelated,
+                    gen::CostDistribution::kIndependent,
+                    gen::CostDistribution::kCorrelated}) {
+    gen::ExperimentConfig config = base;
+    config.distribution = dist;
+    config = config.Scaled(env.scale);
+    auto instance = gen::BuildInstance(config);
+    if (!instance.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   instance.status().ToString().c_str());
+      return 1;
+    }
+    auto comparison = bench::CompareLsaCea(**instance, env, 4242,
+        bench::SkylineRunner());
+    bench::PrintRow(std::string(gen::ToString(dist)), comparison);
+  }
+  bench::PrintFooter();
+  return 0;
+}

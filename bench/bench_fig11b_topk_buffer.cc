@@ -1,0 +1,33 @@
+// Figure 11(b): top-k processing time vs LRU buffer size (0%..2%), k=4,
+// defaults otherwise. Expected shape: both improve with buffer, LSA more;
+// CEA up to ~3.4x faster at 0%, ~1.8x at 2%.
+#include <cstdio>
+
+#include "harness.h"
+
+int main() {
+  using namespace mcn;
+  bench::BenchEnv env = bench::BenchEnv::FromEnvironment();
+  gen::ExperimentConfig base;
+  bench::PrintHeader("Figure 11(b): top-k, time vs buffer size (k=4)",
+                     "buffer %", base.Scaled(env.scale), env);
+
+  gen::ExperimentConfig config = base.Scaled(env.scale);
+  auto instance = gen::BuildInstance(config);
+  if (!instance.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 instance.status().ToString().c_str());
+    return 1;
+  }
+  for (double pct : {0.0, 0.5, 1.0, 1.5, 2.0}) {
+    (*instance)->pool->SetCapacity(
+        gen::BufferFrames(pct, (*instance)->files.total_pages));
+    auto comparison = bench::CompareLsaCea(**instance, env, 4242,
+        bench::TopKRunner(4, config.num_costs));
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.1f%%", pct);
+    bench::PrintRow(label, comparison);
+  }
+  bench::PrintFooter();
+  return 0;
+}

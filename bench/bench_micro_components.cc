@@ -1,0 +1,151 @@
+// google-benchmark microbenchmarks for the substrate components: buffer
+// pool, B+-tree, slotted pages, Dijkstra/expansion, classic skyline and
+// top-k operators, and MCPP.
+#include <benchmark/benchmark.h>
+
+#include "mcn/algo/common.h"
+#include "mcn/common/random.h"
+#include "mcn/expand/dijkstra.h"
+#include "mcn/gen/cost_generator.h"
+#include "mcn/gen/facility_generator.h"
+#include "mcn/gen/road_network_generator.h"
+#include "mcn/index/bplus_tree.h"
+#include "mcn/mcpp/pareto_paths.h"
+#include "mcn/skyline/skyline.h"
+#include "mcn/storage/buffer_pool.h"
+#include "mcn/storage/slotted_page.h"
+#include "mcn/topk/topk.h"
+
+namespace mcn {
+namespace {
+
+void BM_BufferPoolHit(benchmark::State& state) {
+  storage::DiskManager disk;
+  storage::FileId f = disk.CreateFile("f");
+  disk.AllocatePage(f).value();
+  storage::BufferPool pool(&disk, 4);
+  for (auto _ : state) {
+    auto guard = pool.Fetch({f, 0});
+    benchmark::DoNotOptimize(guard.value().data());
+  }
+}
+BENCHMARK(BM_BufferPoolHit);
+
+void BM_BufferPoolMissEvict(benchmark::State& state) {
+  storage::DiskManager disk;
+  storage::FileId f = disk.CreateFile("f");
+  for (int i = 0; i < 64; ++i) disk.AllocatePage(f).value();
+  storage::BufferPool pool(&disk, 8);
+  uint32_t p = 0;
+  for (auto _ : state) {
+    auto guard = pool.Fetch({f, p});
+    benchmark::DoNotOptimize(guard.value().data());
+    p = (p + 9) % 64;  // stride > capacity: always miss
+  }
+}
+BENCHMARK(BM_BufferPoolMissEvict);
+
+void BM_BPlusTreeLookup(benchmark::State& state) {
+  storage::DiskManager disk;
+  storage::FileId f = disk.CreateFile("tree");
+  std::vector<index::BPlusTree::Entry> entries;
+  int64_t n = state.range(0);
+  for (int64_t k = 0; k < n; ++k) entries.push_back({uint64_t(k), k * 2ull});
+  auto tree = index::BPlusTree::BulkLoad(&disk, f, entries).value();
+  storage::BufferPool pool(&disk, 4096);
+  Random rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.Lookup(pool, rng.Uniform(uint64_t(n))).value());
+  }
+}
+BENCHMARK(BM_BPlusTreeLookup)->Arg(10000)->Arg(200000);
+
+void BM_SlottedPageAppend(benchmark::State& state) {
+  std::vector<std::byte> page(storage::kPageSize);
+  std::vector<std::byte> record(48);
+  for (auto _ : state) {
+    std::fill(page.begin(), page.end(), std::byte{0});
+    storage::SlottedPageBuilder builder(page.data());
+    while (builder.TryAppend(record, nullptr)) {
+    }
+    benchmark::DoNotOptimize(builder.count());
+  }
+}
+BENCHMARK(BM_SlottedPageAppend);
+
+graph::MultiCostGraph BenchGraph(uint32_t nodes, int d) {
+  gen::RoadNetworkOptions road;
+  road.target_nodes = nodes;
+  road.target_edges = static_cast<uint32_t>(nodes * 1.27);
+  auto topo = gen::GenerateRoadNetwork(road).value();
+  gen::CostGenOptions costs;
+  costs.num_costs = d;
+  return gen::BuildMultiCostGraph(topo, costs).value();
+}
+
+void BM_DijkstraSssp(benchmark::State& state) {
+  graph::MultiCostGraph g = BenchGraph(uint32_t(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        expand::ShortestPathCosts(g, 0, graph::Location::AtNode(0)));
+  }
+}
+BENCHMARK(BM_DijkstraSssp)->Arg(5000)->Arg(20000);
+
+void BM_ClassicSkyline(benchmark::State& state) {
+  Random rng(4);
+  std::vector<skyline::Tuple> data;
+  for (int i = 0; i < state.range(0); ++i) {
+    data.push_back(skyline::Tuple{
+        uint32_t(i),
+        gen::GenerateEdgeCosts(rng, gen::CostDistribution::kAntiCorrelated,
+                               4, 1.0)});
+  }
+  for (auto _ : state) {
+    if (state.range(1) == 0) {
+      benchmark::DoNotOptimize(skyline::BlockNestedLoopSkyline(data));
+    } else {
+      benchmark::DoNotOptimize(skyline::SortFilterSkyline(data));
+    }
+  }
+}
+BENCHMARK(BM_ClassicSkyline)
+    ->Args({2000, 0})
+    ->Args({2000, 1})
+    ->Args({10000, 1});
+
+void BM_ThresholdAlgorithm(benchmark::State& state) {
+  Random rng(5);
+  std::vector<skyline::Tuple> data;
+  for (int i = 0; i < state.range(0); ++i) {
+    data.push_back(skyline::Tuple{
+        uint32_t(i),
+        gen::GenerateEdgeCosts(rng, gen::CostDistribution::kIndependent, 4,
+                               1.0)});
+  }
+  algo::AggregateFn f = algo::WeightedSum({0.4, 0.3, 0.2, 0.1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topk::ThresholdAlgorithm(data, f, 10));
+  }
+}
+BENCHMARK(BM_ThresholdAlgorithm)->Arg(10000);
+
+void BM_McppLabelSetting(benchmark::State& state) {
+  // Pareto path sets grow quickly with graph size and d; keep the instance
+  // small and bound the label budget so one iteration stays sub-second.
+  graph::MultiCostGraph g = BenchGraph(400, int(state.range(0)));
+  mcpp::McppOptions opts;
+  opts.max_labels = 2'000'000;
+  for (auto _ : state) {
+    auto paths =
+        mcpp::ParetoShortestPaths(g, 0, g.num_nodes() - 1, opts);
+    benchmark::DoNotOptimize(paths.ok());
+  }
+}
+BENCHMARK(BM_McppLabelSetting)->Arg(2)->Iterations(4);
+
+}  // namespace
+}  // namespace mcn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+#include "harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "mcn/algo/skyline_query.h"
+#include "mcn/algo/topk_query.h"
+#include "mcn/common/macros.h"
+#include "mcn/common/stopwatch.h"
+
+namespace mcn::bench {
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atof(v);
+}
+
+RunMetrics RunOne(gen::Instance& instance, expand::EngineKind kind,
+                  const BenchEnv& env, uint64_t query_seed,
+                  const QueryFn& run) {
+  RunMetrics metrics;
+  Random rng(query_seed);
+  for (int qi = 0; qi < env.queries; ++qi) {
+    graph::Location q = instance.RandomQueryLocation(rng);
+    Random per_query(query_seed * 1000003 + qi);
+    // Cold buffer per query, as in the paper (each query is independent).
+    instance.ResetIoState();
+    Stopwatch watch;
+    auto engine = expand::MakeEngine(kind, instance.reader.get(), q);
+    MCN_CHECK(engine.ok());
+    metrics.result_size += static_cast<double>(
+        run(engine.value().get(), per_query));
+    double cpu = watch.ElapsedSeconds();
+    uint64_t misses = instance.pool->stats().misses;
+    metrics.cpu_seconds += cpu;
+    metrics.buffer_misses += misses;
+    metrics.buffer_accesses += instance.pool->stats().accesses();
+    metrics.modeled_seconds += cpu + misses * env.io_latency_ms / 1000.0;
+    ++metrics.queries;
+  }
+  metrics.result_size /= metrics.queries;
+  return metrics;
+}
+
+}  // namespace
+
+BenchEnv BenchEnv::FromEnvironment() {
+  BenchEnv env;
+  env.scale = EnvDouble("MCN_BENCH_SCALE", 0.15);
+  env.queries = static_cast<int>(EnvDouble("MCN_BENCH_QUERIES", 24));
+  env.io_latency_ms = EnvDouble("MCN_IO_LATENCY_MS", 5.0);
+  MCN_CHECK(env.scale > 0 && env.queries > 0 && env.io_latency_ms >= 0);
+  return env;
+}
+
+AlgoComparison CompareLsaCea(gen::Instance& instance, const BenchEnv& env,
+                             uint64_t query_seed, const QueryFn& run) {
+  AlgoComparison c;
+  c.lsa = RunOne(instance, expand::EngineKind::kLsa, env, query_seed, run);
+  c.cea = RunOne(instance, expand::EngineKind::kCea, env, query_seed, run);
+  return c;
+}
+
+QueryFn SkylineRunner() {
+  return [](expand::NnEngine* engine, Random&) -> size_t {
+    algo::SkylineQuery query(engine);
+    auto result = query.ComputeAll();
+    MCN_CHECK(result.ok());
+    return result.value().size();
+  };
+}
+
+QueryFn TopKRunner(int k, int num_costs) {
+  return [k, num_costs](expand::NnEngine* engine, Random& rng) -> size_t {
+    // Random independent coefficients in [0,1] per query (paper §VI).
+    std::vector<double> weights(num_costs);
+    for (double& w : weights) w = rng.NextDouble();
+    algo::TopKOptions opts;
+    opts.k = k;
+    algo::TopKQuery query(engine, algo::WeightedSum(weights), opts);
+    auto result = query.Run();
+    MCN_CHECK(result.ok());
+    return result.value().size();
+  };
+}
+
+void PrintHeader(const std::string& figure, const std::string& varying,
+                 const gen::ExperimentConfig& base, const BenchEnv& env) {
+  std::printf("== %s ==\n", figure.c_str());
+  std::printf("base config: %s\n", base.ToString().c_str());
+  std::printf(
+      "scale=%.3g queries/point=%d io_latency=%.1fms "
+      "(MCN_BENCH_SCALE / MCN_BENCH_QUERIES / MCN_IO_LATENCY_MS)\n",
+      env.scale, env.queries, env.io_latency_ms);
+  std::printf(
+      "%-14s | %12s %12s | %10s %10s | %9s %9s | %7s | %6s\n",
+      varying.c_str(), "LSA time(s)", "CEA time(s)", "LSA IOs", "CEA IOs",
+      "LSA cpu", "CEA cpu", "speedup", "|res|");
+  std::printf(
+      "---------------+---------------------------+-----------------------+"
+      "---------------------+---------+-------\n");
+}
+
+void PrintRow(const std::string& param_value, const AlgoComparison& c) {
+  double speedup = c.cea.AvgModeled() > 0
+                       ? c.lsa.AvgModeled() / c.cea.AvgModeled()
+                       : 0.0;
+  std::printf(
+      "%-14s | %12.4f %12.4f | %10.1f %10.1f | %9.4f %9.4f | %6.2fx | %6.1f\n",
+      param_value.c_str(), c.lsa.AvgModeled(), c.cea.AvgModeled(),
+      c.lsa.AvgMisses(), c.cea.AvgMisses(), c.lsa.AvgCpu(), c.cea.AvgCpu(),
+      speedup, c.cea.result_size);
+  std::fflush(stdout);
+}
+
+void PrintFooter() {
+  std::printf(
+      "time(s) = modeled per-query time: buffer misses x io_latency + "
+      "measured CPU.\n\n");
+}
+
+}  // namespace mcn::bench

@@ -1,0 +1,82 @@
+// Shared driver for the figure-reproduction benchmarks: builds instances
+// for a sweep of experiment configurations, runs LSA and CEA over a fixed
+// set of random query locations, and prints one table row per parameter
+// value with the measured CPU time, buffer misses (I/Os) and a modeled
+// total time (misses x configurable I/O latency + CPU), which is the
+// machine-independent analogue of the paper's wall-clock seconds
+// (I/O-dominated; see DESIGN.md §3).
+//
+// Environment knobs:
+//   MCN_BENCH_SCALE    fraction of the paper's San Francisco scale
+//                      (default 0.15; 1.0 = the paper's 174,956 nodes)
+//   MCN_BENCH_QUERIES  query locations per data point (default 24;
+//                      paper = 100)
+//   MCN_IO_LATENCY_MS  modeled per-miss latency in ms (default 5)
+#ifndef MCN_BENCH_HARNESS_H_
+#define MCN_BENCH_HARNESS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mcn/algo/common.h"
+#include "mcn/expand/engines.h"
+#include "mcn/gen/workload.h"
+
+namespace mcn::bench {
+
+/// Scale / repetition knobs resolved from the environment.
+struct BenchEnv {
+  double scale = 0.15;
+  int queries = 24;
+  double io_latency_ms = 5.0;
+
+  static BenchEnv FromEnvironment();
+};
+
+/// Aggregated measurements for one algorithm on one configuration.
+struct RunMetrics {
+  double cpu_seconds = 0;      ///< measured wall time of the computation
+  double modeled_seconds = 0;  ///< misses * latency + cpu
+  uint64_t buffer_misses = 0;
+  uint64_t buffer_accesses = 0;
+  double result_size = 0;      ///< avg |skyline| or k
+  int queries = 0;
+
+  /// Per-query averages.
+  double AvgCpu() const { return queries ? cpu_seconds / queries : 0; }
+  double AvgModeled() const {
+    return queries ? modeled_seconds / queries : 0;
+  }
+  double AvgMisses() const {
+    return queries ? static_cast<double>(buffer_misses) / queries : 0;
+  }
+};
+
+/// What to run for each query location; returns the result size.
+using QueryFn = std::function<size_t(expand::NnEngine* engine, Random& rng)>;
+
+/// Runs `queries` random-location queries with both LSA and CEA on
+/// `instance`, resetting buffer state between algorithms so they see
+/// identical cold caches.
+struct AlgoComparison {
+  RunMetrics lsa;
+  RunMetrics cea;
+};
+AlgoComparison CompareLsaCea(gen::Instance& instance, const BenchEnv& env,
+                             uint64_t query_seed, const QueryFn& run);
+
+/// Skyline / top-k query runners for CompareLsaCea.
+QueryFn SkylineRunner();
+/// Weighted-sum top-k with per-query random coefficients (paper §VI).
+QueryFn TopKRunner(int k, int num_costs);
+
+/// Table output helpers.
+void PrintHeader(const std::string& figure, const std::string& varying,
+                 const gen::ExperimentConfig& base, const BenchEnv& env);
+void PrintRow(const std::string& param_value, const AlgoComparison& c);
+void PrintFooter();
+
+}  // namespace mcn::bench
+
+#endif  // MCN_BENCH_HARNESS_H_

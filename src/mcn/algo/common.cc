@@ -1,0 +1,21 @@
+#include "mcn/algo/common.h"
+
+#include "mcn/common/macros.h"
+
+namespace mcn::algo {
+
+AggregateFn WeightedSum(std::vector<double> weights) {
+  for (double w : weights) MCN_CHECK(w >= 0.0);
+  return [weights = std::move(weights)](const graph::CostVector& c) {
+    MCN_DCHECK(c.dim() == static_cast<int>(weights.size()));
+    double sum = 0.0;
+    for (int i = 0; i < c.dim(); ++i) {
+      // Skip zero weights so that +inf placeholder costs (lower-bound
+      // vectors, unreachable facilities) do not produce 0 * inf = NaN.
+      if (weights[i] > 0.0) sum += weights[i] * c[i];
+    }
+    return sum;
+  };
+}
+
+}  // namespace mcn::algo

@@ -1,0 +1,60 @@
+// Shared types for the MCN preference-query algorithms (paper §IV/§V).
+#ifndef MCN_ALGO_COMMON_H_
+#define MCN_ALGO_COMMON_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mcn/expand/dijkstra.h"
+#include "mcn/graph/cost_vector.h"
+#include "mcn/graph/multi_cost_graph.h"
+
+namespace mcn::algo {
+
+/// Aggregate cost function f over a (complete) cost vector. Must be
+/// increasingly monotone: componentwise <= implies f <= (paper §III).
+using AggregateFn = std::function<double(const graph::CostVector&)>;
+
+/// The paper's experimental aggregate: f(p) = sum_i alpha_i * c_i(p).
+AggregateFn WeightedSum(std::vector<double> weights);
+
+/// Multiplexing policy for the d expansions. The paper argues for
+/// round-robin (Fig. 4); the others exist for the ablation benchmark.
+enum class ProbePolicy { kRoundRobin, kSmallestFrontier, kLargestFrontier };
+
+/// Per-facility bookkeeping shared by the skyline and top-k processors.
+/// Unknown cost components hold +infinity; `known_mask` is authoritative.
+struct TrackedFacility {
+  graph::CostVector costs;
+  uint32_t known_mask = 0;
+  int known_count = 0;
+  bool in_result = false;
+  bool eliminated = false;
+  bool pinned = false;
+  /// Skyline only: pinned candidate whose report is deferred until a
+  /// frontier drain resolves potential non-pinned dominators.
+  bool pending = false;
+
+  bool Knows(int i) const { return (known_mask >> i) & 1u; }
+};
+
+/// A skyline answer. `known_mask` marks which costs had been computed by the
+/// time the entry was retrieved — the algorithms may confirm a facility
+/// without ever completing its vector (paper §IV-A enhancements).
+struct SkylineEntry {
+  graph::FacilityId facility = 0;
+  graph::CostVector costs;
+  uint32_t known_mask = 0;
+};
+
+/// A top-k answer (vectors of pinned facilities are always complete).
+struct TopKEntry {
+  graph::FacilityId facility = 0;
+  graph::CostVector costs;
+  double score = 0.0;
+};
+
+}  // namespace mcn::algo
+
+#endif  // MCN_ALGO_COMMON_H_

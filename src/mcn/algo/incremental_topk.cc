@@ -1,0 +1,127 @@
+#include "mcn/algo/incremental_topk.h"
+
+#include <algorithm>
+
+#include "mcn/common/macros.h"
+
+namespace mcn::algo {
+
+IncrementalTopK::IncrementalTopK(expand::NnEngine* engine, AggregateFn f,
+                                 ProbePolicy policy)
+    : engine_(engine),
+      f_(std::move(f)),
+      policy_(policy),
+      d_(engine->num_costs()),
+      active_(d_, true) {
+  MCN_CHECK(engine != nullptr);
+}
+
+int IncrementalTopK::PickExpansion() const {
+  switch (policy_) {
+    case ProbePolicy::kRoundRobin: {
+      for (int step = 0; step < d_; ++step) {
+        int i = (turn_ + step) % d_;
+        if (active_[i]) return i;
+      }
+      return -1;
+    }
+    case ProbePolicy::kSmallestFrontier:
+    case ProbePolicy::kLargestFrontier: {
+      int best = -1;
+      double best_key = 0.0;
+      for (int i = 0; i < d_; ++i) {
+        if (!active_[i]) continue;
+        double key = engine_->Frontier(i);
+        bool better = best < 0 ||
+                      (policy_ == ProbePolicy::kSmallestFrontier
+                           ? key < best_key
+                           : key > best_key);
+        if (better) {
+          best = i;
+          best_key = key;
+        }
+      }
+      return best;
+    }
+  }
+  return -1;
+}
+
+TopKEntry IncrementalTopK::MakeEntry(graph::FacilityId f,
+                                     double score) const {
+  auto it = tracked_.find(f);
+  MCN_DCHECK(it != tracked_.end());
+  return TopKEntry{f, it->second.costs, score};
+}
+
+double IncrementalTopK::MinCandidateLowerBound() const {
+  double min_lb = expand::kInfCost;
+  for (const auto& [fid, st] : tracked_) {
+    if (st.pinned) continue;
+    graph::CostVector lb = st.costs;
+    for (int j = 0; j < d_; ++j) {
+      if (!st.Knows(j)) lb[j] = engine_->Frontier(j);
+    }
+    min_lb = std::min(min_lb, f_(lb));
+  }
+  return min_lb;
+}
+
+Result<std::optional<TopKEntry>> IncrementalTopK::NextBest() {
+  for (;;) {
+    if (!pinned_.empty()) {
+      HeapEntry head = pinned_.top();
+      ++stats_.safety_checks;
+      if (MinCandidateLowerBound() >= head.score) {
+        pinned_.pop();
+        ++stats_.reported;
+        return std::optional<TopKEntry>(
+            MakeEntry(head.facility, head.score));
+      }
+    }
+    int i = PickExpansion();
+    if (i < 0) {
+      // Total exhaustion: all frontiers are +inf, every remaining pinned
+      // facility is safe in heap order; candidates with missing costs
+      // cannot exist (see TopKQuery::RunGrowing reasoning).
+      if (pinned_.empty()) {
+        return std::optional<TopKEntry>(std::nullopt);
+      }
+      HeapEntry head = pinned_.top();
+      pinned_.pop();
+      ++stats_.reported;
+      return std::optional<TopKEntry>(MakeEntry(head.facility, head.score));
+    }
+    turn_ = (i + 1) % d_;
+    MCN_ASSIGN_OR_RETURN(auto nn, engine_->NextNN(i));
+    if (!nn.has_value()) {
+      active_[i] = false;
+      continue;
+    }
+    MCN_RETURN_IF_ERROR(HandlePop(i, nn->facility, nn->cost));
+  }
+}
+
+Status IncrementalTopK::HandlePop(int i, graph::FacilityId f, double cost) {
+  ++stats_.nn_pops;
+  auto [it, created] = tracked_.try_emplace(
+      f, TrackedFacility{graph::CostVector(d_, expand::kInfCost), 0, 0,
+                         false, false, false});
+  TrackedFacility& st = it->second;
+  if (created) {
+    ++stats_.facilities_seen;
+    ++num_candidates_;
+  }
+  MCN_DCHECK(!st.Knows(i));
+  st.costs[i] = cost;
+  st.known_mask |= 1u << i;
+  ++st.known_count;
+  if (st.known_count == d_) {
+    st.pinned = true;
+    --num_candidates_;
+    pinned_.push(HeapEntry{f_(st.costs), f});
+  }
+  return Status::OK();
+}
+
+}  // namespace mcn::algo

@@ -1,0 +1,77 @@
+// Incremental MCN top-k (paper §V): k is not known in advance; NextBest()
+// returns the facility with the next-smallest aggregate cost on demand.
+// There is no shrinking stage and nothing is ever eliminated; a pinned
+// facility is safe to report once (i) it has the smallest score among
+// pinned unreported facilities and (ii) no candidate's frontier-based lower
+// bound can beat it (facilities first seen after its pinning are covered by
+// the expansion-order argument — see paper §V and DESIGN.md).
+#ifndef MCN_ALGO_INCREMENTAL_TOPK_H_
+#define MCN_ALGO_INCREMENTAL_TOPK_H_
+
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "mcn/algo/common.h"
+#include "mcn/common/result.h"
+#include "mcn/expand/engines.h"
+
+namespace mcn::algo {
+
+/// Iterator-style incremental top-k over a fresh engine. Only reachable
+/// facilities are ever returned; after they are exhausted NextBest yields
+/// nullopt forever.
+class IncrementalTopK {
+ public:
+  struct Stats {
+    uint64_t nn_pops = 0;
+    uint64_t facilities_seen = 0;
+    uint64_t reported = 0;
+    uint64_t safety_checks = 0;
+  };
+
+  /// `f` must be increasingly monotone.
+  IncrementalTopK(expand::NnEngine* engine, AggregateFn f,
+                  ProbePolicy policy = ProbePolicy::kRoundRobin);
+
+  /// The facility with the next-larger aggregate cost, or nullopt when all
+  /// reachable facilities have been reported.
+  Result<std::optional<TopKEntry>> NextBest();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct HeapEntry {
+    double score;
+    graph::FacilityId facility;
+    bool operator>(const HeapEntry& o) const {
+      if (score != o.score) return score > o.score;
+      return facility > o.facility;
+    }
+  };
+
+  int PickExpansion() const;
+  Status HandlePop(int i, graph::FacilityId f, double cost);
+  /// Smallest frontier-based lower bound among current candidates (+inf if
+  /// none). Reporting head is safe iff this is >= its score.
+  double MinCandidateLowerBound() const;
+  TopKEntry MakeEntry(graph::FacilityId f, double score) const;
+
+  expand::NnEngine* engine_;
+  AggregateFn f_;
+  ProbePolicy policy_;
+  int d_;
+  std::unordered_map<graph::FacilityId, TrackedFacility> tracked_;
+  int num_candidates_ = 0;
+  std::vector<bool> active_;
+  // Pinned but not yet reported, min-heap by score.
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      pinned_;
+  int turn_ = 0;
+  Stats stats_;
+};
+
+}  // namespace mcn::algo
+
+#endif  // MCN_ALGO_INCREMENTAL_TOPK_H_

@@ -1,0 +1,35 @@
+// The straightforward baseline of paper §IV's introduction: perform d
+// complete network expansions from q (reading the whole MCN d times),
+// materialize every facility's cost vector, then run a conventional skyline
+// or top-k operator. "Prohibitively" expensive — exists as the comparison
+// strawman and as an end-to-end cross-check of the local algorithms.
+#ifndef MCN_ALGO_NAIVE_H_
+#define MCN_ALGO_NAIVE_H_
+
+#include <vector>
+
+#include "mcn/algo/common.h"
+#include "mcn/common/result.h"
+#include "mcn/graph/location.h"
+#include "mcn/net/network_reader.h"
+
+namespace mcn::algo {
+
+/// Materializes the complete cost vectors of every facility reachable from
+/// `q` via d full disk-based expansions (the baseline's first phase).
+Result<std::vector<SkylineEntry>> NaiveAllCosts(
+    const net::NetworkReader& reader, const graph::Location& q);
+
+/// Baseline skyline: NaiveAllCosts + sort-filter-skyline.
+Result<std::vector<SkylineEntry>> NaiveSkyline(
+    const net::NetworkReader& reader, const graph::Location& q);
+
+/// Baseline top-k: NaiveAllCosts + scan. Ascending score; fewer than k
+/// entries when fewer facilities are reachable.
+Result<std::vector<TopKEntry>> NaiveTopK(const net::NetworkReader& reader,
+                                         const graph::Location& q,
+                                         const AggregateFn& f, int k);
+
+}  // namespace mcn::algo
+
+#endif  // MCN_ALGO_NAIVE_H_

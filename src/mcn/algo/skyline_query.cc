@@ -1,0 +1,399 @@
+#include "mcn/algo/skyline_query.h"
+
+#include <algorithm>
+
+#include "mcn/common/macros.h"
+
+namespace mcn::algo {
+
+SkylineQuery::SkylineQuery(expand::NnEngine* engine, SkylineOptions options)
+    : engine_(engine),
+      opts_(options),
+      d_(engine->num_costs()),
+      missing_per_cost_(d_, 0),
+      sky_missing_per_cost_(d_, 0),
+      active_(d_, true),
+      first_nn_taken_(d_, false) {
+  MCN_CHECK(engine != nullptr);
+}
+
+SkylineEntry SkylineQuery::MakeEntry(graph::FacilityId f) const {
+  auto it = tracked_.find(f);
+  MCN_DCHECK(it != tracked_.end());
+  return SkylineEntry{f, it->second.costs, it->second.known_mask};
+}
+
+Result<std::optional<SkylineEntry>> SkylineQuery::Next() {
+  while (output_.empty() && !done_) {
+    MCN_RETURN_IF_ERROR(Advance());
+  }
+  if (output_.empty()) return std::optional<SkylineEntry>(std::nullopt);
+  graph::FacilityId f = output_.front();
+  output_.pop_front();
+  return std::optional<SkylineEntry>(MakeEntry(f));
+}
+
+Result<std::vector<SkylineEntry>> SkylineQuery::ComputeAll() {
+  std::vector<graph::FacilityId> order;
+  for (;;) {
+    while (output_.empty() && !done_) {
+      MCN_RETURN_IF_ERROR(Advance());
+    }
+    if (output_.empty()) break;
+    order.push_back(output_.front());
+    output_.pop_front();
+  }
+  std::vector<SkylineEntry> entries;
+  entries.reserve(order.size());
+  for (graph::FacilityId f : order) entries.push_back(MakeEntry(f));
+  return entries;
+}
+
+int SkylineQuery::PickExpansion() const {
+  switch (opts_.probe_policy) {
+    case ProbePolicy::kRoundRobin: {
+      for (int step = 0; step < d_; ++step) {
+        int i = (turn_ + step) % d_;
+        if (active_[i]) return i;
+      }
+      return -1;
+    }
+    case ProbePolicy::kSmallestFrontier:
+    case ProbePolicy::kLargestFrontier: {
+      int best = -1;
+      double best_key = 0.0;
+      for (int i = 0; i < d_; ++i) {
+        if (!active_[i]) continue;
+        double key = engine_->Frontier(i);
+        bool better =
+            best < 0 ||
+            (opts_.probe_policy == ProbePolicy::kSmallestFrontier
+                 ? key < best_key
+                 : key > best_key);
+        if (better) {
+          best = i;
+          best_key = key;
+        }
+      }
+      return best;
+    }
+  }
+  return -1;
+}
+
+Status SkylineQuery::Advance() {
+  if (stage_ == Stage::kDrain) return DrainStep();
+  int i = PickExpansion();
+  if (i < 0) {
+    // Every expansion exhausted or stopped.
+    if (num_candidates_ > 0) return FinalizeRemaining();
+    done_ = true;
+    return Status::OK();
+  }
+  turn_ = (i + 1) % d_;
+  MCN_ASSIGN_OR_RETURN(auto nn, engine_->NextNN(i));
+  if (!nn.has_value()) {
+    active_[i] = false;
+    return Status::OK();
+  }
+  return HandlePop(i, nn->facility, nn->cost);
+}
+
+Status SkylineQuery::DrainStep() {
+  ++stats_.drain_rounds;
+  for (int i = 0; i < d_; ++i) {
+    // Stopped expansions may still hold the boundary key: step them too
+    // (their stopped status resumes after the drain).
+    if (engine_->Exhausted(i)) continue;
+    if (engine_->Frontier(i) > drain_boundary_[i]) continue;
+    MCN_ASSIGN_OR_RETURN(expand::ExpansionEvent ev, engine_->Step(i));
+    switch (ev.type) {
+      case expand::ExpansionEvent::Type::kExhausted:
+        active_[i] = false;
+        return Status::OK();
+      case expand::ExpansionEvent::Type::kNode:
+        return Status::OK();
+      case expand::ExpansionEvent::Type::kFacility:
+        return HandlePop(i, ev.id, ev.cost);
+    }
+  }
+  // All frontiers are strictly past the boundary: nothing at the boundary
+  // is still unseen. Resolve deferred pins, then resume shrinking.
+  stage_ = Stage::kShrinking;
+  ResolvePendingPins();
+  if (!growing_over_) {
+    growing_over_ = true;
+    if (num_candidates_ > 0 && opts_.use_facility_filter) {
+      MCN_RETURN_IF_ERROR(BuildFilter());
+    }
+  }
+  MaybeStopExpansions();
+  if (num_candidates_ == 0) done_ = true;
+  return Status::OK();
+}
+
+Status SkylineQuery::HandlePop(int i, graph::FacilityId f, double cost) {
+  ++stats_.nn_pops;
+  auto [it, created] = tracked_.try_emplace(
+      f, TrackedFacility{graph::CostVector(d_, expand::kInfCost), 0, 0,
+                         false, false, false, false});
+  TrackedFacility& st = it->second;
+  if (created) ++stats_.facilities_seen;
+  if (st.eliminated) return Status::OK();
+  // After the first drain, newly popped facilities are no longer part of
+  // CS — the shrinking stage ignores them (paper §IV-A); any such facility
+  // is strictly dominated by the first pinned one (DESIGN.md §3).
+  bool growing_like = !growing_over_;
+  if (!growing_like && created) {
+    st.eliminated = true;
+    return Status::OK();
+  }
+
+  MCN_DCHECK(!st.Knows(i));
+  st.costs[i] = cost;
+  st.known_mask |= 1u << i;
+  ++st.known_count;
+
+  if (growing_like) {
+    if (created) {
+      ++num_candidates_;
+      for (int j = 0; j < d_; ++j) {
+        if (j != i) ++missing_per_cost_[j];
+      }
+      stats_.candidates_peak = std::max(
+          stats_.candidates_peak, static_cast<uint64_t>(num_candidates_));
+    } else if (IsCandidate(st)) {
+      --missing_per_cost_[i];
+    }
+    if (st.in_result && !st.pinned) {
+      --sky_missing_per_cost_[i];
+    }
+    if (opts_.report_first_nn && !first_nn_taken_[i]) {
+      // The i-th expansion's first NN cannot be dominated: report directly.
+      first_nn_taken_[i] = true;
+      if (!st.in_result) PromoteToSkyline(f, st);
+    }
+  } else if (IsCandidate(st)) {
+    --missing_per_cost_[i];
+  } else if (st.in_result && !st.pinned) {
+    --sky_missing_per_cost_[i];
+  }
+
+  if (st.known_count == d_) {
+    MCN_RETURN_IF_ERROR(Pin(f));
+  }
+  if (stage_ == Stage::kShrinking) MaybeStopExpansions();
+  return Status::OK();
+}
+
+void SkylineQuery::PromoteToSkyline(graph::FacilityId f, TrackedFacility& st) {
+  MCN_DCHECK(IsCandidate(st));
+  st.in_result = true;
+  --num_candidates_;
+  for (int j = 0; j < d_; ++j) {
+    if (!st.Knows(j)) {
+      --missing_per_cost_[j];
+      ++sky_missing_per_cost_[j];
+    }
+  }
+  filter_.Remove(f);
+  output_.push_back(f);
+  ++stats_.skyline_size;
+}
+
+void SkylineQuery::Eliminate(graph::FacilityId f, TrackedFacility& st) {
+  MCN_DCHECK(IsCandidate(st));
+  st.eliminated = true;
+  --num_candidates_;
+  for (int j = 0; j < d_; ++j) {
+    if (!st.Knows(j)) --missing_per_cost_[j];
+  }
+  filter_.Remove(f);
+}
+
+void SkylineQuery::EliminateDominatedBy(graph::FacilityId pinned) {
+  const graph::CostVector& pc = tracked_[pinned].costs;
+  for (auto& [fid, st] : tracked_) {
+    if (fid == pinned || !IsCandidate(st)) continue;
+    ++stats_.dominance_checks;
+    // Known costs of the candidate are enough: its unknown costs are at
+    // least the corresponding frontier, hence at least the pinned
+    // facility's costs. Elimination requires a strict witness among the
+    // known costs (DESIGN.md §3).
+    bool leq_all = true;
+    bool strict = false;
+    for (int j = 0; j < d_; ++j) {
+      if (!st.Knows(j)) continue;
+      if (pc[j] > st.costs[j]) {
+        leq_all = false;
+        break;
+      }
+      if (pc[j] < st.costs[j]) strict = true;
+    }
+    if (leq_all && strict) Eliminate(fid, st);
+  }
+}
+
+bool SkylineQuery::DominatedByPinnedSkyline(const graph::CostVector& costs) {
+  for (graph::FacilityId m : pinned_skyline_) {
+    ++stats_.dominance_checks;
+    if (tracked_[m].costs.Dominates(costs)) return true;
+  }
+  return false;
+}
+
+bool SkylineQuery::ThreatenedByNonPinnedSkyline(
+    const graph::CostVector& costs) {
+  for (auto& [mid, mst] : tracked_) {
+    if (!mst.in_result || mst.pinned) continue;
+    ++stats_.dominance_checks;
+    // m could dominate `costs` only if every known cost is <= (with a
+    // strict witness) and every unknown cost sits exactly at a frontier
+    // equal to ours (the frontier already reached our cost because we are
+    // pinned, so anything larger disqualifies m).
+    bool possible = true;
+    bool strict = false;
+    for (int j = 0; j < d_; ++j) {
+      if (mst.Knows(j)) {
+        if (mst.costs[j] > costs[j]) {
+          possible = false;
+          break;
+        }
+        if (mst.costs[j] < costs[j]) strict = true;
+      } else if (engine_->Frontier(j) != costs[j]) {
+        possible = false;
+        break;
+      }
+    }
+    if (possible && strict) return true;
+  }
+  return false;
+}
+
+void SkylineQuery::ResolvePendingPins() {
+  for (graph::FacilityId f : pending_pins_) {
+    TrackedFacility& st = tracked_[f];
+    MCN_DCHECK(st.pending && st.pinned);
+    st.pending = false;
+    if (DominatedByPinnedSkyline(st.costs)) {
+      st.eliminated = true;
+    } else {
+      st.in_result = true;
+      output_.push_back(f);
+      ++stats_.skyline_size;
+      pinned_skyline_.push_back(f);
+      EliminateDominatedBy(f);
+    }
+  }
+  pending_pins_.clear();
+}
+
+Status SkylineQuery::Pin(graph::FacilityId f) {
+  TrackedFacility& st = tracked_[f];
+  MCN_DCHECK(!st.pinned);
+  st.pinned = true;
+
+  if (stage_ == Stage::kGrowing) {
+    // First pinned facility: growing ends (paper §IV-A). Before the real
+    // shrinking stage starts, drain exact frontier ties (DESIGN.md §3).
+    stage_ = Stage::kDrain;
+    stats_.reached_shrinking = true;
+    drain_boundary_ = st.costs;
+    if (!st.in_result) PromoteToSkyline(f, st);
+    pinned_skyline_.push_back(f);
+    EliminateDominatedBy(f);
+    return Status::OK();
+  }
+
+  if (st.in_result) {
+    // A facility reported via the first-NN enhancement got pinned later:
+    // it now participates in candidate elimination (paper §IV-A).
+    filter_.Remove(f);
+    pinned_skyline_.push_back(f);
+    EliminateDominatedBy(f);
+  } else if (DominatedByPinnedSkyline(st.costs)) {
+    Eliminate(f, st);
+  } else if (ThreatenedByNonPinnedSkyline(st.costs)) {
+    // Defer the report until a drain resolves the potential dominators.
+    ++stats_.deferred_pins;
+    st.pending = true;
+    --num_candidates_;  // fully known: no missing_per_cost_ updates
+    filter_.Remove(f);
+    pending_pins_.push_back(f);
+    if (stage_ != Stage::kDrain) {
+      stage_ = Stage::kDrain;
+      drain_boundary_ = st.costs;
+    } else {
+      for (int j = 0; j < d_; ++j) {
+        drain_boundary_[j] = std::max(drain_boundary_[j], st.costs[j]);
+      }
+    }
+  } else {
+    PromoteToSkyline(f, st);
+    pinned_skyline_.push_back(f);
+    EliminateDominatedBy(f);
+  }
+  if (stage_ == Stage::kShrinking && num_candidates_ == 0 &&
+      pending_pins_.empty()) {
+    done_ = true;
+  }
+  return Status::OK();
+}
+
+Status SkylineQuery::BuildFilter() {
+  for (const auto& [fid, st] : tracked_) {
+    bool sky_unpinned = st.in_result && !st.pinned;
+    if (!IsCandidate(st) && !sky_unpinned) continue;
+    MCN_ASSIGN_OR_RETURN(graph::EdgeKey edge,
+                         engine_->LocateFacilityEdge(fid));
+    filter_.Add(edge, fid);
+  }
+  engine_->SetFilter(&filter_);
+  filter_installed_ = true;
+  return Status::OK();
+}
+
+void SkylineQuery::MaybeStopExpansions() {
+  if (!opts_.stop_finished_expansions) return;
+  MCN_DCHECK(stage_ == Stage::kShrinking);
+  for (int i = 0; i < d_; ++i) {
+    if (active_[i] && missing_per_cost_[i] == 0 &&
+        sky_missing_per_cost_[i] == 0) {
+      active_[i] = false;
+    }
+  }
+}
+
+Status SkylineQuery::FinalizeRemaining() {
+  // Only reachable in pathological setups (e.g. every expansion exhausted
+  // before any pin, which requires an empty reachable facility set, or
+  // defensive recovery): resolve remaining candidates with what is known,
+  // treating unknown costs as +infinity.
+  std::vector<graph::FacilityId> remaining;
+  for (auto& [fid, st] : tracked_) {
+    if (IsCandidate(st)) remaining.push_back(fid);
+  }
+  std::sort(remaining.begin(), remaining.end());
+  for (graph::FacilityId f : remaining) {
+    TrackedFacility& st = tracked_[f];
+    if (!IsCandidate(st)) continue;  // eliminated by an earlier iteration
+    bool dominated = false;
+    for (const auto& [oid, ost] : tracked_) {
+      if (oid == f || ost.eliminated) continue;
+      ++stats_.dominance_checks;
+      if (ost.costs.Dominates(st.costs)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) {
+      Eliminate(f, st);
+    } else {
+      PromoteToSkyline(f, st);
+    }
+  }
+  done_ = true;
+  return Status::OK();
+}
+
+}  // namespace mcn::algo

@@ -1,0 +1,149 @@
+// Progressive MCN skyline processing (paper §IV). The query is driven over
+// an NnEngine; plugging in LsaEngine yields the Local Search Algorithm,
+// CeaEngine the Combined Expansion Algorithm (both traverse facilities in
+// the same order, so results and report order are identical — only the I/O
+// behavior differs), and MemEngine a zero-I/O in-memory run.
+//
+// The implementation includes all three §IV-A enhancements, each
+// individually switchable for the ablation benchmarks:
+//  1. the first NN of each cost type is reported as skyline immediately;
+//  2. during shrinking, facility records are read only for candidate edges
+//     (the candidate filter, built with one facility-tree probe per
+//     candidate at the growing/shrinking transition);
+//  3. an expansion stops once every candidate knows its cost type.
+//
+// Two soundness refinements over the paper (DESIGN.md §3):
+//  * Tie handling: candidates are eliminated only on a *strict* known-cost
+//    dominance witness, and exact frontier ties are drained before the
+//    shrinking stage begins, so facilities with identical cost vectors are
+//    all retained (the paper's footnote 4 assumes ties away).
+//  * Enhancement-1 interaction: a pinned candidate is reported only after
+//    no *non-pinned* skyline member (a directly-reported first NN that the
+//    candidate filter excludes from further pops) can still dominate it;
+//    potential dominators are resolved by a bounded frontier drain.
+#ifndef MCN_ALGO_SKYLINE_QUERY_H_
+#define MCN_ALGO_SKYLINE_QUERY_H_
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "mcn/algo/common.h"
+#include "mcn/common/result.h"
+#include "mcn/expand/engines.h"
+
+namespace mcn::algo {
+
+struct SkylineOptions {
+  /// §IV-A enhancement 1: report each cost type's first NN directly.
+  bool report_first_nn = true;
+  /// §IV-A enhancement 2: shrinking-stage candidate filter.
+  bool use_facility_filter = true;
+  /// §IV-A enhancement 3: stop expansions with no missing candidate costs.
+  bool stop_finished_expansions = true;
+  /// Expansion multiplexing policy (round-robin per the paper).
+  ProbePolicy probe_policy = ProbePolicy::kRoundRobin;
+};
+
+/// Progressive skyline computation: every facility returned by Next() is
+/// definitely in the skyline (never retracted).
+class SkylineQuery {
+ public:
+  struct Stats {
+    uint64_t nn_pops = 0;           ///< facility pops across all expansions
+    uint64_t dominance_checks = 0;
+    uint64_t candidates_peak = 0;   ///< max |CS|
+    uint64_t facilities_seen = 0;
+    uint64_t skyline_size = 0;
+    uint64_t drain_rounds = 0;      ///< tie/threat drain steps
+    uint64_t deferred_pins = 0;     ///< candidate reports deferred
+    bool reached_shrinking = false;
+  };
+
+  /// `engine` must outlive the query and be freshly created at the query
+  /// location (engines are single-use).
+  explicit SkylineQuery(expand::NnEngine* engine, SkylineOptions options = {});
+
+  /// Next confirmed skyline facility, or nullopt when the skyline is
+  /// complete. Costs reflect what is known at retrieval time.
+  Result<std::optional<SkylineEntry>> Next();
+
+  /// Runs the query to completion and returns all skyline facilities in
+  /// report order, with their final (possibly still partial) cost vectors.
+  Result<std::vector<SkylineEntry>> ComputeAll();
+
+  const Stats& stats() const { return stats_; }
+  bool done() const { return done_ && output_.empty(); }
+
+ private:
+  // kDrain is the (usually empty) transition used in two places: after the
+  // first pin — stepping expansions while their frontier still ties the
+  // pinned facility's cost, so exactly-tying unseen facilities are still
+  // admitted — and after a deferred candidate pin, to resolve non-pinned
+  // potential dominators. Costs no extra pops in generic position.
+  enum class Stage { kGrowing, kDrain, kShrinking };
+
+  bool IsCandidate(const TrackedFacility& st) const {
+    return !st.in_result && !st.eliminated && !st.pending;
+  }
+
+  /// One probing turn: advance one expansion to its next NN.
+  Status Advance();
+  /// One drain step; completes the transition back to shrinking when every
+  /// frontier has moved past the drain boundary.
+  Status DrainStep();
+  Status HandlePop(int i, graph::FacilityId f, double cost);
+  Status Pin(graph::FacilityId f);
+  /// Moves f from CS into the skyline and queues it for output.
+  void PromoteToSkyline(graph::FacilityId f, TrackedFacility& st);
+  /// Removes f from CS as dominated.
+  void Eliminate(graph::FacilityId f, TrackedFacility& st);
+  /// Strict known-cost dominance sweep against a just-pinned facility.
+  void EliminateDominatedBy(graph::FacilityId pinned);
+  /// True if some pinned skyline member strictly dominates `costs`.
+  bool DominatedByPinnedSkyline(const graph::CostVector& costs);
+  /// True if a non-pinned skyline member could still dominate `costs`
+  /// (known costs all <=, a strict known witness, unknown costs exactly at
+  /// the matching frontiers).
+  bool ThreatenedByNonPinnedSkyline(const graph::CostVector& costs);
+  /// Resolves deferred pins after a drain (report or eliminate).
+  void ResolvePendingPins();
+  Status BuildFilter();
+  void MaybeStopExpansions();
+  /// Picks the next expansion per the probing policy; -1 when none active.
+  int PickExpansion() const;
+  /// Defensive: resolves remaining candidates after total exhaustion.
+  Status FinalizeRemaining();
+  SkylineEntry MakeEntry(graph::FacilityId f) const;
+
+  expand::NnEngine* engine_;
+  SkylineOptions opts_;
+  int d_;
+  Stage stage_ = Stage::kGrowing;
+  bool done_ = false;
+  /// True once the first drain finished: from then on, newly popped
+  /// facilities are no longer admitted to CS (paper's shrinking rule).
+  bool growing_over_ = false;
+  std::unordered_map<graph::FacilityId, TrackedFacility> tracked_;
+  int num_candidates_ = 0;
+  std::vector<int> missing_per_cost_;
+  // Non-pinned skyline members (directly-reported first NNs) still missing
+  // each cost: expansions stay alive for them while candidates remain, so
+  // their dominance power is never lost (DESIGN.md §3).
+  std::vector<int> sky_missing_per_cost_;
+  std::vector<bool> active_;
+  std::vector<bool> first_nn_taken_;
+  std::vector<graph::FacilityId> pinned_skyline_;
+  graph::CostVector drain_boundary_;
+  std::vector<graph::FacilityId> pending_pins_;
+  expand::FacilityFilter filter_;
+  bool filter_installed_ = false;
+  std::deque<graph::FacilityId> output_;
+  int turn_ = 0;
+  Stats stats_;
+};
+
+}  // namespace mcn::algo
+
+#endif  // MCN_ALGO_SKYLINE_QUERY_H_

@@ -1,0 +1,265 @@
+#include "mcn/algo/topk_query.h"
+
+#include <algorithm>
+
+#include "mcn/common/macros.h"
+
+namespace mcn::algo {
+
+TopKQuery::TopKQuery(expand::NnEngine* engine, AggregateFn f,
+                     TopKOptions options)
+    : engine_(engine),
+      f_(std::move(f)),
+      opts_(options),
+      d_(engine->num_costs()),
+      missing_per_cost_(d_, 0),
+      active_(d_, true) {
+  MCN_CHECK(engine != nullptr);
+  MCN_CHECK(opts_.k >= 1);
+}
+
+int TopKQuery::PickExpansion() const {
+  switch (opts_.probe_policy) {
+    case ProbePolicy::kRoundRobin: {
+      for (int step = 0; step < d_; ++step) {
+        int i = (turn_ + step) % d_;
+        if (active_[i]) return i;
+      }
+      return -1;
+    }
+    case ProbePolicy::kSmallestFrontier:
+    case ProbePolicy::kLargestFrontier: {
+      int best = -1;
+      double best_key = 0.0;
+      for (int i = 0; i < d_; ++i) {
+        if (!active_[i]) continue;
+        double key = engine_->Frontier(i);
+        bool better =
+            best < 0 ||
+            (opts_.probe_policy == ProbePolicy::kSmallestFrontier
+                 ? key < best_key
+                 : key > best_key);
+        if (better) {
+          best = i;
+          best_key = key;
+        }
+      }
+      return best;
+    }
+  }
+  return -1;
+}
+
+double TopKQuery::KthScore() const {
+  MCN_DCHECK(!top_.empty());
+  return top_.top().score;
+}
+
+Result<std::vector<TopKEntry>> TopKQuery::Run() {
+  MCN_RETURN_IF_ERROR(RunGrowing());
+  if (stats_.reached_shrinking) {
+    MCN_RETURN_IF_ERROR(RunShrinking());
+  }
+  return ExtractResult();
+}
+
+Status TopKQuery::RunGrowing() {
+  while (static_cast<int>(top_.size()) < opts_.k) {
+    int i = PickExpansion();
+    if (i < 0) {
+      // Total exhaustion: every encountered facility has been pinned, the
+      // tentative top-k already holds the best of them.
+      MCN_DCHECK(num_candidates_ == 0);
+      return Status::OK();
+    }
+    turn_ = (i + 1) % d_;
+    MCN_ASSIGN_OR_RETURN(auto nn, engine_->NextNN(i));
+    if (!nn.has_value()) {
+      active_[i] = false;
+      continue;
+    }
+    MCN_RETURN_IF_ERROR(HandleGrowingPop(i, nn->facility, nn->cost));
+  }
+  stats_.reached_shrinking = true;
+  return Status::OK();
+}
+
+Status TopKQuery::HandleGrowingPop(int i, graph::FacilityId f, double cost) {
+  ++stats_.nn_pops;
+  auto [it, created] = tracked_.try_emplace(
+      f, TrackedFacility{graph::CostVector(d_, expand::kInfCost), 0, 0,
+                         false, false, false});
+  TrackedFacility& st = it->second;
+  if (created) ++stats_.facilities_seen;
+  MCN_DCHECK(!st.Knows(i));
+  st.costs[i] = cost;
+  st.known_mask |= 1u << i;
+  ++st.known_count;
+  if (created) {
+    ++num_candidates_;
+    for (int j = 0; j < d_; ++j) {
+      if (j != i) ++missing_per_cost_[j];
+    }
+    stats_.candidates_peak = std::max(stats_.candidates_peak,
+                                      static_cast<uint64_t>(num_candidates_));
+  } else {
+    --missing_per_cost_[i];
+  }
+  if (st.known_count == d_) AcceptPinned(f, st);
+  return Status::OK();
+}
+
+void TopKQuery::AcceptPinned(graph::FacilityId f, TrackedFacility& st) {
+  MCN_DCHECK(!st.pinned && IsCandidate(st));
+  st.pinned = true;
+  st.in_result = true;
+  --num_candidates_;  // all costs known, so no missing_per_cost_ updates
+  top_.push(HeapEntry{f_(st.costs), f});
+}
+
+Status TopKQuery::RunShrinking() {
+  if (opts_.use_facility_filter) {
+    MCN_RETURN_IF_ERROR(BuildFilter());
+  }
+  MaybeStopExpansions();
+  while (num_candidates_ > 0) {
+    bool any_active = false;
+    // One heap element per expansion per round (paper §V: "each expansion
+    // is suspended after popping one node from its heap").
+    for (int i = 0; i < d_; ++i) {
+      if (!active_[i]) continue;
+      MCN_ASSIGN_OR_RETURN(expand::ExpansionEvent ev, engine_->Step(i));
+      switch (ev.type) {
+        case expand::ExpansionEvent::Type::kExhausted:
+          active_[i] = false;
+          break;
+        case expand::ExpansionEvent::Type::kNode:
+          any_active = true;
+          break;
+        case expand::ExpansionEvent::Type::kFacility:
+          any_active = true;
+          MCN_RETURN_IF_ERROR(HandleShrinkingPop(i, ev.id, ev.cost));
+          break;
+      }
+    }
+    if (opts_.lower_bound_pruning) LowerBoundSweep();
+    MaybeStopExpansions();
+    if (!any_active && num_candidates_ > 0) {
+      // Every expansion exhausted or stopped: remaining candidates can
+      // never be pinned; their lower bounds are +infinity (unreachable
+      // costs), so they cannot beat any pinned facility.
+      std::vector<graph::FacilityId> remaining;
+      for (auto& [fid, st] : tracked_) {
+        if (IsCandidate(st)) remaining.push_back(fid);
+      }
+      for (graph::FacilityId fid : remaining) Eliminate(fid, tracked_[fid]);
+    }
+  }
+  return Status::OK();
+}
+
+Status TopKQuery::HandleShrinkingPop(int i, graph::FacilityId f,
+                                     double cost) {
+  ++stats_.nn_pops;
+  auto it = tracked_.find(f);
+  if (it == tracked_.end()) {
+    // First popped during shrinking: not in CS, ignore for good.
+    auto [nit, inserted] = tracked_.try_emplace(
+        f, TrackedFacility{graph::CostVector(d_, expand::kInfCost), 0, 0,
+                           false, true, false});
+    (void)nit;
+    (void)inserted;
+    return Status::OK();
+  }
+  TrackedFacility& st = it->second;
+  if (st.eliminated || st.in_result) return Status::OK();
+  MCN_DCHECK(!st.Knows(i));
+  st.costs[i] = cost;
+  st.known_mask |= 1u << i;
+  ++st.known_count;
+  --missing_per_cost_[i];
+  if (st.known_count == d_) ResolvePinned(f, st);
+  return Status::OK();
+}
+
+void TopKQuery::ResolvePinned(graph::FacilityId f, TrackedFacility& st) {
+  MCN_DCHECK(IsCandidate(st));
+  st.pinned = true;
+  double score = f_(st.costs);
+  if (score < KthScore()) {
+    // Replaces the current k-th best (paper §V shrinking stage).
+    graph::FacilityId evicted = top_.top().facility;
+    top_.pop();
+    TrackedFacility& est = tracked_[evicted];
+    est.in_result = false;
+    est.eliminated = true;
+    top_.push(HeapEntry{score, f});
+    st.in_result = true;
+    --num_candidates_;
+    filter_.Remove(f);
+    ++stats_.replacements;
+  } else {
+    Eliminate(f, st);
+  }
+}
+
+void TopKQuery::Eliminate(graph::FacilityId f, TrackedFacility& st) {
+  MCN_DCHECK(IsCandidate(st));
+  st.eliminated = true;
+  --num_candidates_;
+  for (int j = 0; j < d_; ++j) {
+    if (!st.Knows(j)) --missing_per_cost_[j];
+  }
+  filter_.Remove(f);
+}
+
+void TopKQuery::LowerBoundSweep() {
+  if (top_.empty()) return;
+  double kth = KthScore();
+  std::vector<graph::FacilityId> victims;
+  for (auto& [fid, st] : tracked_) {
+    if (!IsCandidate(st)) continue;
+    graph::CostVector lb = st.costs;
+    for (int j = 0; j < d_; ++j) {
+      if (!st.Knows(j)) lb[j] = engine_->Frontier(j);
+    }
+    if (f_(lb) >= kth) victims.push_back(fid);
+  }
+  for (graph::FacilityId fid : victims) {
+    Eliminate(fid, tracked_[fid]);
+    ++stats_.lb_eliminations;
+  }
+}
+
+Status TopKQuery::BuildFilter() {
+  for (const auto& [fid, st] : tracked_) {
+    if (!IsCandidate(st)) continue;
+    MCN_ASSIGN_OR_RETURN(graph::EdgeKey edge,
+                         engine_->LocateFacilityEdge(fid));
+    filter_.Add(edge, fid);
+  }
+  engine_->SetFilter(&filter_);
+  return Status::OK();
+}
+
+void TopKQuery::MaybeStopExpansions() {
+  if (!opts_.stop_finished_expansions) return;
+  for (int i = 0; i < d_; ++i) {
+    if (active_[i] && missing_per_cost_[i] == 0) active_[i] = false;
+  }
+}
+
+std::vector<TopKEntry> TopKQuery::ExtractResult() {
+  std::vector<TopKEntry> result;
+  result.reserve(top_.size());
+  while (!top_.empty()) {
+    HeapEntry e = top_.top();
+    top_.pop();
+    result.push_back(TopKEntry{e.facility, tracked_[e.facility].costs,
+                               e.score});
+  }
+  std::reverse(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace mcn::algo

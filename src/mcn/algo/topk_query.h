@@ -1,0 +1,98 @@
+// MCN top-k processing with known k (paper §V): growing stage until k
+// facilities are pinned, then a shrinking stage that steps every expansion
+// one heap element per turn, pins or prunes the remaining candidates, and
+// uses the frontier keys t_i for lower-bound elimination.
+#ifndef MCN_ALGO_TOPK_QUERY_H_
+#define MCN_ALGO_TOPK_QUERY_H_
+
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "mcn/algo/common.h"
+#include "mcn/common/result.h"
+#include "mcn/expand/engines.h"
+
+namespace mcn::algo {
+
+struct TopKOptions {
+  int k = 4;
+  /// Shrinking-stage candidate filter (as in the skyline algorithms).
+  bool use_facility_filter = true;
+  /// Stop expansions with no missing candidate costs.
+  bool stop_finished_expansions = true;
+  /// Frontier-based lower-bound elimination of candidates (paper §V).
+  bool lower_bound_pruning = true;
+  ProbePolicy probe_policy = ProbePolicy::kRoundRobin;
+};
+
+/// One-shot top-k computation over a fresh engine. Only reachable
+/// facilities are considered; fewer than k entries are returned when the
+/// query's component holds fewer facilities.
+class TopKQuery {
+ public:
+  struct Stats {
+    uint64_t nn_pops = 0;
+    uint64_t facilities_seen = 0;
+    uint64_t candidates_peak = 0;
+    uint64_t lb_eliminations = 0;
+    uint64_t replacements = 0;
+    bool reached_shrinking = false;
+  };
+
+  /// `f` must be increasingly monotone over complete cost vectors.
+  TopKQuery(expand::NnEngine* engine, AggregateFn f, TopKOptions options);
+
+  /// Runs to completion; entries sorted by ascending score.
+  Result<std::vector<TopKEntry>> Run();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct HeapEntry {
+    double score;
+    graph::FacilityId facility;
+    bool operator<(const HeapEntry& o) const {
+      if (score != o.score) return score < o.score;
+      return facility < o.facility;
+    }
+  };
+
+  bool IsCandidate(const TrackedFacility& st) const {
+    return !st.in_result && !st.eliminated;
+  }
+
+  Status RunGrowing();
+  Status RunShrinking();
+  Status HandleGrowingPop(int i, graph::FacilityId f, double cost);
+  Status HandleShrinkingPop(int i, graph::FacilityId f, double cost);
+  /// Inserts a pinned facility into the tentative top-k (growing).
+  void AcceptPinned(graph::FacilityId f, TrackedFacility& st);
+  /// Resolves a pinned candidate against the current k-th score (shrinking).
+  void ResolvePinned(graph::FacilityId f, TrackedFacility& st);
+  void Eliminate(graph::FacilityId f, TrackedFacility& st);
+  double KthScore() const;
+  void LowerBoundSweep();
+  Status BuildFilter();
+  void MaybeStopExpansions();
+  int PickExpansion() const;
+  std::vector<TopKEntry> ExtractResult();
+
+  expand::NnEngine* engine_;
+  AggregateFn f_;
+  TopKOptions opts_;
+  int d_;
+  std::unordered_map<graph::FacilityId, TrackedFacility> tracked_;
+  int num_candidates_ = 0;
+  std::vector<int> missing_per_cost_;
+  std::vector<bool> active_;
+  // Tentative result: max-heap on score; holds at most k entries.
+  std::priority_queue<HeapEntry> top_;
+  expand::FacilityFilter filter_;
+  int turn_ = 0;
+  Stats stats_;
+};
+
+}  // namespace mcn::algo
+
+#endif  // MCN_ALGO_TOPK_QUERY_H_

@@ -1,0 +1,41 @@
+#include "mcn/common/logging.h"
+
+#include <cstdio>
+
+namespace mcn {
+namespace {
+LogLevel g_level = LogLevel::kWarning;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kDebug:
+      return "D";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (static_cast<int>(level_) <= static_cast<int>(g_level)) {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  }
+}
+
+}  // namespace internal
+}  // namespace mcn

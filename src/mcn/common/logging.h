@@ -1,0 +1,42 @@
+// Minimal leveled logging to stderr. The library itself logs nothing at
+// default verbosity; tools and benches may raise the level.
+#ifndef MCN_COMMON_LOGGING_H_
+#define MCN_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace mcn {
+
+enum class LogLevel { kError = 0, kWarning = 1, kInfo = 2, kDebug = 3 };
+
+/// Sets the global verbosity; messages above the level are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace mcn
+
+#define MCN_LOG(level)                                                \
+  ::mcn::internal::LogMessage(::mcn::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // MCN_COMMON_LOGGING_H_

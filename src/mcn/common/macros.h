@@ -1,0 +1,48 @@
+// Common helper macros used across the mcn library.
+#ifndef MCN_COMMON_MACROS_H_
+#define MCN_COMMON_MACROS_H_
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts with a message when `cond` is false. Used for programmer errors
+// (violated invariants), never for data-dependent failures, which are
+// reported through Status.
+#define MCN_CHECK(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "MCN_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define MCN_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define MCN_DCHECK(cond) MCN_CHECK(cond)
+#endif
+
+// Propagates a non-OK Status from an expression.
+#define MCN_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::mcn::Status _mcn_status = (expr);          \
+    if (!_mcn_status.ok()) return _mcn_status;   \
+  } while (0)
+
+#define MCN_CONCAT_INNER_(a, b) a##b
+#define MCN_CONCAT_(a, b) MCN_CONCAT_INNER_(a, b)
+
+// Evaluates `rexpr` (a Result<T>), propagates the error, otherwise moves the
+// value into `lhs`. `lhs` may be a declaration, e.g.
+//   MCN_ASSIGN_OR_RETURN(auto reader, NetworkReader::Open(...));
+#define MCN_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  auto MCN_CONCAT_(_mcn_result_, __LINE__) = (rexpr);                 \
+  if (!MCN_CONCAT_(_mcn_result_, __LINE__).ok())                      \
+    return MCN_CONCAT_(_mcn_result_, __LINE__).status();              \
+  lhs = std::move(MCN_CONCAT_(_mcn_result_, __LINE__)).value()
+
+#endif  // MCN_COMMON_MACROS_H_

@@ -1,0 +1,89 @@
+#include "mcn/common/random.h"
+
+#include <cmath>
+
+#include "mcn/common/macros.h"
+
+namespace mcn {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+  // Avoid the all-zero state (xoshiro's single fixed point).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Random::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Random::Uniform(uint64_t bound) {
+  MCN_DCHECK(bound > 0);
+  // Debiased modulo (Lemire-style rejection would be faster; this is simple
+  // and unbiased enough for workload generation).
+  uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Random::UniformInt(int64_t lo, int64_t hi) {
+  MCN_DCHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Random::NextDouble() {
+  // 53 top bits -> uniform in [0,1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Random::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Random::Gaussian() {
+  // Box-Muller; discard the second variate for simplicity.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+double Random::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+double Random::Exponential() {
+  double u = NextDouble();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u);
+}
+
+bool Random::Bernoulli(double p) { return NextDouble() < p; }
+
+Random Random::Fork() { return Random(Next() ^ 0xD2B74407B1CE6E93ull); }
+
+}  // namespace mcn

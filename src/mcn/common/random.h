@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation for generators, tests and
+// benchmarks. xoshiro256** seeded via SplitMix64: fast, high quality, and
+// identical across platforms (unlike std::mt19937 + distributions, whose
+// outputs vary between standard library implementations).
+#ifndef MCN_COMMON_RANDOM_H_
+#define MCN_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mcn {
+
+/// xoshiro256** PRNG with convenience sampling helpers. Copyable; copies
+/// evolve independently.
+class Random {
+ public:
+  /// Seeds the state from `seed` via SplitMix64.
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64 random bits.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double Gaussian();
+
+  /// Normal with the given mean / standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Exponential with rate 1.
+  double Exponential();
+
+  /// True with probability `p`.
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent generator (useful to decorrelate sub-streams).
+  Random Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace mcn
+
+#endif  // MCN_COMMON_RANDOM_H_

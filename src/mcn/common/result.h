@@ -1,0 +1,64 @@
+// Result<T>: a Status or a value, in the spirit of arrow::Result /
+// absl::StatusOr. Used as the return type of fallible factory functions.
+#ifndef MCN_COMMON_RESULT_H_
+#define MCN_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "mcn/common/macros.h"
+#include "mcn/common/status.h"
+
+namespace mcn {
+
+/// Holds either an OK Status with a T, or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversion from a value (OK result).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit conversion from a non-OK Status.
+  Result(Status status) : status_(std::move(status)) {
+    MCN_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  /// Requires ok().
+  const T& value() const& {
+    MCN_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    MCN_CHECK(ok());
+    return *value_;
+  }
+  // Returns by value (one move), not T&&: a reference into the expiring
+  // Result would dangle in common patterns like
+  //   for (auto& x : Compute().value()) ...
+  // whereas a prvalue is lifetime-extended by the range-for.
+  T value() && {
+    MCN_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when not ok().
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mcn
+
+#endif  // MCN_COMMON_RESULT_H_

@@ -1,0 +1,31 @@
+// Wall-clock stopwatch used by the benchmark harness.
+#ifndef MCN_COMMON_STOPWATCH_H_
+#define MCN_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace mcn {
+
+/// Measures elapsed wall-clock time with steady_clock.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mcn
+
+#endif  // MCN_COMMON_STOPWATCH_H_

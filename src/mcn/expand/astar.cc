@@ -1,0 +1,83 @@
+#include "mcn/expand/astar.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "mcn/common/macros.h"
+
+namespace mcn::expand {
+
+double AdmissibleCostPerDistance(const graph::MultiCostGraph& g,
+                                 int cost_index) {
+  MCN_CHECK(cost_index >= 0 && cost_index < g.num_costs());
+  double factor = std::numeric_limits<double>::infinity();
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const graph::EdgeRecord& er = g.edge(e);
+    double len = g.EuclideanDistance(er.u, er.v);
+    if (len <= 0.0) return 0.0;
+    factor = std::min(factor, er.w[cost_index] / len);
+  }
+  if (!std::isfinite(factor)) return 0.0;  // no edges
+  return factor;
+}
+
+Result<PathResult> AStarShortestPath(const graph::MultiCostGraph& g,
+                                     int cost_index, graph::NodeId source,
+                                     graph::NodeId target, double factor,
+                                     AStarStats* stats) {
+  if (source >= g.num_nodes() || target >= g.num_nodes()) {
+    return Status::InvalidArgument("AStar: node out of range");
+  }
+  if (factor < 0.0) {
+    return Status::InvalidArgument("AStar: negative heuristic factor");
+  }
+  AStarStats local;
+  auto h = [&](graph::NodeId v) {
+    return factor * g.EuclideanDistance(v, target);
+  };
+
+  using HeapItem = std::pair<double, graph::NodeId>;  // (g + h, node)
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  std::vector<double> dist(g.num_nodes(), kInfCost);
+  std::vector<graph::NodeId> parent(g.num_nodes(), graph::kInvalidNode);
+  std::vector<bool> settled(g.num_nodes(), false);
+
+  dist[source] = 0.0;
+  heap.push({h(source), source});
+  ++local.heap_pushes;
+  while (!heap.empty()) {
+    auto [key, v] = heap.top();
+    heap.pop();
+    if (settled[v]) continue;
+    settled[v] = true;
+    ++local.nodes_settled;
+    if (v == target) break;
+    for (const graph::AdjacentEdge& adj : g.Neighbors(v)) {
+      double nd = dist[v] + g.edge(adj.edge).w[cost_index];
+      if (nd < dist[adj.neighbor]) {
+        dist[adj.neighbor] = nd;
+        parent[adj.neighbor] = v;
+        heap.push({nd + h(adj.neighbor), adj.neighbor});
+        ++local.heap_pushes;
+      }
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  if (dist[target] == kInfCost) {
+    return Status::NotFound("node " + std::to_string(target) +
+                            " unreachable from " + std::to_string(source));
+  }
+  PathResult result;
+  result.cost = dist[target];
+  for (graph::NodeId v = target; v != graph::kInvalidNode; v = parent[v]) {
+    result.nodes.push_back(v);
+    if (v == source) break;
+  }
+  std::reverse(result.nodes.begin(), result.nodes.end());
+  return result;
+}
+
+}  // namespace mcn::expand

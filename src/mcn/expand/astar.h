@@ -1,0 +1,39 @@
+// A* point-to-point search (paper §II-C): Dijkstra with an admissible
+// lower-bound heuristic. The paper's algorithms deliberately avoid A*
+// because generic cost types have no lower bounds; for cost types that DO
+// correlate with geometry (length, travel time), this module derives an
+// admissible heuristic from the network itself: Euclidean distance times
+// the network-wide minimum cost-per-unit-length of the cost type.
+#ifndef MCN_EXPAND_ASTAR_H_
+#define MCN_EXPAND_ASTAR_H_
+
+#include "mcn/common/result.h"
+#include "mcn/expand/dijkstra.h"
+#include "mcn/graph/multi_cost_graph.h"
+
+namespace mcn::expand {
+
+/// The largest factor c such that c * euclidean(u, v) lower-bounds the
+/// cost-`cost_index` network distance for every node pair: the minimum over
+/// edges of w_i(e) / euclidean-length(e). Returns 0 for graphs with
+/// zero-length or zero-cost edges (degenerating A* to Dijkstra).
+double AdmissibleCostPerDistance(const graph::MultiCostGraph& g,
+                                 int cost_index);
+
+struct AStarStats {
+  uint64_t nodes_settled = 0;
+  uint64_t heap_pushes = 0;
+};
+
+/// Point-to-point shortest path w.r.t. one cost type using the heuristic
+/// `factor * euclidean(v, target)`. `factor` must be admissible (use
+/// AdmissibleCostPerDistance); 0 reduces to plain Dijkstra. Results are
+/// identical to ShortestPath; only the explored region shrinks.
+Result<PathResult> AStarShortestPath(const graph::MultiCostGraph& g,
+                                     int cost_index, graph::NodeId source,
+                                     graph::NodeId target, double factor,
+                                     AStarStats* stats = nullptr);
+
+}  // namespace mcn::expand
+
+#endif  // MCN_EXPAND_ASTAR_H_

@@ -1,0 +1,123 @@
+#include "mcn/expand/dijkstra.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <string>
+#include <utility>
+
+#include "mcn/common/macros.h"
+
+namespace mcn::expand {
+namespace {
+
+using HeapItem = std::pair<double, graph::NodeId>;
+using MinHeap =
+    std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>>;
+
+void RunDijkstra(const graph::MultiCostGraph& g, int cost_index,
+                 std::vector<double>& dist, MinHeap& heap,
+                 std::vector<graph::NodeId>* parent) {
+  std::vector<bool> settled(g.num_nodes(), false);
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (settled[v]) continue;
+    settled[v] = true;
+    for (const graph::AdjacentEdge& adj : g.Neighbors(v)) {
+      double nd = d + g.edge(adj.edge).w[cost_index];
+      if (nd < dist[adj.neighbor]) {
+        dist[adj.neighbor] = nd;
+        if (parent != nullptr) (*parent)[adj.neighbor] = v;
+        heap.push({nd, adj.neighbor});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<double> ShortestPathCosts(const graph::MultiCostGraph& g,
+                                      int cost_index,
+                                      const graph::Location& q) {
+  MCN_CHECK(cost_index >= 0 && cost_index < g.num_costs());
+  std::vector<double> dist(g.num_nodes(), kInfCost);
+  MinHeap heap;
+  if (q.is_node()) {
+    dist[q.node()] = 0.0;
+    heap.push({0.0, q.node()});
+  } else {
+    graph::EdgeKey key = q.edge();
+    auto edge = g.FindEdge(key.u, key.v);
+    MCN_CHECK(edge.ok());
+    double w = g.edge(edge.value()).w[cost_index];
+    double du = q.frac() * w;
+    double dv = (1.0 - q.frac()) * w;
+    dist[key.u] = du;
+    dist[key.v] = dv;
+    heap.push({du, key.u});
+    heap.push({dv, key.v});
+  }
+  RunDijkstra(g, cost_index, dist, heap, nullptr);
+  return dist;
+}
+
+double FacilityCost(const graph::MultiCostGraph& g,
+                    const std::vector<double>& node_dist, int cost_index,
+                    const graph::Location& q, const graph::Facility& p) {
+  const graph::EdgeRecord& e = g.edge(p.edge);
+  double w = e.w[cost_index];
+  double best = kInfCost;
+  if (node_dist[e.u] < kInfCost) {
+    best = std::min(best, node_dist[e.u] + p.frac * w);
+  }
+  if (node_dist[e.v] < kInfCost) {
+    best = std::min(best, node_dist[e.v] + (1.0 - p.frac) * w);
+  }
+  if (!q.is_node() && q.edge() == graph::EdgeKey(e.u, e.v)) {
+    best = std::min(best, std::fabs(q.frac() - p.frac) * w);
+  }
+  return best;
+}
+
+std::vector<graph::CostVector> AllFacilityCosts(
+    const graph::MultiCostGraph& g, const graph::FacilitySet& facilities,
+    const graph::Location& q) {
+  std::vector<graph::CostVector> costs(
+      facilities.size(), graph::CostVector(g.num_costs(), kInfCost));
+  for (int i = 0; i < g.num_costs(); ++i) {
+    std::vector<double> dist = ShortestPathCosts(g, i, q);
+    for (graph::FacilityId f = 0; f < facilities.size(); ++f) {
+      costs[f][i] = FacilityCost(g, dist, i, q, facilities[f]);
+    }
+  }
+  return costs;
+}
+
+Result<PathResult> ShortestPath(const graph::MultiCostGraph& g,
+                                int cost_index, graph::NodeId source,
+                                graph::NodeId target) {
+  if (source >= g.num_nodes() || target >= g.num_nodes()) {
+    return Status::InvalidArgument("ShortestPath: node out of range");
+  }
+  std::vector<double> dist(g.num_nodes(), kInfCost);
+  std::vector<graph::NodeId> parent(g.num_nodes(), graph::kInvalidNode);
+  MinHeap heap;
+  dist[source] = 0.0;
+  heap.push({0.0, source});
+  RunDijkstra(g, cost_index, dist, heap, &parent);
+  if (dist[target] == kInfCost) {
+    return Status::NotFound("node " + std::to_string(target) +
+                            " unreachable from " + std::to_string(source));
+  }
+  PathResult result;
+  result.cost = dist[target];
+  for (graph::NodeId v = target; v != graph::kInvalidNode; v = parent[v]) {
+    result.nodes.push_back(v);
+    if (v == source) break;
+  }
+  std::reverse(result.nodes.begin(), result.nodes.end());
+  return result;
+}
+
+}  // namespace mcn::expand

@@ -1,0 +1,54 @@
+// In-memory single-cost shortest paths over a MultiCostGraph. Used as the
+// correctness oracle for the disk-based algorithms, by the naive baseline,
+// and directly by applications that do not need the disk simulation.
+#ifndef MCN_EXPAND_DIJKSTRA_H_
+#define MCN_EXPAND_DIJKSTRA_H_
+
+#include <limits>
+#include <vector>
+
+#include "mcn/common/result.h"
+#include "mcn/graph/cost_vector.h"
+#include "mcn/graph/facility.h"
+#include "mcn/graph/location.h"
+#include "mcn/graph/multi_cost_graph.h"
+
+namespace mcn::expand {
+
+inline constexpr double kInfCost = std::numeric_limits<double>::infinity();
+
+/// Network distance from `q` to every node w.r.t. cost type `cost_index`
+/// (kInfCost where unreachable). When `q` lies on an edge, the search is
+/// seeded with the partial weights to both endpoints.
+std::vector<double> ShortestPathCosts(const graph::MultiCostGraph& g,
+                                      int cost_index,
+                                      const graph::Location& q);
+
+/// The smallest cost from `q` to facility `p` given the node-distance array
+/// for `cost_index`: min over both endpoint routes, plus the direct
+/// along-edge route when `q` lies on p's own edge.
+double FacilityCost(const graph::MultiCostGraph& g,
+                    const std::vector<double>& node_dist, int cost_index,
+                    const graph::Location& q, const graph::Facility& p);
+
+/// The full cost vectors c(p) for every facility: d Dijkstra runs. This is
+/// the oracle for the MCN skyline / top-k definitions (paper §III).
+std::vector<graph::CostVector> AllFacilityCosts(
+    const graph::MultiCostGraph& g, const graph::FacilitySet& facilities,
+    const graph::Location& q);
+
+/// A node-to-node shortest path w.r.t. one cost type.
+struct PathResult {
+  std::vector<graph::NodeId> nodes;  // source first, target last
+  double cost = kInfCost;
+};
+
+/// Point-to-point Dijkstra with path reconstruction; NotFound when `target`
+/// is unreachable from `source`.
+Result<PathResult> ShortestPath(const graph::MultiCostGraph& g,
+                                int cost_index, graph::NodeId source,
+                                graph::NodeId target);
+
+}  // namespace mcn::expand
+
+#endif  // MCN_EXPAND_DIJKSTRA_H_

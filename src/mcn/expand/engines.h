@@ -1,0 +1,130 @@
+// NnEngine: d concurrent incremental NN expansions from a query location,
+// one per cost type — the machinery both MCN query algorithms drive
+// (paper §IV). The engine flavor decides the I/O behavior:
+//
+//  * LsaEngine — expansions fetch records independently (DirectFetch): a
+//    record may be read up to d times (the Local Search Algorithm).
+//  * CeaEngine — expansions share a query-lifetime fetch cache
+//    (CachedFetch): every record is read at most once (the Combined
+//    Expansion Algorithm). Pop order is identical to LSA.
+//  * MemEngine — in-memory, zero I/O; used for verification and by callers
+//    who do not need the disk simulation.
+#ifndef MCN_EXPAND_ENGINES_H_
+#define MCN_EXPAND_ENGINES_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mcn/common/result.h"
+#include "mcn/expand/fetch_provider.h"
+#include "mcn/expand/single_expansion.h"
+#include "mcn/graph/facility.h"
+#include "mcn/graph/location.h"
+#include "mcn/net/network_reader.h"
+
+namespace mcn::expand {
+
+/// A facility reported by one expansion, with its cost w.r.t. that
+/// expansion's cost type.
+struct FacilityAtCost {
+  graph::FacilityId facility;
+  double cost;
+};
+
+/// d expansions + shared fetch provider; see file comment.
+class NnEngine {
+ public:
+  virtual ~NnEngine() = default;
+
+  int num_costs() const { return static_cast<int>(expansions_.size()); }
+  uint32_t num_facilities() const { return fetch_->num_facilities(); }
+
+  /// Advances expansion `i` until its next NN facility; nullopt = exhausted.
+  Result<std::optional<FacilityAtCost>> NextNN(int i);
+
+  /// One settled element for expansion `i` (used by the top-k shrinking
+  /// stage, which pops a single node per turn — paper §V).
+  Result<ExpansionEvent> Step(int i) { return expansions_[i].Step(); }
+
+  /// Lower bound on the cost of any future event of expansion `i`
+  /// (the t_i of the paper's top-k lower-bound pruning).
+  double Frontier(int i) const { return expansions_[i].FrontierKey(); }
+
+  bool Exhausted(int i) const { return expansions_[i].exhausted(); }
+
+  /// Installs/clears the shrinking-stage candidate filter on all expansions.
+  void SetFilter(const FacilityFilter* filter);
+
+  /// The edge containing facility `f` (facility-tree probe on disk engines;
+  /// charged to the buffer pool).
+  virtual Result<graph::EdgeKey> LocateFacilityEdge(graph::FacilityId f) = 0;
+
+  const FetchProvider& fetch() const { return *fetch_; }
+  const SingleExpansion& expansion(int i) const { return expansions_[i]; }
+
+ protected:
+  /// Builds d seeded expansions over `fetch` (takes ownership).
+  Status Init(std::unique_ptr<FetchProvider> fetch, const graph::Location& q);
+
+  std::unique_ptr<FetchProvider> fetch_;
+  std::vector<SingleExpansion> expansions_;
+};
+
+/// LSA flavor (independent fetches).
+class LsaEngine : public NnEngine {
+ public:
+  static Result<std::unique_ptr<LsaEngine>> Create(
+      const net::NetworkReader* reader, const graph::Location& q);
+
+  Result<graph::EdgeKey> LocateFacilityEdge(graph::FacilityId f) override {
+    return reader_->LocateFacilityEdge(f);
+  }
+
+ private:
+  const net::NetworkReader* reader_ = nullptr;
+};
+
+/// CEA flavor (shared fetch cache).
+class CeaEngine : public NnEngine {
+ public:
+  static Result<std::unique_ptr<CeaEngine>> Create(
+      const net::NetworkReader* reader, const graph::Location& q);
+
+  Result<graph::EdgeKey> LocateFacilityEdge(graph::FacilityId f) override {
+    return reader_->LocateFacilityEdge(f);
+  }
+
+  const CachedFetch& cache() const {
+    return static_cast<const CachedFetch&>(*fetch_);
+  }
+
+ private:
+  const net::NetworkReader* reader_ = nullptr;
+};
+
+/// In-memory flavor (no disk).
+class MemEngine : public NnEngine {
+ public:
+  static Result<std::unique_ptr<MemEngine>> Create(
+      const graph::MultiCostGraph* graph,
+      const graph::FacilitySet* facilities, const graph::Location& q);
+
+  Result<graph::EdgeKey> LocateFacilityEdge(graph::FacilityId f) override;
+
+ private:
+  const graph::MultiCostGraph* graph_ = nullptr;
+  const graph::FacilitySet* facilities_ = nullptr;
+};
+
+/// Which engine flavor to use for a disk-resident query.
+enum class EngineKind { kLsa, kCea };
+
+/// Factory for the disk engines.
+Result<std::unique_ptr<NnEngine>> MakeEngine(EngineKind kind,
+                                             const net::NetworkReader* reader,
+                                             const graph::Location& q);
+
+}  // namespace mcn::expand
+
+#endif  // MCN_EXPAND_ENGINES_H_

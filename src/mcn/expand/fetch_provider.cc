@@ -1,0 +1,149 @@
+#include "mcn/expand/fetch_provider.h"
+
+#include <string>
+
+#include "mcn/common/macros.h"
+
+namespace mcn::expand {
+namespace {
+
+// Shared logic for GetSeedInfo: find the edge entry among `entries`, then
+// load its facilities through `self`.
+Result<FetchProvider::SeedInfo> SeedFromEntries(
+    FetchProvider* self, const std::vector<net::AdjEntry>& entries,
+    graph::EdgeKey key) {
+  // `entries` is the adjacency record of key.u; look for the key.v entry.
+  for (const net::AdjEntry& e : entries) {
+    if (e.neighbor != key.v) continue;
+    FetchProvider::SeedInfo info;
+    info.edge_costs = e.w;
+    if (!e.fac.empty()) {
+      MCN_ASSIGN_OR_RETURN(const auto* facs, self->GetFacilities(key, e.fac));
+      info.facilities = *facs;
+    }
+    return info;
+  }
+  return Status::NotFound("seed edge (" + std::to_string(key.u) + "," +
+                          std::to_string(key.v) + ") not found");
+}
+
+}  // namespace
+
+DirectFetch::DirectFetch(const net::NetworkReader* reader) : reader_(reader) {
+  MCN_CHECK(reader != nullptr);
+}
+
+Result<const std::vector<net::AdjEntry>*> DirectFetch::GetAdjacency(
+    graph::NodeId node) {
+  ++stats_.adjacency_requests;
+  ++stats_.adjacency_fetches;
+  MCN_RETURN_IF_ERROR(reader_->GetAdjacency(node, &adj_scratch_));
+  return &adj_scratch_;
+}
+
+Result<const std::vector<net::FacilityOnEdge>*> DirectFetch::GetFacilities(
+    graph::EdgeKey edge, const net::FacRef& ref) {
+  (void)edge;
+  ++stats_.facility_requests;
+  ++stats_.facility_fetches;
+  MCN_RETURN_IF_ERROR(reader_->GetFacilities(ref, &fac_scratch_));
+  return &fac_scratch_;
+}
+
+Result<FetchProvider::SeedInfo> DirectFetch::GetSeedInfo(
+    const graph::Location& q) {
+  if (q.is_node()) return SeedInfo{};
+  MCN_ASSIGN_OR_RETURN(const auto* entries, GetAdjacency(q.edge().u));
+  return SeedFromEntries(this, *entries, q.edge());
+}
+
+CachedFetch::CachedFetch(const net::NetworkReader* reader) : reader_(reader) {
+  MCN_CHECK(reader != nullptr);
+}
+
+Result<const std::vector<net::AdjEntry>*> CachedFetch::GetAdjacency(
+    graph::NodeId node) {
+  ++stats_.adjacency_requests;
+  auto it = adj_cache_.find(node);
+  if (it != adj_cache_.end()) return &it->second;
+  ++stats_.adjacency_fetches;
+  std::vector<net::AdjEntry> entries;
+  MCN_RETURN_IF_ERROR(reader_->GetAdjacency(node, &entries));
+  auto [inserted, ok] = adj_cache_.emplace(node, std::move(entries));
+  MCN_DCHECK(ok);
+  return &inserted->second;
+}
+
+Result<const std::vector<net::FacilityOnEdge>*> CachedFetch::GetFacilities(
+    graph::EdgeKey edge, const net::FacRef& ref) {
+  ++stats_.facility_requests;
+  auto it = fac_cache_.find(edge);
+  if (it != fac_cache_.end()) return &it->second;
+  ++stats_.facility_fetches;
+  std::vector<net::FacilityOnEdge> facs;
+  MCN_RETURN_IF_ERROR(reader_->GetFacilities(ref, &facs));
+  auto [inserted, ok] = fac_cache_.emplace(edge, std::move(facs));
+  MCN_DCHECK(ok);
+  return &inserted->second;
+}
+
+Result<FetchProvider::SeedInfo> CachedFetch::GetSeedInfo(
+    const graph::Location& q) {
+  if (q.is_node()) return SeedInfo{};
+  MCN_ASSIGN_OR_RETURN(const auto* entries, GetAdjacency(q.edge().u));
+  return SeedFromEntries(this, *entries, q.edge());
+}
+
+MemFetch::MemFetch(const graph::MultiCostGraph* graph,
+                   const graph::FacilitySet* facilities)
+    : graph_(graph), facilities_(facilities) {
+  MCN_CHECK(graph != nullptr && facilities != nullptr);
+  MCN_CHECK(graph->finalized() && facilities->finalized());
+}
+
+Result<const std::vector<net::AdjEntry>*> MemFetch::GetAdjacency(
+    graph::NodeId node) {
+  ++stats_.adjacency_requests;
+  if (node >= graph_->num_nodes()) {
+    return Status::InvalidArgument("MemFetch: node out of range");
+  }
+  adj_scratch_.clear();
+  for (const graph::AdjacentEdge& adj : graph_->Neighbors(node)) {
+    net::AdjEntry e;
+    e.neighbor = adj.neighbor;
+    e.w = graph_->edge(adj.edge).w;
+    // MemFetch has no facility file; encode only the count so the expansion
+    // knows whether to ask for the list.
+    e.fac.count =
+        static_cast<uint16_t>(facilities_->OnEdge(adj.edge).size());
+    adj_scratch_.push_back(e);
+  }
+  return &adj_scratch_;
+}
+
+Result<const std::vector<net::FacilityOnEdge>*> MemFetch::GetFacilities(
+    graph::EdgeKey edge, const net::FacRef& ref) {
+  (void)ref;
+  ++stats_.facility_requests;
+  MCN_ASSIGN_OR_RETURN(graph::EdgeId eid, graph_->FindEdge(edge.u, edge.v));
+  fac_scratch_.clear();
+  for (graph::FacilityId f : facilities_->OnEdge(eid)) {
+    fac_scratch_.push_back(net::FacilityOnEdge{f, (*facilities_)[f].frac});
+  }
+  return &fac_scratch_;
+}
+
+Result<FetchProvider::SeedInfo> MemFetch::GetSeedInfo(
+    const graph::Location& q) {
+  if (q.is_node()) return SeedInfo{};
+  graph::EdgeKey key = q.edge();
+  MCN_ASSIGN_OR_RETURN(graph::EdgeId eid, graph_->FindEdge(key.u, key.v));
+  SeedInfo info;
+  info.edge_costs = graph_->edge(eid).w;
+  for (graph::FacilityId f : facilities_->OnEdge(eid)) {
+    info.facilities.push_back(net::FacilityOnEdge{f, (*facilities_)[f].frac});
+  }
+  return info;
+}
+
+}  // namespace mcn::expand

@@ -1,0 +1,152 @@
+// FetchProvider: the data-access seam between the incremental expansions and
+// the network. Three implementations:
+//
+//  * DirectFetch  — every request goes to the NetworkReader (through the
+//                   buffer pool). d expansions sharing one DirectFetch is
+//                   exactly LSA: the same record may be read up to d times.
+//  * CachedFetch  — a query-lifetime shared cache in front of the reader:
+//                   each adjacency record and each facility record is
+//                   fetched at most once per query. This realizes CEA's
+//                   information sharing (paper §IV-B; DESIGN.md §3).
+//  * MemFetch     — serves everything from the in-memory graph; zero I/O.
+#ifndef MCN_EXPAND_FETCH_PROVIDER_H_
+#define MCN_EXPAND_FETCH_PROVIDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mcn/common/result.h"
+#include "mcn/graph/facility.h"
+#include "mcn/graph/location.h"
+#include "mcn/graph/multi_cost_graph.h"
+#include "mcn/net/format.h"
+#include "mcn/net/network_reader.h"
+
+namespace mcn::expand {
+
+/// Abstract access to adjacency and facility records during a query.
+class FetchProvider {
+ public:
+  struct Stats {
+    /// Logical requests.
+    uint64_t adjacency_requests = 0;
+    uint64_t facility_requests = 0;
+    /// Requests served by the underlying store (== requests for
+    /// DirectFetch; <= requests for CachedFetch; 0 for MemFetch).
+    uint64_t adjacency_fetches = 0;
+    uint64_t facility_fetches = 0;
+  };
+
+  virtual ~FetchProvider() = default;
+
+  virtual int num_costs() const = 0;
+  virtual uint32_t num_nodes() const = 0;
+  virtual uint32_t num_facilities() const = 0;
+
+  /// Adjacency entries of `node`. The returned pointer stays valid until the
+  /// next GetAdjacency call on this provider.
+  virtual Result<const std::vector<net::AdjEntry>*> GetAdjacency(
+      graph::NodeId node) = 0;
+
+  /// Facility list of `edge` (whose adjacency entry carried `ref`). The
+  /// returned pointer stays valid until the next GetFacilities call.
+  virtual Result<const std::vector<net::FacilityOnEdge>*> GetFacilities(
+      graph::EdgeKey edge, const net::FacRef& ref) = 0;
+
+  /// Data needed to seed expansions at `q`: the edge's cost vector and its
+  /// facility list (empty for node locations).
+  struct SeedInfo {
+    graph::CostVector edge_costs;
+    std::vector<net::FacilityOnEdge> facilities;
+  };
+  virtual Result<SeedInfo> GetSeedInfo(const graph::Location& q) = 0;
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+ protected:
+  Stats stats_;
+};
+
+/// LSA-style pass-through provider.
+class DirectFetch : public FetchProvider {
+ public:
+  explicit DirectFetch(const net::NetworkReader* reader);
+
+  int num_costs() const override { return reader_->num_costs(); }
+  uint32_t num_nodes() const override { return reader_->num_nodes(); }
+  uint32_t num_facilities() const override {
+    return reader_->num_facilities();
+  }
+
+  Result<const std::vector<net::AdjEntry>*> GetAdjacency(
+      graph::NodeId node) override;
+  Result<const std::vector<net::FacilityOnEdge>*> GetFacilities(
+      graph::EdgeKey edge, const net::FacRef& ref) override;
+  Result<SeedInfo> GetSeedInfo(const graph::Location& q) override;
+
+ private:
+  const net::NetworkReader* reader_;
+  std::vector<net::AdjEntry> adj_scratch_;
+  std::vector<net::FacilityOnEdge> fac_scratch_;
+};
+
+/// CEA-style caching provider: each record is fetched from the reader at
+/// most once per provider lifetime (i.e. per query).
+class CachedFetch : public FetchProvider {
+ public:
+  explicit CachedFetch(const net::NetworkReader* reader);
+
+  int num_costs() const override { return reader_->num_costs(); }
+  uint32_t num_nodes() const override { return reader_->num_nodes(); }
+  uint32_t num_facilities() const override {
+    return reader_->num_facilities();
+  }
+
+  Result<const std::vector<net::AdjEntry>*> GetAdjacency(
+      graph::NodeId node) override;
+  Result<const std::vector<net::FacilityOnEdge>*> GetFacilities(
+      graph::EdgeKey edge, const net::FacRef& ref) override;
+  Result<SeedInfo> GetSeedInfo(const graph::Location& q) override;
+
+  size_t cached_nodes() const { return adj_cache_.size(); }
+  size_t cached_edges() const { return fac_cache_.size(); }
+
+ private:
+  const net::NetworkReader* reader_;
+  std::unordered_map<graph::NodeId, std::vector<net::AdjEntry>> adj_cache_;
+  std::unordered_map<graph::EdgeKey, std::vector<net::FacilityOnEdge>,
+                     graph::EdgeKeyHash>
+      fac_cache_;
+};
+
+/// In-memory provider over MultiCostGraph + FacilitySet (no disk at all).
+class MemFetch : public FetchProvider {
+ public:
+  MemFetch(const graph::MultiCostGraph* graph,
+           const graph::FacilitySet* facilities);
+
+  int num_costs() const override { return graph_->num_costs(); }
+  uint32_t num_nodes() const override { return graph_->num_nodes(); }
+  uint32_t num_facilities() const override {
+    return static_cast<uint32_t>(facilities_->size());
+  }
+
+  Result<const std::vector<net::AdjEntry>*> GetAdjacency(
+      graph::NodeId node) override;
+  Result<const std::vector<net::FacilityOnEdge>*> GetFacilities(
+      graph::EdgeKey edge, const net::FacRef& ref) override;
+  Result<SeedInfo> GetSeedInfo(const graph::Location& q) override;
+
+ private:
+  const graph::MultiCostGraph* graph_;
+  const graph::FacilitySet* facilities_;
+  std::vector<net::AdjEntry> adj_scratch_;
+  std::vector<net::FacilityOnEdge> fac_scratch_;
+};
+
+}  // namespace mcn::expand
+
+#endif  // MCN_EXPAND_FETCH_PROVIDER_H_

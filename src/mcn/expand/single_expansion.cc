@@ -1,0 +1,118 @@
+#include "mcn/expand/single_expansion.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "mcn/common/macros.h"
+
+namespace mcn::expand {
+
+void FacilityFilter::Add(graph::EdgeKey edge, graph::FacilityId fac) {
+  auto [it, inserted] = fac_edges_.emplace(fac, edge);
+  if (!inserted) return;  // already present
+  edges_[edge].push_back(fac);
+}
+
+bool FacilityFilter::Remove(graph::FacilityId fac) {
+  auto it = fac_edges_.find(fac);
+  if (it == fac_edges_.end()) return false;
+  graph::EdgeKey edge = it->second;
+  fac_edges_.erase(it);
+  auto eit = edges_.find(edge);
+  MCN_DCHECK(eit != edges_.end());
+  auto& vec = eit->second;
+  vec.erase(std::find(vec.begin(), vec.end(), fac));
+  if (vec.empty()) edges_.erase(eit);
+  return true;
+}
+
+bool FacilityFilter::Allows(const graph::EdgeKey& edge,
+                            graph::FacilityId fac) const {
+  auto it = fac_edges_.find(fac);
+  return it != fac_edges_.end() && it->second == edge;
+}
+
+SingleExpansion::SingleExpansion(int cost_index, FetchProvider* fetch)
+    : cost_index_(cost_index), fetch_(fetch) {
+  MCN_CHECK(fetch != nullptr);
+  MCN_CHECK(cost_index >= 0 && cost_index < fetch->num_costs());
+  node_dist_.assign(fetch->num_nodes(),
+                    std::numeric_limits<double>::infinity());
+  node_settled_.assign(fetch->num_nodes(), false);
+  fac_dist_.assign(fetch->num_facilities(),
+                   std::numeric_limits<double>::infinity());
+  fac_settled_.assign(fetch->num_facilities(), false);
+}
+
+void SingleExpansion::PushNode(graph::NodeId v, double key) {
+  if (node_settled_[v] || key >= node_dist_[v]) return;
+  node_dist_[v] = key;
+  heap_.push(HeapItem{key, v});
+  ++stats_.heap_pushes;
+}
+
+void SingleExpansion::PushFacility(graph::FacilityId f, double key) {
+  if (fac_settled_[f] || key >= fac_dist_[f]) return;
+  fac_dist_[f] = key;
+  heap_.push(HeapItem{key, kFacilityTag | f});
+  ++stats_.heap_pushes;
+}
+
+void SingleExpansion::SeedNode(graph::NodeId v, double cost) {
+  PushNode(v, cost);
+}
+
+void SingleExpansion::SeedFacility(graph::FacilityId f, double cost) {
+  PushFacility(f, cost);
+}
+
+Status SingleExpansion::ExpandNode(graph::NodeId v, double key) {
+  MCN_ASSIGN_OR_RETURN(const auto* entries, fetch_->GetAdjacency(v));
+  for (const net::AdjEntry& e : *entries) {
+    double w = e.w[cost_index_];
+    PushNode(e.neighbor, key + w);
+    if (e.fac.count == 0) continue;
+
+    graph::EdgeKey edge(v, e.neighbor);
+    if (filter_ != nullptr && !filter_->ContainsEdge(edge)) continue;
+
+    MCN_ASSIGN_OR_RETURN(const auto* facs, fetch_->GetFacilities(edge, e.fac));
+    for (const net::FacilityOnEdge& fe : *facs) {
+      if (filter_ != nullptr && !filter_->Allows(edge, fe.facility)) continue;
+      // fe.frac is measured from the canonical endpoint edge.u.
+      double frac_from_v = (v == edge.u) ? fe.frac : 1.0 - fe.frac;
+      PushFacility(fe.facility, key + frac_from_v * w);
+    }
+  }
+  return Status::OK();
+}
+
+Result<ExpansionEvent> SingleExpansion::Step() {
+  while (!heap_.empty()) {
+    HeapItem item = heap_.top();
+    heap_.pop();
+    ++stats_.heap_pops;
+    if (item.tagged_id & kFacilityTag) {
+      graph::FacilityId f =
+          static_cast<graph::FacilityId>(item.tagged_id & 0xFFFFFFFFu);
+      if (fac_settled_[f] || item.key > fac_dist_[f]) continue;  // stale
+      fac_settled_[f] = true;
+      ++stats_.facilities_settled;
+      return ExpansionEvent{ExpansionEvent::Type::kFacility, f, item.key};
+    }
+    graph::NodeId v = static_cast<graph::NodeId>(item.tagged_id);
+    if (node_settled_[v] || item.key > node_dist_[v]) continue;  // stale
+    node_settled_[v] = true;
+    ++stats_.nodes_settled;
+    MCN_RETURN_IF_ERROR(ExpandNode(v, item.key));
+    return ExpansionEvent{ExpansionEvent::Type::kNode, v, item.key};
+  }
+  return ExpansionEvent{ExpansionEvent::Type::kExhausted, 0, 0.0};
+}
+
+double SingleExpansion::FrontierKey() const {
+  if (heap_.empty()) return std::numeric_limits<double>::infinity();
+  return heap_.top().key;
+}
+
+}  // namespace mcn::expand

@@ -1,0 +1,124 @@
+// SingleExpansion: one incremental nearest-neighbor network expansion for a
+// single cost type (the NE technique of Papadias et al. [1], paper §II-C):
+// a lazy-deletion Dijkstra that treats facilities on traversed edges as
+// search targets and reports them in non-decreasing cost order.
+//
+// During the shrinking stage the expansion is given a FacilityFilter: the
+// facility records of non-candidate edges are not read at all, and only
+// candidate facilities are en-heaped (paper §IV-A "enhancements").
+#ifndef MCN_EXPAND_SINGLE_EXPANSION_H_
+#define MCN_EXPAND_SINGLE_EXPANSION_H_
+
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "mcn/common/result.h"
+#include "mcn/expand/fetch_provider.h"
+#include "mcn/graph/location.h"
+#include "mcn/graph/multi_cost_graph.h"
+
+namespace mcn::expand {
+
+/// What a Step() produced.
+struct ExpansionEvent {
+  enum class Type { kNode, kFacility, kExhausted };
+  Type type = Type::kExhausted;
+  uint32_t id = 0;    // node id or facility id
+  double cost = 0.0;  // distance w.r.t. this expansion's cost type
+};
+
+/// The shrinking-stage candidate set, addressed by edge so expansions can
+/// decide — while scanning an adjacency entry — whether the edge's facility
+/// record is worth reading.
+class FacilityFilter {
+ public:
+  void Add(graph::EdgeKey edge, graph::FacilityId fac);
+  /// Removes an eliminated candidate; returns false if it was not present.
+  bool Remove(graph::FacilityId fac);
+
+  bool ContainsEdge(const graph::EdgeKey& edge) const {
+    return edges_.find(edge) != edges_.end();
+  }
+  bool Allows(const graph::EdgeKey& edge, graph::FacilityId fac) const;
+  size_t num_facilities() const { return fac_edges_.size(); }
+  bool empty() const { return fac_edges_.empty(); }
+
+ private:
+  std::unordered_map<graph::EdgeKey, std::vector<graph::FacilityId>,
+                     graph::EdgeKeyHash>
+      edges_;
+  std::unordered_map<graph::FacilityId, graph::EdgeKey> fac_edges_;
+};
+
+/// Incremental NN expansion for one cost type over a FetchProvider.
+class SingleExpansion {
+ public:
+  struct Stats {
+    uint64_t nodes_settled = 0;
+    uint64_t facilities_settled = 0;
+    uint64_t heap_pushes = 0;
+    uint64_t heap_pops = 0;
+  };
+
+  /// `fetch` must outlive the expansion and is typically shared among the d
+  /// expansions of a query.
+  SingleExpansion(int cost_index, FetchProvider* fetch);
+
+  /// Seeding (before the first Step): the query location and, when it lies
+  /// on an edge, the direct along-edge facility distances.
+  void SeedNode(graph::NodeId v, double cost);
+  void SeedFacility(graph::FacilityId f, double cost);
+
+  /// Advances by one settled element: returns the next settled node or
+  /// facility (in non-decreasing cost order), or kExhausted.
+  Result<ExpansionEvent> Step();
+
+  /// Smallest key in the heap (a lower bound on every future event's cost);
+  /// +infinity when exhausted.
+  double FrontierKey() const;
+
+  bool exhausted() const { return heap_.empty(); }
+
+  /// nullptr = no filter (growing stage: every facility is en-heaped).
+  void set_filter(const FacilityFilter* filter) { filter_ = filter; }
+
+  int cost_index() const { return cost_index_; }
+  const Stats& stats() const { return stats_; }
+
+  bool NodeSettled(graph::NodeId v) const { return node_settled_[v]; }
+  bool FacilitySettled(graph::FacilityId f) const { return fac_settled_[f]; }
+
+ private:
+  struct HeapItem {
+    double key;
+    uint64_t tagged_id;  // bit kFacilityTag marks facilities
+
+    bool operator>(const HeapItem& o) const {
+      if (key != o.key) return key > o.key;
+      return tagged_id > o.tagged_id;  // deterministic tie-break
+    }
+  };
+  static constexpr uint64_t kFacilityTag = 1ull << 32;
+
+  void PushNode(graph::NodeId v, double key);
+  void PushFacility(graph::FacilityId f, double key);
+  /// Settles node `v`: fetches its adjacency, relaxes neighbors, en-heaps
+  /// facilities on incident edges (subject to the filter).
+  Status ExpandNode(graph::NodeId v, double key);
+
+  int cost_index_;
+  FetchProvider* fetch_;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap_;
+  std::vector<double> node_dist_;
+  std::vector<bool> node_settled_;
+  std::vector<double> fac_dist_;
+  std::vector<bool> fac_settled_;
+  const FacilityFilter* filter_ = nullptr;
+  Stats stats_;
+};
+
+}  // namespace mcn::expand
+
+#endif  // MCN_EXPAND_SINGLE_EXPANSION_H_

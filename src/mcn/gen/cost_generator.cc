@@ -1,0 +1,173 @@
+#include "mcn/gen/cost_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "mcn/common/macros.h"
+
+namespace mcn::gen {
+
+std::string_view ToString(CostDistribution dist) {
+  switch (dist) {
+    case CostDistribution::kIndependent:
+      return "independent";
+    case CostDistribution::kCorrelated:
+      return "correlated";
+    case CostDistribution::kAntiCorrelated:
+      return "anti-correlated";
+  }
+  return "?";
+}
+
+Result<CostDistribution> ParseCostDistribution(std::string_view name) {
+  if (name == "independent" || name == "ind") {
+    return CostDistribution::kIndependent;
+  }
+  if (name == "correlated" || name == "corr") {
+    return CostDistribution::kCorrelated;
+  }
+  if (name == "anti-correlated" || name == "anti" ||
+      name == "anticorrelated") {
+    return CostDistribution::kAntiCorrelated;
+  }
+  return Status::InvalidArgument("unknown cost distribution: " +
+                                 std::string(name));
+}
+
+graph::CostVector GenerateEdgeCosts(Random& rng, CostDistribution dist,
+                                    int num_costs, double base) {
+  MCN_DCHECK(num_costs >= 1 && num_costs <= graph::kMaxCostTypes);
+  graph::CostVector w(num_costs);
+  switch (dist) {
+    case CostDistribution::kIndependent: {
+      for (int i = 0; i < num_costs; ++i) {
+        w[i] = base * rng.UniformDouble(0.5, 1.5);
+      }
+      break;
+    }
+    case CostDistribution::kCorrelated: {
+      double shared = rng.UniformDouble(0.5, 1.5);
+      for (int i = 0; i < num_costs; ++i) {
+        double factor = shared + rng.UniformDouble(-0.1, 0.1);
+        w[i] = base * std::max(0.05, factor);
+      }
+      break;
+    }
+    case CostDistribution::kAntiCorrelated: {
+      // Normalized exponentials on the simplex (sum of factors == d): one
+      // low factor forces the others high.
+      double sum = 0.0;
+      for (int i = 0; i < num_costs; ++i) {
+        w[i] = rng.Exponential();
+        sum += w[i];
+      }
+      for (int i = 0; i < num_costs; ++i) {
+        double factor = 0.05 + 0.95 * num_costs * (w[i] / sum);
+        w[i] = base * factor;
+      }
+      break;
+    }
+  }
+  return w;
+}
+
+CostFieldModel::CostFieldModel(CostDistribution dist, int num_costs,
+                               uint64_t seed)
+    : dist_(dist), num_costs_(num_costs) {
+  MCN_CHECK(num_costs >= 1 && num_costs <= graph::kMaxCostTypes);
+  Random rng(seed);
+  // One smooth field per cost type, plus a shared field (index num_costs_)
+  // for the correlated model.
+  constexpr int kWaves = 6;
+  waves_.resize(num_costs_ + 1);
+  for (auto& field : waves_) {
+    field.reserve(kWaves);
+    for (int w = 0; w < kWaves; ++w) {
+      Wave wave;
+      double freq = rng.UniformDouble(1.0, 5.0);
+      double angle = rng.UniformDouble(0.0, 6.283185307179586);
+      wave.kx = freq * std::cos(angle);
+      wave.ky = freq * std::sin(angle);
+      wave.phase = rng.UniformDouble(0.0, 6.283185307179586);
+      wave.amplitude = rng.UniformDouble(0.3, 0.8) / std::sqrt(kWaves);
+      field.push_back(wave);
+    }
+  }
+}
+
+double CostFieldModel::Field(int cost, double x, double y) const {
+  double v = 0.0;
+  for (const Wave& w : waves_[cost]) {
+    v += w.amplitude *
+         std::cos(6.283185307179586 * (w.kx * x + w.ky * y) + w.phase);
+  }
+  return v;  // roughly in [-1.2, 1.2]
+}
+
+graph::CostVector CostFieldModel::FactorsAt(double x, double y,
+                                            Random& rng) const {
+  graph::CostVector f(num_costs_);
+  switch (dist_) {
+    case CostDistribution::kIndependent: {
+      for (int i = 0; i < num_costs_; ++i) {
+        // Smooth field + local jitter, mapped to a positive factor ~1.
+        double g = Field(i, x, y) + rng.UniformDouble(-0.3, 0.3);
+        f[i] = std::max(0.05, 1.0 + 0.6 * g);
+      }
+      break;
+    }
+    case CostDistribution::kCorrelated: {
+      double g = Field(num_costs_, x, y) + rng.UniformDouble(-0.15, 0.15);
+      double shared = std::max(0.05, 1.0 + 0.6 * g);
+      for (int i = 0; i < num_costs_; ++i) {
+        f[i] = std::max(0.05, shared + rng.UniformDouble(-0.08, 0.08));
+      }
+      break;
+    }
+    case CostDistribution::kAntiCorrelated: {
+      // Softmax over the per-type fields at this location: where one cost
+      // type is cheap, the others are expensive; the per-location factor
+      // sum is exactly d, so the anti-correlation survives path sums.
+      constexpr double kSharpness = 2.2;
+      double sum = 0.0;
+      for (int i = 0; i < num_costs_; ++i) {
+        double g = Field(i, x, y) + rng.UniformDouble(-0.2, 0.2);
+        f[i] = std::exp(-kSharpness * g);  // cheap where the field is high
+        sum += f[i];
+      }
+      for (int i = 0; i < num_costs_; ++i) {
+        f[i] = std::max(0.02, num_costs_ * f[i] / sum);
+      }
+      break;
+    }
+  }
+  return f;
+}
+
+Result<graph::MultiCostGraph> BuildMultiCostGraph(
+    const Topology& topology, const CostGenOptions& options) {
+  if (options.num_costs < 1 || options.num_costs > graph::kMaxCostTypes) {
+    return Status::InvalidArgument("num_costs out of range");
+  }
+  Random rng(options.seed);
+  CostFieldModel model(options.distribution, options.num_costs,
+                       rng.Next());
+  graph::MultiCostGraph g(options.num_costs);
+  for (auto [x, y] : topology.coords) g.AddNode(x, y);
+  for (size_t e = 0; e < topology.edges.size(); ++e) {
+    auto [u, v] = topology.edges[e];
+    // Guard against zero-length edges (coincident jittered coordinates).
+    double base = std::max(topology.EdgeLength(e), 1e-9);
+    double mx = 0.5 * (topology.coords[u].first + topology.coords[v].first);
+    double my =
+        0.5 * (topology.coords[u].second + topology.coords[v].second);
+    graph::CostVector factors = model.FactorsAt(mx, my, rng);
+    auto added = g.AddEdge(u, v, factors.Scaled(base));
+    MCN_RETURN_IF_ERROR(added.status());
+  }
+  g.Finalize();
+  return g;
+}
+
+}  // namespace mcn::gen

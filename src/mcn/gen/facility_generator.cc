@@ -1,0 +1,117 @@
+#include "mcn/gen/facility_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "mcn/common/macros.h"
+
+namespace mcn::gen {
+namespace {
+
+/// Uniform bucket grid over edge midpoints for nearest-edge snapping.
+class EdgeGrid {
+ public:
+  EdgeGrid(const graph::MultiCostGraph& g, uint32_t side) : side_(side) {
+    buckets_.resize(static_cast<size_t>(side) * side);
+    for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+      const graph::EdgeRecord& er = g.edge(e);
+      double mx = 0.5 * (g.x(er.u) + g.x(er.v));
+      double my = 0.5 * (g.y(er.u) + g.y(er.v));
+      buckets_[Index(mx, my)].push_back(e);
+    }
+  }
+
+  /// A random edge near (x, y): the bucket of the point, or the nearest
+  /// non-empty bucket ring.
+  graph::EdgeId Sample(double x, double y, Random& rng) const {
+    int cx = Clamp(x);
+    int cy = Clamp(y);
+    for (int radius = 0; radius < static_cast<int>(side_); ++radius) {
+      // Collect candidates on the square ring at this radius.
+      const std::vector<graph::EdgeId>* best = nullptr;
+      size_t total = 0;
+      for (int dy = -radius; dy <= radius; ++dy) {
+        for (int dx = -radius; dx <= radius; ++dx) {
+          if (std::max(std::abs(dx), std::abs(dy)) != radius) continue;
+          int bx = cx + dx, by = cy + dy;
+          if (bx < 0 || by < 0 || bx >= static_cast<int>(side_) ||
+              by >= static_cast<int>(side_)) {
+            continue;
+          }
+          const auto& bucket = buckets_[by * side_ + bx];
+          if (bucket.empty()) continue;
+          total += bucket.size();
+          if (best == nullptr || rng.Uniform(total) < bucket.size()) {
+            best = &bucket;
+          }
+        }
+      }
+      if (best != nullptr) {
+        return (*best)[rng.Uniform(best->size())];
+      }
+    }
+    MCN_CHECK(false);  // at least one bucket is non-empty
+    return 0;
+  }
+
+ private:
+  int Clamp(double v) const {
+    int c = static_cast<int>(v * side_);
+    return std::clamp(c, 0, static_cast<int>(side_) - 1);
+  }
+  size_t Index(double x, double y) const {
+    return static_cast<size_t>(Clamp(y)) * side_ + Clamp(x);
+  }
+
+  uint32_t side_;
+  std::vector<std::vector<graph::EdgeId>> buckets_;
+};
+
+}  // namespace
+
+Result<graph::FacilitySet> GenerateFacilities(
+    const graph::MultiCostGraph& g, const FacilityGenOptions& options) {
+  if (!g.finalized()) {
+    return Status::FailedPrecondition("GenerateFacilities: graph not final");
+  }
+  if (g.num_edges() == 0) {
+    return Status::InvalidArgument("GenerateFacilities: graph has no edges");
+  }
+  if (options.num_clusters < 1) {
+    return Status::InvalidArgument("GenerateFacilities: need >= 1 cluster");
+  }
+  Random rng(options.seed);
+
+  uint32_t side = static_cast<uint32_t>(
+      std::clamp(std::sqrt(g.num_edges() / 8.0), 1.0, 256.0));
+  EdgeGrid grid(g, side);
+
+  std::vector<std::pair<double, double>> centers;
+  centers.reserve(options.num_clusters);
+  for (int c = 0; c < options.num_clusters; ++c) {
+    graph::NodeId v = static_cast<graph::NodeId>(rng.Uniform(g.num_nodes()));
+    centers.emplace_back(g.x(v), g.y(v));
+  }
+
+  graph::FacilitySet facilities;
+  for (uint32_t i = 0; i < options.count; ++i) {
+    const auto& [cx, cy] = centers[rng.Uniform(centers.size())];
+    double x = cx + rng.Gaussian(0.0, options.cluster_sigma);
+    double y = cy + rng.Gaussian(0.0, options.cluster_sigma);
+    graph::EdgeId e = grid.Sample(x, y, rng);
+    facilities.Add(e, rng.NextDouble());
+  }
+  facilities.Finalize();
+  return facilities;
+}
+
+graph::Location RandomLocation(const graph::MultiCostGraph& g, Random& rng) {
+  MCN_CHECK(g.num_edges() > 0);
+  graph::EdgeId e = static_cast<graph::EdgeId>(rng.Uniform(g.num_edges()));
+  const graph::EdgeRecord& er = g.edge(e);
+  return graph::Location::OnEdge(graph::EdgeKey(er.u, er.v),
+                                 rng.NextDouble());
+}
+
+}  // namespace mcn::gen

@@ -1,0 +1,38 @@
+// Facility and query-location generation per the paper's setup (§VI): the
+// facility set P forms Gaussian clusters around random network nodes
+// ("most facilities are located around specific locations in a city");
+// query locations are uniform over the network edges.
+#ifndef MCN_GEN_FACILITY_GENERATOR_H_
+#define MCN_GEN_FACILITY_GENERATOR_H_
+
+#include <cstdint>
+
+#include "mcn/common/random.h"
+#include "mcn/common/result.h"
+#include "mcn/graph/facility.h"
+#include "mcn/graph/location.h"
+#include "mcn/graph/multi_cost_graph.h"
+
+namespace mcn::gen {
+
+struct FacilityGenOptions {
+  uint32_t count = 100000;
+  int num_clusters = 10;
+  /// Standard deviation of the spatial Gaussian, in coordinate units
+  /// (the network spans [0,1]^2).
+  double cluster_sigma = 0.05;
+  uint64_t seed = 4242;
+};
+
+/// Generates `count` facilities in `num_clusters` Gaussian clusters
+/// centered at random nodes, snapped to nearby edges. Returns a finalized
+/// FacilitySet.
+Result<graph::FacilitySet> GenerateFacilities(
+    const graph::MultiCostGraph& g, const FacilityGenOptions& options);
+
+/// A uniform random location on a random edge (query sampling).
+graph::Location RandomLocation(const graph::MultiCostGraph& g, Random& rng);
+
+}  // namespace mcn::gen
+
+#endif  // MCN_GEN_FACILITY_GENERATOR_H_

@@ -1,0 +1,191 @@
+#include "mcn/gen/road_network_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "mcn/common/macros.h"
+#include "mcn/common/random.h"
+
+namespace mcn::gen {
+
+double Topology::EdgeLength(size_t e) const {
+  auto [u, v] = edges[e];
+  double dx = coords[u].first - coords[v].first;
+  double dy = coords[u].second - coords[v].second;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+namespace {
+
+/// Grid helper: intersection ids are row * m + col.
+struct GridEdge {
+  uint32_t a;
+  uint32_t b;
+};
+
+/// Randomized DFS spanning tree over the m x m grid; returns tree edges and
+/// marks them in `in_tree` (indexed like `all_edges`).
+std::vector<uint32_t> SpanningTree(uint32_t m,
+                                   const std::vector<GridEdge>& all_edges,
+                                   Random& rng) {
+  uint32_t n = m * m;
+  // Adjacency over candidate edges.
+  std::vector<std::vector<uint32_t>> adj(n);
+  for (uint32_t e = 0; e < all_edges.size(); ++e) {
+    adj[all_edges[e].a].push_back(e);
+    adj[all_edges[e].b].push_back(e);
+  }
+  std::vector<bool> visited(n, false);
+  std::vector<uint32_t> tree;
+  tree.reserve(n - 1);
+  std::vector<uint32_t> stack;
+  uint32_t start = static_cast<uint32_t>(rng.Uniform(n));
+  stack.push_back(start);
+  visited[start] = true;
+  while (!stack.empty()) {
+    uint32_t v = stack.back();
+    // Random unvisited neighbor; backtrack when none.
+    rng.Shuffle(adj[v]);
+    bool advanced = false;
+    for (uint32_t e : adj[v]) {
+      uint32_t w = all_edges[e].a == v ? all_edges[e].b : all_edges[e].a;
+      if (!visited[w]) {
+        visited[w] = true;
+        tree.push_back(e);
+        stack.push_back(w);
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) stack.pop_back();
+  }
+  MCN_CHECK(tree.size() == n - 1);
+  return tree;
+}
+
+}  // namespace
+
+Result<Topology> GenerateRoadNetwork(const RoadNetworkOptions& options) {
+  const uint32_t n = options.target_nodes;
+  const uint32_t e = options.target_edges;
+  if (n < 4) {
+    return Status::InvalidArgument("road network needs >= 4 nodes");
+  }
+  if (e < n - 1) {
+    return Status::InvalidArgument(
+        "road network needs >= nodes-1 edges (connectivity)");
+  }
+
+  // Pick the intersection-grid side m (DESIGN.md §3): aim for roughly half
+  // the nodes being intersections (the rest become polyline chain nodes),
+  // growing m if the requested cycle count needs more grid edges.
+  //   kept  = m^2 + e - n   (inter-intersection edges)
+  //   need: m^2 - 1 <= kept <= 2m(m-1)  and  m^2 <= n
+  uint32_t m = static_cast<uint32_t>(std::sqrt(n / 2.0));
+  m = std::max<uint32_t>(m, 2);
+  while (static_cast<uint64_t>(m) * m <= n) {
+    uint64_t kept = static_cast<uint64_t>(m) * m + e - n;
+    if (kept <= 2ull * m * (m - 1)) break;
+    ++m;
+  }
+  if (static_cast<uint64_t>(m) * m > n) {
+    return Status::InvalidArgument(
+        "edge/node ratio too dense for a road-like topology");
+  }
+  const uint32_t kept =
+      static_cast<uint32_t>(static_cast<uint64_t>(m) * m + e - n);
+
+  Random rng(options.seed);
+
+  // Candidate grid edges (right + down neighbors).
+  std::vector<GridEdge> all_edges;
+  all_edges.reserve(2ull * m * (m - 1));
+  for (uint32_t r = 0; r < m; ++r) {
+    for (uint32_t c = 0; c < m; ++c) {
+      uint32_t v = r * m + c;
+      if (c + 1 < m) all_edges.push_back({v, v + 1});
+      if (r + 1 < m) all_edges.push_back({v, v + m});
+    }
+  }
+
+  // Connectivity first, then random extra edges up to `kept`.
+  std::vector<uint32_t> tree = SpanningTree(m, all_edges, rng);
+  std::vector<bool> used(all_edges.size(), false);
+  for (uint32_t t : tree) used[t] = true;
+  std::vector<uint32_t> pool;
+  for (uint32_t i = 0; i < all_edges.size(); ++i) {
+    if (!used[i]) pool.push_back(i);
+  }
+  uint32_t extras = kept - (m * m - 1);
+  MCN_CHECK(extras <= pool.size());
+  rng.Shuffle(pool);
+  std::vector<uint32_t> kept_edges = tree;
+  kept_edges.insert(kept_edges.end(), pool.begin(), pool.begin() + extras);
+
+  // Subdivide: distribute (e - kept) extra segments over the kept edges.
+  std::vector<uint32_t> segments(kept, 1);
+  for (uint32_t t = 0; t < e - kept; ++t) {
+    ++segments[rng.Uniform(kept)];
+  }
+
+  Topology topo;
+  topo.coords.reserve(n);
+  topo.edges.reserve(e);
+  const double cell = 1.0 / m;
+  for (uint32_t r = 0; r < m; ++r) {
+    for (uint32_t c = 0; c < m; ++c) {
+      double x = (c + 0.5 + options.jitter * rng.UniformDouble(-0.5, 0.5)) *
+                 cell;
+      double y = (r + 0.5 + options.jitter * rng.UniformDouble(-0.5, 0.5)) *
+                 cell;
+      topo.coords.emplace_back(x, y);
+    }
+  }
+  for (uint32_t i = 0; i < kept; ++i) {
+    const GridEdge& ge = all_edges[kept_edges[i]];
+    uint32_t s = segments[i];
+    uint32_t prev = ge.a;
+    auto [ax, ay] = topo.coords[ge.a];
+    auto [bx, by] = topo.coords[ge.b];
+    for (uint32_t j = 1; j < s; ++j) {
+      // Chain node along the segment, with slight perpendicular jitter to
+      // mimic road curvature.
+      double t = static_cast<double>(j) / s;
+      double px = ax + t * (bx - ax);
+      double py = ay + t * (by - ay);
+      double ox = -(by - ay), oy = bx - ax;
+      double wiggle = rng.UniformDouble(-0.1, 0.1);
+      topo.coords.emplace_back(px + wiggle * ox, py + wiggle * oy);
+      uint32_t mid = static_cast<uint32_t>(topo.coords.size() - 1);
+      topo.edges.emplace_back(prev, mid);
+      prev = mid;
+    }
+    topo.edges.emplace_back(prev, ge.b);
+  }
+  MCN_CHECK(topo.num_nodes() == n);
+  MCN_CHECK(topo.num_edges() == e);
+
+  // Renumber nodes in spatial (row-band, then x) order so that adjacent
+  // records land on nearby pages — the disk locality a real loader gives.
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    int band_a = static_cast<int>(topo.coords[a].second * m);
+    int band_b = static_cast<int>(topo.coords[b].second * m);
+    if (band_a != band_b) return band_a < band_b;
+    return topo.coords[a].first < topo.coords[b].first;
+  });
+  std::vector<uint32_t> rank(n);
+  for (uint32_t i = 0; i < n; ++i) rank[order[i]] = i;
+  std::vector<std::pair<double, double>> new_coords(n);
+  for (uint32_t i = 0; i < n; ++i) new_coords[rank[i]] = topo.coords[i];
+  topo.coords = std::move(new_coords);
+  for (auto& [u, v] : topo.edges) {
+    u = rank[u];
+    v = rank[v];
+  }
+  return topo;
+}
+
+}  // namespace mcn::gen

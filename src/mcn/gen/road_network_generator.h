@@ -1,0 +1,50 @@
+// Synthetic road-network topology generator. Substitutes for the San
+// Francisco network of the paper's evaluation (174,956 nodes / 223,001
+// edges from Brinkhoff's generator data, not available offline): a jittered
+// grid of intersections, connected by a random spanning tree plus extra
+// cycle edges, with edges subdivided into polyline chains so that the node
+// and edge counts (and hence the degree distribution's heavy share of
+// degree-2 nodes) match the requested totals exactly. See DESIGN.md §3.
+#ifndef MCN_GEN_ROAD_NETWORK_GENERATOR_H_
+#define MCN_GEN_ROAD_NETWORK_GENERATOR_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mcn/common/result.h"
+#include "mcn/graph/multi_cost_graph.h"
+
+namespace mcn::gen {
+
+/// Pure topology (+ planar coordinates in [0,1]^2); costs are assigned
+/// separately by the cost generator.
+struct Topology {
+  std::vector<std::pair<double, double>> coords;
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+
+  uint32_t num_nodes() const {
+    return static_cast<uint32_t>(coords.size());
+  }
+  uint32_t num_edges() const { return static_cast<uint32_t>(edges.size()); }
+
+  double EdgeLength(size_t e) const;
+};
+
+struct RoadNetworkOptions {
+  /// Defaults reproduce the paper's San Francisco network scale.
+  uint32_t target_nodes = 174956;
+  uint32_t target_edges = 223001;
+  /// Coordinate jitter as a fraction of the grid cell size.
+  double jitter = 0.35;
+  uint64_t seed = 42;
+};
+
+/// Generates a connected topology with exactly the requested node and edge
+/// counts. Requires target_nodes >= 4 and
+/// target_nodes - 1 <= target_edges <= ~1.9 * target_nodes.
+Result<Topology> GenerateRoadNetwork(const RoadNetworkOptions& options);
+
+}  // namespace mcn::gen
+
+#endif  // MCN_GEN_ROAD_NETWORK_GENERATOR_H_

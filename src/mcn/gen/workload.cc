@@ -1,0 +1,84 @@
+#include "mcn/gen/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mcn/common/macros.h"
+
+namespace mcn::gen {
+
+ExperimentConfig ExperimentConfig::Scaled(double factor) const {
+  MCN_CHECK(factor > 0.0);
+  ExperimentConfig c = *this;
+  c.nodes = std::max<uint32_t>(64, static_cast<uint32_t>(nodes * factor));
+  c.edges = std::max<uint32_t>(
+      c.nodes + 16, static_cast<uint32_t>(edges * factor));
+  c.facilities =
+      std::max<uint32_t>(16, static_cast<uint32_t>(facilities * factor));
+  return c;
+}
+
+std::string ExperimentConfig::ToString() const {
+  std::string s;
+  s += "nodes=" + std::to_string(nodes);
+  s += " edges=" + std::to_string(edges);
+  s += " |P|=" + std::to_string(facilities);
+  s += " d=" + std::to_string(num_costs);
+  s += " dist=" + std::string(gen::ToString(distribution));
+  s += " buffer=" + std::to_string(buffer_pct) + "%";
+  s += " seed=" + std::to_string(seed);
+  return s;
+}
+
+void Instance::ResetIoState() {
+  pool->Clear();
+  pool->ResetStats();
+  disk.ResetStats();
+}
+
+size_t BufferFrames(double buffer_pct, uint64_t total_pages) {
+  MCN_CHECK(buffer_pct >= 0.0);
+  return static_cast<size_t>(
+      std::llround(buffer_pct / 100.0 * static_cast<double>(total_pages)));
+}
+
+Result<std::unique_ptr<Instance>> BuildInstance(
+    const ExperimentConfig& config) {
+  Random rng(config.seed);
+
+  RoadNetworkOptions road;
+  road.target_nodes = config.nodes;
+  road.target_edges = config.edges;
+  road.seed = rng.Next();
+  MCN_ASSIGN_OR_RETURN(Topology topo, GenerateRoadNetwork(road));
+
+  CostGenOptions costs;
+  costs.num_costs = config.num_costs;
+  costs.distribution = config.distribution;
+  costs.seed = rng.Next();
+  MCN_ASSIGN_OR_RETURN(graph::MultiCostGraph g,
+                       BuildMultiCostGraph(topo, costs));
+
+  FacilityGenOptions fac;
+  fac.count = config.facilities;
+  fac.num_clusters = config.clusters;
+  fac.seed = rng.Next();
+  MCN_ASSIGN_OR_RETURN(graph::FacilitySet facilities,
+                       GenerateFacilities(g, fac));
+
+  auto instance =
+      std::make_unique<Instance>(std::move(g), std::move(facilities));
+  MCN_ASSIGN_OR_RETURN(
+      instance->files,
+      net::BuildNetwork(&instance->disk, instance->graph,
+                        instance->facilities));
+  size_t frames = BufferFrames(config.buffer_pct, instance->files.total_pages);
+  instance->pool =
+      std::make_unique<storage::BufferPool>(&instance->disk, frames);
+  instance->reader = std::make_unique<net::NetworkReader>(
+      instance->files, instance->pool.get());
+  instance->disk.ResetStats();  // build-time writes are not query I/O
+  return instance;
+}
+
+}  // namespace mcn::gen

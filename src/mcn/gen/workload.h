@@ -1,0 +1,76 @@
+// Workload assembly: the paper's experiment configuration (§VI) turned into
+// a built, disk-resident instance — generated road network + clustered
+// facilities, written through the Fig. 2 storage scheme, fronted by an LRU
+// buffer sized as a percentage of the network's pages. Shared by the
+// benchmark harness, the integration tests and the examples.
+#ifndef MCN_GEN_WORKLOAD_H_
+#define MCN_GEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mcn/common/random.h"
+#include "mcn/common/result.h"
+#include "mcn/gen/cost_generator.h"
+#include "mcn/gen/facility_generator.h"
+#include "mcn/graph/facility.h"
+#include "mcn/graph/location.h"
+#include "mcn/graph/multi_cost_graph.h"
+#include "mcn/net/network_builder.h"
+#include "mcn/net/network_reader.h"
+#include "mcn/storage/buffer_pool.h"
+#include "mcn/storage/disk_manager.h"
+
+namespace mcn::gen {
+
+/// One experiment configuration. Defaults are the paper's defaults.
+struct ExperimentConfig {
+  uint32_t nodes = 174956;       ///< San Francisco scale
+  uint32_t edges = 223001;
+  uint32_t facilities = 100000;  ///< |P|
+  int clusters = 10;
+  int num_costs = 4;             ///< d
+  CostDistribution distribution = CostDistribution::kAntiCorrelated;
+  double buffer_pct = 1.0;       ///< LRU buffer, % of the MCN pages
+  uint64_t seed = 7;
+
+  /// Proportionally scaled-down copy (for fast benchmark runs); keeps at
+  /// least a small viable network.
+  ExperimentConfig Scaled(double factor) const;
+
+  std::string ToString() const;
+};
+
+/// A fully built instance (heap-allocated: the pool and reader hold
+/// pointers into it).
+struct Instance {
+  Instance(graph::MultiCostGraph g, graph::FacilitySet f)
+      : graph(std::move(g)), facilities(std::move(f)) {}
+
+  graph::MultiCostGraph graph;
+  graph::FacilitySet facilities;
+  storage::DiskManager disk;
+  net::NetworkFiles files;
+  std::unique_ptr<storage::BufferPool> pool;
+  std::unique_ptr<net::NetworkReader> reader;
+
+  /// Uniform random query location (paper: uniform over the network).
+  graph::Location RandomQueryLocation(Random& rng) const {
+    return RandomLocation(graph, rng);
+  }
+
+  /// Resets buffer contents and all I/O statistics (between runs).
+  void ResetIoState();
+};
+
+/// Buffer capacity in frames for a percentage of `total_pages`.
+size_t BufferFrames(double buffer_pct, uint64_t total_pages);
+
+/// Generates, builds and wires up an instance.
+Result<std::unique_ptr<Instance>> BuildInstance(
+    const ExperimentConfig& config);
+
+}  // namespace mcn::gen
+
+#endif  // MCN_GEN_WORKLOAD_H_

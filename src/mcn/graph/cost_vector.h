@@ -1,0 +1,135 @@
+// CostVector: the d-dimensional edge/path cost vector of a multi-cost
+// network (paper §III). Fixed inline capacity (kMaxCostTypes), runtime
+// dimensionality d in [1, kMaxCostTypes].
+#ifndef MCN_GRAPH_COST_VECTOR_H_
+#define MCN_GRAPH_COST_VECTOR_H_
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <initializer_list>
+#include <string>
+
+#include "mcn/common/macros.h"
+
+namespace mcn::graph {
+
+/// Maximum number of cost types supported (the paper evaluates d in [2,5]).
+inline constexpr int kMaxCostTypes = 8;
+
+/// Small value type holding d non-negative costs.
+class CostVector {
+ public:
+  CostVector() : dim_(0) { values_.fill(0.0); }
+
+  /// d costs, all set to `fill`.
+  explicit CostVector(int dim, double fill = 0.0) : dim_(dim) {
+    MCN_DCHECK(dim >= 0 && dim <= kMaxCostTypes);
+    values_.fill(0.0);
+    for (int i = 0; i < dim; ++i) values_[i] = fill;
+  }
+
+  CostVector(std::initializer_list<double> values)
+      : dim_(static_cast<int>(values.size())) {
+    MCN_DCHECK(values.size() <= kMaxCostTypes);
+    values_.fill(0.0);
+    int i = 0;
+    for (double v : values) values_[i++] = v;
+  }
+
+  int dim() const { return dim_; }
+
+  double operator[](int i) const {
+    MCN_DCHECK(i >= 0 && i < dim_);
+    return values_[i];
+  }
+  double& operator[](int i) {
+    MCN_DCHECK(i >= 0 && i < dim_);
+    return values_[i];
+  }
+
+  /// Strict Pareto dominance: every component <= and at least one <.
+  bool Dominates(const CostVector& o) const {
+    MCN_DCHECK(dim_ == o.dim_);
+    bool strict = false;
+    for (int i = 0; i < dim_; ++i) {
+      if (values_[i] > o.values_[i]) return false;
+      if (values_[i] < o.values_[i]) strict = true;
+    }
+    return strict;
+  }
+
+  /// Weak dominance: every component <=.
+  bool DominatesOrEquals(const CostVector& o) const {
+    MCN_DCHECK(dim_ == o.dim_);
+    for (int i = 0; i < dim_; ++i) {
+      if (values_[i] > o.values_[i]) return false;
+    }
+    return true;
+  }
+
+  bool operator==(const CostVector& o) const {
+    if (dim_ != o.dim_) return false;
+    for (int i = 0; i < dim_; ++i) {
+      if (values_[i] != o.values_[i]) return false;
+    }
+    return true;
+  }
+
+  bool ApproxEquals(const CostVector& o, double eps = 1e-9) const {
+    if (dim_ != o.dim_) return false;
+    for (int i = 0; i < dim_; ++i) {
+      double scale = std::max({1.0, std::fabs(values_[i]),
+                               std::fabs(o.values_[i])});
+      if (std::fabs(values_[i] - o.values_[i]) > eps * scale) return false;
+    }
+    return true;
+  }
+
+  CostVector operator+(const CostVector& o) const {
+    MCN_DCHECK(dim_ == o.dim_);
+    CostVector r(dim_);
+    for (int i = 0; i < dim_; ++i) r.values_[i] = values_[i] + o.values_[i];
+    return r;
+  }
+
+  /// Component-wise scaling (e.g. partial edge weights: frac * w(e)).
+  CostVector Scaled(double s) const {
+    CostVector r(dim_);
+    for (int i = 0; i < dim_; ++i) r.values_[i] = values_[i] * s;
+    return r;
+  }
+
+  double Sum() const {
+    double s = 0;
+    for (int i = 0; i < dim_; ++i) s += values_[i];
+    return s;
+  }
+
+  double MaxComponent() const {
+    double m = 0;
+    for (int i = 0; i < dim_; ++i) m = std::max(m, values_[i]);
+    return m;
+  }
+
+  std::string ToString() const {
+    std::string s = "(";
+    for (int i = 0; i < dim_; ++i) {
+      if (i > 0) s += ", ";
+      s += std::to_string(values_[i]);
+    }
+    s += ")";
+    return s;
+  }
+
+  const double* data() const { return values_.data(); }
+  double* data() { return values_.data(); }
+
+ private:
+  int dim_;
+  std::array<double, kMaxCostTypes> values_;
+};
+
+}  // namespace mcn::graph
+
+#endif  // MCN_GRAPH_COST_VECTOR_H_

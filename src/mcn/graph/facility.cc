@@ -1,0 +1,49 @@
+#include "mcn/graph/facility.h"
+
+#include <algorithm>
+
+#include "mcn/common/macros.h"
+
+namespace mcn::graph {
+
+FacilityId FacilitySet::Add(EdgeId edge, double frac) {
+  MCN_DCHECK(!finalized_);
+  frac = std::clamp(frac, 0.0, 1.0);
+  FacilityId id = static_cast<FacilityId>(facilities_.size());
+  facilities_.push_back(Facility{id, edge, frac});
+  return id;
+}
+
+void FacilitySet::Finalize() {
+  MCN_CHECK(!finalized_);
+  by_edge_.resize(facilities_.size());
+  std::vector<FacilityId> order(facilities_.size());
+  for (FacilityId i = 0; i < facilities_.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](FacilityId a, FacilityId b) {
+    return facilities_[a].edge != facilities_[b].edge
+               ? facilities_[a].edge < facilities_[b].edge
+               : a < b;
+  });
+  uint32_t at = 0;
+  while (at < order.size()) {
+    EdgeId edge = facilities_[order[at]].edge;
+    uint32_t begin = at;
+    while (at < order.size() && facilities_[order[at]].edge == edge) {
+      by_edge_[at] = order[at];
+      ++at;
+    }
+    edge_ranges_[edge] = {begin, at};
+    edges_with_facilities_.push_back(edge);
+  }
+  finalized_ = true;
+}
+
+std::span<const FacilityId> FacilitySet::OnEdge(EdgeId edge) const {
+  MCN_DCHECK(finalized_);
+  auto it = edge_ranges_.find(edge);
+  if (it == edge_ranges_.end()) return {};
+  return {by_edge_.data() + it->second.first,
+          it->second.second - it->second.first};
+}
+
+}  // namespace mcn::graph

@@ -1,0 +1,63 @@
+// Facilities (points of interest) lying on network edges (paper §III:
+// "All facilities p in P fall on the edges of the MCN"; partial edge weights
+// are proportional to the Euclidean split of the edge).
+#ifndef MCN_GRAPH_FACILITY_H_
+#define MCN_GRAPH_FACILITY_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "mcn/common/result.h"
+#include "mcn/graph/multi_cost_graph.h"
+
+namespace mcn::graph {
+
+/// A facility on edge `edge` at fraction `frac` in [0,1] measured from the
+/// edge's canonical endpoint u (so the partial weight from u is
+/// frac * w(e) and from v is (1-frac) * w(e)).
+struct Facility {
+  FacilityId id;
+  EdgeId edge;
+  double frac;
+};
+
+/// The facility set P. Facility ids are dense [0, size).
+class FacilitySet {
+ public:
+  FacilitySet() = default;
+
+  /// Adds a facility on `edge` at `frac`; returns its id. `frac` is clamped
+  /// to [0,1].
+  FacilityId Add(EdgeId edge, double frac);
+
+  size_t size() const { return facilities_.size(); }
+  bool empty() const { return facilities_.empty(); }
+  const Facility& operator[](FacilityId id) const { return facilities_[id]; }
+  const std::vector<Facility>& all() const { return facilities_; }
+
+  /// Builds the per-edge index; must be called after the last Add and
+  /// before OnEdge().
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  /// Ids of the facilities on `edge` (empty if none).
+  std::span<const FacilityId> OnEdge(EdgeId edge) const;
+
+  /// Edges that carry at least one facility.
+  const std::vector<EdgeId>& EdgesWithFacilities() const {
+    return edges_with_facilities_;
+  }
+
+ private:
+  std::vector<Facility> facilities_;
+  bool finalized_ = false;
+  std::unordered_map<EdgeId, std::pair<uint32_t, uint32_t>> edge_ranges_;
+  std::vector<FacilityId> by_edge_;
+  std::vector<EdgeId> edges_with_facilities_;
+};
+
+}  // namespace mcn::graph
+
+#endif  // MCN_GRAPH_FACILITY_H_

@@ -1,0 +1,67 @@
+// Query locations: a point on the network, either exactly at a node or on an
+// edge at a fraction from the edge's canonical endpoint u (paper §III,
+// footnote 3). Edges are addressed by their canonical endpoint pair so that
+// a Location is meaningful both against the in-memory graph and against the
+// disk-resident storage scheme.
+#ifndef MCN_GRAPH_LOCATION_H_
+#define MCN_GRAPH_LOCATION_H_
+
+#include <string>
+
+#include "mcn/common/macros.h"
+#include "mcn/graph/multi_cost_graph.h"
+
+namespace mcn::graph {
+
+/// A point on the network. Value type.
+class Location {
+ public:
+  static Location AtNode(NodeId v) {
+    Location loc;
+    loc.is_node_ = true;
+    loc.node_ = v;
+    return loc;
+  }
+
+  /// `frac` in [0,1], measured from the canonical endpoint `edge.u`.
+  static Location OnEdge(EdgeKey edge, double frac) {
+    MCN_DCHECK(frac >= 0.0 && frac <= 1.0);
+    Location loc;
+    loc.is_node_ = false;
+    loc.edge_ = edge;
+    loc.frac_ = frac;
+    return loc;
+  }
+
+  bool is_node() const { return is_node_; }
+
+  NodeId node() const {
+    MCN_DCHECK(is_node_);
+    return node_;
+  }
+  EdgeKey edge() const {
+    MCN_DCHECK(!is_node_);
+    return edge_;
+  }
+  double frac() const {
+    MCN_DCHECK(!is_node_);
+    return frac_;
+  }
+
+  std::string ToString() const {
+    if (is_node_) return "node " + std::to_string(node_);
+    return "edge (" + std::to_string(edge_.u) + "," +
+           std::to_string(edge_.v) + ") @ " + std::to_string(frac_);
+  }
+
+ private:
+  Location() = default;
+  bool is_node_ = true;
+  NodeId node_ = kInvalidNode;
+  EdgeKey edge_;
+  double frac_ = 0.0;
+};
+
+}  // namespace mcn::graph
+
+#endif  // MCN_GRAPH_LOCATION_H_

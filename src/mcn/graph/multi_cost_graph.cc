@@ -1,0 +1,104 @@
+#include "mcn/graph/multi_cost_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "mcn/common/macros.h"
+
+namespace mcn::graph {
+
+MultiCostGraph::MultiCostGraph(int num_costs) : num_costs_(num_costs) {
+  MCN_CHECK(num_costs >= 1 && num_costs <= kMaxCostTypes);
+}
+
+NodeId MultiCostGraph::AddNode(double x, double y) {
+  MCN_DCHECK(!finalized_);
+  coords_x_.push_back(x);
+  coords_y_.push_back(y);
+  return static_cast<NodeId>(coords_x_.size() - 1);
+}
+
+Result<EdgeId> MultiCostGraph::AddEdge(NodeId a, NodeId b,
+                                       const CostVector& w) {
+  MCN_DCHECK(!finalized_);
+  if (a == b) return Status::InvalidArgument("AddEdge: self loop");
+  if (a >= num_nodes() || b >= num_nodes()) {
+    return Status::InvalidArgument("AddEdge: node out of range");
+  }
+  if (w.dim() != num_costs_) {
+    return Status::InvalidArgument("AddEdge: cost vector has dim " +
+                                   std::to_string(w.dim()) + ", expected " +
+                                   std::to_string(num_costs_));
+  }
+  for (int i = 0; i < w.dim(); ++i) {
+    if (w[i] < 0 || !std::isfinite(w[i])) {
+      return Status::InvalidArgument("AddEdge: costs must be non-negative");
+    }
+  }
+  EdgeKey key(a, b);
+  if (!edge_keys_.insert(key.Pack()).second) {
+    return Status::InvalidArgument(
+        "AddEdge: duplicate edge (" + std::to_string(key.u) + "," +
+        std::to_string(key.v) + "); parallel edges are not representable");
+  }
+  edges_.push_back(EdgeRecord{key.u, key.v, w});
+  return static_cast<EdgeId>(edges_.size() - 1);
+}
+
+void MultiCostGraph::Finalize() {
+  MCN_CHECK(!finalized_);
+  adj_offsets_.assign(num_nodes() + 1, 0);
+  for (const EdgeRecord& e : edges_) {
+    ++adj_offsets_[e.u + 1];
+    ++adj_offsets_[e.v + 1];
+  }
+  for (size_t i = 1; i < adj_offsets_.size(); ++i) {
+    adj_offsets_[i] += adj_offsets_[i - 1];
+  }
+  adj_entries_.resize(adj_offsets_.back());
+  std::vector<uint32_t> cursor(adj_offsets_.begin(), adj_offsets_.end() - 1);
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    const EdgeRecord& rec = edges_[e];
+    adj_entries_[cursor[rec.u]++] = AdjacentEdge{rec.v, e};
+    adj_entries_[cursor[rec.v]++] = AdjacentEdge{rec.u, e};
+  }
+  finalized_ = true;
+}
+
+std::span<const AdjacentEdge> MultiCostGraph::Neighbors(NodeId v) const {
+  MCN_DCHECK(finalized_);
+  MCN_DCHECK(v < num_nodes());
+  return {adj_entries_.data() + adj_offsets_[v],
+          adj_offsets_[v + 1] - adj_offsets_[v]};
+}
+
+Result<EdgeId> MultiCostGraph::FindEdge(NodeId a, NodeId b) const {
+  MCN_DCHECK(finalized_);
+  if (a >= num_nodes() || b >= num_nodes()) {
+    return Status::InvalidArgument("FindEdge: node out of range");
+  }
+  for (const AdjacentEdge& adj : Neighbors(a)) {
+    if (adj.neighbor == b) return adj.edge;
+  }
+  return Status::NotFound("no edge between " + std::to_string(a) + " and " +
+                          std::to_string(b));
+}
+
+double MultiCostGraph::EuclideanDistance(NodeId a, NodeId b) const {
+  double dx = coords_x_[a] - coords_x_[b];
+  double dy = coords_y_[a] - coords_y_[b];
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+uint32_t MultiCostGraph::MaxDegree() const {
+  MCN_DCHECK(finalized_);
+  uint32_t best = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    best = std::max(best,
+                    adj_offsets_[v + 1] - adj_offsets_[v]);
+  }
+  return best;
+}
+
+}  // namespace mcn::graph

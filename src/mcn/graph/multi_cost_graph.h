@@ -1,0 +1,125 @@
+// MultiCostGraph: the in-memory model of a multi-cost network G = {V, E, W}
+// (paper §III): undirected edges, each with a d-dimensional non-negative
+// cost vector; optional planar node coordinates. Facilities and query
+// locations lie *on* edges, addressed by (edge, fraction-from-canonical-u).
+#ifndef MCN_GRAPH_MULTI_COST_GRAPH_H_
+#define MCN_GRAPH_MULTI_COST_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "mcn/common/result.h"
+#include "mcn/graph/cost_vector.h"
+
+namespace mcn::graph {
+
+using NodeId = uint32_t;
+using EdgeId = uint32_t;
+using FacilityId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+inline constexpr EdgeId kInvalidEdge = 0xFFFFFFFFu;
+
+/// Canonical undirected edge key (u < v), packable into 64 bits. Used to
+/// address edges across the disk-resident structures and candidate filters.
+struct EdgeKey {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+
+  EdgeKey() = default;
+  /// Canonicalizes the endpoint order.
+  EdgeKey(NodeId a, NodeId b) : u(a < b ? a : b), v(a < b ? b : a) {}
+
+  uint64_t Pack() const { return (static_cast<uint64_t>(u) << 32) | v; }
+  static EdgeKey Unpack(uint64_t packed) {
+    EdgeKey k;
+    k.u = static_cast<NodeId>(packed >> 32);
+    k.v = static_cast<NodeId>(packed & 0xFFFFFFFFu);
+    return k;
+  }
+
+  bool operator==(const EdgeKey& o) const { return u == o.u && v == o.v; }
+};
+
+struct EdgeKeyHash {
+  size_t operator()(const EdgeKey& k) const {
+    uint64_t x = k.Pack();
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return static_cast<size_t>(x ^ (x >> 31));
+  }
+};
+
+/// One stored undirected edge; endpoints are canonical (u < v).
+struct EdgeRecord {
+  NodeId u;
+  NodeId v;
+  CostVector w;
+
+  /// The endpoint other than `from` (which must be u or v).
+  NodeId Other(NodeId from) const { return from == u ? v : u; }
+};
+
+/// CSR adjacency entry.
+struct AdjacentEdge {
+  NodeId neighbor;
+  EdgeId edge;
+};
+
+/// A growable multi-cost graph. Add nodes/edges, then Finalize() to build
+/// the CSR adjacency before using Neighbors()/FindEdge().
+class MultiCostGraph {
+ public:
+  /// `num_costs` = d, the number of cost types (1..kMaxCostTypes).
+  explicit MultiCostGraph(int num_costs);
+
+  int num_costs() const { return num_costs_; }
+  NodeId num_nodes() const { return static_cast<NodeId>(coords_x_.size()); }
+  EdgeId num_edges() const { return static_cast<EdgeId>(edges_.size()); }
+
+  /// Adds a node with planar coordinates; returns its id.
+  NodeId AddNode(double x, double y);
+
+  /// Adds an undirected edge; endpoints are canonicalized. Rejects self
+  /// loops, out-of-range nodes, wrong-dimension or negative cost vectors,
+  /// and duplicate edges (the storage format addresses edges by endpoint
+  /// pair, so parallel edges are not representable).
+  Result<EdgeId> AddEdge(NodeId a, NodeId b, const CostVector& w);
+
+  /// Builds the CSR adjacency; must be called after the last AddEdge and
+  /// before Neighbors()/FindEdge().
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  std::span<const AdjacentEdge> Neighbors(NodeId v) const;
+  const EdgeRecord& edge(EdgeId e) const { return edges_[e]; }
+
+  /// Edge id by endpoints, or NotFound.
+  Result<EdgeId> FindEdge(NodeId a, NodeId b) const;
+
+  double x(NodeId v) const { return coords_x_[v]; }
+  double y(NodeId v) const { return coords_y_[v]; }
+
+  /// Euclidean distance between two nodes' coordinates.
+  double EuclideanDistance(NodeId a, NodeId b) const;
+
+  /// Maximum node degree (used to validate storage-format limits).
+  uint32_t MaxDegree() const;
+
+ private:
+  int num_costs_;
+  std::vector<double> coords_x_;
+  std::unordered_set<uint64_t> edge_keys_;
+  std::vector<double> coords_y_;
+  std::vector<EdgeRecord> edges_;
+  // CSR.
+  bool finalized_ = false;
+  std::vector<uint32_t> adj_offsets_;
+  std::vector<AdjacentEdge> adj_entries_;
+};
+
+}  // namespace mcn::graph
+
+#endif  // MCN_GRAPH_MULTI_COST_GRAPH_H_

@@ -1,0 +1,231 @@
+#include "mcn/index/bplus_tree.h"
+
+#include <cstring>
+#include <vector>
+
+#include "mcn/common/macros.h"
+#include "mcn/storage/page.h"
+
+namespace mcn::index {
+namespace {
+
+using storage::kPageSize;
+using storage::PageNo;
+
+// Page layouts (fixed-width, little-endian host order; the simulated disk
+// never crosses hosts).
+//
+// Leaf:     [u16 kind=1][u16 count][u32 next_leaf] [count x {u64 key, u64 val}]
+// Internal: [u16 kind=0][u16 count][u32 pad]
+//           [count x u64 key] [(count+1) x u32 child]
+// An internal node routes key k to child i where i is the number of keys < k
+// ... more precisely: child[i] covers keys in [key[i-1], key[i]) with key[-1]
+// = -inf; keys[] holds the smallest key under child[i+1].
+
+constexpr size_t kNodeHeader = 8;
+constexpr uint16_t kLeafKind = 1;
+constexpr uint16_t kInternalKind = 0;
+
+constexpr size_t kLeafCapacity = (kPageSize - kNodeHeader) / 16;  // 255
+constexpr size_t kInternalCapacity =
+    (kPageSize - kNodeHeader - 4) / 12;  // 340 keys, 341 children
+
+template <typename T>
+T Load(const std::byte* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+template <typename T>
+void Store(std::byte* p, T v) {
+  std::memcpy(p, &v, sizeof(T));
+}
+
+uint16_t NodeKind(const std::byte* page) { return Load<uint16_t>(page); }
+uint16_t NodeCount(const std::byte* page) { return Load<uint16_t>(page + 2); }
+
+uint64_t LeafKey(const std::byte* page, size_t i) {
+  return Load<uint64_t>(page + kNodeHeader + i * 16);
+}
+uint64_t LeafValue(const std::byte* page, size_t i) {
+  return Load<uint64_t>(page + kNodeHeader + i * 16 + 8);
+}
+uint32_t LeafNext(const std::byte* page) { return Load<uint32_t>(page + 4); }
+
+uint64_t InternalKey(const std::byte* page, size_t i) {
+  return Load<uint64_t>(page + kNodeHeader + i * 8);
+}
+uint32_t InternalChild(const std::byte* page, size_t count, size_t i) {
+  return Load<uint32_t>(page + kNodeHeader + count * 8 + i * 4);
+}
+
+// Binary search: first index in [0, n) whose key is > `key`; used to pick the
+// child in an internal node.
+size_t UpperBoundInternal(const std::byte* page, size_t n, uint64_t key) {
+  size_t lo = 0, hi = n;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (InternalKey(page, mid) <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// First index in [0, n) whose key is >= `key` in a leaf.
+size_t LowerBoundLeaf(const std::byte* page, size_t n, uint64_t key) {
+  size_t lo = 0, hi = n;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (LeafKey(page, mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+Result<BPlusTree> BPlusTree::BulkLoad(storage::DiskManager* disk,
+                                      storage::FileId file,
+                                      std::span<const Entry> sorted_entries) {
+  MCN_CHECK(disk != nullptr);
+  for (size_t i = 1; i < sorted_entries.size(); ++i) {
+    if (sorted_entries[i - 1].first >= sorted_entries[i].first) {
+      return Status::InvalidArgument(
+          "BulkLoad: keys must be strictly increasing");
+    }
+  }
+
+  std::vector<std::byte> buf(kPageSize);
+
+  // Build the leaf level; record (first_key, page) per node for the parents.
+  struct LevelEntry {
+    uint64_t first_key;
+    PageNo page;
+  };
+  std::vector<LevelEntry> level;
+
+  size_t n = sorted_entries.size();
+  size_t pos = 0;
+  do {
+    size_t take = std::min(kLeafCapacity, n - pos);
+    std::memset(buf.data(), 0, kPageSize);
+    Store<uint16_t>(buf.data(), kLeafKind);
+    Store<uint16_t>(buf.data() + 2, static_cast<uint16_t>(take));
+    Store<uint32_t>(buf.data() + 4, storage::kInvalidPageNo);
+    for (size_t i = 0; i < take; ++i) {
+      Store<uint64_t>(buf.data() + kNodeHeader + i * 16,
+                      sorted_entries[pos + i].first);
+      Store<uint64_t>(buf.data() + kNodeHeader + i * 16 + 8,
+                      sorted_entries[pos + i].second);
+    }
+    MCN_ASSIGN_OR_RETURN(PageNo page, disk->AllocatePage(file));
+    MCN_RETURN_IF_ERROR(disk->WritePage({file, page}, buf.data()));
+    uint64_t first_key = take > 0 ? sorted_entries[pos].first : 0;
+    level.push_back({first_key, page});
+    pos += take;
+  } while (pos < n);
+
+  // Chain the leaves (re-read, set next pointer, re-write).
+  for (size_t i = 0; i + 1 < level.size(); ++i) {
+    MCN_RETURN_IF_ERROR(disk->ReadPage({file, level[i].page}, buf.data()));
+    Store<uint32_t>(buf.data() + 4, level[i + 1].page);
+    MCN_RETURN_IF_ERROR(disk->WritePage({file, level[i].page}, buf.data()));
+  }
+
+  uint32_t height = 1;
+  while (level.size() > 1) {
+    std::vector<LevelEntry> parents;
+    size_t m = level.size();
+    size_t at = 0;
+    while (at < m) {
+      // Children per internal node: up to kInternalCapacity + 1.
+      size_t take = std::min(kInternalCapacity + 1, m - at);
+      std::memset(buf.data(), 0, kPageSize);
+      Store<uint16_t>(buf.data(), kInternalKind);
+      uint16_t nkeys = static_cast<uint16_t>(take - 1);
+      Store<uint16_t>(buf.data() + 2, nkeys);
+      for (size_t i = 0; i < take - 1; ++i) {
+        // Separator i = first key under child i+1.
+        Store<uint64_t>(buf.data() + kNodeHeader + i * 8,
+                        level[at + i + 1].first_key);
+      }
+      for (size_t i = 0; i < take; ++i) {
+        Store<uint32_t>(buf.data() + kNodeHeader + nkeys * 8 + i * 4,
+                        level[at + i].page);
+      }
+      MCN_ASSIGN_OR_RETURN(PageNo page, disk->AllocatePage(file));
+      MCN_RETURN_IF_ERROR(disk->WritePage({file, page}, buf.data()));
+      parents.push_back({level[at].first_key, page});
+      at += take;
+    }
+    level = std::move(parents);
+    ++height;
+  }
+
+  return BPlusTree(file, level[0].page, height, sorted_entries.size());
+}
+
+Result<storage::PageNo> BPlusTree::FindLeaf(storage::BufferPool& pool,
+                                            uint64_t key) const {
+  PageNo page = root_;
+  for (uint32_t depth = 1; depth < height_; ++depth) {
+    MCN_ASSIGN_OR_RETURN(auto guard, pool.Fetch({file_, page}));
+    const std::byte* data = guard.data();
+    if (NodeKind(data) != kInternalKind) {
+      return Status::Corruption("BPlusTree: expected internal node");
+    }
+    size_t count = NodeCount(data);
+    size_t child = UpperBoundInternal(data, count, key);
+    page = InternalChild(data, count, child);
+  }
+  return page;
+}
+
+Result<std::optional<uint64_t>> BPlusTree::Lookup(storage::BufferPool& pool,
+                                                  uint64_t key) const {
+  MCN_ASSIGN_OR_RETURN(PageNo leaf, FindLeaf(pool, key));
+  MCN_ASSIGN_OR_RETURN(auto guard, pool.Fetch({file_, leaf}));
+  const std::byte* data = guard.data();
+  if (NodeKind(data) != kLeafKind) {
+    return Status::Corruption("BPlusTree: expected leaf node");
+  }
+  size_t count = NodeCount(data);
+  size_t i = LowerBoundLeaf(data, count, key);
+  if (i < count && LeafKey(data, i) == key) {
+    return std::optional<uint64_t>(LeafValue(data, i));
+  }
+  return std::optional<uint64_t>(std::nullopt);
+}
+
+Status BPlusTree::ScanRange(
+    storage::BufferPool& pool, uint64_t lo, uint64_t hi,
+    const std::function<bool(uint64_t, uint64_t)>& fn) const {
+  auto leaf_result = FindLeaf(pool, lo);
+  MCN_RETURN_IF_ERROR(leaf_result.status());
+  PageNo leaf = leaf_result.value();
+  while (leaf != storage::kInvalidPageNo) {
+    auto guard_result = pool.Fetch({file_, leaf});
+    MCN_RETURN_IF_ERROR(guard_result.status());
+    const std::byte* data = guard_result.value().data();
+    if (NodeKind(data) != kLeafKind) {
+      return Status::Corruption("BPlusTree: expected leaf node");
+    }
+    size_t count = NodeCount(data);
+    for (size_t i = LowerBoundLeaf(data, count, lo); i < count; ++i) {
+      uint64_t key = LeafKey(data, i);
+      if (key > hi) return Status::OK();
+      if (!fn(key, LeafValue(data, i))) return Status::OK();
+    }
+    leaf = LeafNext(data);
+  }
+  return Status::OK();
+}
+
+}  // namespace mcn::index

@@ -1,0 +1,68 @@
+// A paged, bulk-loaded B+-tree mapping uint64 keys to uint64 values.
+// Implements the paper's "adjacency tree" (node id -> adjacency record
+// position) and "facility tree" (facility id -> containing edge) from the
+// storage scheme of Fig. 2. The network is static, so the tree is built once
+// (bottom-up bulk load) and then read through the BufferPool, which charges
+// each traversed page to the query's I/O budget.
+#ifndef MCN_INDEX_BPLUS_TREE_H_
+#define MCN_INDEX_BPLUS_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <utility>
+
+#include "mcn/common/result.h"
+#include "mcn/storage/buffer_pool.h"
+#include "mcn/storage/disk_manager.h"
+
+namespace mcn::index {
+
+/// Read-only B+-tree handle. Cheap to copy: holds only (file, root, height).
+class BPlusTree {
+ public:
+  using Entry = std::pair<uint64_t, uint64_t>;
+
+  /// Writes a tree for `sorted_entries` (strictly increasing keys) into
+  /// `file` (which should be empty) and returns the handle. Builder I/O goes
+  /// directly to the DiskManager — load-time I/O is not part of query cost.
+  static Result<BPlusTree> BulkLoad(storage::DiskManager* disk,
+                                    storage::FileId file,
+                                    std::span<const Entry> sorted_entries);
+
+  /// Re-opens a previously built tree.
+  BPlusTree(storage::FileId file, storage::PageNo root, uint32_t height,
+            uint64_t size)
+      : file_(file), root_(root), height_(height), size_(size) {}
+
+  /// Point lookup through `pool`. Returns the value or nullopt.
+  Result<std::optional<uint64_t>> Lookup(storage::BufferPool& pool,
+                                         uint64_t key) const;
+
+  /// Calls `fn(key, value)` for every entry with lo <= key <= hi, in key
+  /// order; stops early if `fn` returns false.
+  Status ScanRange(storage::BufferPool& pool, uint64_t lo, uint64_t hi,
+                   const std::function<bool(uint64_t, uint64_t)>& fn) const;
+
+  storage::FileId file() const { return file_; }
+  storage::PageNo root() const { return root_; }
+  /// Number of levels (1 = the root is a leaf).
+  uint32_t height() const { return height_; }
+  /// Number of stored entries.
+  uint64_t size() const { return size_; }
+
+ private:
+  /// Descends to the leaf that may contain `key`; returns its page number.
+  Result<storage::PageNo> FindLeaf(storage::BufferPool& pool,
+                                   uint64_t key) const;
+
+  storage::FileId file_;
+  storage::PageNo root_;
+  uint32_t height_;
+  uint64_t size_;
+};
+
+}  // namespace mcn::index
+
+#endif  // MCN_INDEX_BPLUS_TREE_H_

@@ -1,0 +1,182 @@
+#include "mcn/io/dimacs.h"
+
+#include <fstream>
+#include <iomanip>
+#include <memory>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mcn/common/macros.h"
+
+namespace mcn::io {
+namespace {
+
+Status ParseError(size_t line_no, const std::string& why) {
+  return Status::Corruption("line " + std::to_string(line_no) + ": " + why);
+}
+
+}  // namespace
+
+Status WriteGraph(std::ostream& out, const graph::MultiCostGraph& g) {
+  out << "c mcn extended DIMACS multi-cost network\n";
+  out << "p mcn " << g.num_nodes() << " " << g.num_edges() << " "
+      << g.num_costs() << "\n";
+  out << std::setprecision(17);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    out << "v " << (v + 1) << " " << g.x(v) << " " << g.y(v) << "\n";
+  }
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const graph::EdgeRecord& er = g.edge(e);
+    out << "a " << (er.u + 1) << " " << (er.v + 1);
+    for (int i = 0; i < g.num_costs(); ++i) out << " " << er.w[i];
+    out << "\n";
+  }
+  if (!out.good()) return Status::IOError("stream write failed");
+  return Status::OK();
+}
+
+Result<graph::MultiCostGraph> ReadGraph(std::istream& in) {
+  std::string line;
+  size_t line_no = 0;
+  uint32_t nodes = 0, edges = 0;
+  int d = 0;
+  bool have_header = false;
+  std::vector<std::pair<double, double>> coords;
+  std::unique_ptr<graph::MultiCostGraph> g;
+  uint32_t edges_read = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream ls(line);
+    char kind;
+    ls >> kind;
+    if (kind == 'p') {
+      std::string fmt;
+      ls >> fmt >> nodes >> edges >> d;
+      if (!ls || fmt != "mcn") return ParseError(line_no, "bad problem line");
+      if (d < 1 || d > graph::kMaxCostTypes) {
+        return ParseError(line_no, "unsupported cost count");
+      }
+      coords.assign(nodes, {0.0, 0.0});
+      have_header = true;
+    } else if (kind == 'v') {
+      if (!have_header) return ParseError(line_no, "v before p");
+      uint64_t id;
+      double x, y;
+      ls >> id >> x >> y;
+      if (!ls || id < 1 || id > nodes) {
+        return ParseError(line_no, "bad vertex line");
+      }
+      coords[id - 1] = {x, y};
+    } else if (kind == 'a') {
+      if (!have_header) return ParseError(line_no, "a before p");
+      if (g == nullptr) {
+        g = std::make_unique<graph::MultiCostGraph>(d);
+        for (auto [x, y] : coords) g->AddNode(x, y);
+      }
+      uint64_t u, v;
+      ls >> u >> v;
+      if (!ls || u < 1 || v < 1 || u > nodes || v > nodes) {
+        return ParseError(line_no, "bad arc endpoints");
+      }
+      graph::CostVector w(d);
+      for (int i = 0; i < d; ++i) {
+        ls >> w[i];
+      }
+      if (!ls) return ParseError(line_no, "bad arc costs");
+      auto added = g->AddEdge(static_cast<graph::NodeId>(u - 1),
+                              static_cast<graph::NodeId>(v - 1), w);
+      if (!added.ok()) return ParseError(line_no, added.status().message());
+      ++edges_read;
+    } else {
+      return ParseError(line_no, std::string("unknown line kind '") + kind +
+                                     "'");
+    }
+  }
+  if (!have_header) return Status::Corruption("missing problem line");
+  if (g == nullptr) {
+    g = std::make_unique<graph::MultiCostGraph>(d);
+    for (auto [x, y] : coords) g->AddNode(x, y);
+  }
+  if (edges_read != edges) {
+    return Status::Corruption("edge count mismatch: header says " +
+                              std::to_string(edges) + ", read " +
+                              std::to_string(edges_read));
+  }
+  g->Finalize();
+  return std::move(*g);
+}
+
+Status WriteFacilities(std::ostream& out, const graph::MultiCostGraph& g,
+                       const graph::FacilitySet& facilities) {
+  out << "c mcn facilities: f <u> <v> <frac-from-canonical-u>\n";
+  out << std::setprecision(17);
+  for (const graph::Facility& f : facilities.all()) {
+    const graph::EdgeRecord& er = g.edge(f.edge);
+    out << "f " << (er.u + 1) << " " << (er.v + 1) << " " << f.frac << "\n";
+  }
+  if (!out.good()) return Status::IOError("stream write failed");
+  return Status::OK();
+}
+
+Result<graph::FacilitySet> ReadFacilities(std::istream& in,
+                                          const graph::MultiCostGraph& g) {
+  graph::FacilitySet facilities;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream ls(line);
+    char kind;
+    ls >> kind;
+    if (kind != 'f') return ParseError(line_no, "expected facility line");
+    uint64_t u, v;
+    double frac;
+    ls >> u >> v >> frac;
+    if (!ls || u < 1 || v < 1 || u > g.num_nodes() || v > g.num_nodes() ||
+        frac < 0.0 || frac > 1.0) {
+      return ParseError(line_no, "bad facility line");
+    }
+    auto edge = g.FindEdge(static_cast<graph::NodeId>(u - 1),
+                           static_cast<graph::NodeId>(v - 1));
+    if (!edge.ok()) return ParseError(line_no, "facility on missing edge");
+    facilities.Add(edge.value(), frac);
+  }
+  facilities.Finalize();
+  return facilities;
+}
+
+Status WriteGraphToFile(const std::string& path,
+                        const graph::MultiCostGraph& g) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  return WriteGraph(out, g);
+}
+
+Result<graph::MultiCostGraph> ReadGraphFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ReadGraph(in);
+}
+
+Status WriteFacilitiesToFile(const std::string& path,
+                             const graph::MultiCostGraph& g,
+                             const graph::FacilitySet& facilities) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  return WriteFacilities(out, g, facilities);
+}
+
+Result<graph::FacilitySet> ReadFacilitiesFromFile(
+    const std::string& path, const graph::MultiCostGraph& g) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ReadFacilities(in, g);
+}
+
+}  // namespace mcn::io

@@ -1,0 +1,53 @@
+// Text I/O for multi-cost networks: an extended DIMACS shortest-path
+// format. Lets users run the library on real road networks (e.g. the 9th
+// DIMACS challenge graphs) by merging per-cost .gr files, and exports
+// generated networks for reuse.
+//
+// Format (1-based node ids, like DIMACS):
+//   c <comment>
+//   p mcn <num_nodes> <num_edges> <num_costs>
+//   v <id> <x> <y>                       (optional coordinate lines)
+//   a <u> <v> <w_1> ... <w_d>            (undirected edge, one per edge)
+// Facility files:
+//   c <comment>
+//   f <u> <v> <frac>                     (facility on edge (u,v))
+#ifndef MCN_IO_DIMACS_H_
+#define MCN_IO_DIMACS_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "mcn/common/result.h"
+#include "mcn/graph/facility.h"
+#include "mcn/graph/multi_cost_graph.h"
+
+namespace mcn::io {
+
+/// Writes `g` in the extended DIMACS format (with coordinates).
+Status WriteGraph(std::ostream& out, const graph::MultiCostGraph& g);
+
+/// Parses an extended DIMACS stream into a finalized graph.
+Result<graph::MultiCostGraph> ReadGraph(std::istream& in);
+
+/// Writes the facility set (`f u v frac` lines).
+Status WriteFacilities(std::ostream& out, const graph::MultiCostGraph& g,
+                       const graph::FacilitySet& facilities);
+
+/// Parses facilities against `g` (edges must exist). Returns a finalized
+/// set.
+Result<graph::FacilitySet> ReadFacilities(std::istream& in,
+                                          const graph::MultiCostGraph& g);
+
+/// Convenience file wrappers.
+Status WriteGraphToFile(const std::string& path,
+                        const graph::MultiCostGraph& g);
+Result<graph::MultiCostGraph> ReadGraphFromFile(const std::string& path);
+Status WriteFacilitiesToFile(const std::string& path,
+                             const graph::MultiCostGraph& g,
+                             const graph::FacilitySet& facilities);
+Result<graph::FacilitySet> ReadFacilitiesFromFile(
+    const std::string& path, const graph::MultiCostGraph& g);
+
+}  // namespace mcn::io
+
+#endif  // MCN_IO_DIMACS_H_

@@ -1,0 +1,191 @@
+#include "mcn/mcpp/pareto_paths.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "mcn/common/macros.h"
+
+namespace mcn::mcpp {
+namespace {
+
+/// Arena-allocated search label: a path to `node` with cost vector `costs`,
+/// reconstructed via `parent` chains.
+struct Label {
+  graph::CostVector costs;
+  graph::NodeId node;
+  int32_t parent;  // index into the arena; -1 for the source label
+  bool pruned = false;
+};
+
+bool LexLess(const graph::CostVector& a, const graph::CostVector& b) {
+  for (int i = 0; i < a.dim(); ++i) {
+    if (a[i] != b[i]) return a[i] < b[i];
+  }
+  return false;
+}
+
+/// True when any vector in `set` (indices into `arena`) weakly dominates c.
+bool DominatedOrEqual(const std::vector<Label>& arena,
+                      const std::vector<int32_t>& set,
+                      const graph::CostVector& c, McppStats* stats) {
+  for (int32_t idx : set) {
+    ++stats->dominance_checks;
+    if (arena[idx].costs.DominatesOrEquals(c)) return true;
+  }
+  return false;
+}
+
+/// Removes from `set` the labels strictly dominated by `c`, marking them
+/// pruned.
+void PruneDominated(std::vector<Label>& arena, std::vector<int32_t>& set,
+                    const graph::CostVector& c, McppStats* stats) {
+  size_t keep = 0;
+  for (size_t i = 0; i < set.size(); ++i) {
+    ++stats->dominance_checks;
+    if (c.Dominates(arena[set[i]].costs)) {
+      arena[set[i]].pruned = true;
+    } else {
+      set[keep++] = set[i];
+    }
+  }
+  set.resize(keep);
+}
+
+std::vector<ParetoPath> ExtractPaths(const std::vector<Label>& arena,
+                                     const std::vector<int32_t>& target_set) {
+  std::vector<ParetoPath> paths;
+  paths.reserve(target_set.size());
+  for (int32_t idx : target_set) {
+    ParetoPath p;
+    p.costs = arena[idx].costs;
+    for (int32_t at = idx; at >= 0; at = arena[at].parent) {
+      p.nodes.push_back(arena[at].node);
+    }
+    std::reverse(p.nodes.begin(), p.nodes.end());
+    paths.push_back(std::move(p));
+  }
+  std::sort(paths.begin(), paths.end(),
+            [](const ParetoPath& a, const ParetoPath& b) {
+              return LexLess(a.costs, b.costs);
+            });
+  return paths;
+}
+
+Result<std::vector<ParetoPath>> LabelSetting(const graph::MultiCostGraph& g,
+                                             graph::NodeId source,
+                                             graph::NodeId target,
+                                             const McppOptions& options,
+                                             McppStats* stats) {
+  std::vector<Label> arena;
+  std::vector<std::vector<int32_t>> pareto(g.num_nodes());
+
+  struct HeapEntry {
+    graph::CostVector costs;
+    int32_t label;
+    bool operator>(const HeapEntry& o) const {
+      if (costs == o.costs) return label > o.label;
+      return LexLess(o.costs, costs);
+    }
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      heap;
+
+  arena.push_back(Label{graph::CostVector(g.num_costs(), 0.0), source, -1});
+  ++stats->labels_created;
+  heap.push(HeapEntry{arena[0].costs, 0});
+
+  while (!heap.empty()) {
+    HeapEntry entry = heap.top();
+    heap.pop();
+    // Copy: the arena may reallocate while this label is extended.
+    Label label = arena[entry.label];
+    // Lexicographically later labels cannot dominate earlier settled ones,
+    // so a popped label is final unless already dominated at its node.
+    if (DominatedOrEqual(arena, pareto[label.node], label.costs, stats)) {
+      continue;
+    }
+    if (options.target_pruning &&
+        DominatedOrEqual(arena, pareto[target], label.costs, stats)) {
+      continue;
+    }
+    pareto[label.node].push_back(entry.label);
+    ++stats->labels_settled;
+    if (label.node == target) continue;  // do not extend past the target
+    for (const graph::AdjacentEdge& adj : g.Neighbors(label.node)) {
+      graph::CostVector nc = label.costs + g.edge(adj.edge).w;
+      if (DominatedOrEqual(arena, pareto[adj.neighbor], nc, stats)) continue;
+      if (options.target_pruning &&
+          DominatedOrEqual(arena, pareto[target], nc, stats)) {
+        continue;
+      }
+      if (arena.size() >= options.max_labels) {
+        return Status::OutOfRange("MCPP label budget exceeded");
+      }
+      arena.push_back(Label{nc, adj.neighbor,
+                            static_cast<int32_t>(entry.label)});
+      ++stats->labels_created;
+      heap.push(HeapEntry{nc, static_cast<int32_t>(arena.size() - 1)});
+    }
+  }
+  return ExtractPaths(arena, pareto[target]);
+}
+
+Result<std::vector<ParetoPath>> LabelCorrecting(
+    const graph::MultiCostGraph& g, graph::NodeId source,
+    graph::NodeId target, const McppOptions& options, McppStats* stats) {
+  std::vector<Label> arena;
+  std::vector<std::vector<int32_t>> pareto(g.num_nodes());
+  std::deque<int32_t> queue;  // labels waiting to be extended
+
+  arena.push_back(Label{graph::CostVector(g.num_costs(), 0.0), source, -1});
+  ++stats->labels_created;
+  pareto[source].push_back(0);
+  queue.push_back(0);
+
+  while (!queue.empty()) {
+    int32_t lid = queue.front();
+    queue.pop_front();
+    // Copy: the arena may reallocate while extending.
+    Label label = arena[lid];
+    if (label.pruned) continue;  // superseded since enqueued
+    ++stats->labels_settled;
+    if (label.node == target) continue;
+    for (const graph::AdjacentEdge& adj : g.Neighbors(label.node)) {
+      graph::CostVector nc = label.costs + g.edge(adj.edge).w;
+      if (DominatedOrEqual(arena, pareto[adj.neighbor], nc, stats)) continue;
+      if (arena.size() >= options.max_labels) {
+        return Status::OutOfRange("MCPP label budget exceeded");
+      }
+      PruneDominated(arena, pareto[adj.neighbor], nc, stats);
+      arena.push_back(Label{nc, adj.neighbor, lid});
+      ++stats->labels_created;
+      int32_t nid = static_cast<int32_t>(arena.size() - 1);
+      pareto[adj.neighbor].push_back(nid);
+      queue.push_back(nid);
+    }
+  }
+  return ExtractPaths(arena, pareto[target]);
+}
+
+}  // namespace
+
+Result<std::vector<ParetoPath>> ParetoShortestPaths(
+    const graph::MultiCostGraph& g, graph::NodeId source,
+    graph::NodeId target, const McppOptions& options, McppStats* stats) {
+  if (!g.finalized()) {
+    return Status::FailedPrecondition("MCPP: graph not finalized");
+  }
+  if (source >= g.num_nodes() || target >= g.num_nodes()) {
+    return Status::InvalidArgument("MCPP: node out of range");
+  }
+  McppStats local;
+  McppStats* s = stats != nullptr ? stats : &local;
+  *s = McppStats();
+  if (options.method == Method::kLabelSetting) {
+    return LabelSetting(g, source, target, options, s);
+  }
+  return LabelCorrecting(g, source, target, options, s);
+}
+
+}  // namespace mcn::mcpp

@@ -1,0 +1,56 @@
+// Multi-criteria Pareto path computation (MCPP, paper §II-D): the skyline of
+// *paths* between a source and a destination node in an MCN. Implements the
+// two classic families the paper cites: label-setting (Martins 1984) and
+// label-correcting (Skriver & Andersen 2000). Returned are the distinct
+// Pareto-optimal cost vectors with one witness path each.
+//
+// This is the operations-research sibling of the paper's facility skyline:
+// a complement for route-level questions ("all trade-off routes between two
+// points"), not a substitute for the MCN skyline (see paper §II-D for the
+// three differences).
+#ifndef MCN_MCPP_PARETO_PATHS_H_
+#define MCN_MCPP_PARETO_PATHS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mcn/common/result.h"
+#include "mcn/graph/cost_vector.h"
+#include "mcn/graph/multi_cost_graph.h"
+
+namespace mcn::mcpp {
+
+/// One Pareto-optimal route.
+struct ParetoPath {
+  graph::CostVector costs;
+  std::vector<graph::NodeId> nodes;  // source first, target last
+};
+
+enum class Method { kLabelSetting, kLabelCorrecting };
+
+struct McppOptions {
+  Method method = Method::kLabelSetting;
+  /// Hard cap on created labels; exceeding it returns OutOfRange (Pareto
+  /// sets can grow exponentially in adversarial inputs).
+  size_t max_labels = 5'000'000;
+  /// Prune labels dominated by the target's current Pareto set (admissible;
+  /// label-setting only).
+  bool target_pruning = true;
+};
+
+struct McppStats {
+  uint64_t labels_created = 0;
+  uint64_t labels_settled = 0;
+  uint64_t dominance_checks = 0;
+};
+
+/// All Pareto-optimal s->t paths (distinct cost vectors, one witness each),
+/// sorted lexicographically by cost vector. Empty when t is unreachable.
+Result<std::vector<ParetoPath>> ParetoShortestPaths(
+    const graph::MultiCostGraph& g, graph::NodeId source,
+    graph::NodeId target, const McppOptions& options = {},
+    McppStats* stats = nullptr);
+
+}  // namespace mcn::mcpp
+
+#endif  // MCN_MCPP_PARETO_PATHS_H_

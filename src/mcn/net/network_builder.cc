@@ -1,0 +1,170 @@
+#include "mcn/net/network_builder.h"
+
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mcn/common/macros.h"
+#include "mcn/storage/slotted_page.h"
+
+namespace mcn::net {
+namespace {
+
+using storage::kPageSize;
+
+/// Appends records into consecutive slotted pages of `file`, flushing a page
+/// when the next record does not fit.
+class SlottedFileWriter {
+ public:
+  SlottedFileWriter(storage::DiskManager* disk, storage::FileId file)
+      : disk_(disk), file_(file), buf_(kPageSize, std::byte{0}),
+        builder_(buf_.data()) {}
+
+  /// Appends `record`; outputs its position. Fails if the record can never
+  /// fit in a page.
+  Status Append(std::span<const std::byte> record, RecordPos* pos) {
+    if (record.size() > storage::SlottedPageBuilder::MaxRecordSize()) {
+      return Status::InvalidArgument(
+          "record of " + std::to_string(record.size()) +
+          " bytes exceeds page capacity");
+    }
+    if (!builder_.Fits(record.size())) {
+      MCN_RETURN_IF_ERROR(Flush());
+    }
+    uint16_t slot = 0;
+    MCN_CHECK(builder_.TryAppend(record, &slot));
+    if (pos != nullptr) {
+      pos->page = next_page_;
+      pos->slot = slot;
+    }
+    dirty_ = true;
+    return Status::OK();
+  }
+
+  /// Writes the trailing partial page, if any.
+  Status Finish() {
+    if (dirty_) return Flush();
+    return Status::OK();
+  }
+
+ private:
+  Status Flush() {
+    MCN_ASSIGN_OR_RETURN(storage::PageNo page, disk_->AllocatePage(file_));
+    MCN_CHECK(page == next_page_);
+    MCN_RETURN_IF_ERROR(disk_->WritePage({file_, page}, buf_.data()));
+    ++next_page_;
+    std::memset(buf_.data(), 0, kPageSize);
+    builder_ = storage::SlottedPageBuilder(buf_.data());
+    dirty_ = false;
+    return Status::OK();
+  }
+
+  storage::DiskManager* disk_;
+  storage::FileId file_;
+  std::vector<std::byte> buf_;
+  storage::SlottedPageBuilder builder_;
+  storage::PageNo next_page_ = 0;
+  bool dirty_ = false;
+};
+
+}  // namespace
+
+Result<NetworkFiles> BuildNetwork(storage::DiskManager* disk,
+                                  const graph::MultiCostGraph& graph,
+                                  const graph::FacilitySet& facilities) {
+  MCN_CHECK(disk != nullptr);
+  if (!graph.finalized()) {
+    return Status::FailedPrecondition("BuildNetwork: graph not finalized");
+  }
+  if (!facilities.finalized()) {
+    return Status::FailedPrecondition(
+        "BuildNetwork: facility set not finalized");
+  }
+
+  NetworkFiles files;
+  files.num_nodes = graph.num_nodes();
+  files.num_edges = graph.num_edges();
+  files.num_facilities = static_cast<uint32_t>(facilities.size());
+  files.num_costs = graph.num_costs();
+
+  files.facility_file = disk->CreateFile("facility_file");
+  files.adjacency_file = disk->CreateFile("adjacency_file");
+  storage::FileId adj_tree_file = disk->CreateFile("adjacency_tree");
+  storage::FileId fac_tree_file = disk->CreateFile("facility_tree");
+
+  // 1. Facility file: one record per edge that carries facilities, in edge
+  //    order. Remember each edge's FacRef for the adjacency entries.
+  std::unordered_map<graph::EdgeId, FacRef> edge_fac_refs;
+  {
+    SlottedFileWriter writer(disk, files.facility_file);
+    std::vector<FacilityOnEdge> record;
+    for (graph::EdgeId e : facilities.EdgesWithFacilities()) {
+      record.clear();
+      for (graph::FacilityId f : facilities.OnEdge(e)) {
+        record.push_back(FacilityOnEdge{f, facilities[f].frac});
+      }
+      const graph::EdgeRecord& er = graph.edge(e);
+      std::vector<std::byte> bytes =
+          EncodeFacRecord(graph::EdgeKey(er.u, er.v), record);
+      RecordPos pos;
+      MCN_RETURN_IF_ERROR(writer.Append(bytes, &pos));
+      FacRef ref;
+      ref.page = pos.page;
+      ref.slot = pos.slot;
+      ref.count = static_cast<uint16_t>(record.size());
+      edge_fac_refs[e] = ref;
+    }
+    MCN_RETURN_IF_ERROR(writer.Finish());
+  }
+
+  // 2. Adjacency file: one record per node, in node order.
+  std::vector<index::BPlusTree::Entry> adj_tree_entries;
+  adj_tree_entries.reserve(graph.num_nodes());
+  {
+    SlottedFileWriter writer(disk, files.adjacency_file);
+    std::vector<AdjEntry> entries;
+    for (graph::NodeId v = 0; v < graph.num_nodes(); ++v) {
+      entries.clear();
+      for (const graph::AdjacentEdge& adj : graph.Neighbors(v)) {
+        AdjEntry e;
+        e.neighbor = adj.neighbor;
+        auto it = edge_fac_refs.find(adj.edge);
+        if (it != edge_fac_refs.end()) e.fac = it->second;
+        e.w = graph.edge(adj.edge).w;
+        entries.push_back(e);
+      }
+      std::vector<std::byte> bytes =
+          EncodeAdjRecord(v, entries, graph.num_costs());
+      RecordPos pos;
+      MCN_RETURN_IF_ERROR(writer.Append(bytes, &pos));
+      adj_tree_entries.emplace_back(v, pos.Pack());
+    }
+    MCN_RETURN_IF_ERROR(writer.Finish());
+  }
+
+  // 3. Adjacency tree: node id -> record position.
+  MCN_ASSIGN_OR_RETURN(
+      files.adjacency_tree,
+      index::BPlusTree::BulkLoad(disk, adj_tree_file, adj_tree_entries));
+
+  // 4. Facility tree: facility id -> containing edge (canonical key).
+  std::vector<index::BPlusTree::Entry> fac_tree_entries;
+  fac_tree_entries.reserve(facilities.size());
+  for (graph::FacilityId f = 0; f < facilities.size(); ++f) {
+    const graph::EdgeRecord& er = graph.edge(facilities[f].edge);
+    fac_tree_entries.emplace_back(f, graph::EdgeKey(er.u, er.v).Pack());
+  }
+  MCN_ASSIGN_OR_RETURN(
+      files.facility_tree,
+      index::BPlusTree::BulkLoad(disk, fac_tree_file, fac_tree_entries));
+
+  for (storage::FileId f : {files.adjacency_file, files.facility_file,
+                            adj_tree_file, fac_tree_file}) {
+    MCN_ASSIGN_OR_RETURN(uint32_t pages, disk->NumPages(f));
+    files.total_pages += pages;
+  }
+  return files;
+}
+
+}  // namespace mcn::net

@@ -1,0 +1,46 @@
+// NetworkBuilder: materializes an in-memory MultiCostGraph + FacilitySet as
+// the disk-resident storage scheme of the paper's Fig. 2 (adjacency tree,
+// adjacency file, facility file, facility tree) on a DiskManager.
+#ifndef MCN_NET_NETWORK_BUILDER_H_
+#define MCN_NET_NETWORK_BUILDER_H_
+
+#include <cstdint>
+
+#include "mcn/common/result.h"
+#include "mcn/graph/facility.h"
+#include "mcn/graph/multi_cost_graph.h"
+#include "mcn/index/bplus_tree.h"
+#include "mcn/net/format.h"
+#include "mcn/storage/disk_manager.h"
+
+namespace mcn::net {
+
+/// Handle to a built on-disk network: the four files of Fig. 2 plus the
+/// metadata queries need. Cheap to copy.
+struct NetworkFiles {
+  storage::FileId adjacency_file = 0;
+  storage::FileId facility_file = 0;
+  index::BPlusTree adjacency_tree{0, storage::kInvalidPageNo, 0, 0};
+  index::BPlusTree facility_tree{0, storage::kInvalidPageNo, 0, 0};
+
+  uint32_t num_nodes = 0;
+  uint32_t num_edges = 0;
+  uint32_t num_facilities = 0;
+  int num_costs = 0;
+
+  /// Pages across the four structures; the paper sizes the LRU buffer as a
+  /// percentage of this.
+  uint64_t total_pages = 0;
+};
+
+/// Writes the storage scheme for `graph` + `facilities` into fresh files on
+/// `disk`. Both inputs must be finalized. Build-time writes bypass the
+/// buffer pool (load cost is not query cost). Fails if a node's adjacency
+/// record or an edge's facility record would exceed one page.
+Result<NetworkFiles> BuildNetwork(storage::DiskManager* disk,
+                                  const graph::MultiCostGraph& graph,
+                                  const graph::FacilitySet& facilities);
+
+}  // namespace mcn::net
+
+#endif  // MCN_NET_NETWORK_BUILDER_H_

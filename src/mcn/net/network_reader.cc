@@ -1,0 +1,83 @@
+#include "mcn/net/network_reader.h"
+
+#include <string>
+
+#include "mcn/common/macros.h"
+#include "mcn/storage/slotted_page.h"
+
+namespace mcn::net {
+
+NetworkReader::NetworkReader(const NetworkFiles& files,
+                             storage::BufferPool* pool)
+    : files_(files), pool_(pool) {
+  MCN_CHECK(pool != nullptr);
+}
+
+Status NetworkReader::GetAdjacency(graph::NodeId node,
+                                   std::vector<AdjEntry>* out) const {
+  out->clear();
+  if (node >= files_.num_nodes) {
+    return Status::InvalidArgument("GetAdjacency: node out of range");
+  }
+  MCN_ASSIGN_OR_RETURN(auto pos_value,
+                       files_.adjacency_tree.Lookup(*pool_, node));
+  if (!pos_value.has_value()) {
+    return Status::Corruption("adjacency tree misses node " +
+                              std::to_string(node));
+  }
+  RecordPos pos = RecordPos::Unpack(*pos_value);
+  MCN_ASSIGN_OR_RETURN(auto guard,
+                       pool_->Fetch({files_.adjacency_file, pos.page}));
+  storage::SlottedPageReader page(guard.data());
+  if (pos.slot >= page.count()) {
+    return Status::Corruption("adjacency record slot out of range");
+  }
+  graph::NodeId stored =
+      DecodeAdjRecord(page.Record(pos.slot), files_.num_costs, out);
+  if (stored != node) {
+    return Status::Corruption("adjacency record for node " +
+                              std::to_string(stored) + ", expected " +
+                              std::to_string(node));
+  }
+  return Status::OK();
+}
+
+Status NetworkReader::GetFacilities(const FacRef& ref,
+                                    std::vector<FacilityOnEdge>* out) const {
+  out->clear();
+  if (ref.empty()) return Status::OK();
+  MCN_ASSIGN_OR_RETURN(auto guard,
+                       pool_->Fetch({files_.facility_file, ref.page}));
+  storage::SlottedPageReader page(guard.data());
+  if (ref.slot >= page.count()) {
+    return Status::Corruption("facility record slot out of range");
+  }
+  DecodeFacRecord(page.Record(ref.slot), out);
+  if (out->size() != ref.count) {
+    return Status::Corruption("facility record count mismatch");
+  }
+  return Status::OK();
+}
+
+Result<graph::EdgeKey> NetworkReader::LocateFacilityEdge(
+    graph::FacilityId fac) const {
+  MCN_ASSIGN_OR_RETURN(auto value, files_.facility_tree.Lookup(*pool_, fac));
+  if (!value.has_value()) {
+    return Status::NotFound("facility " + std::to_string(fac) +
+                            " not in facility tree");
+  }
+  return graph::EdgeKey::Unpack(*value);
+}
+
+Result<AdjEntry> NetworkReader::FindEdgeEntry(graph::NodeId a,
+                                              graph::NodeId b) const {
+  std::vector<AdjEntry> entries;
+  MCN_RETURN_IF_ERROR(GetAdjacency(a, &entries));
+  for (const AdjEntry& e : entries) {
+    if (e.neighbor == b) return e;
+  }
+  return Status::NotFound("no edge between " + std::to_string(a) + " and " +
+                          std::to_string(b));
+}
+
+}  // namespace mcn::net

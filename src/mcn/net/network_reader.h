@@ -1,0 +1,55 @@
+// NetworkReader: query-time access to the disk-resident network through the
+// buffer pool. Every call is charged to the pool's hit/miss statistics,
+// which is exactly the I/O model of the paper's experiments.
+#ifndef MCN_NET_NETWORK_READER_H_
+#define MCN_NET_NETWORK_READER_H_
+
+#include <vector>
+
+#include "mcn/common/result.h"
+#include "mcn/graph/multi_cost_graph.h"
+#include "mcn/index/bplus_tree.h"
+#include "mcn/net/format.h"
+#include "mcn/net/network_builder.h"
+#include "mcn/storage/buffer_pool.h"
+
+namespace mcn::net {
+
+/// Read-side handle over a built network. Not thread-safe (shares the pool).
+class NetworkReader {
+ public:
+  /// `pool` must outlive the reader and be backed by the DiskManager the
+  /// network was built on.
+  NetworkReader(const NetworkFiles& files, storage::BufferPool* pool);
+
+  int num_costs() const { return files_.num_costs; }
+  uint32_t num_nodes() const { return files_.num_nodes; }
+  uint32_t num_edges() const { return files_.num_edges; }
+  uint32_t num_facilities() const { return files_.num_facilities; }
+  uint64_t total_pages() const { return files_.total_pages; }
+  storage::BufferPool* pool() const { return pool_; }
+
+  /// Reads `node`'s adjacency record: an adjacency-tree probe plus one
+  /// adjacency-file page fetch. Fills `out` (cleared first).
+  Status GetAdjacency(graph::NodeId node, std::vector<AdjEntry>* out) const;
+
+  /// Reads an edge's facility record via the FacRef stored in an adjacency
+  /// entry. Fills `out` (cleared first).
+  Status GetFacilities(const FacRef& ref,
+                       std::vector<FacilityOnEdge>* out) const;
+
+  /// Facility-tree probe: the edge containing facility `fac`.
+  Result<graph::EdgeKey> LocateFacilityEdge(graph::FacilityId fac) const;
+
+  /// Convenience: the adjacency entry of edge (a, b), found by scanning a's
+  /// record. Used to seed expansions when the query lies on an edge.
+  Result<AdjEntry> FindEdgeEntry(graph::NodeId a, graph::NodeId b) const;
+
+ private:
+  NetworkFiles files_;
+  storage::BufferPool* pool_;
+};
+
+}  // namespace mcn::net
+
+#endif  // MCN_NET_NETWORK_READER_H_

@@ -1,0 +1,58 @@
+#include <algorithm>
+
+#include "mcn/skyline/skyline.h"
+
+namespace mcn::skyline {
+
+std::vector<uint32_t> BlockNestedLoopSkyline(std::span<const Tuple> data,
+                                             SkylineStats* stats) {
+  SkylineStats local;
+  // Window of indices into `data`, pairwise incomparable.
+  std::vector<size_t> window;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const graph::CostVector& v = data[i].values;
+    bool dominated = false;
+    size_t keep = 0;
+    for (size_t w = 0; w < window.size(); ++w) {
+      const graph::CostVector& wv = data[window[w]].values;
+      ++local.dominance_checks;
+      if (wv.Dominates(v)) {
+        dominated = true;
+        // Everything from `w` on survives untouched.
+        for (size_t r = w; r < window.size(); ++r) {
+          window[keep++] = window[r];
+        }
+        break;
+      }
+      ++local.dominance_checks;
+      if (!v.Dominates(wv)) window[keep++] = window[w];
+    }
+    window.resize(keep);
+    if (!dominated) window.push_back(i);
+  }
+  std::vector<uint32_t> result;
+  result.reserve(window.size());
+  std::sort(window.begin(), window.end());
+  for (size_t i : window) result.push_back(data[i].id);
+  if (stats != nullptr) *stats = local;
+  return result;
+}
+
+std::vector<uint32_t> BruteForceSkyline(std::span<const Tuple> data,
+                                        SkylineStats* stats) {
+  SkylineStats local;
+  std::vector<uint32_t> result;
+  for (size_t i = 0; i < data.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < data.size() && !dominated; ++j) {
+      if (i == j) continue;
+      ++local.dominance_checks;
+      dominated = data[j].values.Dominates(data[i].values);
+    }
+    if (!dominated) result.push_back(data[i].id);
+  }
+  if (stats != nullptr) *stats = local;
+  return result;
+}
+
+}  // namespace mcn::skyline

@@ -1,0 +1,43 @@
+// Conventional skyline operators over materialized tuples (paper §II-A).
+// Used by the naive MCN baseline (which first computes every facility's
+// complete cost vector) and available as standalone operators.
+#ifndef MCN_SKYLINE_SKYLINE_H_
+#define MCN_SKYLINE_SKYLINE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mcn/graph/cost_vector.h"
+
+namespace mcn::skyline {
+
+/// A tuple with an id and a d-dimensional value vector (smaller is better).
+struct Tuple {
+  uint32_t id = 0;
+  graph::CostVector values;
+};
+
+struct SkylineStats {
+  uint64_t dominance_checks = 0;
+};
+
+/// Block-nested-loops skyline (Börzsönyi et al.): maintains a window of
+/// incomparable tuples. This in-memory variant keeps the whole window
+/// resident (no overflow file). Output in input order of the survivors.
+std::vector<uint32_t> BlockNestedLoopSkyline(std::span<const Tuple> data,
+                                             SkylineStats* stats = nullptr);
+
+/// Sort-filter-skyline (Chomicki et al.): presort by a monotone score
+/// (component sum) so that no tuple can dominate an earlier one; a single
+/// filtering pass then suffices. Output in the monotone order.
+std::vector<uint32_t> SortFilterSkyline(std::span<const Tuple> data,
+                                        SkylineStats* stats = nullptr);
+
+/// Reference O(n^2) implementation (tests and small inputs).
+std::vector<uint32_t> BruteForceSkyline(std::span<const Tuple> data,
+                                        SkylineStats* stats = nullptr);
+
+}  // namespace mcn::skyline
+
+#endif  // MCN_SKYLINE_SKYLINE_H_

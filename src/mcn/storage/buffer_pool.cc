@@ -1,0 +1,118 @@
+#include "mcn/storage/buffer_pool.h"
+
+#include "mcn/common/macros.h"
+
+namespace mcn::storage {
+
+/// A resident page.
+struct Frame {
+  PageId id;
+  uint32_t pins = 0;
+  std::list<Frame*>::iterator lru_it;
+  bool in_lru = false;
+  std::unique_ptr<std::byte[]> data;
+};
+
+BufferPool::PageGuard& BufferPool::PageGuard::operator=(
+    PageGuard&& o) noexcept {
+  if (this != &o) {
+    Release();
+    pool_ = o.pool_;
+    frame_ = o.frame_;
+    o.pool_ = nullptr;
+    o.frame_ = nullptr;
+  }
+  return *this;
+}
+
+const std::byte* BufferPool::PageGuard::data() const {
+  MCN_DCHECK(frame_ != nullptr);
+  return frame_->data.get();
+}
+
+PageId BufferPool::PageGuard::id() const {
+  MCN_DCHECK(frame_ != nullptr);
+  return frame_->id;
+}
+
+void BufferPool::PageGuard::Release() {
+  if (frame_ != nullptr) {
+    pool_->Unpin(frame_);
+    frame_ = nullptr;
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity_frames)
+    : disk_(disk), capacity_(capacity_frames) {
+  MCN_CHECK(disk != nullptr);
+}
+
+BufferPool::~BufferPool() {
+  // All guards must be released before the pool dies.
+  for (auto& [id, frame] : table_) {
+    MCN_CHECK(frame->pins == 0);
+  }
+}
+
+Result<BufferPool::PageGuard> BufferPool::Fetch(PageId id) {
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    Frame* frame = it->second.get();
+    if (frame->in_lru) {
+      lru_.erase(frame->lru_it);
+      frame->in_lru = false;
+    }
+    ++frame->pins;
+    ++stats_.hits;
+    return PageGuard(this, frame);
+  }
+
+  auto frame_owner = std::make_unique<Frame>();
+  Frame* frame = frame_owner.get();
+  frame->id = id;
+  frame->pins = 1;
+  frame->data = std::make_unique<std::byte[]>(kPageSize);
+  MCN_RETURN_IF_ERROR(disk_->ReadPage(id, frame->data.get()));
+  ++stats_.misses;
+  table_.emplace(id, std::move(frame_owner));
+  TrimToCapacity();
+  return PageGuard(this, frame);
+}
+
+void BufferPool::Unpin(Frame* frame) {
+  MCN_DCHECK(frame->pins > 0);
+  --frame->pins;
+  if (frame->pins == 0) {
+    lru_.push_back(frame);
+    frame->lru_it = std::prev(lru_.end());
+    frame->in_lru = true;
+    TrimToCapacity();
+  }
+}
+
+void BufferPool::TrimToCapacity() {
+  while (table_.size() > capacity_ && !lru_.empty()) {
+    Frame* victim = lru_.front();
+    lru_.pop_front();
+    victim->in_lru = false;
+    ++stats_.evictions;
+    table_.erase(victim->id);
+  }
+}
+
+void BufferPool::SetCapacity(size_t capacity_frames) {
+  capacity_ = capacity_frames;
+  TrimToCapacity();
+}
+
+void BufferPool::Clear() {
+  while (!lru_.empty()) {
+    Frame* victim = lru_.front();
+    lru_.pop_front();
+    victim->in_lru = false;
+    table_.erase(victim->id);
+  }
+}
+
+}  // namespace mcn::storage

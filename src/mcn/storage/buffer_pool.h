@@ -1,0 +1,102 @@
+// BufferPool: an LRU page cache with pinning, sitting between query
+// operators and the DiskManager. This is the paper's "LRU buffer" whose size
+// (0%..2% of the MCN pages) is an experiment parameter (Figs. 9(b)/11(b)).
+#ifndef MCN_STORAGE_BUFFER_POOL_H_
+#define MCN_STORAGE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "mcn/common/result.h"
+#include "mcn/storage/disk_manager.h"
+#include "mcn/storage/page.h"
+
+namespace mcn::storage {
+
+/// Read-only LRU buffer pool. Capacity counts resident frames; pinned frames
+/// can never be evicted and may transiently push residency above capacity
+/// (they are trimmed as soon as they are unpinned). Capacity 0 reproduces the
+/// paper's "no buffer" configuration: every fetch is a disk read.
+class BufferPool {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+
+    uint64_t accesses() const { return hits + misses; }
+  };
+
+  /// RAII pin on a fetched page; the page data stays valid while the guard
+  /// lives. Movable, not copyable.
+  class PageGuard {
+   public:
+    PageGuard() = default;
+    PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
+    PageGuard& operator=(PageGuard&& o) noexcept;
+    ~PageGuard() { Release(); }
+
+    PageGuard(const PageGuard&) = delete;
+    PageGuard& operator=(const PageGuard&) = delete;
+
+    const std::byte* data() const;
+    PageId id() const;
+    bool valid() const { return frame_ != nullptr; }
+
+    /// Drops the pin early.
+    void Release();
+
+   private:
+    friend class BufferPool;
+    PageGuard(BufferPool* pool, struct Frame* frame)
+        : pool_(pool), frame_(frame) {}
+
+    BufferPool* pool_ = nullptr;
+    struct Frame* frame_ = nullptr;
+  };
+
+  /// `disk` must outlive the pool.
+  BufferPool(DiskManager* disk, size_t capacity_frames);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns a pinned guard on the page, reading it from disk on a miss.
+  Result<PageGuard> Fetch(PageId id);
+
+  /// Changes the capacity; evicts unpinned LRU frames to fit.
+  void SetCapacity(size_t capacity_frames);
+  size_t capacity() const { return capacity_; }
+
+  /// Number of resident frames (pinned + cached).
+  size_t resident_frames() const { return table_.size(); }
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+  /// Evicts every unpinned frame (e.g. between benchmark runs).
+  void Clear();
+
+  DiskManager* disk() const { return disk_; }
+
+ private:
+  friend class PageGuard;
+
+  void Unpin(Frame* frame);
+  void TrimToCapacity();
+
+  DiskManager* disk_;
+  size_t capacity_;
+  std::unordered_map<PageId, std::unique_ptr<Frame>, PageIdHash> table_;
+  // Unpinned frames only; front = least recently used.
+  std::list<Frame*> lru_;
+  Stats stats_;
+};
+
+}  // namespace mcn::storage
+
+#endif  // MCN_STORAGE_BUFFER_POOL_H_

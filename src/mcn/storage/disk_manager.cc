@@ -1,0 +1,72 @@
+#include "mcn/storage/disk_manager.h"
+
+#include <cstring>
+
+namespace mcn::storage {
+
+FileId DiskManager::CreateFile(std::string name) {
+  files_.push_back(File{std::move(name), {}});
+  return static_cast<FileId>(files_.size() - 1);
+}
+
+Result<PageNo> DiskManager::AllocatePage(FileId file) {
+  if (file >= files_.size()) {
+    return Status::InvalidArgument("AllocatePage: no such file");
+  }
+  auto& pages = files_[file].pages;
+  pages.emplace_back(kPageSize, std::byte{0});
+  return static_cast<PageNo>(pages.size() - 1);
+}
+
+Status DiskManager::CheckPage(PageId id) const {
+  if (id.file >= files_.size()) {
+    return Status::InvalidArgument("no such file: " + std::to_string(id.file));
+  }
+  if (id.page >= files_[id.file].pages.size()) {
+    return Status::OutOfRange("page " + std::to_string(id.page) +
+                              " out of range for file " +
+                              files_[id.file].name);
+  }
+  return Status::OK();
+}
+
+Status DiskManager::ReadPage(PageId id, std::byte* out) {
+  MCN_RETURN_IF_ERROR(CheckPage(id));
+  std::memcpy(out, files_[id.file].pages[id.page].data(), kPageSize);
+  ++stats_.page_reads;
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId id, const std::byte* data) {
+  MCN_RETURN_IF_ERROR(CheckPage(id));
+  std::memcpy(files_[id.file].pages[id.page].data(), data, kPageSize);
+  ++stats_.page_writes;
+  return Status::OK();
+}
+
+Result<const std::byte*> DiskManager::PageData(PageId id) const {
+  MCN_RETURN_IF_ERROR(CheckPage(id));
+  return files_[id.file].pages[id.page].data();
+}
+
+Result<uint32_t> DiskManager::NumPages(FileId file) const {
+  if (file >= files_.size()) {
+    return Status::InvalidArgument("NumPages: no such file");
+  }
+  return static_cast<uint32_t>(files_[file].pages.size());
+}
+
+size_t DiskManager::TotalPages() const {
+  size_t total = 0;
+  for (const auto& f : files_) total += f.pages.size();
+  return total;
+}
+
+Result<std::string> DiskManager::FileName(FileId file) const {
+  if (file >= files_.size()) {
+    return Status::InvalidArgument("FileName: no such file");
+  }
+  return files_[file].name;
+}
+
+}  // namespace mcn::storage

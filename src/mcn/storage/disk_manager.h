@@ -1,0 +1,83 @@
+// DiskManager: an in-memory simulated disk of paged files with I/O
+// accounting. It substitutes for the physical disk of the paper's testbed;
+// every page read/write is counted so that experiments can report exact I/O
+// numbers and model I/O-dominated running time (see DESIGN.md §3).
+#ifndef MCN_STORAGE_DISK_MANAGER_H_
+#define MCN_STORAGE_DISK_MANAGER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mcn/common/result.h"
+#include "mcn/common/status.h"
+#include "mcn/storage/page.h"
+
+namespace mcn::storage {
+
+/// A set of named paged files stored in memory, with read/write counters.
+/// Not thread-safe (queries in this library are single-threaded, as in the
+/// paper).
+class DiskManager {
+ public:
+  struct Stats {
+    uint64_t page_reads = 0;
+    uint64_t page_writes = 0;
+  };
+
+  DiskManager() = default;
+
+  // Movable but not copyable: page storage may be large.
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+  DiskManager(DiskManager&&) = default;
+  DiskManager& operator=(DiskManager&&) = default;
+
+  /// Creates an empty file and returns its id.
+  FileId CreateFile(std::string name);
+
+  /// Appends a zeroed page to `file` and returns its page number.
+  /// Allocation itself is not counted as an I/O (builders batch their
+  /// writes via WritePage).
+  Result<PageNo> AllocatePage(FileId file);
+
+  /// Copies a full page into `out` (which must hold kPageSize bytes).
+  Status ReadPage(PageId id, std::byte* out);
+
+  /// Overwrites a full page from `data` (kPageSize bytes).
+  Status WritePage(PageId id, const std::byte* data);
+
+  /// Raw, uncounted access to a page's bytes (persistence/tooling only —
+  /// query code must go through the BufferPool so I/O is accounted).
+  Result<const std::byte*> PageData(PageId id) const;
+
+  /// Number of pages currently allocated in `file`.
+  Result<uint32_t> NumPages(FileId file) const;
+
+  /// Total pages across all files (the paper sizes the LRU buffer as a
+  /// percentage of this).
+  size_t TotalPages() const;
+
+  size_t num_files() const { return files_.size(); }
+  Result<std::string> FileName(FileId file) const;
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+ private:
+  struct File {
+    std::string name;
+    std::vector<std::vector<std::byte>> pages;
+  };
+
+  Status CheckPage(PageId id) const;
+
+  std::vector<File> files_;
+  Stats stats_;
+};
+
+}  // namespace mcn::storage
+
+#endif  // MCN_STORAGE_DISK_MANAGER_H_

@@ -1,0 +1,41 @@
+// Page identifiers and constants for the paged storage layer.
+#ifndef MCN_STORAGE_PAGE_H_
+#define MCN_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace mcn::storage {
+
+/// Size of every page in the simulated disk, in bytes.
+inline constexpr uint32_t kPageSize = 4096;
+
+using FileId = uint32_t;
+using PageNo = uint32_t;
+
+inline constexpr PageNo kInvalidPageNo = 0xFFFFFFFFu;
+
+/// Globally unique page address: (file, page number).
+struct PageId {
+  FileId file = 0;
+  PageNo page = kInvalidPageNo;
+
+  bool operator==(const PageId& o) const {
+    return file == o.file && page == o.page;
+  }
+};
+
+struct PageIdHash {
+  size_t operator()(const PageId& id) const {
+    uint64_t v = (static_cast<uint64_t>(id.file) << 32) | id.page;
+    // splitmix-style mix.
+    v = (v ^ (v >> 30)) * 0xBF58476D1CE4E5B9ull;
+    v = (v ^ (v >> 27)) * 0x94D049BB133111EBull;
+    return static_cast<size_t>(v ^ (v >> 31));
+  }
+};
+
+}  // namespace mcn::storage
+
+#endif  // MCN_STORAGE_PAGE_H_

@@ -1,0 +1,84 @@
+#include "mcn/storage/persistence.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "mcn/common/macros.h"
+
+namespace mcn::storage {
+namespace {
+
+constexpr char kMagic[8] = {'M', 'C', 'N', 'D', 'I', 'S', 'K', '1'};
+
+template <typename T>
+void Write(std::ofstream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadValue(std::ifstream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(T));
+  return in.good();
+}
+
+}  // namespace
+
+Status SaveDiskImage(const DiskManager& disk, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.write(kMagic, sizeof(kMagic));
+  Write<uint32_t>(out, static_cast<uint32_t>(disk.num_files()));
+  for (FileId f = 0; f < disk.num_files(); ++f) {
+    MCN_ASSIGN_OR_RETURN(std::string name, disk.FileName(f));
+    Write<uint32_t>(out, static_cast<uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    MCN_ASSIGN_OR_RETURN(uint32_t pages, disk.NumPages(f));
+    Write<uint32_t>(out, pages);
+    for (PageNo p = 0; p < pages; ++p) {
+      MCN_ASSIGN_OR_RETURN(const std::byte* data, disk.PageData({f, p}));
+      out.write(reinterpret_cast<const char*>(data), kPageSize);
+    }
+  }
+  if (!out.good()) return Status::IOError("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<DiskManager> LoadDiskImage(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption(path + ": not an mcn disk image");
+  }
+  uint32_t num_files = 0;
+  if (!ReadValue(in, &num_files) || num_files > 1024) {
+    return Status::Corruption("implausible file count");
+  }
+  DiskManager disk;
+  std::vector<std::byte> buf(kPageSize);
+  for (uint32_t f = 0; f < num_files; ++f) {
+    uint32_t name_len = 0;
+    if (!ReadValue(in, &name_len) || name_len > 4096) {
+      return Status::Corruption("implausible file name length");
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    uint32_t pages = 0;
+    if (!in.good() || !ReadValue(in, &pages)) {
+      return Status::Corruption("truncated file header");
+    }
+    FileId id = disk.CreateFile(std::move(name));
+    for (PageNo p = 0; p < pages; ++p) {
+      in.read(reinterpret_cast<char*>(buf.data()), kPageSize);
+      if (!in.good()) return Status::Corruption("truncated page data");
+      MCN_ASSIGN_OR_RETURN(PageNo got, disk.AllocatePage(id));
+      if (got != p) return Status::Internal("page allocation out of order");
+      MCN_RETURN_IF_ERROR(disk.WritePage({id, p}, buf.data()));
+    }
+  }
+  disk.ResetStats();  // load I/O is not query I/O
+  return disk;
+}
+
+}  // namespace mcn::storage

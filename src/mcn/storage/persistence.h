@@ -1,0 +1,30 @@
+// Persistence for the simulated disk: dump the entire DiskManager image
+// (all paged files) to one real file and load it back, so a built network
+// database can be reused across processes. The companion catalog functions
+// in mcn/net/catalog.h persist the NetworkFiles metadata (file ids, tree
+// roots, counts) needed to reopen the stored structures.
+//
+// Image format (little-endian, host-order — the simulated disk never
+// crosses architectures):
+//   [8]  magic "MCNDISK1"
+//   [u32] num_files
+//   per file: [u32 name_len][name bytes][u32 num_pages][pages raw]
+#ifndef MCN_STORAGE_PERSISTENCE_H_
+#define MCN_STORAGE_PERSISTENCE_H_
+
+#include <string>
+
+#include "mcn/common/result.h"
+#include "mcn/storage/disk_manager.h"
+
+namespace mcn::storage {
+
+/// Writes the full disk image to `path` (overwriting).
+Status SaveDiskImage(const DiskManager& disk, const std::string& path);
+
+/// Reads a disk image previously written by SaveDiskImage.
+Result<DiskManager> LoadDiskImage(const std::string& path);
+
+}  // namespace mcn::storage
+
+#endif  // MCN_STORAGE_PERSISTENCE_H_

@@ -1,0 +1,77 @@
+#include "mcn/storage/slotted_page.h"
+
+#include <cstring>
+
+#include "mcn/common/macros.h"
+
+namespace mcn::storage {
+namespace {
+
+constexpr size_t kHeaderBytes = 4;   // slot_count + free_end
+constexpr size_t kSlotBytes = 4;     // offset + length
+
+uint16_t Load16(const std::byte* p) {
+  uint16_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void Store16(std::byte* p, uint16_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+}  // namespace
+
+SlottedPageBuilder::SlottedPageBuilder(std::byte* page) : page_(page) {
+  Store16(page_, 0);                                    // slot_count
+  Store16(page_ + 2, static_cast<uint16_t>(kPageSize));  // free_end
+}
+
+uint16_t SlottedPageBuilder::count() const { return Load16(page_); }
+
+size_t SlottedPageBuilder::free_bytes() const {
+  uint16_t n = count();
+  uint16_t free_end = Load16(page_ + 2);
+  size_t dir_end = kHeaderBytes + kSlotBytes * n;
+  MCN_DCHECK(free_end >= dir_end);
+  return free_end - dir_end;
+}
+
+bool SlottedPageBuilder::Fits(size_t size) const {
+  return free_bytes() >= size + kSlotBytes;
+}
+
+size_t SlottedPageBuilder::MaxRecordSize() {
+  return kPageSize - kHeaderBytes - kSlotBytes;
+}
+
+bool SlottedPageBuilder::TryAppend(std::span<const std::byte> record,
+                                   uint16_t* slot_out) {
+  if (!Fits(record.size())) return false;
+  uint16_t n = count();
+  uint16_t free_end = Load16(page_ + 2);
+  uint16_t offset = static_cast<uint16_t>(free_end - record.size());
+  if (!record.empty()) {
+    std::memcpy(page_ + offset, record.data(), record.size());
+  }
+  std::byte* slot_entry = page_ + kHeaderBytes + kSlotBytes * n;
+  Store16(slot_entry, offset);
+  Store16(slot_entry + 2, static_cast<uint16_t>(record.size()));
+  Store16(page_, static_cast<uint16_t>(n + 1));
+  Store16(page_ + 2, offset);
+  if (slot_out != nullptr) *slot_out = n;
+  return true;
+}
+
+SlottedPageReader::SlottedPageReader(const std::byte* page) : page_(page) {}
+
+uint16_t SlottedPageReader::count() const { return Load16(page_); }
+
+std::span<const std::byte> SlottedPageReader::Record(uint16_t slot) const {
+  MCN_CHECK(slot < count());
+  const std::byte* slot_entry = page_ + kHeaderBytes + kSlotBytes * slot;
+  uint16_t offset = Load16(slot_entry);
+  uint16_t length = Load16(slot_entry + 2);
+  MCN_CHECK(static_cast<size_t>(offset) + length <= kPageSize);
+  return {page_ + offset, length};
+}
+
+}  // namespace mcn::storage

@@ -1,0 +1,59 @@
+// Slotted page layout: variable-length records addressed by (page, slot).
+// Used by the adjacency file and the facility file of the paper's storage
+// scheme (Fig. 2).
+//
+// Layout:
+//   [u16 slot_count][u16 free_end] [slot_count x {u16 offset, u16 length}]
+//   ... free space ... [records packed towards the end of the page]
+#ifndef MCN_STORAGE_SLOTTED_PAGE_H_
+#define MCN_STORAGE_SLOTTED_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "mcn/storage/page.h"
+
+namespace mcn::storage {
+
+/// Builds a slotted page in a caller-provided kPageSize buffer.
+class SlottedPageBuilder {
+ public:
+  /// `page` must point to kPageSize zeroed bytes.
+  explicit SlottedPageBuilder(std::byte* page);
+
+  /// Appends `record`; returns false when it does not fit. On success,
+  /// `*slot_out` (optional) receives the slot index.
+  bool TryAppend(std::span<const std::byte> record, uint16_t* slot_out);
+
+  /// Whether a record of `size` bytes would fit.
+  bool Fits(size_t size) const;
+
+  uint16_t count() const;
+  size_t free_bytes() const;
+
+  /// Largest record an empty page can hold.
+  static size_t MaxRecordSize();
+
+ private:
+  std::byte* page_;
+};
+
+/// Read-only view over a slotted page.
+class SlottedPageReader {
+ public:
+  /// `page` must point to kPageSize bytes laid out by SlottedPageBuilder.
+  explicit SlottedPageReader(const std::byte* page);
+
+  uint16_t count() const;
+
+  /// Record bytes for `slot`; slot must be < count().
+  std::span<const std::byte> Record(uint16_t slot) const;
+
+ private:
+  const std::byte* page_;
+};
+
+}  // namespace mcn::storage
+
+#endif  // MCN_STORAGE_SLOTTED_PAGE_H_

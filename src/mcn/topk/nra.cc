@@ -1,0 +1,110 @@
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <unordered_map>
+
+#include "mcn/common/macros.h"
+#include "mcn/expand/dijkstra.h"
+#include "mcn/topk/topk.h"
+
+namespace mcn::topk {
+namespace {
+
+struct Partial {
+  graph::CostVector values;
+  uint32_t known_mask = 0;
+  int known_count = 0;
+};
+
+}  // namespace
+
+std::vector<RankedItem> NoRandomAccessTopK(
+    std::span<const skyline::Tuple> data, const algo::AggregateFn& f, int k,
+    NraStats* stats) {
+  MCN_CHECK(k >= 1);
+  NraStats local;
+  if (data.empty()) {
+    if (stats != nullptr) *stats = local;
+    return {};
+  }
+  int d = data[0].values.dim();
+
+  // Ascending per-attribute orderings.
+  std::vector<std::vector<uint32_t>> lists(d);
+  for (int i = 0; i < d; ++i) {
+    lists[i].resize(data.size());
+    std::iota(lists[i].begin(), lists[i].end(), 0);
+    std::stable_sort(lists[i].begin(), lists[i].end(),
+                     [&, i](uint32_t a, uint32_t b) {
+                       return data[a].values[i] < data[b].values[i];
+                     });
+  }
+
+  std::unordered_map<uint32_t, Partial> seen;  // by tuple index
+  // Complete tuples, max-heap of the k best.
+  std::priority_queue<std::pair<double, uint32_t>> best;
+  graph::CostVector frontier(d, 0.0);
+
+  auto kth = [&]() {
+    return static_cast<int>(best.size()) >= k
+               ? best.top().first
+               : expand::kInfCost;
+  };
+
+  size_t pos = 0;
+  for (; pos < data.size(); ++pos) {
+    ++local.rounds;
+    for (int i = 0; i < d; ++i) {
+      uint32_t idx = lists[i][pos];
+      ++local.sorted_accesses;
+      frontier[i] = data[idx].values[i];
+      Partial& p = seen[idx];
+      if (p.known_count == 0) p.values = graph::CostVector(d, 0.0);
+      if (!((p.known_mask >> i) & 1u)) {
+        p.values[i] = data[idx].values[i];
+        p.known_mask |= 1u << i;
+        ++p.known_count;
+        if (p.known_count == d) {
+          double score = f(p.values);
+          if (static_cast<int>(best.size()) < k) {
+            best.push({score, idx});
+          } else if (score < best.top().first) {
+            best.pop();
+            best.push({score, idx});
+          }
+        }
+      }
+    }
+    // Safe-stop test: no incomplete or unseen tuple's lower bound can beat
+    // the current k-th complete score.
+    double kth_score = kth();
+    if (kth_score == expand::kInfCost) continue;
+    bool safe = f(frontier) >= kth_score;  // covers unseen tuples
+    if (safe) {
+      for (const auto& [idx, p] : seen) {
+        if (p.known_count == d) continue;
+        graph::CostVector lb = p.values;
+        for (int i = 0; i < d; ++i) {
+          if (!((p.known_mask >> i) & 1u)) lb[i] = frontier[i];
+        }
+        if (f(lb) < kth_score) {
+          safe = false;
+          break;
+        }
+      }
+    }
+    if (safe) break;
+  }
+
+  std::vector<RankedItem> out;
+  out.reserve(best.size());
+  while (!best.empty()) {
+    out.push_back(RankedItem{data[best.top().second].id, best.top().first});
+    best.pop();
+  }
+  std::reverse(out.begin(), out.end());
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace mcn::topk

@@ -1,0 +1,101 @@
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <unordered_set>
+
+#include "mcn/common/macros.h"
+#include "mcn/topk/topk.h"
+
+namespace mcn::topk {
+namespace {
+
+/// Max-heap of the k best (smallest) scores seen so far.
+struct BestK {
+  explicit BestK(int k) : k(k) {}
+
+  void Offer(uint32_t id, double score) {
+    if (static_cast<int>(heap.size()) < k) {
+      heap.push({score, id});
+    } else if (score < heap.top().first) {
+      heap.pop();
+      heap.push({score, id});
+    }
+  }
+
+  bool full() const { return static_cast<int>(heap.size()) >= k; }
+  double worst() const { return heap.top().first; }
+
+  std::vector<RankedItem> Extract() {
+    std::vector<RankedItem> out;
+    out.reserve(heap.size());
+    while (!heap.empty()) {
+      out.push_back(RankedItem{heap.top().second, heap.top().first});
+      heap.pop();
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+  int k;
+  std::priority_queue<std::pair<double, uint32_t>> heap;
+};
+
+/// Per-attribute ascending orderings of `data` (tuple indices).
+std::vector<std::vector<uint32_t>> BuildSortedLists(
+    std::span<const skyline::Tuple> data, int d) {
+  std::vector<std::vector<uint32_t>> lists(d);
+  for (int i = 0; i < d; ++i) {
+    lists[i].resize(data.size());
+    std::iota(lists[i].begin(), lists[i].end(), 0);
+    std::stable_sort(lists[i].begin(), lists[i].end(),
+                     [&, i](uint32_t a, uint32_t b) {
+                       return data[a].values[i] < data[b].values[i];
+                     });
+  }
+  return lists;
+}
+
+}  // namespace
+
+std::vector<RankedItem> ThresholdAlgorithm(
+    std::span<const skyline::Tuple> data, const algo::AggregateFn& f, int k,
+    TaStats* stats) {
+  MCN_CHECK(k >= 1);
+  TaStats local;
+  if (data.empty()) {
+    if (stats != nullptr) *stats = local;
+    return {};
+  }
+  int d = data[0].values.dim();
+  auto lists = BuildSortedLists(data, d);
+
+  BestK best(k);
+  std::unordered_set<uint32_t> scored;
+  size_t pos = 0;
+  while (pos < data.size()) {
+    ++local.rounds;
+    graph::CostVector threshold(d);
+    for (int i = 0; i < d; ++i) {
+      uint32_t idx = lists[i][pos];
+      ++local.sorted_accesses;
+      threshold[i] = data[idx].values[i];
+      if (scored.insert(idx).second) {
+        ++local.random_accesses;  // fetch the remaining attributes
+        best.Offer(data[idx].id, f(data[idx].values));
+      }
+    }
+    if (best.full() && best.worst() <= f(threshold)) break;
+    ++pos;
+  }
+  if (stats != nullptr) *stats = local;
+  return best.Extract();
+}
+
+std::vector<RankedItem> BruteForceTopK(std::span<const skyline::Tuple> data,
+                                       const algo::AggregateFn& f, int k) {
+  BestK best(k);
+  for (const skyline::Tuple& t : data) best.Offer(t.id, f(t.values));
+  return best.Extract();
+}
+
+}  // namespace mcn::topk

@@ -1,0 +1,59 @@
+// Conventional top-k algorithms over materialized tuples (paper §II-B):
+// Fagin's Threshold Algorithm (TA) with random accesses, and a
+// no-random-access variant. Both assume an increasingly monotone aggregate
+// and minimize it (the paper's convention: lower aggregate cost is better).
+#ifndef MCN_TOPK_TOPK_H_
+#define MCN_TOPK_TOPK_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mcn/algo/common.h"
+#include "mcn/skyline/skyline.h"
+
+namespace mcn::topk {
+
+/// A scored result item.
+struct RankedItem {
+  uint32_t id = 0;
+  double score = 0.0;
+};
+
+struct TaStats {
+  uint64_t sorted_accesses = 0;
+  uint64_t random_accesses = 0;
+  uint64_t rounds = 0;
+};
+
+/// Threshold Algorithm: d sorted lists (ascending per attribute), round-
+/// robin sorted access, random access to complete each encountered tuple,
+/// stop when the k-th best score <= f(t_1,...,t_d) with t_i the key at the
+/// current position of list i. Returns the k smallest-score items
+/// (ascending; fewer if |data| < k).
+std::vector<RankedItem> ThresholdAlgorithm(
+    std::span<const skyline::Tuple> data, const algo::AggregateFn& f, int k,
+    TaStats* stats = nullptr);
+
+struct NraStats {
+  uint64_t sorted_accesses = 0;
+  uint64_t rounds = 0;
+};
+
+/// No-random-access top-k for minimization: only sorted accesses; an item is
+/// reported once fully seen and no other (seen-incomplete or unseen) item's
+/// frontier-based lower bound can beat the current k-th complete score.
+/// (Classic NRA bounds both sides on a finite domain; with unbounded costs
+/// only fully-seen items can be emitted — same safety logic as the paper's
+/// incremental MCN top-k.)
+std::vector<RankedItem> NoRandomAccessTopK(
+    std::span<const skyline::Tuple> data, const algo::AggregateFn& f, int k,
+    NraStats* stats = nullptr);
+
+/// Reference: full scan + sort (tests, baselines).
+std::vector<RankedItem> BruteForceTopK(std::span<const skyline::Tuple> data,
+                                       const algo::AggregateFn& f, int k);
+
+}  // namespace mcn::topk
+
+#endif  // MCN_TOPK_TOPK_H_

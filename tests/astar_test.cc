@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "mcn/expand/astar.h"
+#include "mcn/gen/cost_generator.h"
+#include "mcn/gen/road_network_generator.h"
+#include "test_util.h"
+
+namespace mcn::expand {
+namespace {
+
+graph::MultiCostGraph RoadGraph(uint32_t nodes, uint64_t seed) {
+  gen::RoadNetworkOptions road;
+  road.target_nodes = nodes;
+  road.target_edges = static_cast<uint32_t>(nodes * 1.27);
+  road.seed = seed;
+  auto topo = gen::GenerateRoadNetwork(road).value();
+  gen::CostGenOptions costs;
+  costs.num_costs = 2;
+  costs.distribution = gen::CostDistribution::kIndependent;
+  costs.seed = seed + 1;
+  return gen::BuildMultiCostGraph(topo, costs).value();
+}
+
+TEST(AStarTest, AdmissibleFactorLowerBoundsEveryEdge) {
+  graph::MultiCostGraph g = RoadGraph(500, 3);
+  for (int ci = 0; ci < 2; ++ci) {
+    double factor = AdmissibleCostPerDistance(g, ci);
+    EXPECT_GT(factor, 0.0);
+    for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+      const graph::EdgeRecord& er = g.edge(e);
+      EXPECT_LE(factor * g.EuclideanDistance(er.u, er.v),
+                er.w[ci] + 1e-12);
+    }
+  }
+}
+
+TEST(AStarTest, MatchesDijkstraCosts) {
+  graph::MultiCostGraph g = RoadGraph(800, 4);
+  Random rng(9);
+  for (int ci = 0; ci < 2; ++ci) {
+    double factor = AdmissibleCostPerDistance(g, ci);
+    for (int iter = 0; iter < 10; ++iter) {
+      graph::NodeId s = static_cast<graph::NodeId>(
+          rng.Uniform(g.num_nodes()));
+      graph::NodeId t = static_cast<graph::NodeId>(
+          rng.Uniform(g.num_nodes()));
+      auto dij = ShortestPath(g, ci, s, t);
+      auto ast = AStarShortestPath(g, ci, s, t, factor);
+      ASSERT_EQ(dij.ok(), ast.ok());
+      if (dij.ok()) {
+        EXPECT_NEAR(dij->cost, ast->cost, 1e-9);
+        EXPECT_EQ(ast->nodes.front(), s);
+        EXPECT_EQ(ast->nodes.back(), t);
+      }
+    }
+  }
+}
+
+TEST(AStarTest, ExploresFewerNodesThanDijkstra) {
+  graph::MultiCostGraph g = RoadGraph(3000, 5);
+  double factor = AdmissibleCostPerDistance(g, 0);
+  // Spatially close endpoints (generator sorts node ids spatially).
+  graph::NodeId s = 100, t = 160;
+  AStarStats with;
+  ASSERT_TRUE(AStarShortestPath(g, 0, s, t, factor, &with).ok());
+  AStarStats without;
+  ASSERT_TRUE(AStarShortestPath(g, 0, s, t, 0.0, &without).ok());
+  EXPECT_LT(with.nodes_settled, without.nodes_settled);
+}
+
+TEST(AStarTest, ZeroFactorEqualsDijkstra) {
+  graph::MultiCostGraph g = test::TinyGraph();
+  auto ast = AStarShortestPath(g, 0, 0, 8, 0.0).value();
+  auto dij = ShortestPath(g, 0, 0, 8).value();
+  EXPECT_DOUBLE_EQ(ast.cost, dij.cost);
+}
+
+TEST(AStarTest, ErrorsMatchDijkstra) {
+  graph::MultiCostGraph g(1);
+  g.AddNode(0, 0);
+  g.AddNode(1, 1);
+  g.Finalize();
+  EXPECT_EQ(AStarShortestPath(g, 0, 0, 1, 0.0).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(AStarShortestPath(g, 0, 0, 9, 0.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(AStarShortestPath(g, 0, 0, 1, -1.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AStarTest, DegenerateFactorCases) {
+  // Zero-cost edge forces factor 0 (no positive admissible bound).
+  graph::MultiCostGraph g(1);
+  graph::NodeId a = g.AddNode(0, 0);
+  graph::NodeId b = g.AddNode(1, 0);
+  ASSERT_TRUE(g.AddEdge(a, b, graph::CostVector{0.0}).ok());
+  g.Finalize();
+  EXPECT_EQ(AdmissibleCostPerDistance(g, 0), 0.0);
+
+  // No edges at all.
+  graph::MultiCostGraph empty(1);
+  empty.AddNode(0, 0);
+  empty.Finalize();
+  EXPECT_EQ(AdmissibleCostPerDistance(empty, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace mcn::expand

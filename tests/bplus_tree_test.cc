@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "mcn/common/random.h"
+#include "mcn/index/bplus_tree.h"
+
+namespace mcn::index {
+namespace {
+
+using Entry = BPlusTree::Entry;
+
+class BPlusTreeTest : public ::testing::Test {
+ protected:
+  BPlusTree Build(const std::vector<Entry>& entries) {
+    storage::FileId file = disk_.CreateFile("tree");
+    auto tree = BPlusTree::BulkLoad(&disk_, file, entries);
+    EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+    return tree.value();
+  }
+
+  storage::DiskManager disk_;
+};
+
+TEST_F(BPlusTreeTest, EmptyTree) {
+  BPlusTree tree = Build({});
+  storage::BufferPool pool(&disk_, 16);
+  EXPECT_EQ(tree.height(), 1u);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_FALSE(tree.Lookup(pool, 0).value().has_value());
+  EXPECT_FALSE(tree.Lookup(pool, 12345).value().has_value());
+}
+
+TEST_F(BPlusTreeTest, SingleEntry) {
+  BPlusTree tree = Build({{42, 4242}});
+  storage::BufferPool pool(&disk_, 16);
+  EXPECT_EQ(tree.Lookup(pool, 42).value().value(), 4242u);
+  EXPECT_FALSE(tree.Lookup(pool, 41).value().has_value());
+  EXPECT_FALSE(tree.Lookup(pool, 43).value().has_value());
+}
+
+TEST_F(BPlusTreeTest, RejectsUnsortedKeys) {
+  storage::FileId file = disk_.CreateFile("bad");
+  std::vector<Entry> entries{{2, 0}, {1, 0}};
+  EXPECT_FALSE(BPlusTree::BulkLoad(&disk_, file, entries).ok());
+  std::vector<Entry> dup{{1, 0}, {1, 1}};
+  EXPECT_FALSE(BPlusTree::BulkLoad(&disk_, file, dup).ok());
+}
+
+TEST_F(BPlusTreeTest, MultiLevelLookupAllKeys) {
+  // Force >= 3 levels: 255 entries/leaf, so 100k entries -> ~400 leaves.
+  std::vector<Entry> entries;
+  for (uint64_t k = 0; k < 100000; ++k) entries.push_back({k * 3, k});
+  BPlusTree tree = Build(entries);
+  EXPECT_GE(tree.height(), 3u);
+  storage::BufferPool pool(&disk_, 1024);
+  Random rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t k = rng.Uniform(100000);
+    auto v = tree.Lookup(pool, k * 3).value();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, k);
+    // Keys between stored keys must miss.
+    EXPECT_FALSE(tree.Lookup(pool, k * 3 + 1).value().has_value());
+  }
+}
+
+TEST_F(BPlusTreeTest, MatchesStdMapOnRandomKeys) {
+  Random rng(7);
+  std::map<uint64_t, uint64_t> model;
+  while (model.size() < 5000) {
+    model[rng.Next() % 1000000] = rng.Next();
+  }
+  std::vector<Entry> entries(model.begin(), model.end());
+  BPlusTree tree = Build(entries);
+  storage::BufferPool pool(&disk_, 256);
+  for (int i = 0; i < 3000; ++i) {
+    uint64_t probe = rng.Next() % 1000000;
+    auto got = tree.Lookup(pool, probe).value();
+    auto it = model.find(probe);
+    if (it == model.end()) {
+      EXPECT_FALSE(got.has_value()) << probe;
+    } else {
+      ASSERT_TRUE(got.has_value()) << probe;
+      EXPECT_EQ(*got, it->second);
+    }
+  }
+}
+
+TEST_F(BPlusTreeTest, ScanRangeInOrder) {
+  std::vector<Entry> entries;
+  for (uint64_t k = 0; k < 3000; ++k) entries.push_back({k * 2, k});
+  BPlusTree tree = Build(entries);
+  storage::BufferPool pool(&disk_, 64);
+
+  std::vector<uint64_t> keys;
+  ASSERT_TRUE(tree.ScanRange(pool, 100, 200,
+                             [&](uint64_t k, uint64_t v) {
+                               EXPECT_EQ(v, k / 2);
+                               keys.push_back(k);
+                               return true;
+                             })
+                  .ok());
+  ASSERT_EQ(keys.size(), 51u);  // 100,102,...,200
+  EXPECT_EQ(keys.front(), 100u);
+  EXPECT_EQ(keys.back(), 200u);
+  for (size_t i = 1; i < keys.size(); ++i) EXPECT_LT(keys[i - 1], keys[i]);
+}
+
+TEST_F(BPlusTreeTest, ScanRangeEarlyStop) {
+  std::vector<Entry> entries;
+  for (uint64_t k = 0; k < 1000; ++k) entries.push_back({k, k});
+  BPlusTree tree = Build(entries);
+  storage::BufferPool pool(&disk_, 64);
+  int count = 0;
+  ASSERT_TRUE(tree.ScanRange(pool, 0, 999,
+                             [&](uint64_t, uint64_t) {
+                               return ++count < 10;
+                             })
+                  .ok());
+  EXPECT_EQ(count, 10);
+}
+
+TEST_F(BPlusTreeTest, ScanCrossesLeafBoundaries) {
+  std::vector<Entry> entries;
+  for (uint64_t k = 0; k < 600; ++k) entries.push_back({k, k * 7});
+  BPlusTree tree = Build(entries);  // 600 > 255: at least 3 leaves
+  storage::BufferPool pool(&disk_, 64);
+  uint64_t expected = 0;
+  ASSERT_TRUE(tree.ScanRange(pool, 0, 599,
+                             [&](uint64_t k, uint64_t v) {
+                               EXPECT_EQ(k, expected);
+                               EXPECT_EQ(v, k * 7);
+                               ++expected;
+                               return true;
+                             })
+                  .ok());
+  EXPECT_EQ(expected, 600u);
+}
+
+TEST_F(BPlusTreeTest, LookupsChargeBufferPool) {
+  std::vector<Entry> entries;
+  for (uint64_t k = 0; k < 100000; ++k) entries.push_back({k, k});
+  BPlusTree tree = Build(entries);
+  storage::BufferPool pool(&disk_, 0);  // no caching
+  disk_.ResetStats();
+  tree.Lookup(pool, 50).value();
+  // height page fetches, all misses.
+  EXPECT_EQ(pool.stats().misses, tree.height());
+  EXPECT_EQ(disk_.stats().page_reads, tree.height());
+}
+
+}  // namespace
+}  // namespace mcn::index

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "mcn/common/logging.h"
+#include "mcn/common/macros.h"
+#include "mcn/common/random.h"
+#include "mcn/common/result.h"
+#include "mcn/common/status.h"
+#include "mcn/common/stopwatch.h"
+
+namespace mcn {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kCorruption,
+        StatusCode::kIOError, StatusCode::kFailedPrecondition,
+        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+    EXPECT_NE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::IOError("x"), Status::IOError("x"));
+  EXPECT_FALSE(Status::IOError("x") == Status::IOError("y"));
+  EXPECT_FALSE(Status::IOError("x") == Status::Corruption("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+Result<int> HelperReturnsThroughMacro(bool fail) {
+  auto inner = [&]() -> Result<int> {
+    if (fail) return Status::Internal("inner failed");
+    return 10;
+  };
+  MCN_ASSIGN_OR_RETURN(int v, inner());
+  return v + 1;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(HelperReturnsThroughMacro(false).value(), 11);
+  EXPECT_EQ(HelperReturnsThroughMacro(true).status().code(),
+            StatusCode::kInternal);
+}
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RandomTest, UniformRespectsBound) {
+  Random rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RandomTest, UniformCoversRange) {
+  Random rng(6);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RandomTest, UniformIntInclusiveBounds) {
+  Random rng(7);
+  bool lo_seen = false, hi_seen = false;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    lo_seen |= v == -3;
+    hi_seen |= v == 3;
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(8);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(RandomTest, GaussianMoments) {
+  Random rng(9);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Gaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RandomTest, ExponentialMean) {
+  Random rng(10);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential();
+  EXPECT_NEAR(sum / n, 1.0, 0.05);
+}
+
+TEST(RandomTest, BernoulliRate) {
+  Random rng(11);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RandomTest, ShuffleIsPermutation) {
+  Random rng(12);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RandomTest, ForkDecorrelates) {
+  Random a(13);
+  Random b = a.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeTime) {
+  Stopwatch sw;
+  volatile double x = 0;
+  for (int i = 0; i < 1000; ++i) x = x + std::sqrt(static_cast<double>(i));
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+  EXPECT_GE(sw.ElapsedMillis(), sw.ElapsedSeconds());
+}
+
+
+TEST(LoggingTest, LevelGating) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Below-threshold messages are dropped silently; this must not crash.
+  MCN_LOG(Debug) << "invisible " << 42;
+  MCN_LOG(Error) << "visible error path " << 3.14;
+  SetLogLevel(LogLevel::kDebug);
+  MCN_LOG(Info) << "now visible";
+  SetLogLevel(original);
+}
+
+}  // namespace
+}  // namespace mcn

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "mcn/common/random.h"
+#include "mcn/expand/dijkstra.h"
+#include "test_util.h"
+
+namespace mcn::expand {
+namespace {
+
+using graph::CostVector;
+using graph::EdgeKey;
+using graph::Location;
+using graph::MultiCostGraph;
+using graph::NodeId;
+
+// Bellman-Ford reference for cross-checking.
+std::vector<double> BellmanFord(const MultiCostGraph& g, int ci, NodeId s) {
+  std::vector<double> dist(g.num_nodes(), kInfCost);
+  dist[s] = 0;
+  for (NodeId round = 0; round + 1 < g.num_nodes(); ++round) {
+    bool changed = false;
+    for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+      const graph::EdgeRecord& er = g.edge(e);
+      double w = er.w[ci];
+      if (dist[er.u] + w < dist[er.v]) {
+        dist[er.v] = dist[er.u] + w;
+        changed = true;
+      }
+      if (dist[er.v] + w < dist[er.u]) {
+        dist[er.u] = dist[er.v] + w;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+TEST(DijkstraTest, TinyGraphFromNode) {
+  MultiCostGraph g = test::TinyGraph();
+  auto dist = ShortestPathCosts(g, 0, Location::AtNode(0));
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist[3], 1.0);
+  EXPECT_DOUBLE_EQ(dist[4], 3.0);   // 0-3-4
+  EXPECT_DOUBLE_EQ(dist[1], 4.0);   // direct
+  EXPECT_DOUBLE_EQ(dist[7], 4.0);   // 0-3-4-7
+  auto dist2 = ShortestPathCosts(g, 1, Location::AtNode(0));
+  EXPECT_DOUBLE_EQ(dist2[1], 1.0);
+  EXPECT_DOUBLE_EQ(dist2[6], 3.0);  // 0-3-6 in cost 2
+}
+
+TEST(DijkstraTest, QueryOnEdgeSeedsBothEndpoints) {
+  MultiCostGraph g = test::TinyGraph();
+  // q on edge (0,1) at frac 0.25: cost-0 weight 4 -> d(0)=1, d(1)=3.
+  Location q = Location::OnEdge(EdgeKey(0, 1), 0.25);
+  auto dist = ShortestPathCosts(g, 0, q);
+  EXPECT_DOUBLE_EQ(dist[0], 1.0);
+  EXPECT_DOUBLE_EQ(dist[1], 3.0);
+  EXPECT_DOUBLE_EQ(dist[3], 2.0);  // via node 0
+}
+
+TEST(DijkstraTest, MatchesBellmanFordOnRandomGraphs) {
+  Random rng(21);
+  for (int iter = 0; iter < 20; ++iter) {
+    MultiCostGraph g(2);
+    int n = 30;
+    for (int i = 0; i < n; ++i) g.AddNode(rng.NextDouble(), rng.NextDouble());
+    // Random connected-ish graph.
+    for (int i = 1; i < n; ++i) {
+      NodeId j = static_cast<NodeId>(rng.Uniform(i));
+      ASSERT_TRUE(g.AddEdge(i, j,
+                            CostVector{rng.UniformDouble(0, 5),
+                                       rng.UniformDouble(0, 5)})
+                      .ok());
+    }
+    for (int extra = 0; extra < 15; ++extra) {
+      NodeId a = static_cast<NodeId>(rng.Uniform(n));
+      NodeId b = static_cast<NodeId>(rng.Uniform(n));
+      if (a == b || g.num_edges() == 0) continue;
+      auto added = g.AddEdge(a, b,
+                             CostVector{rng.UniformDouble(0, 5),
+                                        rng.UniformDouble(0, 5)});
+      (void)added;  // duplicates rejected; fine
+    }
+    g.Finalize();
+    NodeId s = static_cast<NodeId>(rng.Uniform(n));
+    for (int ci = 0; ci < 2; ++ci) {
+      auto dij = ShortestPathCosts(g, ci, Location::AtNode(s));
+      auto bf = BellmanFord(g, ci, s);
+      for (int v = 0; v < n; ++v) {
+        EXPECT_NEAR(dij[v], bf[v], 1e-9) << "iter " << iter << " node " << v;
+      }
+    }
+  }
+}
+
+TEST(DijkstraTest, UnreachableNodesAreInfinite) {
+  MultiCostGraph g(1);
+  g.AddNode(0, 0);
+  g.AddNode(1, 0);
+  g.AddNode(2, 0);
+  ASSERT_TRUE(g.AddEdge(0, 1, CostVector{1}).ok());
+  g.Finalize();
+  auto dist = ShortestPathCosts(g, 0, Location::AtNode(0));
+  EXPECT_EQ(dist[2], kInfCost);
+}
+
+TEST(DijkstraTest, ZeroWeightEdges) {
+  MultiCostGraph g(1);
+  g.AddNode(0, 0);
+  g.AddNode(1, 0);
+  g.AddNode(2, 0);
+  ASSERT_TRUE(g.AddEdge(0, 1, CostVector{0}).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, CostVector{2}).ok());
+  g.Finalize();
+  auto dist = ShortestPathCosts(g, 0, Location::AtNode(0));
+  EXPECT_DOUBLE_EQ(dist[1], 0.0);
+  EXPECT_DOUBLE_EQ(dist[2], 2.0);
+}
+
+TEST(FacilityCostTest, MinOverBothEndpointsAndDirect) {
+  MultiCostGraph g = test::TinyGraph();
+  graph::FacilitySet facs = test::TinyFacilities(g);
+  // Facility 0 on edge (1,2) frac 0.5, cost-0 weight 2.
+  Location q = Location::AtNode(0);
+  auto dist = ShortestPathCosts(g, 0, q);
+  double expected = std::min(dist[1] + 0.5 * 2.0, dist[2] + 0.5 * 2.0);
+  EXPECT_DOUBLE_EQ(FacilityCost(g, dist, 0, q, facs[0]), expected);
+
+  // Query on the facility's own edge: direct along-edge route applies.
+  Location q2 = Location::OnEdge(EdgeKey(1, 2), 0.25);
+  auto dist2 = ShortestPathCosts(g, 0, q2);
+  double direct = std::fabs(0.25 - 0.5) * 2.0;
+  EXPECT_DOUBLE_EQ(FacilityCost(g, dist2, 0, q2, facs[0]), direct);
+}
+
+TEST(FacilityCostTest, QueryExactlyOnFacility) {
+  MultiCostGraph g = test::TinyGraph();
+  graph::FacilitySet facs = test::TinyFacilities(g);
+  Location q = Location::OnEdge(EdgeKey(1, 2), 0.5);
+  auto dist = ShortestPathCosts(g, 0, q);
+  EXPECT_DOUBLE_EQ(FacilityCost(g, dist, 0, q, facs[0]), 0.0);
+}
+
+TEST(AllFacilityCostsTest, MatchesPerCostComputation) {
+  MultiCostGraph g = test::TinyGraph();
+  graph::FacilitySet facs = test::TinyFacilities(g);
+  Location q = Location::OnEdge(EdgeKey(4, 5), 0.5);
+  auto all = AllFacilityCosts(g, facs, q);
+  ASSERT_EQ(all.size(), facs.size());
+  for (int ci = 0; ci < 2; ++ci) {
+    auto dist = ShortestPathCosts(g, ci, q);
+    for (graph::FacilityId f = 0; f < facs.size(); ++f) {
+      EXPECT_DOUBLE_EQ(all[f][ci], FacilityCost(g, dist, ci, q, facs[f]));
+    }
+  }
+}
+
+TEST(ShortestPathTest, ReconstructsPath) {
+  MultiCostGraph g = test::TinyGraph();
+  auto path = ShortestPath(g, 0, 0, 8).value();
+  // Cost-0 shortest 0->8: 0-3-4-7-8 = 1+2+1+3 = 7.
+  EXPECT_DOUBLE_EQ(path.cost, 7.0);
+  ASSERT_GE(path.nodes.size(), 2u);
+  EXPECT_EQ(path.nodes.front(), 0u);
+  EXPECT_EQ(path.nodes.back(), 8u);
+  // Consecutive nodes must be adjacent and sum to the cost.
+  double sum = 0;
+  for (size_t i = 1; i < path.nodes.size(); ++i) {
+    auto e = g.FindEdge(path.nodes[i - 1], path.nodes[i]);
+    ASSERT_TRUE(e.ok());
+    sum += g.edge(e.value()).w[0];
+  }
+  EXPECT_DOUBLE_EQ(sum, path.cost);
+}
+
+TEST(ShortestPathTest, SourceEqualsTarget) {
+  MultiCostGraph g = test::TinyGraph();
+  auto path = ShortestPath(g, 0, 3, 3).value();
+  EXPECT_DOUBLE_EQ(path.cost, 0.0);
+  ASSERT_EQ(path.nodes.size(), 1u);
+  EXPECT_EQ(path.nodes[0], 3u);
+}
+
+TEST(ShortestPathTest, UnreachableIsNotFound) {
+  MultiCostGraph g(1);
+  g.AddNode(0, 0);
+  g.AddNode(1, 0);
+  g.Finalize();
+  EXPECT_EQ(ShortestPath(g, 0, 0, 1).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ShortestPath(g, 0, 0, 5).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace mcn::expand

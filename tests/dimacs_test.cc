@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mcn/io/dimacs.h"
+#include "test_util.h"
+
+namespace mcn::io {
+namespace {
+
+TEST(DimacsTest, GraphRoundTrip) {
+  graph::MultiCostGraph g = test::TinyGraph();
+  std::stringstream ss;
+  ASSERT_TRUE(WriteGraph(ss, g).ok());
+  auto back = ReadGraph(ss);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_nodes(), g.num_nodes());
+  EXPECT_EQ(back->num_edges(), g.num_edges());
+  EXPECT_EQ(back->num_costs(), g.num_costs());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(back->x(v), g.x(v));
+    EXPECT_DOUBLE_EQ(back->y(v), g.y(v));
+  }
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& orig = g.edge(e);
+    auto found = back->FindEdge(orig.u, orig.v);
+    ASSERT_TRUE(found.ok());
+    EXPECT_EQ(back->edge(found.value()).w, orig.w);
+  }
+}
+
+TEST(DimacsTest, FacilityRoundTrip) {
+  graph::MultiCostGraph g = test::TinyGraph();
+  graph::FacilitySet facs = test::TinyFacilities(g);
+  std::stringstream ss;
+  ASSERT_TRUE(WriteFacilities(ss, g, facs).ok());
+  auto back = ReadFacilities(ss, g);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), facs.size());
+  for (graph::FacilityId f = 0; f < facs.size(); ++f) {
+    EXPECT_EQ((*back)[f].edge, facs[f].edge);
+    EXPECT_DOUBLE_EQ((*back)[f].frac, facs[f].frac);
+  }
+}
+
+TEST(DimacsTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss;
+  ss << "c a comment\n\np mcn 2 1 2\nc another\nv 1 0.5 0.5\n"
+     << "a 1 2 3.5 4.5\n";
+  auto g = ReadGraph(ss);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_nodes(), 2u);
+  EXPECT_EQ(g->num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g->edge(0).w[1], 4.5);
+}
+
+TEST(DimacsTest, ParseErrors) {
+  {
+    std::stringstream ss("a 1 2 3\n");  // edge before header
+    EXPECT_FALSE(ReadGraph(ss).ok());
+  }
+  {
+    std::stringstream ss("p mcn 2 2 1\na 1 2 3\n");  // count mismatch
+    EXPECT_FALSE(ReadGraph(ss).ok());
+  }
+  {
+    std::stringstream ss("p spx 2 1 1\n");  // wrong format tag
+    EXPECT_FALSE(ReadGraph(ss).ok());
+  }
+  {
+    std::stringstream ss("p mcn 2 1 1\na 1 5 3\n");  // node out of range
+    EXPECT_FALSE(ReadGraph(ss).ok());
+  }
+  {
+    std::stringstream ss("p mcn 2 1 2\na 1 2 3\n");  // missing cost
+    EXPECT_FALSE(ReadGraph(ss).ok());
+  }
+  {
+    std::stringstream ss("x nonsense\n");
+    EXPECT_FALSE(ReadGraph(ss).ok());
+  }
+}
+
+TEST(DimacsTest, FacilityParseErrors) {
+  graph::MultiCostGraph g = test::TinyGraph();
+  {
+    std::stringstream ss("f 1 9 0.5\n");  // no such edge (0-8)
+    EXPECT_FALSE(ReadFacilities(ss, g).ok());
+  }
+  {
+    std::stringstream ss("f 1 2 1.5\n");  // frac out of range
+    EXPECT_FALSE(ReadFacilities(ss, g).ok());
+  }
+  {
+    std::stringstream ss("g 1 2 0.5\n");  // wrong kind
+    EXPECT_FALSE(ReadFacilities(ss, g).ok());
+  }
+}
+
+TEST(DimacsTest, FileRoundTrip) {
+  graph::MultiCostGraph g = test::TinyGraph();
+  graph::FacilitySet facs = test::TinyFacilities(g);
+  std::string gpath = ::testing::TempDir() + "/mcn_test_graph.gr";
+  std::string fpath = ::testing::TempDir() + "/mcn_test_facs.fac";
+  ASSERT_TRUE(WriteGraphToFile(gpath, g).ok());
+  ASSERT_TRUE(WriteFacilitiesToFile(fpath, g, facs).ok());
+  auto g2 = ReadGraphFromFile(gpath);
+  ASSERT_TRUE(g2.ok());
+  auto f2 = ReadFacilitiesFromFile(fpath, *g2);
+  ASSERT_TRUE(f2.ok());
+  EXPECT_EQ(f2->size(), facs.size());
+  EXPECT_FALSE(ReadGraphFromFile("/nonexistent/path.gr").ok());
+}
+
+TEST(DimacsTest, GeneratedNetworkRoundTripPreservesQueries) {
+  // End-to-end: generate, export, re-import, verify the graph is identical
+  // enough that shortest-path costs agree.
+  test::SmallConfig config;
+  config.nodes = 200;
+  config.edges = 260;
+  config.facilities = 20;
+  auto instance = test::MakeSmallInstance(config).value();
+  std::stringstream gs, fs;
+  ASSERT_TRUE(WriteGraph(gs, instance->graph).ok());
+  ASSERT_TRUE(WriteFacilities(fs, instance->graph, instance->facilities)
+                  .ok());
+  auto g2 = ReadGraph(gs).value();
+  auto f2 = ReadFacilities(fs, g2).value();
+
+  graph::Location q = graph::Location::AtNode(0);
+  auto a = expand::AllFacilityCosts(instance->graph, instance->facilities,
+                                    q);
+  auto b = expand::AllFacilityCosts(g2, f2, q);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].ApproxEquals(b[i], 1e-9));
+  }
+}
+
+}  // namespace
+}  // namespace mcn::io

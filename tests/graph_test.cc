@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "mcn/common/random.h"
+#include "mcn/graph/cost_vector.h"
+#include "mcn/graph/facility.h"
+#include "mcn/graph/location.h"
+#include "mcn/graph/multi_cost_graph.h"
+
+namespace mcn::graph {
+namespace {
+
+TEST(CostVectorTest, ConstructionAndAccess) {
+  CostVector v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.dim(), 3);
+  EXPECT_EQ(v[0], 1.0);
+  EXPECT_EQ(v[2], 3.0);
+  v[1] = 9.0;
+  EXPECT_EQ(v[1], 9.0);
+
+  CostVector filled(4, 7.5);
+  EXPECT_EQ(filled.dim(), 4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(filled[i], 7.5);
+}
+
+TEST(CostVectorTest, StrictDominance) {
+  CostVector a{1, 2}, b{2, 3}, c{1, 2}, d{2, 1};
+  EXPECT_TRUE(a.Dominates(b));
+  EXPECT_FALSE(b.Dominates(a));
+  EXPECT_FALSE(a.Dominates(c));  // equal: not strict
+  EXPECT_TRUE(a.DominatesOrEquals(c));
+  EXPECT_FALSE(a.Dominates(d));  // incomparable
+  EXPECT_FALSE(d.Dominates(a));
+}
+
+TEST(CostVectorTest, DominancePartialOrderProperties) {
+  Random rng(3);
+  for (int iter = 0; iter < 500; ++iter) {
+    CostVector x(3), y(3), z(3);
+    for (int i = 0; i < 3; ++i) {
+      x[i] = rng.UniformDouble(0, 10);
+      y[i] = rng.UniformDouble(0, 10);
+      z[i] = rng.UniformDouble(0, 10);
+    }
+    // Irreflexive.
+    EXPECT_FALSE(x.Dominates(x));
+    // Asymmetric.
+    if (x.Dominates(y)) {
+      EXPECT_FALSE(y.Dominates(x));
+    }
+    // Transitive.
+    if (x.Dominates(y) && y.Dominates(z)) {
+      EXPECT_TRUE(x.Dominates(z));
+    }
+  }
+}
+
+TEST(CostVectorTest, ArithmeticAndAggregates) {
+  CostVector a{1, 2, 3}, b{10, 20, 30};
+  CostVector s = a + b;
+  EXPECT_EQ(s[0], 11.0);
+  EXPECT_EQ(s[2], 33.0);
+  EXPECT_EQ(a.Scaled(2.0)[1], 4.0);
+  EXPECT_EQ(a.Sum(), 6.0);
+  EXPECT_EQ(b.MaxComponent(), 30.0);
+}
+
+TEST(CostVectorTest, ApproxEquals) {
+  CostVector a{1.0, 2.0};
+  CostVector b{1.0 + 1e-12, 2.0 - 1e-12};
+  CostVector c{1.1, 2.0};
+  EXPECT_TRUE(a.ApproxEquals(b));
+  EXPECT_FALSE(a.ApproxEquals(c));
+  EXPECT_FALSE(a.ApproxEquals(CostVector{1.0}));
+}
+
+TEST(EdgeKeyTest, CanonicalizationAndPacking) {
+  EdgeKey a(5, 3), b(3, 5);
+  EXPECT_EQ(a.u, 3u);
+  EXPECT_EQ(a.v, 5u);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(EdgeKey::Unpack(a.Pack()), a);
+  EdgeKeyHash h;
+  EXPECT_EQ(h(a), h(b));
+}
+
+TEST(MultiCostGraphTest, BuildAndNeighbors) {
+  MultiCostGraph g(2);
+  NodeId a = g.AddNode(0, 0);
+  NodeId b = g.AddNode(1, 0);
+  NodeId c = g.AddNode(0, 1);
+  ASSERT_TRUE(g.AddEdge(a, b, CostVector{1, 2}).ok());
+  ASSERT_TRUE(g.AddEdge(c, a, CostVector{3, 4}).ok());
+  g.Finalize();
+
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.Neighbors(a).size(), 2u);
+  EXPECT_EQ(g.Neighbors(b).size(), 1u);
+  EXPECT_EQ(g.Neighbors(b)[0].neighbor, a);
+  EXPECT_EQ(g.MaxDegree(), 2u);
+
+  EdgeId e = g.FindEdge(b, a).value();
+  EXPECT_EQ(g.edge(e).w[1], 2.0);
+  EXPECT_EQ(g.edge(e).u, a);  // canonical: a < b
+  EXPECT_EQ(g.edge(e).Other(a), b);
+  EXPECT_FALSE(g.FindEdge(b, c).ok());
+}
+
+TEST(MultiCostGraphTest, RejectsBadEdges) {
+  MultiCostGraph g(2);
+  NodeId a = g.AddNode(0, 0);
+  NodeId b = g.AddNode(1, 0);
+  EXPECT_FALSE(g.AddEdge(a, a, CostVector{1, 1}).ok());   // self loop
+  EXPECT_FALSE(g.AddEdge(a, 99, CostVector{1, 1}).ok());  // out of range
+  EXPECT_FALSE(g.AddEdge(a, b, CostVector{1}).ok());      // wrong dim
+  EXPECT_FALSE(g.AddEdge(a, b, CostVector{-1, 1}).ok());  // negative
+}
+
+TEST(MultiCostGraphTest, AllowsZeroCosts) {
+  MultiCostGraph g(2);
+  NodeId a = g.AddNode(0, 0);
+  NodeId b = g.AddNode(1, 0);
+  EXPECT_TRUE(g.AddEdge(a, b, CostVector{0, 0}).ok());
+}
+
+TEST(MultiCostGraphTest, EuclideanDistance) {
+  MultiCostGraph g(1);
+  NodeId a = g.AddNode(0, 0);
+  NodeId b = g.AddNode(3, 4);
+  EXPECT_DOUBLE_EQ(g.EuclideanDistance(a, b), 5.0);
+}
+
+TEST(FacilitySetTest, AddAndIndexByEdge) {
+  MultiCostGraph g(1);
+  NodeId a = g.AddNode(0, 0);
+  NodeId b = g.AddNode(1, 0);
+  NodeId c = g.AddNode(2, 0);
+  EdgeId e0 = g.AddEdge(a, b, CostVector{1}).value();
+  EdgeId e1 = g.AddEdge(b, c, CostVector{1}).value();
+  g.Finalize();
+
+  FacilitySet f;
+  FacilityId f0 = f.Add(e0, 0.5);
+  FacilityId f1 = f.Add(e1, 0.1);
+  FacilityId f2 = f.Add(e0, 0.9);
+  f.Finalize();
+
+  EXPECT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[f0].frac, 0.5);
+  auto on_e0 = f.OnEdge(e0);
+  ASSERT_EQ(on_e0.size(), 2u);
+  EXPECT_EQ(on_e0[0], f0);
+  EXPECT_EQ(on_e0[1], f2);
+  EXPECT_EQ(f.OnEdge(e1).size(), 1u);
+  EXPECT_EQ(f.OnEdge(e1)[0], f1);
+  EXPECT_EQ(f.EdgesWithFacilities().size(), 2u);
+}
+
+TEST(FacilitySetTest, ClampsFraction) {
+  FacilitySet f;
+  FacilityId id = f.Add(0, 1.5);
+  EXPECT_EQ(f[id].frac, 1.0);
+  id = f.Add(0, -0.5);
+  EXPECT_EQ(f[id].frac, 0.0);
+}
+
+TEST(FacilitySetTest, EmptySetFinalizes) {
+  FacilitySet f;
+  f.Finalize();
+  EXPECT_TRUE(f.empty());
+  EXPECT_TRUE(f.OnEdge(0).empty());
+  EXPECT_TRUE(f.EdgesWithFacilities().empty());
+}
+
+TEST(LocationTest, NodeAndEdgeForms) {
+  Location n = Location::AtNode(7);
+  EXPECT_TRUE(n.is_node());
+  EXPECT_EQ(n.node(), 7u);
+
+  Location e = Location::OnEdge(EdgeKey(9, 4), 0.25);
+  EXPECT_FALSE(e.is_node());
+  EXPECT_EQ(e.edge().u, 4u);
+  EXPECT_EQ(e.edge().v, 9u);
+  EXPECT_EQ(e.frac(), 0.25);
+  EXPECT_NE(e.ToString().find("edge"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcn::graph

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "mcn/algo/incremental_topk.h"
+#include "mcn/algo/topk_query.h"
+#include "mcn/expand/engines.h"
+#include "test_util.h"
+
+namespace mcn::algo {
+namespace {
+
+using expand::CeaEngine;
+using expand::MemEngine;
+using graph::Location;
+
+TEST(IncrementalTopKTest, DrainsAllReachableInScoreOrder) {
+  test::DiskFixture fx(test::TinyGraph(),
+                       test::TinyFacilities(test::TinyGraph()), 64);
+  AggregateFn f = WeightedSum({0.6, 0.4});
+  Location q = Location::AtNode(0);
+  auto oracle = test::OracleTopK(fx.graph, fx.facilities, q, f, 1000);
+
+  auto engine = CeaEngine::Create(fx.reader.get(), q).value();
+  IncrementalTopK inc(engine.get(), f);
+  std::vector<TopKEntry> drained;
+  for (;;) {
+    auto next = inc.NextBest().value();
+    if (!next.has_value()) break;
+    drained.push_back(*next);
+  }
+  ASSERT_EQ(drained.size(), oracle.size());
+  for (size_t i = 0; i < drained.size(); ++i) {
+    EXPECT_NEAR(drained[i].score, oracle[i].score, 1e-9) << "rank " << i;
+  }
+  // Non-decreasing score order.
+  for (size_t i = 1; i < drained.size(); ++i) {
+    EXPECT_GE(drained[i].score, drained[i - 1].score - 1e-12);
+  }
+  // Exhausted: stays nullopt.
+  EXPECT_FALSE(inc.NextBest().value().has_value());
+  EXPECT_FALSE(inc.NextBest().value().has_value());
+}
+
+TEST(IncrementalTopKTest, PrefixEqualsKnownKResult) {
+  test::SmallConfig config;
+  config.num_costs = 3;
+  config.seed = 77;
+  auto instance = test::MakeSmallInstance(config).value();
+  AggregateFn f = WeightedSum(test::TestWeights(3, 99));
+  Random rng(123);
+
+  for (int qi = 0; qi < 3; ++qi) {
+    Location q = instance->RandomQueryLocation(rng);
+
+    auto inc_engine = CeaEngine::Create(instance->reader.get(), q).value();
+    IncrementalTopK inc(inc_engine.get(), f);
+    std::vector<TopKEntry> prefix;
+    for (int i = 0; i < 8; ++i) {
+      auto next = inc.NextBest().value();
+      if (!next.has_value()) break;
+      prefix.push_back(*next);
+    }
+
+    auto k_engine = CeaEngine::Create(instance->reader.get(), q).value();
+    TopKOptions opts;
+    opts.k = static_cast<int>(prefix.size());
+    TopKQuery query(k_engine.get(), f, opts);
+    auto known = query.Run().value();
+
+    ASSERT_EQ(known.size(), prefix.size());
+    for (size_t i = 0; i < prefix.size(); ++i) {
+      EXPECT_NEAR(prefix[i].score, known[i].score, 1e-9)
+          << "q=" << q.ToString() << " rank " << i;
+    }
+  }
+}
+
+TEST(IncrementalTopKTest, MatchesOracleOnRandomInstances) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    test::SmallConfig config;
+    config.num_costs = 2 + seed % 3;
+    config.seed = seed + 400;
+    auto instance = test::MakeSmallInstance(config).value();
+    AggregateFn f =
+        WeightedSum(test::TestWeights(config.num_costs, seed * 11));
+    Random rng(seed);
+    Location q = instance->RandomQueryLocation(rng);
+    auto oracle =
+        test::OracleTopK(instance->graph, instance->facilities, q, f, 12);
+
+    auto engine = MemEngine::Create(&instance->graph, &instance->facilities,
+                                    q)
+                      .value();
+    IncrementalTopK inc(engine.get(), f);
+    for (size_t i = 0; i < oracle.size(); ++i) {
+      auto next = inc.NextBest().value();
+      ASSERT_TRUE(next.has_value()) << "rank " << i;
+      EXPECT_NEAR(next->score, oracle[i].score, 1e-9) << "rank " << i;
+      EXPECT_NEAR(next->score, f(next->costs), 1e-12);
+    }
+  }
+}
+
+TEST(IncrementalTopKTest, ReportedEntriesHaveCompleteVectors) {
+  test::DiskFixture fx(test::TinyGraph(),
+                       test::TinyFacilities(test::TinyGraph()), 64);
+  AggregateFn f = WeightedSum({0.5, 0.5});
+  Location q = Location::AtNode(8);
+  auto oracle = test::OracleReachableCosts(fx.graph, fx.facilities, q);
+  auto engine = CeaEngine::Create(fx.reader.get(), q).value();
+  IncrementalTopK inc(engine.get(), f);
+  for (;;) {
+    auto next = inc.NextBest().value();
+    if (!next.has_value()) break;
+    auto it = std::find(oracle.ids.begin(), oracle.ids.end(),
+                        next->facility);
+    ASSERT_NE(it, oracle.ids.end());
+    EXPECT_TRUE(next->costs.ApproxEquals(
+        oracle.costs[it - oracle.ids.begin()], 1e-9));
+  }
+}
+
+TEST(IncrementalTopKTest, EmptyFacilitySetYieldsNothing) {
+  graph::MultiCostGraph g = test::TinyGraph();
+  graph::FacilitySet empty;
+  empty.Finalize();
+  test::DiskFixture fx(std::move(g), std::move(empty), 64);
+  auto engine = CeaEngine::Create(fx.reader.get(), Location::AtNode(0))
+                    .value();
+  IncrementalTopK inc(engine.get(), WeightedSum({0.5, 0.5}));
+  EXPECT_FALSE(inc.NextBest().value().has_value());
+}
+
+}  // namespace
+}  // namespace mcn::algo

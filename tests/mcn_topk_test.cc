@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "mcn/algo/topk_query.h"
+#include "mcn/expand/engines.h"
+#include "test_util.h"
+
+namespace mcn::algo {
+namespace {
+
+using expand::CeaEngine;
+using expand::LsaEngine;
+using expand::MemEngine;
+using graph::EdgeKey;
+using graph::Location;
+
+/// Scores must agree; ids may differ only within score ties.
+void ExpectSameRanking(const std::vector<TopKEntry>& got,
+                       const std::vector<TopKEntry>& expected) {
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].score, expected[i].score, 1e-9) << "rank " << i;
+  }
+  // Ids must match wherever the rank is unambiguous: strictly below the
+  // k-th score (ties at the boundary are resolved arbitrarily, paper §III)
+  // and unique within the expected ranking.
+  if (expected.empty()) return;
+  double kth = expected.back().score;
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (std::fabs(expected[i].score - kth) < 1e-9) continue;
+    bool tied = false;
+    for (size_t j = 0; j < expected.size(); ++j) {
+      if (i != j &&
+          std::fabs(expected[i].score - expected[j].score) < 1e-9) {
+        tied = true;
+      }
+    }
+    if (!tied) {
+      EXPECT_EQ(got[i].facility, expected[i].facility);
+    }
+  }
+}
+
+TEST(TopKTinyTest, MatchesOracleOnHandGraph) {
+  test::DiskFixture fx(test::TinyGraph(),
+                       test::TinyFacilities(test::TinyGraph()), 64);
+  AggregateFn f = WeightedSum({0.7, 0.3});
+  for (const Location& q :
+       {Location::AtNode(0), Location::AtNode(8),
+        Location::OnEdge(EdgeKey(4, 7), 0.25)}) {
+    for (int k : {1, 2, 3, 5, 10}) {
+      auto oracle = test::OracleTopK(fx.graph, fx.facilities, q, f, k);
+      for (auto kind :
+           {expand::EngineKind::kLsa, expand::EngineKind::kCea}) {
+        auto engine = expand::MakeEngine(kind, fx.reader.get(), q).value();
+        TopKOptions opts;
+        opts.k = k;
+        TopKQuery query(engine.get(), f, opts);
+        auto result = query.Run().value();
+        ExpectSameRanking(result, oracle);
+      }
+    }
+  }
+}
+
+TEST(TopKTinyTest, KLargerThanFacilityCountReturnsAll) {
+  test::DiskFixture fx(test::TinyGraph(),
+                       test::TinyFacilities(test::TinyGraph()), 64);
+  AggregateFn f = WeightedSum({0.5, 0.5});
+  auto engine = expand::MakeEngine(expand::EngineKind::kCea, fx.reader.get(),
+                                   Location::AtNode(0))
+                    .value();
+  TopKOptions opts;
+  opts.k = 100;
+  TopKQuery query(engine.get(), f, opts);
+  auto result = query.Run().value();
+  EXPECT_EQ(result.size(), fx.facilities.size());
+  for (size_t i = 1; i < result.size(); ++i) {
+    EXPECT_LE(result[i - 1].score, result[i].score);
+  }
+}
+
+TEST(TopKTinyTest, ResultVectorsAreComplete) {
+  test::DiskFixture fx(test::TinyGraph(),
+                       test::TinyFacilities(test::TinyGraph()), 64);
+  AggregateFn f = WeightedSum({0.9, 0.1});
+  Location q = Location::AtNode(4);
+  auto oracle = test::OracleReachableCosts(fx.graph, fx.facilities, q);
+  auto engine = expand::MakeEngine(expand::EngineKind::kLsa, fx.reader.get(),
+                                   q)
+                    .value();
+  TopKOptions opts;
+  opts.k = 3;
+  TopKQuery query(engine.get(), f, opts);
+  auto result = query.Run().value();
+  for (const TopKEntry& e : result) {
+    auto it = std::find(oracle.ids.begin(), oracle.ids.end(), e.facility);
+    ASSERT_NE(it, oracle.ids.end());
+    EXPECT_TRUE(
+        e.costs.ApproxEquals(oracle.costs[it - oracle.ids.begin()], 1e-9));
+    EXPECT_NEAR(e.score, f(e.costs), 1e-12);
+  }
+}
+
+TEST(TopKTinyTest, EmptyFacilitySet) {
+  graph::MultiCostGraph g = test::TinyGraph();
+  graph::FacilitySet empty;
+  empty.Finalize();
+  test::DiskFixture fx(std::move(g), std::move(empty), 64);
+  auto engine = expand::MakeEngine(expand::EngineKind::kLsa, fx.reader.get(),
+                                   Location::AtNode(0))
+                    .value();
+  TopKQuery query(engine.get(), WeightedSum({0.5, 0.5}), TopKOptions{});
+  EXPECT_TRUE(query.Run().value().empty());
+}
+
+TEST(TopKTinyTest, RejectsNonPositiveK) {
+  test::DiskFixture fx(test::TinyGraph(),
+                       test::TinyFacilities(test::TinyGraph()), 64);
+  auto engine = expand::MakeEngine(expand::EngineKind::kLsa, fx.reader.get(),
+                                   Location::AtNode(0))
+                    .value();
+  TopKOptions opts;
+  opts.k = 0;
+  EXPECT_DEATH(TopKQuery(engine.get(), WeightedSum({0.5, 0.5}), opts),
+               "MCN_CHECK");
+}
+
+
+TEST(TopKTinyTest, NonLinearMonotoneAggregate) {
+  // max() over the cost vector is increasingly monotone too; the algorithms
+  // only assume monotonicity, not linearity.
+  test::DiskFixture fx(test::TinyGraph(),
+                       test::TinyFacilities(test::TinyGraph()), 64);
+  AggregateFn f = [](const graph::CostVector& c) { return c.MaxComponent(); };
+  Location q = Location::AtNode(4);
+  auto oracle = test::OracleTopK(fx.graph, fx.facilities, q, f, 3);
+  for (auto kind : {expand::EngineKind::kLsa, expand::EngineKind::kCea}) {
+    auto engine = expand::MakeEngine(kind, fx.reader.get(), q).value();
+    TopKOptions opts;
+    opts.k = 3;
+    TopKQuery query(engine.get(), f, opts);
+    ExpectSameRanking(query.Run().value(), oracle);
+  }
+}
+
+TEST(TopKTinyTest, StatsAreConsistent) {
+  test::SmallConfig config;
+  config.seed = 909;
+  auto instance = test::MakeSmallInstance(config).value();
+  Random rng(3);
+  Location q = instance->RandomQueryLocation(rng);
+  auto cea = CeaEngine::Create(instance->reader.get(), q).value();
+  TopKOptions opts;
+  opts.k = 4;
+  TopKQuery query(cea.get(),
+                  WeightedSum(test::TestWeights(config.num_costs, 1)), opts);
+  auto result = query.Run().value();
+  const auto& stats = query.stats();
+  EXPECT_EQ(result.size(), 4u);
+  EXPECT_TRUE(stats.reached_shrinking);
+  EXPECT_GE(stats.facilities_seen, 4u);
+  EXPECT_GE(stats.nn_pops, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep.
+
+struct SweepParam {
+  int d;
+  gen::CostDistribution dist;
+  int k;
+  uint64_t seed;
+};
+
+class TopKSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(TopKSweepTest, AllEnginesMatchOracle) {
+  const SweepParam& p = GetParam();
+  test::SmallConfig config;
+  config.num_costs = p.d;
+  config.distribution = p.dist;
+  config.seed = p.seed;
+  auto instance = test::MakeSmallInstance(config).value();
+  AggregateFn f = WeightedSum(test::TestWeights(p.d, p.seed * 7 + 1));
+
+  Random rng(p.seed * 131 + 5);
+  for (int qi = 0; qi < 3; ++qi) {
+    Location q = instance->RandomQueryLocation(rng);
+    auto oracle =
+        test::OracleTopK(instance->graph, instance->facilities, q, f, p.k);
+
+    for (auto kind : {expand::EngineKind::kLsa, expand::EngineKind::kCea}) {
+      auto engine =
+          expand::MakeEngine(kind, instance->reader.get(), q).value();
+      TopKOptions opts;
+      opts.k = p.k;
+      TopKQuery query(engine.get(), f, opts);
+      auto result = query.Run().value();
+      ExpectSameRanking(result, oracle);
+    }
+    auto mem = MemEngine::Create(&instance->graph, &instance->facilities, q)
+                   .value();
+    TopKOptions opts;
+    opts.k = p.k;
+    TopKQuery query(mem.get(), f, opts);
+    ExpectSameRanking(query.Run().value(), oracle);
+  }
+}
+
+TEST_P(TopKSweepTest, OptionsDoNotChangeTheAnswer) {
+  const SweepParam& p = GetParam();
+  test::SmallConfig config;
+  config.num_costs = p.d;
+  config.distribution = p.dist;
+  config.seed = p.seed + 500;
+  auto instance = test::MakeSmallInstance(config).value();
+  AggregateFn f = WeightedSum(test::TestWeights(p.d, p.seed * 3 + 2));
+  Random rng(p.seed * 17 + 1);
+  Location q = instance->RandomQueryLocation(rng);
+  auto oracle =
+      test::OracleTopK(instance->graph, instance->facilities, q, f, p.k);
+
+  for (bool filter : {false, true}) {
+    for (bool stop : {false, true}) {
+      for (bool lb : {false, true}) {
+        TopKOptions opts;
+        opts.k = p.k;
+        opts.use_facility_filter = filter;
+        opts.stop_finished_expansions = stop;
+        opts.lower_bound_pruning = lb;
+        auto engine = CeaEngine::Create(instance->reader.get(), q).value();
+        TopKQuery query(engine.get(), f, opts);
+        ExpectSameRanking(query.Run().value(), oracle);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TopKSweepTest,
+    ::testing::Values(
+        SweepParam{2, gen::CostDistribution::kAntiCorrelated, 1, 21},
+        SweepParam{2, gen::CostDistribution::kIndependent, 4, 22},
+        SweepParam{2, gen::CostDistribution::kCorrelated, 8, 23},
+        SweepParam{3, gen::CostDistribution::kAntiCorrelated, 4, 24},
+        SweepParam{3, gen::CostDistribution::kIndependent, 16, 25},
+        SweepParam{4, gen::CostDistribution::kAntiCorrelated, 2, 26},
+        SweepParam{4, gen::CostDistribution::kCorrelated, 4, 27},
+        SweepParam{5, gen::CostDistribution::kAntiCorrelated, 8, 28},
+        SweepParam{5, gen::CostDistribution::kIndependent, 1, 29}));
+
+}  // namespace
+}  // namespace mcn::algo

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+
+#include "mcn/common/random.h"
+#include "mcn/gen/cost_generator.h"
+#include "mcn/mcpp/pareto_paths.h"
+#include "test_util.h"
+
+namespace mcn::mcpp {
+namespace {
+
+using graph::CostVector;
+using graph::MultiCostGraph;
+using graph::NodeId;
+
+/// Brute force: enumerate all simple paths s->t and keep the Pareto set of
+/// their cost vectors. Exponential; only for tiny graphs.
+std::vector<CostVector> BruteForceParetoCosts(const MultiCostGraph& g,
+                                              NodeId s, NodeId t) {
+  std::vector<CostVector> all;
+  std::vector<bool> on_path(g.num_nodes(), false);
+  CostVector acc(g.num_costs(), 0.0);
+  std::function<void(NodeId)> dfs = [&](NodeId v) {
+    if (v == t) {
+      all.push_back(acc);
+      return;
+    }
+    for (const graph::AdjacentEdge& adj : g.Neighbors(v)) {
+      if (on_path[adj.neighbor]) continue;
+      on_path[adj.neighbor] = true;
+      CostVector saved = acc;
+      acc = acc + g.edge(adj.edge).w;
+      dfs(adj.neighbor);
+      acc = saved;
+      on_path[adj.neighbor] = false;
+    }
+  };
+  on_path[s] = true;
+  dfs(s);
+  // Pareto-filter, dropping duplicate vectors.
+  std::vector<CostVector> pareto;
+  for (const CostVector& c : all) {
+    bool keep = true;
+    for (const CostVector& o : all) {
+      if (o.Dominates(c)) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep &&
+        std::find(pareto.begin(), pareto.end(), c) == pareto.end()) {
+      pareto.push_back(c);
+    }
+  }
+  std::sort(pareto.begin(), pareto.end(),
+            [](const CostVector& a, const CostVector& b) {
+              for (int i = 0; i < a.dim(); ++i) {
+                if (a[i] != b[i]) return a[i] < b[i];
+              }
+              return false;
+            });
+  return pareto;
+}
+
+void ExpectSameCostSets(const std::vector<ParetoPath>& got,
+                        const std::vector<CostVector>& expected) {
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_TRUE(got[i].costs.ApproxEquals(expected[i], 1e-9))
+        << "index " << i << ": " << got[i].costs.ToString() << " vs "
+        << expected[i].ToString();
+  }
+}
+
+void ValidatePaths(const MultiCostGraph& g, NodeId s, NodeId t,
+                   const std::vector<ParetoPath>& paths) {
+  for (const ParetoPath& p : paths) {
+    ASSERT_GE(p.nodes.size(), 1u);
+    EXPECT_EQ(p.nodes.front(), s);
+    EXPECT_EQ(p.nodes.back(), t);
+    CostVector sum(g.num_costs(), 0.0);
+    for (size_t i = 1; i < p.nodes.size(); ++i) {
+      auto e = g.FindEdge(p.nodes[i - 1], p.nodes[i]);
+      ASSERT_TRUE(e.ok());
+      sum = sum + g.edge(e.value()).w;
+    }
+    EXPECT_TRUE(sum.ApproxEquals(p.costs, 1e-9));
+  }
+  // Mutually incomparable.
+  for (const ParetoPath& a : paths) {
+    for (const ParetoPath& b : paths) {
+      if (&a != &b) {
+        EXPECT_FALSE(a.costs.Dominates(b.costs));
+      }
+    }
+  }
+}
+
+TEST(McppTest, TinyGraphBothMethodsMatchBruteForce) {
+  MultiCostGraph g = test::TinyGraph();
+  for (NodeId t : {1u, 4u, 8u}) {
+    auto brute = BruteForceParetoCosts(g, 0, t);
+    for (Method method : {Method::kLabelSetting, Method::kLabelCorrecting}) {
+      McppOptions opts;
+      opts.method = method;
+      auto paths = ParetoShortestPaths(g, 0, t, opts).value();
+      ExpectSameCostSets(paths, brute);
+      ValidatePaths(g, 0, t, paths);
+    }
+  }
+}
+
+TEST(McppTest, SourceEqualsTarget) {
+  MultiCostGraph g = test::TinyGraph();
+  auto paths = ParetoShortestPaths(g, 3, 3).value();
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].costs, CostVector(2, 0.0));
+  EXPECT_EQ(paths[0].nodes, std::vector<NodeId>{3});
+}
+
+TEST(McppTest, UnreachableTargetGivesEmptySet) {
+  MultiCostGraph g(2);
+  g.AddNode(0, 0);
+  g.AddNode(1, 0);
+  g.AddNode(2, 0);
+  ASSERT_TRUE(g.AddEdge(0, 1, CostVector{1, 1}).ok());
+  g.Finalize();
+  EXPECT_TRUE(ParetoShortestPaths(g, 0, 2).value().empty());
+}
+
+TEST(McppTest, SingleCostReducesToShortestPath) {
+  MultiCostGraph g(1);
+  Random rng(5);
+  for (int i = 0; i < 12; ++i) g.AddNode(rng.NextDouble(), rng.NextDouble());
+  for (int i = 1; i < 12; ++i) {
+    ASSERT_TRUE(
+        g.AddEdge(i, static_cast<NodeId>(rng.Uniform(i)),
+                  CostVector{rng.UniformDouble(0.1, 5)})
+            .ok());
+  }
+  g.Finalize();
+  auto paths = ParetoShortestPaths(g, 0, 11).value();
+  ASSERT_EQ(paths.size(), 1u);
+  auto sp = expand::ShortestPath(g, 0, 0, 11).value();
+  EXPECT_NEAR(paths[0].costs[0], sp.cost, 1e-9);
+}
+
+TEST(McppTest, RandomGraphsMethodsAgree) {
+  Random rng(77);
+  for (int iter = 0; iter < 15; ++iter) {
+    int n = 10 + static_cast<int>(rng.Uniform(6));
+    int d = 2 + static_cast<int>(rng.Uniform(2));
+    MultiCostGraph g(d);
+    for (int i = 0; i < n; ++i) g.AddNode(rng.NextDouble(), rng.NextDouble());
+    for (int i = 1; i < n; ++i) {
+      CostVector w = gen::GenerateEdgeCosts(
+          rng, gen::CostDistribution::kAntiCorrelated, d, 1.0);
+      ASSERT_TRUE(
+          g.AddEdge(i, static_cast<NodeId>(rng.Uniform(i)), w).ok());
+    }
+    for (int extra = 0; extra < n / 2; ++extra) {
+      NodeId a = static_cast<NodeId>(rng.Uniform(n));
+      NodeId b = static_cast<NodeId>(rng.Uniform(n));
+      if (a == b) continue;
+      CostVector w = gen::GenerateEdgeCosts(
+          rng, gen::CostDistribution::kAntiCorrelated, d, 1.0);
+      (void)g.AddEdge(a, b, w);  // duplicate adds rejected; fine
+    }
+    g.Finalize();
+    NodeId s = 0, t = static_cast<NodeId>(n - 1);
+    auto brute = BruteForceParetoCosts(g, s, t);
+
+    McppOptions setting;
+    auto ls = ParetoShortestPaths(g, s, t, setting).value();
+    ExpectSameCostSets(ls, brute);
+    ValidatePaths(g, s, t, ls);
+
+    McppOptions correcting;
+    correcting.method = Method::kLabelCorrecting;
+    auto lc = ParetoShortestPaths(g, s, t, correcting).value();
+    ExpectSameCostSets(lc, brute);
+  }
+}
+
+TEST(McppTest, TargetPruningDoesNotChangeResult) {
+  MultiCostGraph g = test::TinyGraph();
+  McppOptions with;
+  McppOptions without;
+  without.target_pruning = false;
+  auto a = ParetoShortestPaths(g, 0, 8, with).value();
+  auto b = ParetoShortestPaths(g, 0, 8, without).value();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].costs.ApproxEquals(b[i].costs, 1e-12));
+  }
+}
+
+TEST(McppTest, LabelBudgetEnforced) {
+  MultiCostGraph g = test::TinyGraph();
+  McppOptions opts;
+  opts.max_labels = 3;
+  EXPECT_EQ(ParetoShortestPaths(g, 0, 8, opts).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(McppTest, InvalidArguments) {
+  MultiCostGraph g = test::TinyGraph();
+  EXPECT_FALSE(ParetoShortestPaths(g, 0, 99).ok());
+  MultiCostGraph unfinalized(2);
+  unfinalized.AddNode(0, 0);
+  EXPECT_FALSE(ParetoShortestPaths(unfinalized, 0, 0).ok());
+}
+
+}  // namespace
+}  // namespace mcn::mcpp

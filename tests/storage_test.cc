@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mcn/storage/disk_manager.h"
+#include "mcn/storage/page.h"
+#include "mcn/storage/slotted_page.h"
+
+namespace mcn::storage {
+namespace {
+
+std::vector<std::byte> Bytes(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  if (!s.empty()) std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+TEST(DiskManagerTest, CreateFilesAndAllocate) {
+  DiskManager disk;
+  FileId a = disk.CreateFile("a");
+  FileId b = disk.CreateFile("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(disk.num_files(), 2u);
+  EXPECT_EQ(disk.FileName(a).value(), "a");
+
+  EXPECT_EQ(disk.AllocatePage(a).value(), 0u);
+  EXPECT_EQ(disk.AllocatePage(a).value(), 1u);
+  EXPECT_EQ(disk.AllocatePage(b).value(), 0u);
+  EXPECT_EQ(disk.NumPages(a).value(), 2u);
+  EXPECT_EQ(disk.NumPages(b).value(), 1u);
+  EXPECT_EQ(disk.TotalPages(), 3u);
+}
+
+TEST(DiskManagerTest, ReadWriteRoundTrip) {
+  DiskManager disk;
+  FileId f = disk.CreateFile("f");
+  PageNo p = disk.AllocatePage(f).value();
+  std::vector<std::byte> out(kPageSize, std::byte{0xAB});
+  ASSERT_TRUE(disk.WritePage({f, p}, out.data()).ok());
+  std::vector<std::byte> in(kPageSize);
+  ASSERT_TRUE(disk.ReadPage({f, p}, in.data()).ok());
+  EXPECT_EQ(std::memcmp(in.data(), out.data(), kPageSize), 0);
+}
+
+TEST(DiskManagerTest, FreshPagesAreZeroed) {
+  DiskManager disk;
+  FileId f = disk.CreateFile("f");
+  PageNo p = disk.AllocatePage(f).value();
+  std::vector<std::byte> in(kPageSize, std::byte{0xFF});
+  ASSERT_TRUE(disk.ReadPage({f, p}, in.data()).ok());
+  for (size_t i = 0; i < kPageSize; ++i) {
+    ASSERT_EQ(in[i], std::byte{0});
+  }
+}
+
+TEST(DiskManagerTest, CountsIo) {
+  DiskManager disk;
+  FileId f = disk.CreateFile("f");
+  PageNo p = disk.AllocatePage(f).value();
+  std::vector<std::byte> buf(kPageSize);
+  EXPECT_EQ(disk.stats().page_reads, 0u);
+  ASSERT_TRUE(disk.WritePage({f, p}, buf.data()).ok());
+  ASSERT_TRUE(disk.ReadPage({f, p}, buf.data()).ok());
+  ASSERT_TRUE(disk.ReadPage({f, p}, buf.data()).ok());
+  EXPECT_EQ(disk.stats().page_writes, 1u);
+  EXPECT_EQ(disk.stats().page_reads, 2u);
+  disk.ResetStats();
+  EXPECT_EQ(disk.stats().page_reads, 0u);
+}
+
+TEST(DiskManagerTest, ErrorsOnBadAddresses) {
+  DiskManager disk;
+  FileId f = disk.CreateFile("f");
+  std::vector<std::byte> buf(kPageSize);
+  EXPECT_EQ(disk.ReadPage({f, 0}, buf.data()).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(disk.ReadPage({f + 1, 0}, buf.data()).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(disk.NumPages(f + 1).ok());
+  EXPECT_FALSE(disk.AllocatePage(f + 1).ok());
+}
+
+TEST(PageIdTest, HashAndEquality) {
+  PageId a{1, 2}, b{1, 2}, c{2, 1};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  PageIdHash h;
+  EXPECT_EQ(h(a), h(b));
+}
+
+TEST(SlottedPageTest, AppendAndRead) {
+  std::vector<std::byte> page(kPageSize, std::byte{0});
+  SlottedPageBuilder builder(page.data());
+  uint16_t s0, s1, s2;
+  ASSERT_TRUE(builder.TryAppend(Bytes("hello"), &s0));
+  ASSERT_TRUE(builder.TryAppend(Bytes(""), &s1));
+  ASSERT_TRUE(builder.TryAppend(Bytes("worlds!"), &s2));
+  EXPECT_EQ(s0, 0);
+  EXPECT_EQ(s1, 1);
+  EXPECT_EQ(s2, 2);
+  EXPECT_EQ(builder.count(), 3);
+
+  SlottedPageReader reader(page.data());
+  EXPECT_EQ(reader.count(), 3);
+  auto rec0 = reader.Record(0);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(rec0.data()),
+                        rec0.size()),
+            "hello");
+  EXPECT_EQ(reader.Record(1).size(), 0u);
+  auto rec2 = reader.Record(2);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(rec2.data()),
+                        rec2.size()),
+            "worlds!");
+}
+
+TEST(SlottedPageTest, RejectsWhenFull) {
+  std::vector<std::byte> page(kPageSize, std::byte{0});
+  SlottedPageBuilder builder(page.data());
+  std::vector<std::byte> big(1500, std::byte{7});
+  EXPECT_TRUE(builder.TryAppend(big, nullptr));
+  EXPECT_TRUE(builder.TryAppend(big, nullptr));
+  EXPECT_FALSE(builder.TryAppend(big, nullptr));  // 3 x 1504 > 4096
+  EXPECT_EQ(builder.count(), 2);
+}
+
+TEST(SlottedPageTest, MaxRecordFitsExactly) {
+  std::vector<std::byte> page(kPageSize, std::byte{0});
+  SlottedPageBuilder builder(page.data());
+  std::vector<std::byte> max(SlottedPageBuilder::MaxRecordSize(),
+                             std::byte{1});
+  EXPECT_TRUE(builder.Fits(max.size()));
+  ASSERT_TRUE(builder.TryAppend(max, nullptr));
+  EXPECT_EQ(builder.free_bytes(), 0u);
+  EXPECT_FALSE(builder.Fits(1));
+
+  SlottedPageReader reader(page.data());
+  EXPECT_EQ(reader.Record(0).size(), max.size());
+}
+
+TEST(SlottedPageTest, ManySmallRecords) {
+  std::vector<std::byte> page(kPageSize, std::byte{0});
+  SlottedPageBuilder builder(page.data());
+  int count = 0;
+  for (;; ++count) {
+    std::string payload = "rec" + std::to_string(count);
+    if (!builder.TryAppend(Bytes(payload), nullptr)) break;
+  }
+  EXPECT_GT(count, 300);
+  SlottedPageReader reader(page.data());
+  ASSERT_EQ(reader.count(), count);
+  for (int i = 0; i < count; ++i) {
+    auto rec = reader.Record(static_cast<uint16_t>(i));
+    EXPECT_EQ(std::string(reinterpret_cast<const char*>(rec.data()),
+                          rec.size()),
+              "rec" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace mcn::storage

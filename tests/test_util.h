@@ -1,0 +1,84 @@
+// Shared helpers for the mcn test suite: handcrafted fixtures, random
+// instance builders, and the in-memory oracle the disk algorithms are
+// verified against.
+#ifndef MCN_TESTS_TEST_UTIL_H_
+#define MCN_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "mcn/algo/common.h"
+#include "mcn/expand/dijkstra.h"
+#include "mcn/gen/workload.h"
+#include "mcn/graph/facility.h"
+#include "mcn/graph/location.h"
+#include "mcn/graph/multi_cost_graph.h"
+#include "mcn/net/network_builder.h"
+#include "mcn/net/network_reader.h"
+#include "mcn/storage/buffer_pool.h"
+#include "mcn/storage/disk_manager.h"
+
+namespace mcn::test {
+
+/// A graph + facilities materialized on a fresh simulated disk.
+struct DiskFixture {
+  DiskFixture(graph::MultiCostGraph g, graph::FacilitySet f,
+              size_t buffer_frames);
+
+  graph::MultiCostGraph graph;
+  graph::FacilitySet facilities;
+  storage::DiskManager disk;
+  net::NetworkFiles files;
+  std::unique_ptr<storage::BufferPool> pool;
+  std::unique_ptr<net::NetworkReader> reader;
+};
+
+/// The running example of the paper's Fig. 1 flavor: a small two-cost
+/// network with a handful of facilities, fully hand-checkable.
+///   d = 2 (think: minutes, dollars).
+graph::MultiCostGraph TinyGraph();
+graph::FacilitySet TinyFacilities(const graph::MultiCostGraph& g);
+
+/// Small random instance for property sweeps (nodes ~ a few hundred).
+struct SmallConfig {
+  uint32_t nodes = 400;
+  uint32_t edges = 520;
+  uint32_t facilities = 60;
+  int num_costs = 3;
+  gen::CostDistribution distribution =
+      gen::CostDistribution::kAntiCorrelated;
+  double buffer_pct = 1.0;
+  uint64_t seed = 1;
+};
+Result<std::unique_ptr<gen::Instance>> MakeSmallInstance(
+    const SmallConfig& config);
+
+/// Oracle: exact cost vectors via d in-memory Dijkstras; facilities
+/// unreachable from q (infinite vectors) are excluded — the library's
+/// documented semantics.
+struct OracleResult {
+  std::vector<graph::FacilityId> ids;
+  std::vector<graph::CostVector> costs;  // parallel to `ids`
+};
+OracleResult OracleReachableCosts(const graph::MultiCostGraph& g,
+                                  const graph::FacilitySet& facilities,
+                                  const graph::Location& q);
+
+/// Oracle skyline ids (strict dominance) as a sorted set.
+std::set<graph::FacilityId> OracleSkyline(const graph::MultiCostGraph& g,
+                                          const graph::FacilitySet& facs,
+                                          const graph::Location& q);
+
+/// Oracle top-k entries sorted by (score, id).
+std::vector<algo::TopKEntry> OracleTopK(const graph::MultiCostGraph& g,
+                                        const graph::FacilitySet& facs,
+                                        const graph::Location& q,
+                                        const algo::AggregateFn& f, int k);
+
+/// Deterministic weights in (0,1] for aggregate functions.
+std::vector<double> TestWeights(int d, uint64_t seed);
+
+}  // namespace mcn::test
+
+#endif  // MCN_TESTS_TEST_UTIL_H_
