@@ -1,5 +1,6 @@
 #include "harness.h"
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 
@@ -17,6 +18,127 @@ double EnvDouble(const char* name, double fallback) {
   return std::atof(v);
 }
 
+inline uint64_t FnvMix(uint64_t h, uint64_t x) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (x >> (8 * b)) & 0xFFu;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+inline uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  __builtin_memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+// Fills a QueryOutcome from a result list: size, order-sensitive FNV hash
+// (per-entry fields supplied by `hash_entry`), and the time the hashing
+// itself took, which the driver subtracts from the measured CPU window.
+template <typename Entry, typename HashEntryFn>
+QueryOutcome MakeOutcome(const std::vector<Entry>& entries,
+                         const HashEntryFn& hash_entry) {
+  QueryOutcome outcome;
+  outcome.result_size = entries.size();
+  Stopwatch hash_watch;
+  uint64_t h = kFnvOffsetBasis;
+  for (const Entry& e : entries) h = hash_entry(h, e);
+  outcome.result_hash = h;
+  outcome.hash_seconds = hash_watch.ElapsedSeconds();
+  return outcome;
+}
+
+// ------------------------------------------------------------- JSON record
+//
+// One record per process: every figure run through PrintHeader/PrintRow/
+// PrintFooter is accumulated and the whole file rewritten on each footer, so
+// a crashed sweep still leaves the completed figures on disk.
+
+struct JsonRow {
+  std::string param;
+  AlgoComparison c;
+};
+
+struct JsonFigure {
+  std::string figure;
+  std::string varying;
+  std::string base_config;
+  std::vector<JsonRow> rows;
+};
+
+struct JsonState {
+  BenchEnv env;
+  std::vector<JsonFigure> figures;
+  bool figure_open = false;
+};
+
+JsonState& State() {
+  static JsonState state;
+  return state;
+}
+
+// Minimal escaping: the strings we emit hold figure titles and config
+// summaries (no control characters in practice).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    out.push_back(ch);
+  }
+  return out;
+}
+
+void WriteMetrics(std::FILE* f, const char* name, const RunMetrics& m) {
+  std::fprintf(
+      f,
+      "        \"%s\": {\"avg_cpu_s\": %.9g, \"avg_modeled_s\": %.9g, "
+      "\"avg_misses\": %.9g, \"total_cpu_s\": %.9g, \"buffer_misses\": "
+      "%" PRIu64 ", \"buffer_accesses\": %" PRIu64 ", \"avg_result_size\": "
+      "%.9g, \"result_hash\": \"%016" PRIx64 "\", \"queries\": %d}",
+      name, m.AvgCpu(), m.AvgModeled(), m.AvgMisses(), m.cpu_seconds,
+      m.buffer_misses, m.buffer_accesses, m.result_size, m.result_hash,
+      m.queries);
+}
+
+void WriteJson() {
+  JsonState& st = State();
+  if (st.env.json_path.empty()) return;
+  std::FILE* f = std::fopen(st.env.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "MCN_BENCH_JSON: cannot open %s\n",
+                 st.env.json_path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"mcn-bench-v1\",\n");
+  std::fprintf(f,
+               "  \"scale\": %.9g,\n  \"queries_per_point\": %d,\n"
+               "  \"io_latency_ms\": %.9g,\n  \"figures\": [\n",
+               st.env.scale, st.env.queries, st.env.io_latency_ms);
+  for (size_t fi = 0; fi < st.figures.size(); ++fi) {
+    const JsonFigure& fig = st.figures[fi];
+    std::fprintf(f,
+                 "    {\"figure\": \"%s\", \"varying\": \"%s\",\n"
+                 "     \"base_config\": \"%s\",\n     \"rows\": [\n",
+                 JsonEscape(fig.figure).c_str(),
+                 JsonEscape(fig.varying).c_str(),
+                 JsonEscape(fig.base_config).c_str());
+    for (size_t ri = 0; ri < fig.rows.size(); ++ri) {
+      const JsonRow& row = fig.rows[ri];
+      std::fprintf(f, "      {\"param\": \"%s\",\n",
+                   JsonEscape(row.param).c_str());
+      WriteMetrics(f, "lsa", row.c.lsa);
+      std::fprintf(f, ",\n");
+      WriteMetrics(f, "cea", row.c.cea);
+      std::fprintf(f, "\n      }%s\n", ri + 1 < fig.rows.size() ? "," : "");
+    }
+    std::fprintf(f, "     ]}%s\n", fi + 1 < st.figures.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
 RunMetrics RunOne(gen::Instance& instance, expand::EngineKind kind,
                   const BenchEnv& env, uint64_t query_seed,
                   const QueryFn& run) {
@@ -30,9 +152,10 @@ RunMetrics RunOne(gen::Instance& instance, expand::EngineKind kind,
     Stopwatch watch;
     auto engine = expand::MakeEngine(kind, instance.reader.get(), q);
     MCN_CHECK(engine.ok());
-    metrics.result_size += static_cast<double>(
-        run(engine.value().get(), per_query));
-    double cpu = watch.ElapsedSeconds();
+    QueryOutcome outcome = run(engine.value().get(), per_query);
+    double cpu = watch.ElapsedSeconds() - outcome.hash_seconds;
+    metrics.result_size += static_cast<double>(outcome.result_size);
+    metrics.result_hash = FnvMix(metrics.result_hash, outcome.result_hash);
     uint64_t misses = instance.pool->stats().misses;
     metrics.cpu_seconds += cpu;
     metrics.buffer_misses += misses;
@@ -51,6 +174,8 @@ BenchEnv BenchEnv::FromEnvironment() {
   env.scale = EnvDouble("MCN_BENCH_SCALE", 0.15);
   env.queries = static_cast<int>(EnvDouble("MCN_BENCH_QUERIES", 24));
   env.io_latency_ms = EnvDouble("MCN_IO_LATENCY_MS", 5.0);
+  const char* json = std::getenv("MCN_BENCH_JSON");
+  if (json != nullptr && *json != '\0') env.json_path = json;
   MCN_CHECK(env.scale > 0 && env.queries > 0 && env.io_latency_ms >= 0);
   return env;
 }
@@ -64,16 +189,25 @@ AlgoComparison CompareLsaCea(gen::Instance& instance, const BenchEnv& env,
 }
 
 QueryFn SkylineRunner() {
-  return [](expand::NnEngine* engine, Random&) -> size_t {
+  return [](expand::NnEngine* engine, Random&) -> QueryOutcome {
     algo::SkylineQuery query(engine);
     auto result = query.ComputeAll();
     MCN_CHECK(result.ok());
-    return result.value().size();
+    return MakeOutcome(result.value(),
+                       [](uint64_t h, const algo::SkylineEntry& e) {
+                         h = FnvMix(h, e.facility);
+                         h = FnvMix(h, e.known_mask);
+                         for (int j = 0; j < e.costs.dim(); ++j) {
+                           h = FnvMix(h, DoubleBits(e.costs[j]));
+                         }
+                         return h;
+                       });
   };
 }
 
 QueryFn TopKRunner(int k, int num_costs) {
-  return [k, num_costs](expand::NnEngine* engine, Random& rng) -> size_t {
+  return [k, num_costs](expand::NnEngine* engine,
+                        Random& rng) -> QueryOutcome {
     // Random independent coefficients in [0,1] per query (paper §VI).
     std::vector<double> weights(num_costs);
     for (double& w : weights) w = rng.NextDouble();
@@ -82,12 +216,26 @@ QueryFn TopKRunner(int k, int num_costs) {
     algo::TopKQuery query(engine, algo::WeightedSum(weights), opts);
     auto result = query.Run();
     MCN_CHECK(result.ok());
-    return result.value().size();
+    return MakeOutcome(result.value(),
+                       [](uint64_t h, const algo::TopKEntry& e) {
+                         h = FnvMix(h, e.facility);
+                         h = FnvMix(h, DoubleBits(e.score));
+                         for (int j = 0; j < e.costs.dim(); ++j) {
+                           h = FnvMix(h, DoubleBits(e.costs[j]));
+                         }
+                         return h;
+                       });
   };
 }
 
 void PrintHeader(const std::string& figure, const std::string& varying,
                  const gen::ExperimentConfig& base, const BenchEnv& env) {
+  JsonState& st = State();
+  st.env = env;
+  st.figures.push_back(
+      JsonFigure{figure, varying, base.ToString(), {}});
+  st.figure_open = true;
+
   std::printf("== %s ==\n", figure.c_str());
   std::printf("base config: %s\n", base.ToString().c_str());
   std::printf(
@@ -104,6 +252,10 @@ void PrintHeader(const std::string& figure, const std::string& varying,
 }
 
 void PrintRow(const std::string& param_value, const AlgoComparison& c) {
+  JsonState& st = State();
+  if (st.figure_open) {
+    st.figures.back().rows.push_back(JsonRow{param_value, c});
+  }
   double speedup = c.cea.AvgModeled() > 0
                        ? c.lsa.AvgModeled() / c.cea.AvgModeled()
                        : 0.0;
@@ -116,6 +268,9 @@ void PrintRow(const std::string& param_value, const AlgoComparison& c) {
 }
 
 void PrintFooter() {
+  JsonState& st = State();
+  st.figure_open = false;
+  WriteJson();
   std::printf(
       "time(s) = modeled per-query time: buffer misses x io_latency + "
       "measured CPU.\n\n");

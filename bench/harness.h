@@ -12,9 +12,13 @@
 //   MCN_BENCH_QUERIES  query locations per data point (default 24;
 //                      paper = 100)
 //   MCN_IO_LATENCY_MS  modeled per-miss latency in ms (default 5)
+//   MCN_BENCH_JSON     when set, a machine-readable record of every figure
+//                      run by the process is (re)written to this path after
+//                      each PrintFooter (schema: DESIGN.md §5)
 #ifndef MCN_BENCH_HARNESS_H_
 #define MCN_BENCH_HARNESS_H_
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -25,11 +29,16 @@
 
 namespace mcn::bench {
 
+/// FNV-1a offset basis: the seed of every result hash (per-query hashes
+/// and the cross-query combination in RunMetrics).
+inline constexpr uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+
 /// Scale / repetition knobs resolved from the environment.
 struct BenchEnv {
   double scale = 0.15;
   int queries = 24;
   double io_latency_ms = 5.0;
+  std::string json_path;  ///< empty = no JSON output
 
   static BenchEnv FromEnvironment();
 };
@@ -41,6 +50,9 @@ struct RunMetrics {
   uint64_t buffer_misses = 0;
   uint64_t buffer_accesses = 0;
   double result_size = 0;      ///< avg |skyline| or k
+  /// Order-sensitive FNV-1a over every query's result entries (facility
+  /// ids + cost bit patterns): refactors must keep it byte-identical.
+  uint64_t result_hash = kFnvOffsetBasis;
   int queries = 0;
 
   /// Per-query averages.
@@ -53,8 +65,20 @@ struct RunMetrics {
   }
 };
 
-/// What to run for each query location; returns the result size.
-using QueryFn = std::function<size_t(expand::NnEngine* engine, Random& rng)>;
+/// What one query produced: the result size and an order-sensitive hash of
+/// the full result (ids, costs, scores) for cross-refactor parity checks.
+/// `hash_seconds` is the time the runner spent computing the hash; the
+/// driver subtracts it from the measured window so parity instrumentation
+/// never contaminates the reported CPU metrics.
+struct QueryOutcome {
+  size_t result_size = 0;
+  uint64_t result_hash = 0;
+  double hash_seconds = 0;
+};
+
+/// What to run for each query location.
+using QueryFn =
+    std::function<QueryOutcome(expand::NnEngine* engine, Random& rng)>;
 
 /// Runs `queries` random-location queries with both LSA and CEA on
 /// `instance`, resetting buffer state between algorithms so they see
@@ -71,7 +95,9 @@ QueryFn SkylineRunner();
 /// Weighted-sum top-k with per-query random coefficients (paper §VI).
 QueryFn TopKRunner(int k, int num_costs);
 
-/// Table output helpers.
+/// Table output helpers. When MCN_BENCH_JSON is set they also accumulate a
+/// machine-readable record: PrintHeader opens a figure, PrintRow appends a
+/// data point, PrintFooter closes the figure and rewrites the JSON file.
 void PrintHeader(const std::string& figure, const std::string& varying,
                  const gen::ExperimentConfig& base, const BenchEnv& env);
 void PrintRow(const std::string& param_value, const AlgoComparison& c);

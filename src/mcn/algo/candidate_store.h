@@ -1,0 +1,156 @@
+// CandidateStore: dense per-query bookkeeping for the facilities a
+// preference query has encountered (the paper's candidate set CS plus
+// reported/eliminated records). Replaces the per-pop unordered_map lookups
+// of the original implementation with
+//
+//  * a FacilityId-indexed slot directory (`slot_of_`, one u32 per facility
+//    in the network — the expansions already keep per-facility arrays of
+//    the same size, so this adds no asymptotic memory),
+//  * compact slot records appended in first-seen order, cost rows stored
+//    contiguously (one CostVector per slot) so dominance sweeps stream
+//    through memory instead of chasing hash buckets, and
+//  * two intrusive swap-erase lists — the live candidate list and the
+//    non-pinned skyline list — so sweeps touch only the records that can
+//    still change state, never the full map (DESIGN.md §4).
+//
+// The store is shared by SkylineQuery, TopKQuery and IncrementalTopK; the
+// algorithms own the state-transition logic and tell the store which lists
+// a slot belongs to.
+#ifndef MCN_ALGO_CANDIDATE_STORE_H_
+#define MCN_ALGO_CANDIDATE_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mcn/common/macros.h"
+#include "mcn/graph/cost_vector.h"
+#include "mcn/graph/multi_cost_graph.h"
+
+namespace mcn::algo {
+
+class CandidateStore {
+ public:
+  static constexpr uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  /// Per-slot record. Cost rows live in a parallel array (`costs()`), so
+  /// this stays small and sweep loops that only read flags stay dense.
+  struct Slot {
+    graph::FacilityId id = 0;
+    uint32_t known_mask = 0;
+    uint8_t known_count = 0;
+    bool in_result = false;
+    bool eliminated = false;
+    bool pinned = false;
+    bool pending = false;
+    uint32_t cand_pos = kNoSlot;  ///< position in candidates(), or kNoSlot
+    uint32_t sky_pos = kNoSlot;   ///< position in sky_unpinned(), or kNoSlot
+
+    bool Knows(int i) const { return (known_mask >> i) & 1u; }
+  };
+
+  CandidateStore(uint32_t num_facilities, int d, double fill)
+      : d_(d), fill_(fill), slot_of_(num_facilities, kNoSlot) {
+    slots_.reserve(64);
+    costs_.reserve(64);
+  }
+
+  int dim() const { return d_; }
+  uint32_t size() const { return static_cast<uint32_t>(slots_.size()); }
+
+  /// Slot of facility `f`, or kNoSlot when unseen.
+  uint32_t Find(graph::FacilityId f) const {
+    MCN_DCHECK(f < slot_of_.size());
+    return slot_of_[f];
+  }
+
+  /// Slot of `f`, creating a fresh record (costs = fill) when unseen.
+  uint32_t Acquire(graph::FacilityId f, bool* created) {
+    MCN_DCHECK(f < slot_of_.size());
+    uint32_t s = slot_of_[f];
+    if (s != kNoSlot) {
+      *created = false;
+      return s;
+    }
+    s = static_cast<uint32_t>(slots_.size());
+    slot_of_[f] = s;
+    slots_.emplace_back();
+    slots_.back().id = f;
+    costs_.emplace_back(d_, fill_);
+    *created = true;
+    return s;
+  }
+
+  Slot& slot(uint32_t s) { return slots_[s]; }
+  const Slot& slot(uint32_t s) const { return slots_[s]; }
+  graph::CostVector& costs(uint32_t s) { return costs_[s]; }
+  const graph::CostVector& costs(uint32_t s) const { return costs_[s]; }
+
+  /// Records cost type `i` of slot `s` (must not be known yet).
+  void SetCost(uint32_t s, int i, double cost) {
+    Slot& st = slots_[s];
+    MCN_DCHECK(!st.Knows(i));
+    costs_[s][i] = cost;
+    st.known_mask |= 1u << i;
+    ++st.known_count;
+  }
+
+  // Live candidate list (the paper's CS): slots swap-erase in O(1); sweep
+  // loops iterate `candidates()` by index and must not advance after an
+  // erase of the current position (the swapped-in tail lands there).
+  const std::vector<uint32_t>& candidates() const { return candidates_; }
+  int num_candidates() const { return static_cast<int>(candidates_.size()); }
+
+  void AddCandidate(uint32_t s) {
+    Slot& st = slots_[s];
+    MCN_DCHECK(st.cand_pos == kNoSlot);
+    st.cand_pos = static_cast<uint32_t>(candidates_.size());
+    candidates_.push_back(s);
+  }
+
+  void RemoveCandidate(uint32_t s) {
+    Slot& st = slots_[s];
+    MCN_DCHECK(st.cand_pos != kNoSlot);
+    uint32_t pos = st.cand_pos;
+    uint32_t moved = candidates_.back();
+    candidates_[pos] = moved;
+    slots_[moved].cand_pos = pos;
+    candidates_.pop_back();
+    st.cand_pos = kNoSlot;
+  }
+
+  // Non-pinned skyline list (skyline queries only): directly-reported
+  // first NNs whose dominance power must be retained until they are pinned
+  // (DESIGN.md §3).
+  const std::vector<uint32_t>& sky_unpinned() const { return sky_unpinned_; }
+
+  void AddSkyUnpinned(uint32_t s) {
+    Slot& st = slots_[s];
+    MCN_DCHECK(st.sky_pos == kNoSlot);
+    st.sky_pos = static_cast<uint32_t>(sky_unpinned_.size());
+    sky_unpinned_.push_back(s);
+  }
+
+  void RemoveSkyUnpinned(uint32_t s) {
+    Slot& st = slots_[s];
+    MCN_DCHECK(st.sky_pos != kNoSlot);
+    uint32_t pos = st.sky_pos;
+    uint32_t moved = sky_unpinned_.back();
+    sky_unpinned_[pos] = moved;
+    slots_[moved].sky_pos = pos;
+    sky_unpinned_.pop_back();
+    st.sky_pos = kNoSlot;
+  }
+
+ private:
+  int d_;
+  double fill_;
+  std::vector<uint32_t> slot_of_;
+  std::vector<Slot> slots_;
+  std::vector<graph::CostVector> costs_;
+  std::vector<uint32_t> candidates_;
+  std::vector<uint32_t> sky_unpinned_;
+};
+
+}  // namespace mcn::algo
+
+#endif  // MCN_ALGO_CANDIDATE_STORE_H_

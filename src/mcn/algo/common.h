@@ -23,22 +23,6 @@ AggregateFn WeightedSum(std::vector<double> weights);
 /// round-robin (Fig. 4); the others exist for the ablation benchmark.
 enum class ProbePolicy { kRoundRobin, kSmallestFrontier, kLargestFrontier };
 
-/// Per-facility bookkeeping shared by the skyline and top-k processors.
-/// Unknown cost components hold +infinity; `known_mask` is authoritative.
-struct TrackedFacility {
-  graph::CostVector costs;
-  uint32_t known_mask = 0;
-  int known_count = 0;
-  bool in_result = false;
-  bool eliminated = false;
-  bool pinned = false;
-  /// Skyline only: pinned candidate whose report is deferred until a
-  /// frontier drain resolves potential non-pinned dominators.
-  bool pending = false;
-
-  bool Knows(int i) const { return (known_mask >> i) & 1u; }
-};
-
 /// A skyline answer. `known_mask` marks which costs had been computed by the
 /// time the entry was retrieved — the algorithms may confirm a facility
 /// without ever completing its vector (paper §IV-A enhancements).

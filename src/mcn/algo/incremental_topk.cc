@@ -12,6 +12,7 @@ IncrementalTopK::IncrementalTopK(expand::NnEngine* engine, AggregateFn f,
       f_(std::move(f)),
       policy_(policy),
       d_(engine->num_costs()),
+      store_(engine->num_facilities(), d_, expand::kInfCost),
       active_(d_, true) {
   MCN_CHECK(engine != nullptr);
 }
@@ -49,16 +50,16 @@ int IncrementalTopK::PickExpansion() const {
 
 TopKEntry IncrementalTopK::MakeEntry(graph::FacilityId f,
                                      double score) const {
-  auto it = tracked_.find(f);
-  MCN_DCHECK(it != tracked_.end());
-  return TopKEntry{f, it->second.costs, score};
+  uint32_t s = store_.Find(f);
+  MCN_DCHECK(s != CandidateStore::kNoSlot);
+  return TopKEntry{f, store_.costs(s), score};
 }
 
 double IncrementalTopK::MinCandidateLowerBound() const {
   double min_lb = expand::kInfCost;
-  for (const auto& [fid, st] : tracked_) {
-    if (st.pinned) continue;
-    graph::CostVector lb = st.costs;
+  for (uint32_t s : store_.candidates()) {
+    const CandidateStore::Slot& st = store_.slot(s);
+    graph::CostVector lb = store_.costs(s);
     for (int j = 0; j < d_; ++j) {
       if (!st.Knows(j)) lb[j] = engine_->Frontier(j);
     }
@@ -104,22 +105,18 @@ Result<std::optional<TopKEntry>> IncrementalTopK::NextBest() {
 
 Status IncrementalTopK::HandlePop(int i, graph::FacilityId f, double cost) {
   ++stats_.nn_pops;
-  auto [it, created] = tracked_.try_emplace(
-      f, TrackedFacility{graph::CostVector(d_, expand::kInfCost), 0, 0,
-                         false, false, false});
-  TrackedFacility& st = it->second;
+  bool created = false;
+  uint32_t s = store_.Acquire(f, &created);
   if (created) {
     ++stats_.facilities_seen;
-    ++num_candidates_;
+    store_.AddCandidate(s);
   }
-  MCN_DCHECK(!st.Knows(i));
-  st.costs[i] = cost;
-  st.known_mask |= 1u << i;
-  ++st.known_count;
+  store_.SetCost(s, i, cost);
+  CandidateStore::Slot& st = store_.slot(s);
   if (st.known_count == d_) {
     st.pinned = true;
-    --num_candidates_;
-    pinned_.push(HeapEntry{f_(st.costs), f});
+    store_.RemoveCandidate(s);
+    pinned_.push(HeapEntry{f_(store_.costs(s)), f});
   }
   return Status::OK();
 }

@@ -5,14 +5,17 @@
 // pinned unreported facilities and (ii) no candidate's frontier-based lower
 // bound can beat it (facilities first seen after its pinning are covered by
 // the expansion-order argument — see paper §V and DESIGN.md).
+//
+// Candidates live in a dense CandidateStore: the per-report safety check
+// streams over the live candidate list instead of scanning a hash map.
 #ifndef MCN_ALGO_INCREMENTAL_TOPK_H_
 #define MCN_ALGO_INCREMENTAL_TOPK_H_
 
 #include <optional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "mcn/algo/candidate_store.h"
 #include "mcn/algo/common.h"
 #include "mcn/common/result.h"
 #include "mcn/expand/engines.h"
@@ -62,8 +65,7 @@ class IncrementalTopK {
   AggregateFn f_;
   ProbePolicy policy_;
   int d_;
-  std::unordered_map<graph::FacilityId, TrackedFacility> tracked_;
-  int num_candidates_ = 0;
+  CandidateStore store_;
   std::vector<bool> active_;
   // Pinned but not yet reported, min-heap by score.
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>

@@ -10,6 +10,7 @@ SkylineQuery::SkylineQuery(expand::NnEngine* engine, SkylineOptions options)
     : engine_(engine),
       opts_(options),
       d_(engine->num_costs()),
+      store_(engine->num_facilities(), d_, expand::kInfCost),
       missing_per_cost_(d_, 0),
       sky_missing_per_cost_(d_, 0),
       active_(d_, true),
@@ -18,9 +19,9 @@ SkylineQuery::SkylineQuery(expand::NnEngine* engine, SkylineOptions options)
 }
 
 SkylineEntry SkylineQuery::MakeEntry(graph::FacilityId f) const {
-  auto it = tracked_.find(f);
-  MCN_DCHECK(it != tracked_.end());
-  return SkylineEntry{f, it->second.costs, it->second.known_mask};
+  uint32_t s = store_.Find(f);
+  MCN_DCHECK(s != CandidateStore::kNoSlot);
+  return SkylineEntry{f, store_.costs(s), store_.slot(s).known_mask};
 }
 
 Result<std::optional<SkylineEntry>> SkylineQuery::Next() {
@@ -86,7 +87,7 @@ Status SkylineQuery::Advance() {
   int i = PickExpansion();
   if (i < 0) {
     // Every expansion exhausted or stopped.
-    if (num_candidates_ > 0) return FinalizeRemaining();
+    if (store_.num_candidates() > 0) return FinalizeRemaining();
     done_ = true;
     return Status::OK();
   }
@@ -123,21 +124,20 @@ Status SkylineQuery::DrainStep() {
   ResolvePendingPins();
   if (!growing_over_) {
     growing_over_ = true;
-    if (num_candidates_ > 0 && opts_.use_facility_filter) {
+    if (store_.num_candidates() > 0 && opts_.use_facility_filter) {
       MCN_RETURN_IF_ERROR(BuildFilter());
     }
   }
   MaybeStopExpansions();
-  if (num_candidates_ == 0) done_ = true;
+  if (store_.num_candidates() == 0) done_ = true;
   return Status::OK();
 }
 
 Status SkylineQuery::HandlePop(int i, graph::FacilityId f, double cost) {
   ++stats_.nn_pops;
-  auto [it, created] = tracked_.try_emplace(
-      f, TrackedFacility{graph::CostVector(d_, expand::kInfCost), 0, 0,
-                         false, false, false, false});
-  TrackedFacility& st = it->second;
+  bool created = false;
+  uint32_t s = store_.Acquire(f, &created);
+  CandidateStore::Slot& st = store_.slot(s);
   if (created) ++stats_.facilities_seen;
   if (st.eliminated) return Status::OK();
   // After the first drain, newly popped facilities are no longer part of
@@ -149,19 +149,17 @@ Status SkylineQuery::HandlePop(int i, graph::FacilityId f, double cost) {
     return Status::OK();
   }
 
-  MCN_DCHECK(!st.Knows(i));
-  st.costs[i] = cost;
-  st.known_mask |= 1u << i;
-  ++st.known_count;
+  store_.SetCost(s, i, cost);
 
   if (growing_like) {
     if (created) {
-      ++num_candidates_;
+      store_.AddCandidate(s);
       for (int j = 0; j < d_; ++j) {
         if (j != i) ++missing_per_cost_[j];
       }
-      stats_.candidates_peak = std::max(
-          stats_.candidates_peak, static_cast<uint64_t>(num_candidates_));
+      stats_.candidates_peak =
+          std::max(stats_.candidates_peak,
+                   static_cast<uint64_t>(store_.num_candidates()));
     } else if (IsCandidate(st)) {
       --missing_per_cost_[i];
     }
@@ -171,7 +169,7 @@ Status SkylineQuery::HandlePop(int i, graph::FacilityId f, double cost) {
     if (opts_.report_first_nn && !first_nn_taken_[i]) {
       // The i-th expansion's first NN cannot be dominated: report directly.
       first_nn_taken_[i] = true;
-      if (!st.in_result) PromoteToSkyline(f, st);
+      if (!st.in_result) PromoteToSkyline(s);
     }
   } else if (IsCandidate(st)) {
     --missing_per_cost_[i];
@@ -180,86 +178,101 @@ Status SkylineQuery::HandlePop(int i, graph::FacilityId f, double cost) {
   }
 
   if (st.known_count == d_) {
-    MCN_RETURN_IF_ERROR(Pin(f));
+    MCN_RETURN_IF_ERROR(Pin(s));
   }
   if (stage_ == Stage::kShrinking) MaybeStopExpansions();
   return Status::OK();
 }
 
-void SkylineQuery::PromoteToSkyline(graph::FacilityId f, TrackedFacility& st) {
+void SkylineQuery::PromoteToSkyline(uint32_t s) {
+  CandidateStore::Slot& st = store_.slot(s);
   MCN_DCHECK(IsCandidate(st));
   st.in_result = true;
-  --num_candidates_;
+  store_.RemoveCandidate(s);
   for (int j = 0; j < d_; ++j) {
     if (!st.Knows(j)) {
       --missing_per_cost_[j];
       ++sky_missing_per_cost_[j];
     }
   }
-  filter_.Remove(f);
-  output_.push_back(f);
+  if (!st.pinned) store_.AddSkyUnpinned(s);
+  filter_.Remove(st.id);
+  output_.push_back(st.id);
   ++stats_.skyline_size;
 }
 
-void SkylineQuery::Eliminate(graph::FacilityId f, TrackedFacility& st) {
+void SkylineQuery::Eliminate(uint32_t s) {
+  CandidateStore::Slot& st = store_.slot(s);
   MCN_DCHECK(IsCandidate(st));
   st.eliminated = true;
-  --num_candidates_;
+  store_.RemoveCandidate(s);
   for (int j = 0; j < d_; ++j) {
     if (!st.Knows(j)) --missing_per_cost_[j];
   }
-  filter_.Remove(f);
+  filter_.Remove(st.id);
 }
 
-void SkylineQuery::EliminateDominatedBy(graph::FacilityId pinned) {
-  const graph::CostVector& pc = tracked_[pinned].costs;
-  for (auto& [fid, st] : tracked_) {
-    if (fid == pinned || !IsCandidate(st)) continue;
+void SkylineQuery::EliminateDominatedBy(uint32_t pinned) {
+  const graph::CostVector& pc = store_.costs(pinned);
+  const std::vector<uint32_t>& cs = store_.candidates();
+  // Swap-erase iteration: when the current slot is eliminated, the tail
+  // lands at `pos`, so the index must not advance.
+  for (size_t pos = 0; pos < cs.size();) {
+    uint32_t s = cs[pos];
+    // Every Pin path removes the pinned slot from CS before sweeping.
+    MCN_DCHECK(s != pinned);
+    const CandidateStore::Slot& st = store_.slot(s);
     ++stats_.dominance_checks;
     // Known costs of the candidate are enough: its unknown costs are at
     // least the corresponding frontier, hence at least the pinned
     // facility's costs. Elimination requires a strict witness among the
     // known costs (DESIGN.md §3).
+    const graph::CostVector& sc = store_.costs(s);
     bool leq_all = true;
     bool strict = false;
     for (int j = 0; j < d_; ++j) {
       if (!st.Knows(j)) continue;
-      if (pc[j] > st.costs[j]) {
+      if (pc[j] > sc[j]) {
         leq_all = false;
         break;
       }
-      if (pc[j] < st.costs[j]) strict = true;
+      if (pc[j] < sc[j]) strict = true;
     }
-    if (leq_all && strict) Eliminate(fid, st);
+    if (leq_all && strict) {
+      Eliminate(s);
+    } else {
+      ++pos;
+    }
   }
 }
 
 bool SkylineQuery::DominatedByPinnedSkyline(const graph::CostVector& costs) {
-  for (graph::FacilityId m : pinned_skyline_) {
+  for (uint32_t m : pinned_skyline_) {
     ++stats_.dominance_checks;
-    if (tracked_[m].costs.Dominates(costs)) return true;
+    if (store_.costs(m).Dominates(costs)) return true;
   }
   return false;
 }
 
 bool SkylineQuery::ThreatenedByNonPinnedSkyline(
     const graph::CostVector& costs) {
-  for (auto& [mid, mst] : tracked_) {
-    if (!mst.in_result || mst.pinned) continue;
+  for (uint32_t m : store_.sky_unpinned()) {
+    const CandidateStore::Slot& mst = store_.slot(m);
     ++stats_.dominance_checks;
     // m could dominate `costs` only if every known cost is <= (with a
     // strict witness) and every unknown cost sits exactly at a frontier
     // equal to ours (the frontier already reached our cost because we are
     // pinned, so anything larger disqualifies m).
+    const graph::CostVector& mc = store_.costs(m);
     bool possible = true;
     bool strict = false;
     for (int j = 0; j < d_; ++j) {
       if (mst.Knows(j)) {
-        if (mst.costs[j] > costs[j]) {
+        if (mc[j] > costs[j]) {
           possible = false;
           break;
         }
-        if (mst.costs[j] < costs[j]) strict = true;
+        if (mc[j] < costs[j]) strict = true;
       } else if (engine_->Frontier(j) != costs[j]) {
         possible = false;
         break;
@@ -271,25 +284,25 @@ bool SkylineQuery::ThreatenedByNonPinnedSkyline(
 }
 
 void SkylineQuery::ResolvePendingPins() {
-  for (graph::FacilityId f : pending_pins_) {
-    TrackedFacility& st = tracked_[f];
+  for (uint32_t s : pending_pins_) {
+    CandidateStore::Slot& st = store_.slot(s);
     MCN_DCHECK(st.pending && st.pinned);
     st.pending = false;
-    if (DominatedByPinnedSkyline(st.costs)) {
+    if (DominatedByPinnedSkyline(store_.costs(s))) {
       st.eliminated = true;
     } else {
       st.in_result = true;
-      output_.push_back(f);
+      output_.push_back(st.id);
       ++stats_.skyline_size;
-      pinned_skyline_.push_back(f);
-      EliminateDominatedBy(f);
+      pinned_skyline_.push_back(s);
+      EliminateDominatedBy(s);
     }
   }
   pending_pins_.clear();
 }
 
-Status SkylineQuery::Pin(graph::FacilityId f) {
-  TrackedFacility& st = tracked_[f];
+Status SkylineQuery::Pin(uint32_t s) {
+  CandidateStore::Slot& st = store_.slot(s);
   MCN_DCHECK(!st.pinned);
   st.pinned = true;
 
@@ -298,42 +311,47 @@ Status SkylineQuery::Pin(graph::FacilityId f) {
     // shrinking stage starts, drain exact frontier ties (DESIGN.md §3).
     stage_ = Stage::kDrain;
     stats_.reached_shrinking = true;
-    drain_boundary_ = st.costs;
-    if (!st.in_result) PromoteToSkyline(f, st);
-    pinned_skyline_.push_back(f);
-    EliminateDominatedBy(f);
+    drain_boundary_ = store_.costs(s);
+    if (!st.in_result) {
+      PromoteToSkyline(s);
+    } else {
+      store_.RemoveSkyUnpinned(s);
+    }
+    pinned_skyline_.push_back(s);
+    EliminateDominatedBy(s);
     return Status::OK();
   }
 
   if (st.in_result) {
     // A facility reported via the first-NN enhancement got pinned later:
     // it now participates in candidate elimination (paper §IV-A).
-    filter_.Remove(f);
-    pinned_skyline_.push_back(f);
-    EliminateDominatedBy(f);
-  } else if (DominatedByPinnedSkyline(st.costs)) {
-    Eliminate(f, st);
-  } else if (ThreatenedByNonPinnedSkyline(st.costs)) {
+    store_.RemoveSkyUnpinned(s);
+    filter_.Remove(st.id);
+    pinned_skyline_.push_back(s);
+    EliminateDominatedBy(s);
+  } else if (DominatedByPinnedSkyline(store_.costs(s))) {
+    Eliminate(s);
+  } else if (ThreatenedByNonPinnedSkyline(store_.costs(s))) {
     // Defer the report until a drain resolves the potential dominators.
     ++stats_.deferred_pins;
     st.pending = true;
-    --num_candidates_;  // fully known: no missing_per_cost_ updates
-    filter_.Remove(f);
-    pending_pins_.push_back(f);
+    store_.RemoveCandidate(s);  // fully known: no missing_per_cost_ updates
+    filter_.Remove(st.id);
+    pending_pins_.push_back(s);
     if (stage_ != Stage::kDrain) {
       stage_ = Stage::kDrain;
-      drain_boundary_ = st.costs;
+      drain_boundary_ = store_.costs(s);
     } else {
       for (int j = 0; j < d_; ++j) {
-        drain_boundary_[j] = std::max(drain_boundary_[j], st.costs[j]);
+        drain_boundary_[j] = std::max(drain_boundary_[j], store_.costs(s)[j]);
       }
     }
   } else {
-    PromoteToSkyline(f, st);
-    pinned_skyline_.push_back(f);
-    EliminateDominatedBy(f);
+    PromoteToSkyline(s);
+    pinned_skyline_.push_back(s);
+    EliminateDominatedBy(s);
   }
-  if (stage_ == Stage::kShrinking && num_candidates_ == 0 &&
+  if (stage_ == Stage::kShrinking && store_.num_candidates() == 0 &&
       pending_pins_.empty()) {
     done_ = true;
   }
@@ -341,12 +359,16 @@ Status SkylineQuery::Pin(graph::FacilityId f) {
 }
 
 Status SkylineQuery::BuildFilter() {
-  for (const auto& [fid, st] : tracked_) {
-    bool sky_unpinned = st.in_result && !st.pinned;
-    if (!IsCandidate(st) && !sky_unpinned) continue;
-    MCN_ASSIGN_OR_RETURN(graph::EdgeKey edge,
-                         engine_->LocateFacilityEdge(fid));
-    filter_.Add(edge, fid);
+  // Candidates and non-pinned skyline members both stay visible to the
+  // shrinking-stage expansions.
+  for (const std::vector<uint32_t>* list :
+       {&store_.candidates(), &store_.sky_unpinned()}) {
+    for (uint32_t s : *list) {
+      graph::FacilityId id = store_.slot(s).id;
+      MCN_ASSIGN_OR_RETURN(graph::EdgeKey edge,
+                           engine_->LocateFacilityEdge(id));
+      filter_.Add(edge, id);
+    }
   }
   engine_->SetFilter(&filter_);
   filter_installed_ = true;
@@ -369,27 +391,27 @@ Status SkylineQuery::FinalizeRemaining() {
   // before any pin, which requires an empty reachable facility set, or
   // defensive recovery): resolve remaining candidates with what is known,
   // treating unknown costs as +infinity.
-  std::vector<graph::FacilityId> remaining;
-  for (auto& [fid, st] : tracked_) {
-    if (IsCandidate(st)) remaining.push_back(fid);
-  }
-  std::sort(remaining.begin(), remaining.end());
-  for (graph::FacilityId f : remaining) {
-    TrackedFacility& st = tracked_[f];
+  std::vector<uint32_t> remaining(store_.candidates());
+  std::sort(remaining.begin(), remaining.end(),
+            [this](uint32_t a, uint32_t b) {
+              return store_.slot(a).id < store_.slot(b).id;
+            });
+  for (uint32_t s : remaining) {
+    CandidateStore::Slot& st = store_.slot(s);
     if (!IsCandidate(st)) continue;  // eliminated by an earlier iteration
     bool dominated = false;
-    for (const auto& [oid, ost] : tracked_) {
-      if (oid == f || ost.eliminated) continue;
+    for (uint32_t o = 0; o < store_.size(); ++o) {
+      if (o == s || store_.slot(o).eliminated) continue;
       ++stats_.dominance_checks;
-      if (ost.costs.Dominates(st.costs)) {
+      if (store_.costs(o).Dominates(store_.costs(s))) {
         dominated = true;
         break;
       }
     }
     if (dominated) {
-      Eliminate(f, st);
+      Eliminate(s);
     } else {
-      PromoteToSkyline(f, st);
+      PromoteToSkyline(s);
     }
   }
   done_ = true;

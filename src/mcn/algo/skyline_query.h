@@ -21,14 +21,18 @@
 //    no *non-pinned* skyline member (a directly-reported first NN that the
 //    candidate filter excludes from further pops) can still dominate it;
 //    potential dominators are resolved by a bounded frontier drain.
+//
+// Per-facility state lives in a dense CandidateStore (DESIGN.md §4):
+// dominance sweeps iterate only the live candidate / non-pinned skyline
+// lists instead of hashing into (or fully scanning) a map per event.
 #ifndef MCN_ALGO_SKYLINE_QUERY_H_
 #define MCN_ALGO_SKYLINE_QUERY_H_
 
 #include <deque>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "mcn/algo/candidate_store.h"
 #include "mcn/algo/common.h"
 #include "mcn/common/result.h"
 #include "mcn/expand/engines.h"
@@ -84,7 +88,7 @@ class SkylineQuery {
   // potential dominators. Costs no extra pops in generic position.
   enum class Stage { kGrowing, kDrain, kShrinking };
 
-  bool IsCandidate(const TrackedFacility& st) const {
+  bool IsCandidate(const CandidateStore::Slot& st) const {
     return !st.in_result && !st.eliminated && !st.pending;
   }
 
@@ -94,13 +98,13 @@ class SkylineQuery {
   /// frontier has moved past the drain boundary.
   Status DrainStep();
   Status HandlePop(int i, graph::FacilityId f, double cost);
-  Status Pin(graph::FacilityId f);
-  /// Moves f from CS into the skyline and queues it for output.
-  void PromoteToSkyline(graph::FacilityId f, TrackedFacility& st);
-  /// Removes f from CS as dominated.
-  void Eliminate(graph::FacilityId f, TrackedFacility& st);
-  /// Strict known-cost dominance sweep against a just-pinned facility.
-  void EliminateDominatedBy(graph::FacilityId pinned);
+  Status Pin(uint32_t s);
+  /// Moves a candidate slot into the skyline and queues it for output.
+  void PromoteToSkyline(uint32_t s);
+  /// Removes a candidate slot from CS as dominated.
+  void Eliminate(uint32_t s);
+  /// Strict known-cost dominance sweep against a just-pinned slot.
+  void EliminateDominatedBy(uint32_t pinned);
   /// True if some pinned skyline member strictly dominates `costs`.
   bool DominatedByPinnedSkyline(const graph::CostVector& costs);
   /// True if a non-pinned skyline member could still dominate `costs`
@@ -125,8 +129,7 @@ class SkylineQuery {
   /// True once the first drain finished: from then on, newly popped
   /// facilities are no longer admitted to CS (paper's shrinking rule).
   bool growing_over_ = false;
-  std::unordered_map<graph::FacilityId, TrackedFacility> tracked_;
-  int num_candidates_ = 0;
+  CandidateStore store_;
   std::vector<int> missing_per_cost_;
   // Non-pinned skyline members (directly-reported first NNs) still missing
   // each cost: expansions stay alive for them while candidates remain, so
@@ -134,9 +137,9 @@ class SkylineQuery {
   std::vector<int> sky_missing_per_cost_;
   std::vector<bool> active_;
   std::vector<bool> first_nn_taken_;
-  std::vector<graph::FacilityId> pinned_skyline_;
+  std::vector<uint32_t> pinned_skyline_;  ///< store slots
   graph::CostVector drain_boundary_;
-  std::vector<graph::FacilityId> pending_pins_;
+  std::vector<uint32_t> pending_pins_;    ///< store slots
   expand::FacilityFilter filter_;
   bool filter_installed_ = false;
   std::deque<graph::FacilityId> output_;

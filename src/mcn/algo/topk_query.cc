@@ -12,6 +12,7 @@ TopKQuery::TopKQuery(expand::NnEngine* engine, AggregateFn f,
       f_(std::move(f)),
       opts_(options),
       d_(engine->num_costs()),
+      store_(engine->num_facilities(), d_, expand::kInfCost),
       missing_per_cost_(d_, 0),
       active_(d_, true) {
   MCN_CHECK(engine != nullptr);
@@ -69,7 +70,7 @@ Status TopKQuery::RunGrowing() {
     if (i < 0) {
       // Total exhaustion: every encountered facility has been pinned, the
       // tentative top-k already holds the best of them.
-      MCN_DCHECK(num_candidates_ == 0);
+      MCN_DCHECK(store_.num_candidates() == 0);
       return Status::OK();
     }
     turn_ = (i + 1) % d_;
@@ -86,35 +87,33 @@ Status TopKQuery::RunGrowing() {
 
 Status TopKQuery::HandleGrowingPop(int i, graph::FacilityId f, double cost) {
   ++stats_.nn_pops;
-  auto [it, created] = tracked_.try_emplace(
-      f, TrackedFacility{graph::CostVector(d_, expand::kInfCost), 0, 0,
-                         false, false, false});
-  TrackedFacility& st = it->second;
+  bool created = false;
+  uint32_t s = store_.Acquire(f, &created);
   if (created) ++stats_.facilities_seen;
-  MCN_DCHECK(!st.Knows(i));
-  st.costs[i] = cost;
-  st.known_mask |= 1u << i;
-  ++st.known_count;
+  store_.SetCost(s, i, cost);
   if (created) {
-    ++num_candidates_;
+    store_.AddCandidate(s);
     for (int j = 0; j < d_; ++j) {
       if (j != i) ++missing_per_cost_[j];
     }
-    stats_.candidates_peak = std::max(stats_.candidates_peak,
-                                      static_cast<uint64_t>(num_candidates_));
+    stats_.candidates_peak =
+        std::max(stats_.candidates_peak,
+                 static_cast<uint64_t>(store_.num_candidates()));
   } else {
     --missing_per_cost_[i];
   }
-  if (st.known_count == d_) AcceptPinned(f, st);
+  if (store_.slot(s).known_count == d_) AcceptPinned(s);
   return Status::OK();
 }
 
-void TopKQuery::AcceptPinned(graph::FacilityId f, TrackedFacility& st) {
+void TopKQuery::AcceptPinned(uint32_t s) {
+  CandidateStore::Slot& st = store_.slot(s);
   MCN_DCHECK(!st.pinned && IsCandidate(st));
   st.pinned = true;
   st.in_result = true;
-  --num_candidates_;  // all costs known, so no missing_per_cost_ updates
-  top_.push(HeapEntry{f_(st.costs), f});
+  // All costs known, so no missing_per_cost_ updates.
+  store_.RemoveCandidate(s);
+  top_.push(HeapEntry{f_(store_.costs(s)), st.id});
 }
 
 Status TopKQuery::RunShrinking() {
@@ -122,7 +121,7 @@ Status TopKQuery::RunShrinking() {
     MCN_RETURN_IF_ERROR(BuildFilter());
   }
   MaybeStopExpansions();
-  while (num_candidates_ > 0) {
+  while (store_.num_candidates() > 0) {
     bool any_active = false;
     // One heap element per expansion per round (paper §V: "each expansion
     // is suspended after popping one node from its heap").
@@ -144,15 +143,13 @@ Status TopKQuery::RunShrinking() {
     }
     if (opts_.lower_bound_pruning) LowerBoundSweep();
     MaybeStopExpansions();
-    if (!any_active && num_candidates_ > 0) {
+    if (!any_active && store_.num_candidates() > 0) {
       // Every expansion exhausted or stopped: remaining candidates can
       // never be pinned; their lower bounds are +infinity (unreachable
       // costs), so they cannot beat any pinned facility.
-      std::vector<graph::FacilityId> remaining;
-      for (auto& [fid, st] : tracked_) {
-        if (IsCandidate(st)) remaining.push_back(fid);
+      while (store_.num_candidates() > 0) {
+        Eliminate(store_.candidates().back());
       }
-      for (graph::FacilityId fid : remaining) Eliminate(fid, tracked_[fid]);
     }
   }
   return Status::OK();
@@ -161,82 +158,84 @@ Status TopKQuery::RunShrinking() {
 Status TopKQuery::HandleShrinkingPop(int i, graph::FacilityId f,
                                      double cost) {
   ++stats_.nn_pops;
-  auto it = tracked_.find(f);
-  if (it == tracked_.end()) {
+  uint32_t s = store_.Find(f);
+  if (s == CandidateStore::kNoSlot) {
     // First popped during shrinking: not in CS, ignore for good.
-    auto [nit, inserted] = tracked_.try_emplace(
-        f, TrackedFacility{graph::CostVector(d_, expand::kInfCost), 0, 0,
-                           false, true, false});
-    (void)nit;
-    (void)inserted;
+    bool created = false;
+    s = store_.Acquire(f, &created);
+    MCN_DCHECK(created);
+    store_.slot(s).eliminated = true;
     return Status::OK();
   }
-  TrackedFacility& st = it->second;
+  CandidateStore::Slot& st = store_.slot(s);
   if (st.eliminated || st.in_result) return Status::OK();
-  MCN_DCHECK(!st.Knows(i));
-  st.costs[i] = cost;
-  st.known_mask |= 1u << i;
-  ++st.known_count;
+  store_.SetCost(s, i, cost);
   --missing_per_cost_[i];
-  if (st.known_count == d_) ResolvePinned(f, st);
+  if (st.known_count == d_) ResolvePinned(s);
   return Status::OK();
 }
 
-void TopKQuery::ResolvePinned(graph::FacilityId f, TrackedFacility& st) {
+void TopKQuery::ResolvePinned(uint32_t s) {
+  CandidateStore::Slot& st = store_.slot(s);
   MCN_DCHECK(IsCandidate(st));
   st.pinned = true;
-  double score = f_(st.costs);
+  double score = f_(store_.costs(s));
   if (score < KthScore()) {
     // Replaces the current k-th best (paper §V shrinking stage).
     graph::FacilityId evicted = top_.top().facility;
     top_.pop();
-    TrackedFacility& est = tracked_[evicted];
-    est.in_result = false;
-    est.eliminated = true;
-    top_.push(HeapEntry{score, f});
+    uint32_t es = store_.Find(evicted);
+    MCN_DCHECK(es != CandidateStore::kNoSlot);
+    store_.slot(es).in_result = false;
+    store_.slot(es).eliminated = true;
+    top_.push(HeapEntry{score, st.id});
     st.in_result = true;
-    --num_candidates_;
-    filter_.Remove(f);
+    store_.RemoveCandidate(s);
+    filter_.Remove(st.id);
     ++stats_.replacements;
   } else {
-    Eliminate(f, st);
+    Eliminate(s);
   }
 }
 
-void TopKQuery::Eliminate(graph::FacilityId f, TrackedFacility& st) {
+void TopKQuery::Eliminate(uint32_t s) {
+  CandidateStore::Slot& st = store_.slot(s);
   MCN_DCHECK(IsCandidate(st));
   st.eliminated = true;
-  --num_candidates_;
+  store_.RemoveCandidate(s);
   for (int j = 0; j < d_; ++j) {
     if (!st.Knows(j)) --missing_per_cost_[j];
   }
-  filter_.Remove(f);
+  filter_.Remove(st.id);
 }
 
 void TopKQuery::LowerBoundSweep() {
   if (top_.empty()) return;
   double kth = KthScore();
-  std::vector<graph::FacilityId> victims;
-  for (auto& [fid, st] : tracked_) {
-    if (!IsCandidate(st)) continue;
-    graph::CostVector lb = st.costs;
+  const std::vector<uint32_t>& cs = store_.candidates();
+  // Swap-erase iteration: do not advance after eliminating the current
+  // position (the tail slot lands there).
+  for (size_t pos = 0; pos < cs.size();) {
+    uint32_t s = cs[pos];
+    const CandidateStore::Slot& st = store_.slot(s);
+    graph::CostVector lb = store_.costs(s);
     for (int j = 0; j < d_; ++j) {
       if (!st.Knows(j)) lb[j] = engine_->Frontier(j);
     }
-    if (f_(lb) >= kth) victims.push_back(fid);
-  }
-  for (graph::FacilityId fid : victims) {
-    Eliminate(fid, tracked_[fid]);
-    ++stats_.lb_eliminations;
+    if (f_(lb) >= kth) {
+      Eliminate(s);
+      ++stats_.lb_eliminations;
+    } else {
+      ++pos;
+    }
   }
 }
 
 Status TopKQuery::BuildFilter() {
-  for (const auto& [fid, st] : tracked_) {
-    if (!IsCandidate(st)) continue;
+  for (uint32_t s : store_.candidates()) {
     MCN_ASSIGN_OR_RETURN(graph::EdgeKey edge,
-                         engine_->LocateFacilityEdge(fid));
-    filter_.Add(edge, fid);
+                         engine_->LocateFacilityEdge(store_.slot(s).id));
+    filter_.Add(edge, store_.slot(s).id);
   }
   engine_->SetFilter(&filter_);
   return Status::OK();
@@ -255,8 +254,8 @@ std::vector<TopKEntry> TopKQuery::ExtractResult() {
   while (!top_.empty()) {
     HeapEntry e = top_.top();
     top_.pop();
-    result.push_back(TopKEntry{e.facility, tracked_[e.facility].costs,
-                               e.score});
+    uint32_t s = store_.Find(e.facility);
+    result.push_back(TopKEntry{e.facility, store_.costs(s), e.score});
   }
   std::reverse(result.begin(), result.end());
   return result;

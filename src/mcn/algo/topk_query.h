@@ -2,13 +2,17 @@
 // facilities are pinned, then a shrinking stage that steps every expansion
 // one heap element per turn, pins or prunes the remaining candidates, and
 // uses the frontier keys t_i for lower-bound elimination.
+//
+// Candidates live in a dense CandidateStore: the per-round lower-bound
+// sweep streams over the live candidate list (cost rows contiguous)
+// instead of scanning a hash map.
 #ifndef MCN_ALGO_TOPK_QUERY_H_
 #define MCN_ALGO_TOPK_QUERY_H_
 
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "mcn/algo/candidate_store.h"
 #include "mcn/algo/common.h"
 #include "mcn/common/result.h"
 #include "mcn/expand/engines.h"
@@ -58,7 +62,7 @@ class TopKQuery {
     }
   };
 
-  bool IsCandidate(const TrackedFacility& st) const {
+  bool IsCandidate(const CandidateStore::Slot& st) const {
     return !st.in_result && !st.eliminated;
   }
 
@@ -67,10 +71,10 @@ class TopKQuery {
   Status HandleGrowingPop(int i, graph::FacilityId f, double cost);
   Status HandleShrinkingPop(int i, graph::FacilityId f, double cost);
   /// Inserts a pinned facility into the tentative top-k (growing).
-  void AcceptPinned(graph::FacilityId f, TrackedFacility& st);
+  void AcceptPinned(uint32_t s);
   /// Resolves a pinned candidate against the current k-th score (shrinking).
-  void ResolvePinned(graph::FacilityId f, TrackedFacility& st);
-  void Eliminate(graph::FacilityId f, TrackedFacility& st);
+  void ResolvePinned(uint32_t s);
+  void Eliminate(uint32_t s);
   double KthScore() const;
   void LowerBoundSweep();
   Status BuildFilter();
@@ -82,8 +86,7 @@ class TopKQuery {
   AggregateFn f_;
   TopKOptions opts_;
   int d_;
-  std::unordered_map<graph::FacilityId, TrackedFacility> tracked_;
-  int num_candidates_ = 0;
+  CandidateStore store_;
   std::vector<int> missing_per_cost_;
   std::vector<bool> active_;
   // Tentative result: max-heap on score; holds at most k entries.

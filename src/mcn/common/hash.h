@@ -1,0 +1,21 @@
+// Shared 64-bit hashing helpers. Every hot-path hash in the library
+// (EdgeKeyHash, PageIdHash, FlatU64Map) funnels through the same
+// splitmix64-style finalizer so the mixing behavior cannot silently
+// diverge between subsystems.
+#ifndef MCN_COMMON_HASH_H_
+#define MCN_COMMON_HASH_H_
+
+#include <cstdint>
+
+namespace mcn {
+
+/// splitmix64 finalizer: a fast, well-distributed 64-bit mix.
+inline uint64_t MixU64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace mcn
+
+#endif  // MCN_COMMON_HASH_H_

@@ -57,34 +57,42 @@ Result<FetchProvider::SeedInfo> DirectFetch::GetSeedInfo(
   return SeedFromEntries(this, *entries, q.edge());
 }
 
-CachedFetch::CachedFetch(const net::NetworkReader* reader) : reader_(reader) {
+CachedFetch::CachedFetch(const net::NetworkReader* reader)
+    : reader_(reader),
+      adj_row_of_(reader != nullptr ? reader->num_nodes() : 0,
+                  FlatU64Map::kNoValue) {
   MCN_CHECK(reader != nullptr);
 }
 
 Result<const std::vector<net::AdjEntry>*> CachedFetch::GetAdjacency(
     graph::NodeId node) {
   ++stats_.adjacency_requests;
-  auto it = adj_cache_.find(node);
-  if (it != adj_cache_.end()) return &it->second;
+  if (node >= adj_row_of_.size()) {
+    return Status::InvalidArgument("CachedFetch: node out of range");
+  }
+  uint32_t row = adj_row_of_[node];
+  if (row != FlatU64Map::kNoValue) return &adj_rows_[row];
   ++stats_.adjacency_fetches;
   std::vector<net::AdjEntry> entries;
   MCN_RETURN_IF_ERROR(reader_->GetAdjacency(node, &entries));
-  auto [inserted, ok] = adj_cache_.emplace(node, std::move(entries));
-  MCN_DCHECK(ok);
-  return &inserted->second;
+  row = static_cast<uint32_t>(adj_rows_.size());
+  adj_rows_.push_back(std::move(entries));
+  adj_row_of_[node] = row;
+  return &adj_rows_[row];
 }
 
 Result<const std::vector<net::FacilityOnEdge>*> CachedFetch::GetFacilities(
     graph::EdgeKey edge, const net::FacRef& ref) {
   ++stats_.facility_requests;
-  auto it = fac_cache_.find(edge);
-  if (it != fac_cache_.end()) return &it->second;
+  uint32_t row = fac_row_of_.Find(edge.Pack());
+  if (row != FlatU64Map::kNoValue) return &fac_rows_[row];
   ++stats_.facility_fetches;
   std::vector<net::FacilityOnEdge> facs;
   MCN_RETURN_IF_ERROR(reader_->GetFacilities(ref, &facs));
-  auto [inserted, ok] = fac_cache_.emplace(edge, std::move(facs));
-  MCN_DCHECK(ok);
-  return &inserted->second;
+  row = static_cast<uint32_t>(fac_rows_.size());
+  fac_rows_.push_back(std::move(facs));
+  fac_row_of_.Insert(edge.Pack(), row);
+  return &fac_rows_[row];
 }
 
 Result<FetchProvider::SeedInfo> CachedFetch::GetSeedInfo(

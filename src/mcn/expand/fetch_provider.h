@@ -13,10 +13,11 @@
 #define MCN_EXPAND_FETCH_PROVIDER_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "mcn/common/flat_u64_map.h"
 #include "mcn/common/result.h"
 #include "mcn/graph/facility.h"
 #include "mcn/graph/location.h"
@@ -94,7 +95,11 @@ class DirectFetch : public FetchProvider {
 };
 
 /// CEA-style caching provider: each record is fetched from the reader at
-/// most once per provider lifetime (i.e. per query).
+/// most once per provider lifetime (i.e. per query). The adjacency cache is
+/// a NodeId-indexed flat directory (one u32 per node) and the facility
+/// cache an open-addressed packed-edge table, so the per-request lookup is
+/// an array index / one probe chain instead of an unordered_map find
+/// (DESIGN.md §4).
 class CachedFetch : public FetchProvider {
  public:
   explicit CachedFetch(const net::NetworkReader* reader);
@@ -111,15 +116,18 @@ class CachedFetch : public FetchProvider {
       graph::EdgeKey edge, const net::FacRef& ref) override;
   Result<SeedInfo> GetSeedInfo(const graph::Location& q) override;
 
-  size_t cached_nodes() const { return adj_cache_.size(); }
-  size_t cached_edges() const { return fac_cache_.size(); }
+  size_t cached_nodes() const { return adj_rows_.size(); }
+  size_t cached_edges() const { return fac_rows_.size(); }
 
  private:
   const net::NetworkReader* reader_;
-  std::unordered_map<graph::NodeId, std::vector<net::AdjEntry>> adj_cache_;
-  std::unordered_map<graph::EdgeKey, std::vector<net::FacilityOnEdge>,
-                     graph::EdgeKeyHash>
-      fac_cache_;
+  // Row storage is a deque so cached rows keep stable addresses as the
+  // cache grows — stronger than the base contract's "valid until the next
+  // Get* call", and what a future parallel executor will want.
+  std::vector<uint32_t> adj_row_of_;  ///< NodeId-indexed; kNoValue = absent
+  std::deque<std::vector<net::AdjEntry>> adj_rows_;
+  FlatU64Map fac_row_of_;  ///< packed EdgeKey -> row in fac_rows_
+  std::deque<std::vector<net::FacilityOnEdge>> fac_rows_;
 };
 
 /// In-memory provider over MultiCostGraph + FacilitySet (no disk at all).

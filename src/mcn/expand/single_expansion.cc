@@ -1,6 +1,5 @@
 #include "mcn/expand/single_expansion.h"
 
-#include <algorithm>
 #include <limits>
 
 #include "mcn/common/macros.h"
@@ -8,28 +7,43 @@
 namespace mcn::expand {
 
 void FacilityFilter::Add(graph::EdgeKey edge, graph::FacilityId fac) {
-  auto [it, inserted] = fac_edges_.emplace(fac, edge);
-  if (!inserted) return;  // already present
-  edges_[edge].push_back(fac);
+  if (fac >= fac_entries_.size()) fac_entries_.resize(fac + 1);
+  FacEntry& entry = fac_entries_[fac];
+  if (entry.edge_packed != FlatU64Map::kEmptyKey) {
+    // A facility lies on exactly one edge: a re-add under a different edge
+    // means the caller's bookkeeping is corrupt.
+    MCN_DCHECK(entry.edge_packed == edge.Pack());
+    return;
+  }
+  uint32_t row = edges_.Find(edge.Pack());
+  if (row == FlatU64Map::kNoValue) {
+    row = static_cast<uint32_t>(edge_rows_.size());
+    edge_rows_.emplace_back();
+    edges_.Insert(edge.Pack(), row);
+  }
+  entry.edge_packed = edge.Pack();
+  entry.pos = static_cast<uint32_t>(edge_rows_[row].size());
+  edge_rows_[row].push_back(fac);
+  ++num_facilities_;
 }
 
 bool FacilityFilter::Remove(graph::FacilityId fac) {
-  auto it = fac_edges_.find(fac);
-  if (it == fac_edges_.end()) return false;
-  graph::EdgeKey edge = it->second;
-  fac_edges_.erase(it);
-  auto eit = edges_.find(edge);
-  MCN_DCHECK(eit != edges_.end());
-  auto& vec = eit->second;
-  vec.erase(std::find(vec.begin(), vec.end(), fac));
-  if (vec.empty()) edges_.erase(eit);
+  if (fac >= fac_entries_.size()) return false;
+  FacEntry& entry = fac_entries_[fac];
+  if (entry.edge_packed == FlatU64Map::kEmptyKey) return false;
+  uint32_t row = edges_.Find(entry.edge_packed);
+  MCN_DCHECK(row != FlatU64Map::kNoValue);
+  std::vector<graph::FacilityId>& vec = edge_rows_[row];
+  MCN_DCHECK(entry.pos < vec.size() && vec[entry.pos] == fac);
+  graph::FacilityId moved = vec.back();
+  vec[entry.pos] = moved;
+  fac_entries_[moved].pos = entry.pos;
+  vec.pop_back();
+  // The (possibly now empty) edge row is retained: ContainsEdge checks
+  // emptiness, and a later Add may refill it without re-probing the map.
+  entry.edge_packed = FlatU64Map::kEmptyKey;
+  --num_facilities_;
   return true;
-}
-
-bool FacilityFilter::Allows(const graph::EdgeKey& edge,
-                            graph::FacilityId fac) const {
-  auto it = fac_edges_.find(fac);
-  return it != fac_edges_.end() && it->second == edge;
 }
 
 SingleExpansion::SingleExpansion(int cost_index, FetchProvider* fetch)
@@ -38,21 +52,24 @@ SingleExpansion::SingleExpansion(int cost_index, FetchProvider* fetch)
   MCN_CHECK(cost_index >= 0 && cost_index < fetch->num_costs());
   node_dist_.assign(fetch->num_nodes(),
                     std::numeric_limits<double>::infinity());
-  node_settled_.assign(fetch->num_nodes(), false);
   fac_dist_.assign(fetch->num_facilities(),
                    std::numeric_limits<double>::infinity());
-  fac_settled_.assign(fetch->num_facilities(), false);
+  // Queries are local: a few thousand frontier entries cover typical runs,
+  // and the rare deeper expansion grows geometrically (no per-push
+  // allocation in steady state).
+  heap_.reserve(4096);
 }
 
 void SingleExpansion::PushNode(graph::NodeId v, double key) {
-  if (node_settled_[v] || key >= node_dist_[v]) return;
+  // dist == kSettled (settled) also fails this test: key is non-negative.
+  if (key >= node_dist_[v]) return;
   node_dist_[v] = key;
   heap_.push(HeapItem{key, v});
   ++stats_.heap_pushes;
 }
 
 void SingleExpansion::PushFacility(graph::FacilityId f, double key) {
-  if (fac_settled_[f] || key >= fac_dist_[f]) return;
+  if (key >= fac_dist_[f]) return;
   fac_dist_[f] = key;
   heap_.push(HeapItem{key, kFacilityTag | f});
   ++stats_.heap_pushes;
@@ -95,14 +112,14 @@ Result<ExpansionEvent> SingleExpansion::Step() {
     if (item.tagged_id & kFacilityTag) {
       graph::FacilityId f =
           static_cast<graph::FacilityId>(item.tagged_id & 0xFFFFFFFFu);
-      if (fac_settled_[f] || item.key > fac_dist_[f]) continue;  // stale
-      fac_settled_[f] = true;
+      if (item.key > fac_dist_[f]) continue;  // stale or already settled
+      fac_dist_[f] = kSettled;
       ++stats_.facilities_settled;
       return ExpansionEvent{ExpansionEvent::Type::kFacility, f, item.key};
     }
     graph::NodeId v = static_cast<graph::NodeId>(item.tagged_id);
-    if (node_settled_[v] || item.key > node_dist_[v]) continue;  // stale
-    node_settled_[v] = true;
+    if (item.key > node_dist_[v]) continue;  // stale or already settled
+    node_dist_[v] = kSettled;
     ++stats_.nodes_settled;
     MCN_RETURN_IF_ERROR(ExpandNode(v, item.key));
     return ExpansionEvent{ExpansionEvent::Type::kNode, v, item.key};

@@ -10,11 +10,12 @@
 #define MCN_EXPAND_SINGLE_EXPANSION_H_
 
 #include <cstdint>
-#include <queue>
-#include <unordered_map>
+#include <limits>
 #include <vector>
 
+#include "mcn/common/flat_u64_map.h"
 #include "mcn/common/result.h"
+#include "mcn/expand/dary_heap.h"
 #include "mcn/expand/fetch_provider.h"
 #include "mcn/graph/location.h"
 #include "mcn/graph/multi_cost_graph.h"
@@ -31,25 +32,41 @@ struct ExpansionEvent {
 
 /// The shrinking-stage candidate set, addressed by edge so expansions can
 /// decide — while scanning an adjacency entry — whether the edge's facility
-/// record is worth reading.
+/// record is worth reading. Facility membership is a FacilityId-indexed
+/// flat directory, so Allows/Remove are O(1); the per-edge lists use
+/// swap-erase (an eliminated candidate's slot is backfilled by the list
+/// tail).
 class FacilityFilter {
  public:
+  /// Registers `fac` on `edge`. Re-adding an already-present facility is a
+  /// no-op, but re-adding it under a *different* edge is a programmer error
+  /// (a facility lies on exactly one edge) and trips a DCHECK.
   void Add(graph::EdgeKey edge, graph::FacilityId fac);
-  /// Removes an eliminated candidate; returns false if it was not present.
+  /// Removes an eliminated candidate in O(1); returns false if it was not
+  /// present.
   bool Remove(graph::FacilityId fac);
 
   bool ContainsEdge(const graph::EdgeKey& edge) const {
-    return edges_.find(edge) != edges_.end();
+    uint32_t row = edges_.Find(edge.Pack());
+    return row != FlatU64Map::kNoValue && !edge_rows_[row].empty();
   }
-  bool Allows(const graph::EdgeKey& edge, graph::FacilityId fac) const;
-  size_t num_facilities() const { return fac_edges_.size(); }
-  bool empty() const { return fac_edges_.empty(); }
+  bool Allows(const graph::EdgeKey& edge, graph::FacilityId fac) const {
+    return fac < fac_entries_.size() &&
+           fac_entries_[fac].edge_packed == edge.Pack();
+  }
+  size_t num_facilities() const { return num_facilities_; }
+  bool empty() const { return num_facilities_ == 0; }
 
  private:
-  std::unordered_map<graph::EdgeKey, std::vector<graph::FacilityId>,
-                     graph::EdgeKeyHash>
-      edges_;
-  std::unordered_map<graph::FacilityId, graph::EdgeKey> fac_edges_;
+  struct FacEntry {
+    uint64_t edge_packed = FlatU64Map::kEmptyKey;  // sentinel = absent
+    uint32_t pos = 0;  // position in the edge row, for swap-erase
+  };
+
+  FlatU64Map edges_;  // packed edge -> row in edge_rows_
+  std::vector<std::vector<graph::FacilityId>> edge_rows_;
+  std::vector<FacEntry> fac_entries_;  // FacilityId-indexed
+  size_t num_facilities_ = 0;
 };
 
 /// Incremental NN expansion for one cost type over a FetchProvider.
@@ -87,20 +104,28 @@ class SingleExpansion {
   int cost_index() const { return cost_index_; }
   const Stats& stats() const { return stats_; }
 
-  bool NodeSettled(graph::NodeId v) const { return node_settled_[v]; }
-  bool FacilitySettled(graph::FacilityId f) const { return fac_settled_[f]; }
+  bool NodeSettled(graph::NodeId v) const { return node_dist_[v] == kSettled; }
+  bool FacilitySettled(graph::FacilityId f) const {
+    return fac_dist_[f] == kSettled;
+  }
 
  private:
   struct HeapItem {
     double key;
     uint64_t tagged_id;  // bit kFacilityTag marks facilities
-
-    bool operator>(const HeapItem& o) const {
-      if (key != o.key) return key > o.key;
-      return tagged_id > o.tagged_id;  // deterministic tie-break
+  };
+  struct HeapItemBefore {
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
+      if (a.key != b.key) return a.key < b.key;
+      return a.tagged_id < b.tagged_id;  // deterministic tie-break
     }
   };
   static constexpr uint64_t kFacilityTag = 1ull << 32;
+  /// Sentinel stored in a dist slot once the element settles: every real
+  /// key is finite and non-negative, so `key >= dist` rejects re-pushes and
+  /// `key > dist` rejects stale pops with a single load and no separate
+  /// settled-flag array.
+  static constexpr double kSettled = -std::numeric_limits<double>::infinity();
 
   void PushNode(graph::NodeId v, double key);
   void PushFacility(graph::FacilityId f, double key);
@@ -110,11 +135,11 @@ class SingleExpansion {
 
   int cost_index_;
   FetchProvider* fetch_;
-  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap_;
+  DaryHeap<HeapItem, HeapItemBefore> heap_;
+  // Tentative distance per node/facility; kSettled once settled (no
+  // separate flag array — see kSettled).
   std::vector<double> node_dist_;
-  std::vector<bool> node_settled_;
   std::vector<double> fac_dist_;
-  std::vector<bool> fac_settled_;
   const FacilityFilter* filter_ = nullptr;
   Stats stats_;
 };

@@ -10,6 +10,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "mcn/common/hash.h"
 #include "mcn/common/result.h"
 #include "mcn/graph/cost_vector.h"
 
@@ -45,10 +46,7 @@ struct EdgeKey {
 
 struct EdgeKeyHash {
   size_t operator()(const EdgeKey& k) const {
-    uint64_t x = k.Pack();
-    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-    return static_cast<size_t>(x ^ (x >> 31));
+    return static_cast<size_t>(MixU64(k.Pack()));
   }
 };
 

@@ -4,15 +4,6 @@
 
 namespace mcn::storage {
 
-/// A resident page.
-struct Frame {
-  PageId id;
-  uint32_t pins = 0;
-  std::list<Frame*>::iterator lru_it;
-  bool in_lru = false;
-  std::unique_ptr<std::byte[]> data;
-};
-
 BufferPool::PageGuard& BufferPool::PageGuard::operator=(
     PageGuard&& o) noexcept {
   if (this != &o) {
@@ -20,84 +11,136 @@ BufferPool::PageGuard& BufferPool::PageGuard::operator=(
     pool_ = o.pool_;
     frame_ = o.frame_;
     o.pool_ = nullptr;
-    o.frame_ = nullptr;
+    o.frame_ = 0;
   }
   return *this;
 }
 
 const std::byte* BufferPool::PageGuard::data() const {
-  MCN_DCHECK(frame_ != nullptr);
-  return frame_->data.get();
+  MCN_DCHECK(pool_ != nullptr);
+  return pool_->frames_[frame_].data;
 }
 
 PageId BufferPool::PageGuard::id() const {
-  MCN_DCHECK(frame_ != nullptr);
-  return frame_->id;
+  MCN_DCHECK(pool_ != nullptr);
+  return pool_->frames_[frame_].id;
 }
 
 void BufferPool::PageGuard::Release() {
-  if (frame_ != nullptr) {
+  if (pool_ != nullptr) {
     pool_->Unpin(frame_);
-    frame_ = nullptr;
     pool_ = nullptr;
+    frame_ = 0;
   }
 }
 
 BufferPool::BufferPool(DiskManager* disk, size_t capacity_frames)
     : disk_(disk), capacity_(capacity_frames) {
   MCN_CHECK(disk != nullptr);
+  frames_.resize(capacity_frames);
+  free_.reserve(capacity_frames);
+  for (size_t i = 0; i < capacity_frames; ++i) {
+    free_.push_back(static_cast<uint32_t>(i));
+  }
 }
 
 BufferPool::~BufferPool() {
   // All guards must be released before the pool dies.
-  for (auto& [id, frame] : table_) {
-    MCN_CHECK(frame->pins == 0);
+  for (const Frame& frame : frames_) {
+    MCN_CHECK(frame.pins == 0);
   }
+}
+
+uint32_t BufferPool::AllocFrame() {
+  if (!free_.empty()) {
+    uint32_t fi = free_.back();
+    free_.pop_back();
+    return fi;
+  }
+  uint32_t fi = static_cast<uint32_t>(frames_.size());
+  frames_.emplace_back();
+  return fi;
+}
+
+void BufferPool::LruPushBack(uint32_t fi) {
+  Frame& frame = frames_[fi];
+  MCN_DCHECK(!frame.in_lru);
+  frame.lru_prev = lru_tail_;
+  frame.lru_next = kNullFrame;
+  if (lru_tail_ != kNullFrame) {
+    frames_[lru_tail_].lru_next = fi;
+  } else {
+    lru_head_ = fi;
+  }
+  lru_tail_ = fi;
+  frame.in_lru = true;
+}
+
+void BufferPool::LruRemove(uint32_t fi) {
+  Frame& frame = frames_[fi];
+  MCN_DCHECK(frame.in_lru);
+  if (frame.lru_prev != kNullFrame) {
+    frames_[frame.lru_prev].lru_next = frame.lru_next;
+  } else {
+    lru_head_ = frame.lru_next;
+  }
+  if (frame.lru_next != kNullFrame) {
+    frames_[frame.lru_next].lru_prev = frame.lru_prev;
+  } else {
+    lru_tail_ = frame.lru_prev;
+  }
+  frame.in_lru = false;
+}
+
+void BufferPool::EvictLruFront() {
+  uint32_t victim = lru_head_;
+  MCN_DCHECK(victim != kNullFrame);
+  LruRemove(victim);
+  table_.Erase(frames_[victim].id.Pack());
+  free_.push_back(victim);
 }
 
 Result<BufferPool::PageGuard> BufferPool::Fetch(PageId id) {
-  auto it = table_.find(id);
-  if (it != table_.end()) {
-    Frame* frame = it->second.get();
-    if (frame->in_lru) {
-      lru_.erase(frame->lru_it);
-      frame->in_lru = false;
-    }
-    ++frame->pins;
+  uint32_t fi = table_.Find(id.Pack());
+  if (fi != FlatU64Map::kNoValue) {
+    Frame& frame = frames_[fi];
+    if (frame.in_lru) LruRemove(fi);
+    ++frame.pins;
     ++stats_.hits;
-    return PageGuard(this, frame);
+    return PageGuard(this, fi);
   }
 
-  auto frame_owner = std::make_unique<Frame>();
-  Frame* frame = frame_owner.get();
-  frame->id = id;
-  frame->pins = 1;
-  frame->data = std::make_unique<std::byte[]>(kPageSize);
-  MCN_RETURN_IF_ERROR(disk_->ReadPage(id, frame->data.get()));
+  fi = AllocFrame();
+  Frame& frame = frames_[fi];
+  frame.id = id;
+  frame.pins = 1;
+  Result<const std::byte*> read = disk_->ReadPageRef(id);
+  if (!read.ok()) {
+    frame.pins = 0;
+    free_.push_back(fi);
+    return read.status();
+  }
+  frame.data = read.value();
   ++stats_.misses;
-  table_.emplace(id, std::move(frame_owner));
+  table_.Insert(id.Pack(), fi);
   TrimToCapacity();
-  return PageGuard(this, frame);
+  return PageGuard(this, fi);
 }
 
-void BufferPool::Unpin(Frame* frame) {
-  MCN_DCHECK(frame->pins > 0);
-  --frame->pins;
-  if (frame->pins == 0) {
-    lru_.push_back(frame);
-    frame->lru_it = std::prev(lru_.end());
-    frame->in_lru = true;
+void BufferPool::Unpin(uint32_t fi) {
+  Frame& frame = frames_[fi];
+  MCN_DCHECK(frame.pins > 0);
+  --frame.pins;
+  if (frame.pins == 0) {
+    LruPushBack(fi);
     TrimToCapacity();
   }
 }
 
 void BufferPool::TrimToCapacity() {
-  while (table_.size() > capacity_ && !lru_.empty()) {
-    Frame* victim = lru_.front();
-    lru_.pop_front();
-    victim->in_lru = false;
+  while (table_.size() > capacity_ && lru_head_ != kNullFrame) {
     ++stats_.evictions;
-    table_.erase(victim->id);
+    EvictLruFront();
   }
 }
 
@@ -107,11 +150,8 @@ void BufferPool::SetCapacity(size_t capacity_frames) {
 }
 
 void BufferPool::Clear() {
-  while (!lru_.empty()) {
-    Frame* victim = lru_.front();
-    lru_.pop_front();
-    victim->in_lru = false;
-    table_.erase(victim->id);
+  while (lru_head_ != kNullFrame) {
+    EvictLruFront();
   }
 }
 

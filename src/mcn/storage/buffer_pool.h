@@ -1,15 +1,21 @@
 // BufferPool: an LRU page cache with pinning, sitting between query
 // operators and the DiskManager. This is the paper's "LRU buffer" whose size
 // (0%..2% of the MCN pages) is an experiment parameter (Figs. 9(b)/11(b)).
+//
+// Frames live in a preallocated array and recycle through a free list; the
+// LRU order is an intrusive doubly-linked list threaded through the frames
+// and the page table is an open-addressed FlatU64Map, so fetch/unpin/evict
+// are allocation-free O(1) in steady state. Since the pool is read-only,
+// frames borrow the simulated disk's stable page bytes (a counted
+// ReadPageRef) instead of copying 4KB per miss (DESIGN.md §4).
 #ifndef MCN_STORAGE_BUFFER_POOL_H_
 #define MCN_STORAGE_BUFFER_POOL_H_
 
 #include <cstddef>
 #include <cstdint>
-#include <list>
-#include <memory>
-#include <unordered_map>
+#include <vector>
 
+#include "mcn/common/flat_u64_map.h"
 #include "mcn/common/result.h"
 #include "mcn/storage/disk_manager.h"
 #include "mcn/storage/page.h"
@@ -44,18 +50,18 @@ class BufferPool {
 
     const std::byte* data() const;
     PageId id() const;
-    bool valid() const { return frame_ != nullptr; }
+    bool valid() const { return pool_ != nullptr; }
 
     /// Drops the pin early.
     void Release();
 
    private:
     friend class BufferPool;
-    PageGuard(BufferPool* pool, struct Frame* frame)
+    PageGuard(BufferPool* pool, uint32_t frame)
         : pool_(pool), frame_(frame) {}
 
     BufferPool* pool_ = nullptr;
-    struct Frame* frame_ = nullptr;
+    uint32_t frame_ = 0;  // index into pool_->frames_ (stable under growth)
   };
 
   /// `disk` must outlive the pool.
@@ -86,14 +92,35 @@ class BufferPool {
  private:
   friend class PageGuard;
 
-  void Unpin(Frame* frame);
+  static constexpr uint32_t kNullFrame = 0xFFFFFFFFu;
+
+  struct Frame {
+    PageId id;
+    uint32_t pins = 0;
+    // Intrusive LRU links (unpinned resident frames only).
+    uint32_t lru_prev = kNullFrame;
+    uint32_t lru_next = kNullFrame;
+    bool in_lru = false;
+    const std::byte* data = nullptr;  ///< borrowed from the DiskManager
+  };
+
+  /// Recycles a free frame, or materializes a new one (only on first use
+  /// beyond the preallocated set, e.g. pinned overflow).
+  uint32_t AllocFrame();
+  void LruPushBack(uint32_t fi);
+  void LruRemove(uint32_t fi);
+  void EvictLruFront();
+
+  void Unpin(uint32_t fi);
   void TrimToCapacity();
 
   DiskManager* disk_;
   size_t capacity_;
-  std::unordered_map<PageId, std::unique_ptr<Frame>, PageIdHash> table_;
-  // Unpinned frames only; front = least recently used.
-  std::list<Frame*> lru_;
+  FlatU64Map table_;  ///< packed PageId -> frame index
+  std::vector<Frame> frames_;
+  std::vector<uint32_t> free_;
+  uint32_t lru_head_ = kNullFrame;  ///< least recently used
+  uint32_t lru_tail_ = kNullFrame;
   Stats stats_;
 };
 

@@ -37,6 +37,12 @@ Status DiskManager::ReadPage(PageId id, std::byte* out) {
   return Status::OK();
 }
 
+Result<const std::byte*> DiskManager::ReadPageRef(PageId id) {
+  MCN_RETURN_IF_ERROR(CheckPage(id));
+  ++stats_.page_reads;
+  return files_[id.file].pages[id.page].data();
+}
+
 Status DiskManager::WritePage(PageId id, const std::byte* data) {
   MCN_RETURN_IF_ERROR(CheckPage(id));
   std::memcpy(files_[id.file].pages[id.page].data(), data, kPageSize);

@@ -46,6 +46,12 @@ class DiskManager {
   /// Copies a full page into `out` (which must hold kPageSize bytes).
   Status ReadPage(PageId id, std::byte* out);
 
+  /// Counted zero-copy read: returns a pointer to the page's bytes, valid
+  /// while the file exists. Used by the (read-only) BufferPool so a miss
+  /// costs no 4KB copy — physical I/O cost is modeled from the read count,
+  /// not from simulation memcpy time (DESIGN.md §3).
+  Result<const std::byte*> ReadPageRef(PageId id);
+
   /// Overwrites a full page from `data` (kPageSize bytes).
   Status WritePage(PageId id, const std::byte* data);
 

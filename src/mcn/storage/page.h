@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <functional>
 
+#include "mcn/common/hash.h"
+
 namespace mcn::storage {
 
 /// Size of every page in the simulated disk, in bytes.
@@ -24,15 +26,15 @@ struct PageId {
   bool operator==(const PageId& o) const {
     return file == o.file && page == o.page;
   }
+
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(file) << 32) | page;
+  }
 };
 
 struct PageIdHash {
   size_t operator()(const PageId& id) const {
-    uint64_t v = (static_cast<uint64_t>(id.file) << 32) | id.page;
-    // splitmix-style mix.
-    v = (v ^ (v >> 30)) * 0xBF58476D1CE4E5B9ull;
-    v = (v ^ (v >> 27)) * 0x94D049BB133111EBull;
-    return static_cast<size_t>(v ^ (v >> 31));
+    return static_cast<size_t>(MixU64(id.Pack()));
   }
 };
 

@@ -1,0 +1,177 @@
+// Randomized LSA-vs-CEA-vs-naive equivalence sweep guarding the dense
+// CandidateStore refactor: over instances varying d, facility density and
+// buffer size, both disk algorithms must report the exact oracle skyline /
+// top-k (identical sets, identical report order between engines) and agree
+// on every engine-independent Stats field — the candidate-store
+// bookkeeping (candidates_peak, facilities_seen, nn_pops, ...) must not
+// depend on the I/O flavor driving the pops.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "mcn/algo/skyline_query.h"
+#include "mcn/algo/topk_query.h"
+#include "mcn/expand/engines.h"
+#include "test_util.h"
+
+namespace mcn::algo {
+namespace {
+
+using graph::Location;
+
+struct SweepPoint {
+  int num_costs;
+  uint32_t facilities;
+  double buffer_pct;
+  uint64_t seed;
+};
+
+std::vector<SweepPoint> SweepPoints() {
+  std::vector<SweepPoint> points;
+  uint64_t seed = 1000;
+  for (int d : {2, 3, 4}) {
+    for (uint32_t facilities : {15u, 60u, 180u}) {
+      for (double buffer_pct : {0.0, 0.5, 2.0}) {
+        points.push_back(SweepPoint{d, facilities, buffer_pct, ++seed});
+      }
+    }
+  }
+  return points;
+}
+
+test::SmallConfig ConfigFor(const SweepPoint& p) {
+  test::SmallConfig config;
+  config.num_costs = p.num_costs;
+  config.facilities = p.facilities;
+  config.buffer_pct = p.buffer_pct;
+  config.seed = p.seed;
+  return config;
+}
+
+std::vector<graph::FacilityId> Order(const std::vector<SkylineEntry>& es) {
+  std::vector<graph::FacilityId> ids;
+  for (const auto& e : es) ids.push_back(e.facility);
+  return ids;
+}
+
+TEST(DenseStoreSweepTest, SkylineMatchesOracleAcrossEnginesAndConfigs) {
+  for (const SweepPoint& p : SweepPoints()) {
+    auto instance = test::MakeSmallInstance(ConfigFor(p)).value();
+    Random rng(p.seed * 31 + 7);
+    for (int qi = 0; qi < 3; ++qi) {
+      Location q = instance->RandomQueryLocation(rng);
+      std::set<graph::FacilityId> oracle =
+          test::OracleSkyline(instance->graph, instance->facilities, q);
+
+      instance->ResetIoState();
+      auto lsa =
+          expand::MakeEngine(expand::EngineKind::kLsa, instance->reader.get(),
+                             q)
+              .value();
+      SkylineQuery lsa_query(lsa.get());
+      auto lsa_result = lsa_query.ComputeAll().value();
+
+      instance->ResetIoState();
+      auto cea =
+          expand::MakeEngine(expand::EngineKind::kCea, instance->reader.get(),
+                             q)
+              .value();
+      SkylineQuery cea_query(cea.get());
+      auto cea_result = cea_query.ComputeAll().value();
+
+      SCOPED_TRACE("d=" + std::to_string(p.num_costs) +
+                   " |P|=" + std::to_string(p.facilities) +
+                   " buffer=" + std::to_string(p.buffer_pct) + "% q=" +
+                   q.ToString());
+      // Identical skyline sets, identical progressive report order.
+      std::vector<graph::FacilityId> lsa_order = Order(lsa_result);
+      std::set<graph::FacilityId> lsa_ids(lsa_order.begin(),
+                                          lsa_order.end());
+      EXPECT_EQ(lsa_ids, oracle);
+      EXPECT_EQ(lsa_order, Order(cea_result));
+
+      // Engine-independent Stats must agree field by field.
+      const SkylineQuery::Stats& ls = lsa_query.stats();
+      const SkylineQuery::Stats& cs = cea_query.stats();
+      EXPECT_EQ(ls.nn_pops, cs.nn_pops);
+      EXPECT_EQ(ls.dominance_checks, cs.dominance_checks);
+      EXPECT_EQ(ls.candidates_peak, cs.candidates_peak);
+      EXPECT_EQ(ls.facilities_seen, cs.facilities_seen);
+      EXPECT_EQ(ls.skyline_size, cs.skyline_size);
+      EXPECT_EQ(ls.drain_rounds, cs.drain_rounds);
+      EXPECT_EQ(ls.deferred_pins, cs.deferred_pins);
+      EXPECT_EQ(ls.reached_shrinking, cs.reached_shrinking);
+
+      // Internal invariants of the candidate-store bookkeeping.
+      EXPECT_EQ(ls.skyline_size, lsa_result.size());
+      EXPECT_GE(ls.facilities_seen, ls.skyline_size);
+      EXPECT_GE(ls.nn_pops, ls.facilities_seen);
+      EXPECT_LE(ls.candidates_peak, ls.facilities_seen);
+      if (!lsa_result.empty()) EXPECT_GE(ls.candidates_peak, 1u);
+      EXPECT_TRUE(lsa_query.done());
+    }
+  }
+}
+
+TEST(DenseStoreSweepTest, TopKMatchesOracleAcrossEnginesAndConfigs) {
+  for (const SweepPoint& p : SweepPoints()) {
+    auto instance = test::MakeSmallInstance(ConfigFor(p)).value();
+    Random rng(p.seed * 17 + 3);
+    for (int qi = 0; qi < 2; ++qi) {
+      Location q = instance->RandomQueryLocation(rng);
+      AggregateFn f =
+          WeightedSum(test::TestWeights(p.num_costs, p.seed + qi));
+      int k = 1 + static_cast<int>(p.seed % 5);
+      auto oracle =
+          test::OracleTopK(instance->graph, instance->facilities, q, f, k);
+
+      TopKOptions opts;
+      opts.k = k;
+
+      instance->ResetIoState();
+      auto lsa =
+          expand::MakeEngine(expand::EngineKind::kLsa, instance->reader.get(),
+                             q)
+              .value();
+      TopKQuery lsa_query(lsa.get(), f, opts);
+      auto lsa_result = lsa_query.Run().value();
+
+      instance->ResetIoState();
+      auto cea =
+          expand::MakeEngine(expand::EngineKind::kCea, instance->reader.get(),
+                             q)
+              .value();
+      TopKQuery cea_query(cea.get(), f, opts);
+      auto cea_result = cea_query.Run().value();
+
+      SCOPED_TRACE("d=" + std::to_string(p.num_costs) +
+                   " |P|=" + std::to_string(p.facilities) +
+                   " buffer=" + std::to_string(p.buffer_pct) + "% k=" +
+                   std::to_string(k) + " q=" + q.ToString());
+      ASSERT_EQ(lsa_result.size(), oracle.size());
+      ASSERT_EQ(cea_result.size(), oracle.size());
+      for (size_t i = 0; i < oracle.size(); ++i) {
+        EXPECT_EQ(lsa_result[i].facility, cea_result[i].facility);
+        EXPECT_NEAR(lsa_result[i].score, oracle[i].score, 1e-9);
+        // Scores must match the oracle even where id ties allow either
+        // facility order.
+        EXPECT_NEAR(cea_result[i].score, oracle[i].score, 1e-9);
+      }
+
+      const TopKQuery::Stats& ls = lsa_query.stats();
+      const TopKQuery::Stats& cs = cea_query.stats();
+      EXPECT_EQ(ls.nn_pops, cs.nn_pops);
+      EXPECT_EQ(ls.facilities_seen, cs.facilities_seen);
+      EXPECT_EQ(ls.candidates_peak, cs.candidates_peak);
+      EXPECT_EQ(ls.lb_eliminations, cs.lb_eliminations);
+      EXPECT_EQ(ls.replacements, cs.replacements);
+      EXPECT_EQ(ls.reached_shrinking, cs.reached_shrinking);
+      EXPECT_LE(ls.candidates_peak, ls.facilities_seen);
+      EXPECT_GE(ls.nn_pops, ls.facilities_seen);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcn::algo

@@ -1,0 +1,175 @@
+// Unit tests for the flat hot-path data structures introduced by the
+// dense-store refactor: FlatU64Map (open addressing + backward-shift
+// deletion), DaryHeap (ordering parity with std::priority_queue),
+// FacilityFilter (O(1) swap-erase removal) and CandidateStore list
+// maintenance.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "mcn/algo/candidate_store.h"
+#include "mcn/common/flat_u64_map.h"
+#include "mcn/expand/dary_heap.h"
+#include "mcn/expand/dijkstra.h"
+#include "mcn/expand/single_expansion.h"
+
+namespace mcn {
+namespace {
+
+TEST(FlatU64MapTest, InsertFindEraseAgainstReference) {
+  FlatU64Map map(16);
+  std::unordered_map<uint64_t, uint32_t> ref;
+  std::mt19937_64 rng(7);
+  // Small key range forces dense probe chains and many collisions.
+  for (int step = 0; step < 20000; ++step) {
+    uint64_t key = rng() % 512;
+    if (rng() % 3 != 0) {
+      if (ref.find(key) == ref.end()) {
+        uint32_t value = static_cast<uint32_t>(rng() % 1000);
+        map.Insert(key, value);
+        ref[key] = value;
+      }
+    } else if (ref.find(key) != ref.end()) {
+      map.Erase(key);
+      ref.erase(key);
+    }
+    ASSERT_EQ(map.size(), ref.size());
+  }
+  for (uint64_t key = 0; key < 512; ++key) {
+    auto it = ref.find(key);
+    if (it == ref.end()) {
+      EXPECT_EQ(map.Find(key), FlatU64Map::kNoValue) << key;
+    } else {
+      EXPECT_EQ(map.Find(key), it->second) << key;
+    }
+  }
+}
+
+TEST(FlatU64MapTest, GrowsPastInitialCapacity) {
+  FlatU64Map map(16);
+  for (uint64_t k = 0; k < 10000; ++k) map.Insert(k * 3 + 1, uint32_t(k));
+  for (uint64_t k = 0; k < 10000; ++k) {
+    ASSERT_EQ(map.Find(k * 3 + 1), uint32_t(k));
+  }
+}
+
+TEST(DaryHeapTest, PopOrderMatchesPriorityQueue) {
+  struct Item {
+    double key;
+    uint64_t id;
+  };
+  struct Before {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.key != b.key) return a.key < b.key;
+      return a.id < b.id;
+    }
+  };
+  struct RefGreater {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.key != b.key) return a.key > b.key;
+      return a.id > b.id;
+    }
+  };
+  expand::DaryHeap<Item, Before> heap;
+  std::priority_queue<Item, std::vector<Item>, RefGreater> ref;
+  std::mt19937_64 rng(13);
+  for (int step = 0; step < 50000; ++step) {
+    if (ref.empty() || rng() % 5 < 3) {
+      // Duplicate keys are common in expansions: draw from a small range.
+      Item item{double(rng() % 97), rng() % 100000};
+      heap.push(item);
+      ref.push(item);
+    } else {
+      ASSERT_EQ(heap.top().key, ref.top().key);
+      ASSERT_EQ(heap.top().id, ref.top().id);
+      heap.pop();
+      ref.pop();
+    }
+    ASSERT_EQ(heap.size(), ref.size());
+  }
+  while (!ref.empty()) {
+    ASSERT_EQ(heap.top().id, ref.top().id);
+    heap.pop();
+    ref.pop();
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(FacilityFilterTest, AddRemoveAllowsContains) {
+  expand::FacilityFilter filter;
+  graph::EdgeKey e1(1, 2);
+  graph::EdgeKey e2(3, 4);
+  filter.Add(e1, 10);
+  filter.Add(e1, 11);
+  filter.Add(e2, 12);
+  filter.Add(e1, 10);  // benign re-add under the same edge
+  EXPECT_EQ(filter.num_facilities(), 3u);
+  EXPECT_TRUE(filter.ContainsEdge(e1));
+  EXPECT_TRUE(filter.Allows(e1, 10));
+  EXPECT_TRUE(filter.Allows(e1, 11));
+  EXPECT_FALSE(filter.Allows(e2, 10));
+  EXPECT_FALSE(filter.Allows(e1, 12));
+
+  // Swap-erase removal: remove the front element of e1's row first.
+  EXPECT_TRUE(filter.Remove(10));
+  EXPECT_FALSE(filter.Remove(10));  // already gone
+  EXPECT_TRUE(filter.ContainsEdge(e1));
+  EXPECT_TRUE(filter.Allows(e1, 11));
+  EXPECT_TRUE(filter.Remove(11));
+  EXPECT_FALSE(filter.ContainsEdge(e1));  // row emptied
+  EXPECT_TRUE(filter.ContainsEdge(e2));
+  EXPECT_FALSE(filter.Remove(99));  // never added
+  EXPECT_TRUE(filter.Remove(12));
+  EXPECT_TRUE(filter.empty());
+
+  // Rows refill after emptying.
+  filter.Add(e1, 11);
+  EXPECT_TRUE(filter.ContainsEdge(e1));
+  EXPECT_TRUE(filter.Allows(e1, 11));
+}
+
+TEST(CandidateStoreTest, AcquireAndListMaintenance) {
+  algo::CandidateStore store(100, 3, expand::kInfCost);
+  bool created = false;
+  uint32_t a = store.Acquire(7, &created);
+  EXPECT_TRUE(created);
+  uint32_t again = store.Acquire(7, &created);
+  EXPECT_FALSE(created);
+  EXPECT_EQ(a, again);
+  EXPECT_EQ(store.Find(8), algo::CandidateStore::kNoSlot);
+  uint32_t b = store.Acquire(8, &created);
+  uint32_t c = store.Acquire(9, &created);
+  EXPECT_EQ(store.size(), 3u);
+
+  store.SetCost(a, 1, 5.0);
+  EXPECT_TRUE(store.slot(a).Knows(1));
+  EXPECT_FALSE(store.slot(a).Knows(0));
+  EXPECT_EQ(store.slot(a).known_count, 1);
+  EXPECT_EQ(store.costs(a)[1], 5.0);
+  EXPECT_EQ(store.costs(a)[0], expand::kInfCost);
+
+  store.AddCandidate(a);
+  store.AddCandidate(b);
+  store.AddCandidate(c);
+  EXPECT_EQ(store.num_candidates(), 3);
+  store.RemoveCandidate(a);  // back (c) backfills a's position
+  EXPECT_EQ(store.num_candidates(), 2);
+  std::vector<uint32_t> live = store.candidates();
+  std::sort(live.begin(), live.end());
+  EXPECT_EQ(live, (std::vector<uint32_t>{b, c}));
+  store.RemoveCandidate(c);
+  store.RemoveCandidate(b);
+  EXPECT_EQ(store.num_candidates(), 0);
+
+  store.AddSkyUnpinned(b);
+  EXPECT_EQ(store.sky_unpinned(), std::vector<uint32_t>{b});
+  store.RemoveSkyUnpinned(b);
+  EXPECT_TRUE(store.sky_unpinned().empty());
+}
+
+}  // namespace
+}  // namespace mcn
