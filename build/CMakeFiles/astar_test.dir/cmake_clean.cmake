@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astar_test.dir/tests/astar_test.cc.o"
+  "CMakeFiles/astar_test.dir/tests/astar_test.cc.o.d"
+  "astar_test"
+  "astar_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_enhancements.dir/bench/bench_ablation_enhancements.cc.o"
+  "CMakeFiles/bench_ablation_enhancements.dir/bench/bench_ablation_enhancements.cc.o.d"
+  "bench_ablation_enhancements"
+  "bench_ablation_enhancements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_enhancements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

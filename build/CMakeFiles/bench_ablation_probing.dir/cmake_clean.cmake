@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_probing.dir/bench/bench_ablation_probing.cc.o"
+  "CMakeFiles/bench_ablation_probing.dir/bench/bench_ablation_probing.cc.o.d"
+  "bench_ablation_probing"
+  "bench_ablation_probing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_probing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

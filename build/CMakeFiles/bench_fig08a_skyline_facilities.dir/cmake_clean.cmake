@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08a_skyline_facilities.dir/bench/bench_fig08a_skyline_facilities.cc.o"
+  "CMakeFiles/bench_fig08a_skyline_facilities.dir/bench/bench_fig08a_skyline_facilities.cc.o.d"
+  "bench_fig08a_skyline_facilities"
+  "bench_fig08a_skyline_facilities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08a_skyline_facilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08a_skyline_facilities.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08b_skyline_costtypes.dir/bench/bench_fig08b_skyline_costtypes.cc.o"
+  "CMakeFiles/bench_fig08b_skyline_costtypes.dir/bench/bench_fig08b_skyline_costtypes.cc.o.d"
+  "bench_fig08b_skyline_costtypes"
+  "bench_fig08b_skyline_costtypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08b_skyline_costtypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

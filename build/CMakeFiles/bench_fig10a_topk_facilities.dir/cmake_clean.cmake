@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10a_topk_facilities.dir/bench/bench_fig10a_topk_facilities.cc.o"
+  "CMakeFiles/bench_fig10a_topk_facilities.dir/bench/bench_fig10a_topk_facilities.cc.o.d"
+  "bench_fig10a_topk_facilities"
+  "bench_fig10a_topk_facilities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10a_topk_facilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10b_topk_costtypes.dir/bench/bench_fig10b_topk_costtypes.cc.o"
+  "CMakeFiles/bench_fig10b_topk_costtypes.dir/bench/bench_fig10b_topk_costtypes.cc.o.d"
+  "bench_fig10b_topk_costtypes"
+  "bench_fig10b_topk_costtypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10b_topk_costtypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11b_topk_buffer.dir/bench/bench_fig11b_topk_buffer.cc.o"
+  "CMakeFiles/bench_fig11b_topk_buffer.dir/bench/bench_fig11b_topk_buffer.cc.o.d"
+  "bench_fig11b_topk_buffer"
+  "bench_fig11b_topk_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11b_topk_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_topk_k.dir/bench/bench_fig12_topk_k.cc.o"
+  "CMakeFiles/bench_fig12_topk_k.dir/bench/bench_fig12_topk_k.cc.o.d"
+  "bench_fig12_topk_k"
+  "bench_fig12_topk_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_topk_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

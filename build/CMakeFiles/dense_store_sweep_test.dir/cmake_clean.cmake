@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dense_store_sweep_test.dir/tests/dense_store_sweep_test.cc.o"
+  "CMakeFiles/dense_store_sweep_test.dir/tests/dense_store_sweep_test.cc.o.d"
+  "dense_store_sweep_test"
+  "dense_store_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dense_store_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

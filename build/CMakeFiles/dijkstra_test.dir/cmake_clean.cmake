@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dijkstra_test.dir/tests/dijkstra_test.cc.o"
+  "CMakeFiles/dijkstra_test.dir/tests/dijkstra_test.cc.o.d"
+  "dijkstra_test"
+  "dijkstra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dijkstra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

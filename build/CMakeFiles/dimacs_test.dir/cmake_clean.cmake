@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimacs_test.dir/tests/dimacs_test.cc.o"
+  "CMakeFiles/dimacs_test.dir/tests/dimacs_test.cc.o.d"
+  "dimacs_test"
+  "dimacs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimacs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engines_test.dir/tests/engines_test.cc.o"
+  "CMakeFiles/engines_test.dir/tests/engines_test.cc.o.d"
+  "engines_test"
+  "engines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flat_structures_test.dir/tests/flat_structures_test.cc.o"
+  "CMakeFiles/flat_structures_test.dir/tests/flat_structures_test.cc.o.d"
+  "flat_structures_test"
+  "flat_structures_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flat_structures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

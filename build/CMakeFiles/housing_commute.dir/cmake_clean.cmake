@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/housing_commute.dir/examples/housing_commute.cpp.o"
+  "CMakeFiles/housing_commute.dir/examples/housing_commute.cpp.o.d"
+  "housing_commute"
+  "housing_commute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/housing_commute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_topk_test.dir/tests/incremental_topk_test.cc.o"
+  "CMakeFiles/incremental_topk_test.dir/tests/incremental_topk_test.cc.o.d"
+  "incremental_topk_test"
+  "incremental_topk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_topk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

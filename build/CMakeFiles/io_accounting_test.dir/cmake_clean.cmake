@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_accounting_test.dir/tests/io_accounting_test.cc.o"
+  "CMakeFiles/io_accounting_test.dir/tests/io_accounting_test.cc.o.d"
+  "io_accounting_test"
+  "io_accounting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_accounting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcn/algo/common.cc" "CMakeFiles/mcn.dir/src/mcn/algo/common.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/algo/common.cc.o.d"
+  "/root/repo/src/mcn/algo/incremental_topk.cc" "CMakeFiles/mcn.dir/src/mcn/algo/incremental_topk.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/algo/incremental_topk.cc.o.d"
+  "/root/repo/src/mcn/algo/naive.cc" "CMakeFiles/mcn.dir/src/mcn/algo/naive.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/algo/naive.cc.o.d"
+  "/root/repo/src/mcn/algo/skyline_query.cc" "CMakeFiles/mcn.dir/src/mcn/algo/skyline_query.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/algo/skyline_query.cc.o.d"
+  "/root/repo/src/mcn/algo/topk_query.cc" "CMakeFiles/mcn.dir/src/mcn/algo/topk_query.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/algo/topk_query.cc.o.d"
+  "/root/repo/src/mcn/common/logging.cc" "CMakeFiles/mcn.dir/src/mcn/common/logging.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/common/logging.cc.o.d"
+  "/root/repo/src/mcn/common/random.cc" "CMakeFiles/mcn.dir/src/mcn/common/random.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/common/random.cc.o.d"
+  "/root/repo/src/mcn/common/status.cc" "CMakeFiles/mcn.dir/src/mcn/common/status.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/common/status.cc.o.d"
+  "/root/repo/src/mcn/expand/astar.cc" "CMakeFiles/mcn.dir/src/mcn/expand/astar.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/expand/astar.cc.o.d"
+  "/root/repo/src/mcn/expand/dijkstra.cc" "CMakeFiles/mcn.dir/src/mcn/expand/dijkstra.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/expand/dijkstra.cc.o.d"
+  "/root/repo/src/mcn/expand/engines.cc" "CMakeFiles/mcn.dir/src/mcn/expand/engines.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/expand/engines.cc.o.d"
+  "/root/repo/src/mcn/expand/fetch_provider.cc" "CMakeFiles/mcn.dir/src/mcn/expand/fetch_provider.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/expand/fetch_provider.cc.o.d"
+  "/root/repo/src/mcn/expand/single_expansion.cc" "CMakeFiles/mcn.dir/src/mcn/expand/single_expansion.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/expand/single_expansion.cc.o.d"
+  "/root/repo/src/mcn/gen/cost_generator.cc" "CMakeFiles/mcn.dir/src/mcn/gen/cost_generator.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/gen/cost_generator.cc.o.d"
+  "/root/repo/src/mcn/gen/facility_generator.cc" "CMakeFiles/mcn.dir/src/mcn/gen/facility_generator.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/gen/facility_generator.cc.o.d"
+  "/root/repo/src/mcn/gen/road_network_generator.cc" "CMakeFiles/mcn.dir/src/mcn/gen/road_network_generator.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/gen/road_network_generator.cc.o.d"
+  "/root/repo/src/mcn/gen/workload.cc" "CMakeFiles/mcn.dir/src/mcn/gen/workload.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/gen/workload.cc.o.d"
+  "/root/repo/src/mcn/graph/facility.cc" "CMakeFiles/mcn.dir/src/mcn/graph/facility.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/graph/facility.cc.o.d"
+  "/root/repo/src/mcn/graph/multi_cost_graph.cc" "CMakeFiles/mcn.dir/src/mcn/graph/multi_cost_graph.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/graph/multi_cost_graph.cc.o.d"
+  "/root/repo/src/mcn/index/bplus_tree.cc" "CMakeFiles/mcn.dir/src/mcn/index/bplus_tree.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/index/bplus_tree.cc.o.d"
+  "/root/repo/src/mcn/io/dimacs.cc" "CMakeFiles/mcn.dir/src/mcn/io/dimacs.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/io/dimacs.cc.o.d"
+  "/root/repo/src/mcn/mcpp/pareto_paths.cc" "CMakeFiles/mcn.dir/src/mcn/mcpp/pareto_paths.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/mcpp/pareto_paths.cc.o.d"
+  "/root/repo/src/mcn/net/catalog.cc" "CMakeFiles/mcn.dir/src/mcn/net/catalog.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/net/catalog.cc.o.d"
+  "/root/repo/src/mcn/net/format.cc" "CMakeFiles/mcn.dir/src/mcn/net/format.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/net/format.cc.o.d"
+  "/root/repo/src/mcn/net/network_builder.cc" "CMakeFiles/mcn.dir/src/mcn/net/network_builder.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/net/network_builder.cc.o.d"
+  "/root/repo/src/mcn/net/network_reader.cc" "CMakeFiles/mcn.dir/src/mcn/net/network_reader.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/net/network_reader.cc.o.d"
+  "/root/repo/src/mcn/skyline/bnl.cc" "CMakeFiles/mcn.dir/src/mcn/skyline/bnl.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/skyline/bnl.cc.o.d"
+  "/root/repo/src/mcn/skyline/sfs.cc" "CMakeFiles/mcn.dir/src/mcn/skyline/sfs.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/skyline/sfs.cc.o.d"
+  "/root/repo/src/mcn/storage/buffer_pool.cc" "CMakeFiles/mcn.dir/src/mcn/storage/buffer_pool.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/mcn/storage/disk_manager.cc" "CMakeFiles/mcn.dir/src/mcn/storage/disk_manager.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/storage/disk_manager.cc.o.d"
+  "/root/repo/src/mcn/storage/persistence.cc" "CMakeFiles/mcn.dir/src/mcn/storage/persistence.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/storage/persistence.cc.o.d"
+  "/root/repo/src/mcn/storage/slotted_page.cc" "CMakeFiles/mcn.dir/src/mcn/storage/slotted_page.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/storage/slotted_page.cc.o.d"
+  "/root/repo/src/mcn/topk/nra.cc" "CMakeFiles/mcn.dir/src/mcn/topk/nra.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/topk/nra.cc.o.d"
+  "/root/repo/src/mcn/topk/threshold_algorithm.cc" "CMakeFiles/mcn.dir/src/mcn/topk/threshold_algorithm.cc.o" "gcc" "CMakeFiles/mcn.dir/src/mcn/topk/threshold_algorithm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcn_bench_harness.dir/bench/harness.cc.o"
+  "CMakeFiles/mcn_bench_harness.dir/bench/harness.cc.o.d"
+  "libmcn_bench_harness.a"
+  "libmcn_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcn_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmcn_bench_harness.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcn_skyline_test.dir/tests/mcn_skyline_test.cc.o"
+  "CMakeFiles/mcn_skyline_test.dir/tests/mcn_skyline_test.cc.o.d"
+  "mcn_skyline_test"
+  "mcn_skyline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcn_skyline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcn_test_util.dir/tests/test_util.cc.o"
+  "CMakeFiles/mcn_test_util.dir/tests/test_util.cc.o.d"
+  "libmcn_test_util.a"
+  "libmcn_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcn_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmcn_test_util.a"
+)

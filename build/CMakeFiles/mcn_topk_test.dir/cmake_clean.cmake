@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcn_topk_test.dir/tests/mcn_topk_test.cc.o"
+  "CMakeFiles/mcn_topk_test.dir/tests/mcn_topk_test.cc.o.d"
+  "mcn_topk_test"
+  "mcn_topk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcn_topk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcpp_test.dir/tests/mcpp_test.cc.o"
+  "CMakeFiles/mcpp_test.dir/tests/mcpp_test.cc.o.d"
+  "mcpp_test"
+  "mcpp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcpp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netstore_test.dir/tests/netstore_test.cc.o"
+  "CMakeFiles/netstore_test.dir/tests/netstore_test.cc.o.d"
+  "netstore_test"
+  "netstore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_tool.dir/examples/network_tool.cpp.o"
+  "CMakeFiles/network_tool.dir/examples/network_tool.cpp.o.d"
+  "network_tool"
+  "network_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

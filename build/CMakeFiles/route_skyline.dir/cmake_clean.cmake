@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_skyline.dir/examples/route_skyline.cpp.o"
+  "CMakeFiles/route_skyline.dir/examples/route_skyline.cpp.o.d"
+  "route_skyline"
+  "route_skyline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_skyline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

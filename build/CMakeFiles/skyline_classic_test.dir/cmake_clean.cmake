@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyline_classic_test.dir/tests/skyline_classic_test.cc.o"
+  "CMakeFiles/skyline_classic_test.dir/tests/skyline_classic_test.cc.o.d"
+  "skyline_classic_test"
+  "skyline_classic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyline_classic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

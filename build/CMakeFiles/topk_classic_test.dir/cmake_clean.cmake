@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topk_classic_test.dir/tests/topk_classic_test.cc.o"
+  "CMakeFiles/topk_classic_test.dir/tests/topk_classic_test.cc.o.d"
+  "topk_classic_test"
+  "topk_classic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topk_classic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

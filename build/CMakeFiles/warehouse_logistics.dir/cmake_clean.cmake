@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_logistics.dir/examples/warehouse_logistics.cpp.o"
+  "CMakeFiles/warehouse_logistics.dir/examples/warehouse_logistics.cpp.o.d"
+  "warehouse_logistics"
+  "warehouse_logistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_logistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
