@@ -10,7 +10,6 @@
 #include "mcn/common/stopwatch.h"
 
 namespace mcn::bench {
-namespace {
 
 double EnvDouble(const char* name, double fallback) {
   const char* v = std::getenv(name);
@@ -18,33 +17,17 @@ double EnvDouble(const char* name, double fallback) {
   return std::atof(v);
 }
 
-inline uint64_t FnvMix(uint64_t h, uint64_t x) {
-  for (int b = 0; b < 8; ++b) {
-    h ^= (x >> (8 * b)) & 0xFFu;
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
-inline uint64_t DoubleBits(double d) {
-  uint64_t bits;
-  static_assert(sizeof(bits) == sizeof(d));
-  __builtin_memcpy(&bits, &d, sizeof(bits));
-  return bits;
-}
+namespace {
 
 // Fills a QueryOutcome from a result list: size, order-sensitive FNV hash
-// (per-entry fields supplied by `hash_entry`), and the time the hashing
+// (shared entry hashing from algo/result_hash.h), and the time the hashing
 // itself took, which the driver subtracts from the measured CPU window.
-template <typename Entry, typename HashEntryFn>
-QueryOutcome MakeOutcome(const std::vector<Entry>& entries,
-                         const HashEntryFn& hash_entry) {
+template <typename Entry>
+QueryOutcome MakeOutcome(const std::vector<Entry>& entries) {
   QueryOutcome outcome;
   outcome.result_size = entries.size();
   Stopwatch hash_watch;
-  uint64_t h = kFnvOffsetBasis;
-  for (const Entry& e : entries) h = hash_entry(h, e);
-  outcome.result_hash = h;
+  outcome.result_hash = algo::HashResult(entries);
   outcome.hash_seconds = hash_watch.ElapsedSeconds();
   return outcome;
 }
@@ -96,10 +79,13 @@ void WriteMetrics(std::FILE* f, const char* name, const RunMetrics& m) {
       "        \"%s\": {\"avg_cpu_s\": %.9g, \"avg_modeled_s\": %.9g, "
       "\"avg_misses\": %.9g, \"total_cpu_s\": %.9g, \"buffer_misses\": "
       "%" PRIu64 ", \"buffer_accesses\": %" PRIu64 ", \"avg_result_size\": "
-      "%.9g, \"result_hash\": \"%016" PRIx64 "\", \"queries\": %d}",
+      "%.9g, \"result_hash\": \"%016" PRIx64 "\", \"queries\": %d, "
+      "\"latency_p50_ms\": %.9g, \"latency_p95_ms\": %.9g, "
+      "\"latency_p99_ms\": %.9g, \"qps\": %.9g}",
       name, m.AvgCpu(), m.AvgModeled(), m.AvgMisses(), m.cpu_seconds,
       m.buffer_misses, m.buffer_accesses, m.result_size, m.result_hash,
-      m.queries);
+      m.queries, m.latency_p50_ms, m.latency_p95_ms, m.latency_p99_ms,
+      m.qps);
 }
 
 void WriteJson() {
@@ -111,7 +97,7 @@ void WriteJson() {
                  st.env.json_path.c_str());
     return;
   }
-  std::fprintf(f, "{\n  \"schema\": \"mcn-bench-v1\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"mcn-bench-v2\",\n");
   std::fprintf(f,
                "  \"scale\": %.9g,\n  \"queries_per_point\": %d,\n"
                "  \"io_latency_ms\": %.9g,\n  \"figures\": [\n",
@@ -155,7 +141,8 @@ RunMetrics RunOne(gen::Instance& instance, expand::EngineKind kind,
     QueryOutcome outcome = run(engine.value().get(), per_query);
     double cpu = watch.ElapsedSeconds() - outcome.hash_seconds;
     metrics.result_size += static_cast<double>(outcome.result_size);
-    metrics.result_hash = FnvMix(metrics.result_hash, outcome.result_hash);
+    metrics.result_hash =
+        algo::FnvMixU64(metrics.result_hash, outcome.result_hash);
     uint64_t misses = instance.pool->stats().misses;
     metrics.cpu_seconds += cpu;
     metrics.buffer_misses += misses;
@@ -193,15 +180,7 @@ QueryFn SkylineRunner() {
     algo::SkylineQuery query(engine);
     auto result = query.ComputeAll();
     MCN_CHECK(result.ok());
-    return MakeOutcome(result.value(),
-                       [](uint64_t h, const algo::SkylineEntry& e) {
-                         h = FnvMix(h, e.facility);
-                         h = FnvMix(h, e.known_mask);
-                         for (int j = 0; j < e.costs.dim(); ++j) {
-                           h = FnvMix(h, DoubleBits(e.costs[j]));
-                         }
-                         return h;
-                       });
+    return MakeOutcome(result.value());
   };
 }
 
@@ -216,15 +195,7 @@ QueryFn TopKRunner(int k, int num_costs) {
     algo::TopKQuery query(engine, algo::WeightedSum(weights), opts);
     auto result = query.Run();
     MCN_CHECK(result.ok());
-    return MakeOutcome(result.value(),
-                       [](uint64_t h, const algo::TopKEntry& e) {
-                         h = FnvMix(h, e.facility);
-                         h = FnvMix(h, DoubleBits(e.score));
-                         for (int j = 0; j < e.costs.dim(); ++j) {
-                           h = FnvMix(h, DoubleBits(e.costs[j]));
-                         }
-                         return h;
-                       });
+    return MakeOutcome(result.value());
   };
 }
 

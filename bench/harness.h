@@ -24,14 +24,19 @@
 #include <vector>
 
 #include "mcn/algo/common.h"
+#include "mcn/algo/result_hash.h"
 #include "mcn/expand/engines.h"
 #include "mcn/gen/workload.h"
 
 namespace mcn::bench {
 
 /// FNV-1a offset basis: the seed of every result hash (per-query hashes
-/// and the cross-query combination in RunMetrics).
-inline constexpr uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+/// and the cross-query combination in RunMetrics). One definition shared
+/// with the exec::QueryService parity checks (algo/result_hash.h).
+inline constexpr uint64_t kFnvOffsetBasis = algo::kFnvOffsetBasis;
+
+/// Reads a double from the environment (`fallback` when unset/empty).
+double EnvDouble(const char* name, double fallback);
 
 /// Scale / repetition knobs resolved from the environment.
 struct BenchEnv {
@@ -54,6 +59,14 @@ struct RunMetrics {
   /// ids + cost bit patterns): refactors must keep it byte-identical.
   uint64_t result_hash = kFnvOffsetBasis;
   int queries = 0;
+  /// Service-level metrics (schema mcn-bench-v2). Zero for the
+  /// single-threaded figure benchmarks, filled by the concurrent service
+  /// benchmarks: request latency percentiles (queue wait + execution +
+  /// modeled I/O stall) and measured wall-clock throughput.
+  double latency_p50_ms = 0;
+  double latency_p95_ms = 0;
+  double latency_p99_ms = 0;
+  double qps = 0;
 
   /// Per-query averages.
   double AvgCpu() const { return queries ? cpu_seconds / queries : 0; }

@@ -1,0 +1,59 @@
+// Order-sensitive FNV-1a hashing of query results (facility ids, cost bit
+// patterns, scores). One definition shared by the benchmark harness and the
+// exec::QueryService so that cross-refactor and single- vs multi-threaded
+// parity checks compare byte-identical hashes (DESIGN.md §5/§6).
+#ifndef MCN_ALGO_RESULT_HASH_H_
+#define MCN_ALGO_RESULT_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "mcn/algo/common.h"
+
+namespace mcn::algo {
+
+/// FNV-1a offset basis: the seed of every result hash.
+inline constexpr uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+
+/// Folds the 8 bytes of `x` (LSB first) into an FNV-1a state.
+inline uint64_t FnvMixU64(uint64_t h, uint64_t x) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (x >> (8 * b)) & 0xFFu;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+inline uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+inline uint64_t HashEntry(uint64_t h, const SkylineEntry& e) {
+  h = FnvMixU64(h, e.facility);
+  h = FnvMixU64(h, e.known_mask);
+  for (int j = 0; j < e.costs.dim(); ++j) h = FnvMixU64(h, DoubleBits(e.costs[j]));
+  return h;
+}
+
+inline uint64_t HashEntry(uint64_t h, const TopKEntry& e) {
+  h = FnvMixU64(h, e.facility);
+  h = FnvMixU64(h, DoubleBits(e.score));
+  for (int j = 0; j < e.costs.dim(); ++j) h = FnvMixU64(h, DoubleBits(e.costs[j]));
+  return h;
+}
+
+/// Hash of a full result list, seeded with the offset basis.
+template <typename Entry>
+uint64_t HashResult(const std::vector<Entry>& entries) {
+  uint64_t h = kFnvOffsetBasis;
+  for (const Entry& e : entries) h = HashEntry(h, e);
+  return h;
+}
+
+}  // namespace mcn::algo
+
+#endif  // MCN_ALGO_RESULT_HASH_H_

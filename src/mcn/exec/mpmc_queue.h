@@ -1,0 +1,129 @@
+// Bounded multi-producer/multi-consumer FIFO ring (Vyukov's algorithm).
+// Each cell carries a sequence counter; producers and consumers claim cells
+// with one CAS on their position counter and publish with a release store on
+// the cell sequence, so push and pop never take a lock and different cells
+// never contend. This is the work queue under the exec::ThreadPool
+// (DESIGN.md §6); blocking (waiting for an item or for space) is layered on
+// top by the pool, the queue itself only offers TryPush/TryPop.
+#ifndef MCN_EXEC_MPMC_QUEUE_H_
+#define MCN_EXEC_MPMC_QUEUE_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+
+#include "mcn/common/macros.h"
+
+namespace mcn::exec {
+
+/// Fixed-capacity lock-free MPMC queue. T must be movable; elements still in
+/// the queue at destruction are destroyed (in FIFO order).
+template <typename T>
+class MpmcQueue {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit MpmcQueue(size_t min_capacity)
+      : capacity_(std::bit_ceil(min_capacity < 2 ? size_t{2} : min_capacity)),
+        mask_(capacity_ - 1),
+        cells_(new Cell[capacity_]) {
+    for (size_t i = 0; i < capacity_; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  ~MpmcQueue() {
+    // Single-threaded by now: destroy unconsumed elements front to back.
+    size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      if (cell.seq.load(std::memory_order_acquire) != pos + 1) break;
+      std::launder(reinterpret_cast<T*>(cell.storage))->~T();
+      ++pos;
+    }
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  /// False when the queue is full.
+  bool TryPush(T&& value) {
+    Cell* cell;
+    size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      size_t seq = cell->seq.load(std::memory_order_acquire);
+      auto dif = static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (dif == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // the cell one lap back is still occupied: full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    ::new (static_cast<void*>(cell->storage)) T(std::move(value));
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// False when the queue is empty.
+  bool TryPop(T& out) {
+    Cell* cell;
+    size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      size_t seq = cell->seq.load(std::memory_order_acquire);
+      auto dif =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+      if (dif == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // the cell was not published yet: empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    T* item = std::launder(reinterpret_cast<T*>(cell->storage));
+    out = std::move(*item);
+    item->~T();
+    cell->seq.store(pos + capacity_, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate (racy) size; exact only when producers/consumers are quiet.
+  size_t SizeApprox() const {
+    size_t enq = enqueue_pos_.load(std::memory_order_relaxed);
+    size_t deq = dequeue_pos_.load(std::memory_order_relaxed);
+    return enq >= deq ? enq - deq : 0;
+  }
+
+ private:
+  // One cache line per cell so neighbor cells never false-share; the hot
+  // position counters get their own lines too.
+  struct alignas(64) Cell {
+    std::atomic<size_t> seq;
+    alignas(alignof(T)) unsigned char storage[sizeof(T)];
+  };
+
+  const size_t capacity_;
+  const size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  alignas(64) std::atomic<size_t> enqueue_pos_{0};
+  alignas(64) std::atomic<size_t> dequeue_pos_{0};
+};
+
+}  // namespace mcn::exec
+
+#endif  // MCN_EXEC_MPMC_QUEUE_H_

@@ -1,0 +1,248 @@
+#include "mcn/exec/query_service.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "mcn/algo/incremental_topk.h"
+#include "mcn/algo/result_hash.h"
+#include "mcn/algo/skyline_query.h"
+#include "mcn/algo/topk_query.h"
+#include "mcn/common/macros.h"
+
+namespace mcn::exec {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<QueryService>> QueryService::Create(
+    storage::DiskManager* disk, const net::NetworkFiles& files,
+    const ServiceOptions& options) {
+  if (disk == nullptr) {
+    return Status::InvalidArgument("QueryService: null disk");
+  }
+  if (options.num_workers <= 0) {
+    return Status::InvalidArgument("QueryService: num_workers must be > 0");
+  }
+  if (options.queue_capacity == 0) {
+    return Status::InvalidArgument("QueryService: queue_capacity must be > 0");
+  }
+  return std::unique_ptr<QueryService>(
+      new QueryService(disk, files, options));
+}
+
+QueryService::QueryService(storage::DiskManager* disk,
+                           const net::NetworkFiles& files,
+                           const ServiceOptions& options)
+    : disk_(disk), files_(files), opts_(options) {
+  workers_.reserve(opts_.num_workers);
+  for (int w = 0; w < opts_.num_workers; ++w) {
+    auto worker = std::make_unique<Worker>();
+    worker->pool = std::make_unique<storage::BufferPool>(
+        disk_, opts_.pool_frames_per_worker);
+    worker->reader =
+        std::make_unique<net::NetworkReader>(files_, worker->pool.get());
+    workers_.push_back(std::move(worker));
+  }
+  // Freeze the shared disk read-only for the service's lifetime; the
+  // storage layer DCHECKs any mutation from here on (DESIGN.md §6).
+  disk_->BeginConcurrentReads();
+  pool_ = std::make_unique<ThreadPool<Task>>(
+      opts_.num_workers, opts_.queue_capacity,
+      [this](Task&& task, int worker) { Execute(std::move(task), worker); },
+      [](Task&& task) {
+        QueryResult discarded;
+        discarded.status = Status::FailedPrecondition(
+            "query discarded by non-draining shutdown");
+        task.promise.set_value(std::move(discarded));
+      });
+}
+
+QueryService::~QueryService() { Shutdown(/*drain=*/true); }
+
+std::future<QueryResult> QueryService::Submit(QueryRequest request) {
+  Task task;
+  task.request = std::move(request);
+  task.enqueue_time = std::chrono::steady_clock::now();
+  std::future<QueryResult> future = task.promise.get_future();
+  if (!pool_->Submit(std::move(task))) {
+    // Shutdown already began: resolve immediately instead of blocking.
+    QueryResult rejected;
+    rejected.status =
+        Status::FailedPrecondition("QueryService is shut down");
+    std::promise<QueryResult> promise;
+    future = promise.get_future();
+    promise.set_value(std::move(rejected));
+  }
+  return future;
+}
+
+void QueryService::Drain() { pool_->Drain(); }
+
+void QueryService::Shutdown(bool drain) {
+  if (shut_down_) return;
+  pool_->Shutdown(drain);
+  disk_->EndConcurrentReads();
+  shut_down_ = true;
+}
+
+void QueryService::Execute(Task&& task, int worker) {
+  Worker& shard = *workers_[worker];
+  QueryResult result = RunQuery(task.request, shard);
+  result.stats.worker = worker;
+  result.stats.queue_seconds =
+      SecondsSince(task.enqueue_time) - result.stats.exec_seconds;
+  result.stats.stall_seconds =
+      static_cast<double>(result.stats.buffer_misses) * opts_.io_latency_ms /
+      1000.0;
+  if (opts_.simulate_io_stalls && result.stats.stall_seconds > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(result.stats.stall_seconds));
+  }
+  result.stats.latency_seconds = SecondsSince(task.enqueue_time);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (result.status.ok()) {
+      ++shard.completed;
+    } else {
+      ++shard.failed;
+    }
+    shard.latency_ms.push_back(result.stats.latency_seconds * 1e3);
+    shard.buffer_misses += result.stats.buffer_misses;
+    shard.buffer_accesses += result.stats.buffer_accesses;
+    shard.cpu_seconds += result.stats.exec_seconds;
+    shard.stall_seconds += result.stats.stall_seconds;
+  }
+  task.promise.set_value(std::move(result));
+}
+
+QueryResult QueryService::RunQuery(const QueryRequest& request,
+                                   Worker& worker) {
+  QueryResult result;
+  result.kind = request.kind;
+  result.result_hash = algo::kFnvOffsetBasis;
+
+  const bool needs_weights = request.kind != QueryKind::kSkyline;
+  if (needs_weights &&
+      static_cast<int>(request.weights.size()) != files_.num_costs) {
+    result.status = Status::InvalidArgument(
+        "QueryRequest: weights size must equal the network's d");
+    return result;
+  }
+  if (needs_weights && request.k <= 0) {
+    result.status = Status::InvalidArgument("QueryRequest: k must be > 0");
+    return result;
+  }
+
+  if (opts_.cold_cache_per_query) {
+    worker.pool->Clear();
+    worker.pool->ResetStats();
+  }
+  const storage::BufferPool::Stats before = worker.pool->stats();
+
+  Stopwatch watch;
+  auto engine_or =
+      expand::MakeEngine(request.engine, worker.reader.get(),
+                         request.location);
+  if (!engine_or.ok()) {
+    result.status = engine_or.status();
+    return result;
+  }
+  expand::NnEngine* engine = engine_or.value().get();
+
+  switch (request.kind) {
+    case QueryKind::kSkyline: {
+      algo::SkylineQuery query(engine);
+      auto rows = query.ComputeAll();
+      if (!rows.ok()) {
+        result.status = rows.status();
+        return result;
+      }
+      result.skyline = std::move(rows).value();
+      break;
+    }
+    case QueryKind::kTopK: {
+      algo::TopKOptions topk_opts;
+      topk_opts.k = request.k;
+      algo::TopKQuery query(engine, algo::WeightedSum(request.weights),
+                            topk_opts);
+      auto rows = query.Run();
+      if (!rows.ok()) {
+        result.status = rows.status();
+        return result;
+      }
+      result.topk = std::move(rows).value();
+      break;
+    }
+    case QueryKind::kIncrementalTopK: {
+      algo::IncrementalTopK query(engine,
+                                  algo::WeightedSum(request.weights));
+      for (int i = 0; i < request.k; ++i) {
+        auto next = query.NextBest();
+        if (!next.ok()) {
+          result.status = next.status();
+          return result;
+        }
+        if (!next.value().has_value()) break;  // component exhausted
+        result.topk.push_back(*std::move(next).value());
+      }
+      break;
+    }
+  }
+  result.stats.exec_seconds = watch.ElapsedSeconds();
+
+  const storage::BufferPool::Stats after = worker.pool->stats();
+  result.stats.buffer_misses = after.misses - before.misses;
+  result.stats.buffer_accesses = after.accesses() - before.accesses();
+
+  // Hashed outside the measured window, like the bench harness.
+  result.result_hash = request.kind == QueryKind::kSkyline
+                           ? algo::HashResult(result.skyline)
+                           : algo::HashResult(result.topk);
+  return result;
+}
+
+ServiceStats QueryService::Snapshot() const {
+  ServiceStats stats;
+  std::vector<double> samples;
+  for (const auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mu);
+    stats.completed += worker->completed;
+    stats.failed += worker->failed;
+    stats.buffer_misses += worker->buffer_misses;
+    stats.buffer_accesses += worker->buffer_accesses;
+    stats.cpu_seconds += worker->cpu_seconds;
+    stats.stall_seconds += worker->stall_seconds;
+    samples.insert(samples.end(), worker->latency_ms.begin(),
+                   worker->latency_ms.end());
+  }
+  stats.wall_seconds = uptime_.ElapsedSeconds();
+  if (stats.wall_seconds > 0) {
+    stats.qps = static_cast<double>(stats.completed + stats.failed) /
+                stats.wall_seconds;
+  }
+  stats.ComputePercentiles(samples);
+  return stats;
+}
+
+void QueryService::ResetStats() {
+  for (const auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mu);
+    worker->completed = 0;
+    worker->failed = 0;
+    worker->buffer_misses = 0;
+    worker->buffer_accesses = 0;
+    worker->cpu_seconds = 0;
+    worker->stall_seconds = 0;
+    worker->latency_ms.clear();
+  }
+  uptime_.Restart();
+}
+
+}  // namespace mcn::exec

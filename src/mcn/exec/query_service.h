@@ -1,0 +1,189 @@
+// QueryService: the concurrent serving layer above the paper's query
+// processors (DESIGN.md §6). One service owns
+//
+//   * a shared, read-only DiskManager (frozen for the service's lifetime
+//     via BeginConcurrentReads — the storage layer DCHECKs any mutation),
+//   * one BufferPool + NetworkReader per worker (sharded by worker, never
+//     shared across threads, each sized like the paper's LRU buffer), and
+//   * a fixed-size ThreadPool over a lock-free MPMC queue.
+//
+// Every submitted QueryRequest is executed on some worker with a freshly
+// constructed engine (LSA/CEA d-expansions + CandidateStore are per-query
+// state, so nothing of a query is visible to another), and resolves a
+// std::future<QueryResult> carrying the typed result rows, an FNV result
+// hash (byte-identical to a single-threaded run — the parity anchor of the
+// service bench and tests), and per-query stats. Workers also feed the
+// service-level aggregation: latency percentiles (p50/p95/p99) and QPS.
+#ifndef MCN_EXEC_QUERY_SERVICE_H_
+#define MCN_EXEC_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mcn/algo/common.h"
+#include "mcn/common/result.h"
+#include "mcn/common/status.h"
+#include "mcn/common/stopwatch.h"
+#include "mcn/exec/service_stats.h"
+#include "mcn/exec/thread_pool.h"
+#include "mcn/expand/engines.h"
+#include "mcn/graph/location.h"
+#include "mcn/net/network_builder.h"
+#include "mcn/net/network_reader.h"
+#include "mcn/storage/buffer_pool.h"
+#include "mcn/storage/disk_manager.h"
+
+namespace mcn::exec {
+
+enum class QueryKind {
+  kSkyline,          ///< full MCN skyline (paper §IV)
+  kTopK,             ///< known-k top-k (paper §V)
+  kIncrementalTopK,  ///< incremental ranking, first `k` results (paper §V)
+};
+
+/// One query to execute. Self-contained by value, so a request can be
+/// replayed on any worker (determinism across worker counts).
+struct QueryRequest {
+  QueryKind kind = QueryKind::kSkyline;
+  graph::Location location = graph::Location::AtNode(graph::kInvalidNode);
+  /// Which engine flavor the worker builds for this query.
+  expand::EngineKind engine = expand::EngineKind::kCea;
+  /// Top-k / incremental only: result count and weighted-sum coefficients
+  /// (size must equal the network's d).
+  int k = 4;
+  std::vector<double> weights;
+};
+
+/// Per-query measurements taken on the executing worker.
+struct QueryStats {
+  int worker = -1;
+  double queue_seconds = 0;  ///< submit -> start of execution
+  double exec_seconds = 0;   ///< engine construction + query computation
+  double stall_seconds = 0;  ///< modeled I/O: misses x io_latency_ms
+  /// Full request latency: queue wait + execution + stall (the stall is
+  /// slept for real when ServiceOptions::simulate_io_stalls is set,
+  /// otherwise only accounted).
+  double latency_seconds = 0;
+  uint64_t buffer_misses = 0;
+  uint64_t buffer_accesses = 0;
+};
+
+/// Outcome of one request. Exactly one of `skyline` / `topk` is filled
+/// (by kind) when `status` is OK.
+struct QueryResult {
+  Status status = Status::OK();
+  QueryKind kind = QueryKind::kSkyline;
+  std::vector<algo::SkylineEntry> skyline;
+  std::vector<algo::TopKEntry> topk;  ///< also the incremental results
+  /// algo::HashResult over the filled rows (kFnvOffsetBasis when failed).
+  uint64_t result_hash = 0;
+  QueryStats stats;
+};
+
+struct ServiceOptions {
+  int num_workers = 4;
+  /// Ring capacity of the work queue; Submit applies back-pressure
+  /// (blocks) when this many queries are already waiting.
+  size_t queue_capacity = 1024;
+  /// LRU frames per worker pool (the paper's buffer size; see
+  /// gen::BufferFrames). Every worker gets the same capacity so per-query
+  /// miss counts match a single-threaded run exactly.
+  size_t pool_frames_per_worker = 0;
+  /// Modeled I/O latency charged per buffer miss (as in the bench harness).
+  double io_latency_ms = 5.0;
+  /// Sleep each query's modeled stall for real, so wall-clock throughput
+  /// reflects overlapped I/O. Keep off for pure-CPU tests.
+  bool simulate_io_stalls = false;
+  /// Clear + reset the worker's pool before each query (the paper's
+  /// independent-query model; also what makes per-query miss counts
+  /// deterministic across worker counts). When false, a worker's pool
+  /// stays warm across the queries it happens to execute.
+  bool cold_cache_per_query = true;
+};
+
+/// See the file comment. Thread-safe: Submit/Drain/Snapshot may be called
+/// from any thread; Shutdown from one thread at a time.
+class QueryService {
+ public:
+  /// `disk`/`files` describe a fully built network (see net::BuildNetwork);
+  /// `disk` must outlive the service and is frozen read-only until the
+  /// service shuts down.
+  static Result<std::unique_ptr<QueryService>> Create(
+      storage::DiskManager* disk, const net::NetworkFiles& files,
+      const ServiceOptions& options);
+
+  /// Shutdown(/*drain=*/true).
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Enqueues `request`; blocks when the queue is full. After shutdown the
+  /// returned future is immediately ready with a FailedPrecondition result.
+  std::future<QueryResult> Submit(QueryRequest request);
+
+  /// Waits until every submitted query has completed.
+  void Drain();
+
+  /// Stops the workers. drain=true completes the backlog first; drain=false
+  /// discards it — a discarded query's future resolves with a
+  /// FailedPrecondition result (futures never throw). Idempotent.
+  void Shutdown(bool drain = true);
+
+  /// Aggregated service statistics since construction (or ResetStats).
+  ServiceStats Snapshot() const;
+
+  /// Clears the aggregation and restarts the QPS window. Call only while
+  /// no query is in flight.
+  void ResetStats();
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  const ServiceOptions& options() const { return opts_; }
+
+ private:
+  /// What rides the MPMC queue: the request plus its promise.
+  struct Task {
+    QueryRequest request;
+    std::promise<QueryResult> promise;
+    std::chrono::steady_clock::time_point enqueue_time{};
+  };
+
+  /// Per-worker shard: pool + reader confined to one worker thread, and
+  /// that worker's slice of the service aggregation (merged by Snapshot).
+  struct Worker {
+    std::unique_ptr<storage::BufferPool> pool;
+    std::unique_ptr<net::NetworkReader> reader;
+    mutable std::mutex mu;  ///< guards the aggregation below vs Snapshot
+    std::vector<double> latency_ms;
+    uint64_t completed = 0;
+    uint64_t failed = 0;
+    uint64_t buffer_misses = 0;
+    uint64_t buffer_accesses = 0;
+    double cpu_seconds = 0;
+    double stall_seconds = 0;
+  };
+
+  QueryService(storage::DiskManager* disk, const net::NetworkFiles& files,
+               const ServiceOptions& options);
+
+  void Execute(Task&& task, int worker);
+  /// Runs the query on `worker`'s shard; fills everything but the latency
+  /// fields of the result stats.
+  QueryResult RunQuery(const QueryRequest& request, Worker& worker);
+
+  storage::DiskManager* disk_;
+  net::NetworkFiles files_;
+  ServiceOptions opts_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::unique_ptr<ThreadPool<Task>> pool_;
+  Stopwatch uptime_;
+  bool shut_down_ = false;
+};
+
+}  // namespace mcn::exec
+
+#endif  // MCN_EXEC_QUERY_SERVICE_H_

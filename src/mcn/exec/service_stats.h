@@ -1,0 +1,56 @@
+// Service-level statistics for the concurrent query executor: per-query
+// latency samples aggregated into nearest-rank percentiles plus throughput
+// over the measurement window (DESIGN.md §6).
+#ifndef MCN_EXEC_SERVICE_STATS_H_
+#define MCN_EXEC_SERVICE_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mcn::exec {
+
+/// Nearest-rank percentile of `sorted` (ascending); p in [0,100]:
+/// the smallest element with at least p% of the samples <= it,
+/// i.e. sorted[ceil(p/100 * N) - 1]. Returns 0 for an empty sample set.
+inline double PercentileSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (p <= 0) return sorted.front();
+  if (p >= 100) return sorted.back();
+  auto rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  if (rank > 0) --rank;
+  if (rank >= sorted.size()) rank = sorted.size() - 1;
+  return sorted[rank];
+}
+
+/// Aggregated snapshot over all workers since service start (or the last
+/// ResetStats). Latency covers the full request lifetime: queue wait +
+/// execution + modeled I/O stall.
+struct ServiceStats {
+  uint64_t completed = 0;   ///< queries finished with an OK status
+  uint64_t failed = 0;      ///< queries finished with a non-OK status
+  uint64_t buffer_misses = 0;
+  uint64_t buffer_accesses = 0;
+  double cpu_seconds = 0;    ///< summed per-query execution time
+  double stall_seconds = 0;  ///< summed modeled I/O stall time
+  double wall_seconds = 0;   ///< measurement window (service uptime)
+  double latency_p50_ms = 0;
+  double latency_p95_ms = 0;
+  double latency_p99_ms = 0;
+  double qps = 0;  ///< (completed + failed) / wall_seconds
+
+  /// Fills the percentile fields from raw latency samples (milliseconds).
+  void ComputePercentiles(std::vector<double>& latency_ms_samples) {
+    std::sort(latency_ms_samples.begin(), latency_ms_samples.end());
+    latency_p50_ms = PercentileSorted(latency_ms_samples, 50);
+    latency_p95_ms = PercentileSorted(latency_ms_samples, 95);
+    latency_p99_ms = PercentileSorted(latency_ms_samples, 99);
+  }
+};
+
+}  // namespace mcn::exec
+
+#endif  // MCN_EXEC_SERVICE_STATS_H_

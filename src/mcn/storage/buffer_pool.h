@@ -26,6 +26,10 @@ namespace mcn::storage {
 /// can never be evicted and may transiently push residency above capacity
 /// (they are trimmed as soon as they are unpinned). Capacity 0 reproduces the
 /// paper's "no buffer" configuration: every fetch is a disk read.
+///
+/// Threading: a pool is confined to one thread (one executor worker owns one
+/// pool). Many pools may share one read-only DiskManager concurrently — the
+/// disk's read path is thread-safe (DESIGN.md §6).
 class BufferPool {
  public:
   struct Stats {

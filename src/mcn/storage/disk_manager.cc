@@ -1,15 +1,56 @@
 #include "mcn/storage/disk_manager.h"
 
 #include <cstring>
+#include <utility>
+
+#include "mcn/common/macros.h"
 
 namespace mcn::storage {
 
+DiskManager::DiskManager(DiskManager&& o) noexcept
+    : files_(std::move(o.files_)),
+      page_reads_(o.page_reads_.load(std::memory_order_relaxed)),
+      page_writes_(o.page_writes_.load(std::memory_order_relaxed)) {
+  MCN_DCHECK(o.concurrent_reader_scopes() == 0);
+}
+
+DiskManager& DiskManager::operator=(DiskManager&& o) noexcept {
+  MCN_DCHECK(concurrent_reader_scopes() == 0);
+  MCN_DCHECK(o.concurrent_reader_scopes() == 0);
+  files_ = std::move(o.files_);
+  page_reads_.store(o.page_reads_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  page_writes_.store(o.page_writes_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  return *this;
+}
+
+void DiskManager::CheckMutable() const {
+  // Single-writer/multi-reader contract: no mutation while a concurrent
+  // reader scope (an executor sharing this disk) is open.
+  MCN_DCHECK(concurrent_reader_scopes() == 0);
+}
+
+void DiskManager::EndConcurrentReads() {
+  int prev = concurrent_readers_.fetch_sub(1, std::memory_order_relaxed);
+  MCN_DCHECK(prev > 0);
+  (void)prev;
+}
+
+void DiskManager::ResetStats() {
+  CheckMutable();
+  page_reads_.store(0, std::memory_order_relaxed);
+  page_writes_.store(0, std::memory_order_relaxed);
+}
+
 FileId DiskManager::CreateFile(std::string name) {
+  CheckMutable();
   files_.push_back(File{std::move(name), {}});
   return static_cast<FileId>(files_.size() - 1);
 }
 
 Result<PageNo> DiskManager::AllocatePage(FileId file) {
+  CheckMutable();
   if (file >= files_.size()) {
     return Status::InvalidArgument("AllocatePage: no such file");
   }
@@ -33,20 +74,21 @@ Status DiskManager::CheckPage(PageId id) const {
 Status DiskManager::ReadPage(PageId id, std::byte* out) {
   MCN_RETURN_IF_ERROR(CheckPage(id));
   std::memcpy(out, files_[id.file].pages[id.page].data(), kPageSize);
-  ++stats_.page_reads;
+  page_reads_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Result<const std::byte*> DiskManager::ReadPageRef(PageId id) {
   MCN_RETURN_IF_ERROR(CheckPage(id));
-  ++stats_.page_reads;
+  page_reads_.fetch_add(1, std::memory_order_relaxed);
   return files_[id.file].pages[id.page].data();
 }
 
 Status DiskManager::WritePage(PageId id, const std::byte* data) {
+  CheckMutable();
   MCN_RETURN_IF_ERROR(CheckPage(id));
   std::memcpy(files_[id.file].pages[id.page].data(), data, kPageSize);
-  ++stats_.page_writes;
+  page_writes_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 

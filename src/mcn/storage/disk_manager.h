@@ -2,9 +2,20 @@
 // accounting. It substitutes for the physical disk of the paper's testbed;
 // every page read/write is counted so that experiments can report exact I/O
 // numbers and model I/O-dominated running time (see DESIGN.md §3).
+//
+// Concurrency contract (DESIGN.md §6): the disk is built single-threaded,
+// then shared read-only by any number of concurrent readers (one BufferPool
+// per executor worker). Read paths (ReadPage/ReadPageRef/PageData and the
+// metadata getters) are safe to call from multiple threads once no mutator
+// runs concurrently — the page bytes are immutable after build and the I/O
+// counters are relaxed atomics. Mutators (CreateFile/AllocatePage/WritePage)
+// and ResetStats are single-writer only; the exec::QueryService brackets its
+// lifetime with BeginConcurrentReads/EndConcurrentReads so that a mutation
+// while readers are active trips an MCN_DCHECK instead of silently racing.
 #ifndef MCN_STORAGE_DISK_MANAGER_H_
 #define MCN_STORAGE_DISK_MANAGER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -18,10 +29,11 @@
 namespace mcn::storage {
 
 /// A set of named paged files stored in memory, with read/write counters.
-/// Not thread-safe (queries in this library are single-threaded, as in the
-/// paper).
+/// Single-writer/multi-reader: see the concurrency contract above.
 class DiskManager {
  public:
+  /// A plain snapshot of the atomic counters (coherent enough for the
+  /// experiments: readers are quiesced whenever totals are compared).
   struct Stats {
     uint64_t page_reads = 0;
     uint64_t page_writes = 0;
@@ -29,11 +41,12 @@ class DiskManager {
 
   DiskManager() = default;
 
-  // Movable but not copyable: page storage may be large.
+  // Movable but not copyable: page storage may be large. Moves are
+  // build-time operations (single-threaded; counters snapshotted).
   DiskManager(const DiskManager&) = delete;
   DiskManager& operator=(const DiskManager&) = delete;
-  DiskManager(DiskManager&&) = default;
-  DiskManager& operator=(DiskManager&&) = default;
+  DiskManager(DiskManager&& o) noexcept;
+  DiskManager& operator=(DiskManager&& o) noexcept;
 
   /// Creates an empty file and returns its id.
   FileId CreateFile(std::string name);
@@ -49,7 +62,8 @@ class DiskManager {
   /// Counted zero-copy read: returns a pointer to the page's bytes, valid
   /// while the file exists. Used by the (read-only) BufferPool so a miss
   /// costs no 4KB copy — physical I/O cost is modeled from the read count,
-  /// not from simulation memcpy time (DESIGN.md §3).
+  /// not from simulation memcpy time (DESIGN.md §3). Safe for concurrent
+  /// readers: the bytes are immutable and the counter is atomic.
   Result<const std::byte*> ReadPageRef(PageId id);
 
   /// Overwrites a full page from `data` (kPageSize bytes).
@@ -69,8 +83,25 @@ class DiskManager {
   size_t num_files() const { return files_.size(); }
   Result<std::string> FileName(FileId file) const;
 
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats(); }
+  Stats stats() const {
+    Stats s;
+    s.page_reads = page_reads_.load(std::memory_order_relaxed);
+    s.page_writes = page_writes_.load(std::memory_order_relaxed);
+    return s;
+  }
+  void ResetStats();
+
+  /// Registers/unregisters a concurrent-reader scope (e.g. one
+  /// exec::QueryService). While any scope is open, mutators and ResetStats
+  /// MCN_DCHECK-fail: the disk is frozen read-only.
+  void BeginConcurrentReads() {
+    concurrent_readers_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void EndConcurrentReads();
+
+  int concurrent_reader_scopes() const {
+    return concurrent_readers_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct File {
@@ -79,9 +110,12 @@ class DiskManager {
   };
 
   Status CheckPage(PageId id) const;
+  void CheckMutable() const;
 
   std::vector<File> files_;
-  Stats stats_;
+  std::atomic<uint64_t> page_reads_{0};
+  std::atomic<uint64_t> page_writes_{0};
+  std::atomic<int> concurrent_readers_{0};
 };
 
 }  // namespace mcn::storage

@@ -1,0 +1,150 @@
+#include "mcn/exec/mpmc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace mcn::exec {
+namespace {
+
+TEST(MpmcQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(MpmcQueue<int>(1).capacity(), 2u);
+  EXPECT_EQ(MpmcQueue<int>(2).capacity(), 2u);
+  EXPECT_EQ(MpmcQueue<int>(3).capacity(), 4u);
+  EXPECT_EQ(MpmcQueue<int>(64).capacity(), 64u);
+  EXPECT_EQ(MpmcQueue<int>(65).capacity(), 128u);
+}
+
+TEST(MpmcQueueTest, SingleThreadFifo) {
+  MpmcQueue<int> q(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.TryPush(int{i}));
+  int v = -1;
+  EXPECT_FALSE(q.TryPush(99));  // full
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(q.TryPop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.TryPop(v));  // empty
+}
+
+TEST(MpmcQueueTest, WrapsAroundManyLaps) {
+  MpmcQueue<int> q(4);
+  int v = -1;
+  for (int lap = 0; lap < 1000; ++lap) {
+    ASSERT_TRUE(q.TryPush(int{lap}));
+    ASSERT_TRUE(q.TryPush(lap + 1000000));
+    ASSERT_TRUE(q.TryPop(v));
+    EXPECT_EQ(v, lap);
+    ASSERT_TRUE(q.TryPop(v));
+    EXPECT_EQ(v, lap + 1000000);
+  }
+}
+
+TEST(MpmcQueueTest, MoveOnlyElementsAndDropOnDestruction) {
+  // Leftover elements must be destroyed by the queue's destructor.
+  auto counter = std::make_shared<int>(0);
+  struct Payload {
+    std::shared_ptr<int> counter;
+    Payload() = default;
+    explicit Payload(std::shared_ptr<int> c) : counter(std::move(c)) {
+      ++*counter;
+    }
+    Payload(Payload&&) = default;
+    Payload& operator=(Payload&&) = default;
+    ~Payload() {
+      if (counter) --*counter;
+    }
+  };
+  {
+    MpmcQueue<Payload> q(8);
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(q.TryPush(Payload(counter)));
+    }
+    Payload out;
+    ASSERT_TRUE(q.TryPop(out));
+    EXPECT_EQ(*counter, 5);  // 4 in the queue + `out`
+  }
+  EXPECT_EQ(*counter, 0);
+}
+
+TEST(MpmcQueueTest, ConcurrentProducersConsumersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 5000;
+  MpmcQueue<uint64_t> q(64);
+  std::atomic<uint64_t> popped_sum{0};
+  std::atomic<int> popped_count{0};
+  constexpr int kTotal = kProducers * kPerProducer;
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        uint64_t v = static_cast<uint64_t>(p) * kPerProducer + i;
+        while (!q.TryPush(std::move(v))) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      uint64_t v;
+      while (popped_count.load() < kTotal) {
+        if (q.TryPop(v)) {
+          popped_sum.fetch_add(v);
+          popped_count.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(popped_count.load(), kTotal);
+  // Sum of 0..kTotal-1: every element arrived exactly once.
+  uint64_t expected =
+      static_cast<uint64_t>(kTotal) * (kTotal - 1) / 2;
+  EXPECT_EQ(popped_sum.load(), expected);
+  uint64_t v;
+  EXPECT_FALSE(q.TryPop(v));
+}
+
+TEST(MpmcQueueTest, PerProducerOrderIsPreserved) {
+  // FIFO per producer: a single consumer must see each producer's values
+  // in increasing order even with concurrent producers.
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 4000;
+  MpmcQueue<uint64_t> q(32);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        uint64_t v = (static_cast<uint64_t>(p) << 32) | i;
+        while (!q.TryPush(std::move(v))) std::this_thread::yield();
+      }
+    });
+  }
+  std::vector<int64_t> last_seen(kProducers, -1);
+  int received = 0;
+  while (received < kProducers * kPerProducer) {
+    uint64_t v;
+    if (!q.TryPop(v)) {
+      std::this_thread::yield();
+      continue;
+    }
+    int p = static_cast<int>(v >> 32);
+    auto seq = static_cast<int64_t>(v & 0xFFFFFFFFu);
+    EXPECT_LT(last_seen[p], seq);
+    last_seen[p] = seq;
+    ++received;
+  }
+  for (auto& t : producers) t.join();
+}
+
+}  // namespace
+}  // namespace mcn::exec

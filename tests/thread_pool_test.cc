@@ -1,0 +1,147 @@
+#include "mcn/exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace mcn::exec {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesEverySubmittedTask) {
+  std::atomic<uint64_t> sum{0};
+  {
+    ThreadPool<int> pool(4, 16, [&sum](int&& v, int) { sum.fetch_add(v); });
+    for (int i = 1; i <= 1000; ++i) EXPECT_TRUE(pool.Submit(int{i}));
+    pool.Drain();
+    EXPECT_EQ(sum.load(), 1000u * 1001 / 2);
+    EXPECT_EQ(pool.executed(), 1000u);
+  }
+}
+
+TEST(ThreadPoolTest, WorkerIndicesAreInRangeAndAllWorkersRun) {
+  constexpr int kWorkers = 4;
+  std::mutex mu;
+  std::set<int> seen;
+  ThreadPool<int> pool(kWorkers, 8, [&](int&&, int worker) {
+    ASSERT_GE(worker, 0);
+    ASSERT_LT(worker, kWorkers);
+    // Slow the task down a little so the work spreads over all workers.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::lock_guard<std::mutex> lock(mu);
+    seen.insert(worker);
+  });
+  for (int i = 0; i < 200; ++i) EXPECT_TRUE(pool.Submit(int{i}));
+  pool.Drain();
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kWorkers));
+}
+
+TEST(ThreadPoolTest, OversubscriptionBeyondQueueCapacity) {
+  // More in-flight tasks than workers and more submissions than ring
+  // capacity: Submit applies back-pressure and nothing is lost.
+  std::atomic<int> executed{0};
+  ThreadPool<int> pool(2, 4, [&](int&&, int) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    executed.fetch_add(1);
+  });
+  for (int i = 0; i < 500; ++i) EXPECT_TRUE(pool.Submit(int{i}));
+  pool.Drain();
+  EXPECT_EQ(executed.load(), 500);
+}
+
+TEST(ThreadPoolTest, DrainWaitsForRunningTasks) {
+  std::atomic<bool> release{false};
+  std::atomic<int> done{0};
+  ThreadPool<int> pool(2, 8, [&](int&&, int) {
+    while (!release.load()) std::this_thread::yield();
+    done.fetch_add(1);
+  });
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(pool.Submit(int{i}));
+  EXPECT_EQ(done.load(), 0);
+  release.store(true);
+  pool.Drain();
+  EXPECT_EQ(done.load(), 4);
+}
+
+TEST(ThreadPoolTest, ShutdownWithDrainRunsBacklog) {
+  std::atomic<int> executed{0};
+  ThreadPool<int> pool(1, 64, [&](int&&, int) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+    executed.fetch_add(1);
+  });
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(pool.Submit(int{i}));
+  pool.Shutdown(/*drain=*/true);
+  EXPECT_EQ(executed.load(), 50);
+  // The pool no longer accepts work.
+  EXPECT_FALSE(pool.Submit(int{1}));
+  // Idempotent.
+  pool.Shutdown(/*drain=*/true);
+  pool.Shutdown(/*drain=*/false);
+}
+
+TEST(ThreadPoolTest, ShutdownWithoutDrainDiscardsBacklog) {
+  std::atomic<bool> block{true};
+  std::atomic<int> executed{0};
+  ThreadPool<int> pool(1, 64, [&](int&&, int) {
+    while (block.load()) std::this_thread::yield();
+    executed.fetch_add(1);
+  });
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(pool.Submit(int{i}));
+  // The single worker is stuck in the first task; release it and shut down
+  // hard: whatever is still queued when the worker exits is discarded.
+  block.store(false);
+  pool.Shutdown(/*drain=*/false);
+  EXPECT_LE(executed.load(), 20);
+  EXPECT_FALSE(pool.Submit(int{1}));
+}
+
+TEST(ThreadPoolTest, DiscardedTasksGoThroughTheDiscardHandler) {
+  // Every submitted task must end up either executed or discarded — with
+  // a bundled promise settled either way, so no consumer ever hangs.
+  struct Task {
+    std::promise<int> promise;
+    bool real = false;
+  };
+  std::atomic<bool> block{true};
+  std::atomic<int> executed{0};
+  std::atomic<int> discarded{0};
+  auto pool = std::make_unique<ThreadPool<Task>>(
+      1, 64,
+      [&](Task&& t, int) {
+        while (block.load()) std::this_thread::yield();
+        executed.fetch_add(1);
+        if (t.real) t.promise.set_value(42);
+      },
+      [&](Task&& t) {
+        discarded.fetch_add(1);
+        if (t.real) t.promise.set_value(-1);
+      });
+  constexpr int kTasks = 20;
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < kTasks; ++i) {
+    Task task;
+    task.real = true;
+    futures.push_back(task.promise.get_future());
+    ASSERT_TRUE(pool->Submit(std::move(task)));
+  }
+  // The single worker is parked in the first task; release it and
+  // hard-stop: the backlog goes through the discard handler.
+  block.store(false);
+  pool->Shutdown(/*drain=*/false);
+  int completed = 0, dropped = 0;
+  for (auto& f : futures) {
+    (f.get() == 42 ? completed : dropped) += 1;
+  }
+  EXPECT_EQ(completed + dropped, kTasks);
+  EXPECT_EQ(completed, executed.load());
+  EXPECT_EQ(dropped, discarded.load());
+}
+
+}  // namespace
+}  // namespace mcn::exec

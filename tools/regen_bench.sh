@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_current.json (schema mcn-bench-v2, DESIGN.md §5).
+#
+# Runs the tracked reference benchmarks at default scale — each binary
+# writes its own JSON record, then the figure arrays are merged in run
+# order. Usage, from the repo root (build/ configured for Release):
+#
+#   cmake --build build -j --target bench_fig08a_skyline_facilities \
+#       bench_fig10a_topk_facilities bench_service_throughput
+#   tools/regen_bench.sh [output=BENCH_current.json]
+#
+# Takes a few minutes at the default MCN_BENCH_SCALE=0.15.
+set -euo pipefail
+
+out="${1:-BENCH_current.json}"
+build="${BUILD_DIR:-build}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+benches=(
+  bench_fig08a_skyline_facilities
+  bench_fig10a_topk_facilities
+  bench_service_throughput
+)
+
+for bench in "${benches[@]}"; do
+  echo "== $bench =="
+  MCN_BENCH_JSON="$tmp/$bench.json" "$build/$bench"
+done
+
+python3 - "$out" "$tmp" "${benches[@]}" <<'EOF'
+import json, sys
+out, tmp, benches = sys.argv[1], sys.argv[2], sys.argv[3:]
+merged = None
+for bench in benches:
+    with open(f"{tmp}/{bench}.json") as f:
+        record = json.load(f)
+    if merged is None:
+        merged = record
+    else:
+        assert record["schema"] == merged["schema"], bench
+        merged["figures"] += record["figures"]
+with open(out, "w") as f:
+    json.dump(merged, f, indent=1)
+    f.write("\n")
+print(f"wrote {out}: {len(merged['figures'])} figures")
+EOF
