@@ -10,11 +10,36 @@
 #include "mcn/graph/cost_vector.h"
 #include "mcn/graph/multi_cost_graph.h"
 
+namespace mcn::expand {
+class ParallelProbeScheduler;
+}  // namespace mcn::expand
+
 namespace mcn::algo {
 
 /// Aggregate cost function f over a (complete) cost vector. Must be
 /// increasingly monotone: componentwise <= implies f <= (paper §III).
 using AggregateFn = std::function<double(const graph::CostVector&)>;
+
+/// Intra-query execution knobs shared by the three query processors
+/// (DESIGN.md §7). Defaults select the classic per-probe serial schedule.
+struct QueryOptions {
+  /// Requested d-expansion parallelism. 0 = classic serial probing (the
+  /// scheduler is ignored); >= 1 = the deterministic turn-barrier schedule
+  /// driven through `scheduler` — 1 executes turns inline on the caller
+  /// thread, > 1 concurrently on the scheduler's probe pool. Every value
+  /// >= 1 yields byte-identical results and logical I/O counts; the thread
+  /// count only changes how much physical I/O overlaps.
+  int parallelism = 0;
+  /// Required when parallelism >= 1; must be bound to the same engine the
+  /// query runs on (wired by exec::ExpansionExecutor or the caller).
+  expand::ParallelProbeScheduler* scheduler = nullptr;
+  /// Settled elements per expansion per round-robin turn: amortizes the
+  /// turn barrier over several (near-equal-I/O) probe steps. Part of the
+  /// schedule — changing it changes the deterministic event order, so
+  /// parity comparisons must hold it fixed. Ignored by the width-1
+  /// ablation policies and the drain stage.
+  int turn_stride = 8;
+};
 
 /// The paper's experimental aggregate: f(p) = sum_i alpha_i * c_i(p).
 AggregateFn WeightedSum(std::vector<double> weights);

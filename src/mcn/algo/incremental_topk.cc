@@ -2,19 +2,27 @@
 
 #include <algorithm>
 
+#include "mcn/algo/turn_dispatch.h"
 #include "mcn/common/macros.h"
+#include "mcn/expand/probe_scheduler.h"
 
 namespace mcn::algo {
 
 IncrementalTopK::IncrementalTopK(expand::NnEngine* engine, AggregateFn f,
-                                 ProbePolicy policy)
+                                 ProbePolicy policy, QueryOptions exec)
     : engine_(engine),
       f_(std::move(f)),
       policy_(policy),
+      exec_(exec),
+      turn_mode_(exec.parallelism >= 1),
       d_(engine->num_costs()),
       store_(engine->num_facilities(), d_, expand::kInfCost),
       active_(d_, true) {
   MCN_CHECK(engine != nullptr);
+  if (turn_mode_) {
+    MCN_CHECK(exec_.scheduler != nullptr);
+    MCN_CHECK(exec_.scheduler->engine() == engine);
+  }
 }
 
 int IncrementalTopK::PickExpansion() const {
@@ -68,6 +76,34 @@ double IncrementalTopK::MinCandidateLowerBound() const {
   return min_lb;
 }
 
+Status IncrementalTopK::AdvanceTurn() {
+  if (policy_ != ProbePolicy::kRoundRobin) {
+    // Ablation frontier policies: width-1 turns (the serial schedule).
+    int i = PickExpansion();
+    MCN_DCHECK(i >= 0);  // caller checks for total exhaustion
+    return DispatchWidthOneNextNN(
+        *exec_.scheduler, i, active_,
+        [&](int e, graph::FacilityId f, double cost) {
+          return HandlePop(e, f, cost);
+        });
+  }
+  // Round-robin: step-granular turns (see SkylineQuery::AdvanceTurn for
+  // the balance rationale).
+  std::vector<int>& targets = turn_targets_;
+  targets.clear();
+  for (int i = 0; i < d_; ++i) {
+    if (active_[i]) targets.push_back(i);
+  }
+  MCN_DCHECK(!targets.empty());  // caller checks for total exhaustion
+  MCN_ASSIGN_OR_RETURN(auto outcomes, exec_.scheduler->StepTurn(
+                                          targets, exec_.turn_stride));
+  return DispatchStepOutcomes(
+      outcomes, active_, /*any_active=*/nullptr,
+      [&](int i, graph::FacilityId f, double cost) {
+        return HandlePop(i, f, cost);
+      });
+}
+
 Result<std::optional<TopKEntry>> IncrementalTopK::NextBest() {
   for (;;) {
     if (!pinned_.empty()) {
@@ -80,7 +116,16 @@ Result<std::optional<TopKEntry>> IncrementalTopK::NextBest() {
             MakeEntry(head.facility, head.score));
       }
     }
-    int i = PickExpansion();
+    if (turn_mode_) {
+      bool any_active = false;
+      for (int i = 0; i < d_; ++i) any_active |= active_[i];
+      if (any_active) {
+        MCN_RETURN_IF_ERROR(AdvanceTurn());
+        continue;
+      }
+      // Fall through to the total-exhaustion report below (i < 0).
+    }
+    int i = turn_mode_ ? -1 : PickExpansion();
     if (i < 0) {
       // Total exhaustion: all frontiers are +inf, every remaining pinned
       // facility is safe in heap order; candidates with missing costs

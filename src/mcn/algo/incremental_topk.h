@@ -34,9 +34,14 @@ class IncrementalTopK {
     uint64_t safety_checks = 0;
   };
 
-  /// `f` must be increasingly monotone.
+  /// `f` must be increasingly monotone. `exec` enables the turn-barrier
+  /// parallel schedule (DESIGN.md §7): with round-robin probing every
+  /// active expansion advances once between report-safety checks; the
+  /// ablation frontier policies degenerate to width-1 turns (exact serial
+  /// replay).
   IncrementalTopK(expand::NnEngine* engine, AggregateFn f,
-                  ProbePolicy policy = ProbePolicy::kRoundRobin);
+                  ProbePolicy policy = ProbePolicy::kRoundRobin,
+                  QueryOptions exec = {});
 
   /// The facility with the next-larger aggregate cost, or nullopt when all
   /// reachable facilities have been reported.
@@ -55,6 +60,8 @@ class IncrementalTopK {
   };
 
   int PickExpansion() const;
+  /// Turn-mode probe phase of one NextBest iteration (DESIGN.md §7).
+  Status AdvanceTurn();
   Status HandlePop(int i, graph::FacilityId f, double cost);
   /// Smallest frontier-based lower bound among current candidates (+inf if
   /// none). Reporting head is safe iff this is >= its score.
@@ -64,12 +71,15 @@ class IncrementalTopK {
   expand::NnEngine* engine_;
   AggregateFn f_;
   ProbePolicy policy_;
+  QueryOptions exec_;
+  bool turn_mode_;
   int d_;
   CandidateStore store_;
   std::vector<bool> active_;
   // Pinned but not yet reported, min-heap by score.
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
       pinned_;
+  std::vector<int> turn_targets_;  ///< turn-mode scratch (no per-turn alloc)
   int turn_ = 0;
   Stats stats_;
 };

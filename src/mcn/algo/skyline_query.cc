@@ -2,13 +2,16 @@
 
 #include <algorithm>
 
+#include "mcn/algo/turn_dispatch.h"
 #include "mcn/common/macros.h"
+#include "mcn/expand/probe_scheduler.h"
 
 namespace mcn::algo {
 
 SkylineQuery::SkylineQuery(expand::NnEngine* engine, SkylineOptions options)
     : engine_(engine),
       opts_(options),
+      turn_mode_(options.exec.parallelism >= 1),
       d_(engine->num_costs()),
       store_(engine->num_facilities(), d_, expand::kInfCost),
       missing_per_cost_(d_, 0),
@@ -16,6 +19,10 @@ SkylineQuery::SkylineQuery(expand::NnEngine* engine, SkylineOptions options)
       active_(d_, true),
       first_nn_taken_(d_, false) {
   MCN_CHECK(engine != nullptr);
+  if (turn_mode_) {
+    MCN_CHECK(opts_.exec.scheduler != nullptr);
+    MCN_CHECK(opts_.exec.scheduler->engine() == engine);
+  }
 }
 
 SkylineEntry SkylineQuery::MakeEntry(graph::FacilityId f) const {
@@ -83,6 +90,7 @@ int SkylineQuery::PickExpansion() const {
 }
 
 Status SkylineQuery::Advance() {
+  if (turn_mode_) return AdvanceTurn();
   if (stage_ == Stage::kDrain) return DrainStep();
   int i = PickExpansion();
   if (i < 0) {
@@ -119,7 +127,12 @@ Status SkylineQuery::DrainStep() {
     }
   }
   // All frontiers are strictly past the boundary: nothing at the boundary
-  // is still unseen. Resolve deferred pins, then resume shrinking.
+  // is still unseen.
+  return FinishDrain();
+}
+
+Status SkylineQuery::FinishDrain() {
+  // Resolve deferred pins, then resume shrinking.
   stage_ = Stage::kShrinking;
   ResolvePendingPins();
   if (!growing_over_) {
@@ -131,6 +144,74 @@ Status SkylineQuery::DrainStep() {
   MaybeStopExpansions();
   if (store_.num_candidates() == 0) done_ = true;
   return Status::OK();
+}
+
+Status SkylineQuery::AdvanceTurn() {
+  if (stage_ == Stage::kDrain) return DrainTurn();
+  if (opts_.probe_policy != ProbePolicy::kRoundRobin) {
+    // Ablation frontier policies: width-1 turns — the serial schedule,
+    // probe by probe, merely routed through the scheduler.
+    int i = PickExpansion();
+    if (i < 0) {
+      if (store_.num_candidates() > 0) return FinalizeRemaining();
+      done_ = true;
+      return Status::OK();
+    }
+    return DispatchWidthOneNextNN(
+        *opts_.exec.scheduler, i, active_,
+        [&](int e, graph::FacilityId f, double cost) {
+          return HandlePop(e, f, cost);
+        });
+  }
+  // Round-robin: step-granular turns — every active expansion settles one
+  // element between barriers. One settled node is ~one adjacency fetch,
+  // so the d probes of a turn carry near-equal I/O and overlap cleanly
+  // (a NextNN-sized probe would serialize a whole multi-fetch node churn
+  // behind the barrier).
+  std::vector<int>& targets = turn_targets_;
+  targets.clear();
+  for (int i = 0; i < d_; ++i) {
+    if (active_[i]) targets.push_back(i);
+  }
+  if (targets.empty()) {
+    if (store_.num_candidates() > 0) return FinalizeRemaining();
+    done_ = true;
+    return Status::OK();
+  }
+  MCN_ASSIGN_OR_RETURN(
+      auto outcomes,
+      opts_.exec.scheduler->StepTurn(targets, opts_.exec.turn_stride));
+  // A pin inside the dispatch switches stage_/drain_boundary_ for the
+  // *next* turn; the remaining buffered pops of this turn are real
+  // settled facilities and go through the same handler.
+  return DispatchStepOutcomes(
+      outcomes, active_, /*any_active=*/nullptr,
+      [&](int i, graph::FacilityId f, double cost) {
+        return HandlePop(i, f, cost);
+      });
+}
+
+Status SkylineQuery::DrainTurn() {
+  ++stats_.drain_rounds;
+  const bool batched = opts_.probe_policy == ProbePolicy::kRoundRobin;
+  std::vector<int>& targets = turn_targets_;
+  targets.clear();
+  for (int i = 0; i < d_; ++i) {
+    // Stopped expansions may still hold the boundary key: step them too.
+    if (engine_->Exhausted(i)) continue;
+    if (engine_->Frontier(i) > drain_boundary_[i]) continue;
+    targets.push_back(i);
+    if (!batched) break;  // serial drain steps the first eligible only
+  }
+  if (targets.empty()) return FinishDrain();
+  // Stride 1: drain eligibility is re-checked per settled element.
+  MCN_ASSIGN_OR_RETURN(auto outcomes,
+                       opts_.exec.scheduler->StepTurn(targets, 1));
+  return DispatchStepOutcomes(
+      outcomes, active_, /*any_active=*/nullptr,
+      [&](int i, graph::FacilityId f, double cost) {
+        return HandlePop(i, f, cost);
+      });
 }
 
 Status SkylineQuery::HandlePop(int i, graph::FacilityId f, double cost) {

@@ -48,6 +48,12 @@ struct SkylineOptions {
   bool stop_finished_expansions = true;
   /// Expansion multiplexing policy (round-robin per the paper).
   ProbePolicy probe_policy = ProbePolicy::kRoundRobin;
+  /// Intra-query parallelism (DESIGN.md §7). With a scheduler and
+  /// round-robin probing, turns advance every active expansion at once
+  /// (concurrently when the scheduler has a pool); the ablation frontier
+  /// policies degenerate to width-1 turns, which replay the serial
+  /// schedule exactly.
+  QueryOptions exec;
 };
 
 /// Progressive skyline computation: every facility returned by Next() is
@@ -92,11 +98,18 @@ class SkylineQuery {
     return !st.in_result && !st.eliminated && !st.pending;
   }
 
-  /// One probing turn: advance one expansion to its next NN.
+  /// One probing turn: advance one expansion to its next NN (serial), or
+  /// one scheduler turn over the policy's target set (turn mode).
   Status Advance();
   /// One drain step; completes the transition back to shrinking when every
   /// frontier has moved past the drain boundary.
   Status DrainStep();
+  /// Turn-mode counterparts (DESIGN.md §7): same per-event handling, but
+  /// a whole target set advances between barriers.
+  Status AdvanceTurn();
+  Status DrainTurn();
+  /// Shared epilogue of a completed drain (serial and turn mode).
+  Status FinishDrain();
   Status HandlePop(int i, graph::FacilityId f, double cost);
   Status Pin(uint32_t s);
   /// Moves a candidate slot into the skyline and queues it for output.
@@ -123,6 +136,7 @@ class SkylineQuery {
 
   expand::NnEngine* engine_;
   SkylineOptions opts_;
+  bool turn_mode_;
   int d_;
   Stage stage_ = Stage::kGrowing;
   bool done_ = false;
@@ -142,6 +156,7 @@ class SkylineQuery {
   std::vector<uint32_t> pending_pins_;    ///< store slots
   expand::FacilityFilter filter_;
   bool filter_installed_ = false;
+  std::vector<int> turn_targets_;  ///< turn-mode scratch (no per-turn alloc)
   std::deque<graph::FacilityId> output_;
   int turn_ = 0;
   Stats stats_;

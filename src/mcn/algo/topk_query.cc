@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "mcn/algo/turn_dispatch.h"
 #include "mcn/common/macros.h"
+#include "mcn/expand/probe_scheduler.h"
 
 namespace mcn::algo {
 
@@ -11,12 +13,17 @@ TopKQuery::TopKQuery(expand::NnEngine* engine, AggregateFn f,
     : engine_(engine),
       f_(std::move(f)),
       opts_(options),
+      turn_mode_(options.exec.parallelism >= 1),
       d_(engine->num_costs()),
       store_(engine->num_facilities(), d_, expand::kInfCost),
       missing_per_cost_(d_, 0),
       active_(d_, true) {
   MCN_CHECK(engine != nullptr);
   MCN_CHECK(opts_.k >= 1);
+  if (turn_mode_) {
+    MCN_CHECK(opts_.exec.scheduler != nullptr);
+    MCN_CHECK(opts_.exec.scheduler->engine() == engine);
+  }
 }
 
 int TopKQuery::PickExpansion() const {
@@ -57,9 +64,9 @@ double TopKQuery::KthScore() const {
 }
 
 Result<std::vector<TopKEntry>> TopKQuery::Run() {
-  MCN_RETURN_IF_ERROR(RunGrowing());
+  MCN_RETURN_IF_ERROR(turn_mode_ ? RunGrowingTurns() : RunGrowing());
   if (stats_.reached_shrinking) {
-    MCN_RETURN_IF_ERROR(RunShrinking());
+    MCN_RETURN_IF_ERROR(turn_mode_ ? RunShrinkingTurns() : RunShrinking());
   }
   return ExtractResult();
 }
@@ -85,7 +92,57 @@ Status TopKQuery::RunGrowing() {
   return Status::OK();
 }
 
+Status TopKQuery::RunGrowingTurns() {
+  expand::ParallelProbeScheduler* sched = opts_.exec.scheduler;
+  const bool batched = opts_.probe_policy == ProbePolicy::kRoundRobin;
+  while (static_cast<int>(top_.size()) < opts_.k) {
+    if (!batched) {
+      // Ablation frontier policies: width-1 turns (exact serial replay).
+      int i = PickExpansion();
+      if (i < 0) {
+        MCN_DCHECK(store_.num_candidates() == 0);
+        return Status::OK();
+      }
+      MCN_RETURN_IF_ERROR(DispatchWidthOneNextNN(
+          *sched, i, active_,
+          [&](int e, graph::FacilityId f, double cost) {
+            return HandleGrowingPop(e, f, cost);
+          }));
+      continue;
+    }
+    // Round-robin: step-granular turns (see SkylineQuery::AdvanceTurn for
+    // the balance rationale).
+    std::vector<int>& targets = turn_targets_;
+    targets.clear();
+    for (int i = 0; i < d_; ++i) {
+      if (active_[i]) targets.push_back(i);
+    }
+    if (targets.empty()) {
+      // Total exhaustion (see RunGrowing).
+      MCN_DCHECK(store_.num_candidates() == 0);
+      return Status::OK();
+    }
+    MCN_ASSIGN_OR_RETURN(auto outcomes,
+                         sched->StepTurn(targets, opts_.exec.turn_stride));
+    MCN_RETURN_IF_ERROR(DispatchStepOutcomes(
+        outcomes, active_, /*any_active=*/nullptr,
+        [&](int i, graph::FacilityId f, double cost) {
+          return HandleGrowingPop(i, f, cost);
+        }));
+  }
+  stats_.reached_shrinking = true;
+  return Status::OK();
+}
+
 Status TopKQuery::HandleGrowingPop(int i, graph::FacilityId f, double cost) {
+  if (static_cast<int>(top_.size()) >= opts_.k) {
+    // Only reachable in turn mode: a full-width turn keeps delivering
+    // pops after the k-th pin. Give them exactly the serial
+    // shrinking-stage treatment — first-seen facilities are ignored for
+    // good, known candidates resolve strictly against the k-th score —
+    // so the two schedules agree even on score ties at the boundary.
+    return HandleShrinkingPop(i, f, cost);
+  }
   ++stats_.nn_pops;
   bool created = false;
   uint32_t s = store_.Acquire(f, &created);
@@ -147,6 +204,52 @@ Status TopKQuery::RunShrinking() {
       // Every expansion exhausted or stopped: remaining candidates can
       // never be pinned; their lower bounds are +infinity (unreachable
       // costs), so they cannot beat any pinned facility.
+      while (store_.num_candidates() > 0) {
+        Eliminate(store_.candidates().back());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status TopKQuery::RunShrinkingTurns() {
+  expand::ParallelProbeScheduler* sched = opts_.exec.scheduler;
+  if (opts_.use_facility_filter) {
+    MCN_RETURN_IF_ERROR(BuildFilter());
+  }
+  MaybeStopExpansions();
+  const bool batched = opts_.probe_policy == ProbePolicy::kRoundRobin;
+  while (store_.num_candidates() > 0) {
+    bool any_active = false;
+    auto on_pop = [&](int i, graph::FacilityId f, double cost) {
+      return HandleShrinkingPop(i, f, cost);
+    };
+    std::vector<int>& targets = turn_targets_;
+    targets.clear();
+    for (int i = 0; i < d_; ++i) {
+      if (active_[i]) targets.push_back(i);
+    }
+    if (batched) {
+      if (!targets.empty()) {
+        // Stride 1: the paper's §V suspension rule is one heap element per
+        // expansion between lower-bound sweeps.
+        MCN_ASSIGN_OR_RETURN(auto outcomes, sched->StepTurn(targets, 1));
+        MCN_RETURN_IF_ERROR(
+            DispatchStepOutcomes(outcomes, active_, &any_active, on_pop));
+      }
+    } else {
+      // Ablation frontier policies: width-1 turns, processing between
+      // probes — the serial shrinking round, step by step.
+      for (int i : targets) {
+        MCN_ASSIGN_OR_RETURN(auto outcomes, sched->StepTurn({i}, 1));
+        MCN_RETURN_IF_ERROR(
+            DispatchStepOutcomes(outcomes, active_, &any_active, on_pop));
+      }
+    }
+    if (opts_.lower_bound_pruning) LowerBoundSweep();
+    MaybeStopExpansions();
+    if (!any_active && store_.num_candidates() > 0) {
+      // See RunShrinking: remaining candidates can never be pinned.
       while (store_.num_candidates() > 0) {
         Eliminate(store_.candidates().back());
       }

@@ -28,6 +28,10 @@ struct TopKOptions {
   /// Frontier-based lower-bound elimination of candidates (paper §V).
   bool lower_bound_pruning = true;
   ProbePolicy probe_policy = ProbePolicy::kRoundRobin;
+  /// Intra-query parallelism (DESIGN.md §7): round-robin turns advance
+  /// every active expansion at once; the ablation frontier policies
+  /// degenerate to width-1 turns (exact serial replay).
+  QueryOptions exec;
 };
 
 /// One-shot top-k computation over a fresh engine. Only reachable
@@ -68,6 +72,9 @@ class TopKQuery {
 
   Status RunGrowing();
   Status RunShrinking();
+  /// Turn-mode counterparts (DESIGN.md §7).
+  Status RunGrowingTurns();
+  Status RunShrinkingTurns();
   Status HandleGrowingPop(int i, graph::FacilityId f, double cost);
   Status HandleShrinkingPop(int i, graph::FacilityId f, double cost);
   /// Inserts a pinned facility into the tentative top-k (growing).
@@ -85,6 +92,7 @@ class TopKQuery {
   expand::NnEngine* engine_;
   AggregateFn f_;
   TopKOptions opts_;
+  bool turn_mode_;
   int d_;
   CandidateStore store_;
   std::vector<int> missing_per_cost_;
@@ -92,6 +100,7 @@ class TopKQuery {
   // Tentative result: max-heap on score; holds at most k entries.
   std::priority_queue<HeapEntry> top_;
   expand::FacilityFilter filter_;
+  std::vector<int> turn_targets_;  ///< turn-mode scratch (no per-turn alloc)
   int turn_ = 0;
   Stats stats_;
 };

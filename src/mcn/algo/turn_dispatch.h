@@ -1,0 +1,62 @@
+// Shared dispatch for turn-mode probe outcomes (DESIGN.md §7): every query
+// processor consumes a StepTurn the same way — exhaustion deactivates the
+// expansion, settled nodes only advance it, settled facilities go to the
+// processor's pop handler. One definition so a change to event semantics
+// cannot drift between the five turn loops.
+#ifndef MCN_ALGO_TURN_DISPATCH_H_
+#define MCN_ALGO_TURN_DISPATCH_H_
+
+#include <vector>
+
+#include "mcn/common/macros.h"
+#include "mcn/common/status.h"
+#include "mcn/expand/single_expansion.h"
+
+namespace mcn::algo {
+
+/// Applies a turn's outcomes (expansion-major, events in execution order)
+/// to `active`, forwarding facility pops to `on_facility(expansion, id,
+/// cost) -> Status`. `any_active`, when non-null, is set if any expansion
+/// produced a non-exhausted event (the top-k shrinking liveness test).
+template <typename StepOutcomes, typename FacilityFn>
+Status DispatchStepOutcomes(const StepOutcomes& outcomes,
+                            std::vector<bool>& active, bool* any_active,
+                            FacilityFn&& on_facility) {
+  for (const auto& o : outcomes) {
+    for (const expand::ExpansionEvent& ev : o.events) {
+      switch (ev.type) {
+        case expand::ExpansionEvent::Type::kExhausted:
+          active[o.expansion] = false;
+          break;
+        case expand::ExpansionEvent::Type::kNode:
+          if (any_active != nullptr) *any_active = true;
+          break;
+        case expand::ExpansionEvent::Type::kFacility:
+          if (any_active != nullptr) *any_active = true;
+          MCN_RETURN_IF_ERROR(on_facility(o.expansion, ev.id, ev.cost));
+          break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// The width-1 (ablation frontier policy) turn: one NextNN for expansion
+/// `i` through `scheduler`, deactivating on exhaustion, else forwarding
+/// the pop — the serial schedule, probe by probe. Shared by the three
+/// processors' non-round-robin turn paths.
+template <typename Scheduler, typename FacilityFn>
+Status DispatchWidthOneNextNN(Scheduler& scheduler, int i,
+                              std::vector<bool>& active,
+                              FacilityFn&& on_facility) {
+  MCN_ASSIGN_OR_RETURN(auto outcomes, scheduler.NextNNTurn({i}));
+  if (!outcomes[0].nn.has_value()) {
+    active[i] = false;
+    return Status::OK();
+  }
+  return on_facility(i, outcomes[0].nn->facility, outcomes[0].nn->cost);
+}
+
+}  // namespace mcn::algo
+
+#endif  // MCN_ALGO_TURN_DISPATCH_H_

@@ -1,0 +1,85 @@
+#include "mcn/exec/expansion_executor.h"
+
+#include <utility>
+
+#include "mcn/common/macros.h"
+#include "mcn/graph/cost_vector.h"
+
+namespace mcn::exec {
+
+Result<std::unique_ptr<ExpansionExecutor>> ExpansionExecutor::Create(
+    storage::DiskManager* disk, const net::NetworkFiles& files,
+    int parallelism, size_t pool_frames_per_slot) {
+  if (disk == nullptr) {
+    return Status::InvalidArgument("ExpansionExecutor: null disk");
+  }
+  if (parallelism < 1) {
+    return Status::InvalidArgument(
+        "ExpansionExecutor: parallelism must be >= 1");
+  }
+  auto executor = std::unique_ptr<ExpansionExecutor>(
+      new ExpansionExecutor(disk, parallelism));
+  const int slots = parallelism + 1;  // slot 0 = the query-driving thread
+  executor->pools_.reserve(slots);
+  executor->readers_.reserve(slots);
+  for (int s = 0; s < slots; ++s) {
+    executor->pools_.push_back(
+        std::make_unique<storage::BufferPool>(disk, pool_frames_per_slot));
+    executor->readers_.push_back(std::make_unique<net::NetworkReader>(
+        files, executor->pools_.back().get()));
+  }
+  if (parallelism > 1) {
+    // A turn is at most one probe per cost type; the queue never holds
+    // more than one turn (the caller blocks on the barrier).
+    executor->probe_pool_ = std::make_unique<expand::ProbePool>(
+        parallelism, /*queue_capacity=*/graph::kMaxCostTypes,
+        &expand::ParallelProbeScheduler::Run,
+        &expand::ParallelProbeScheduler::Discard);
+  }
+  return executor;
+}
+
+ExpansionExecutor::ExpansionExecutor(storage::DiskManager* disk,
+                                     int parallelism)
+    : disk_(disk), parallelism_(parallelism) {
+  disk_->BeginConcurrentReads();
+}
+
+ExpansionExecutor::~ExpansionExecutor() {
+  if (probe_pool_ != nullptr) probe_pool_->Shutdown(/*drain=*/true);
+  disk_->EndConcurrentReads();
+}
+
+Result<ExpansionExecutor::QueryRig> ExpansionExecutor::NewQuery(
+    const graph::Location& q, expand::ParallelProbeScheduler::Mode mode) {
+  std::vector<const net::NetworkReader*> readers;
+  readers.reserve(readers_.size());
+  for (const auto& r : readers_) readers.push_back(r.get());
+  MCN_ASSIGN_OR_RETURN(auto engine,
+                       expand::StripedCeaEngine::Create(std::move(readers), q));
+  QueryRig rig;
+  rig.scheduler = std::make_unique<expand::ParallelProbeScheduler>(
+      engine.get(), probe_pool_.get(), engine->striped_fetch(), mode);
+  rig.engine = std::move(engine);
+  return rig;
+}
+
+void ExpansionExecutor::ResetIoState() {
+  for (const auto& pool : pools_) {
+    pool->Clear();
+    pool->ResetStats();
+  }
+}
+
+storage::BufferPool::Stats ExpansionExecutor::PoolStats() const {
+  storage::BufferPool::Stats total{};
+  for (const auto& pool : pools_) {
+    const storage::BufferPool::Stats s = pool->stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+  }
+  return total;
+}
+
+}  // namespace mcn::exec

@@ -1,5 +1,6 @@
 #include "mcn/exec/query_service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <utility>
@@ -140,25 +141,78 @@ QueryResult QueryService::RunQuery(const QueryRequest& request,
     return result;
   }
 
+  // Intra-query parallelism: 0 = classic serial path; 1 = inline turn
+  // schedule over the worker's own reader; > 1 = pooled turns on the
+  // worker's ExpansionExecutor (clamped to the service's configuration).
+  int par = std::min(request.parallelism, opts_.per_query_parallelism);
+  if (par > 1 && worker.expansion == nullptr) {
+    // Built lazily on the first parallel request, so a service whose
+    // clients never opt in pays no probe threads or extra pools. Safe
+    // here: a worker runs one query at a time on its own thread.
+    auto executor = ExpansionExecutor::Create(
+        disk_, files_, opts_.per_query_parallelism,
+        opts_.pool_frames_per_worker);
+    MCN_CHECK(executor.ok());
+    worker.expansion = std::move(executor).value();
+  }
+  const bool turn_mode = par >= 1;
+  const bool pooled = par > 1;
+
   if (opts_.cold_cache_per_query) {
     worker.pool->Clear();
     worker.pool->ResetStats();
+    if (worker.expansion != nullptr) worker.expansion->ResetIoState();
   }
-  const storage::BufferPool::Stats before = worker.pool->stats();
+  auto io_now = [&]() -> storage::BufferPool::Stats {
+    return pooled ? worker.expansion->PoolStats() : worker.pool->stats();
+  };
+  const storage::BufferPool::Stats before = io_now();
 
   Stopwatch watch;
-  auto engine_or =
-      expand::MakeEngine(request.engine, worker.reader.get(),
-                         request.location);
-  if (!engine_or.ok()) {
-    result.status = engine_or.status();
-    return result;
+  std::unique_ptr<expand::NnEngine> engine_holder;
+  std::unique_ptr<expand::ParallelProbeScheduler> scheduler;
+  if (pooled) {
+    auto rig_or = worker.expansion->NewQuery(request.location);
+    if (!rig_or.ok()) {
+      result.status = rig_or.status();
+      return result;
+    }
+    ExpansionExecutor::QueryRig rig = std::move(rig_or).value();
+    engine_holder = std::move(rig.engine);
+    scheduler = std::move(rig.scheduler);
+  } else if (turn_mode) {
+    // Inline turns need no thread-safe provider: the plain CEA engine
+    // over the worker's reader runs the identical schedule (record
+    // contents and pop order match the striped cache) without paying for
+    // 64 stripes + single-flight machinery per query.
+    auto engine_or = expand::CeaEngine::Create(worker.reader.get(),
+                                               request.location);
+    if (!engine_or.ok()) {
+      result.status = engine_or.status();
+      return result;
+    }
+    scheduler = std::make_unique<expand::ParallelProbeScheduler>(
+        engine_or.value().get(), /*pool=*/nullptr, /*striped=*/nullptr);
+    engine_holder = std::move(engine_or).value();
+  } else {
+    auto engine_or = expand::MakeEngine(request.engine, worker.reader.get(),
+                                        request.location);
+    if (!engine_or.ok()) {
+      result.status = engine_or.status();
+      return result;
+    }
+    engine_holder = std::move(engine_or).value();
   }
-  expand::NnEngine* engine = engine_or.value().get();
+  expand::NnEngine* engine = engine_holder.get();
+  algo::QueryOptions exec;
+  exec.parallelism = par;
+  exec.scheduler = scheduler.get();
 
   switch (request.kind) {
     case QueryKind::kSkyline: {
-      algo::SkylineQuery query(engine);
+      algo::SkylineOptions sky_opts;
+      sky_opts.exec = exec;
+      algo::SkylineQuery query(engine, sky_opts);
       auto rows = query.ComputeAll();
       if (!rows.ok()) {
         result.status = rows.status();
@@ -170,6 +224,7 @@ QueryResult QueryService::RunQuery(const QueryRequest& request,
     case QueryKind::kTopK: {
       algo::TopKOptions topk_opts;
       topk_opts.k = request.k;
+      topk_opts.exec = exec;
       algo::TopKQuery query(engine, algo::WeightedSum(request.weights),
                             topk_opts);
       auto rows = query.Run();
@@ -182,7 +237,8 @@ QueryResult QueryService::RunQuery(const QueryRequest& request,
     }
     case QueryKind::kIncrementalTopK: {
       algo::IncrementalTopK query(engine,
-                                  algo::WeightedSum(request.weights));
+                                  algo::WeightedSum(request.weights),
+                                  algo::ProbePolicy::kRoundRobin, exec);
       for (int i = 0; i < request.k; ++i) {
         auto next = query.NextBest();
         if (!next.ok()) {
@@ -197,7 +253,7 @@ QueryResult QueryService::RunQuery(const QueryRequest& request,
   }
   result.stats.exec_seconds = watch.ElapsedSeconds();
 
-  const storage::BufferPool::Stats after = worker.pool->stats();
+  const storage::BufferPool::Stats after = io_now();
   result.stats.buffer_misses = after.misses - before.misses;
   result.stats.buffer_accesses = after.accesses() - before.accesses();
 

@@ -28,6 +28,7 @@
 #include "mcn/common/result.h"
 #include "mcn/common/status.h"
 #include "mcn/common/stopwatch.h"
+#include "mcn/exec/expansion_executor.h"
 #include "mcn/exec/service_stats.h"
 #include "mcn/exec/thread_pool.h"
 #include "mcn/expand/engines.h"
@@ -50,8 +51,18 @@ enum class QueryKind {
 struct QueryRequest {
   QueryKind kind = QueryKind::kSkyline;
   graph::Location location = graph::Location::AtNode(graph::kInvalidNode);
-  /// Which engine flavor the worker builds for this query.
+  /// Which engine flavor the worker builds for this query. Ignored when
+  /// `parallelism` >= 1: the turn schedule always runs CEA-style caching
+  /// — the worker's plain CachedFetch for inline turns (parallelism 1),
+  /// the striped cache over the probe pool's reader slots beyond that.
   expand::EngineKind engine = expand::EngineKind::kCea;
+  /// Intra-query d-expansion parallelism (DESIGN.md §7). 0 = classic
+  /// serial probing; 1 = the turn-barrier schedule executed inline;
+  /// > 1 = the same schedule on the worker's probe pool, whose width is
+  /// ServiceOptions::per_query_parallelism (the exact value beyond 1
+  /// does not pick a thread count). Results and logical I/O are
+  /// byte-identical for every value >= 1 by the determinism contract.
+  int parallelism = 0;
   /// Top-k / incremental only: result count and weighted-sum coefficients
   /// (size must equal the network's d).
   int k = 4;
@@ -103,6 +114,14 @@ struct ServiceOptions {
   /// deterministic across worker counts). When false, a worker's pool
   /// stays warm across the queries it happens to execute.
   bool cold_cache_per_query = true;
+  /// Probe threads available to one query (DESIGN.md §7). > 1 lets a
+  /// service worker build its own ExpansionExecutor — lazily, on the
+  /// worker's first request with parallelism > 1, so services whose
+  /// clients never opt in pay nothing; the worker's later parallel
+  /// queries then share that executor's probe pool and reader slots.
+  /// Requests opt in per query via QueryRequest::parallelism.
+  /// 1 = turn-schedule requests run inline.
+  int per_query_parallelism = 1;
 };
 
 /// See the file comment. Thread-safe: Submit/Drain/Snapshot may be called
@@ -157,6 +176,8 @@ class QueryService {
   struct Worker {
     std::unique_ptr<storage::BufferPool> pool;
     std::unique_ptr<net::NetworkReader> reader;
+    /// Intra-query probe rig; only built when per_query_parallelism > 1.
+    std::unique_ptr<ExpansionExecutor> expansion;
     mutable std::mutex mu;  ///< guards the aggregation below vs Snapshot
     std::vector<double> latency_ms;
     uint64_t completed = 0;

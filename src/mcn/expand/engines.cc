@@ -74,6 +74,24 @@ Result<std::unique_ptr<CeaEngine>> CeaEngine::Create(
   return engine;
 }
 
+Result<std::unique_ptr<StripedCeaEngine>> StripedCeaEngine::Create(
+    std::vector<const net::NetworkReader*> readers,
+    const graph::Location& q) {
+  if (readers.empty()) {
+    return Status::InvalidArgument(
+        "StripedCeaEngine: at least one reader (slot 0) is required");
+  }
+  for (const net::NetworkReader* r : readers) MCN_CHECK(r != nullptr);
+  // The creating thread is the query driver: its fetches (seeding, filter
+  // construction) go through slot 0.
+  StripedCachedFetch::BindWorkerSlot(0);
+  auto engine = std::unique_ptr<StripedCeaEngine>(new StripedCeaEngine());
+  engine->readers_ = std::move(readers);
+  MCN_RETURN_IF_ERROR(engine->Init(
+      std::make_unique<StripedCachedFetch>(engine->readers_), q));
+  return engine;
+}
+
 Result<std::unique_ptr<MemEngine>> MemEngine::Create(
     const graph::MultiCostGraph* graph, const graph::FacilitySet* facilities,
     const graph::Location& q) {

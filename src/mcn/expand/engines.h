@@ -19,6 +19,7 @@
 #include "mcn/common/result.h"
 #include "mcn/expand/fetch_provider.h"
 #include "mcn/expand/single_expansion.h"
+#include "mcn/expand/striped_fetch.h"
 #include "mcn/graph/facility.h"
 #include "mcn/graph/location.h"
 #include "mcn/net/network_reader.h"
@@ -101,6 +102,33 @@ class CeaEngine : public NnEngine {
 
  private:
   const net::NetworkReader* reader_ = nullptr;
+};
+
+/// CEA flavor over the thread-safe StripedCachedFetch, for intra-query
+/// parallel probing (DESIGN.md §7). `readers[s]` serves worker slot `s`
+/// (slot 0 = the query-driving thread, 1.. = probe-pool workers); a
+/// single-reader engine is the inline/serial configuration of the same
+/// schedule. Record contents, and hence expansion behavior, are identical
+/// to CeaEngine — only the fetch path is concurrent.
+class StripedCeaEngine : public NnEngine {
+ public:
+  static Result<std::unique_ptr<StripedCeaEngine>> Create(
+      std::vector<const net::NetworkReader*> readers,
+      const graph::Location& q);
+
+  Result<graph::EdgeKey> LocateFacilityEdge(graph::FacilityId f) override {
+    return readers_[0]->LocateFacilityEdge(f);
+  }
+
+  StripedCachedFetch* striped_fetch() {
+    return static_cast<StripedCachedFetch*>(fetch_.get());
+  }
+  const StripedCachedFetch& striped_fetch() const {
+    return static_cast<const StripedCachedFetch&>(*fetch_);
+  }
+
+ private:
+  std::vector<const net::NetworkReader*> readers_;
 };
 
 /// In-memory flavor (no disk).

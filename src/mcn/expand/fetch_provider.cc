@@ -5,10 +5,8 @@
 #include "mcn/common/macros.h"
 
 namespace mcn::expand {
-namespace {
+namespace internal {
 
-// Shared logic for GetSeedInfo: find the edge entry among `entries`, then
-// load its facilities through `self`.
 Result<FetchProvider::SeedInfo> SeedFromEntries(
     FetchProvider* self, const std::vector<net::AdjEntry>& entries,
     graph::EdgeKey key) {
@@ -27,7 +25,9 @@ Result<FetchProvider::SeedInfo> SeedFromEntries(
                           std::to_string(key.v) + ") not found");
 }
 
-}  // namespace
+}  // namespace internal
+
+using internal::SeedFromEntries;
 
 DirectFetch::DirectFetch(const net::NetworkReader* reader) : reader_(reader) {
   MCN_CHECK(reader != nullptr);

@@ -64,12 +64,23 @@ class FetchProvider {
   };
   virtual Result<SeedInfo> GetSeedInfo(const graph::Location& q) = 0;
 
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats(); }
+  /// Virtual so concurrent providers (StripedCachedFetch) can materialize
+  /// atomic counters on demand. Call only from the query-driving thread
+  /// while no probe is in flight.
+  virtual const Stats& stats() const { return stats_; }
+  virtual void ResetStats() { stats_ = Stats(); }
 
  protected:
   Stats stats_;
 };
+
+namespace internal {
+/// Shared GetSeedInfo logic: find `key`'s entry among the adjacency record
+/// of key.u, then load its facilities through `self`.
+Result<FetchProvider::SeedInfo> SeedFromEntries(
+    FetchProvider* self, const std::vector<net::AdjEntry>& entries,
+    graph::EdgeKey key);
+}  // namespace internal
 
 /// LSA-style pass-through provider.
 class DirectFetch : public FetchProvider {

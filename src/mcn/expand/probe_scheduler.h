@@ -1,0 +1,150 @@
+// ParallelProbeScheduler: intra-query parallel d-expansion (DESIGN.md §7).
+//
+// The serial query processors advance one expansion per probing turn; a
+// single query's latency is therefore the *sum* of its probes' I/O stalls.
+// The scheduler replaces that schedule with a deterministic turn-barrier
+// schedule: each turn advances a whole set of expansions — one probe each,
+// executed concurrently on a ThreadPool<ProbeTask> — and only hands the
+// buffered outcomes to the caller once every probe of the turn has
+// finished (the barrier). The caller then processes the outcomes in a
+// deterministic order and decides the next turn's target set.
+//
+// Determinism contract (what makes parallelism 1, 2 and 4 byte-identical):
+//  * the target set of a turn is a pure function of algorithm state, which
+//    is mutated only between turns (on the caller thread, under the
+//    barrier's happens-before edges);
+//  * a probe touches only its own SingleExpansion plus the shared
+//    thread-safe fetch provider, whose returned record contents are
+//    independent of thread interleaving (StripedCachedFetch);
+//  * shared read-only inputs of a probe — the FacilityFilter above all —
+//    must not be mutated while a turn is in flight (callers mutate them
+//    only between turns);
+//  * outcomes are delivered in a deterministic order: ascending expansion
+//    index (kTurnBarrier), or ascending (event cost, index) for the
+//    relaxed frontier-ordered ablation mode.
+// Thread count therefore changes only *physical* overlap: results, logical
+// fetch-request counts and (thanks to the single-flight guard) physical
+// fetch counts are identical for every parallelism level.
+//
+// With a null pool the scheduler executes the same schedule inline on the
+// caller thread — the serial anchor the differential suite compares
+// against.
+#ifndef MCN_EXPAND_PROBE_SCHEDULER_H_
+#define MCN_EXPAND_PROBE_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "mcn/common/result.h"
+#include "mcn/exec/thread_pool.h"
+#include "mcn/expand/engines.h"
+
+namespace mcn::expand {
+
+class ParallelProbeScheduler;
+class StripedCachedFetch;
+
+/// What rides the probe pool's MPMC queue: one probe of one turn.
+struct ProbeTask {
+  ParallelProbeScheduler* scheduler = nullptr;
+  uint32_t slot = 0;  ///< index into the turn's probe array
+};
+
+/// Pool type shared by every scheduler bound to it. Construct with
+/// &ParallelProbeScheduler::Run and &ParallelProbeScheduler::Discard.
+using ProbePool = exec::ThreadPool<ProbeTask>;
+
+class ParallelProbeScheduler {
+ public:
+  /// Outcome ordering within a turn. kTurnBarrier = ascending expansion
+  /// index (the parallel analogue of round-robin); kFrontierOrdered =
+  /// ascending (event cost, index) — the relaxed mode of the ablation
+  /// bench. Both are deterministic.
+  enum class Mode { kTurnBarrier, kFrontierOrdered };
+
+  struct Stats {
+    uint64_t turns = 0;
+    uint64_t probes = 0;
+    uint64_t pooled_probes = 0;  ///< probes executed on the pool
+    uint64_t max_width = 0;      ///< widest turn
+  };
+
+  /// `engine` must be backed by a thread-safe provider when `pool` is not
+  /// null (pass its StripedCachedFetch as `striped` so pooled probes bind
+  /// their reader slot; readers must cover pool->num_workers() + 1 slots).
+  /// A null `pool` executes every turn inline on the caller thread.
+  ParallelProbeScheduler(NnEngine* engine, ProbePool* pool,
+                         StripedCachedFetch* striped,
+                         Mode mode = Mode::kTurnBarrier);
+
+  /// ThreadPool runner / discard handler for ProbeTask.
+  static void Run(ProbeTask&& task, int worker);
+  static void Discard(ProbeTask&& task);
+
+  /// One NextNN per target expansion (targets strictly ascending).
+  struct NextNNOutcome {
+    int expansion = -1;
+    std::optional<FacilityAtCost> nn;  ///< nullopt = exhausted
+  };
+  Result<std::vector<NextNNOutcome>> NextNNTurn(
+      const std::vector<int>& targets);
+
+  /// Up to `stride` Steps (settled elements) per target expansion; a
+  /// probe stops early at exhaustion. Stride 1 is the balanced default
+  /// building block; larger strides amortize the barrier over several
+  /// settles per probe (QueryOptions::turn_stride) at the cost of coarser
+  /// event batching. Outcomes are expansion-major; each expansion's
+  /// events are in execution order.
+  struct StepOutcome {
+    int expansion = -1;
+    std::vector<ExpansionEvent> events;
+  };
+  Result<std::vector<StepOutcome>> StepTurn(const std::vector<int>& targets,
+                                            int stride = 1);
+
+  NnEngine* engine() const { return engine_; }
+  Mode mode() const { return mode_; }
+  /// Probes that can run physically concurrently (1 for the inline mode).
+  int parallelism() const { return pool_ != nullptr ? pool_->num_workers() : 1; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  enum class Op { kNextNN, kStep };
+
+  struct Probe {
+    int expansion = -1;
+    Status status = Status::OK();
+    std::optional<FacilityAtCost> nn;
+    std::vector<ExpansionEvent> events;
+  };
+
+  /// Executes probe `slot` of the current turn; `reader_slot` selects the
+  /// StripedCachedFetch reader (0 = caller thread, worker + 1 otherwise).
+  void Execute(uint32_t slot, int reader_slot);
+  void ExecuteFromPool(uint32_t slot, int worker);
+  void AbortFromPool(uint32_t slot);
+  Status RunTurn(Op op, const std::vector<int>& targets, int stride);
+  /// Outcome delivery order per `mode_`: identity for kTurnBarrier (slots
+  /// are already ascending by expansion), cost-sorted for kFrontierOrdered.
+  std::vector<uint32_t> DeliveryOrder() const;
+
+  NnEngine* engine_;
+  ProbePool* pool_;
+  StripedCachedFetch* striped_;
+  Mode mode_;
+
+  Op op_ = Op::kNextNN;
+  int stride_ = 1;
+  std::vector<Probe> probes_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t outstanding_ = 0;
+  Stats stats_;
+};
+
+}  // namespace mcn::expand
+
+#endif  // MCN_EXPAND_PROBE_SCHEDULER_H_

@@ -29,11 +29,14 @@ struct SweepPoint {
 
 std::vector<SweepPoint> SweepPoints() {
   std::vector<SweepPoint> points;
-  uint64_t seed = 1000;
+  const uint64_t base = test::AnnounceSeed("dense_store_sweep_test");
+  uint64_t index = 0;
   for (int d : {2, 3, 4}) {
     for (uint32_t facilities : {15u, 60u, 180u}) {
       for (double buffer_pct : {0.0, 0.5, 2.0}) {
-        points.push_back(SweepPoint{d, facilities, buffer_pct, ++seed});
+        points.push_back(
+            SweepPoint{d, facilities, buffer_pct,
+                       test::DeriveSeed(base, ++index)});
       }
     }
   }

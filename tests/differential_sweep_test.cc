@@ -1,0 +1,325 @@
+// Randomized differential suite for intra-query parallel d-expansion
+// (DESIGN.md §7). Over instances sweeping d in {2..5} and tiny/large
+// buffer pools, for every ProbePolicy and every query processor:
+//
+//  * the turn schedule at parallelism 1 (inline), 2 and 4 (pooled) must be
+//    byte-identical: same result hashes, same logical fetch-request
+//    counts, same physical fetch counts (the single-flight guard makes
+//    thread count invisible to the I/O accounting);
+//  * physical fetches obey the §IV-B "at most once per query" invariant
+//    (every physical fetch corresponds to exactly one cached record);
+//  * the ablation frontier policies run width-1 turns, which replay the
+//    classic serial schedule exactly — hashes and logical counts must
+//    match the serial engines byte for byte;
+//  * round-robin (the parallel schedule proper) must agree with the
+//    serial path and the naive.h ground truth on the results themselves:
+//    identical skyline sets, identical top-k / incremental entries.
+//
+// All randomness derives from MCN_TEST_SEED (logged on entry); every
+// failure message carries the reseed command.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mcn/algo/incremental_topk.h"
+#include "mcn/algo/naive.h"
+#include "mcn/algo/result_hash.h"
+#include "mcn/algo/skyline_query.h"
+#include "mcn/algo/topk_query.h"
+#include "mcn/exec/expansion_executor.h"
+#include "mcn/expand/engines.h"
+#include "mcn/expand/probe_scheduler.h"
+#include "test_util.h"
+
+namespace mcn::algo {
+namespace {
+
+using expand::ParallelProbeScheduler;
+
+struct SweepPoint {
+  int num_costs;
+  double buffer_pct;
+  uint64_t seed;
+};
+
+std::vector<SweepPoint> SweepPoints() {
+  std::vector<SweepPoint> points;
+  const uint64_t base = test::AnnounceSeed("differential_sweep_test");
+  uint64_t index = 0;
+  for (int d : {2, 3, 4, 5}) {
+    for (double buffer_pct : {0.05, 1.0}) {
+      points.push_back(SweepPoint{d, buffer_pct, test::DeriveSeed(base, ++index)});
+    }
+  }
+  return points;
+}
+
+std::string ReseedHint() {
+  return "rerun: MCN_TEST_SEED=" + std::to_string(test::TestSeed()) +
+         " ctest -R differential_sweep_test";
+}
+
+/// Everything one query run is compared on.
+struct Capture {
+  uint64_t hash = algo::kFnvOffsetBasis;
+  std::vector<graph::FacilityId> ids;  ///< report order
+  std::vector<double> scores;          ///< top-k / incremental only
+  expand::FetchProvider::Stats fetch;  ///< logical + physical counts
+  size_t cached_nodes = 0;             ///< striped runs only
+  size_t cached_edges = 0;
+};
+
+enum class Algo { kSkyline, kTopK, kIncremental };
+
+const char* AlgoName(Algo a) {
+  switch (a) {
+    case Algo::kSkyline: return "skyline";
+    case Algo::kTopK: return "topk";
+    case Algo::kIncremental: return "incremental";
+  }
+  return "?";
+}
+
+Capture RunOne(Algo algo, expand::NnEngine* engine, QueryOptions exec,
+               ProbePolicy policy, const AggregateFn& f, int k) {
+  Capture c;
+  switch (algo) {
+    case Algo::kSkyline: {
+      SkylineOptions opts;
+      opts.probe_policy = policy;
+      opts.exec = exec;
+      SkylineQuery query(engine, opts);
+      auto rows = query.ComputeAll();
+      MCN_CHECK(rows.ok());
+      c.hash = HashResult(rows.value());
+      for (const auto& e : rows.value()) c.ids.push_back(e.facility);
+      break;
+    }
+    case Algo::kTopK: {
+      TopKOptions opts;
+      opts.k = k;
+      opts.probe_policy = policy;
+      opts.exec = exec;
+      TopKQuery query(engine, f, opts);
+      auto rows = query.Run();
+      MCN_CHECK(rows.ok());
+      c.hash = HashResult(rows.value());
+      for (const auto& e : rows.value()) {
+        c.ids.push_back(e.facility);
+        c.scores.push_back(e.score);
+      }
+      break;
+    }
+    case Algo::kIncremental: {
+      IncrementalTopK query(engine, f, policy, exec);
+      std::vector<TopKEntry> rows;
+      for (int i = 0; i < k; ++i) {
+        auto next = query.NextBest();
+        MCN_CHECK(next.ok());
+        if (!next.value().has_value()) break;
+        rows.push_back(*next.value());
+      }
+      c.hash = HashResult(rows);
+      for (const auto& e : rows) {
+        c.ids.push_back(e.facility);
+        c.scores.push_back(e.score);
+      }
+      break;
+    }
+  }
+  c.fetch = engine->fetch().stats();
+  return c;
+}
+
+class DifferentialSweepTest : public ::testing::Test {};
+
+TEST(DifferentialSweepTest, SerialAndParallelSchedulesAgree) {
+  for (const SweepPoint& p : SweepPoints()) {
+    test::SmallConfig config;
+    config.num_costs = p.num_costs;
+    config.buffer_pct = p.buffer_pct;
+    config.seed = p.seed;
+    auto instance = test::MakeSmallInstance(config).value();
+    const size_t frames = instance->pool->capacity();
+
+    // One executor per parallelism level; parallelism 1 builds no pool
+    // and runs the identical schedule inline (the serial anchor).
+    std::vector<int> levels = {1, 2, 4};
+    std::vector<std::unique_ptr<exec::ExpansionExecutor>> executors;
+    for (int par : levels) {
+      executors.push_back(exec::ExpansionExecutor::Create(
+                              &instance->disk, instance->files, par, frames)
+                              .value());
+    }
+
+    // The executors hold BeginConcurrentReads scopes on the shared disk,
+    // so between runs only the pool may be reset (disk counter resets
+    // would trip the storage layer's single-writer DCHECK — by design).
+    auto reset_pool = [&] {
+      instance->pool->Clear();
+      instance->pool->ResetStats();
+    };
+
+    Random rng(test::DeriveSeed(p.seed, 77));
+    for (int qi = 0; qi < 2; ++qi) {
+      graph::Location q = instance->RandomQueryLocation(rng);
+      AggregateFn f = WeightedSum(
+          test::TestWeights(p.num_costs, test::DeriveSeed(p.seed, 100 + qi)));
+      const int k = 2 + static_cast<int>(test::DeriveSeed(p.seed, qi) % 5);
+
+      // naive.h ground truth (full materialization + classic operators).
+      reset_pool();
+      auto naive_sky = NaiveSkyline(*instance->reader, q).value();
+      std::set<graph::FacilityId> naive_sky_ids;
+      for (const auto& e : naive_sky) naive_sky_ids.insert(e.facility);
+      reset_pool();
+      auto naive_topk = NaiveTopK(*instance->reader, q, f, k).value();
+
+      for (ProbePolicy policy :
+           {ProbePolicy::kRoundRobin, ProbePolicy::kSmallestFrontier,
+            ProbePolicy::kLargestFrontier}) {
+        for (Algo algo : {Algo::kSkyline, Algo::kTopK, Algo::kIncremental}) {
+          SCOPED_TRACE("d=" + std::to_string(p.num_costs) +
+                       " buffer=" + std::to_string(p.buffer_pct) +
+                       " q=" + q.ToString() + " policy=" +
+                       std::to_string(static_cast<int>(policy)) + " algo=" +
+                       AlgoName(algo) + " | " + ReseedHint());
+          // Classic serial engines (per-probe schedule).
+          reset_pool();
+          auto serial_engine =
+              expand::MakeEngine(expand::EngineKind::kCea,
+                                 instance->reader.get(), q)
+                  .value();
+          Capture serial = RunOne(algo, serial_engine.get(), QueryOptions{},
+                                  policy, f, k);
+
+          // Turn schedule at parallelism 1 (inline), 2 and 4 (pooled).
+          std::vector<Capture> turns;
+          for (size_t li = 0; li < levels.size(); ++li) {
+            executors[li]->ResetIoState();
+            auto rig = executors[li]->NewQuery(q).value();
+            QueryOptions exec;
+            exec.parallelism = levels[li];
+            exec.scheduler = rig.scheduler.get();
+            Capture c = RunOne(algo, rig.engine.get(), exec, policy, f, k);
+            c.cached_nodes = rig.engine->striped_fetch()->cached_nodes();
+            c.cached_edges = rig.engine->striped_fetch()->cached_edges();
+            turns.push_back(c);
+          }
+
+          // (1) Thread count must be invisible: byte-identical hashes,
+          // identical logical requests, identical physical fetches.
+          for (size_t li = 1; li < turns.size(); ++li) {
+            EXPECT_EQ(turns[0].hash, turns[li].hash)
+                << "parallelism " << levels[li] << " diverged";
+            EXPECT_EQ(turns[0].fetch.adjacency_requests,
+                      turns[li].fetch.adjacency_requests);
+            EXPECT_EQ(turns[0].fetch.facility_requests,
+                      turns[li].fetch.facility_requests);
+            EXPECT_EQ(turns[0].fetch.adjacency_fetches,
+                      turns[li].fetch.adjacency_fetches);
+            EXPECT_EQ(turns[0].fetch.facility_fetches,
+                      turns[li].fetch.facility_fetches);
+          }
+
+          // (2) §IV-B accounting: every physical fetch produced exactly
+          // one cached record — fetched at most once per query — and
+          // physical never exceeds logical.
+          for (size_t li = 0; li < turns.size(); ++li) {
+            EXPECT_EQ(turns[li].fetch.adjacency_fetches,
+                      turns[li].cached_nodes);
+            EXPECT_EQ(turns[li].fetch.facility_fetches,
+                      turns[li].cached_edges);
+            EXPECT_LE(turns[li].fetch.adjacency_fetches,
+                      turns[li].fetch.adjacency_requests);
+            EXPECT_LE(turns[li].fetch.facility_fetches,
+                      turns[li].fetch.facility_requests);
+          }
+
+          if (policy != ProbePolicy::kRoundRobin) {
+            // (3) Width-1 turns replay the serial schedule exactly.
+            EXPECT_EQ(serial.hash, turns[0].hash);
+            EXPECT_EQ(serial.fetch.adjacency_requests,
+                      turns[0].fetch.adjacency_requests);
+            EXPECT_EQ(serial.fetch.facility_requests,
+                      turns[0].fetch.facility_requests);
+            EXPECT_EQ(serial.fetch.adjacency_fetches,
+                      turns[0].fetch.adjacency_fetches);
+            EXPECT_EQ(serial.fetch.facility_fetches,
+                      turns[0].fetch.facility_fetches);
+            continue;
+          }
+
+          // (4) The relaxed frontier-ordered delivery mode (ablation) is
+          // a different but still deterministic schedule: inline and
+          // pooled runs must be byte-identical to each other.
+          std::vector<Capture> relaxed;
+          for (size_t li : {size_t{0}, levels.size() - 1}) {
+            executors[li]->ResetIoState();
+            auto rig = executors[li]
+                           ->NewQuery(q, ParallelProbeScheduler::Mode::
+                                             kFrontierOrdered)
+                           .value();
+            QueryOptions exec;
+            exec.parallelism = levels[li];
+            exec.scheduler = rig.scheduler.get();
+            relaxed.push_back(
+                RunOne(algo, rig.engine.get(), exec, policy, f, k));
+          }
+          EXPECT_EQ(relaxed[0].hash, relaxed[1].hash)
+              << "frontier-ordered mode diverged across thread counts";
+          EXPECT_EQ(relaxed[0].fetch.adjacency_requests,
+                    relaxed[1].fetch.adjacency_requests);
+          EXPECT_EQ(relaxed[0].fetch.facility_requests,
+                    relaxed[1].fetch.facility_requests);
+          if (algo == Algo::kSkyline) {
+            std::set<graph::FacilityId> relaxed_ids(relaxed[0].ids.begin(),
+                                                    relaxed[0].ids.end());
+            EXPECT_EQ(relaxed_ids, naive_sky_ids) << "frontier-ordered mode";
+          } else {
+            ASSERT_EQ(relaxed[0].ids.size(), naive_topk.size())
+                << "frontier-ordered mode";
+            for (size_t r = 0; r < naive_topk.size(); ++r) {
+              EXPECT_EQ(relaxed[0].ids[r], naive_topk[r].facility)
+                  << "frontier-ordered mode, rank " << r;
+            }
+          }
+
+          // (5) Round-robin: the full-width turn schedule must agree with
+          // the serial path and the naive ground truth on the results.
+          switch (algo) {
+            case Algo::kSkyline: {
+              std::set<graph::FacilityId> serial_ids(serial.ids.begin(),
+                                                     serial.ids.end());
+              std::set<graph::FacilityId> turn_ids(turns[0].ids.begin(),
+                                                   turns[0].ids.end());
+              EXPECT_EQ(serial_ids, naive_sky_ids);
+              EXPECT_EQ(turn_ids, naive_sky_ids);
+              break;
+            }
+            case Algo::kTopK:
+            case Algo::kIncremental: {
+              // Complete cost vectors and deterministic (score, id) order:
+              // the entries themselves must be byte-identical.
+              EXPECT_EQ(serial.hash, turns[0].hash);
+              ASSERT_EQ(turns[0].ids.size(), naive_topk.size());
+              for (size_t r = 0; r < naive_topk.size(); ++r) {
+                EXPECT_EQ(turns[0].ids[r], naive_topk[r].facility)
+                    << "rank " << r;
+                EXPECT_NEAR(turns[0].scores[r], naive_topk[r].score, 1e-9)
+                    << "rank " << r;
+              }
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcn::algo

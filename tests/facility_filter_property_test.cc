@@ -1,0 +1,128 @@
+// Property test for expand::FacilityFilter: random Add/Remove/Allows op
+// sequences checked against a map-based oracle, exercising the swap-erase
+// backfill paths (Remove moves the row tail into the vacated slot and must
+// re-point the moved facility's back-reference) and the re-add semantics
+// (same edge = no-op, different edge = programmer error, DCHECK death).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "mcn/common/random.h"
+#include "mcn/expand/single_expansion.h"
+#include "test_util.h"
+
+namespace mcn::expand {
+namespace {
+
+graph::EdgeKey EdgeOf(uint32_t index) {
+  // Distinct canonical edges: (index, index + 1 + index % 3).
+  return graph::EdgeKey(index, index + 1 + index % 3);
+}
+
+TEST(FacilityFilterPropertyTest, RandomOpsMatchMapOracle) {
+  const uint64_t seed = test::AnnounceSeed("facility_filter_property_test");
+  for (int round = 0; round < 20; ++round) {
+    Random rng(test::DeriveSeed(seed, round));
+    const uint32_t num_facilities = 1 + static_cast<uint32_t>(rng.Uniform(64));
+    const uint32_t num_edges = 1 + static_cast<uint32_t>(rng.Uniform(24));
+
+    FacilityFilter filter;
+    // Oracle: facility -> its (unique) edge, while present.
+    std::map<graph::FacilityId, uint32_t> oracle;
+    // A facility's edge is fixed at first Add (re-adding under another
+    // edge is the DCHECK'd programmer error, tested separately below).
+    std::vector<uint32_t> home_edge(num_facilities);
+    for (uint32_t f = 0; f < num_facilities; ++f) {
+      home_edge[f] = static_cast<uint32_t>(rng.Uniform(num_edges));
+    }
+
+    for (int op = 0; op < 600; ++op) {
+      graph::FacilityId f =
+          static_cast<graph::FacilityId>(rng.Uniform(num_facilities));
+      switch (rng.Uniform(4)) {
+        case 0:
+        case 1: {  // Add (possibly a present-facility no-op re-add)
+          filter.Add(EdgeOf(home_edge[f]), f);
+          oracle.emplace(f, home_edge[f]);
+          break;
+        }
+        case 2: {  // Remove (possibly absent)
+          bool removed = filter.Remove(f);
+          EXPECT_EQ(removed, oracle.erase(f) > 0);
+          break;
+        }
+        default: {  // point query
+          uint32_t e = static_cast<uint32_t>(rng.Uniform(num_edges));
+          auto it = oracle.find(f);
+          bool expect_allows = it != oracle.end() && it->second == e;
+          EXPECT_EQ(filter.Allows(EdgeOf(e), f), expect_allows);
+          break;
+        }
+      }
+
+      // Global invariants after every op.
+      ASSERT_EQ(filter.num_facilities(), oracle.size());
+      ASSERT_EQ(filter.empty(), oracle.empty());
+    }
+
+    // Exhaustive final cross-check: membership per (edge, facility), and
+    // ContainsEdge against the set of edges with live facilities.
+    std::set<uint32_t> live_edges;
+    for (const auto& [f, e] : oracle) live_edges.insert(e);
+    for (uint32_t e = 0; e < num_edges; ++e) {
+      SCOPED_TRACE("round " + std::to_string(round) + " edge " +
+                   std::to_string(e) + " | rerun: MCN_TEST_SEED=" +
+                   std::to_string(seed) +
+                   " ctest -R facility_filter_property_test");
+      EXPECT_EQ(filter.ContainsEdge(EdgeOf(e)), live_edges.count(e) > 0);
+      for (uint32_t f = 0; f < num_facilities; ++f) {
+        auto it = oracle.find(f);
+        bool expect_allows = it != oracle.end() && it->second == e;
+        EXPECT_EQ(filter.Allows(EdgeOf(e), f), expect_allows);
+      }
+    }
+  }
+}
+
+TEST(FacilityFilterPropertyTest, RemoveBackfillsRowTail) {
+  // Deterministic swap-erase scenario: three facilities on one edge;
+  // removing the middle one backfills with the tail, whose back-reference
+  // must follow (a later Remove of the moved facility must still work).
+  FacilityFilter filter;
+  graph::EdgeKey edge(5, 9);
+  filter.Add(edge, 10);
+  filter.Add(edge, 11);
+  filter.Add(edge, 12);
+  ASSERT_TRUE(filter.Remove(11));
+  EXPECT_TRUE(filter.Allows(edge, 10));
+  EXPECT_FALSE(filter.Allows(edge, 11));
+  EXPECT_TRUE(filter.Allows(edge, 12));  // moved into slot 1
+  ASSERT_TRUE(filter.Remove(12));        // must find it at its new slot
+  EXPECT_TRUE(filter.ContainsEdge(edge));
+  ASSERT_TRUE(filter.Remove(10));
+  EXPECT_FALSE(filter.ContainsEdge(edge));
+  EXPECT_TRUE(filter.empty());
+
+  // An emptied row may be refilled.
+  filter.Add(edge, 11);
+  EXPECT_TRUE(filter.Allows(edge, 11));
+  EXPECT_EQ(filter.num_facilities(), 1u);
+}
+
+#ifndef NDEBUG
+TEST(FacilityFilterDeathTest, ConflictingReAddTripsDcheck) {
+  FacilityFilter filter;
+  filter.Add(graph::EdgeKey(1, 2), 7);
+  // Same edge: documented no-op.
+  filter.Add(graph::EdgeKey(1, 2), 7);
+  EXPECT_EQ(filter.num_facilities(), 1u);
+  // Different edge: a facility lies on exactly one edge — programmer
+  // error, DCHECK abort in debug builds.
+  EXPECT_DEATH(filter.Add(graph::EdgeKey(3, 4), 7), "MCN_CHECK failed");
+}
+#endif  // NDEBUG
+
+}  // namespace
+}  // namespace mcn::expand

@@ -285,6 +285,45 @@ TEST(QueryServiceTest, DiskIsFrozenWhileServiceLives) {
   EXPECT_EQ(fx.instance->disk.concurrent_reader_scopes(), 0);
 }
 
+TEST(QueryServiceTest, IntraQueryParallelismKeepsHashesIdentical) {
+  // QueryRequest::parallelism routes a query onto the worker's turn-barrier
+  // rig (DESIGN.md §7). The turn schedule must be byte-identical whether it
+  // runs inline (parallelism 1) or on probe workers (parallelism 4), for
+  // every query kind; the classic serial path (parallelism 0) must agree
+  // on the result sets, checked here via skyline sizes and top-k hashes.
+  ServiceFixture fx;
+  std::vector<QueryRequest> base = fx.MixedWorkload(12);
+  for (QueryRequest& req : base) req.engine = expand::EngineKind::kCea;
+
+  auto run_with_parallelism = [&](int parallelism) {
+    ServiceOptions opts = fx.Options(2);
+    opts.per_query_parallelism = 4;
+    auto service = QueryService::Create(&fx.instance->disk,
+                                        fx.instance->files, opts);
+    EXPECT_TRUE(service.ok());
+    std::vector<QueryRequest> requests = base;
+    for (QueryRequest& req : requests) req.parallelism = parallelism;
+    RunRecord record = RunThrough(**service, requests);
+    (*service)->Shutdown();
+    return record;
+  };
+
+  RunRecord inline_turns = run_with_parallelism(1);
+  RunRecord pooled_turns = run_with_parallelism(4);
+  EXPECT_EQ(inline_turns.hashes, pooled_turns.hashes);
+  EXPECT_EQ(inline_turns.result_sizes, pooled_turns.result_sizes);
+
+  RunRecord serial = run_with_parallelism(0);
+  EXPECT_EQ(serial.result_sizes, inline_turns.result_sizes);
+  for (size_t i = 0; i < base.size(); ++i) {
+    if (base[i].kind != QueryKind::kSkyline) {
+      // Complete cost vectors: top-k / incremental results are identical
+      // across the serial and turn schedules, entry for entry.
+      EXPECT_EQ(serial.hashes[i], inline_turns.hashes[i]) << "request " << i;
+    }
+  }
+}
+
 TEST(QueryServiceTest, WarmCacheModeReducesMisses) {
   ServiceFixture fx;
   ServiceOptions opts = fx.Options(1);

@@ -1,7 +1,10 @@
 #include "test_util.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
+#include "mcn/common/hash.h"
 #include "mcn/common/macros.h"
 #include "mcn/common/random.h"
 
@@ -132,6 +135,31 @@ std::vector<double> TestWeights(int d, uint64_t seed) {
   std::vector<double> w(d);
   for (double& x : w) x = rng.UniformDouble(0.05, 1.0);
   return w;
+}
+
+uint64_t TestSeed(uint64_t fallback) {
+  const char* env = std::getenv("MCN_TEST_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  uint64_t seed = std::strtoull(env, &end, 10);
+  MCN_CHECK(end != nullptr && *end == '\0');  // malformed MCN_TEST_SEED
+  return seed;
+}
+
+uint64_t AnnounceSeed(const char* test_name, uint64_t fallback) {
+  uint64_t seed = TestSeed(fallback);
+  std::fprintf(stderr,
+               "[ seed     ] %s: %llu (rerun: MCN_TEST_SEED=%llu ctest -R "
+               "%s)\n",
+               test_name, static_cast<unsigned long long>(seed),
+               static_cast<unsigned long long>(seed), test_name);
+  return seed;
+}
+
+uint64_t DeriveSeed(uint64_t base, uint64_t index) {
+  // Golden-ratio stride + the shared mixer; avoids correlated instance
+  // streams when sweeping nearby indices.
+  return MixU64(base + 0x9E3779B97F4A7C15ull * (index + 1));
 }
 
 }  // namespace mcn::test

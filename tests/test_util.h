@@ -4,6 +4,7 @@
 #ifndef MCN_TESTS_TEST_UTIL_H_
 #define MCN_TESTS_TEST_UTIL_H_
 
+#include <cstdint>
 #include <memory>
 #include <set>
 #include <vector>
@@ -78,6 +79,20 @@ std::vector<algo::TopKEntry> OracleTopK(const graph::MultiCostGraph& g,
 
 /// Deterministic weights in (0,1] for aggregate functions.
 std::vector<double> TestWeights(int d, uint64_t seed);
+
+/// Base seed for randomized tests: the `MCN_TEST_SEED` environment
+/// variable when set (decimal), else `fallback`. Every randomized test
+/// derives all of its seeds from this one value, so any red run is
+/// reproducible from the logged seed alone.
+uint64_t TestSeed(uint64_t fallback = 24155u);
+
+/// TestSeed() + a log line with the effective seed and the reproduction
+/// command; call once on entry of every randomized test.
+uint64_t AnnounceSeed(const char* test_name, uint64_t fallback = 24155u);
+
+/// Deterministic per-case seed derived from a base seed (splitmix-style,
+/// so nearby indices decorrelate).
+uint64_t DeriveSeed(uint64_t base, uint64_t index);
 
 }  // namespace mcn::test
 

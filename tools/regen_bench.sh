@@ -6,7 +6,8 @@
 # order. Usage, from the repo root (build/ configured for Release):
 #
 #   cmake --build build -j --target bench_fig08a_skyline_facilities \
-#       bench_fig10a_topk_facilities bench_service_throughput
+#       bench_fig10a_topk_facilities bench_service_throughput \
+#       bench_parallel_expansion
 #   tools/regen_bench.sh [output=BENCH_current.json]
 #
 # Takes a few minutes at the default MCN_BENCH_SCALE=0.15.
@@ -21,6 +22,7 @@ benches=(
   bench_fig08a_skyline_facilities
   bench_fig10a_topk_facilities
   bench_service_throughput
+  bench_parallel_expansion
 )
 
 for bench in "${benches[@]}"; do
