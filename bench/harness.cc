@@ -81,11 +81,13 @@ void WriteMetrics(std::FILE* f, const char* name, const RunMetrics& m) {
       "%" PRIu64 ", \"buffer_accesses\": %" PRIu64 ", \"avg_result_size\": "
       "%.9g, \"result_hash\": \"%016" PRIx64 "\", \"queries\": %d, "
       "\"latency_p50_ms\": %.9g, \"latency_p95_ms\": %.9g, "
-      "\"latency_p99_ms\": %.9g, \"qps\": %.9g}",
+      "\"latency_p99_ms\": %.9g, \"qps\": %.9g, "
+      "\"local_fetches\": %" PRIu64 ", \"remote_fetches\": %" PRIu64 ", "
+      "\"remote_fetch_ratio\": %.9g}",
       name, m.AvgCpu(), m.AvgModeled(), m.AvgMisses(), m.cpu_seconds,
       m.buffer_misses, m.buffer_accesses, m.result_size, m.result_hash,
       m.queries, m.latency_p50_ms, m.latency_p95_ms, m.latency_p99_ms,
-      m.qps);
+      m.qps, m.local_fetches, m.remote_fetches, m.RemoteRatio());
 }
 
 void WriteJson() {

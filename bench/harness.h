@@ -27,6 +27,7 @@
 #include "mcn/algo/result_hash.h"
 #include "mcn/expand/engines.h"
 #include "mcn/gen/workload.h"
+#include "mcn/shard/partition.h"
 
 namespace mcn::bench {
 
@@ -67,6 +68,15 @@ struct RunMetrics {
   double latency_p95_ms = 0;
   double latency_p99_ms = 0;
   double qps = 0;
+  /// Sharded benches only (DESIGN.md §8): record fetches the workers
+  /// routed to their home shard vs across a shard boundary. Zero for
+  /// flat benchmarks.
+  uint64_t local_fetches = 0;
+  uint64_t remote_fetches = 0;
+
+  double RemoteRatio() const {
+    return shard::RemoteRatio(local_fetches, remote_fetches);
+  }
 
   /// Per-query averages.
   double AvgCpu() const { return queries ? cpu_seconds / queries : 0; }

@@ -1,13 +1,25 @@
-// query_server: the concurrent serving layer end to end (DESIGN.md §6).
+// query_server: the concurrent serving layer end to end (DESIGN.md §6, §8).
 //
 // Builds a mid-sized instance, stands up an exec::QueryService with four
-// workers (shared read-only disk, one LRU pool per worker), and drives a
-// mixed workload — skyline, top-k and incremental top-k requests with
-// per-request weights — through the future-based API. Prints a few
-// representative results and the service-level statistics (QPS, latency
-// percentiles, I/O totals).
+// workers, and drives a mixed workload — skyline, top-k and incremental
+// top-k requests with per-request weights — through the future-based API.
+// Prints a few representative results and the service-level statistics
+// (QPS, latency percentiles, I/O totals).
+//
+// Flags:
+//   --shards=K       serve from a K-way sharded layout (grid-tile
+//                    partition, shard-affine worker groups, affinity-
+//                    routed Submit). Default 1 shard — but still through
+//                    the sharded stack, whose K=1 case degenerates to the
+//                    flat layout. A per-shard stats table (completions,
+//                    misses, local/remote fetches) prints on exit.
+//   --pin-workers    best-effort CPU pinning of each shard group's
+//                    threads (ignored where unsupported).
+//   --workers=N      service workers (default 4).
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <future>
 #include <string>
 #include <vector>
@@ -38,34 +50,77 @@ const char* KindName(QueryKind kind) {
   return "?";
 }
 
+struct Flags {
+  int shards = 1;
+  int workers = 4;
+  bool pin_workers = false;
+};
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--shards=", 9) == 0) {
+      flags->shards = std::atoi(arg + 9);
+      if (flags->shards < 1) return false;
+    } else if (std::strncmp(arg, "--workers=", 10) == 0) {
+      flags->workers = std::atoi(arg + 10);
+      if (flags->workers < 1) return false;
+    } else if (std::strcmp(arg, "--pin-workers") == 0) {
+      flags->pin_workers = true;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) {
+    std::fprintf(stderr,
+                 "usage: %s [--shards=K] [--workers=N] [--pin-workers]\n",
+                 argv[0]);
+    return 2;
+  }
+
   // A small-city instance: ~9k nodes, 4 cost types, clustered facilities.
   mcn::gen::ExperimentConfig config;
   config = config.Scaled(0.05);
-  std::printf("building instance: %s\n", config.ToString().c_str());
-  auto instance = mcn::gen::BuildInstance(config);
+  std::printf("building instance: %s (%d shard%s)\n",
+              config.ToString().c_str(), flags.shards,
+              flags.shards == 1 ? "" : "s");
+  auto instance = mcn::gen::BuildShardedInstance(config, flags.shards);
   if (!instance.ok()) {
     std::fprintf(stderr, "build failed: %s\n",
                  instance.status().ToString().c_str());
     return 1;
   }
+  std::printf("layout: %u nodes, %u boundary edges across %d shard(s)\n",
+              (*instance)->files.num_nodes,
+              (*instance)->files.num_boundary_edges,
+              (*instance)->files.num_shards());
 
   ServiceOptions options;
-  options.num_workers = 4;
+  options.num_workers = flags.workers;
   options.queue_capacity = 256;
-  options.pool_frames_per_worker = (*instance)->pool->capacity();
+  options.pool_frames_per_worker = (*instance)->pool_frames;
   options.io_latency_ms = 5.0;  // accounted, not slept, in this demo
-  auto service = QueryService::Create(&(*instance)->disk, (*instance)->files,
-                                      options);
+  options.pin_workers = flags.pin_workers;
+  auto service = QueryService::Create(&(*instance)->storage,
+                                      (*instance)->files, options);
   if (!service.ok()) {
     std::fprintf(stderr, "service failed: %s\n",
                  service.status().ToString().c_str());
     return 1;
   }
-  std::printf("service up: %d workers, %zu-frame pool each\n\n",
-              (*service)->num_workers(), options.pool_frames_per_worker);
+  std::printf(
+      "service up: %d workers in %d shard-affine group(s), %zu-frame pool "
+      "budget each%s\n\n",
+      (*service)->num_workers(), (*service)->num_groups(),
+      options.pool_frames_per_worker,
+      flags.pin_workers ? ", workers pinned (best effort)" : "");
 
   // A mixed workload: every third query is a skyline, the rest are
   // (incremental) top-k with random preference weights, as a fleet of
@@ -111,10 +166,10 @@ int main() {
                       ? result.skyline.size()
                       : result.topk.size();
     std::printf(
-        "query %2d  %-11s worker=%d  rows=%-3zu  exec=%6.2fms  "
+        "query %2d  %-11s worker=%d shard=%d  rows=%-3zu  exec=%6.2fms  "
         "misses=%" PRIu64 "\n",
-        i, KindName(result.kind), result.stats.worker, rows,
-        result.stats.exec_seconds * 1e3, result.stats.buffer_misses);
+        i, KindName(result.kind), result.stats.worker, result.stats.shard,
+        rows, result.stats.exec_seconds * 1e3, result.stats.buffer_misses);
     if (result.kind == QueryKind::kSkyline) {
       for (size_t r = 0; r < result.skyline.size() && r < 3; ++r) {
         const auto& e = result.skyline[r];
@@ -143,6 +198,20 @@ int main() {
       static_cast<unsigned long long>(stats.buffer_misses),
       static_cast<double>(stats.buffer_misses) /
           static_cast<double>(stats.completed ? stats.completed : 1));
+
+  // Per-shard table: who executed what, and how often expansions escaped
+  // their home tile (the §8 remote-fetch accounting).
+  std::printf(
+      "\n  shard | workers | completed | misses   | local    | remote   | "
+      "remote%%\n"
+      "  ------+---------+-----------+----------+----------+----------+--------\n");
+  for (const auto& row : stats.per_shard) {
+    std::printf("  %5d | %7d | %9" PRIu64 " | %8" PRIu64 " | %8" PRIu64
+                " | %8" PRIu64 " | %6.1f%%\n",
+                row.shard, row.workers, row.completed, row.buffer_misses,
+                row.local_fetches, row.remote_fetches,
+                100.0 * row.RemoteRatio());
+  }
   (*service)->Shutdown();
   return 0;
 }

@@ -1,0 +1,34 @@
+#include "mcn/exec/affinity.h"
+
+#include <thread>
+
+#ifdef __linux__
+#include <sched.h>
+#endif
+
+namespace mcn::exec {
+
+bool PinCurrentThreadToCpu(int cpu) {
+#ifdef __linux__
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  if (cpu < 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu) % hw, &set);
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+bool AffinitySupported() {
+#ifdef __linux__
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace mcn::exec

@@ -18,7 +18,7 @@ Result<std::unique_ptr<ExpansionExecutor>> ExpansionExecutor::Create(
         "ExpansionExecutor: parallelism must be >= 1");
   }
   auto executor = std::unique_ptr<ExpansionExecutor>(
-      new ExpansionExecutor(disk, parallelism));
+      new ExpansionExecutor(disk, nullptr, parallelism));
   const int slots = parallelism + 1;  // slot 0 = the query-driving thread
   executor->pools_.reserve(slots);
   executor->readers_.reserve(slots);
@@ -28,11 +28,43 @@ Result<std::unique_ptr<ExpansionExecutor>> ExpansionExecutor::Create(
     executor->readers_.push_back(std::make_unique<net::NetworkReader>(
         files, executor->pools_.back().get()));
   }
-  if (parallelism > 1) {
+  return Finish(std::move(executor));
+}
+
+Result<std::unique_ptr<ExpansionExecutor>> ExpansionExecutor::Create(
+    shard::ShardedStorage* storage, const shard::ShardedNetworkFiles& files,
+    int parallelism, size_t pool_frames_per_slot,
+    bool split_budget_across_shards) {
+  if (storage == nullptr) {
+    return Status::InvalidArgument("ExpansionExecutor: null sharded storage");
+  }
+  if (parallelism < 1) {
+    return Status::InvalidArgument(
+        "ExpansionExecutor: parallelism must be >= 1");
+  }
+  auto executor = std::unique_ptr<ExpansionExecutor>(
+      new ExpansionExecutor(nullptr, storage, parallelism));
+  const int slots = parallelism + 1;
+  const size_t frames_per_shard =
+      split_budget_across_shards
+          ? shard::FramesPerShard(pool_frames_per_slot, storage->num_shards())
+          : pool_frames_per_slot;
+  executor->readers_.reserve(slots);
+  for (int s = 0; s < slots; ++s) {
+    executor->readers_.push_back(
+        std::make_unique<shard::ShardedNetworkReader>(storage, files,
+                                                      frames_per_shard));
+  }
+  return Finish(std::move(executor));
+}
+
+Result<std::unique_ptr<ExpansionExecutor>> ExpansionExecutor::Finish(
+    std::unique_ptr<ExpansionExecutor> executor) {
+  if (executor->parallelism_ > 1) {
     // A turn is at most one probe per cost type; the queue never holds
     // more than one turn (the caller blocks on the barrier).
     executor->probe_pool_ = std::make_unique<expand::ProbePool>(
-        parallelism, /*queue_capacity=*/graph::kMaxCostTypes,
+        executor->parallelism_, /*queue_capacity=*/graph::kMaxCostTypes,
         &expand::ParallelProbeScheduler::Run,
         &expand::ParallelProbeScheduler::Discard);
   }
@@ -40,14 +72,17 @@ Result<std::unique_ptr<ExpansionExecutor>> ExpansionExecutor::Create(
 }
 
 ExpansionExecutor::ExpansionExecutor(storage::DiskManager* disk,
+                                     shard::ShardedStorage* storage,
                                      int parallelism)
-    : disk_(disk), parallelism_(parallelism) {
-  disk_->BeginConcurrentReads();
+    : disk_(disk), storage_(storage), parallelism_(parallelism) {
+  if (disk_ != nullptr) disk_->BeginConcurrentReads();
+  if (storage_ != nullptr) storage_->BeginConcurrentReads();
 }
 
 ExpansionExecutor::~ExpansionExecutor() {
   if (probe_pool_ != nullptr) probe_pool_->Shutdown(/*drain=*/true);
-  disk_->EndConcurrentReads();
+  if (disk_ != nullptr) disk_->EndConcurrentReads();
+  if (storage_ != nullptr) storage_->EndConcurrentReads();
 }
 
 Result<ExpansionExecutor::QueryRig> ExpansionExecutor::NewQuery(
@@ -65,19 +100,50 @@ Result<ExpansionExecutor::QueryRig> ExpansionExecutor::NewQuery(
 }
 
 void ExpansionExecutor::ResetIoState() {
-  for (const auto& pool : pools_) {
-    pool->Clear();
-    pool->ResetStats();
-  }
+  for (const auto& reader : readers_) reader->ResetIoState();
 }
 
 storage::BufferPool::Stats ExpansionExecutor::PoolStats() const {
   storage::BufferPool::Stats total{};
-  for (const auto& pool : pools_) {
-    const storage::BufferPool::Stats s = pool->stats();
+  for (const auto& reader : readers_) {
+    const storage::BufferPool::Stats s = reader->PoolStats();
     total.hits += s.hits;
     total.misses += s.misses;
     total.evictions += s.evictions;
+  }
+  return total;
+}
+
+void ExpansionExecutor::ResetShardIoStats() {
+  if (storage_ == nullptr) return;
+  for (const auto& reader : readers_) {
+    static_cast<shard::ShardedNetworkReader*>(reader.get())
+        ->ResetShardIoStats();
+  }
+}
+
+void ExpansionExecutor::SetHomeShard(shard::ShardId home) {
+  if (storage_ == nullptr) return;
+  for (const auto& reader : readers_) {
+    static_cast<shard::ShardedNetworkReader*>(reader.get())
+        ->set_home_shard(home);
+  }
+}
+
+shard::ShardedNetworkReader::ShardIoStats ExpansionExecutor::ShardIoStats()
+    const {
+  shard::ShardedNetworkReader::ShardIoStats total;
+  if (storage_ == nullptr) return total;
+  total.fetches_to_shard.assign(storage_->num_shards(), 0);
+  for (const auto& reader : readers_) {
+    const auto* sharded =
+        static_cast<const shard::ShardedNetworkReader*>(reader.get());
+    const auto s = sharded->shard_io_stats();
+    total.local_fetches += s.local_fetches;
+    total.remote_fetches += s.remote_fetches;
+    for (size_t i = 0; i < s.fetches_to_shard.size(); ++i) {
+      total.fetches_to_shard[i] += s.fetches_to_shard[i];
+    }
   }
   return total;
 }

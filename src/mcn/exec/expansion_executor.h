@@ -31,6 +31,9 @@
 #include "mcn/graph/location.h"
 #include "mcn/net/network_builder.h"
 #include "mcn/net/network_reader.h"
+#include "mcn/shard/sharded_builder.h"
+#include "mcn/shard/sharded_reader.h"
+#include "mcn/shard/sharded_storage.h"
 #include "mcn/storage/buffer_pool.h"
 #include "mcn/storage/disk_manager.h"
 
@@ -45,6 +48,20 @@ class ExpansionExecutor {
   static Result<std::unique_ptr<ExpansionExecutor>> Create(
       storage::DiskManager* disk, const net::NetworkFiles& files,
       int parallelism, size_t pool_frames_per_slot);
+
+  /// Sharded flavor (DESIGN.md §8): every slot gets a routing
+  /// shard::ShardedNetworkReader — a per-shard pool set over the shared
+  /// read-only ShardedStorage — instead of one flat pool. With
+  /// `split_budget_across_shards` (the default), `pool_frames_per_slot`
+  /// is the slot's *total* budget, split evenly across the shard pools
+  /// (shard::FramesPerShard, iso-memory with the flat layout); without
+  /// it, every shard pool gets the full budget (the per-socket memory
+  /// model). The turn schedule, and hence results and record-level I/O
+  /// accounting, are identical to the flat executor for every K.
+  static Result<std::unique_ptr<ExpansionExecutor>> Create(
+      shard::ShardedStorage* storage, const shard::ShardedNetworkFiles& files,
+      int parallelism, size_t pool_frames_per_slot,
+      bool split_budget_across_shards = true);
 
   ~ExpansionExecutor();
 
@@ -70,6 +87,15 @@ class ExpansionExecutor {
   void ResetIoState();
   /// Hit/miss counters aggregated over all reader slots.
   storage::BufferPool::Stats PoolStats() const;
+  /// Routed-fetch counters summed over all slots (zero for flat
+  /// executors).
+  shard::ShardedNetworkReader::ShardIoStats ShardIoStats() const;
+  /// Clears every slot reader's routed-fetch counters (sharded mode;
+  /// no-op on flat executors). Call only between queries.
+  void ResetShardIoStats();
+  /// Binds every slot reader's affinity for the local/remote fetch split
+  /// (sharded mode; no-op on flat executors). Call between queries.
+  void SetHomeShard(shard::ShardId home);
 
   const std::vector<std::unique_ptr<net::NetworkReader>>& readers() const {
     return readers_;
@@ -77,11 +103,16 @@ class ExpansionExecutor {
   expand::ProbePool* probe_pool() { return probe_pool_.get(); }
 
  private:
-  ExpansionExecutor(storage::DiskManager* disk, int parallelism);
+  ExpansionExecutor(storage::DiskManager* disk,
+                    shard::ShardedStorage* storage, int parallelism);
 
-  storage::DiskManager* disk_;
+  Result<std::unique_ptr<ExpansionExecutor>> static Finish(
+      std::unique_ptr<ExpansionExecutor> executor);
+
+  storage::DiskManager* disk_;            ///< flat mode (null when sharded)
+  shard::ShardedStorage* storage_;        ///< sharded mode (else null)
   int parallelism_;
-  std::vector<std::unique_ptr<storage::BufferPool>> pools_;
+  std::vector<std::unique_ptr<storage::BufferPool>> pools_;  ///< flat only
   std::vector<std::unique_ptr<net::NetworkReader>> readers_;
   std::unique_ptr<expand::ProbePool> probe_pool_;  ///< null when p == 1
 };

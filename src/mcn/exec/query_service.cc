@@ -10,6 +10,7 @@
 #include "mcn/algo/skyline_query.h"
 #include "mcn/algo/topk_query.h"
 #include "mcn/common/macros.h"
+#include "mcn/exec/affinity.h"
 
 namespace mcn::exec {
 
@@ -20,6 +21,16 @@ double SecondsSince(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+Status ValidateOptions(const ServiceOptions& options) {
+  if (options.num_workers <= 0) {
+    return Status::InvalidArgument("QueryService: num_workers must be > 0");
+  }
+  if (options.queue_capacity == 0) {
+    return Status::InvalidArgument("QueryService: queue_capacity must be > 0");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<std::unique_ptr<QueryService>> QueryService::Create(
@@ -28,51 +39,125 @@ Result<std::unique_ptr<QueryService>> QueryService::Create(
   if (disk == nullptr) {
     return Status::InvalidArgument("QueryService: null disk");
   }
-  if (options.num_workers <= 0) {
-    return Status::InvalidArgument("QueryService: num_workers must be > 0");
-  }
-  if (options.queue_capacity == 0) {
-    return Status::InvalidArgument("QueryService: queue_capacity must be > 0");
-  }
+  MCN_RETURN_IF_ERROR(ValidateOptions(options));
   return std::unique_ptr<QueryService>(
-      new QueryService(disk, files, options));
+      new QueryService(disk, nullptr, files, {}, options));
+}
+
+Result<std::unique_ptr<QueryService>> QueryService::Create(
+    shard::ShardedStorage* storage, const shard::ShardedNetworkFiles& files,
+    const ServiceOptions& options) {
+  if (storage == nullptr) {
+    return Status::InvalidArgument("QueryService: null sharded storage");
+  }
+  if (files.num_shards() != storage->num_shards()) {
+    return Status::InvalidArgument(
+        "QueryService: storage/files shard count mismatch");
+  }
+  MCN_RETURN_IF_ERROR(ValidateOptions(options));
+  return std::unique_ptr<QueryService>(
+      new QueryService(nullptr, storage, {}, files, options));
 }
 
 QueryService::QueryService(storage::DiskManager* disk,
+                           shard::ShardedStorage* storage,
                            const net::NetworkFiles& files,
+                           const shard::ShardedNetworkFiles& sharded_files,
                            const ServiceOptions& options)
-    : disk_(disk), files_(files), opts_(options) {
+    : disk_(disk),
+      storage_(storage),
+      files_(files),
+      sharded_files_(sharded_files),
+      opts_(options) {
   workers_.reserve(opts_.num_workers);
   for (int w = 0; w < opts_.num_workers; ++w) {
     auto worker = std::make_unique<Worker>();
-    worker->pool = std::make_unique<storage::BufferPool>(
-        disk_, opts_.pool_frames_per_worker);
-    worker->reader =
-        std::make_unique<net::NetworkReader>(files_, worker->pool.get());
+    if (sharded()) {
+      const size_t frames_per_shard =
+          opts_.split_pool_across_shards
+              ? shard::FramesPerShard(opts_.pool_frames_per_worker,
+                                      storage_->num_shards())
+              : opts_.pool_frames_per_worker;
+      worker->reader = std::make_unique<shard::ShardedNetworkReader>(
+          storage_, sharded_files_, frames_per_shard);
+    } else {
+      worker->pool = std::make_unique<storage::BufferPool>(
+          disk_, opts_.pool_frames_per_worker);
+      worker->reader =
+          std::make_unique<net::NetworkReader>(files_, worker->pool.get());
+    }
     workers_.push_back(std::move(worker));
   }
-  // Freeze the shared disk read-only for the service's lifetime; the
+  // Freeze the shared storage read-only for the service's lifetime; the
   // storage layer DCHECKs any mutation from here on (DESIGN.md §6).
-  disk_->BeginConcurrentReads();
-  pool_ = std::make_unique<ThreadPool<Task>>(
-      opts_.num_workers, opts_.queue_capacity,
-      [this](Task&& task, int worker) { Execute(std::move(task), worker); },
-      [](Task&& task) {
-        QueryResult discarded;
-        discarded.status = Status::FailedPrecondition(
-            "query discarded by non-draining shutdown");
-        task.promise.set_value(std::move(discarded));
-      });
+  if (sharded()) {
+    storage_->BeginConcurrentReads();
+  } else {
+    disk_->BeginConcurrentReads();
+  }
+  StartGroups();
+}
+
+void QueryService::StartGroups() {
+  // Shard-affine worker groups: one group per shard when the worker
+  // budget allows, otherwise min(K, workers) groups serving the shards
+  // round-robin (RouteGroup). Flat services get the single PR-2 group.
+  const int num_groups =
+      sharded() ? std::min(storage_->num_shards(), opts_.num_workers) : 1;
+  groups_.resize(num_groups);
+  int next_worker = 0;
+  for (int g = 0; g < num_groups; ++g) {
+    Group& group = groups_[g];
+    group.shard = static_cast<shard::ShardId>(g);
+    group.base = next_worker;
+    group.count = opts_.num_workers / num_groups +
+                  (g < opts_.num_workers % num_groups ? 1 : 0);
+    next_worker += group.count;
+    for (int w = group.base; w < group.base + group.count; ++w) {
+      Worker& worker = *workers_[w];
+      worker.home_shard = sharded() ? group.shard : shard::kInvalidShard;
+      if (sharded()) {
+        static_cast<shard::ShardedNetworkReader*>(worker.reader.get())
+            ->set_home_shard(worker.home_shard);
+      }
+    }
+    group.pool = std::make_unique<ThreadPool<Task>>(
+        group.count, opts_.queue_capacity,
+        [this, g](Task&& task, int local_worker) {
+          Execute(std::move(task), groups_[g], local_worker);
+        },
+        [](Task&& task) {
+          QueryResult discarded;
+          discarded.status = Status::FailedPrecondition(
+              "query discarded by non-draining shutdown");
+          task.promise.set_value(std::move(discarded));
+        });
+  }
+  MCN_CHECK(next_worker == opts_.num_workers);
 }
 
 QueryService::~QueryService() { Shutdown(/*drain=*/true); }
 
+QueryService::Group& QueryService::RouteGroup(
+    const graph::Location& location) {
+  if (groups_.size() == 1) return groups_[0];
+  const shard::Partition& part = storage_->partition();
+  shard::ShardId s = 0;
+  if (location.is_node()) {
+    if (location.node() < part.num_nodes()) s = part.of_node(location.node());
+  } else if (location.edge().u < part.num_nodes()) {
+    s = part.of_edge(location.edge());
+  }
+  return groups_[s % groups_.size()];
+}
+
 std::future<QueryResult> QueryService::Submit(QueryRequest request) {
   Task task;
+  Group& group = RouteGroup(request.location);
   task.request = std::move(request);
   task.enqueue_time = std::chrono::steady_clock::now();
   std::future<QueryResult> future = task.promise.get_future();
-  if (!pool_->Submit(std::move(task))) {
+  if (!group.pool->Submit(std::move(task))) {
     // Shutdown already began: resolve immediately instead of blocking.
     QueryResult rejected;
     rejected.status =
@@ -84,19 +169,35 @@ std::future<QueryResult> QueryService::Submit(QueryRequest request) {
   return future;
 }
 
-void QueryService::Drain() { pool_->Drain(); }
+void QueryService::Drain() {
+  for (Group& group : groups_) group.pool->Drain();
+}
 
 void QueryService::Shutdown(bool drain) {
   if (shut_down_) return;
-  pool_->Shutdown(drain);
-  disk_->EndConcurrentReads();
+  for (Group& group : groups_) group.pool->Shutdown(drain);
+  if (sharded()) {
+    storage_->EndConcurrentReads();
+  } else {
+    disk_->EndConcurrentReads();
+  }
   shut_down_ = true;
 }
 
-void QueryService::Execute(Task&& task, int worker) {
-  Worker& shard = *workers_[worker];
+void QueryService::Execute(Task&& task, Group& group, int local_worker) {
+  const int worker_index = group.base + local_worker;
+  Worker& shard = *workers_[worker_index];
+  if (opts_.pin_workers && !shard.pinned) {
+    // Contiguous CPU range per group (the NUMA-node placeholder); a
+    // worker executes on a fixed pool thread, so pinning on the first
+    // task pins that thread for good. Best-effort by design.
+    PinCurrentThreadToCpu(worker_index);
+    shard.pinned = true;
+  }
   QueryResult result = RunQuery(task.request, shard);
-  result.stats.worker = worker;
+  result.stats.worker = worker_index;
+  result.stats.shard =
+      sharded() ? static_cast<int>(group.shard) : -1;
   result.stats.queue_seconds =
       SecondsSince(task.enqueue_time) - result.stats.exec_seconds;
   result.stats.stall_seconds =
@@ -129,9 +230,11 @@ QueryResult QueryService::RunQuery(const QueryRequest& request,
   result.kind = request.kind;
   result.result_hash = algo::kFnvOffsetBasis;
 
+  const int num_costs =
+      sharded() ? sharded_files_.num_costs : files_.num_costs;
   const bool needs_weights = request.kind != QueryKind::kSkyline;
   if (needs_weights &&
-      static_cast<int>(request.weights.size()) != files_.num_costs) {
+      static_cast<int>(request.weights.size()) != num_costs) {
     result.status = Status::InvalidArgument(
         "QueryRequest: weights size must equal the network's d");
     return result;
@@ -149,22 +252,33 @@ QueryResult QueryService::RunQuery(const QueryRequest& request,
     // Built lazily on the first parallel request, so a service whose
     // clients never opt in pays no probe threads or extra pools. Safe
     // here: a worker runs one query at a time on its own thread.
-    auto executor = ExpansionExecutor::Create(
-        disk_, files_, opts_.per_query_parallelism,
-        opts_.pool_frames_per_worker);
+    auto executor =
+        sharded()
+            ? ExpansionExecutor::Create(storage_, sharded_files_,
+                                        opts_.per_query_parallelism,
+                                        opts_.pool_frames_per_worker,
+                                        opts_.split_pool_across_shards)
+            : ExpansionExecutor::Create(disk_, files_,
+                                        opts_.per_query_parallelism,
+                                        opts_.pool_frames_per_worker);
     MCN_CHECK(executor.ok());
-    worker.expansion = std::move(executor).value();
+    auto built = std::move(executor).value();
+    if (sharded()) built->SetHomeShard(worker.home_shard);
+    // Published under the stats mutex: Snapshot samples the executor's
+    // routed-fetch counters from other threads.
+    std::lock_guard<std::mutex> lock(worker.mu);
+    worker.expansion = std::move(built);
   }
   const bool turn_mode = par >= 1;
   const bool pooled = par > 1;
 
   if (opts_.cold_cache_per_query) {
-    worker.pool->Clear();
-    worker.pool->ResetStats();
+    worker.reader->ResetIoState();
     if (worker.expansion != nullptr) worker.expansion->ResetIoState();
   }
   auto io_now = [&]() -> storage::BufferPool::Stats {
-    return pooled ? worker.expansion->PoolStats() : worker.pool->stats();
+    return pooled ? worker.expansion->PoolStats()
+                  : worker.reader->PoolStats();
   };
   const storage::BufferPool::Stats before = io_now();
 
@@ -267,16 +381,48 @@ QueryResult QueryService::RunQuery(const QueryRequest& request,
 ServiceStats QueryService::Snapshot() const {
   ServiceStats stats;
   std::vector<double> samples;
-  for (const auto& worker : workers_) {
-    std::lock_guard<std::mutex> lock(worker->mu);
-    stats.completed += worker->completed;
-    stats.failed += worker->failed;
-    stats.buffer_misses += worker->buffer_misses;
-    stats.buffer_accesses += worker->buffer_accesses;
-    stats.cpu_seconds += worker->cpu_seconds;
-    stats.stall_seconds += worker->stall_seconds;
-    samples.insert(samples.end(), worker->latency_ms.begin(),
-                   worker->latency_ms.end());
+  if (sharded()) {
+    stats.per_shard.resize(storage_->num_shards());
+    for (int s = 0; s < storage_->num_shards(); ++s) {
+      stats.per_shard[s].shard = s;
+    }
+  }
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    const auto& worker = workers_[w];
+    uint64_t completed, misses;
+    const ExpansionExecutor* expansion;
+    {
+      std::lock_guard<std::mutex> lock(worker->mu);
+      completed = worker->completed;
+      misses = worker->buffer_misses;
+      expansion = worker->expansion.get();  // published under mu
+      stats.completed += worker->completed;
+      stats.failed += worker->failed;
+      stats.buffer_misses += worker->buffer_misses;
+      stats.buffer_accesses += worker->buffer_accesses;
+      stats.cpu_seconds += worker->cpu_seconds;
+      stats.stall_seconds += worker->stall_seconds;
+      samples.insert(samples.end(), worker->latency_ms.begin(),
+                     worker->latency_ms.end());
+    }
+    if (sharded() && worker->home_shard != shard::kInvalidShard) {
+      ShardServiceStats& row = stats.per_shard[worker->home_shard];
+      ++row.workers;
+      row.completed += completed;
+      row.buffer_misses += misses;
+      // Routed-fetch counters are relaxed atomics on the reader, safe to
+      // sample while the worker keeps executing.
+      auto io = static_cast<const shard::ShardedNetworkReader*>(
+                    worker->reader.get())
+                    ->shard_io_stats();
+      if (expansion != nullptr) {
+        const auto pooled_io = expansion->ShardIoStats();
+        io.local_fetches += pooled_io.local_fetches;
+        io.remote_fetches += pooled_io.remote_fetches;
+      }
+      row.local_fetches += io.local_fetches;
+      row.remote_fetches += io.remote_fetches;
+    }
   }
   stats.wall_seconds = uptime_.ElapsedSeconds();
   if (stats.wall_seconds > 0) {
@@ -297,6 +443,13 @@ void QueryService::ResetStats() {
     worker->cpu_seconds = 0;
     worker->stall_seconds = 0;
     worker->latency_ms.clear();
+    if (sharded()) {
+      static_cast<shard::ShardedNetworkReader*>(worker->reader.get())
+          ->ResetShardIoStats();
+      if (worker->expansion != nullptr) {
+        worker->expansion->ResetShardIoStats();
+      }
+    }
   }
   uptime_.Restart();
 }

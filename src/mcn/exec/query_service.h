@@ -1,19 +1,31 @@
 // QueryService: the concurrent serving layer above the paper's query
-// processors (DESIGN.md §6). One service owns
+// processors (DESIGN.md §6, §8). One service owns
 //
-//   * a shared, read-only DiskManager (frozen for the service's lifetime
-//     via BeginConcurrentReads — the storage layer DCHECKs any mutation),
-//   * one BufferPool + NetworkReader per worker (sharded by worker, never
-//     shared across threads, each sized like the paper's LRU buffer), and
-//   * a fixed-size ThreadPool over a lock-free MPMC queue.
+//   * a shared, read-only storage root — either one flat DiskManager or a
+//     shard::ShardedStorage of K per-tile disks, frozen for the service's
+//     lifetime via BeginConcurrentReads,
+//   * one reader per worker — a BufferPool + NetworkReader in flat mode,
+//     a per-shard pool set (shard::ShardedNetworkReader) in sharded mode —
+//     never shared across threads, and
+//   * shard-affine worker *groups*: each group is its own fixed-size
+//     ThreadPool over a lock-free MPMC queue, bound to one shard. Submit
+//     routes every request to the group owning the query's location (the
+//     routing table), so a query usually expands inside the pools of its
+//     home shard; fetches that escape the tile are counted as remote.
+//     Flat services have exactly one group, which degenerates to the PR-2
+//     behavior. With ServiceOptions::pin_workers, each group's threads are
+//     pinned (best-effort, sched_setaffinity) to a contiguous CPU range —
+//     the placeholder for per-socket NUMA placement.
 //
-// Every submitted QueryRequest is executed on some worker with a freshly
-// constructed engine (LSA/CEA d-expansions + CandidateStore are per-query
-// state, so nothing of a query is visible to another), and resolves a
-// std::future<QueryResult> carrying the typed result rows, an FNV result
-// hash (byte-identical to a single-threaded run — the parity anchor of the
-// service bench and tests), and per-query stats. Workers also feed the
-// service-level aggregation: latency percentiles (p50/p95/p99) and QPS.
+// Every submitted QueryRequest is executed on some worker of its group
+// with a freshly constructed engine (LSA/CEA d-expansions + CandidateStore
+// are per-query state, so nothing of a query is visible to another), and
+// resolves a std::future<QueryResult> carrying the typed result rows, an
+// FNV result hash (byte-identical to a single-threaded run — and to every
+// other shard count K: the parity anchor of the service bench and tests),
+// and per-query stats. Workers also feed the service-level aggregation:
+// latency percentiles (p50/p95/p99), QPS, and per-shard local/remote
+// fetch totals.
 #ifndef MCN_EXEC_QUERY_SERVICE_H_
 #define MCN_EXEC_QUERY_SERVICE_H_
 
@@ -35,6 +47,9 @@
 #include "mcn/graph/location.h"
 #include "mcn/net/network_builder.h"
 #include "mcn/net/network_reader.h"
+#include "mcn/shard/sharded_builder.h"
+#include "mcn/shard/sharded_reader.h"
+#include "mcn/shard/sharded_storage.h"
 #include "mcn/storage/buffer_pool.h"
 #include "mcn/storage/disk_manager.h"
 
@@ -47,7 +62,8 @@ enum class QueryKind {
 };
 
 /// One query to execute. Self-contained by value, so a request can be
-/// replayed on any worker (determinism across worker counts).
+/// replayed on any worker (determinism across worker counts and shard
+/// counts).
 struct QueryRequest {
   QueryKind kind = QueryKind::kSkyline;
   graph::Location location = graph::Location::AtNode(graph::kInvalidNode);
@@ -72,6 +88,7 @@ struct QueryRequest {
 /// Per-query measurements taken on the executing worker.
 struct QueryStats {
   int worker = -1;
+  int shard = -1;            ///< executing group's home shard (-1 = flat)
   double queue_seconds = 0;  ///< submit -> start of execution
   double exec_seconds = 0;   ///< engine construction + query computation
   double stall_seconds = 0;  ///< modeled I/O: misses x io_latency_ms
@@ -97,22 +114,25 @@ struct QueryResult {
 
 struct ServiceOptions {
   int num_workers = 4;
-  /// Ring capacity of the work queue; Submit applies back-pressure
-  /// (blocks) when this many queries are already waiting.
+  /// Ring capacity of each group's work queue; Submit applies
+  /// back-pressure (blocks) when this many queries are already waiting in
+  /// the target group.
   size_t queue_capacity = 1024;
-  /// LRU frames per worker pool (the paper's buffer size; see
+  /// LRU frames per worker (the paper's buffer size; see
   /// gen::BufferFrames). Every worker gets the same capacity so per-query
-  /// miss counts match a single-threaded run exactly.
+  /// miss counts match a single-threaded run exactly. In sharded mode the
+  /// budget is split evenly across the worker's K shard pools
+  /// (shard::FramesPerShard).
   size_t pool_frames_per_worker = 0;
   /// Modeled I/O latency charged per buffer miss (as in the bench harness).
   double io_latency_ms = 5.0;
   /// Sleep each query's modeled stall for real, so wall-clock throughput
   /// reflects overlapped I/O. Keep off for pure-CPU tests.
   bool simulate_io_stalls = false;
-  /// Clear + reset the worker's pool before each query (the paper's
+  /// Clear + reset the worker's pools before each query (the paper's
   /// independent-query model; also what makes per-query miss counts
-  /// deterministic across worker counts). When false, a worker's pool
-  /// stays warm across the queries it happens to execute.
+  /// deterministic across worker counts). When false, a worker's pools
+  /// stay warm across the queries it happens to execute.
   bool cold_cache_per_query = true;
   /// Probe threads available to one query (DESIGN.md §7). > 1 lets a
   /// service worker build its own ExpansionExecutor — lazily, on the
@@ -122,18 +142,40 @@ struct ServiceOptions {
   /// Requests opt in per query via QueryRequest::parallelism.
   /// 1 = turn-schedule requests run inline.
   int per_query_parallelism = 1;
+  /// Sharded mode: how pool_frames_per_worker maps onto a worker's K
+  /// shard pools. true divides the budget evenly (iso-memory comparison
+  /// against the flat layout — total frames constant in K, at the price
+  /// of LRU capacity fragmentation); false gives every shard pool the
+  /// full budget — the per-socket memory model of the ROADMAP, where
+  /// each socket contributes its own DIMMs and aggregate buffer grows
+  /// with K.
+  bool split_pool_across_shards = true;
+  /// Best-effort CPU pinning of each shard group's worker threads to a
+  /// contiguous CPU range (DESIGN.md §8). A feature flag: refused
+  /// affinity syscalls (CI containers, non-Linux) are silently ignored,
+  /// so correctness and CI never depend on it.
+  bool pin_workers = false;
 };
 
 /// See the file comment. Thread-safe: Submit/Drain/Snapshot may be called
 /// from any thread; Shutdown from one thread at a time.
 class QueryService {
  public:
-  /// `disk`/`files` describe a fully built network (see net::BuildNetwork);
-  /// `disk` must outlive the service and is frozen read-only until the
-  /// service shuts down.
+  /// Flat storage: `disk`/`files` describe a fully built network (see
+  /// net::BuildNetwork); `disk` must outlive the service and is frozen
+  /// read-only until the service shuts down. One worker group.
   static Result<std::unique_ptr<QueryService>> Create(
       storage::DiskManager* disk, const net::NetworkFiles& files,
       const ServiceOptions& options);
+
+  /// Sharded storage (DESIGN.md §8): `storage`/`files` describe a built
+  /// sharded network (shard::BuildShardedNetwork); `storage` must outlive
+  /// the service and every shard disk is frozen read-only until shutdown.
+  /// Workers are split into min(K, num_workers) shard-affine groups and
+  /// requests are routed to the group owning their location.
+  static Result<std::unique_ptr<QueryService>> Create(
+      shard::ShardedStorage* storage,
+      const shard::ShardedNetworkFiles& files, const ServiceOptions& options);
 
   /// Shutdown(/*drain=*/true).
   ~QueryService();
@@ -141,8 +183,9 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  /// Enqueues `request`; blocks when the queue is full. After shutdown the
-  /// returned future is immediately ready with a FailedPrecondition result.
+  /// Enqueues `request` on its affinity group; blocks when that group's
+  /// queue is full. After shutdown the returned future is immediately
+  /// ready with a FailedPrecondition result.
   std::future<QueryResult> Submit(QueryRequest request);
 
   /// Waits until every submitted query has completed.
@@ -153,7 +196,8 @@ class QueryService {
   /// FailedPrecondition result (futures never throw). Idempotent.
   void Shutdown(bool drain = true);
 
-  /// Aggregated service statistics since construction (or ResetStats).
+  /// Aggregated service statistics since construction (or ResetStats);
+  /// sharded services also fill ServiceStats::per_shard.
   ServiceStats Snapshot() const;
 
   /// Clears the aggregation and restarts the QPS window. Call only while
@@ -161,6 +205,8 @@ class QueryService {
   void ResetStats();
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
+  int num_groups() const { return static_cast<int>(groups_.size()); }
+  bool sharded() const { return storage_ != nullptr; }
   const ServiceOptions& options() const { return opts_; }
 
  private:
@@ -171,11 +217,16 @@ class QueryService {
     std::chrono::steady_clock::time_point enqueue_time{};
   };
 
-  /// Per-worker shard: pool + reader confined to one worker thread, and
-  /// that worker's slice of the service aggregation (merged by Snapshot).
+  /// Per-worker shard: reader (owning its pool set) confined to one worker
+  /// thread, and that worker's slice of the service aggregation (merged by
+  /// Snapshot).
   struct Worker {
+    /// Flat mode only: the single pool behind `reader` (the reader owns
+    /// its per-shard pools in sharded mode).
     std::unique_ptr<storage::BufferPool> pool;
     std::unique_ptr<net::NetworkReader> reader;
+    shard::ShardId home_shard = shard::kInvalidShard;
+    bool pinned = false;  ///< pin attempted (worker-thread confined)
     /// Intra-query probe rig; only built when per_query_parallelism > 1.
     std::unique_ptr<ExpansionExecutor> expansion;
     mutable std::mutex mu;  ///< guards the aggregation below vs Snapshot
@@ -188,19 +239,36 @@ class QueryService {
     double stall_seconds = 0;
   };
 
-  QueryService(storage::DiskManager* disk, const net::NetworkFiles& files,
+  /// One shard-affine worker group: a slice [base, base + count) of
+  /// workers_ executing its own ThreadPool.
+  struct Group {
+    shard::ShardId shard = 0;  ///< home shard (group index; flat: 0)
+    int base = 0;
+    int count = 0;
+    std::unique_ptr<ThreadPool<Task>> pool;
+  };
+
+  QueryService(storage::DiskManager* disk, shard::ShardedStorage* storage,
+               const net::NetworkFiles& files,
+               const shard::ShardedNetworkFiles& sharded_files,
                const ServiceOptions& options);
 
-  void Execute(Task&& task, int worker);
+  void StartGroups();
+  /// The group owning `location` under the routing table (flat: group 0).
+  Group& RouteGroup(const graph::Location& location);
+
+  void Execute(Task&& task, Group& group, int local_worker);
   /// Runs the query on `worker`'s shard; fills everything but the latency
   /// fields of the result stats.
   QueryResult RunQuery(const QueryRequest& request, Worker& worker);
 
-  storage::DiskManager* disk_;
-  net::NetworkFiles files_;
+  storage::DiskManager* disk_ = nullptr;        ///< flat mode
+  shard::ShardedStorage* storage_ = nullptr;    ///< sharded mode
+  net::NetworkFiles files_;                     ///< flat mode
+  shard::ShardedNetworkFiles sharded_files_;    ///< sharded mode
   ServiceOptions opts_;
   std::vector<std::unique_ptr<Worker>> workers_;
-  std::unique_ptr<ThreadPool<Task>> pool_;
+  std::vector<Group> groups_;
   Stopwatch uptime_;
   bool shut_down_ = false;
 };

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "mcn/shard/partition.h"
+
 namespace mcn::exec {
 
 /// Nearest-rank percentile of `sorted` (ascending); p in [0,100]:
@@ -26,6 +28,22 @@ inline double PercentileSorted(const std::vector<double>& sorted, double p) {
   return sorted[rank];
 }
 
+/// One shard's slice of a sharded service's aggregation (DESIGN.md §8):
+/// what the shard's worker group completed and how often its fetches
+/// stayed on the home shard vs crossed a boundary.
+struct ShardServiceStats {
+  int shard = -1;
+  int workers = 0;           ///< workers bound to this shard's group
+  uint64_t completed = 0;    ///< queries the group finished OK
+  uint64_t buffer_misses = 0;
+  uint64_t local_fetches = 0;   ///< record fetches served by the home shard
+  uint64_t remote_fetches = 0;  ///< record fetches routed across shards
+
+  double RemoteRatio() const {
+    return shard::RemoteRatio(local_fetches, remote_fetches);
+  }
+};
+
 /// Aggregated snapshot over all workers since service start (or the last
 /// ResetStats). Latency covers the full request lifetime: queue wait +
 /// execution + modeled I/O stall.
@@ -41,6 +59,8 @@ struct ServiceStats {
   double latency_p95_ms = 0;
   double latency_p99_ms = 0;
   double qps = 0;  ///< (completed + failed) / wall_seconds
+  /// Sharded services only (one row per shard); empty on flat services.
+  std::vector<ShardServiceStats> per_shard;
 
   /// Fills the percentile fields from raw latency samples (milliseconds).
   void ComputePercentiles(std::vector<double>& latency_ms_samples) {

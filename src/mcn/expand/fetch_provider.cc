@@ -43,10 +43,9 @@ Result<const std::vector<net::AdjEntry>*> DirectFetch::GetAdjacency(
 
 Result<const std::vector<net::FacilityOnEdge>*> DirectFetch::GetFacilities(
     graph::EdgeKey edge, const net::FacRef& ref) {
-  (void)edge;
   ++stats_.facility_requests;
   ++stats_.facility_fetches;
-  MCN_RETURN_IF_ERROR(reader_->GetFacilities(ref, &fac_scratch_));
+  MCN_RETURN_IF_ERROR(reader_->GetFacilities(edge, ref, &fac_scratch_));
   return &fac_scratch_;
 }
 
@@ -88,7 +87,7 @@ Result<const std::vector<net::FacilityOnEdge>*> CachedFetch::GetFacilities(
   if (row != FlatU64Map::kNoValue) return &fac_rows_[row];
   ++stats_.facility_fetches;
   std::vector<net::FacilityOnEdge> facs;
-  MCN_RETURN_IF_ERROR(reader_->GetFacilities(ref, &facs));
+  MCN_RETURN_IF_ERROR(reader_->GetFacilities(edge, ref, &facs));
   row = static_cast<uint32_t>(fac_rows_.size());
   fac_rows_.push_back(std::move(facs));
   fac_row_of_.Insert(edge.Pack(), row);

@@ -122,7 +122,7 @@ StripedCachedFetch::GetFacilities(graph::EdgeKey edge,
   const net::NetworkReader* reader = BoundReader();
   return GetOrFetch(fac_, edge.Pack(), fac_fetches_,
                     [&](std::vector<net::FacilityOnEdge>* out) {
-                      return reader->GetFacilities(ref, out);
+                      return reader->GetFacilities(edge, ref, out);
                     });
 }
 

@@ -42,8 +42,17 @@ size_t BufferFrames(double buffer_pct, uint64_t total_pages) {
       std::llround(buffer_pct / 100.0 * static_cast<double>(total_pages)));
 }
 
-Result<std::unique_ptr<Instance>> BuildInstance(
-    const ExperimentConfig& config) {
+namespace {
+
+struct Generated {
+  graph::MultiCostGraph graph;
+  graph::FacilitySet facilities;
+};
+
+// Shared by the flat and sharded builders: the generated network is a
+// function of the config alone, so the two layouts of one config hold the
+// same data and their query results are comparable byte for byte.
+Result<Generated> GenerateGraphAndFacilities(const ExperimentConfig& config) {
   Random rng(config.seed);
 
   RoadNetworkOptions road;
@@ -65,9 +74,16 @@ Result<std::unique_ptr<Instance>> BuildInstance(
   fac.seed = rng.Next();
   MCN_ASSIGN_OR_RETURN(graph::FacilitySet facilities,
                        GenerateFacilities(g, fac));
+  return Generated{std::move(g), std::move(facilities)};
+}
 
-  auto instance =
-      std::make_unique<Instance>(std::move(g), std::move(facilities));
+}  // namespace
+
+Result<std::unique_ptr<Instance>> BuildInstance(
+    const ExperimentConfig& config) {
+  MCN_ASSIGN_OR_RETURN(Generated gen, GenerateGraphAndFacilities(config));
+  auto instance = std::make_unique<Instance>(std::move(gen.graph),
+                                             std::move(gen.facilities));
   MCN_ASSIGN_OR_RETURN(
       instance->files,
       net::BuildNetwork(&instance->disk, instance->graph,
@@ -78,6 +94,33 @@ Result<std::unique_ptr<Instance>> BuildInstance(
   instance->reader = std::make_unique<net::NetworkReader>(
       instance->files, instance->pool.get());
   instance->disk.ResetStats();  // build-time writes are not query I/O
+  return instance;
+}
+
+Result<std::unique_ptr<ShardedInstance>> BuildShardedInstance(
+    const ExperimentConfig& config, int num_shards,
+    const shard::Partitioner* partitioner) {
+  MCN_ASSIGN_OR_RETURN(Generated gen, GenerateGraphAndFacilities(config));
+
+  shard::GridTilePartitioner default_partitioner;
+  const shard::Partitioner* chosen =
+      partitioner != nullptr ? partitioner : &default_partitioner;
+  MCN_ASSIGN_OR_RETURN(shard::Partition partition,
+                       chosen->Build(gen.graph, num_shards));
+
+  auto instance = std::make_unique<ShardedInstance>(
+      std::move(gen.graph), std::move(gen.facilities), std::move(partition));
+  MCN_ASSIGN_OR_RETURN(
+      instance->files,
+      shard::BuildShardedNetwork(&instance->storage, instance->graph,
+                                 instance->facilities));
+  instance->pool_frames =
+      BufferFrames(config.buffer_pct, instance->files.total_pages);
+  instance->reader = std::make_unique<shard::ShardedNetworkReader>(
+      &instance->storage, instance->files,
+      shard::FramesPerShard(instance->pool_frames,
+                            instance->storage.num_shards()));
+  instance->storage.ResetStats();  // build-time writes are not query I/O
   return instance;
 }
 

@@ -19,6 +19,10 @@
 #include "mcn/graph/multi_cost_graph.h"
 #include "mcn/net/network_builder.h"
 #include "mcn/net/network_reader.h"
+#include "mcn/shard/partition.h"
+#include "mcn/shard/sharded_builder.h"
+#include "mcn/shard/sharded_reader.h"
+#include "mcn/shard/sharded_storage.h"
 #include "mcn/storage/buffer_pool.h"
 #include "mcn/storage/disk_manager.h"
 
@@ -70,6 +74,44 @@ size_t BufferFrames(double buffer_pct, uint64_t total_pages);
 /// Generates, builds and wires up an instance.
 Result<std::unique_ptr<Instance>> BuildInstance(
     const ExperimentConfig& config);
+
+/// A sharded-build instance (DESIGN.md §8): the same generated graph and
+/// facility set as BuildInstance for the same config (generation precedes
+/// partitioning, so results are comparable across K), laid out as K
+/// per-shard file sets with a driver-thread routing reader on top.
+struct ShardedInstance {
+  ShardedInstance(graph::MultiCostGraph g, graph::FacilitySet f,
+                  shard::Partition partition)
+      : graph(std::move(g)),
+        facilities(std::move(f)),
+        storage(std::move(partition)) {}
+
+  graph::MultiCostGraph graph;
+  graph::FacilitySet facilities;
+  shard::ShardedStorage storage;
+  shard::ShardedNetworkFiles files;
+  /// Per-shard pool set sized like Instance::pool split across shards.
+  std::unique_ptr<shard::ShardedNetworkReader> reader;
+  /// Flat-equivalent frame budget (BufferFrames of the config), before
+  /// the per-shard split — what service/executor callers should pass on.
+  size_t pool_frames = 0;
+
+  graph::Location RandomQueryLocation(Random& rng) const {
+    return RandomLocation(graph, rng);
+  }
+
+  void ResetIoState() {
+    reader->ResetIoState();
+    reader->ResetShardIoStats();
+    storage.ResetStats();
+  }
+};
+
+/// Generates (identically to BuildInstance), partitions with `partitioner`
+/// (default: shard::GridTilePartitioner) and builds the sharded layout.
+Result<std::unique_ptr<ShardedInstance>> BuildShardedInstance(
+    const ExperimentConfig& config, int num_shards,
+    const shard::Partitioner* partitioner = nullptr);
 
 }  // namespace mcn::gen
 

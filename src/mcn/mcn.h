@@ -27,6 +27,10 @@
 #include "mcn/net/catalog.h"
 #include "mcn/net/network_builder.h"
 #include "mcn/net/network_reader.h"
+#include "mcn/shard/partition.h"
+#include "mcn/shard/sharded_builder.h"
+#include "mcn/shard/sharded_reader.h"
+#include "mcn/shard/sharded_storage.h"
 #include "mcn/skyline/skyline.h"
 #include "mcn/storage/buffer_pool.h"
 #include "mcn/storage/disk_manager.h"

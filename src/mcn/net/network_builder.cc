@@ -6,69 +6,10 @@
 #include <vector>
 
 #include "mcn/common/macros.h"
+#include "mcn/net/slotted_writer.h"
 #include "mcn/storage/slotted_page.h"
 
 namespace mcn::net {
-namespace {
-
-using storage::kPageSize;
-
-/// Appends records into consecutive slotted pages of `file`, flushing a page
-/// when the next record does not fit.
-class SlottedFileWriter {
- public:
-  SlottedFileWriter(storage::DiskManager* disk, storage::FileId file)
-      : disk_(disk), file_(file), buf_(kPageSize, std::byte{0}),
-        builder_(buf_.data()) {}
-
-  /// Appends `record`; outputs its position. Fails if the record can never
-  /// fit in a page.
-  Status Append(std::span<const std::byte> record, RecordPos* pos) {
-    if (record.size() > storage::SlottedPageBuilder::MaxRecordSize()) {
-      return Status::InvalidArgument(
-          "record of " + std::to_string(record.size()) +
-          " bytes exceeds page capacity");
-    }
-    if (!builder_.Fits(record.size())) {
-      MCN_RETURN_IF_ERROR(Flush());
-    }
-    uint16_t slot = 0;
-    MCN_CHECK(builder_.TryAppend(record, &slot));
-    if (pos != nullptr) {
-      pos->page = next_page_;
-      pos->slot = slot;
-    }
-    dirty_ = true;
-    return Status::OK();
-  }
-
-  /// Writes the trailing partial page, if any.
-  Status Finish() {
-    if (dirty_) return Flush();
-    return Status::OK();
-  }
-
- private:
-  Status Flush() {
-    MCN_ASSIGN_OR_RETURN(storage::PageNo page, disk_->AllocatePage(file_));
-    MCN_CHECK(page == next_page_);
-    MCN_RETURN_IF_ERROR(disk_->WritePage({file_, page}, buf_.data()));
-    ++next_page_;
-    std::memset(buf_.data(), 0, kPageSize);
-    builder_ = storage::SlottedPageBuilder(buf_.data());
-    dirty_ = false;
-    return Status::OK();
-  }
-
-  storage::DiskManager* disk_;
-  storage::FileId file_;
-  std::vector<std::byte> buf_;
-  storage::SlottedPageBuilder builder_;
-  storage::PageNo next_page_ = 0;
-  bool dirty_ = false;
-};
-
-}  // namespace
 
 Result<NetworkFiles> BuildNetwork(storage::DiskManager* disk,
                                   const graph::MultiCostGraph& graph,

@@ -42,7 +42,7 @@ Status NetworkReader::GetAdjacency(graph::NodeId node,
   return Status::OK();
 }
 
-Status NetworkReader::GetFacilities(const FacRef& ref,
+Status NetworkReader::GetFacilities(graph::EdgeKey /*edge*/, const FacRef& ref,
                                     std::vector<FacilityOnEdge>* out) const {
   out->clear();
   if (ref.empty()) return Status::OK();

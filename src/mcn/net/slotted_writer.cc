@@ -1,0 +1,53 @@
+#include "mcn/net/slotted_writer.h"
+
+#include <cstring>
+#include <string>
+
+#include "mcn/common/macros.h"
+
+namespace mcn::net {
+
+using storage::kPageSize;
+
+SlottedFileWriter::SlottedFileWriter(storage::DiskManager* disk,
+                                     storage::FileId file)
+    : disk_(disk), file_(file), buf_(kPageSize, std::byte{0}),
+      builder_(buf_.data()) {}
+
+Status SlottedFileWriter::Append(std::span<const std::byte> record,
+                                 RecordPos* pos) {
+  if (record.size() > storage::SlottedPageBuilder::MaxRecordSize()) {
+    return Status::InvalidArgument("record of " +
+                                   std::to_string(record.size()) +
+                                   " bytes exceeds page capacity");
+  }
+  if (!builder_.Fits(record.size())) {
+    MCN_RETURN_IF_ERROR(Flush());
+  }
+  uint16_t slot = 0;
+  MCN_CHECK(builder_.TryAppend(record, &slot));
+  if (pos != nullptr) {
+    pos->page = next_page_;
+    pos->slot = slot;
+  }
+  dirty_ = true;
+  return Status::OK();
+}
+
+Status SlottedFileWriter::Finish() {
+  if (dirty_) return Flush();
+  return Status::OK();
+}
+
+Status SlottedFileWriter::Flush() {
+  MCN_ASSIGN_OR_RETURN(storage::PageNo page, disk_->AllocatePage(file_));
+  MCN_CHECK(page == next_page_);
+  MCN_RETURN_IF_ERROR(disk_->WritePage({file_, page}, buf_.data()));
+  ++next_page_;
+  std::memset(buf_.data(), 0, kPageSize);
+  builder_ = storage::SlottedPageBuilder(buf_.data());
+  dirty_ = false;
+  return Status::OK();
+}
+
+}  // namespace mcn::net

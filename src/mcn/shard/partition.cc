@@ -1,0 +1,162 @@
+#include "mcn/shard/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "mcn/common/macros.h"
+
+namespace mcn::shard {
+
+std::vector<uint32_t> Partition::ShardSizes() const {
+  std::vector<uint32_t> sizes(num_shards, 0);
+  for (ShardId s : node_shard) {
+    if (s < sizes.size()) ++sizes[s];
+  }
+  return sizes;
+}
+
+Status Partition::Validate() const {
+  if (num_shards <= 0) {
+    return Status::InvalidArgument("partition: num_shards must be > 0");
+  }
+  for (graph::NodeId v = 0; v < node_shard.size(); ++v) {
+    if (node_shard[v] >= static_cast<ShardId>(num_shards)) {
+      return Status::Internal("partition: node " + std::to_string(v) +
+                              " routed to shard " +
+                              std::to_string(node_shard[v]) + " of " +
+                              std::to_string(num_shards));
+    }
+  }
+  for (uint32_t size : ShardSizes()) {
+    if (size == 0) return Status::Internal("partition: empty shard");
+  }
+  return Status::OK();
+}
+
+Partition SingleShardPartition(uint32_t num_nodes) {
+  Partition p;
+  p.num_shards = 1;
+  p.node_shard.assign(num_nodes, 0);
+  return p;
+}
+
+Result<Partition> GridTilePartitioner::Build(
+    const graph::MultiCostGraph& graph, int num_shards) const {
+  if (num_shards <= 0) {
+    return Status::InvalidArgument("GridTilePartitioner: num_shards <= 0");
+  }
+  const uint32_t n = graph.num_nodes();
+  if (n == 0) return Status::InvalidArgument("GridTilePartitioner: no nodes");
+  if (static_cast<uint32_t>(num_shards) > n) {
+    return Status::InvalidArgument(
+        "GridTilePartitioner: more shards than nodes");
+  }
+  if (num_shards == 1) return SingleShardPartition(n);
+
+  // Oversample the grid so each shard spans several cells — the greedy
+  // packing below can then hit node-count targets even when the nodes are
+  // clustered. Clamped so the cell walk stays trivial.
+  int side = cells_per_side_;
+  if (side <= 0) {
+    side = static_cast<int>(
+        std::ceil(std::sqrt(16.0 * static_cast<double>(num_shards))));
+    side = std::clamp(side, 4, 128);
+  }
+
+  double min_x = graph.x(0), max_x = graph.x(0);
+  double min_y = graph.y(0), max_y = graph.y(0);
+  for (graph::NodeId v = 1; v < n; ++v) {
+    min_x = std::min(min_x, graph.x(v));
+    max_x = std::max(max_x, graph.x(v));
+    min_y = std::min(min_y, graph.y(v));
+    max_y = std::max(max_y, graph.y(v));
+  }
+  const double span_x = max_x - min_x;
+  const double span_y = max_y - min_y;
+
+  auto cell_coord = [&](double value, double lo, double span) -> int {
+    if (span <= 0) return 0;  // degenerate axis: everything in column 0
+    int c = static_cast<int>((value - lo) / span * side);
+    return std::clamp(c, 0, side - 1);
+  };
+
+  // Count nodes per cell, then walk cells in boustrophedon row order (row
+  // 0 left->right, row 1 right->left, ...) so consecutive cells — and
+  // hence the node runs packed into one shard — are spatially adjacent.
+  std::vector<uint32_t> cell_count(
+      static_cast<size_t>(side) * static_cast<size_t>(side), 0);
+  std::vector<int> node_cell(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    int cx = cell_coord(graph.x(v), min_x, span_x);
+    int cy = cell_coord(graph.y(v), min_y, span_y);
+    int cell = cy * side + cx;
+    node_cell[v] = cell;
+    ++cell_count[cell];
+  }
+
+  std::vector<int> walk;
+  walk.reserve(cell_count.size());
+  for (int row = 0; row < side; ++row) {
+    if (row % 2 == 0) {
+      for (int col = 0; col < side; ++col) walk.push_back(row * side + col);
+    } else {
+      for (int col = side - 1; col >= 0; --col) {
+        walk.push_back(row * side + col);
+      }
+    }
+  }
+
+  // Greedy contiguous packing: close a shard once it reaches the running
+  // node-count target (recomputed from what is left, so late shards absorb
+  // imbalance instead of starving).
+  std::vector<ShardId> cell_shard(cell_count.size(), 0);
+  ShardId shard = 0;
+  uint32_t in_shard = 0;
+  uint32_t assigned = 0;
+  uint32_t target = (n + num_shards - 1) / num_shards;
+  for (int cell : walk) {
+    cell_shard[cell] = shard;
+    in_shard += cell_count[cell];
+    assigned += cell_count[cell];
+    if (shard + 1 < static_cast<ShardId>(num_shards) && in_shard >= target) {
+      ++shard;
+      in_shard = 0;
+      const int remaining_shards = num_shards - static_cast<int>(shard);
+      target = std::max<uint32_t>(
+          1, (n - assigned + remaining_shards - 1) / remaining_shards);
+    }
+  }
+
+  Partition p;
+  p.num_shards = num_shards;
+  p.node_shard.resize(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    p.node_shard[v] = cell_shard[node_cell[v]];
+  }
+
+  // The greedy walk can still strand a trailing shard empty when the node
+  // distribution collapses into few cells; backfill deterministically by
+  // reassigning the highest-id nodes of the fullest shards.
+  std::vector<uint32_t> sizes = p.ShardSizes();
+  for (ShardId s = 0; s < static_cast<ShardId>(num_shards); ++s) {
+    while (sizes[s] == 0) {
+      ShardId donor = static_cast<ShardId>(
+          std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+      MCN_CHECK(sizes[donor] > 1);
+      for (graph::NodeId v = n; v-- > 0;) {
+        if (p.node_shard[v] == donor) {
+          p.node_shard[v] = s;
+          --sizes[donor];
+          ++sizes[s];
+          break;
+        }
+      }
+    }
+  }
+
+  MCN_RETURN_IF_ERROR(p.Validate());
+  return p;
+}
+
+}  // namespace mcn::shard

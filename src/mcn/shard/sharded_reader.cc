@@ -1,0 +1,120 @@
+#include "mcn/shard/sharded_reader.h"
+
+#include <string>
+
+#include "mcn/common/macros.h"
+
+namespace mcn::shard {
+
+size_t FramesPerShard(size_t total_frames, int num_shards) {
+  MCN_CHECK(num_shards > 0);
+  if (total_frames == 0) return 0;
+  const size_t per_shard = total_frames / static_cast<size_t>(num_shards);
+  return per_shard > 0 ? per_shard : 1;
+}
+
+ShardedNetworkReader::ShardedNetworkReader(ShardedStorage* storage,
+                                           const ShardedNetworkFiles& files,
+                                           size_t frames_per_shard)
+    : net::NetworkReader(files.Global()),
+      storage_(storage),
+      partition_(&storage->partition()),
+      facility_shard_(&files.facility_shard),
+      fetches_to_shard_(files.num_shards()) {
+  MCN_CHECK(storage != nullptr);
+  MCN_CHECK(files.num_shards() == storage->num_shards());
+  const int k = files.num_shards();
+  pools_.reserve(k);
+  readers_.reserve(k);
+  for (ShardId s = 0; s < static_cast<ShardId>(k); ++s) {
+    pools_.push_back(std::make_unique<storage::BufferPool>(
+        storage->disk(s), frames_per_shard));
+    readers_.push_back(std::make_unique<net::NetworkReader>(
+        files.shards[s], pools_.back().get()));
+  }
+}
+
+ShardId ShardedNetworkReader::Route(ShardId target) const {
+  MCN_DCHECK(target < readers_.size());
+  fetches_to_shard_[target].fetch_add(1, std::memory_order_relaxed);
+  if (home_shard_ != kInvalidShard && target != home_shard_) {
+    remote_fetches_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    local_fetches_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return target;
+}
+
+Status ShardedNetworkReader::GetAdjacency(
+    graph::NodeId node, std::vector<net::AdjEntry>* out) const {
+  if (node >= num_nodes()) {
+    return Status::InvalidArgument("GetAdjacency: node out of range");
+  }
+  const ShardId s = Route(partition_->of_node(node));
+  return readers_[s]->GetAdjacency(node, out);
+}
+
+Status ShardedNetworkReader::GetFacilities(
+    graph::EdgeKey edge, const net::FacRef& ref,
+    std::vector<net::FacilityOnEdge>* out) const {
+  if (ref.empty()) {
+    out->clear();
+    return Status::OK();  // no record to route (flat reader contract)
+  }
+  if (edge.u >= num_nodes()) {
+    return Status::InvalidArgument("GetFacilities: edge out of range");
+  }
+  const ShardId s = Route(partition_->of_edge(edge));
+  return readers_[s]->GetFacilities(edge, ref, out);
+}
+
+Result<graph::EdgeKey> ShardedNetworkReader::LocateFacilityEdge(
+    graph::FacilityId fac) const {
+  if (fac >= facility_shard_->size()) {
+    return Status::NotFound("facility " + std::to_string(fac) +
+                            " not in routing table");
+  }
+  const ShardId s = Route((*facility_shard_)[fac]);
+  return readers_[s]->LocateFacilityEdge(fac);
+}
+
+storage::BufferPool::Stats ShardedNetworkReader::PoolStats() const {
+  storage::BufferPool::Stats total{};
+  for (const auto& pool : pools_) {
+    const storage::BufferPool::Stats s = pool->stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+  }
+  return total;
+}
+
+void ShardedNetworkReader::ResetIoState() {
+  for (const auto& pool : pools_) {
+    pool->Clear();
+    pool->ResetStats();
+  }
+}
+
+ShardedNetworkReader::ShardIoStats ShardedNetworkReader::shard_io_stats()
+    const {
+  ShardIoStats stats;
+  stats.local_fetches = local_fetches_.load(std::memory_order_relaxed);
+  stats.remote_fetches = remote_fetches_.load(std::memory_order_relaxed);
+  stats.fetches_to_shard.reserve(fetches_to_shard_.size());
+  for (const auto& counter : fetches_to_shard_) {
+    stats.fetches_to_shard.push_back(
+        counter.load(std::memory_order_relaxed));
+  }
+  return stats;
+}
+
+void ShardedNetworkReader::ResetShardIoStats() {
+  local_fetches_.store(0, std::memory_order_relaxed);
+  remote_fetches_.store(0, std::memory_order_relaxed);
+  for (auto& counter : fetches_to_shard_) {
+    counter.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace mcn::shard

@@ -7,6 +7,38 @@
 
 namespace mcn::storage {
 
+DiskManager::Stats& DiskManager::Stats::operator+=(const Stats& o) {
+  page_reads += o.page_reads;
+  page_writes += o.page_writes;
+  // Merge the per-file breakdown by name, so same-kind files of different
+  // managers (e.g. every shard's "adjacency_file") fold into one row.
+  for (const FileReads& fr : o.per_file_reads) {
+    bool found = false;
+    for (FileReads& mine : per_file_reads) {
+      if (mine.name == fr.name) {
+        mine.reads += fr.reads;
+        found = true;
+        break;
+      }
+    }
+    if (!found) per_file_reads.push_back(fr);
+  }
+  return *this;
+}
+
+uint64_t DiskManager::Stats::ReadsForFile(const std::string& name) const {
+  for (const FileReads& fr : per_file_reads) {
+    if (fr.name == name) return fr.reads;
+  }
+  return 0;
+}
+
+DiskManager::Stats DiskManager::MergeStats(std::span<const Stats> parts) {
+  Stats total;
+  for (const Stats& s : parts) total += s;
+  return total;
+}
+
 DiskManager::DiskManager(DiskManager&& o) noexcept
     : files_(std::move(o.files_)),
       page_reads_(o.page_reads_.load(std::memory_order_relaxed)),
@@ -37,15 +69,29 @@ void DiskManager::EndConcurrentReads() {
   (void)prev;
 }
 
+DiskManager::Stats DiskManager::stats() const {
+  Stats s;
+  s.page_reads = page_reads_.load(std::memory_order_relaxed);
+  s.page_writes = page_writes_.load(std::memory_order_relaxed);
+  s.per_file_reads.reserve(files_.size());
+  for (const File& f : files_) {
+    s.per_file_reads.push_back(
+        Stats::FileReads{f.name, f.reads.load(std::memory_order_relaxed)});
+  }
+  return s;
+}
+
 void DiskManager::ResetStats() {
   CheckMutable();
   page_reads_.store(0, std::memory_order_relaxed);
   page_writes_.store(0, std::memory_order_relaxed);
+  for (File& f : files_) f.reads.store(0, std::memory_order_relaxed);
 }
 
 FileId DiskManager::CreateFile(std::string name) {
   CheckMutable();
-  files_.push_back(File{std::move(name), {}});
+  files_.emplace_back(std::move(name),
+                      std::vector<std::vector<std::byte>>{});
   return static_cast<FileId>(files_.size() - 1);
 }
 
@@ -75,12 +121,14 @@ Status DiskManager::ReadPage(PageId id, std::byte* out) {
   MCN_RETURN_IF_ERROR(CheckPage(id));
   std::memcpy(out, files_[id.file].pages[id.page].data(), kPageSize);
   page_reads_.fetch_add(1, std::memory_order_relaxed);
+  files_[id.file].reads.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Result<const std::byte*> DiskManager::ReadPageRef(PageId id) {
   MCN_RETURN_IF_ERROR(CheckPage(id));
   page_reads_.fetch_add(1, std::memory_order_relaxed);
+  files_[id.file].reads.fetch_add(1, std::memory_order_relaxed);
   return files_[id.file].pages[id.page].data();
 }
 

@@ -34,10 +34,30 @@ class DiskManager {
  public:
   /// A plain snapshot of the atomic counters (coherent enough for the
   /// experiments: readers are quiesced whenever totals are compared).
+  /// `per_file_reads` breaks the read total down by file, keyed by file
+  /// name so that snapshots from different managers (e.g. the shards of a
+  /// shard::ShardedStorage) merge into one figure-parity total: operator+=
+  /// sums same-named files and appends unseen ones.
   struct Stats {
+    /// One file's slice of the read counter.
+    struct FileReads {
+      std::string name;
+      uint64_t reads = 0;
+    };
+
     uint64_t page_reads = 0;
     uint64_t page_writes = 0;
+    std::vector<FileReads> per_file_reads;
+
+    Stats& operator+=(const Stats& o);
+    friend Stats operator+(Stats a, const Stats& b) { return a += b; }
+
+    /// `per_file_reads` entry for `name` (0 when the file never appeared).
+    uint64_t ReadsForFile(const std::string& name) const;
   };
+
+  /// Sums a span of snapshots (per-shard counters -> one aggregate).
+  static Stats MergeStats(std::span<const Stats> parts);
 
   DiskManager() = default;
 
@@ -83,12 +103,7 @@ class DiskManager {
   size_t num_files() const { return files_.size(); }
   Result<std::string> FileName(FileId file) const;
 
-  Stats stats() const {
-    Stats s;
-    s.page_reads = page_reads_.load(std::memory_order_relaxed);
-    s.page_writes = page_writes_.load(std::memory_order_relaxed);
-    return s;
-  }
+  Stats stats() const;
   void ResetStats();
 
   /// Registers/unregisters a concurrent-reader scope (e.g. one
@@ -107,6 +122,23 @@ class DiskManager {
   struct File {
     std::string name;
     std::vector<std::vector<std::byte>> pages;
+    /// Per-file slice of the read counter (relaxed, like the totals).
+    std::atomic<uint64_t> reads{0};
+
+    File(std::string n, std::vector<std::vector<std::byte>> p)
+        : name(std::move(n)), pages(std::move(p)) {}
+    // Movable so files_ can grow (build-time only; counters snapshotted).
+    File(File&& o) noexcept
+        : name(std::move(o.name)),
+          pages(std::move(o.pages)),
+          reads(o.reads.load(std::memory_order_relaxed)) {}
+    File& operator=(File&& o) noexcept {
+      name = std::move(o.name);
+      pages = std::move(o.pages);
+      reads.store(o.reads.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+      return *this;
+    }
   };
 
   Status CheckPage(PageId id) const;

@@ -32,6 +32,9 @@
 #include "mcn/exec/expansion_executor.h"
 #include "mcn/expand/engines.h"
 #include "mcn/expand/probe_scheduler.h"
+#include "mcn/shard/partition.h"
+#include "mcn/shard/sharded_builder.h"
+#include "mcn/shard/sharded_storage.h"
 #include "test_util.h"
 
 namespace mcn::algo {
@@ -314,6 +317,136 @@ TEST(DifferentialSweepTest, SerialAndParallelSchedulesAgree) {
               }
               break;
             }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Shard-count invariance (DESIGN.md §8): the same graph laid out as K in
+// {1, 2, 4} shard file sets must produce byte-identical result hashes and
+// identical logical/physical record-fetch counts, for all three query
+// processors at parallelism 1, 2 and 4, anchored against the flat (un-
+// sharded) executor. K only moves pages between disks — the K = 1 case
+// degenerates to the flat page layout exactly — so any divergence is a
+// routing bug, not a modeling choice.
+TEST(DifferentialSweepTest, ShardCountInvariance) {
+  const uint64_t base = test::AnnounceSeed("differential_sweep_test");
+  for (int d : {2, 4}) {
+    test::SmallConfig config;
+    config.num_costs = d;
+    config.buffer_pct = 0.5;
+    config.seed = test::DeriveSeed(base, 900 + static_cast<uint64_t>(d));
+    auto instance = test::MakeSmallInstance(config).value();
+    const size_t frames = instance->pool->capacity();
+
+    // The same graph + facilities laid out at every shard count.
+    const std::vector<int> shard_counts = {1, 2, 4};
+    std::vector<std::unique_ptr<shard::ShardedStorage>> storages;
+    std::vector<shard::ShardedNetworkFiles> sharded_files;
+    shard::GridTilePartitioner partitioner;
+    for (int k : shard_counts) {
+      auto part = partitioner.Build(instance->graph, k).value();
+      storages.push_back(
+          std::make_unique<shard::ShardedStorage>(std::move(part)));
+      sharded_files.push_back(
+          shard::BuildShardedNetwork(storages.back().get(), instance->graph,
+                                     instance->facilities)
+              .value());
+      // K = 1 reproduces the flat page layout exactly; K > 1 may pay a
+      // few pages of per-shard fragmentation (partial trailing pages)
+      // but never loses any.
+      if (k == 1) {
+        ASSERT_EQ(sharded_files.back().total_pages,
+                  instance->files.total_pages);
+      } else {
+        ASSERT_GE(sharded_files.back().total_pages,
+                  instance->files.total_pages);
+      }
+    }
+
+    Random rng(test::DeriveSeed(config.seed, 5));
+    for (int qi = 0; qi < 2; ++qi) {
+      graph::Location q = instance->RandomQueryLocation(rng);
+      const shard::ShardId home_of_q =
+          q.is_node()
+              ? storages.back()->partition().of_node(q.node())
+              : storages.back()->partition().of_edge(q.edge());
+      AggregateFn f = WeightedSum(
+          test::TestWeights(d, test::DeriveSeed(config.seed, 300 + qi)));
+      const int k = 2 + static_cast<int>(test::DeriveSeed(config.seed, qi) % 5);
+
+      for (int par : {1, 2, 4}) {
+        auto flat_exec =
+            exec::ExpansionExecutor::Create(&instance->disk, instance->files,
+                                            par, frames)
+                .value();
+        for (Algo algo : {Algo::kSkyline, Algo::kTopK, Algo::kIncremental}) {
+          SCOPED_TRACE("d=" + std::to_string(d) + " q=" + q.ToString() +
+                       " par=" + std::to_string(par) + " algo=" +
+                       AlgoName(algo) + " | " + ReseedHint());
+          flat_exec->ResetIoState();
+          auto flat_rig = flat_exec->NewQuery(q).value();
+          QueryOptions exec_opts;
+          exec_opts.parallelism = par;
+          exec_opts.scheduler = flat_rig.scheduler.get();
+          Capture flat = RunOne(algo, flat_rig.engine.get(), exec_opts,
+                                ProbePolicy::kRoundRobin, f, k);
+
+          for (size_t ki = 0; ki < shard_counts.size(); ++ki) {
+            auto sharded_exec = exec::ExpansionExecutor::Create(
+                                    storages[ki].get(), sharded_files[ki],
+                                    par, frames)
+                                    .value();
+            // Affinity: bind the slots to the query's home shard so the
+            // local/remote split is meaningful below.
+            sharded_exec->SetHomeShard(
+                ki == shard_counts.size() - 1
+                    ? home_of_q
+                    : (q.is_node()
+                           ? storages[ki]->partition().of_node(q.node())
+                           : storages[ki]->partition().of_edge(q.edge())));
+            auto rig = sharded_exec->NewQuery(q).value();
+            QueryOptions sharded_opts;
+            sharded_opts.parallelism = par;
+            sharded_opts.scheduler = rig.scheduler.get();
+            Capture got = RunOne(algo, rig.engine.get(), sharded_opts,
+                                 ProbePolicy::kRoundRobin, f, k);
+
+            // The determinism contract: K is invisible to results and to
+            // the record-level I/O accounting.
+            EXPECT_EQ(flat.hash, got.hash)
+                << "K=" << shard_counts[ki] << " diverged";
+            EXPECT_EQ(flat.fetch.adjacency_requests,
+                      got.fetch.adjacency_requests);
+            EXPECT_EQ(flat.fetch.facility_requests,
+                      got.fetch.facility_requests);
+            EXPECT_EQ(flat.fetch.adjacency_fetches,
+                      got.fetch.adjacency_fetches);
+            EXPECT_EQ(flat.fetch.facility_fetches,
+                      got.fetch.facility_fetches);
+            EXPECT_EQ(flat.ids, got.ids) << "K=" << shard_counts[ki];
+
+            // Remote accounting: a single shard has no boundaries to
+            // cross; with more shards every routed fetch lands somewhere
+            // and the per-shard page reads sum to the merged total.
+            const auto io = sharded_exec->ShardIoStats();
+            EXPECT_GE(io.total(), got.fetch.adjacency_fetches +
+                                      got.fetch.facility_fetches);
+            if (shard_counts[ki] == 1) {
+              EXPECT_EQ(io.remote_fetches, 0u);
+            }
+            uint64_t routed = 0;
+            for (uint64_t n : io.fetches_to_shard) routed += n;
+            EXPECT_EQ(routed, io.total());
+
+            const auto merged = storages[ki]->MergedStats();
+            uint64_t by_file = 0;
+            for (const auto& fr : merged.per_file_reads) {
+              by_file += fr.reads;
+            }
+            EXPECT_EQ(by_file, merged.page_reads);
           }
         }
       }

@@ -100,7 +100,10 @@ TEST_F(NetStoreTest, FacilityRecordsMatch) {
     ASSERT_TRUE(fixture_.reader->GetAdjacency(v, &entries).ok());
     for (const AdjEntry& e : entries) {
       if (e.fac.empty()) continue;
-      ASSERT_TRUE(fixture_.reader->GetFacilities(e.fac, &facs).ok());
+      ASSERT_TRUE(fixture_.reader
+                      ->GetFacilities(graph::EdgeKey(v, e.neighbor), e.fac,
+                                      &facs)
+                      .ok());
       graph::EdgeId edge = g.FindEdge(v, e.neighbor).value();
       auto expected = fixture_.facilities.OnEdge(edge);
       ASSERT_EQ(facs.size(), expected.size());

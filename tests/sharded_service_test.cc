@@ -1,0 +1,245 @@
+// exec::QueryService in sharded mode (DESIGN.md §8): shard-affine worker
+// groups over a shard::ShardedStorage, affinity-routed Submit, per-shard
+// service statistics, and the determinism contract — result hashes are
+// byte-identical to the flat service for every K in {1, 2, 4}, every
+// worker count, and every intra-query parallelism level. Runs under TSan
+// in CI (label: stress).
+#include <gtest/gtest.h>
+
+#include <future>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mcn/exec/affinity.h"
+#include "mcn/exec/query_service.h"
+#include "mcn/gen/workload.h"
+#include "test_util.h"
+
+namespace mcn::exec {
+namespace {
+
+gen::ExperimentConfig SmallServiceConfig(uint64_t seed) {
+  gen::ExperimentConfig config;
+  config.nodes = 400;
+  config.edges = 520;
+  config.facilities = 60;
+  config.clusters = 4;
+  config.num_costs = 3;
+  config.buffer_pct = 1.0;
+  config.seed = seed;
+  return config;
+}
+
+std::vector<QueryRequest> MixedWorkload(const gen::ShardedInstance& instance,
+                                        uint64_t seed, int count) {
+  Random rng(seed);
+  const int d = instance.graph.num_costs();
+  std::vector<QueryRequest> requests;
+  requests.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    QueryRequest request;
+    request.location = instance.RandomQueryLocation(rng);
+    switch (i % 3) {
+      case 0:
+        request.kind = QueryKind::kSkyline;
+        break;
+      case 1:
+        request.kind = QueryKind::kTopK;
+        request.k = 4;
+        break;
+      case 2:
+        request.kind = QueryKind::kIncrementalTopK;
+        request.k = 3;
+        break;
+    }
+    request.parallelism = i % 4 == 3 ? 2 : 0;  // mix in pooled turns
+    if (request.kind != QueryKind::kSkyline) {
+      request.weights = test::TestWeights(d, seed + i);
+    }
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+struct RunOutcome {
+  std::vector<uint64_t> hashes;
+  std::vector<uint64_t> misses;
+  std::vector<int> shards;  ///< executing group's home shard per query
+  ServiceStats stats;
+};
+
+RunOutcome RunThrough(QueryService& service,
+                      const std::vector<QueryRequest>& requests) {
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(requests.size());
+  for (const QueryRequest& request : requests) {
+    futures.push_back(service.Submit(QueryRequest(request)));
+  }
+  RunOutcome outcome;
+  for (auto& future : futures) {
+    QueryResult result = future.get();
+    EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+    outcome.hashes.push_back(result.result_hash);
+    outcome.misses.push_back(result.stats.buffer_misses);
+    outcome.shards.push_back(result.stats.shard);
+  }
+  outcome.stats = service.Snapshot();
+  return outcome;
+}
+
+class ShardedServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    seed_ = test::AnnounceSeed("sharded_service_test");
+  }
+  uint64_t seed_ = 0;
+};
+
+// Result hashes are invariant in K, worker count, and pinning; per-query
+// miss counts are invariant in worker count at fixed K.
+TEST_F(ShardedServiceTest, DeterministicAcrossShardAndWorkerCounts) {
+  const gen::ExperimentConfig config = SmallServiceConfig(seed_);
+  auto flat = gen::BuildInstance(config).value();
+
+  // Flat single-worker reference.
+  std::vector<QueryRequest> requests;
+  std::vector<uint64_t> reference_hashes;
+  {
+    auto k1 = gen::BuildShardedInstance(config, 1).value();
+    requests = MixedWorkload(*k1, test::DeriveSeed(seed_, 1), 24);
+    ServiceOptions opts;
+    opts.num_workers = 1;
+    opts.pool_frames_per_worker = flat->pool->capacity();
+    opts.per_query_parallelism = 2;
+    auto service =
+        QueryService::Create(&flat->disk, flat->files, opts).value();
+    reference_hashes = RunThrough(*service, requests).hashes;
+    service->Shutdown();
+  }
+
+  for (int k : {1, 2, 4}) {
+    auto instance = gen::BuildShardedInstance(config, k).value();
+    if (k == 1) ASSERT_EQ(instance->pool_frames, flat->pool->capacity());
+    std::optional<std::vector<uint64_t>> miss_baseline;
+    for (int workers : {1, 4}) {
+      for (bool pin : {false, true}) {
+        ServiceOptions opts;
+        opts.num_workers = workers;
+        opts.pool_frames_per_worker = instance->pool_frames;
+        opts.per_query_parallelism = 2;
+        opts.pin_workers = pin;
+        auto service = QueryService::Create(&instance->storage,
+                                            instance->files, opts)
+                           .value();
+        ASSERT_TRUE(service->sharded());
+        EXPECT_EQ(service->num_groups(), std::min(k, workers));
+        RunOutcome outcome = RunThrough(*service, requests);
+        service->Shutdown();
+
+        for (size_t i = 0; i < requests.size(); ++i) {
+          EXPECT_EQ(outcome.hashes[i], reference_hashes[i])
+              << "K=" << k << " workers=" << workers << " query " << i;
+        }
+        // Same-K miss counts must not depend on worker count or pinning
+        // (each worker's pool set has identical capacity).
+        if (!miss_baseline.has_value()) {
+          miss_baseline = outcome.misses;
+        } else {
+          EXPECT_EQ(*miss_baseline, outcome.misses)
+              << "K=" << k << " workers=" << workers << " pin=" << pin;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ShardedServiceTest, AffinityRoutingAndPerShardStats) {
+  const gen::ExperimentConfig config = SmallServiceConfig(seed_);
+  const int k = 4;
+  auto instance = gen::BuildShardedInstance(config, k).value();
+  const auto requests =
+      MixedWorkload(*instance, test::DeriveSeed(seed_, 2), 32);
+
+  ServiceOptions opts;
+  opts.num_workers = 4;  // one worker per shard group
+  opts.pool_frames_per_worker = instance->pool_frames;
+  opts.per_query_parallelism = 2;
+  auto service =
+      QueryService::Create(&instance->storage, instance->files, opts)
+          .value();
+  ASSERT_EQ(service->num_groups(), k);
+  RunOutcome outcome = RunThrough(*service, requests);
+  service->Shutdown();
+
+  // Every query executed on the group owning its location.
+  const shard::Partition& part = instance->storage.partition();
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const graph::Location& loc = requests[i].location;
+    const shard::ShardId owner = loc.is_node() ? part.of_node(loc.node())
+                                               : part.of_edge(loc.edge());
+    EXPECT_EQ(outcome.shards[i], static_cast<int>(owner)) << "query " << i;
+  }
+
+  // Per-shard rows: one worker each, completions sum to the total, and
+  // expansions escaping their tile show up as remote fetches.
+  ASSERT_EQ(outcome.stats.per_shard.size(), static_cast<size_t>(k));
+  uint64_t completed = 0, local = 0, remote = 0;
+  for (const auto& row : outcome.stats.per_shard) {
+    EXPECT_EQ(row.workers, 1);
+    completed += row.completed;
+    local += row.local_fetches;
+    remote += row.remote_fetches;
+    EXPECT_GE(row.RemoteRatio(), 0.0);
+    EXPECT_LE(row.RemoteRatio(), 1.0);
+  }
+  EXPECT_EQ(completed, outcome.stats.completed);
+  EXPECT_EQ(completed, requests.size());
+  EXPECT_GT(local, 0u);
+  EXPECT_GT(remote, 0u) << "d-expansions over 4 tiles must cross a cut";
+}
+
+TEST_F(ShardedServiceTest, SingleShardHasNoRemoteFetches) {
+  const gen::ExperimentConfig config = SmallServiceConfig(seed_);
+  auto instance = gen::BuildShardedInstance(config, 1).value();
+  ServiceOptions opts;
+  opts.num_workers = 2;
+  opts.pool_frames_per_worker = instance->pool_frames;
+  auto service =
+      QueryService::Create(&instance->storage, instance->files, opts)
+          .value();
+  RunOutcome outcome = RunThrough(
+      *service, MixedWorkload(*instance, test::DeriveSeed(seed_, 3), 12));
+  service->Shutdown();
+  ASSERT_EQ(outcome.stats.per_shard.size(), 1u);
+  EXPECT_EQ(outcome.stats.per_shard[0].remote_fetches, 0u);
+  EXPECT_GT(outcome.stats.per_shard[0].local_fetches, 0u);
+}
+
+TEST_F(ShardedServiceTest, DrainAndShutdownAcrossGroups) {
+  const gen::ExperimentConfig config = SmallServiceConfig(seed_);
+  auto instance = gen::BuildShardedInstance(config, 2).value();
+  ServiceOptions opts;
+  opts.num_workers = 4;
+  opts.pool_frames_per_worker = instance->pool_frames;
+  auto service =
+      QueryService::Create(&instance->storage, instance->files, opts)
+          .value();
+  const auto requests =
+      MixedWorkload(*instance, test::DeriveSeed(seed_, 4), 16);
+  std::vector<std::future<QueryResult>> futures;
+  for (const QueryRequest& request : requests) {
+    futures.push_back(service->Submit(QueryRequest(request)));
+  }
+  service->Drain();
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.get().status.ok());
+  }
+  service->Shutdown();
+  // Submitting after shutdown resolves immediately with an error.
+  auto rejected = service->Submit(QueryRequest(requests[0]));
+  EXPECT_FALSE(rejected.get().status.ok());
+}
+
+}  // namespace
+}  // namespace mcn::exec

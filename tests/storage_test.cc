@@ -138,6 +138,44 @@ TEST(SlottedPageTest, MaxRecordFitsExactly) {
   EXPECT_EQ(reader.Record(0).size(), max.size());
 }
 
+TEST(DiskManagerTest, StatsMergeWithPerFileBreakdown) {
+  // Two managers playing the roles of two shards: same file names, so the
+  // per-file rows fold by name when merged.
+  DiskManager a, b;
+  FileId a_adj = a.CreateFile("adjacency_file");
+  FileId a_fac = a.CreateFile("facility_file");
+  FileId b_adj = b.CreateFile("adjacency_file");
+  std::vector<std::byte> buf(kPageSize, std::byte{0});
+  ASSERT_TRUE(a.AllocatePage(a_adj).ok());
+  ASSERT_TRUE(a.AllocatePage(a_fac).ok());
+  ASSERT_TRUE(b.AllocatePage(b_adj).ok());
+
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(a.ReadPage({a_adj, 0}, buf.data()).ok());
+  ASSERT_TRUE(a.ReadPageRef({a_fac, 0}).ok());
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(b.ReadPageRef({b_adj, 0}).ok());
+
+  const DiskManager::Stats sa = a.stats();
+  EXPECT_EQ(sa.page_reads, 4u);
+  EXPECT_EQ(sa.ReadsForFile("adjacency_file"), 3u);
+  EXPECT_EQ(sa.ReadsForFile("facility_file"), 1u);
+  EXPECT_EQ(sa.ReadsForFile("no_such_file"), 0u);
+
+  DiskManager::Stats merged = sa;
+  merged += b.stats();
+  EXPECT_EQ(merged.page_reads, 6u);
+  EXPECT_EQ(merged.ReadsForFile("adjacency_file"), 5u);
+  EXPECT_EQ(merged.ReadsForFile("facility_file"), 1u);
+
+  const std::vector<DiskManager::Stats> parts = {a.stats(), b.stats()};
+  const DiskManager::Stats merged2 = DiskManager::MergeStats(parts);
+  EXPECT_EQ(merged2.page_reads, merged.page_reads);
+  EXPECT_EQ(merged2.ReadsForFile("adjacency_file"), 5u);
+
+  a.ResetStats();
+  EXPECT_EQ(a.stats().page_reads, 0u);
+  EXPECT_EQ(a.stats().ReadsForFile("adjacency_file"), 0u);
+}
+
 TEST(SlottedPageTest, ManySmallRecords) {
   std::vector<std::byte> page(kPageSize, std::byte{0});
   SlottedPageBuilder builder(page.data());

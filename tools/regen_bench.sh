@@ -7,8 +7,11 @@
 #
 #   cmake --build build -j --target bench_fig08a_skyline_facilities \
 #       bench_fig10a_topk_facilities bench_service_throughput \
-#       bench_parallel_expansion
+#       bench_parallel_expansion bench_shard_scaling
 #   tools/regen_bench.sh [output=BENCH_current.json]
+#
+# Diff against the tracked baseline with:
+#   tools/bench_diff.py BENCH_baseline.json BENCH_current.json
 #
 # Takes a few minutes at the default MCN_BENCH_SCALE=0.15.
 set -euo pipefail
@@ -23,6 +26,7 @@ benches=(
   bench_fig10a_topk_facilities
   bench_service_throughput
   bench_parallel_expansion
+  bench_shard_scaling
 )
 
 for bench in "${benches[@]}"; do
