@@ -1,56 +1,56 @@
-// query_server: the concurrent serving layer end to end (DESIGN.md §6, §8).
+// query_server: the preference-query service end to end (DESIGN.md §6,
+// §8, §9) — now an actual TCP server speaking the api/wire protocol.
 //
-// Builds a mid-sized instance, stands up an exec::QueryService with four
-// workers, and drives a mixed workload — skyline, top-k and incremental
-// top-k requests with per-request weights — through the future-based API.
-// Prints a few representative results and the service-level statistics
-// (QPS, latency percentiles, I/O totals).
+// Builds a mid-sized instance, stands up an exec::QueryService with
+// shard-affine worker groups, and binds an api::Server on 127.0.0.1. Two
+// modes:
+//
+//   demo (default)   an in-process api::Client connects through the real
+//                    socket and drives a mixed workload — skyline, top-k
+//                    and incremental requests with per-request weights, a
+//                    constrained (cost-capped) skyline, and a streamed
+//                    incremental session pulled batch by batch. Prints a
+//                    few representative results plus the service stats
+//                    and per-shard table, then exits.
+//   --serve          stays in the foreground serving the wire protocol
+//                    until stdin closes (pipe or Ctrl-D) — point any
+//                    api::Client at the printed port.
 //
 // Flags:
+//   --port=P         TCP port (default 0 = ephemeral; printed on start).
+//   --serve          foreground server mode (see above).
 //   --shards=K       serve from a K-way sharded layout (grid-tile
-//                    partition, shard-affine worker groups, affinity-
-//                    routed Submit). Default 1 shard — but still through
-//                    the sharded stack, whose K=1 case degenerates to the
-//                    flat layout. A per-shard stats table (completions,
-//                    misses, local/remote fetches) prints on exit.
+//                    partition, affinity-routed execution). Default 1.
+//   --workers=N      service workers (default 4).
 //   --pin-workers    best-effort CPU pinning of each shard group's
 //                    threads (ignored where unsupported).
-//   --workers=N      service workers (default 4).
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <future>
 #include <string>
 #include <vector>
 
+#include "mcn/api/client.h"
+#include "mcn/api/server.h"
 #include "mcn/common/random.h"
 #include "mcn/exec/query_service.h"
 #include "mcn/gen/workload.h"
 
 using mcn::Random;
-using mcn::exec::QueryKind;
-using mcn::exec::QueryRequest;
-using mcn::exec::QueryResult;
+using mcn::api::QueryKind;
+using mcn::api::QueryKindName;
+using mcn::api::QueryResponse;
+using mcn::api::QuerySpec;
 using mcn::exec::QueryService;
 using mcn::exec::ServiceOptions;
 using mcn::exec::ServiceStats;
 
 namespace {
 
-const char* KindName(QueryKind kind) {
-  switch (kind) {
-    case QueryKind::kSkyline:
-      return "skyline";
-    case QueryKind::kTopK:
-      return "top-k";
-    case QueryKind::kIncrementalTopK:
-      return "incremental";
-  }
-  return "?";
-}
-
 struct Flags {
+  int port = 0;
+  bool serve = false;
   int shards = 1;
   int workers = 4;
   bool pin_workers = false;
@@ -59,7 +59,12 @@ struct Flags {
 bool ParseFlags(int argc, char** argv, Flags* flags) {
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strncmp(arg, "--shards=", 9) == 0) {
+    if (std::strncmp(arg, "--port=", 7) == 0) {
+      flags->port = std::atoi(arg + 7);
+      if (flags->port < 0 || flags->port > 65535) return false;
+    } else if (std::strcmp(arg, "--serve") == 0) {
+      flags->serve = true;
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
       flags->shards = std::atoi(arg + 9);
       if (flags->shards < 1) return false;
     } else if (std::strncmp(arg, "--workers=", 10) == 0) {
@@ -74,13 +79,155 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
   return true;
 }
 
+void PrintResponse(int i, const QueryResponse& r) {
+  std::printf("query %2d  %-11s rows=%-3zu  server exec=%6.2fms  "
+              "misses=%" PRIu64 "\n",
+              i, QueryKindName(r.kind), r.num_rows(), r.exec_seconds * 1e3,
+              r.buffer_misses);
+  if (r.kind == QueryKind::kSkyline) {
+    for (size_t j = 0; j < r.skyline.size() && j < 3; ++j) {
+      std::printf("          facility %u, costs %s\n", r.skyline[j].facility,
+                  r.skyline[j].costs.ToString().c_str());
+    }
+  } else {
+    for (size_t j = 0; j < r.topk.size() && j < 3; ++j) {
+      std::printf("          facility %u, score %.3f\n", r.topk[j].facility,
+                  r.topk[j].score);
+    }
+  }
+}
+
+int RunDemo(QueryService& service, int port,
+            const mcn::gen::ShardedInstance& instance) {
+  auto client = mcn::api::Client::Connect("127.0.0.1", port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "client connect failed: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("client connected over the wire protocol (v%d)\n\n",
+              mcn::api::kWireVersion);
+
+  // A mixed workload: every third query is a skyline, the rest are
+  // (incremental) top-k with random preference weights, as a fleet of
+  // heterogeneous clients would issue them — all through the socket.
+  constexpr int kRequests = 60;
+  Random rng(42);
+  const int d = instance.graph.num_costs();
+  for (int i = 0; i < kRequests; ++i) {
+    QuerySpec spec;
+    const auto loc = instance.RandomQueryLocation(rng);
+    std::vector<double> weights(d);
+    for (double& w : weights) w = rng.NextDouble();
+    switch (i % 3) {
+      case 0:
+        spec = mcn::api::SkylineSpec(loc);
+        break;
+      case 1:
+        spec = mcn::api::TopKSpec(loc, 5, std::move(weights));
+        break;
+      case 2:
+        spec = mcn::api::IncrementalSpec(loc, 3, std::move(weights));
+        break;
+    }
+    auto response = (*client)->Execute(spec);
+    if (!response.ok() || !response.value().status.ok()) {
+      std::fprintf(stderr, "query %d failed: %s\n", i,
+                   (response.ok() ? response.value().status : response.status())
+                       .ToString()
+                       .c_str());
+      return 1;
+    }
+    if (i < 6) PrintResponse(i, response.value());
+  }
+
+  // A constrained skyline: cost caps ride the spec and are applied
+  // server-side as a post-dominance filter.
+  {
+    QuerySpec spec = mcn::api::SkylineSpec(instance.RandomQueryLocation(rng));
+    spec.preference.constraints.cost_caps.assign(d, 1e4);
+    auto response = (*client)->Execute(spec);
+    if (!response.ok() || !response.value().status.ok()) {
+      std::fprintf(stderr, "constrained skyline failed\n");
+      return 1;
+    }
+    std::printf("\nconstrained skyline (caps 1e4 on every dimension): "
+                "%zu rows\n",
+                response.value().num_rows());
+  }
+
+  // A streamed incremental session: the engine stays pinned server-side;
+  // each Next pulls a further ranked batch over the same expansion state.
+  {
+    std::vector<double> weights(d, 1.0);
+    QuerySpec spec = mcn::api::IncrementalSpec(
+        instance.RandomQueryLocation(rng), 4, weights);
+    auto session = (*client)->OpenSession(spec);
+    if (!session.ok()) {
+      std::fprintf(stderr, "open session failed: %s\n",
+                   session.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\nstreaming session %" PRIu64 " (batches of 4):\n",
+                *session);
+    int rank = 1;
+    for (int batch = 0; batch < 3; ++batch) {
+      auto response = (*client)->Next(*session, 4);
+      if (!response.ok() || !response.value().status.ok()) {
+        std::fprintf(stderr, "session next failed\n");
+        return 1;
+      }
+      for (const auto& row : response.value().topk) {
+        std::printf("  #%-2d facility %u, score %.3f\n", rank++,
+                    row.facility, row.score);
+      }
+      if (response.value().exhausted) {
+        std::printf("  (component exhausted)\n");
+        break;
+      }
+    }
+    (void)(*client)->CloseSession(*session);
+  }
+
+  ServiceStats stats = service.Snapshot();
+  std::printf(
+      "\nservice stats: %llu completed, %llu failed, %llu session batches\n"
+      "  latency p50/p95/p99 = %.2f / %.2f / %.2f ms\n"
+      "  throughput          = %.1f qps (wall %.2fs)\n"
+      "  buffer misses       = %llu (%.1f per query)\n",
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.failed),
+      static_cast<unsigned long long>(stats.session_batches),
+      stats.latency_p50_ms, stats.latency_p95_ms, stats.latency_p99_ms,
+      stats.qps, stats.wall_seconds,
+      static_cast<unsigned long long>(stats.buffer_misses),
+      static_cast<double>(stats.buffer_misses) /
+          static_cast<double>(stats.completed ? stats.completed : 1));
+
+  // Per-shard table: who executed what, and how often expansions escaped
+  // their home tile (the §8 remote-fetch accounting).
+  std::printf(
+      "\n  shard | workers | completed | misses   | local    | remote   | "
+      "remote%%\n"
+      "  ------+---------+-----------+----------+----------+----------+--------\n");
+  for (const auto& row : stats.per_shard) {
+    std::printf("  %5d | %7d | %9" PRIu64 " | %8" PRIu64 " | %8" PRIu64
+                " | %8" PRIu64 " | %6.1f%%\n",
+                row.shard, row.workers, row.completed, row.buffer_misses,
+                row.local_fetches, row.remote_fetches,
+                100.0 * row.RemoteRatio());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags flags;
   if (!ParseFlags(argc, argv, &flags)) {
     std::fprintf(stderr,
-                 "usage: %s [--shards=K] [--workers=N] [--pin-workers]\n",
+                 "usage: %s [--port=P] [--serve] [--shards=K] [--workers=N] "
+                 "[--pin-workers]\n",
                  argv[0]);
     return 2;
   }
@@ -115,103 +262,37 @@ int main(int argc, char** argv) {
                  service.status().ToString().c_str());
     return 1;
   }
+
+  mcn::api::Server::Options server_options;
+  server_options.port = flags.port;
+  auto server = mcn::api::Server::Start((*service).get(), server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
   std::printf(
-      "service up: %d workers in %d shard-affine group(s), %zu-frame pool "
-      "budget each%s\n\n",
-      (*service)->num_workers(), (*service)->num_groups(),
+      "serving the wire protocol on 127.0.0.1:%d — %d workers in %d "
+      "shard-affine group(s), %zu-frame pool budget each%s\n",
+      (*server)->port(), (*service)->num_workers(), (*service)->num_groups(),
       options.pool_frames_per_worker,
       flags.pin_workers ? ", workers pinned (best effort)" : "");
 
-  // A mixed workload: every third query is a skyline, the rest are
-  // (incremental) top-k with random preference weights, as a fleet of
-  // heterogeneous clients would issue them.
-  constexpr int kRequests = 60;
-  Random rng(42);
-  int d = (*instance)->graph.num_costs();
-  std::vector<std::future<QueryResult>> futures;
-  futures.reserve(kRequests);
-  for (int i = 0; i < kRequests; ++i) {
-    QueryRequest request;
-    request.location = (*instance)->RandomQueryLocation(rng);
-    request.engine = mcn::expand::EngineKind::kCea;
-    switch (i % 3) {
-      case 0:
-        request.kind = QueryKind::kSkyline;
-        break;
-      case 1:
-        request.kind = QueryKind::kTopK;
-        request.k = 5;
-        break;
-      case 2:
-        request.kind = QueryKind::kIncrementalTopK;
-        request.k = 3;
-        break;
+  int rc = 0;
+  if (flags.serve) {
+    std::printf("--serve: accepting connections until stdin closes...\n");
+    std::fflush(stdout);
+    // Block on stdin; EOF (pipe closed, Ctrl-D) shuts the server down.
+    int c;
+    while ((c = std::getchar()) != EOF) {
     }
-    if (request.kind != QueryKind::kSkyline) {
-      request.weights.resize(d);
-      for (double& w : request.weights) w = rng.NextDouble();
-    }
-    futures.push_back((*service)->Submit(std::move(request)));
+    std::printf("stdin closed: shutting down (%" PRIu64 " connections "
+                "served)\n",
+                (*server)->connections_accepted());
+  } else {
+    rc = RunDemo(**service, (*server)->port(), **instance);
   }
-
-  for (int i = 0; i < kRequests; ++i) {
-    QueryResult result = futures[i].get();
-    if (!result.status.ok()) {
-      std::fprintf(stderr, "query %d failed: %s\n", i,
-                   result.status.ToString().c_str());
-      return 1;
-    }
-    if (i >= 6) continue;  // print only the first few in full
-    size_t rows = result.kind == QueryKind::kSkyline
-                      ? result.skyline.size()
-                      : result.topk.size();
-    std::printf(
-        "query %2d  %-11s worker=%d shard=%d  rows=%-3zu  exec=%6.2fms  "
-        "misses=%" PRIu64 "\n",
-        i, KindName(result.kind), result.stats.worker, result.stats.shard,
-        rows, result.stats.exec_seconds * 1e3, result.stats.buffer_misses);
-    if (result.kind == QueryKind::kSkyline) {
-      for (size_t r = 0; r < result.skyline.size() && r < 3; ++r) {
-        const auto& e = result.skyline[r];
-        std::printf("          facility %u, costs %s\n", e.facility,
-                    e.costs.ToString().c_str());
-      }
-    } else {
-      for (size_t r = 0; r < result.topk.size() && r < 3; ++r) {
-        const auto& e = result.topk[r];
-        std::printf("          facility %u, score %.3f\n", e.facility,
-                    e.score);
-      }
-    }
-  }
-
-  ServiceStats stats = (*service)->Snapshot();
-  std::printf(
-      "\nservice stats: %llu completed, %llu failed\n"
-      "  latency p50/p95/p99 = %.2f / %.2f / %.2f ms\n"
-      "  throughput          = %.1f qps (wall %.2fs)\n"
-      "  buffer misses       = %llu (%.1f per query)\n",
-      static_cast<unsigned long long>(stats.completed),
-      static_cast<unsigned long long>(stats.failed), stats.latency_p50_ms,
-      stats.latency_p95_ms, stats.latency_p99_ms, stats.qps,
-      stats.wall_seconds,
-      static_cast<unsigned long long>(stats.buffer_misses),
-      static_cast<double>(stats.buffer_misses) /
-          static_cast<double>(stats.completed ? stats.completed : 1));
-
-  // Per-shard table: who executed what, and how often expansions escaped
-  // their home tile (the §8 remote-fetch accounting).
-  std::printf(
-      "\n  shard | workers | completed | misses   | local    | remote   | "
-      "remote%%\n"
-      "  ------+---------+-----------+----------+----------+----------+--------\n");
-  for (const auto& row : stats.per_shard) {
-    std::printf("  %5d | %7d | %9" PRIu64 " | %8" PRIu64 " | %8" PRIu64
-                " | %8" PRIu64 " | %6.1f%%\n",
-                row.shard, row.workers, row.completed, row.buffer_misses,
-                row.local_fetches, row.remote_fetches,
-                100.0 * row.RemoteRatio());
-  }
+  (*server)->Stop();
   (*service)->Shutdown();
-  return 0;
+  return rc;
 }

@@ -1,9 +1,12 @@
 // Quickstart: build a small multi-cost network by hand, store it in the
-// paged storage scheme, and run the three preference queries of the paper:
-// progressive skyline, top-k, and incremental top-k.
+// paged storage scheme, and run the three preference queries of the paper
+// two ways — first against the raw query processors, then through the
+// unified api::QuerySpec surface of the serving layer (DESIGN.md §9),
+// including a constrained spec and a streaming incremental session.
 //
 //   ./examples/quickstart
 #include <cstdio>
+#include <limits>
 
 #include "mcn/mcn.h"
 
@@ -49,7 +52,9 @@ int main() {
   graph::Location q = graph::Location::OnEdge(graph::EdgeKey(0, 1), 0.2);
   std::printf("query at %s\n\n", q.ToString().c_str());
 
-  // --- Progressive skyline (CEA engine) --------------------------------
+  // --- Part 1: the raw query processors -------------------------------
+
+  // Progressive skyline (CEA engine).
   {
     auto engine = expand::CeaEngine::Create(&reader, q).value();
     algo::SkylineQuery skyline(engine.get());
@@ -65,7 +70,7 @@ int main() {
                 static_cast<unsigned long long>(pool.stats().misses));
   }
 
-  // --- Top-2 with a 70/30 minutes/dollars trade-off ---------------------
+  // Top-2 with a 70/30 minutes/dollars trade-off.
   {
     auto engine = expand::CeaEngine::Create(&reader, q).value();
     algo::TopKOptions opts;
@@ -80,19 +85,69 @@ int main() {
     std::printf("\n");
   }
 
-  // --- Incremental top-k: ask for one more result at a time -------------
+  // --- Part 2: the unified API (api::QuerySpec -> QueryService) --------
+  //
+  // One value type expresses all three query kinds plus preference
+  // constraints; the same spec also travels over the api/wire protocol
+  // (see examples/query_server.cpp for the TCP side).
+  exec::ServiceOptions options;
+  options.num_workers = 2;
+  options.pool_frames_per_worker = 8;
+  auto service = exec::QueryService::Create(&disk, files, options).value();
+
+  // The full skyline, as a spec.
   {
-    auto engine = expand::CeaEngine::Create(&reader, q).value();
-    algo::IncrementalTopK inc(engine.get(),
-                              algo::WeightedSum({0.5, 0.5}));
-    std::printf("incremental ranking (50/50 weights):\n");
-    int rank = 1;
-    for (;;) {
-      auto next = inc.NextBest().value();
-      if (!next.has_value()) break;
-      std::printf("  #%d facility %u  score=%.2f\n", rank++, next->facility,
-                  next->score);
+    exec::QueryResult result =
+        service->Submit(api::SkylineSpec(q)).get();
+    std::printf("skyline via QuerySpec: %zu facilities, hash %016llx\n",
+                result.skyline.size(),
+                static_cast<unsigned long long>(result.result_hash));
+  }
+
+  // The same skyline under a budget: dollars capped at 1.50. Constraints
+  // are applied server-side as a post-dominance filter.
+  {
+    api::QuerySpec spec = api::SkylineSpec(q);
+    spec.preference.constraints.cost_caps = {
+        std::numeric_limits<double>::infinity(), 1.5};
+    exec::QueryResult result = service->Submit(spec).get();
+    std::printf("skyline with dollars <= 1.50: %zu facilities\n",
+                result.skyline.size());
+    for (const auto& e : result.skyline) {
+      std::printf("  facility %u  costs=%s\n", e.facility,
+                  e.costs.ToString().c_str());
     }
   }
+
+  // Malformed specs come back as Status errors, never crashes.
+  {
+    exec::QueryResult bad =
+        service->Submit(api::TopKSpec(q, 2, {0.7})).get();
+    std::printf("malformed spec -> %s\n\n", bad.status.ToString().c_str());
+  }
+
+  // A streaming incremental session: one pinned engine server-side, one
+  // more ranked batch per Next — ask for as many as you end up needing.
+  {
+    exec::SessionId session =
+        service->OpenSession(api::IncrementalSpec(q, 1, {0.5, 0.5}))
+            .value();
+    std::printf("incremental session (50/50 weights), batches of 1:\n");
+    int rank = 1;
+    for (;;) {
+      exec::QueryResult batch = service->SessionNext(session, 1).get();
+      if (!batch.status.ok()) {
+        std::printf("  session ended: %s\n", batch.status.ToString().c_str());
+        break;
+      }
+      for (const auto& row : batch.topk) {
+        std::printf("  #%d facility %u  score=%.2f\n", rank++, row.facility,
+                    row.score);
+      }
+      if (batch.exhausted) break;
+    }
+    (void)service->CloseSession(session);
+  }
+  service->Shutdown();
   return 0;
 }

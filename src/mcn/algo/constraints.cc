@@ -1,0 +1,132 @@
+#include "mcn/algo/constraints.h"
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace mcn::algo {
+
+namespace {
+
+/// True when every capped, known component of `costs` is within bounds.
+/// `known_mask` bit j marks component j as computed; top-k rows pass the
+/// all-ones mask (their vectors are always complete).
+bool WithinCaps(const std::vector<double>& caps,
+                const graph::CostVector& costs, uint32_t known_mask) {
+  const int d = costs.dim();
+  for (int j = 0; j < d && j < static_cast<int>(caps.size()); ++j) {
+    if ((known_mask >> j) & 1u) {
+      if (costs[j] > caps[j]) return false;
+    }
+  }
+  return true;
+}
+
+/// (1+epsilon)-dominance on the components known in both rows: `a` must be
+/// within the relaxed bound on every comparable component and strictly
+/// comparable on at least one (rows with disjoint known sets never thin
+/// each other).
+bool EpsilonDominates(double epsilon, const SkylineEntry& a,
+                      const SkylineEntry& b) {
+  const uint32_t both = a.known_mask & b.known_mask;
+  if (both == 0) return false;
+  const int d = a.costs.dim();
+  for (int j = 0; j < d; ++j) {
+    if (!((both >> j) & 1u)) continue;
+    if (a.costs[j] > (1.0 + epsilon) * b.costs[j]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status ValidateWeights(const std::vector<double>& weights, int num_costs) {
+  if (static_cast<int>(weights.size()) != num_costs) {
+    return Status::InvalidArgument(
+        "preference weights: expected " + std::to_string(num_costs) +
+        " coefficients, got " + std::to_string(weights.size()));
+  }
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (!std::isfinite(weights[i]) || weights[i] < 0.0) {
+      return Status::InvalidArgument(
+          "preference weights: coefficient " + std::to_string(i) +
+          " must be finite and >= 0");
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateConstraints(const PreferenceConstraints& constraints,
+                           int num_costs, bool skyline) {
+  if (!std::isfinite(constraints.epsilon) || constraints.epsilon < 0.0) {
+    return Status::InvalidArgument(
+        "constraints: epsilon must be finite and >= 0");
+  }
+  if (constraints.epsilon > 0.0 && !skyline) {
+    return Status::InvalidArgument(
+        "constraints: epsilon thinning applies to skyline queries only");
+  }
+  if (!constraints.cost_caps.empty() &&
+      static_cast<int>(constraints.cost_caps.size()) != num_costs) {
+    return Status::InvalidArgument(
+        "constraints: expected " + std::to_string(num_costs) +
+        " cost caps, got " + std::to_string(constraints.cost_caps.size()));
+  }
+  for (size_t j = 0; j < constraints.cost_caps.size(); ++j) {
+    // +inf is the unbounded dimension; NaN and negative caps are malformed.
+    if (std::isnan(constraints.cost_caps[j]) ||
+        constraints.cost_caps[j] < 0.0) {
+      return Status::InvalidArgument(
+          "constraints: cost cap " + std::to_string(j) +
+          " must be >= 0 (+inf = unbounded)");
+    }
+  }
+  return Status::OK();
+}
+
+void ApplyConstraints(const PreferenceConstraints& constraints,
+                      std::vector<SkylineEntry>* rows) {
+  if (constraints.Unconstrained()) return;
+  std::vector<SkylineEntry> kept;
+  kept.reserve(rows->size());
+  for (SkylineEntry& row : *rows) {
+    if (!constraints.cost_caps.empty() &&
+        !WithinCaps(constraints.cost_caps, row.costs, row.known_mask)) {
+      continue;
+    }
+    if (constraints.epsilon > 0.0) {
+      bool thinned = false;
+      for (const SkylineEntry& prior : kept) {
+        if (EpsilonDominates(constraints.epsilon, prior, row)) {
+          thinned = true;
+          break;
+        }
+      }
+      if (thinned) continue;
+    }
+    kept.push_back(std::move(row));
+  }
+  *rows = std::move(kept);
+}
+
+void ApplyConstraints(const PreferenceConstraints& constraints,
+                      std::vector<TopKEntry>* rows) {
+  if (constraints.Unconstrained()) return;
+  if (constraints.cost_caps.empty()) return;
+  std::vector<TopKEntry> kept;
+  kept.reserve(rows->size());
+  for (TopKEntry& row : *rows) {
+    if (WithinCaps(constraints.cost_caps, row.costs, ~0u)) {
+      kept.push_back(std::move(row));
+    }
+  }
+  *rows = std::move(kept);
+}
+
+bool PassesCaps(const PreferenceConstraints& constraints,
+                const TopKEntry& row) {
+  return constraints.cost_caps.empty() ||
+         WithinCaps(constraints.cost_caps, row.costs, ~0u);
+}
+
+}  // namespace mcn::algo

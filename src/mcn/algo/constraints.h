@@ -1,0 +1,73 @@
+// Preference constraints (api_redesign): a post-dominance filter applied to
+// finished query results, widening the preference surface beyond "skyline or
+// weighted sum" (cf. ParetoPrep's per-dimension bounds and linear-preference
+// route serving in PAPERS.md).
+//
+// Two constraint kinds compose:
+//  * per-dimension cost caps — drop a row whose *known* cost in dimension j
+//    exceeds cost_caps[j] (+inf = unbounded). Applies to every query kind.
+//  * epsilon thinning (skyline only) — a row is dropped when an
+//    earlier-reported kept row (1+epsilon)-dominates it on every component
+//    known in both rows. The paper's exact skyline is the epsilon = 0 case.
+//
+// Contract: an unconstrained spec (empty caps, epsilon == 0) is a guaranteed
+// no-op — the filtered result is the identical vector, so result hashes stay
+// byte-identical to pre-API-redesign runs (the determinism anchor of every
+// parity gate).
+#ifndef MCN_ALGO_CONSTRAINTS_H_
+#define MCN_ALGO_CONSTRAINTS_H_
+
+#include <vector>
+
+#include "mcn/algo/common.h"
+#include "mcn/common/status.h"
+
+namespace mcn::algo {
+
+/// Value type carried by api::QuerySpec (and over the wire). Default
+/// constructed = unconstrained.
+struct PreferenceConstraints {
+  /// Skyline-only relaxation factor, >= 0. 0 disables thinning.
+  double epsilon = 0.0;
+  /// Per-dimension upper bounds; empty = unconstrained, otherwise the size
+  /// must equal the network's d (+inf entries are unbounded dimensions).
+  std::vector<double> cost_caps;
+
+  bool Unconstrained() const { return epsilon == 0.0 && cost_caps.empty(); }
+
+  bool operator==(const PreferenceConstraints& o) const {
+    return epsilon == o.epsilon && cost_caps == o.cost_caps;
+  }
+};
+
+/// Validates `weights` as weighted-sum coefficients for a d-dimensional
+/// network: exactly d entries, every entry finite and >= 0. This is the
+/// Status-returning replacement for the MCN_CHECK/DCHECK path inside
+/// algo::WeightedSum — services must reject malformed specs over the wire
+/// instead of crashing a worker.
+Status ValidateWeights(const std::vector<double>& weights, int num_costs);
+
+/// Validates a constraint block against dimensionality `num_costs`;
+/// `skyline` selects the query-kind rules (epsilon is skyline-only).
+Status ValidateConstraints(const PreferenceConstraints& constraints,
+                           int num_costs, bool skyline);
+
+/// Applies caps + epsilon thinning to a finished skyline result, in place,
+/// preserving report order. Exact no-op when unconstrained.
+void ApplyConstraints(const PreferenceConstraints& constraints,
+                      std::vector<SkylineEntry>* rows);
+
+/// Applies caps to a finished (incremental) top-k result, in place,
+/// preserving score order. Exact no-op when unconstrained.
+void ApplyConstraints(const PreferenceConstraints& constraints,
+                      std::vector<TopKEntry>* rows);
+
+/// Per-row cap check for streaming consumers (incremental sessions filter
+/// each NextBest result as it is pulled, so a batch still fills up to its
+/// asked-for size under constraints). Always true when caps are empty.
+bool PassesCaps(const PreferenceConstraints& constraints,
+                const TopKEntry& row);
+
+}  // namespace mcn::algo
+
+#endif  // MCN_ALGO_CONSTRAINTS_H_

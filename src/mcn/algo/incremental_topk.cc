@@ -131,6 +131,7 @@ Result<std::optional<TopKEntry>> IncrementalTopK::NextBest() {
       // facility is safe in heap order; candidates with missing costs
       // cannot exist (see TopKQuery::RunGrowing reasoning).
       if (pinned_.empty()) {
+        exhausted_ = true;
         return std::optional<TopKEntry>(std::nullopt);
       }
       HeapEntry head = pinned_.top();
@@ -146,6 +147,23 @@ Result<std::optional<TopKEntry>> IncrementalTopK::NextBest() {
     }
     MCN_RETURN_IF_ERROR(HandlePop(i, nn->facility, nn->cost));
   }
+}
+
+Result<std::vector<TopKEntry>> IncrementalTopK::NextBatch(
+    int n, const KeepFn& keep) {
+  std::vector<TopKEntry> batch;
+  if (n <= 0) return batch;
+  // `n` can be remote-controlled (a wire kNext/kExecute frame): cap the
+  // up-front reservation so a huge ask costs rows actually produced, not
+  // an n-sized allocation.
+  batch.reserve(std::min<size_t>(static_cast<size_t>(n), 1024));
+  while (static_cast<int>(batch.size()) < n && !exhausted_) {
+    MCN_ASSIGN_OR_RETURN(auto next, NextBest());
+    if (!next.has_value()) break;
+    if (keep != nullptr && !keep(*next)) continue;
+    batch.push_back(*std::move(next));
+  }
+  return batch;
 }
 
 Status IncrementalTopK::HandlePop(int i, graph::FacilityId f, double cost) {

@@ -11,6 +11,7 @@
 #ifndef MCN_ALGO_INCREMENTAL_TOPK_H_
 #define MCN_ALGO_INCREMENTAL_TOPK_H_
 
+#include <functional>
 #include <optional>
 #include <queue>
 #include <vector>
@@ -47,6 +48,24 @@ class IncrementalTopK {
   /// reachable facilities have been reported.
   Result<std::optional<TopKEntry>> NextBest();
 
+  /// Per-row admission filter for NextBatch (e.g. constraint cost caps);
+  /// rejected rows are consumed from the ranking but not returned.
+  using KeepFn = std::function<bool(const TopKEntry&)>;
+
+  /// Session surface (DESIGN.md §9): up to `n` further NextBest results in
+  /// rank order that pass `keep` (null = keep all). Fewer than `n` rows —
+  /// including zero — means the reachable component is exhausted; later
+  /// calls keep returning empty batches rather than failing, so a
+  /// streaming client can over-ask safely. This is the one batch-pull
+  /// loop; the service's session and one-shot incremental paths both call
+  /// it.
+  Result<std::vector<TopKEntry>> NextBatch(int n,
+                                           const KeepFn& keep = nullptr);
+
+  /// True once NextBest has returned nullopt (every reachable facility
+  /// reported). A fresh query is not exhausted.
+  bool exhausted() const { return exhausted_; }
+
   const Stats& stats() const { return stats_; }
 
  private:
@@ -81,6 +100,7 @@ class IncrementalTopK {
       pinned_;
   std::vector<int> turn_targets_;  ///< turn-mode scratch (no per-turn alloc)
   int turn_ = 0;
+  bool exhausted_ = false;
   Stats stats_;
 };
 

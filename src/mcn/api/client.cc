@@ -1,0 +1,123 @@
+#include "mcn/api/client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "mcn/api/socket_io.h"
+
+namespace mcn::api {
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                int port) {
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("Client: port out of range");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("Client: not an IPv4 address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status err = ErrnoStatus("connect");
+    ::close(fd);
+    return err;
+  }
+  // Request/response round trips are latency-bound; don't batch them.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+namespace {
+
+/// Negative int32 fields would encode as 10-byte sign-extended varints,
+/// which the server rejects as a *framing* error and drops the whole
+/// connection (taking its sessions with it). Catch them client-side so a
+/// bad argument stays a per-call error, like the in-process API.
+Status CheckEncodable(const QuerySpec& spec) {
+  if (spec.k < 0 || spec.parallelism < 0) {
+    return Status::InvalidArgument(
+        "Client: spec.k and spec.parallelism must be >= 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<WireResponse> Client::RoundTrip(const std::string& frame,
+                                       MsgType expected) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("Client: connection is closed");
+  }
+  MCN_RETURN_IF_ERROR(SendFrame(fd_, frame));
+  MCN_ASSIGN_OR_RETURN(std::string payload, RecvFramePayload(fd_));
+  MCN_ASSIGN_OR_RETURN(WireResponse response,
+                       DecodeResponsePayload(payload));
+  if (response.type != expected) {
+    return Status::Corruption("Client: unexpected response type");
+  }
+  return response;
+}
+
+Result<QueryResponse> Client::Execute(const QuerySpec& spec) {
+  MCN_RETURN_IF_ERROR(CheckEncodable(spec));
+  WireRequest request;
+  request.type = MsgType::kExecute;
+  request.spec = spec;
+  MCN_ASSIGN_OR_RETURN(
+      WireResponse response,
+      RoundTrip(EncodeRequestFrame(request), MsgType::kResponse));
+  return std::move(response.response);
+}
+
+Result<uint64_t> Client::OpenSession(const QuerySpec& spec) {
+  MCN_RETURN_IF_ERROR(CheckEncodable(spec));
+  WireRequest request;
+  request.type = MsgType::kOpenSession;
+  request.spec = spec;
+  MCN_ASSIGN_OR_RETURN(
+      WireResponse response,
+      RoundTrip(EncodeRequestFrame(request), MsgType::kSessionOpened));
+  MCN_RETURN_IF_ERROR(response.status);
+  return response.session_id;
+}
+
+Result<QueryResponse> Client::Next(uint64_t session_id, int n) {
+  if (n < 0) {
+    return Status::InvalidArgument("Client: batch size must be >= 0");
+  }
+  WireRequest request;
+  request.type = MsgType::kNext;
+  request.session_id = session_id;
+  request.batch_n = n;
+  MCN_ASSIGN_OR_RETURN(
+      WireResponse response,
+      RoundTrip(EncodeRequestFrame(request), MsgType::kResponse));
+  return std::move(response.response);
+}
+
+Status Client::CloseSession(uint64_t session_id) {
+  WireRequest request;
+  request.type = MsgType::kCloseSession;
+  request.session_id = session_id;
+  MCN_ASSIGN_OR_RETURN(
+      WireResponse response,
+      RoundTrip(EncodeRequestFrame(request), MsgType::kSessionClosed));
+  return response.status;
+}
+
+}  // namespace mcn::api

@@ -1,0 +1,60 @@
+// api::Client: a small blocking TCP client for the preference-query wire
+// protocol (DESIGN.md §9). One connection, one request in flight at a time
+// (the protocol is synchronous per connection; open several clients for
+// concurrency — that is exactly what bench_wire_throughput's closed-loop
+// load does). Not thread-safe; confine an instance to one thread.
+#ifndef MCN_API_CLIENT_H_
+#define MCN_API_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mcn/api/query_response.h"
+#include "mcn/api/query_spec.h"
+#include "mcn/api/wire.h"
+#include "mcn/common/result.h"
+#include "mcn/common/status.h"
+
+namespace mcn::api {
+
+class Client {
+ public:
+  /// Connects to a Server at host:port ("127.0.0.1" for loopback).
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 int port);
+
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Executes one query remotely. A non-OK *return* is a transport/protocol
+  /// failure; a query-level failure (e.g. a malformed spec) comes back as
+  /// an OK return whose QueryResponse::status is non-OK — mirroring the
+  /// in-process future API.
+  Result<QueryResponse> Execute(const QuerySpec& spec);
+
+  /// Opens a streaming incremental session (spec.kind must be
+  /// kIncrementalTopK). Returns the server-assigned session id.
+  Result<uint64_t> OpenSession(const QuerySpec& spec);
+
+  /// Pulls the next batch of up to `n` ranked results from a session. A
+  /// batch shorter than `n` (or QueryResponse::exhausted) means the
+  /// stream is done.
+  Result<QueryResponse> Next(uint64_t session_id, int n);
+
+  /// Closes a session on the server.
+  Status CloseSession(uint64_t session_id);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// One synchronous round trip; decodes and type-checks the response.
+  Result<WireResponse> RoundTrip(const std::string& frame, MsgType expected);
+
+  int fd_ = -1;
+};
+
+}  // namespace mcn::api
+
+#endif  // MCN_API_CLIENT_H_

@@ -1,0 +1,58 @@
+// QueryResponse: the one response value type of the unified preference-query
+// API (DESIGN.md §9), paired with QuerySpec and serializable through
+// api/wire.h. It carries exactly the fields the transport-determinism
+// contract is stated over — typed result rows, the order-sensitive FNV
+// result hash, and the logical I/O counts — plus informational timing.
+//
+// Exactly one of `skyline` / `topk` is filled (by `kind`) when `status` is
+// OK; a failed query carries its Status and no rows. For an incremental
+// session batch, `topk` holds the batch rows and `exhausted` tells the
+// client whether the reachable component has more to stream.
+#ifndef MCN_API_QUERY_RESPONSE_H_
+#define MCN_API_QUERY_RESPONSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mcn/algo/common.h"
+#include "mcn/algo/result_hash.h"
+#include "mcn/api/query_spec.h"
+#include "mcn/common/status.h"
+
+namespace mcn::api {
+
+struct QueryResponse {
+  Status status = Status::OK();
+  QueryKind kind = QueryKind::kSkyline;
+  std::vector<algo::SkylineEntry> skyline;
+  std::vector<algo::TopKEntry> topk;  ///< also incremental batches
+  /// algo::HashResult over the filled rows (kFnvOffsetBasis when failed).
+  /// Post-constraint: what the client receives is what is hashed.
+  uint64_t result_hash = algo::kFnvOffsetBasis;
+  /// Logical I/O of the execution (buffer-pool accounting): part of the
+  /// determinism contract — a wire-executed query must report the same
+  /// counts as in-process execution.
+  uint64_t buffer_misses = 0;
+  uint64_t buffer_accesses = 0;
+  /// Server-side engine construction + computation time. Informational:
+  /// excluded from parity checks.
+  double exec_seconds = 0;
+  /// Incremental sessions only: true once the session's reachable
+  /// component is fully reported (a batch shorter than the asked-for n
+  /// also implies it).
+  bool exhausted = false;
+
+  size_t num_rows() const {
+    return kind == QueryKind::kSkyline ? skyline.size() : topk.size();
+  }
+
+  /// Recomputes `result_hash` from the filled rows.
+  void RehashRows() {
+    result_hash = kind == QueryKind::kSkyline ? algo::HashResult(skyline)
+                                              : algo::HashResult(topk);
+  }
+};
+
+}  // namespace mcn::api
+
+#endif  // MCN_API_QUERY_RESPONSE_H_

@@ -1,0 +1,86 @@
+#include "mcn/api/query_spec.h"
+
+#include <string>
+
+#include "mcn/common/macros.h"
+
+namespace mcn::api {
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kSkyline:
+      return "skyline";
+    case QueryKind::kTopK:
+      return "top-k";
+    case QueryKind::kIncrementalTopK:
+      return "incremental";
+  }
+  return "?";
+}
+
+Status QuerySpec::Validate(int num_costs) const {
+  if (kind != QueryKind::kSkyline && kind != QueryKind::kTopK &&
+      kind != QueryKind::kIncrementalTopK) {
+    return Status::InvalidArgument("QuerySpec: unknown query kind " +
+                                   std::to_string(static_cast<int>(kind)));
+  }
+  if (location.is_node() && location.node() == graph::kInvalidNode) {
+    return Status::InvalidArgument("QuerySpec: location is unset");
+  }
+  const bool skyline = kind == QueryKind::kSkyline;
+  if (skyline) {
+    if (!preference.weights.empty()) {
+      return Status::InvalidArgument(
+          "QuerySpec: skyline queries take no preference weights");
+    }
+  } else {
+    MCN_RETURN_IF_ERROR(
+        algo::ValidateWeights(preference.weights, num_costs));
+    if (k <= 0) {
+      return Status::InvalidArgument("QuerySpec: k must be > 0");
+    }
+  }
+  MCN_RETURN_IF_ERROR(
+      algo::ValidateConstraints(preference.constraints, num_costs, skyline));
+  if (parallelism < 0) {
+    return Status::InvalidArgument("QuerySpec: parallelism must be >= 0");
+  }
+  return Status::OK();
+}
+
+bool QuerySpec::operator==(const QuerySpec& o) const {
+  if (kind != o.kind || k != o.k || engine != o.engine ||
+      parallelism != o.parallelism || !(preference == o.preference)) {
+    return false;
+  }
+  if (location.is_node() != o.location.is_node()) return false;
+  if (location.is_node()) return location.node() == o.location.node();
+  return location.edge() == o.location.edge() &&
+         location.frac() == o.location.frac();
+}
+
+QuerySpec SkylineSpec(const graph::Location& location) {
+  QuerySpec spec;
+  spec.kind = QueryKind::kSkyline;
+  spec.location = location;
+  return spec;
+}
+
+QuerySpec TopKSpec(const graph::Location& location, int k,
+                   std::vector<double> weights) {
+  QuerySpec spec;
+  spec.kind = QueryKind::kTopK;
+  spec.location = location;
+  spec.k = k;
+  spec.preference.weights = std::move(weights);
+  return spec;
+}
+
+QuerySpec IncrementalSpec(const graph::Location& location, int first_batch,
+                          std::vector<double> weights) {
+  QuerySpec spec = TopKSpec(location, first_batch, std::move(weights));
+  spec.kind = QueryKind::kIncrementalTopK;
+  return spec;
+}
+
+}  // namespace mcn::api

@@ -1,0 +1,91 @@
+// api::Server: a TCP endpoint speaking the preference-query wire protocol
+// (DESIGN.md §9) on top of an exec::QueryService. This is the process
+// boundary of the unified API — every request a connection carries is the
+// same QuerySpec an in-process caller would Submit, and the responses are
+// byte-faithful QueryResponse encodings, so server-executed queries are
+// hash- and logical-I/O-identical to in-process execution (the
+// bench_wire_throughput / e2e-test parity gate). It is also the designated
+// RPC seam for multi-node sharding: remote shard fetches become api/wire
+// frames against exactly this kind of endpoint.
+//
+// Concurrency model: one acceptor thread plus one thread per connection
+// (connections are long-lived clients; per-request concurrency comes from
+// the QueryService's worker groups, which the connection threads block
+// on). Sessions opened by a connection are closed when it disconnects.
+#ifndef MCN_API_SERVER_H_
+#define MCN_API_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mcn/common/result.h"
+#include "mcn/common/status.h"
+#include "mcn/exec/query_service.h"
+
+namespace mcn::api {
+
+class Server {
+ public:
+  struct Options {
+    /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read it
+    /// back with port()).
+    int port = 0;
+    /// Listen backlog.
+    int backlog = 64;
+  };
+
+  /// Binds and starts accepting. `service` must outlive the server.
+  static Result<std::unique_ptr<Server>> Start(exec::QueryService* service,
+                                               const Options& options);
+
+  /// Stop().
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Stops accepting, unblocks and joins every connection thread, and
+  /// closes their sessions. Idempotent.
+  void Stop();
+
+  /// The bound port (useful with Options::port = 0).
+  int port() const { return port_; }
+
+  /// Connections accepted since start.
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Server(exec::QueryService* service, int listen_fd, int port);
+
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    /// Set by the connection thread on exit; a done connection's fd and
+    /// thread are reaped by the acceptor (on the next accept) or by Stop.
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Connection* connection);
+  /// mu_ held: joins + closes finished connections (long-running servers
+  /// would otherwise leak one fd + one dead thread per disconnect).
+  void ReapFinishedConnections();
+
+  exec::QueryService* service_;
+  int listen_fd_;
+  int port_;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::mutex mu_;  ///< guards connections_ (fds + threads)
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace mcn::api
+
+#endif  // MCN_API_SERVER_H_

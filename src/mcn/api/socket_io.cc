@@ -1,0 +1,79 @@
+#include "mcn/api/socket_io.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "mcn/api/wire.h"
+
+namespace mcn::api {
+
+Status ErrnoStatus(const char* what) {
+  return Status::IOError(std::string(what) + ": " +
+                         std::strerror(errno));
+}
+
+namespace {
+
+/// Reads exactly `n` bytes; returns the count actually read (short only on
+/// EOF), or -1 on a hard error.
+ssize_t ReadFull(int fd, char* buf, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r == 0) break;  // peer closed
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    got += static_cast<size_t>(r);
+  }
+  return static_cast<ssize_t>(got);
+}
+
+}  // namespace
+
+Status SendFrame(int fd, const std::string& frame) {
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t w =
+        ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("send");
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Result<std::string> RecvFramePayload(int fd) {
+  char prefix[4];
+  const ssize_t got = ReadFull(fd, prefix, sizeof(prefix));
+  if (got < 0) return ErrnoStatus("recv length");
+  if (got == 0) return Status::NotFound("connection closed");
+  if (got < static_cast<ssize_t>(sizeof(prefix))) {
+    return Status::Corruption("wire: truncated frame length");
+  }
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<uint8_t>(prefix[i])) << (8 * i);
+  }
+  if (len > kMaxFramePayload) {
+    return Status::Corruption("wire: frame exceeds " +
+                              std::to_string(kMaxFramePayload) + " bytes");
+  }
+  std::string payload(len, '\0');
+  if (len > 0) {
+    const ssize_t body = ReadFull(fd, payload.data(), len);
+    if (body < 0) return ErrnoStatus("recv payload");
+    if (body < static_cast<ssize_t>(len)) {
+      return Status::Corruption("wire: truncated frame payload");
+    }
+  }
+  return payload;
+}
+
+}  // namespace mcn::api

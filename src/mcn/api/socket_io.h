@@ -1,0 +1,30 @@
+// Blocking POSIX socket framing for the wire protocol (DESIGN.md §9):
+// full-write of encoded frames, length-prefix-driven full-read of incoming
+// ones. Shared by api::Client and api::Server; nothing here interprets the
+// payload.
+#ifndef MCN_API_SOCKET_IO_H_
+#define MCN_API_SOCKET_IO_H_
+
+#include <string>
+
+#include "mcn/common/result.h"
+#include "mcn/common/status.h"
+
+namespace mcn::api {
+
+/// IOError carrying the current errno: "<what>: <strerror>". For the
+/// api/ layer's socket syscall failures.
+Status ErrnoStatus(const char* what);
+
+/// Writes all of `frame` (an Encode*Frame result) to `fd`; IOError on any
+/// short write or closed peer.
+Status SendFrame(int fd, const std::string& frame);
+
+/// Reads one length-prefixed frame and returns its *payload* (prefix
+/// stripped), ready for Decode*Payload. NotFound signals clean EOF at a
+/// frame boundary; anything else that goes wrong is IOError/Corruption.
+Result<std::string> RecvFramePayload(int fd);
+
+}  // namespace mcn::api
+
+#endif  // MCN_API_SOCKET_IO_H_

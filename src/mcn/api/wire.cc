@@ -1,0 +1,504 @@
+#include "mcn/api/wire.h"
+
+#include <cstring>
+#include <limits>
+
+#include "mcn/common/macros.h"
+#include "mcn/graph/cost_vector.h"
+
+namespace mcn::api {
+
+namespace {
+
+// ------------------------------------------------------------- encoding
+
+void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutFixed64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutF64(std::string* out, double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  PutFixed64(out, bits);
+}
+
+void PutStatus(std::string* out, const Status& status) {
+  PutVarint(out, static_cast<uint64_t>(status.code()));
+  PutVarint(out, status.message().size());
+  out->append(status.message());
+}
+
+void PutLocation(std::string* out, const graph::Location& loc) {
+  if (loc.is_node()) {
+    PutU8(out, 0);
+    PutVarint(out, loc.node());
+  } else {
+    PutU8(out, 1);
+    PutVarint(out, loc.edge().u);
+    PutVarint(out, loc.edge().v);
+    PutF64(out, loc.frac());
+  }
+}
+
+void PutDoubleVec(std::string* out, const std::vector<double>& v) {
+  PutVarint(out, v.size());
+  for (double d : v) PutF64(out, d);
+}
+
+void PutQuerySpec(std::string* out, const QuerySpec& spec) {
+  PutU8(out, static_cast<uint8_t>(spec.kind));
+  PutU8(out, static_cast<uint8_t>(spec.engine));
+  PutVarint(out, static_cast<uint64_t>(spec.parallelism));
+  PutVarint(out, static_cast<uint64_t>(spec.k));
+  PutLocation(out, spec.location);
+  PutDoubleVec(out, spec.preference.weights);
+  PutF64(out, spec.preference.constraints.epsilon);
+  PutDoubleVec(out, spec.preference.constraints.cost_caps);
+}
+
+void PutQueryResponse(std::string* out, const QueryResponse& response) {
+  PutStatus(out, response.status);
+  PutU8(out, static_cast<uint8_t>(response.kind));
+  PutU8(out, response.exhausted ? 1 : 0);
+  if (response.kind == QueryKind::kSkyline) {
+    const int dim =
+        response.skyline.empty() ? 0 : response.skyline.front().costs.dim();
+    PutVarint(out, static_cast<uint64_t>(dim));
+    PutVarint(out, response.skyline.size());
+    for (const algo::SkylineEntry& e : response.skyline) {
+      PutVarint(out, e.facility);
+      PutVarint(out, e.known_mask);
+      for (int j = 0; j < dim; ++j) PutF64(out, e.costs[j]);
+    }
+  } else {
+    const int dim =
+        response.topk.empty() ? 0 : response.topk.front().costs.dim();
+    PutVarint(out, static_cast<uint64_t>(dim));
+    PutVarint(out, response.topk.size());
+    for (const algo::TopKEntry& e : response.topk) {
+      PutVarint(out, e.facility);
+      PutF64(out, e.score);
+      for (int j = 0; j < dim; ++j) PutF64(out, e.costs[j]);
+    }
+  }
+  PutFixed64(out, response.result_hash);
+  PutVarint(out, response.buffer_misses);
+  PutVarint(out, response.buffer_accesses);
+  PutF64(out, response.exec_seconds);
+}
+
+std::string FinishFrame(std::string payload) {
+  MCN_CHECK(payload.size() <= kMaxFramePayload);
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  const auto len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<char>((len >> (8 * i)) & 0xFF));
+  }
+  frame.append(payload);
+  return frame;
+}
+
+// ------------------------------------------------------------- decoding
+
+/// Bounds-checked cursor over a payload. Every getter reports truncation
+/// through the sticky `status_`; callers bail out via failed().
+class WireReader {
+ public:
+  explicit WireReader(const std::string& data) : data_(data) {}
+
+  bool failed() const { return !status_.ok(); }
+  Status status() const { return status_; }
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+  uint8_t GetU8() {
+    if (failed()) return 0;
+    if (pos_ >= data_.size()) return Fail("truncated u8"), 0;
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  uint64_t GetVarint() {
+    if (failed()) return 0;
+    uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (pos_ >= data_.size()) return Fail("truncated varint"), 0;
+      const auto byte = static_cast<uint8_t>(data_[pos_++]);
+      if (shift == 63 && (byte & 0xFE)) return Fail("varint overflow"), 0;
+      v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) {
+        // Canonical form: no padded continuation bytes (encode(decode(b))
+        // must reproduce b byte for byte).
+        if (byte == 0 && shift != 0) return Fail("non-minimal varint"), 0;
+        return v;
+      }
+    }
+    return Fail("unterminated varint"), 0;
+  }
+
+  uint64_t GetFixed64() {
+    if (failed()) return 0;
+    if (remaining() < 8) return Fail("truncated fixed64"), 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  double GetF64() {
+    const uint64_t bits = GetFixed64();
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+  }
+
+  std::string GetBytes(size_t n) {
+    if (failed()) return {};
+    if (remaining() < n) return Fail("truncated bytes"), std::string();
+    std::string s = data_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  /// A count that must plausibly fit in the remaining payload (each element
+  /// is at least `min_elem_bytes`) — rejects garbage counts before any
+  /// allocation is sized by them.
+  uint64_t GetCount(size_t min_elem_bytes) {
+    const uint64_t n = GetVarint();
+    if (failed()) return 0;
+    if (min_elem_bytes > 0 && n > remaining() / min_elem_bytes) {
+      return Fail("count exceeds payload"), 0;
+    }
+    return n;
+  }
+
+  void Fail(const char* what) {
+    if (status_.ok()) {
+      status_ = Status::Corruption(std::string("wire: ") + what);
+    }
+  }
+
+ private:
+  const std::string& data_;
+  size_t pos_ = 0;
+  Status status_;
+};
+
+/// A varint that must fit a 32-bit id (NodeId, FacilityId). Values beyond
+/// 32 bits are rejected rather than silently truncated — both for
+/// correctness (a query must not silently run at the wrong node) and for
+/// the canonical re-encode invariant.
+uint32_t GetU32(WireReader* in, const char* what) {
+  const uint64_t v = in->GetVarint();
+  if (!in->failed() && v > 0xFFFFFFFFull) {
+    in->Fail(what);
+    return 0;
+  }
+  return static_cast<uint32_t>(v);
+}
+
+Status GetStatus(WireReader* in) {
+  const uint64_t code = in->GetVarint();
+  if (code > static_cast<uint64_t>(StatusCode::kInternal)) {
+    in->Fail("unknown status code");
+    return Status::OK();
+  }
+  const uint64_t len = in->GetCount(1);
+  std::string message = in->GetBytes(len);
+  if (in->failed()) return Status::OK();
+  if (code == 0 && !message.empty()) {
+    in->Fail("OK status with message");
+    return Status::OK();
+  }
+  return Status(static_cast<StatusCode>(code), std::move(message));
+}
+
+graph::Location GetLocation(WireReader* in) {
+  const uint8_t tag = in->GetU8();
+  if (tag == 0) {
+    return graph::Location::AtNode(in->failed()
+                                       ? graph::kInvalidNode
+                                       : GetU32(in, "node id out of range"));
+  }
+  if (tag != 1) {
+    in->Fail("unknown location tag");
+    return graph::Location::AtNode(graph::kInvalidNode);
+  }
+  const graph::NodeId u = GetU32(in, "edge endpoint out of range");
+  const graph::NodeId v = GetU32(in, "edge endpoint out of range");
+  const double frac = in->GetF64();
+  if (in->failed() || !(frac >= 0.0 && frac <= 1.0)) {
+    in->Fail("edge fraction out of [0,1]");
+    return graph::Location::AtNode(graph::kInvalidNode);
+  }
+  if (graph::EdgeKey(u, v).u != u) {
+    // Canonical endpoint order is part of the wire form.
+    in->Fail("non-canonical edge key");
+    return graph::Location::AtNode(graph::kInvalidNode);
+  }
+  return graph::Location::OnEdge(graph::EdgeKey(u, v), frac);
+}
+
+std::vector<double> GetDoubleVec(WireReader* in) {
+  const uint64_t n = in->GetCount(8);
+  std::vector<double> v;
+  if (in->failed()) return v;
+  v.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) v.push_back(in->GetF64());
+  return v;
+}
+
+QuerySpec GetQuerySpec(WireReader* in) {
+  QuerySpec spec;
+  const uint8_t kind = in->GetU8();
+  if (kind > static_cast<uint8_t>(QueryKind::kIncrementalTopK)) {
+    in->Fail("unknown query kind");
+    return spec;
+  }
+  spec.kind = static_cast<QueryKind>(kind);
+  const uint8_t engine = in->GetU8();
+  if (engine > static_cast<uint8_t>(expand::EngineKind::kCea)) {
+    in->Fail("unknown engine kind");
+    return spec;
+  }
+  spec.engine = static_cast<expand::EngineKind>(engine);
+  const uint64_t parallelism = in->GetVarint();
+  const uint64_t k = in->GetVarint();
+  if (!in->failed() &&
+      (parallelism > std::numeric_limits<int32_t>::max() ||
+       k > std::numeric_limits<int32_t>::max())) {
+    in->Fail("field out of int32 range");
+    return spec;
+  }
+  spec.parallelism = static_cast<int32_t>(parallelism);
+  spec.k = static_cast<int32_t>(k);
+  spec.location = GetLocation(in);
+  spec.preference.weights = GetDoubleVec(in);
+  spec.preference.constraints.epsilon = in->GetF64();
+  spec.preference.constraints.cost_caps = GetDoubleVec(in);
+  return spec;
+}
+
+QueryResponse GetQueryResponse(WireReader* in) {
+  QueryResponse response;
+  response.status = GetStatus(in);
+  const uint8_t kind = in->GetU8();
+  if (kind > static_cast<uint8_t>(QueryKind::kIncrementalTopK)) {
+    in->Fail("unknown query kind");
+    return response;
+  }
+  response.kind = static_cast<QueryKind>(kind);
+  const uint8_t exhausted = in->GetU8();
+  if (exhausted > 1) {
+    in->Fail("non-boolean exhausted flag");
+    return response;
+  }
+  response.exhausted = exhausted == 1;
+  const uint64_t dim = in->GetVarint();
+  if (dim > static_cast<uint64_t>(graph::kMaxCostTypes)) {
+    in->Fail("cost dimension out of range");
+    return response;
+  }
+  const int d = static_cast<int>(dim);
+  // Each row is at least 2 bytes (varint id + varint/f64 tail) + dim f64s.
+  const uint64_t rows = in->GetCount(2 + 8 * dim);
+  if (in->failed()) return response;
+  if (rows == 0 && d != 0) {
+    // Canonical form: the dimension is derived from the rows, so an empty
+    // result always encodes dim 0.
+    in->Fail("non-zero dimension without rows");
+    return response;
+  }
+  if (response.kind == QueryKind::kSkyline) {
+    response.skyline.reserve(rows);
+    for (uint64_t r = 0; r < rows && !in->failed(); ++r) {
+      algo::SkylineEntry e;
+      e.facility = GetU32(in, "facility id out of range");
+      const uint64_t mask = in->GetVarint();
+      if (d < 32 && mask >= (1ull << d)) {
+        in->Fail("known mask exceeds dimension");
+        return response;
+      }
+      e.known_mask = static_cast<uint32_t>(mask);
+      e.costs = graph::CostVector(d);
+      for (int j = 0; j < d; ++j) e.costs[j] = in->GetF64();
+      response.skyline.push_back(std::move(e));
+    }
+  } else {
+    response.topk.reserve(rows);
+    for (uint64_t r = 0; r < rows && !in->failed(); ++r) {
+      algo::TopKEntry e;
+      e.facility = GetU32(in, "facility id out of range");
+      e.score = in->GetF64();
+      e.costs = graph::CostVector(d);
+      for (int j = 0; j < d; ++j) e.costs[j] = in->GetF64();
+      response.topk.push_back(std::move(e));
+    }
+  }
+  response.result_hash = in->GetFixed64();
+  response.buffer_misses = in->GetVarint();
+  response.buffer_accesses = in->GetVarint();
+  response.exec_seconds = in->GetF64();
+  return response;
+}
+
+Result<WireReader> OpenPayload(const std::string& payload) {
+  WireReader in(payload);
+  const uint8_t version = in.GetU8();
+  if (in.failed()) return in.status();
+  if (version != kWireVersion) {
+    return Status::InvalidArgument(
+        "wire: protocol version mismatch (got " + std::to_string(version) +
+        ", speaking " + std::to_string(kWireVersion) + ")");
+  }
+  return in;
+}
+
+Status ClosePayload(WireReader* in) {
+  if (in->failed()) return in->status();
+  if (in->remaining() != 0) {
+    return Status::Corruption("wire: trailing bytes after message");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeRequestFrame(const WireRequest& request) {
+  std::string payload;
+  PutU8(&payload, kWireVersion);
+  PutU8(&payload, static_cast<uint8_t>(request.type));
+  switch (request.type) {
+    case MsgType::kExecute:
+    case MsgType::kOpenSession:
+      PutQuerySpec(&payload, request.spec);
+      break;
+    case MsgType::kNext:
+      PutVarint(&payload, request.session_id);
+      PutVarint(&payload, static_cast<uint64_t>(request.batch_n));
+      break;
+    case MsgType::kCloseSession:
+      PutVarint(&payload, request.session_id);
+      break;
+    default:
+      MCN_CHECK(false && "EncodeRequestFrame: not a request type");
+  }
+  return FinishFrame(std::move(payload));
+}
+
+namespace {
+
+std::string BuildResponsePayload(const WireResponse& response) {
+  std::string payload;
+  PutU8(&payload, kWireVersion);
+  PutU8(&payload, static_cast<uint8_t>(response.type));
+  switch (response.type) {
+    case MsgType::kResponse:
+      PutQueryResponse(&payload, response.response);
+      break;
+    case MsgType::kSessionOpened:
+      PutStatus(&payload, response.status);
+      PutVarint(&payload, response.session_id);
+      break;
+    case MsgType::kSessionClosed:
+      PutStatus(&payload, response.status);
+      break;
+    default:
+      MCN_CHECK(false && "EncodeResponseFrame: not a response type");
+  }
+  return payload;
+}
+
+}  // namespace
+
+std::string EncodeResponseFrame(const WireResponse& response) {
+  return FinishFrame(BuildResponsePayload(response));
+}
+
+Result<std::string> TryEncodeResponseFrame(const WireResponse& response) {
+  std::string payload = BuildResponsePayload(response);
+  if (payload.size() > kMaxFramePayload) {
+    return Status::OutOfRange(
+        "wire: response payload " + std::to_string(payload.size()) +
+        " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+        "-byte frame cap");
+  }
+  return FinishFrame(std::move(payload));
+}
+
+Result<WireRequest> DecodeRequestPayload(const std::string& payload) {
+  MCN_ASSIGN_OR_RETURN(WireReader in, OpenPayload(payload));
+  WireRequest request;
+  const uint8_t type = in.GetU8();
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kExecute:
+    case MsgType::kOpenSession:
+      request.type = static_cast<MsgType>(type);
+      request.spec = GetQuerySpec(&in);
+      break;
+    case MsgType::kNext: {
+      request.type = MsgType::kNext;
+      request.session_id = in.GetVarint();
+      const uint64_t n = in.GetVarint();
+      if (!in.failed() && n > std::numeric_limits<int32_t>::max()) {
+        in.Fail("batch size out of int32 range");
+      }
+      request.batch_n = static_cast<int32_t>(n);
+      break;
+    }
+    case MsgType::kCloseSession:
+      request.type = MsgType::kCloseSession;
+      request.session_id = in.GetVarint();
+      break;
+    default:
+      return Status::Corruption("wire: unknown request type " +
+                                std::to_string(type));
+  }
+  MCN_RETURN_IF_ERROR(ClosePayload(&in));
+  return request;
+}
+
+Result<WireResponse> DecodeResponsePayload(const std::string& payload) {
+  MCN_ASSIGN_OR_RETURN(WireReader in, OpenPayload(payload));
+  WireResponse response;
+  const uint8_t type = in.GetU8();
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kResponse:
+      response.type = MsgType::kResponse;
+      response.response = GetQueryResponse(&in);
+      break;
+    case MsgType::kSessionOpened:
+      response.type = MsgType::kSessionOpened;
+      response.status = GetStatus(&in);
+      response.session_id = in.GetVarint();
+      break;
+    case MsgType::kSessionClosed:
+      response.type = MsgType::kSessionClosed;
+      response.status = GetStatus(&in);
+      break;
+    default:
+      return Status::Corruption("wire: unknown response type " +
+                                std::to_string(type));
+  }
+  MCN_RETURN_IF_ERROR(ClosePayload(&in));
+  return response;
+}
+
+}  // namespace mcn::api

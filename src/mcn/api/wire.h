@@ -1,0 +1,112 @@
+// Canonical compact binary wire format of the preference-query API
+// (DESIGN.md §9). Frame grammar:
+//
+//   frame    := length(u32 LE, payload bytes) payload
+//   payload  := version(u8, = kWireVersion) type(u8) body
+//
+// Body scalars: unsigned LEB128 varints for ids/counts/flags ("varint"),
+// raw little-endian IEEE-754 bit patterns for doubles ("f64" — bit-exact,
+// so result hashes survive the round trip), fixed 8-byte LE for the result
+// hash. Request bodies:
+//
+//   kExecute      := QuerySpec
+//   kOpenSession  := QuerySpec              (kind must be incremental)
+//   kNext         := session_id(varint) n(varint)
+//   kCloseSession := session_id(varint)
+//
+// Response bodies:
+//
+//   kResponse      := QueryResponse         (also carries query errors)
+//   kSessionOpened := Status session_id(varint)
+//   kSessionClosed := Status
+//
+// with
+//
+//   QuerySpec     := kind(u8) engine(u8) parallelism(varint) k(varint)
+//                    Location weights(vec<f64>) epsilon(f64)
+//                    cost_caps(vec<f64>)
+//   Location      := 0(u8) node(varint) | 1(u8) u(varint) v(varint)
+//                    frac(f64)
+//   QueryResponse := Status kind(u8) exhausted(u8) dim(varint)
+//                    row_count(varint) row* hash(fixed u64 LE)
+//                    misses(varint) accesses(varint) exec_seconds(f64)
+//   row           := facility(varint) known_mask(varint) cost(f64){dim}
+//                  | facility(varint) score(f64) cost(f64){dim}   (top-k)
+//   Status        := code(varint) message(vec<u8>)
+//   vec<T>        := count(varint) T{count}
+//
+// Encoding is canonical (one byte sequence per value: minimal-length
+// varints, fixed field order), so decode(encode(x)) == x and
+// encode(decode(b)) == b for every well-formed b — the round-trip
+// invariants the wire-format property test enforces. Decoding is fully
+// bounds-checked: truncated or trailing bytes, oversized counts, unknown
+// enum values and version mismatches are Status errors, never crashes.
+#ifndef MCN_API_WIRE_H_
+#define MCN_API_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "mcn/api/query_response.h"
+#include "mcn/api/query_spec.h"
+#include "mcn/common/result.h"
+#include "mcn/common/status.h"
+
+namespace mcn::api {
+
+/// Protocol version byte, bumped on any incompatible grammar change. A
+/// decoder rejects frames carrying any other value.
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Hard ceiling on one frame's payload: protects a peer from allocating
+/// unbounded memory on a garbage length prefix.
+inline constexpr uint32_t kMaxFramePayload = 16u << 20;
+
+/// Message type byte. Requests have the high bit clear, responses set.
+enum class MsgType : uint8_t {
+  kExecute = 0x01,
+  kOpenSession = 0x02,
+  kNext = 0x03,
+  kCloseSession = 0x04,
+  kResponse = 0x81,
+  kSessionOpened = 0x82,
+  kSessionClosed = 0x83,
+};
+
+/// Decoded request envelope. Which fields are meaningful depends on `type`
+/// (see the grammar above).
+struct WireRequest {
+  MsgType type = MsgType::kExecute;
+  QuerySpec spec;           ///< kExecute / kOpenSession
+  uint64_t session_id = 0;  ///< kNext / kCloseSession
+  int32_t batch_n = 0;      ///< kNext
+};
+
+/// Decoded response envelope.
+struct WireResponse {
+  MsgType type = MsgType::kResponse;
+  QueryResponse response;     ///< kResponse
+  Status status;              ///< kSessionOpened / kSessionClosed
+  uint64_t session_id = 0;    ///< kSessionOpened
+};
+
+/// Encodes a complete frame (length prefix + versioned payload). For
+/// payloads of trusted size (requests, control responses, tests); a
+/// payload over kMaxFramePayload is a programmer error (CHECK).
+std::string EncodeRequestFrame(const WireRequest& request);
+std::string EncodeResponseFrame(const WireResponse& response);
+
+/// Like EncodeResponseFrame, but a result row set too large for one frame
+/// comes back as OutOfRange instead of aborting — what a server must use
+/// for responses whose size a remote client controls (e.g. a huge-k
+/// top-k); it can then answer with a small error response.
+Result<std::string> TryEncodeResponseFrame(const WireResponse& response);
+
+/// Decodes a frame *payload* (the bytes after the length prefix). Rejects
+/// version mismatches, unknown types, malformed bodies and trailing bytes.
+Result<WireRequest> DecodeRequestPayload(const std::string& payload);
+Result<WireResponse> DecodeResponsePayload(const std::string& payload);
+
+}  // namespace mcn::api
+
+#endif  // MCN_API_WIRE_H_

@@ -5,7 +5,7 @@
 #include <thread>
 #include <utility>
 
-#include "mcn/algo/incremental_topk.h"
+#include "mcn/algo/constraints.h"
 #include "mcn/algo/result_hash.h"
 #include "mcn/algo/skyline_query.h"
 #include "mcn/algo/topk_query.h"
@@ -28,10 +28,68 @@ Status ValidateOptions(const ServiceOptions& options) {
   if (options.queue_capacity == 0) {
     return Status::InvalidArgument("QueryService: queue_capacity must be > 0");
   }
+  if (options.max_sessions == 0) {
+    return Status::InvalidArgument("QueryService: max_sessions must be > 0");
+  }
   return Status::OK();
 }
 
+/// A future that is already resolved with a failed result.
+std::future<QueryResult> ReadyFailure(Status status) {
+  QueryResult failed;
+  failed.status = std::move(status);
+  failed.result_hash = algo::kFnvOffsetBasis;
+  std::promise<QueryResult> promise;
+  std::future<QueryResult> future = promise.get_future();
+  promise.set_value(std::move(failed));
+  return future;
+}
+
 }  // namespace
+
+api::QuerySpec QueryRequest::ToSpec() const {
+  api::QuerySpec spec;
+  spec.kind = kind;
+  spec.location = location;
+  spec.engine = engine;
+  spec.parallelism = parallelism;
+  spec.k = k;
+  // The legacy path ignored weights on skyline requests; keep that (a
+  // spec carrying weights on a skyline is a validation error).
+  if (kind != QueryKind::kSkyline) spec.preference.weights = weights;
+  return spec;
+}
+
+namespace {
+
+/// Everything but the row vectors.
+api::QueryResponse ResponseScalars(const QueryResult& result) {
+  api::QueryResponse response;
+  response.status = result.status;
+  response.kind = result.kind;
+  response.result_hash = result.result_hash;
+  response.buffer_misses = result.stats.buffer_misses;
+  response.buffer_accesses = result.stats.buffer_accesses;
+  response.exec_seconds = result.stats.exec_seconds;
+  response.exhausted = result.exhausted;
+  return response;
+}
+
+}  // namespace
+
+api::QueryResponse QueryResult::ToResponse() const& {
+  api::QueryResponse response = ResponseScalars(*this);
+  response.skyline = skyline;
+  response.topk = topk;
+  return response;
+}
+
+api::QueryResponse QueryResult::ToResponse() && {
+  api::QueryResponse response = ResponseScalars(*this);
+  response.skyline = std::move(skyline);
+  response.topk = std::move(topk);
+  return response;
+}
 
 Result<std::unique_ptr<QueryService>> QueryService::Create(
     storage::DiskManager* disk, const net::NetworkFiles& files,
@@ -72,20 +130,7 @@ QueryService::QueryService(storage::DiskManager* disk,
   workers_.reserve(opts_.num_workers);
   for (int w = 0; w < opts_.num_workers; ++w) {
     auto worker = std::make_unique<Worker>();
-    if (sharded()) {
-      const size_t frames_per_shard =
-          opts_.split_pool_across_shards
-              ? shard::FramesPerShard(opts_.pool_frames_per_worker,
-                                      storage_->num_shards())
-              : opts_.pool_frames_per_worker;
-      worker->reader = std::make_unique<shard::ShardedNetworkReader>(
-          storage_, sharded_files_, frames_per_shard);
-    } else {
-      worker->pool = std::make_unique<storage::BufferPool>(
-          disk_, opts_.pool_frames_per_worker);
-      worker->reader =
-          std::make_unique<net::NetworkReader>(files_, worker->pool.get());
-    }
+    worker->reader = MakeReader(&worker->pool);
     workers_.push_back(std::move(worker));
   }
   // Freeze the shared storage read-only for the service's lifetime; the
@@ -101,7 +146,8 @@ QueryService::QueryService(storage::DiskManager* disk,
 void QueryService::StartGroups() {
   // Shard-affine worker groups: one group per shard when the worker
   // budget allows, otherwise min(K, workers) groups serving the shards
-  // round-robin (RouteGroup). Flat services get the single PR-2 group.
+  // round-robin (RouteGroupIndex). Flat services get the single PR-2
+  // group.
   const int num_groups =
       sharded() ? std::min(storage_->num_shards(), opts_.num_workers) : 1;
   groups_.resize(num_groups);
@@ -127,6 +173,9 @@ void QueryService::StartGroups() {
           Execute(std::move(task), groups_[g], local_worker);
         },
         [](Task&& task) {
+          if (task.session != nullptr) {
+            task.session->inflight.fetch_sub(1, std::memory_order_acq_rel);
+          }
           QueryResult discarded;
           discarded.status = Status::FailedPrecondition(
               "query discarded by non-draining shutdown");
@@ -138,9 +187,28 @@ void QueryService::StartGroups() {
 
 QueryService::~QueryService() { Shutdown(/*drain=*/true); }
 
-QueryService::Group& QueryService::RouteGroup(
-    const graph::Location& location) {
-  if (groups_.size() == 1) return groups_[0];
+std::unique_ptr<net::NetworkReader> QueryService::MakeReader(
+    std::unique_ptr<storage::BufferPool>* flat_pool) const {
+  // One construction path for worker readers AND session readers: the
+  // session-I/O-parity contract (a stream's logical I/O matches a local
+  // run over an equal-capacity pool) holds exactly because both get the
+  // same pool budget and split policy.
+  if (sharded()) {
+    const size_t frames_per_shard =
+        opts_.split_pool_across_shards
+            ? shard::FramesPerShard(opts_.pool_frames_per_worker,
+                                    storage_->num_shards())
+            : opts_.pool_frames_per_worker;
+    return std::make_unique<shard::ShardedNetworkReader>(
+        storage_, sharded_files_, frames_per_shard);
+  }
+  *flat_pool = std::make_unique<storage::BufferPool>(
+      disk_, opts_.pool_frames_per_worker);
+  return std::make_unique<net::NetworkReader>(files_, flat_pool->get());
+}
+
+int QueryService::RouteGroupIndex(const graph::Location& location) const {
+  if (groups_.size() == 1) return 0;
   const shard::Partition& part = storage_->partition();
   shard::ShardId s = 0;
   if (location.is_node()) {
@@ -148,25 +216,130 @@ QueryService::Group& QueryService::RouteGroup(
   } else if (location.edge().u < part.num_nodes()) {
     s = part.of_edge(location.edge());
   }
-  return groups_[s % groups_.size()];
+  return static_cast<int>(s % groups_.size());
+}
+
+std::future<QueryResult> QueryService::Enqueue(Task&& task, Group& group) {
+  std::future<QueryResult> future = task.promise.get_future();
+  if (!group.pool->Submit(std::move(task))) {
+    // Shutdown already began: Submit did not consume the task, so a
+    // session batch still owns its inflight ticket — return it, and
+    // resolve immediately instead of blocking.
+    if (task.session != nullptr) {
+      task.session->inflight.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    return ReadyFailure(
+        Status::FailedPrecondition("QueryService is shut down"));
+  }
+  return future;
+}
+
+std::future<QueryResult> QueryService::Submit(api::QuerySpec spec) {
+  Task task;
+  Group& group = groups_[RouteGroupIndex(spec.location)];
+  task.spec = std::move(spec);
+  task.enqueue_time = std::chrono::steady_clock::now();
+  return Enqueue(std::move(task), group);
 }
 
 std::future<QueryResult> QueryService::Submit(QueryRequest request) {
-  Task task;
-  Group& group = RouteGroup(request.location);
-  task.request = std::move(request);
-  task.enqueue_time = std::chrono::steady_clock::now();
-  std::future<QueryResult> future = task.promise.get_future();
-  if (!group.pool->Submit(std::move(task))) {
-    // Shutdown already began: resolve immediately instead of blocking.
-    QueryResult rejected;
-    rejected.status =
-        Status::FailedPrecondition("QueryService is shut down");
-    std::promise<QueryResult> promise;
-    future = promise.get_future();
-    promise.set_value(std::move(rejected));
+  return Submit(request.ToSpec());
+}
+
+Result<SessionId> QueryService::OpenSession(api::QuerySpec spec) {
+  if (spec.kind != QueryKind::kIncrementalTopK) {
+    return Status::InvalidArgument(
+        "OpenSession: spec kind must be incremental top-k");
   }
-  return future;
+  MCN_RETURN_IF_ERROR(spec.Validate(num_costs()));
+  auto session = std::make_shared<Session>();
+  session->group = RouteGroupIndex(spec.location);
+  session->spec = std::move(spec);
+  session->last_used = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (shut_down_) {
+    return Status::FailedPrecondition("QueryService is shut down");
+  }
+  // Lazy idle-timeout eviction runs on *every* open (not only when the
+  // table is full), so abandoned sessions release their pools/engines
+  // even on a service that never approaches max_sessions.
+  EvictExpiredSessions();
+  if (sessions_.size() >= opts_.max_sessions && !MakeSessionRoom()) {
+    return Status::FailedPrecondition(
+        "OpenSession: session table full (" +
+        std::to_string(opts_.max_sessions) + " busy sessions)");
+  }
+  session->id = next_session_id_++;
+  sessions_.emplace(session->id, session);
+  return session->id;
+}
+
+void QueryService::EvictExpiredSessions() {
+  if (opts_.session_idle_seconds <= 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    const Session& s = *it->second;
+    const bool idle = s.inflight.load(std::memory_order_acquire) == 0;
+    if (idle && std::chrono::duration<double>(now - s.last_used).count() >
+                    opts_.session_idle_seconds) {
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool QueryService::MakeSessionRoom() {
+  // Evict the least-recently-used idle session.
+  auto victim = sessions_.end();
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    if (it->second->inflight.load(std::memory_order_acquire) != 0) continue;
+    if (victim == sessions_.end() ||
+        it->second->last_used < victim->second->last_used) {
+      victim = it;
+    }
+  }
+  if (victim == sessions_.end()) return false;
+  sessions_.erase(victim);
+  return true;
+}
+
+std::future<QueryResult> QueryService::SessionNext(SessionId id, int n) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      return ReadyFailure(Status::NotFound(
+          "SessionNext: unknown or evicted session " + std::to_string(id)));
+    }
+    session = it->second;
+    session->inflight.fetch_add(1, std::memory_order_acq_rel);
+    session->last_used = std::chrono::steady_clock::now();
+  }
+  Task task;
+  Group& group = groups_[session->group];
+  task.session = std::move(session);
+  task.batch_n = n;
+  task.enqueue_time = std::chrono::steady_clock::now();
+  return Enqueue(std::move(task), group);
+}
+
+Status QueryService::CloseSession(SessionId id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("CloseSession: unknown session " +
+                            std::to_string(id));
+  }
+  // An in-flight batch holds its own shared_ptr and finishes normally.
+  sessions_.erase(it);
+  return Status::OK();
+}
+
+size_t QueryService::num_open_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
 }
 
 void QueryService::Drain() {
@@ -174,14 +347,23 @@ void QueryService::Drain() {
 }
 
 void QueryService::Shutdown(bool drain) {
-  if (shut_down_) return;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
   for (Group& group : groups_) group.pool->Shutdown(drain);
+  {
+    // Drop the streams (their pools read the shared storage) before the
+    // read-only freeze is lifted.
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.clear();
+  }
   if (sharded()) {
     storage_->EndConcurrentReads();
   } else {
     disk_->EndConcurrentReads();
   }
-  shut_down_ = true;
 }
 
 void QueryService::Execute(Task&& task, Group& group, int local_worker) {
@@ -194,7 +376,21 @@ void QueryService::Execute(Task&& task, Group& group, int local_worker) {
     PinCurrentThreadToCpu(worker_index);
     shard.pinned = true;
   }
-  QueryResult result = RunQuery(task.request, shard);
+  const bool is_session = task.session != nullptr;
+  QueryResult result = is_session
+                           ? RunSessionBatch(*task.session, task.batch_n)
+                           : RunQuery(task.spec, shard);
+  if (is_session) {
+    // Refresh last_used *before* returning the inflight ticket: the
+    // moment inflight hits 0 the session is evictable, and an eviction
+    // pass racing this completion must see a fresh timestamp — not the
+    // submit-time one — or it could reclaim an actively-streamed session.
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      task.session->last_used = std::chrono::steady_clock::now();
+    }
+    task.session->inflight.fetch_sub(1, std::memory_order_acq_rel);
+  }
   result.stats.worker = worker_index;
   result.stats.shard =
       sharded() ? static_cast<int>(group.shard) : -1;
@@ -212,6 +408,7 @@ void QueryService::Execute(Task&& task, Group& group, int local_worker) {
     std::lock_guard<std::mutex> lock(shard.mu);
     if (result.status.ok()) {
       ++shard.completed;
+      if (is_session) ++shard.session_batches;
     } else {
       ++shard.failed;
     }
@@ -224,30 +421,89 @@ void QueryService::Execute(Task&& task, Group& group, int local_worker) {
   task.promise.set_value(std::move(result));
 }
 
-QueryResult QueryService::RunQuery(const QueryRequest& request,
-                                   Worker& worker) {
+QueryResult QueryService::RunSessionBatch(Session& session, int n) {
   QueryResult result;
-  result.kind = request.kind;
+  result.kind = QueryKind::kIncrementalTopK;
   result.result_hash = algo::kFnvOffsetBasis;
-
-  const int num_costs =
-      sharded() ? sharded_files_.num_costs : files_.num_costs;
-  const bool needs_weights = request.kind != QueryKind::kSkyline;
-  if (needs_weights &&
-      static_cast<int>(request.weights.size()) != num_costs) {
-    result.status = Status::InvalidArgument(
-        "QueryRequest: weights size must equal the network's d");
+  if (n < 0) {
+    result.status =
+        Status::InvalidArgument("SessionNext: batch size must be >= 0");
     return result;
   }
-  if (needs_weights && request.k <= 0) {
-    result.status = Status::InvalidArgument("QueryRequest: k must be > 0");
+  // One batch at a time per session; concurrent SessionNext calls on the
+  // same id serialize here (each on some worker of the home group).
+  std::lock_guard<std::mutex> lock(session.mu);
+  Stopwatch watch;
+  if (session.reader == nullptr) {
+    // First batch: build the session's private reader set (no I/O yet —
+    // pools start empty) and pin it for the stream's lifetime.
+    session.reader = MakeReader(&session.pool);
+    if (sharded()) {
+      static_cast<shard::ShardedNetworkReader*>(session.reader.get())
+          ->set_home_shard(groups_[session.group].shard);
+    }
+  }
+  const storage::BufferPool::Stats before = session.reader->PoolStats();
+  if (session.engine == nullptr) {
+    // Engine construction does I/O (expansion seeding), charged to this
+    // first batch — the same accounting as a local run that builds its
+    // iterator and pulls, which keeps session logical I/O comparable to
+    // a fresh IncrementalTopK over an equal-capacity pool. The engine
+    // stays warm across batches — what distinguishes a session from
+    // re-running "first k" queries.
+    auto engine = expand::MakeEngine(session.spec.engine,
+                                     session.reader.get(),
+                                     session.spec.location);
+    if (!engine.ok()) {
+      result.status = engine.status();
+      return result;
+    }
+    session.engine = std::move(engine).value();
+    session.query = std::make_unique<algo::IncrementalTopK>(
+        session.engine.get(),
+        algo::WeightedSum(session.spec.preference.weights));
+  }
+  // Pull until n rows pass the caps (streaming constraint semantics: a
+  // constrained batch still fills up, DESIGN.md §9) or the component is
+  // exhausted.
+  const auto& constraints = session.spec.preference.constraints;
+  auto batch = session.query->NextBatch(
+      n, [&constraints](const algo::TopKEntry& row) {
+        return algo::PassesCaps(constraints, row);
+      });
+  if (!batch.ok()) {
+    result.status = batch.status();
+    return result;
+  }
+  result.topk = std::move(batch).value();
+  result.exhausted = session.query->exhausted();
+  result.stats.exec_seconds = watch.ElapsedSeconds();
+  const storage::BufferPool::Stats after = session.reader->PoolStats();
+  result.stats.buffer_misses = after.misses - before.misses;
+  result.stats.buffer_accesses = after.accesses() - before.accesses();
+  result.result_hash = algo::HashResult(result.topk);
+  return result;
+}
+
+QueryResult QueryService::RunQuery(const api::QuerySpec& spec,
+                                   Worker& worker) {
+  QueryResult result;
+  result.kind = spec.kind;
+  result.result_hash = algo::kFnvOffsetBasis;
+
+  // Full semantic validation on the executing worker: malformed specs —
+  // wrong-size/negative weights, bad k, bad constraints — surface as an
+  // error result (rejectable over the wire), never a CHECK crash.
+  Status valid = spec.Validate(num_costs());
+  if (!valid.ok()) {
+    result.status = std::move(valid);
     return result;
   }
 
   // Intra-query parallelism: 0 = classic serial path; 1 = inline turn
   // schedule over the worker's own reader; > 1 = pooled turns on the
   // worker's ExpansionExecutor (clamped to the service's configuration).
-  int par = std::min(request.parallelism, opts_.per_query_parallelism);
+  int par = std::min<int>(spec.parallelism, opts_.per_query_parallelism);
   if (par > 1 && worker.expansion == nullptr) {
     // Built lazily on the first parallel request, so a service whose
     // clients never opt in pays no probe threads or extra pools. Safe
@@ -286,7 +542,7 @@ QueryResult QueryService::RunQuery(const QueryRequest& request,
   std::unique_ptr<expand::NnEngine> engine_holder;
   std::unique_ptr<expand::ParallelProbeScheduler> scheduler;
   if (pooled) {
-    auto rig_or = worker.expansion->NewQuery(request.location);
+    auto rig_or = worker.expansion->NewQuery(spec.location);
     if (!rig_or.ok()) {
       result.status = rig_or.status();
       return result;
@@ -300,7 +556,7 @@ QueryResult QueryService::RunQuery(const QueryRequest& request,
     // contents and pop order match the striped cache) without paying for
     // 64 stripes + single-flight machinery per query.
     auto engine_or = expand::CeaEngine::Create(worker.reader.get(),
-                                               request.location);
+                                               spec.location);
     if (!engine_or.ok()) {
       result.status = engine_or.status();
       return result;
@@ -309,8 +565,8 @@ QueryResult QueryService::RunQuery(const QueryRequest& request,
         engine_or.value().get(), /*pool=*/nullptr, /*striped=*/nullptr);
     engine_holder = std::move(engine_or).value();
   } else {
-    auto engine_or = expand::MakeEngine(request.engine, worker.reader.get(),
-                                        request.location);
+    auto engine_or = expand::MakeEngine(spec.engine, worker.reader.get(),
+                                        spec.location);
     if (!engine_or.ok()) {
       result.status = engine_or.status();
       return result;
@@ -322,7 +578,8 @@ QueryResult QueryService::RunQuery(const QueryRequest& request,
   exec.parallelism = par;
   exec.scheduler = scheduler.get();
 
-  switch (request.kind) {
+  const auto& constraints = spec.preference.constraints;
+  switch (spec.kind) {
     case QueryKind::kSkyline: {
       algo::SkylineOptions sky_opts;
       sky_opts.exec = exec;
@@ -337,9 +594,10 @@ QueryResult QueryService::RunQuery(const QueryRequest& request,
     }
     case QueryKind::kTopK: {
       algo::TopKOptions topk_opts;
-      topk_opts.k = request.k;
+      topk_opts.k = spec.k;
       topk_opts.exec = exec;
-      algo::TopKQuery query(engine, algo::WeightedSum(request.weights),
+      algo::TopKQuery query(engine,
+                            algo::WeightedSum(spec.preference.weights),
                             topk_opts);
       auto rows = query.Run();
       if (!rows.ok()) {
@@ -351,18 +609,32 @@ QueryResult QueryService::RunQuery(const QueryRequest& request,
     }
     case QueryKind::kIncrementalTopK: {
       algo::IncrementalTopK query(engine,
-                                  algo::WeightedSum(request.weights),
+                                  algo::WeightedSum(spec.preference.weights),
                                   algo::ProbePolicy::kRoundRobin, exec);
-      for (int i = 0; i < request.k; ++i) {
-        auto next = query.NextBest();
-        if (!next.ok()) {
-          result.status = next.status();
-          return result;
-        }
-        if (!next.value().has_value()) break;  // component exhausted
-        result.topk.push_back(*std::move(next).value());
+      // First-k pull with streaming caps (same row-for-row semantics as a
+      // session over this spec; unconstrained it is the classic k-pull).
+      auto batch = query.NextBatch(
+          spec.k, [&constraints](const algo::TopKEntry& row) {
+            return algo::PassesCaps(constraints, row);
+          });
+      if (!batch.ok()) {
+        result.status = batch.status();
+        return result;
       }
+      result.topk = std::move(batch).value();
+      result.exhausted = query.exhausted();
       break;
+    }
+  }
+  // Post-dominance constraint filter (algo/constraints.h): an exact no-op
+  // for unconstrained specs — result hashes stay byte-identical. The
+  // incremental path filtered while pulling (above), so caps are already
+  // satisfied and re-applying is idempotent.
+  if (!constraints.Unconstrained()) {
+    if (spec.kind == QueryKind::kSkyline) {
+      algo::ApplyConstraints(constraints, &result.skyline);
+    } else {
+      algo::ApplyConstraints(constraints, &result.topk);
     }
   }
   result.stats.exec_seconds = watch.ElapsedSeconds();
@@ -371,8 +643,9 @@ QueryResult QueryService::RunQuery(const QueryRequest& request,
   result.stats.buffer_misses = after.misses - before.misses;
   result.stats.buffer_accesses = after.accesses() - before.accesses();
 
-  // Hashed outside the measured window, like the bench harness.
-  result.result_hash = request.kind == QueryKind::kSkyline
+  // Hashed outside the measured window, like the bench harness; the hash
+  // covers exactly the rows the client receives (post-constraint).
+  result.result_hash = spec.kind == QueryKind::kSkyline
                            ? algo::HashResult(result.skyline)
                            : algo::HashResult(result.topk);
   return result;
@@ -398,6 +671,7 @@ ServiceStats QueryService::Snapshot() const {
       expansion = worker->expansion.get();  // published under mu
       stats.completed += worker->completed;
       stats.failed += worker->failed;
+      stats.session_batches += worker->session_batches;
       stats.buffer_misses += worker->buffer_misses;
       stats.buffer_accesses += worker->buffer_accesses;
       stats.cpu_seconds += worker->cpu_seconds;
@@ -424,6 +698,7 @@ ServiceStats QueryService::Snapshot() const {
       row.remote_fetches += io.remote_fetches;
     }
   }
+  stats.open_sessions = num_open_sessions();
   stats.wall_seconds = uptime_.ElapsedSeconds();
   if (stats.wall_seconds > 0) {
     stats.qps = static_cast<double>(stats.completed + stats.failed) /
@@ -438,6 +713,7 @@ void QueryService::ResetStats() {
     std::lock_guard<std::mutex> lock(worker->mu);
     worker->completed = 0;
     worker->failed = 0;
+    worker->session_batches = 0;
     worker->buffer_misses = 0;
     worker->buffer_accesses = 0;
     worker->cpu_seconds = 0;

@@ -1,5 +1,5 @@
 // QueryService: the concurrent serving layer above the paper's query
-// processors (DESIGN.md §6, §8). One service owns
+// processors (DESIGN.md §6, §8, §9). One service owns
 //
 //   * a shared, read-only storage root — either one flat DiskManager or a
 //     shard::ShardedStorage of K per-tile disks, frozen for the service's
@@ -17,26 +17,46 @@
 //     pinned (best-effort, sched_setaffinity) to a contiguous CPU range —
 //     the placeholder for per-socket NUMA placement.
 //
-// Every submitted QueryRequest is executed on some worker of its group
-// with a freshly constructed engine (LSA/CEA d-expansions + CandidateStore
-// are per-query state, so nothing of a query is visible to another), and
-// resolves a std::future<QueryResult> carrying the typed result rows, an
-// FNV result hash (byte-identical to a single-threaded run — and to every
-// other shard count K: the parity anchor of the service bench and tests),
-// and per-query stats. Workers also feed the service-level aggregation:
-// latency percentiles (p50/p95/p99), QPS, and per-shard local/remote
-// fetch totals.
+// Every entry point speaks api::QuerySpec (the unified preference-query
+// API, DESIGN.md §9): Submit validates the spec on the executing worker —
+// malformed specs resolve their future with an InvalidArgument result
+// instead of crashing — runs it with a freshly constructed engine
+// (LSA/CEA d-expansions + CandidateStore are per-query state, so nothing
+// of a query is visible to another), applies the spec's preference
+// constraints as a post-dominance filter (an exact no-op when
+// unconstrained), and resolves a std::future<QueryResult> carrying the
+// typed result rows, an FNV result hash (byte-identical to a
+// single-threaded run — and to every other shard count K: the parity
+// anchor of the service bench and tests), and per-query stats. The legacy
+// QueryRequest overload converts and forwards; prefer constructing
+// QuerySpec directly.
+//
+// Streaming incremental sessions (DESIGN.md §9): OpenSession pins an
+// incremental spec to a session — its own LRU pool set, engine and
+// algo::IncrementalTopK iterator, created lazily on the session's
+// home-shard worker group and kept warm across batches — and SessionNext
+// pulls further NextBest batches from that same engine. The session table
+// is bounded (ServiceOptions::max_sessions) with lazy idle eviction.
+//
+// Workers also feed the service-level aggregation: latency percentiles
+// (p50/p95/p99), QPS, session counters, and per-shard local/remote fetch
+// totals.
 #ifndef MCN_EXEC_QUERY_SERVICE_H_
 #define MCN_EXEC_QUERY_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "mcn/algo/common.h"
+#include "mcn/algo/incremental_topk.h"
+#include "mcn/api/query_response.h"
+#include "mcn/api/query_spec.h"
 #include "mcn/common/result.h"
 #include "mcn/common/status.h"
 #include "mcn/common/stopwatch.h"
@@ -55,15 +75,18 @@
 
 namespace mcn::exec {
 
-enum class QueryKind {
-  kSkyline,          ///< full MCN skyline (paper §IV)
-  kTopK,             ///< known-k top-k (paper §V)
-  kIncrementalTopK,  ///< incremental ranking, first `k` results (paper §V)
-};
+/// The canonical kind enum lives in the api layer; exec re-exports it so
+/// existing exec::QueryKind::kSkyline spellings keep working.
+using QueryKind = api::QueryKind;
 
-/// One query to execute. Self-contained by value, so a request can be
-/// replayed on any worker (determinism across worker counts and shard
-/// counts).
+/// Streaming-session handle (see OpenSession). Ids are service-scoped and
+/// never reused.
+using SessionId = uint64_t;
+
+/// Legacy request shape, kept as a thin shim over api::QuerySpec (the
+/// fields map one to one; ToSpec() is the conversion Submit applies).
+/// Deprecated: construct api::QuerySpec directly — it adds preference
+/// constraints and is what the wire protocol transports.
 struct QueryRequest {
   QueryKind kind = QueryKind::kSkyline;
   graph::Location location = graph::Location::AtNode(graph::kInvalidNode);
@@ -83,6 +106,8 @@ struct QueryRequest {
   /// (size must equal the network's d).
   int k = 4;
   std::vector<double> weights;
+
+  api::QuerySpec ToSpec() const;
 };
 
 /// Per-query measurements taken on the executing worker.
@@ -100,8 +125,8 @@ struct QueryStats {
   uint64_t buffer_accesses = 0;
 };
 
-/// Outcome of one request. Exactly one of `skyline` / `topk` is filled
-/// (by kind) when `status` is OK.
+/// Outcome of one request (or one session batch). Exactly one of
+/// `skyline` / `topk` is filled (by kind) when `status` is OK.
 struct QueryResult {
   Status status = Status::OK();
   QueryKind kind = QueryKind::kSkyline;
@@ -109,7 +134,16 @@ struct QueryResult {
   std::vector<algo::TopKEntry> topk;  ///< also the incremental results
   /// algo::HashResult over the filled rows (kFnvOffsetBasis when failed).
   uint64_t result_hash = 0;
+  /// Incremental only: the reachable component is fully reported (a
+  /// session batch shorter than its asked-for n also implies this).
+  bool exhausted = false;
   QueryStats stats;
+
+  /// The transportable subset of this result (api/wire.h encodes it).
+  /// The rvalue overload moves the row vectors — what a server should
+  /// call on a result it is done with.
+  api::QueryResponse ToResponse() const&;
+  api::QueryResponse ToResponse() &&;
 };
 
 struct ServiceOptions {
@@ -122,7 +156,8 @@ struct ServiceOptions {
   /// gen::BufferFrames). Every worker gets the same capacity so per-query
   /// miss counts match a single-threaded run exactly. In sharded mode the
   /// budget is split evenly across the worker's K shard pools
-  /// (shard::FramesPerShard).
+  /// (shard::FramesPerShard). Sessions get the same budget, so a session
+  /// stream's logical I/O matches a local IncrementalTopK run.
   size_t pool_frames_per_worker = 0;
   /// Modeled I/O latency charged per buffer miss (as in the bench harness).
   double io_latency_ms = 5.0;
@@ -132,14 +167,15 @@ struct ServiceOptions {
   /// Clear + reset the worker's pools before each query (the paper's
   /// independent-query model; also what makes per-query miss counts
   /// deterministic across worker counts). When false, a worker's pools
-  /// stay warm across the queries it happens to execute.
+  /// stay warm across the queries it happens to execute. Sessions are
+  /// never reset between batches — warm continuation is their point.
   bool cold_cache_per_query = true;
   /// Probe threads available to one query (DESIGN.md §7). > 1 lets a
   /// service worker build its own ExpansionExecutor — lazily, on the
   /// worker's first request with parallelism > 1, so services whose
   /// clients never opt in pay nothing; the worker's later parallel
   /// queries then share that executor's probe pool and reader slots.
-  /// Requests opt in per query via QueryRequest::parallelism.
+  /// Requests opt in per query via QuerySpec::parallelism.
   /// 1 = turn-schedule requests run inline.
   int per_query_parallelism = 1;
   /// Sharded mode: how pool_frames_per_worker maps onto a worker's K
@@ -155,10 +191,17 @@ struct ServiceOptions {
   /// affinity syscalls (CI containers, non-Linux) are silently ignored,
   /// so correctness and CI never depend on it.
   bool pin_workers = false;
+  /// Bound on concurrently open streaming sessions (DESIGN.md §9). An
+  /// OpenSession beyond the bound evicts the least-recently-used idle
+  /// session; when every session is busy it fails instead.
+  size_t max_sessions = 64;
+  /// Sessions untouched for this long are evicted lazily (checked on the
+  /// next OpenSession). <= 0 disables idle eviction.
+  double session_idle_seconds = 300.0;
 };
 
-/// See the file comment. Thread-safe: Submit/Drain/Snapshot may be called
-/// from any thread; Shutdown from one thread at a time.
+/// See the file comment. Thread-safe: Submit/session calls/Drain/Snapshot
+/// may be called from any thread; Shutdown from one thread at a time.
 class QueryService {
  public:
   /// Flat storage: `disk`/`files` describe a fully built network (see
@@ -183,17 +226,45 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  /// Enqueues `request` on its affinity group; blocks when that group's
-  /// queue is full. After shutdown the returned future is immediately
-  /// ready with a FailedPrecondition result.
+  /// Enqueues `spec` on its affinity group; blocks when that group's
+  /// queue is full. Malformed specs resolve the future with an
+  /// InvalidArgument result (never a crash). After shutdown the returned
+  /// future is immediately ready with a FailedPrecondition result.
+  std::future<QueryResult> Submit(api::QuerySpec spec);
+
+  /// Legacy entry point; converts to api::QuerySpec and forwards.
   std::future<QueryResult> Submit(QueryRequest request);
+
+  /// Opens a streaming incremental session for `spec` (kind must be
+  /// kIncrementalTopK; the spec's k is advisory only — batch sizes are
+  /// chosen per SessionNext call). The session is bound to the location's
+  /// home-shard group and its engine is built lazily, on the group worker
+  /// executing the first SessionNext. Fails when the spec is invalid or
+  /// the session table is full of busy sessions.
+  Result<SessionId> OpenSession(api::QuerySpec spec);
+
+  /// Pulls the next `n` ranked results from the session's pinned engine
+  /// (on its home-shard group). Batches on one session serialize — a
+  /// pipelined batch waits *on its executing worker* for the previous
+  /// one, so keep per-session pipelining shallow or it parks workers
+  /// (the wire server never pipelines: one request per connection is in
+  /// flight, and connections only reach their own sessions). An
+  /// unknown/evicted id resolves with NotFound. A batch shorter than `n`
+  /// means the reachable component is exhausted (also flagged on the
+  /// result); later batches are empty, never errors.
+  std::future<QueryResult> SessionNext(SessionId id, int n);
+
+  /// Closes (evicts) a session. NotFound for unknown/already-closed ids.
+  /// An in-flight batch finishes normally.
+  Status CloseSession(SessionId id);
 
   /// Waits until every submitted query has completed.
   void Drain();
 
-  /// Stops the workers. drain=true completes the backlog first; drain=false
-  /// discards it — a discarded query's future resolves with a
-  /// FailedPrecondition result (futures never throw). Idempotent.
+  /// Stops the workers and drops every open session. drain=true completes
+  /// the backlog first; drain=false discards it — a discarded query's
+  /// future resolves with a FailedPrecondition result (futures never
+  /// throw). Idempotent.
   void Shutdown(bool drain = true);
 
   /// Aggregated service statistics since construction (or ResetStats);
@@ -207,12 +278,43 @@ class QueryService {
   int num_workers() const { return static_cast<int>(workers_.size()); }
   int num_groups() const { return static_cast<int>(groups_.size()); }
   bool sharded() const { return storage_ != nullptr; }
+  /// The served network's cost dimensionality d (what specs validate
+  /// against).
+  int num_costs() const {
+    return sharded() ? sharded_files_.num_costs : files_.num_costs;
+  }
+  size_t num_open_sessions() const;
   const ServiceOptions& options() const { return opts_; }
 
  private:
-  /// What rides the MPMC queue: the request plus its promise.
+  /// One pinned incremental stream (DESIGN.md §9): its own reader/pool
+  /// set and iterator, warm across batches, confined to one batch at a
+  /// time by `mu`.
+  struct Session {
+    SessionId id = 0;
+    api::QuerySpec spec;
+    int group = 0;  ///< home-shard group index (routing affinity)
+    /// Flat mode only: the pool behind `reader` (sharded readers own
+    /// their per-shard pools).
+    std::unique_ptr<storage::BufferPool> pool;
+    std::unique_ptr<net::NetworkReader> reader;
+    std::unique_ptr<expand::NnEngine> engine;
+    std::unique_ptr<algo::IncrementalTopK> query;
+    std::mutex mu;  ///< serializes batches on this session
+    /// Batches submitted but not yet finished; only idle (== 0) sessions
+    /// are evictable.
+    std::atomic<int> inflight{0};
+    /// Last submit/completion, for LRU + idle eviction (guarded by the
+    /// service's sessions_mu_).
+    std::chrono::steady_clock::time_point last_used{};
+  };
+
+  /// What rides the MPMC queue: a one-shot spec or a session batch pull,
+  /// plus the promise.
   struct Task {
-    QueryRequest request;
+    api::QuerySpec spec;
+    std::shared_ptr<Session> session;  ///< non-null: session batch
+    int batch_n = 0;
     std::promise<QueryResult> promise;
     std::chrono::steady_clock::time_point enqueue_time{};
   };
@@ -233,6 +335,7 @@ class QueryService {
     std::vector<double> latency_ms;
     uint64_t completed = 0;
     uint64_t failed = 0;
+    uint64_t session_batches = 0;
     uint64_t buffer_misses = 0;
     uint64_t buffer_accesses = 0;
     double cpu_seconds = 0;
@@ -254,13 +357,32 @@ class QueryService {
                const ServiceOptions& options);
 
   void StartGroups();
-  /// The group owning `location` under the routing table (flat: group 0).
-  Group& RouteGroup(const graph::Location& location);
+  /// Builds one reader over the service's storage with the per-worker
+  /// pool budget — the single construction path for worker and session
+  /// readers. Flat mode materializes the backing pool into `flat_pool`;
+  /// sharded readers own their per-shard pools.
+  std::unique_ptr<net::NetworkReader> MakeReader(
+      std::unique_ptr<storage::BufferPool>* flat_pool) const;
+  /// The group index owning `location` under the routing table (flat: 0).
+  int RouteGroupIndex(const graph::Location& location) const;
+
+  /// Enqueues `task` on `group`, resolving the future immediately when
+  /// the service is shut down.
+  std::future<QueryResult> Enqueue(Task&& task, Group& group);
 
   void Execute(Task&& task, Group& group, int local_worker);
   /// Runs the query on `worker`'s shard; fills everything but the latency
   /// fields of the result stats.
-  QueryResult RunQuery(const QueryRequest& request, Worker& worker);
+  QueryResult RunQuery(const api::QuerySpec& spec, Worker& worker);
+  /// Runs one session batch (creating the session's engine on first use).
+  QueryResult RunSessionBatch(Session& session, int n);
+
+  /// sessions_mu_ held: drops idle sessions past the idle timeout (runs
+  /// on every OpenSession).
+  void EvictExpiredSessions();
+  /// sessions_mu_ held: drops the LRU idle session to make room in a
+  /// full table. False = every session is busy.
+  bool MakeSessionRoom();
 
   storage::DiskManager* disk_ = nullptr;        ///< flat mode
   shard::ShardedStorage* storage_ = nullptr;    ///< sharded mode
@@ -269,6 +391,9 @@ class QueryService {
   ServiceOptions opts_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<Group> groups_;
+  mutable std::mutex sessions_mu_;
+  std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_;
+  SessionId next_session_id_ = 1;
   Stopwatch uptime_;
   bool shut_down_ = false;
 };

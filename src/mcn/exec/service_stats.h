@@ -50,6 +50,10 @@ struct ShardServiceStats {
 struct ServiceStats {
   uint64_t completed = 0;   ///< queries finished with an OK status
   uint64_t failed = 0;      ///< queries finished with a non-OK status
+  /// Streaming-session slice (DESIGN.md §9): batches are also counted in
+  /// completed/failed; open_sessions is the table size at snapshot time.
+  uint64_t session_batches = 0;
+  uint64_t open_sessions = 0;
   uint64_t buffer_misses = 0;
   uint64_t buffer_accesses = 0;
   double cpu_seconds = 0;    ///< summed per-query execution time

@@ -1,0 +1,372 @@
+// Client/server end-to-end differential (DESIGN.md §9): an api::Server on
+// localhost over a sharded exec::QueryService, driven by api::Client
+// through the wire protocol. The transport-determinism contract — for
+// every query kind, wire-executed results are byte-identical in result
+// hash and logical fetch counts to in-process QueryService execution — is
+// checked at shard counts K in {1, 2, 4}, and wire-streamed incremental
+// sessions must replay a local IncrementalTopK iterator. Also covers
+// protocol-level behavior a unit test can't: error transport for
+// malformed specs, concurrent client connections, session cleanup on
+// disconnect, and garbage-frame rejection on a live socket.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "mcn/algo/incremental_topk.h"
+#include "mcn/algo/result_hash.h"
+#include "mcn/api/client.h"
+#include "mcn/api/server.h"
+#include "mcn/api/socket_io.h"
+#include "mcn/api/wire.h"
+#include "mcn/exec/query_service.h"
+#include "mcn/gen/workload.h"
+#include "test_util.h"
+
+namespace mcn::api {
+namespace {
+
+gen::ExperimentConfig SmallConfig(uint64_t seed) {
+  gen::ExperimentConfig config;
+  config.nodes = 400;
+  config.edges = 520;
+  config.facilities = 60;
+  config.clusters = 4;
+  config.num_costs = 3;
+  config.buffer_pct = 1.0;
+  config.seed = seed;
+  return config;
+}
+
+std::vector<QuerySpec> MixedSpecs(const gen::ShardedInstance& instance,
+                                  uint64_t seed, int count) {
+  Random rng(seed);
+  const int d = instance.graph.num_costs();
+  std::vector<QuerySpec> specs;
+  specs.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    QuerySpec spec;
+    const graph::Location loc = instance.RandomQueryLocation(rng);
+    switch (i % 3) {
+      case 0:
+        spec = SkylineSpec(loc);
+        break;
+      case 1:
+        spec = TopKSpec(loc, 4, test::TestWeights(d, seed + i));
+        break;
+      case 2:
+        spec = IncrementalSpec(loc, 3, test::TestWeights(d, seed + i));
+        break;
+    }
+    spec.engine = i % 2 == 0 ? expand::EngineKind::kCea
+                             : expand::EngineKind::kLsa;
+    if (i % 5 == 4) {
+      // Sprinkle in constraints so the filter crosses the wire too.
+      if (spec.kind == QueryKind::kSkyline) {
+        spec.preference.constraints.epsilon = 0.25;
+      } else {
+        spec.preference.constraints.cost_caps.assign(
+            d, 1e9);  // permissive caps: exercises the code path
+      }
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+struct Endpoint {
+  std::unique_ptr<gen::ShardedInstance> instance;
+  std::unique_ptr<exec::QueryService> service;
+  std::unique_ptr<Server> server;
+
+  static Endpoint Make(int num_shards, int workers, uint64_t seed = 7) {
+    Endpoint ep;
+    auto built = gen::BuildShardedInstance(SmallConfig(seed), num_shards);
+    EXPECT_TRUE(built.ok());
+    ep.instance = std::move(built).value();
+    exec::ServiceOptions opts;
+    opts.num_workers = workers;
+    opts.queue_capacity = 64;
+    opts.pool_frames_per_worker = ep.instance->pool_frames;
+    auto service = exec::QueryService::Create(&ep.instance->storage,
+                                              ep.instance->files, opts);
+    EXPECT_TRUE(service.ok());
+    ep.service = std::move(service).value();
+    auto server = Server::Start(ep.service.get(), {});
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    ep.server = std::move(server).value();
+    return ep;
+  }
+};
+
+TEST(ApiServerE2eTest, WireExecutionMatchesInProcessAcrossShardCounts) {
+  // The flat-anchored hashes: K=1 in-process execution.
+  std::vector<uint64_t> anchor_hashes;
+  for (int num_shards : {1, 2, 4}) {
+    SCOPED_TRACE("K=" + std::to_string(num_shards));
+    Endpoint ep = Endpoint::Make(num_shards, /*workers=*/3);
+    const auto specs = MixedSpecs(*ep.instance, 123, 18);
+
+    // In-process reference through the same service.
+    std::vector<uint64_t> ref_hashes, ref_misses;
+    for (const QuerySpec& spec : specs) {
+      exec::QueryResult result = ep.service->Submit(spec).get();
+      ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+      ref_hashes.push_back(result.result_hash);
+      ref_misses.push_back(result.stats.buffer_misses);
+    }
+
+    // The same specs over the wire.
+    auto client = Client::Connect("127.0.0.1", ep.server->port());
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    for (size_t i = 0; i < specs.size(); ++i) {
+      auto response = (*client)->Execute(specs[i]);
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      ASSERT_TRUE(response.value().status.ok())
+          << response.value().status.ToString();
+      EXPECT_EQ(response.value().result_hash, ref_hashes[i])
+          << "query " << i << ": wire result diverged from in-process";
+      EXPECT_EQ(response.value().buffer_misses, ref_misses[i])
+          << "query " << i << ": wire logical I/O diverged";
+      // The hash transported must also match the rows transported.
+      const QueryResponse& r = response.value();
+      EXPECT_EQ(r.result_hash, r.kind == QueryKind::kSkyline
+                                   ? algo::HashResult(r.skyline)
+                                   : algo::HashResult(r.topk));
+    }
+    if (anchor_hashes.empty()) {
+      anchor_hashes = ref_hashes;
+    } else {
+      // K-invariance carries through the transport trivially once the
+      // above holds; assert it anyway so a drift names the shard count.
+      EXPECT_EQ(ref_hashes, anchor_hashes);
+    }
+  }
+}
+
+TEST(ApiServerE2eTest, WireSessionReplaysLocalIterator) {
+  Endpoint ep = Endpoint::Make(/*num_shards=*/2, /*workers=*/2);
+  const int d = ep.instance->graph.num_costs();
+  Random rng(31);
+  const graph::Location loc = ep.instance->RandomQueryLocation(rng);
+  QuerySpec spec = IncrementalSpec(loc, 4, test::TestWeights(d, 17));
+
+  // Local ground truth over the full component.
+  std::vector<algo::TopKEntry> expected;
+  {
+    shard::ShardedNetworkReader reader(
+        &ep.instance->storage, ep.instance->files,
+        shard::FramesPerShard(ep.instance->pool_frames,
+                              ep.instance->storage.num_shards()));
+    auto engine = expand::MakeEngine(spec.engine, &reader, loc);
+    ASSERT_TRUE(engine.ok());
+    algo::IncrementalTopK local(engine.value().get(),
+                                algo::WeightedSum(spec.preference.weights));
+    for (;;) {
+      auto next = local.NextBest();
+      ASSERT_TRUE(next.ok());
+      if (!next.value().has_value()) break;
+      expected.push_back(*std::move(next).value());
+    }
+  }
+  ASSERT_FALSE(expected.empty());
+
+  auto client = Client::Connect("127.0.0.1", ep.server->port());
+  ASSERT_TRUE(client.ok());
+  auto session = (*client)->OpenSession(spec);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  std::vector<algo::TopKEntry> streamed;
+  for (;;) {
+    auto batch = (*client)->Next(*session, 3);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    ASSERT_TRUE(batch.value().status.ok());
+    for (auto& row : batch.value().topk) streamed.push_back(std::move(row));
+    if (batch.value().exhausted) break;
+    ASSERT_LE(streamed.size(), expected.size() + 3) << "stream overran";
+  }
+  EXPECT_EQ(streamed.size(), expected.size());
+  EXPECT_EQ(algo::HashResult(streamed), algo::HashResult(expected));
+
+  EXPECT_TRUE((*client)->CloseSession(*session).ok());
+  EXPECT_EQ((*client)->CloseSession(*session).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ApiServerE2eTest, MalformedSpecsComeBackAsErrorsOverTheWire) {
+  Endpoint ep = Endpoint::Make(/*num_shards=*/1, /*workers=*/2);
+  auto client = Client::Connect("127.0.0.1", ep.server->port());
+  ASSERT_TRUE(client.ok());
+  Random rng(5);
+
+  // Wrong-dimension weights: the server worker must answer with an
+  // InvalidArgument response — not crash, not drop the connection.
+  QuerySpec bad = TopKSpec(ep.instance->RandomQueryLocation(rng), 3, {1.0});
+  auto response = (*client)->Execute(bad);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response.value().status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(response.value().num_rows(), 0u);
+
+  // Unknown session ids are NotFound, also over the wire.
+  auto next = (*client)->Next(987654, 3);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next.value().status.code(), StatusCode::kNotFound);
+
+  // Session ownership: a second connection can neither pull from nor
+  // close a stream it did not open (ids are sequential and guessable).
+  const int d = ep.instance->graph.num_costs();
+  auto session = (*client)->OpenSession(IncrementalSpec(
+      ep.instance->RandomQueryLocation(rng), 2, test::TestWeights(d, 8)));
+  ASSERT_TRUE(session.ok());
+  auto intruder = Client::Connect("127.0.0.1", ep.server->port());
+  ASSERT_TRUE(intruder.ok());
+  auto stolen = (*intruder)->Next(*session, 5);
+  ASSERT_TRUE(stolen.ok());
+  EXPECT_EQ(stolen.value().status.code(), StatusCode::kNotFound);
+  EXPECT_EQ((*intruder)->CloseSession(*session).code(),
+            StatusCode::kNotFound);
+  // The owner still reads its stream undisturbed from the start.
+  auto owned = (*client)->Next(*session, 1);
+  ASSERT_TRUE(owned.ok());
+  EXPECT_TRUE(owned.value().status.ok());
+  EXPECT_EQ(owned.value().topk.size(), 1u);
+  EXPECT_TRUE((*client)->CloseSession(*session).ok());
+
+  // The connection is still healthy afterwards.
+  auto good =
+      (*client)->Execute(SkylineSpec(ep.instance->RandomQueryLocation(rng)));
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good.value().status.ok());
+}
+
+TEST(ApiServerE2eTest, ConcurrentClientsGetConsistentAnswers) {
+  Endpoint ep = Endpoint::Make(/*num_shards=*/2, /*workers=*/4);
+  const auto specs = MixedSpecs(*ep.instance, 99, 12);
+  std::vector<uint64_t> ref;
+  for (const QuerySpec& spec : specs) {
+    exec::QueryResult result = ep.service->Submit(spec).get();
+    ASSERT_TRUE(result.status.ok());
+    ref.push_back(result.result_hash);
+  }
+  constexpr int kClients = 4;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = Client::Connect("127.0.0.1", ep.server->port());
+      if (!client.ok()) {
+        failures[c] = 1;
+        return;
+      }
+      for (size_t i = 0; i < specs.size(); ++i) {
+        auto response = (*client)->Execute(specs[i]);
+        if (!response.ok() || !response.value().status.ok() ||
+            response.value().result_hash != ref[i]) {
+          failures[c] = 1;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], 0) << "client " << c;
+  }
+  EXPECT_GE(ep.server->connections_accepted(), 4u);
+}
+
+TEST(ApiServerE2eTest, SessionsAreClosedOnDisconnect) {
+  Endpoint ep = Endpoint::Make(/*num_shards=*/1, /*workers=*/2);
+  const int d = ep.instance->graph.num_costs();
+  Random rng(3);
+  {
+    auto client = Client::Connect("127.0.0.1", ep.server->port());
+    ASSERT_TRUE(client.ok());
+    auto session = (*client)->OpenSession(IncrementalSpec(
+        ep.instance->RandomQueryLocation(rng), 2, test::TestWeights(d, 1)));
+    ASSERT_TRUE(session.ok());
+    EXPECT_EQ(ep.service->num_open_sessions(), 1u);
+  }  // client destroyed: disconnect
+  // The server's connection thread notices EOF and closes the session.
+  for (int spin = 0; spin < 200; ++spin) {
+    if (ep.service->num_open_sessions() == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(ep.service->num_open_sessions(), 0u);
+}
+
+/// Raw loopback connection for protocol-violation probes.
+int RawConnect(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  return fd;
+}
+
+TEST(ApiServerE2eTest, GarbageFramesAreRejectedWithoutTakingTheServerDown) {
+  Endpoint ep = Endpoint::Make(/*num_shards=*/1, /*workers=*/2);
+
+  {
+    // Version-mismatch frame: the server must answer with an error
+    // response, then hang up this connection.
+    WireRequest request;
+    request.type = MsgType::kCloseSession;
+    request.session_id = 1;
+    std::string frame = EncodeRequestFrame(request);
+    frame[4] = static_cast<char>(kWireVersion + 7);  // payload[0] = version
+    const int fd = RawConnect(ep.server->port());
+    ASSERT_TRUE(SendFrame(fd, frame).ok());
+    auto payload = RecvFramePayload(fd);
+    ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+    auto response = DecodeResponsePayload(payload.value());
+    ASSERT_TRUE(response.ok());
+    EXPECT_FALSE(response.value().response.status.ok());
+    EXPECT_NE(
+        response.value().response.status.message().find("version"),
+        std::string::npos);
+    // The stream is dropped after a framing error: next read is EOF.
+    auto eof = RecvFramePayload(fd);
+    EXPECT_FALSE(eof.ok());
+    ::close(fd);
+  }
+  {
+    // Pure garbage bytes framed with a plausible length.
+    const int fd = RawConnect(ep.server->port());
+    std::string garbage("\x08\x00\x00\x00metadata", 12);
+    ASSERT_TRUE(SendFrame(fd, garbage).ok());
+    auto payload = RecvFramePayload(fd);
+    ASSERT_TRUE(payload.ok());
+    auto response = DecodeResponsePayload(payload.value());
+    ASSERT_TRUE(response.ok());
+    EXPECT_FALSE(response.value().response.status.ok());
+    ::close(fd);
+  }
+
+  // A live server outlives protocol violators and still serves new
+  // connections.
+  auto client = Client::Connect("127.0.0.1", ep.server->port());
+  ASSERT_TRUE(client.ok());
+  Random rng(9);
+  auto good =
+      (*client)->Execute(SkylineSpec(ep.instance->RandomQueryLocation(rng)));
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good.value().status.ok());
+}
+
+}  // namespace
+}  // namespace mcn::api

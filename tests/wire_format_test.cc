@@ -1,0 +1,349 @@
+// Wire-format invariants (DESIGN.md §9): exhaustive encode/decode
+// round-trips over randomized QuerySpec/QueryResponse values, canonical
+// re-encoding (encode(decode(b)) == b), and rejection — never a crash —
+// of truncated frames, bit-flipped garbage, trailing bytes and version
+// mismatches.
+#include "mcn/api/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mcn/algo/result_hash.h"
+#include "mcn/common/random.h"
+#include "test_util.h"
+
+namespace mcn::api {
+namespace {
+
+QuerySpec RandomSpec(Random& rng) {
+  QuerySpec spec;
+  const int d = 1 + static_cast<int>(rng.Next() % 5);
+  spec.kind = static_cast<QueryKind>(rng.Next() % 3);
+  if (rng.Next() % 2 == 0) {
+    spec.location = graph::Location::AtNode(
+        static_cast<graph::NodeId>(rng.Next() % 100000));
+  } else {
+    const auto a = static_cast<graph::NodeId>(rng.Next() % 100000);
+    const auto b = static_cast<graph::NodeId>(1 + rng.Next() % 99999);
+    spec.location = graph::Location::OnEdge(
+        graph::EdgeKey(a, a == b ? b + 1 : b), rng.NextDouble());
+  }
+  spec.k = 1 + static_cast<int32_t>(rng.Next() % 64);
+  spec.engine = rng.Next() % 2 == 0 ? expand::EngineKind::kLsa
+                                          : expand::EngineKind::kCea;
+  spec.parallelism = static_cast<int32_t>(rng.Next() % 5);
+  if (spec.kind != QueryKind::kSkyline) {
+    for (int j = 0; j < d; ++j) {
+      spec.preference.weights.push_back(rng.NextDouble() * 10.0);
+    }
+  }
+  if (spec.kind == QueryKind::kSkyline && rng.Next() % 2 == 0) {
+    spec.preference.constraints.epsilon = rng.NextDouble();
+  }
+  if (rng.Next() % 2 == 0) {
+    for (int j = 0; j < d; ++j) {
+      spec.preference.constraints.cost_caps.push_back(rng.NextDouble() *
+                                                      1000.0);
+    }
+  }
+  return spec;
+}
+
+QueryResponse RandomResponse(Random& rng) {
+  QueryResponse response;
+  response.kind = static_cast<QueryKind>(rng.Next() % 3);
+  if (rng.Next() % 8 == 0) {
+    response.status = Status::InvalidArgument("synthetic failure");
+    response.result_hash = algo::kFnvOffsetBasis;
+    return response;
+  }
+  const int d = 1 + static_cast<int>(rng.Next() % 5);
+  const int rows = static_cast<int>(rng.Next() % 20);
+  for (int r = 0; r < rows; ++r) {
+    if (response.kind == QueryKind::kSkyline) {
+      algo::SkylineEntry e;
+      e.facility = static_cast<graph::FacilityId>(rng.Next() % 1000000);
+      e.known_mask =
+          static_cast<uint32_t>(rng.Next() % (1ull << d));
+      e.costs = graph::CostVector(d);
+      for (int j = 0; j < d; ++j) e.costs[j] = rng.NextDouble() * 1e4;
+      response.skyline.push_back(e);
+    } else {
+      algo::TopKEntry e;
+      e.facility = static_cast<graph::FacilityId>(rng.Next() % 1000000);
+      e.score = rng.NextDouble() * 1e4;
+      e.costs = graph::CostVector(d);
+      for (int j = 0; j < d; ++j) e.costs[j] = rng.NextDouble() * 1e4;
+      response.topk.push_back(e);
+    }
+  }
+  response.exhausted = rng.Next() % 2 == 0;
+  response.RehashRows();
+  response.buffer_misses = rng.Next() % 100000;
+  response.buffer_accesses = rng.Next() % 1000000;
+  response.exec_seconds = rng.NextDouble();
+  return response;
+}
+
+std::string PayloadOf(const std::string& frame) {
+  EXPECT_GE(frame.size(), 4u);
+  return frame.substr(4);
+}
+
+bool SameRows(const QueryResponse& a, const QueryResponse& b) {
+  // Rows and hash compare via the shared FNV hash (order-sensitive, bit
+  // patterns included) — the same identity every parity gate uses.
+  const uint64_t ha = a.kind == QueryKind::kSkyline
+                          ? algo::HashResult(a.skyline)
+                          : algo::HashResult(a.topk);
+  const uint64_t hb = b.kind == QueryKind::kSkyline
+                          ? algo::HashResult(b.skyline)
+                          : algo::HashResult(b.topk);
+  return ha == hb && a.num_rows() == b.num_rows();
+}
+
+TEST(WireFormatTest, SpecRoundTripRandomized) {
+  const uint64_t seed = test::AnnounceSeed("WireFormatTest.Spec");
+  Random rng(seed);
+  for (int i = 0; i < 500; ++i) {
+    WireRequest request;
+    request.type =
+        rng.Next() % 2 == 0 ? MsgType::kExecute : MsgType::kOpenSession;
+    request.spec = RandomSpec(rng);
+    const std::string frame = EncodeRequestFrame(request);
+    auto decoded = DecodeRequestPayload(PayloadOf(frame));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().type, request.type);
+    ASSERT_TRUE(decoded.value().spec == request.spec) << "iteration " << i;
+    // Canonical: re-encoding reproduces the identical bytes.
+    EXPECT_EQ(EncodeRequestFrame(decoded.value()), frame);
+  }
+}
+
+TEST(WireFormatTest, SessionRequestRoundTrip) {
+  for (uint64_t id : {0ull, 1ull, 127ull, 128ull, 1ull << 40}) {
+    WireRequest next;
+    next.type = MsgType::kNext;
+    next.session_id = id;
+    next.batch_n = 17;
+    const std::string frame = EncodeRequestFrame(next);
+    auto decoded = DecodeRequestPayload(PayloadOf(frame));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().session_id, id);
+    EXPECT_EQ(decoded.value().batch_n, 17);
+    EXPECT_EQ(EncodeRequestFrame(decoded.value()), frame);
+
+    WireRequest close;
+    close.type = MsgType::kCloseSession;
+    close.session_id = id;
+    auto closed = DecodeRequestPayload(PayloadOf(EncodeRequestFrame(close)));
+    ASSERT_TRUE(closed.ok());
+    EXPECT_EQ(closed.value().session_id, id);
+  }
+}
+
+TEST(WireFormatTest, ResponseRoundTripRandomized) {
+  const uint64_t seed = test::AnnounceSeed("WireFormatTest.Response");
+  Random rng(seed ^ 0x9E3779B97F4A7C15ull);
+  for (int i = 0; i < 500; ++i) {
+    WireResponse response;
+    response.type = MsgType::kResponse;
+    response.response = RandomResponse(rng);
+    const std::string frame = EncodeResponseFrame(response);
+    auto decoded = DecodeResponsePayload(PayloadOf(frame));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    const QueryResponse& got = decoded.value().response;
+    EXPECT_EQ(got.status, response.response.status);
+    EXPECT_EQ(got.kind, response.response.kind);
+    EXPECT_EQ(got.exhausted, response.response.exhausted);
+    EXPECT_EQ(got.result_hash, response.response.result_hash);
+    EXPECT_EQ(got.buffer_misses, response.response.buffer_misses);
+    EXPECT_EQ(got.buffer_accesses, response.response.buffer_accesses);
+    EXPECT_TRUE(SameRows(got, response.response)) << "iteration " << i;
+    EXPECT_EQ(EncodeResponseFrame(decoded.value()), frame);
+  }
+}
+
+TEST(WireFormatTest, SessionControlResponsesRoundTrip) {
+  WireResponse opened;
+  opened.type = MsgType::kSessionOpened;
+  opened.session_id = 42;
+  auto o = DecodeResponsePayload(PayloadOf(EncodeResponseFrame(opened)));
+  ASSERT_TRUE(o.ok());
+  EXPECT_EQ(o.value().session_id, 42u);
+  EXPECT_TRUE(o.value().status.ok());
+
+  WireResponse failed;
+  failed.type = MsgType::kSessionOpened;
+  failed.status = Status::FailedPrecondition("table full");
+  auto f = DecodeResponsePayload(PayloadOf(EncodeResponseFrame(failed)));
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f.value().status, failed.status);
+
+  WireResponse closed;
+  closed.type = MsgType::kSessionClosed;
+  closed.status = Status::NotFound("unknown session 7");
+  auto c = DecodeResponsePayload(PayloadOf(EncodeResponseFrame(closed)));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value().status, closed.status);
+}
+
+TEST(WireFormatTest, RejectsTruncationEverywhere) {
+  // Every proper prefix of a valid payload must decode to an error (and
+  // never crash): the strongest statement that no read is unchecked.
+  Random rng(7);
+  WireRequest request;
+  request.type = MsgType::kExecute;
+  request.spec = RandomSpec(rng);
+  const std::string payload = PayloadOf(EncodeRequestFrame(request));
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    auto decoded = DecodeRequestPayload(payload.substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "prefix length " << cut << " accepted";
+  }
+  WireResponse response;
+  response.type = MsgType::kResponse;
+  response.response = RandomResponse(rng);
+  const std::string rp = PayloadOf(EncodeResponseFrame(response));
+  for (size_t cut = 0; cut < rp.size(); ++cut) {
+    EXPECT_FALSE(DecodeResponsePayload(rp.substr(0, cut)).ok())
+        << "prefix length " << cut << " accepted";
+  }
+}
+
+TEST(WireFormatTest, RejectsTrailingBytes) {
+  WireRequest request;
+  request.type = MsgType::kCloseSession;
+  request.session_id = 9;
+  std::string payload = PayloadOf(EncodeRequestFrame(request));
+  payload.push_back('\0');
+  auto decoded = DecodeRequestPayload(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(WireFormatTest, RejectsVersionMismatch) {
+  WireRequest request;
+  request.type = MsgType::kExecute;
+  request.spec = SkylineSpec(graph::Location::AtNode(3));
+  std::string payload = PayloadOf(EncodeRequestFrame(request));
+  payload[0] = static_cast<char>(kWireVersion + 1);
+  auto decoded = DecodeRequestPayload(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("version"), std::string::npos);
+  payload[0] = 0;
+  EXPECT_FALSE(DecodeRequestPayload(payload).ok());
+}
+
+TEST(WireFormatTest, RejectsUnknownTypesAndEnums) {
+  std::string payload;
+  payload.push_back(static_cast<char>(kWireVersion));
+  payload.push_back(static_cast<char>(0x7F));  // unknown request type
+  EXPECT_FALSE(DecodeRequestPayload(payload).ok());
+  payload[1] = static_cast<char>(0xFF);  // unknown response type
+  EXPECT_FALSE(DecodeResponsePayload(payload).ok());
+
+  // Valid execute frame with an out-of-range kind byte.
+  WireRequest request;
+  request.type = MsgType::kExecute;
+  request.spec = SkylineSpec(graph::Location::AtNode(3));
+  std::string spec_payload = PayloadOf(EncodeRequestFrame(request));
+  spec_payload[2] = 17;  // kind byte
+  EXPECT_FALSE(DecodeRequestPayload(spec_payload).ok());
+}
+
+TEST(WireFormatTest, RejectsIdsBeyond32Bits) {
+  // A node id of 2^32 + 3 is a perfectly valid varint; decoding must
+  // reject it rather than silently truncate to node 3.
+  std::string payload;
+  payload.push_back(static_cast<char>(kWireVersion));
+  payload.push_back(static_cast<char>(MsgType::kCloseSession));
+  // session ids are 64-bit: this one must decode fine.
+  const uint64_t big = (1ull << 32) + 3;
+  for (uint64_t v = big; true; v >>= 7) {
+    if (v >= 0x80) {
+      payload.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    } else {
+      payload.push_back(static_cast<char>(v));
+      break;
+    }
+  }
+  ASSERT_TRUE(DecodeRequestPayload(payload).ok());
+
+  // The same bytes as a node id inside an execute spec must be rejected.
+  WireRequest request;
+  request.type = MsgType::kExecute;
+  request.spec = SkylineSpec(graph::Location::AtNode(3));
+  std::string spec_payload = PayloadOf(EncodeRequestFrame(request));
+  // Grammar: kind(1) engine(1) parallelism(1) k(1) loc_tag(1) node(1).
+  // Splice the 5-byte big varint in place of the 1-byte node id.
+  const size_t node_pos = 2 + 5;  // version+type, then 5 single-byte fields
+  std::string mutated = spec_payload.substr(0, node_pos);
+  mutated += payload.substr(2);  // the big varint encoded above
+  mutated += spec_payload.substr(node_pos + 1);
+  auto decoded = DecodeRequestPayload(mutated);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("out of range"),
+            std::string::npos)
+      << decoded.status().ToString();
+}
+
+TEST(WireFormatTest, TryEncodeBoundsOversizedResponses) {
+  // A response whose rows exceed the frame cap must come back OutOfRange
+  // from TryEncodeResponseFrame (the server's path for peer-sized
+  // payloads) instead of aborting.
+  WireResponse response;
+  response.type = MsgType::kResponse;
+  response.response.kind = QueryKind::kTopK;
+  algo::TopKEntry row;
+  row.facility = 1;
+  row.score = 1.0;
+  row.costs = graph::CostVector(4, 1.0);
+  // ~42 bytes per row: 450k rows is comfortably past the 16 MiB cap.
+  response.response.topk.assign(450000, row);
+  auto frame = TryEncodeResponseFrame(response);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kOutOfRange);
+
+  response.response.topk.resize(3);
+  auto small = TryEncodeResponseFrame(response);
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small.value(), EncodeResponseFrame(response));
+}
+
+TEST(WireFormatTest, GarbageFuzzNeverCrashes) {
+  const uint64_t seed = test::AnnounceSeed("WireFormatTest.Fuzz");
+  Random rng(seed ^ 0xC0FFEEull);
+  // Pure random payloads.
+  for (int i = 0; i < 2000; ++i) {
+    std::string payload;
+    const int len = static_cast<int>(rng.Next() % 64);
+    for (int b = 0; b < len; ++b) {
+      payload.push_back(static_cast<char>(rng.Next() & 0xFF));
+    }
+    (void)DecodeRequestPayload(payload);
+    (void)DecodeResponsePayload(payload);
+  }
+  // Structured fuzz: single-byte mutations of valid frames must either
+  // decode cleanly (the mutation hit a don't-care bit pattern, e.g. a
+  // float payload byte) or fail with a Status — never crash or hang.
+  WireResponse response;
+  response.type = MsgType::kResponse;
+  response.response = RandomResponse(rng);
+  const std::string base = PayloadOf(EncodeResponseFrame(response));
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = base;
+    const size_t pos = rng.Next() % mutated.size();
+    mutated[pos] = static_cast<char>(mutated[pos] ^
+                                     (1u << (rng.Next() % 8)));
+    auto decoded = DecodeResponsePayload(mutated);
+    if (decoded.ok()) {
+      // Canonical invariant holds even for accepted mutants.
+      EXPECT_EQ(PayloadOf(EncodeResponseFrame(decoded.value())), mutated);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcn::api

@@ -2,7 +2,8 @@
 """Diff two MCN_BENCH_JSON files (schema mcn-bench-v2, DESIGN.md §5).
 
 Usage:
-    tools/bench_diff.py BENCH_baseline.json BENCH_current.json [--tolerance PCT]
+    tools/bench_diff.py BENCH_baseline.json BENCH_current.json \
+        [--tolerance PCT] [--require-figs SUBSTR[,SUBSTR...]]
 
 Compares the two records figure by figure (matched by figure title) and row
 by row (matched by the `param` value):
@@ -13,9 +14,16 @@ by row (matched by the `param` value):
   * modeled time and buffer-miss deltas are printed per row, with rows
     whose |time delta| exceeds --tolerance (default 10%) flagged;
   * figures or rows present in only one file are listed as added/removed
-    (informational, not an error).
+    (informational, not an error);
+  * --require-figs makes a regen run fail LOUDLY when expected figures are
+    missing from the *current* file: each comma-separated entry must be a
+    substring of at least one current figure title. A bench binary that
+    aborts before its PrintFooter (a failed timing gate under `set -e`)
+    silently drops its figure from the merged JSON — this flag turns that
+    silence into a non-zero exit.
 
-Exit codes: 0 clean, 1 result-hash mismatch, 2 usage/schema error.
+Exit codes: 0 clean, 1 result-hash mismatch or missing required figure,
+2 usage/schema error.
 """
 
 import argparse
@@ -62,10 +70,19 @@ def main():
     parser.add_argument("--tolerance", type=float, default=10.0,
                         help="flag rows whose |modeled-time delta| exceeds "
                              "this percentage (default 10)")
+    parser.add_argument("--require-figs", default="",
+                        help="comma-separated substrings; each must match a "
+                             "figure title in CURRENT, else exit non-zero")
     args = parser.parse_args()
 
     base = by_figure(load(args.baseline))
     curr = by_figure(load(args.current))
+
+    missing_figs = []
+    for needle in filter(None, (s.strip()
+                                for s in args.require_figs.split(","))):
+        if not any(needle in title for title in curr):
+            missing_figs.append(needle)
 
     hash_mismatches = 0
     flagged = 0
@@ -112,6 +129,13 @@ def main():
                       f"{'ok' if hash_ok else 'MISMATCH'}{marker}")
 
     print()
+    if missing_figs:
+        for needle in missing_figs:
+            print(f"FAILURE: required figure missing from {args.current}: "
+                  f"no title contains {needle!r}")
+        print("(a bench likely aborted before writing its figure — check "
+              "the regen log above the merge)")
+        return 1
     if hash_mismatches:
         print(f"FAILURE: {hash_mismatches} result-hash mismatch(es) — "
               f"query results changed.")

@@ -7,7 +7,7 @@
 #
 #   cmake --build build -j --target bench_fig08a_skyline_facilities \
 #       bench_fig10a_topk_facilities bench_service_throughput \
-#       bench_parallel_expansion bench_shard_scaling
+#       bench_parallel_expansion bench_shard_scaling bench_wire_throughput
 #   tools/regen_bench.sh [output=BENCH_current.json]
 #
 # Diff against the tracked baseline with:
@@ -27,7 +27,13 @@ benches=(
   bench_service_throughput
   bench_parallel_expansion
   bench_shard_scaling
+  bench_wire_throughput
 )
+
+# One entry per bench above: the figure-title substring the merged JSON
+# must contain. Keeps a gate-aborted bench (set -e stops before the merge,
+# or a stale output file survives) from silently shipping as "regenerated".
+required_figs="Figure 8(a),Figure 10(a),Service throughput,Parallel d-expansion,Shard scaling,Wire throughput"
 
 for bench in "${benches[@]}"; do
   echo "== $bench =="
@@ -51,3 +57,11 @@ with open(out, "w") as f:
     f.write("\n")
 print(f"wrote {out}: {len(merged['figures'])} figures")
 EOF
+
+# Fail loudly when any expected figure is missing from what we just wrote.
+"$(dirname "$0")/bench_diff.py" "$out" "$out" --require-figs "$required_figs" \
+  > /dev/null || {
+    echo "regen_bench: FAILED figure completeness check for $out" >&2
+    exit 1
+  }
+echo "figure completeness check passed ($out)"
