@@ -24,6 +24,14 @@
 //   --workers=N      service workers (default 4).
 //   --pin-workers    best-effort CPU pinning of each shard group's
 //                    threads (ignored where unsupported).
+//   --deadline-ms=D  per-request deadline stamped into every demo spec
+//                    (0 = none). Expired queries resolve DeadlineExceeded.
+//   --max-inflight=M admission cap per worker group; requests over the cap
+//                    are load-shed with ResourceExhausted (0 = unbounded).
+//   --inject-faults=SPEC
+//                    install a deterministic fault injector, e.g.
+//                    "seed=7,disk_eio=0.01,recv_delay=0.05" (see
+//                    common/fault_injector.h for the key set).
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +41,7 @@
 
 #include "mcn/api/client.h"
 #include "mcn/api/server.h"
+#include "mcn/common/fault_injector.h"
 #include "mcn/common/random.h"
 #include "mcn/exec/query_service.h"
 #include "mcn/gen/workload.h"
@@ -54,6 +63,9 @@ struct Flags {
   int shards = 1;
   int workers = 4;
   bool pin_workers = false;
+  int deadline_ms = 0;
+  int max_inflight = 0;
+  std::string inject_faults;
 };
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -72,6 +84,14 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       if (flags->workers < 1) return false;
     } else if (std::strcmp(arg, "--pin-workers") == 0) {
       flags->pin_workers = true;
+    } else if (std::strncmp(arg, "--deadline-ms=", 14) == 0) {
+      flags->deadline_ms = std::atoi(arg + 14);
+      if (flags->deadline_ms < 0) return false;
+    } else if (std::strncmp(arg, "--max-inflight=", 15) == 0) {
+      flags->max_inflight = std::atoi(arg + 15);
+      if (flags->max_inflight < 0) return false;
+    } else if (std::strncmp(arg, "--inject-faults=", 16) == 0) {
+      flags->inject_faults = arg + 16;
     } else {
       return false;
     }
@@ -97,7 +117,16 @@ void PrintResponse(int i, const QueryResponse& r) {
   }
 }
 
-int RunDemo(QueryService& service, int port,
+/// True for the failure-model statuses the robustness flags provoke on
+/// purpose — counted, not fatal to the demo.
+bool IsRobustnessStatus(const mcn::Status& s) {
+  return s.code() == mcn::StatusCode::kDeadlineExceeded ||
+         s.code() == mcn::StatusCode::kResourceExhausted ||
+         s.code() == mcn::StatusCode::kCancelled ||
+         s.code() == mcn::StatusCode::kIOError;
+}
+
+int RunDemo(QueryService& service, int port, int deadline_ms,
             const mcn::gen::ShardedInstance& instance) {
   auto client = mcn::api::Client::Connect("127.0.0.1", port);
   if (!client.ok()) {
@@ -114,6 +143,7 @@ int RunDemo(QueryService& service, int port,
   constexpr int kRequests = 60;
   Random rng(42);
   const int d = instance.graph.num_costs();
+  uint64_t shed = 0;
   for (int i = 0; i < kRequests; ++i) {
     QuerySpec spec;
     const auto loc = instance.RandomQueryLocation(rng);
@@ -130,15 +160,27 @@ int RunDemo(QueryService& service, int port,
         spec = mcn::api::IncrementalSpec(loc, 3, std::move(weights));
         break;
     }
+    spec.deadline_ms = deadline_ms;
     auto response = (*client)->Execute(spec);
-    if (!response.ok() || !response.value().status.ok()) {
+    const mcn::Status status =
+        response.ok() ? response.value().status : response.status();
+    if (!status.ok()) {
+      // Under --deadline-ms / --max-inflight / --inject-faults these are
+      // the intended outcomes — count them and keep driving load.
+      if (IsRobustnessStatus(status)) {
+        ++shed;
+        continue;
+      }
       std::fprintf(stderr, "query %d failed: %s\n", i,
-                   (response.ok() ? response.value().status : response.status())
-                       .ToString()
-                       .c_str());
+                   status.ToString().c_str());
       return 1;
     }
     if (i < 6) PrintResponse(i, response.value());
+  }
+  if (shed > 0) {
+    std::printf("%" PRIu64 " of %d requests shed/timed out "
+                "(client retries: %" PRIu64 ")\n",
+                shed, kRequests, (*client)->retries());
   }
 
   // A constrained skyline: cost caps ride the spec and are applied
@@ -146,14 +188,23 @@ int RunDemo(QueryService& service, int port,
   {
     QuerySpec spec = mcn::api::SkylineSpec(instance.RandomQueryLocation(rng));
     spec.preference.constraints.cost_caps.assign(d, 1e4);
+    spec.deadline_ms = deadline_ms;
     auto response = (*client)->Execute(spec);
-    if (!response.ok() || !response.value().status.ok()) {
-      std::fprintf(stderr, "constrained skyline failed\n");
-      return 1;
+    const mcn::Status status =
+        response.ok() ? response.value().status : response.status();
+    if (!status.ok()) {
+      if (!IsRobustnessStatus(status)) {
+        std::fprintf(stderr, "constrained skyline failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+      std::printf("\nconstrained skyline shed: %s\n",
+                  status.ToString().c_str());
+    } else {
+      std::printf("\nconstrained skyline (caps 1e4 on every dimension): "
+                  "%zu rows\n",
+                  response.value().num_rows());
     }
-    std::printf("\nconstrained skyline (caps 1e4 on every dimension): "
-                "%zu rows\n",
-                response.value().num_rows());
   }
 
   // A streamed incremental session: the engine stays pinned server-side;
@@ -164,40 +215,59 @@ int RunDemo(QueryService& service, int port,
         instance.RandomQueryLocation(rng), 4, weights);
     auto session = (*client)->OpenSession(spec);
     if (!session.ok()) {
-      std::fprintf(stderr, "open session failed: %s\n",
-                   session.status().ToString().c_str());
-      return 1;
-    }
-    std::printf("\nstreaming session %" PRIu64 " (batches of 4):\n",
-                *session);
-    int rank = 1;
-    for (int batch = 0; batch < 3; ++batch) {
-      auto response = (*client)->Next(*session, 4);
-      if (!response.ok() || !response.value().status.ok()) {
-        std::fprintf(stderr, "session next failed\n");
+      if (!IsRobustnessStatus(session.status())) {
+        std::fprintf(stderr, "open session failed: %s\n",
+                     session.status().ToString().c_str());
         return 1;
       }
-      for (const auto& row : response.value().topk) {
-        std::printf("  #%-2d facility %u, score %.3f\n", rank++,
-                    row.facility, row.score);
+      std::printf("\nstreaming session shed: %s\n",
+                  session.status().ToString().c_str());
+    } else {
+      std::printf("\nstreaming session %" PRIu64 " (batches of 4):\n",
+                  *session);
+      int rank = 1;
+      for (int batch = 0; batch < 3; ++batch) {
+        auto response = (*client)->Next(*session, 4);
+        const mcn::Status status =
+            response.ok() ? response.value().status : response.status();
+        if (!status.ok()) {
+          // Sessions are never retried (DESIGN.md §10): a shed or
+          // timed-out batch ends the stream for this demo.
+          if (!IsRobustnessStatus(status)) {
+            std::fprintf(stderr, "session next failed: %s\n",
+                         status.ToString().c_str());
+            return 1;
+          }
+          std::printf("  (batch shed: %s)\n", status.ToString().c_str());
+          break;
+        }
+        for (const auto& row : response.value().topk) {
+          std::printf("  #%-2d facility %u, score %.3f\n", rank++,
+                      row.facility, row.score);
+        }
+        if (response.value().exhausted) {
+          std::printf("  (component exhausted)\n");
+          break;
+        }
       }
-      if (response.value().exhausted) {
-        std::printf("  (component exhausted)\n");
-        break;
-      }
+      if ((*client)->connected()) (void)(*client)->CloseSession(*session);
     }
-    (void)(*client)->CloseSession(*session);
   }
 
   ServiceStats stats = service.Snapshot();
   std::printf(
       "\nservice stats: %llu completed, %llu failed, %llu session batches\n"
+      "  failure model       = %llu rejected (load shed), %llu timed out, "
+      "%llu cancelled\n"
       "  latency p50/p95/p99 = %.2f / %.2f / %.2f ms\n"
       "  throughput          = %.1f qps (wall %.2fs)\n"
       "  buffer misses       = %llu (%.1f per query)\n",
       static_cast<unsigned long long>(stats.completed),
       static_cast<unsigned long long>(stats.failed),
       static_cast<unsigned long long>(stats.session_batches),
+      static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(stats.timed_out),
+      static_cast<unsigned long long>(stats.cancelled),
       stats.latency_p50_ms, stats.latency_p95_ms, stats.latency_p99_ms,
       stats.qps, stats.wall_seconds,
       static_cast<unsigned long long>(stats.buffer_misses),
@@ -227,9 +297,26 @@ int main(int argc, char** argv) {
   if (!ParseFlags(argc, argv, &flags)) {
     std::fprintf(stderr,
                  "usage: %s [--port=P] [--serve] [--shards=K] [--workers=N] "
-                 "[--pin-workers]\n",
+                 "[--pin-workers] [--deadline-ms=D] [--max-inflight=M] "
+                 "[--inject-faults=SPEC]\n",
                  argv[0]);
     return 2;
+  }
+
+  // The injector must outlive all I/O; install it before any query
+  // touches storage and leave it for the process lifetime.
+  std::unique_ptr<mcn::FaultInjector> injector;
+  if (!flags.inject_faults.empty()) {
+    auto fault_options = mcn::FaultInjector::ParseSpec(flags.inject_faults);
+    if (!fault_options.ok()) {
+      std::fprintf(stderr, "--inject-faults: %s\n",
+                   fault_options.status().ToString().c_str());
+      return 2;
+    }
+    injector = std::make_unique<mcn::FaultInjector>(fault_options.value());
+    mcn::FaultInjector::Install(injector.get());
+    std::printf("fault injector installed: %s\n",
+                flags.inject_faults.c_str());
   }
 
   // A small-city instance: ~9k nodes, 4 cost types, clustered facilities.
@@ -255,6 +342,7 @@ int main(int argc, char** argv) {
   options.pool_frames_per_worker = (*instance)->pool_frames;
   options.io_latency_ms = 5.0;  // accounted, not slept, in this demo
   options.pin_workers = flags.pin_workers;
+  options.max_inflight = static_cast<size_t>(flags.max_inflight);
   auto service = QueryService::Create(&(*instance)->storage,
                                       (*instance)->files, options);
   if (!service.ok()) {
@@ -290,9 +378,22 @@ int main(int argc, char** argv) {
                 "served)\n",
                 (*server)->connections_accepted());
   } else {
-    rc = RunDemo(**service, (*server)->port(), **instance);
+    rc = RunDemo(**service, (*server)->port(), flags.deadline_ms, **instance);
   }
   (*server)->Stop();
   (*service)->Shutdown();
+  {
+    ServiceStats stats = (*service)->Snapshot();
+    std::printf("exit stats: %" PRIu64 " completed, %" PRIu64 " failed, "
+                "%" PRIu64 " rejected, %" PRIu64 " timed out, %" PRIu64
+                " cancelled",
+                stats.completed, stats.failed, stats.rejected,
+                stats.timed_out, stats.cancelled);
+    if (injector != nullptr) {
+      std::printf(", %" PRIu64 " faults injected", injector->injected());
+    }
+    std::printf("\n");
+  }
+  mcn::FaultInjector::Install(nullptr);
   return rc;
 }

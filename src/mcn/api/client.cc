@@ -1,7 +1,10 @@
 #include "mcn/api/client.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -13,8 +16,8 @@
 
 namespace mcn::api {
 
-Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
-                                                int port) {
+Result<int> Client::Dial(const std::string& host, int port,
+                         const Options& options) {
   if (port <= 0 || port > 65535) {
     return Status::InvalidArgument("Client: port out of range");
   }
@@ -35,11 +38,44 @@ Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
   // Request/response round trips are latency-bound; don't batch them.
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return std::unique_ptr<Client>(new Client(fd));
+  if (options.io_timeout_ms > 0) {
+    Status s = SetRecvTimeout(fd, options.io_timeout_ms);
+    if (s.ok()) s = SetSendTimeout(fd, options.io_timeout_ms);
+    if (!s.ok()) {
+      ::close(fd);
+      return s;
+    }
+  }
+  return fd;
+}
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                int port) {
+  return Connect(host, port, Options());
+}
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                int port,
+                                                const Options& options) {
+  if (options.retry.max_attempts < 1) {
+    return Status::InvalidArgument("Client: retry.max_attempts must be >= 1");
+  }
+  if (options.io_timeout_ms < 0) {
+    return Status::InvalidArgument("Client: io_timeout_ms must be >= 0");
+  }
+  MCN_ASSIGN_OR_RETURN(int fd, Dial(host, port, options));
+  return std::unique_ptr<Client>(new Client(fd, host, port, options));
 }
 
 Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::MarkBroken() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
 }
 
 namespace {
@@ -53,6 +89,9 @@ Status CheckEncodable(const QuerySpec& spec) {
     return Status::InvalidArgument(
         "Client: spec.k and spec.parallelism must be >= 0");
   }
+  if (spec.deadline_ms < 0) {
+    return Status::InvalidArgument("Client: spec.deadline_ms must be >= 0");
+  }
   return Status::OK();
 }
 
@@ -63,14 +102,79 @@ Result<WireResponse> Client::RoundTrip(const std::string& frame,
   if (fd_ < 0) {
     return Status::FailedPrecondition("Client: connection is closed");
   }
-  MCN_RETURN_IF_ERROR(SendFrame(fd_, frame));
-  MCN_ASSIGN_OR_RETURN(std::string payload, RecvFramePayload(fd_));
-  MCN_ASSIGN_OR_RETURN(WireResponse response,
-                       DecodeResponsePayload(payload));
-  if (response.type != expected) {
+  // Past this point any failure leaves the byte stream in an unknown state
+  // (a half-written request, an unread response) — the connection cannot
+  // carry another frame, so mark it broken and let the next idempotent
+  // call redial.
+  Status sent = SendFrame(fd_, frame);
+  if (!sent.ok()) {
+    MarkBroken();
+    return sent;
+  }
+  Result<std::string> payload = RecvFramePayload(fd_);
+  if (!payload.ok()) {
+    MarkBroken();
+    // A clean EOF here is the server hanging up between our send and its
+    // reply (shutdown, connection reaped) — for the caller that is a
+    // transport failure, not a missing resource.
+    if (payload.status().code() == StatusCode::kNotFound) {
+      return Status::IOError("Client: server closed the connection");
+    }
+    return payload.status();
+  }
+  Result<WireResponse> response = DecodeResponsePayload(*payload);
+  if (!response.ok()) {
+    MarkBroken();
+    return response.status();
+  }
+  if (response->type != expected) {
+    MarkBroken();
     return Status::Corruption("Client: unexpected response type");
   }
   return response;
+}
+
+Result<WireResponse> Client::RoundTripWithRetry(const std::string& frame,
+                                               MsgType expected) {
+  const RetryPolicy& policy = opts_.retry;
+  Status last;
+  for (int attempt = 1;; ++attempt) {
+    if (fd_ < 0) {
+      // Lazy reconnect: a previous call broke the connection, or the
+      // previous iteration's redial failed.
+      Result<int> fd = Dial(host_, port_, opts_);
+      if (fd.ok()) {
+        fd_ = *fd;
+      } else {
+        last = fd.status();
+      }
+    }
+    if (fd_ >= 0) {
+      Result<WireResponse> response = RoundTrip(frame, expected);
+      if (response.ok()) return response;
+      last = response.status();
+      // Only IOError is retried: the request never observably executed
+      // (send failed) or its effect is safe to repeat (Execute is a pure
+      // read). Corruption means a protocol bug and DeadlineExceeded means
+      // the caller's time budget is spent — retrying either would mask
+      // real problems.
+      if (last.code() != StatusCode::kIOError) return last;
+    }
+    if (attempt >= policy.max_attempts) return last;
+    ++retries_;
+    // Capped exponential backoff with jitter in [0.5, 1.0) — decorrelates
+    // a thundering herd of clients while staying reproducible per seed.
+    int64_t backoff_ms = policy.base_backoff_ms;
+    for (int i = 1; i < attempt && backoff_ms < policy.max_backoff_ms; ++i) {
+      backoff_ms *= 2;
+    }
+    backoff_ms = std::min<int64_t>(backoff_ms, policy.max_backoff_ms);
+    backoff_ms = static_cast<int64_t>(
+        static_cast<double>(backoff_ms) * (0.5 + 0.5 * jitter_.NextDouble()));
+    if (backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    }
+  }
 }
 
 Result<QueryResponse> Client::Execute(const QuerySpec& spec) {
@@ -80,7 +184,7 @@ Result<QueryResponse> Client::Execute(const QuerySpec& spec) {
   request.spec = spec;
   MCN_ASSIGN_OR_RETURN(
       WireResponse response,
-      RoundTrip(EncodeRequestFrame(request), MsgType::kResponse));
+      RoundTripWithRetry(EncodeRequestFrame(request), MsgType::kResponse));
   return std::move(response.response);
 }
 

@@ -3,6 +3,15 @@
 // (the protocol is synchronous per connection; open several clients for
 // concurrency — that is exactly what bench_wire_throughput's closed-loop
 // load does). Not thread-safe; confine an instance to one thread.
+//
+// Failure handling (DESIGN.md §10): any transport failure marks the
+// connection broken (a desynchronized byte stream cannot be reused), and
+// the next idempotent call dials a fresh connection lazily. Execute — a
+// pure read, safe to repeat — additionally retries on IOError with capped
+// exponential backoff and deterministic seeded jitter. Session calls
+// (OpenSession/Next/CloseSession) are stateful on the server side and are
+// never retried: they surface the error and the stream's results are gone
+// with the connection.
 #ifndef MCN_API_CLIENT_H_
 #define MCN_API_CLIENT_H_
 
@@ -13,6 +22,7 @@
 #include "mcn/api/query_response.h"
 #include "mcn/api/query_spec.h"
 #include "mcn/api/wire.h"
+#include "mcn/common/random.h"
 #include "mcn/common/result.h"
 #include "mcn/common/status.h"
 
@@ -20,9 +30,35 @@ namespace mcn::api {
 
 class Client {
  public:
-  /// Connects to a Server at host:port ("127.0.0.1" for loopback).
+  /// Retry policy for idempotent calls (Execute only).
+  struct RetryPolicy {
+    /// Total attempts (first try included). 1 disables retries.
+    int max_attempts = 3;
+    /// Backoff before retry r (1-based): min(base << (r-1), max) scaled by
+    /// a jitter factor in [0.5, 1.0) drawn from the seeded stream.
+    int base_backoff_ms = 5;
+    int max_backoff_ms = 200;
+    /// Seed of the jitter stream — retries are reproducible.
+    uint64_t seed = 0x5ca1ab1e;
+  };
+
+  struct Options {
+    /// SO_RCVTIMEO/SO_SNDTIMEO on the connection; 0 = block forever. With
+    /// a timeout set, a stuck server surfaces as DeadlineExceeded (frame
+    /// boundary) or IOError (mid-frame) instead of hanging the caller.
+    int io_timeout_ms = 0;
+    RetryPolicy retry;
+  };
+
+  /// Connects to a Server at host:port ("127.0.0.1" for loopback). The
+  /// two-argument overload uses default Options (a nested class with
+  /// member initializers cannot be a default argument of its enclosing
+  /// class's members).
   static Result<std::unique_ptr<Client>> Connect(const std::string& host,
                                                  int port);
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 int port,
+                                                 const Options& options);
 
   ~Client();
   Client(const Client&) = delete;
@@ -31,28 +67,59 @@ class Client {
   /// Executes one query remotely. A non-OK *return* is a transport/protocol
   /// failure; a query-level failure (e.g. a malformed spec) comes back as
   /// an OK return whose QueryResponse::status is non-OK — mirroring the
-  /// in-process future API.
+  /// in-process future API. Retries transparently on IOError (see the
+  /// file comment).
   Result<QueryResponse> Execute(const QuerySpec& spec);
 
   /// Opens a streaming incremental session (spec.kind must be
-  /// kIncrementalTopK). Returns the server-assigned session id.
+  /// kIncrementalTopK). Returns the server-assigned session id. Not
+  /// retried.
   Result<uint64_t> OpenSession(const QuerySpec& spec);
 
   /// Pulls the next batch of up to `n` ranked results from a session. A
   /// batch shorter than `n` (or QueryResponse::exhausted) means the
-  /// stream is done.
+  /// stream is done. Not retried.
   Result<QueryResponse> Next(uint64_t session_id, int n);
 
-  /// Closes a session on the server.
+  /// Closes a session on the server. Not retried.
   Status CloseSession(uint64_t session_id);
 
+  /// Transport retries performed so far (reconnect + resend of an
+  /// idempotent call).
+  uint64_t retries() const { return retries_; }
+
+  /// True while the underlying connection is believed healthy. After a
+  /// transport failure this turns false; the next Execute redials.
+  bool connected() const { return fd_ >= 0; }
+
  private:
-  explicit Client(int fd) : fd_(fd) {}
+  Client(int fd, std::string host, int port, const Options& options)
+      : fd_(fd),
+        host_(std::move(host)),
+        port_(port),
+        opts_(options),
+        jitter_(options.retry.seed) {}
+
+  /// Dials host:port and applies socket options; returns the fd.
+  static Result<int> Dial(const std::string& host, int port,
+                          const Options& options);
 
   /// One synchronous round trip; decodes and type-checks the response.
+  /// Any failure marks the connection broken (closes the fd).
   Result<WireResponse> RoundTrip(const std::string& frame, MsgType expected);
 
+  /// RoundTrip + reconnect-and-retry on IOError, for idempotent frames.
+  Result<WireResponse> RoundTripWithRetry(const std::string& frame,
+                                          MsgType expected);
+
+  void MarkBroken();
+
   int fd_ = -1;
+  std::string host_;
+  int port_ = 0;
+  Options opts_;
+  Random jitter_;
+  uint64_t retries_ = 0;
 };
 
 }  // namespace mcn::api

@@ -45,12 +45,16 @@ Status QuerySpec::Validate(int num_costs) const {
   if (parallelism < 0) {
     return Status::InvalidArgument("QuerySpec: parallelism must be >= 0");
   }
+  if (deadline_ms < 0) {
+    return Status::InvalidArgument("QuerySpec: deadline_ms must be >= 0");
+  }
   return Status::OK();
 }
 
 bool QuerySpec::operator==(const QuerySpec& o) const {
   if (kind != o.kind || k != o.k || engine != o.engine ||
-      parallelism != o.parallelism || !(preference == o.preference)) {
+      parallelism != o.parallelism || deadline_ms != o.deadline_ms ||
+      !(preference == o.preference)) {
     return false;
   }
   if (location.is_node() != o.location.is_node()) return false;

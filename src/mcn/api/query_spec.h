@@ -65,6 +65,11 @@ struct QuerySpec {
   /// Execution hint: intra-query d-expansion parallelism (DESIGN.md §7).
   /// 0 = classic serial probing; >= 1 = the deterministic turn schedule.
   int32_t parallelism = 0;
+  /// Per-request deadline in milliseconds, measured from admission
+  /// (DESIGN.md §10). 0 = no deadline. An expired query stops expanding at
+  /// the next cancellation point and resolves with DeadlineExceeded; the
+  /// deadline never changes the bytes of a *successful* result.
+  int32_t deadline_ms = 0;
 
   /// Full semantic validation against a d-dimensional network. Malformed
   /// specs — wrong-size or negative weights, non-positive k, bad caps,

@@ -1,6 +1,7 @@
 #include "mcn/api/server.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <unordered_set>
 #include <utility>
@@ -13,6 +14,7 @@
 
 #include "mcn/api/socket_io.h"
 #include "mcn/api/wire.h"
+#include "mcn/common/macros.h"
 
 namespace mcn::api {
 
@@ -43,6 +45,9 @@ Result<std::unique_ptr<Server>> Server::Start(exec::QueryService* service,
   if (options.port < 0 || options.port > 65535) {
     return Status::InvalidArgument("Server: port out of range");
   }
+  if (options.io_timeout_ms < 0) {
+    return Status::InvalidArgument("Server: io_timeout_ms must be >= 0");
+  }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return ErrnoStatus("socket");
   int one = 1;
@@ -71,12 +76,14 @@ Result<std::unique_ptr<Server>> Server::Start(exec::QueryService* service,
     return err;
   }
   return std::unique_ptr<Server>(
-      new Server(service, fd, ntohs(bound.sin_port)));
+      new Server(service, fd, ntohs(bound.sin_port), options));
 }
 
-Server::Server(exec::QueryService* service, int listen_fd, int port)
-    : service_(service), listen_fd_(listen_fd), port_(port) {
+Server::Server(exec::QueryService* service, int listen_fd, int port,
+               const Options& options)
+    : service_(service), listen_fd_(listen_fd), port_(port), opts_(options) {
   acceptor_ = std::thread([this] { AcceptLoop(); });
+  reaper_ = std::thread([this] { ReapLoop(); });
 }
 
 Server::~Server() { Stop(); }
@@ -91,6 +98,13 @@ void Server::Stop() {
   ::shutdown(listen_fd_, SHUT_RDWR);
   if (acceptor_.joinable()) acceptor_.join();
   ::close(listen_fd_);
+  {
+    // Taking mu_ guarantees the reaper is inside its wait (it holds mu_
+    // everywhere else), so this notify cannot be lost.
+    std::lock_guard<std::mutex> lock(mu_);
+  }
+  reap_cv_.notify_all();
+  if (reaper_.joinable()) reaper_.join();
   std::vector<std::unique_ptr<Connection>> connections;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -104,6 +118,11 @@ void Server::Stop() {
     if (connection->thread.joinable()) connection->thread.join();
     ::close(connection->fd);
   }
+  // Every connection thread has exited and each closed its sessions on the
+  // way out. A nonzero count here means a session escaped its owning
+  // connection's cleanup — a leak into the service's bounded session
+  // table, worth a hard stop in any build.
+  MCN_CHECK(sessions_open_.load(std::memory_order_acquire) == 0);
 }
 
 void Server::ReapFinishedConnections() {
@@ -113,10 +132,22 @@ void Server::ReapFinishedConnections() {
       if ((*it)->thread.joinable()) (*it)->thread.join();
       ::close((*it)->fd);
       it = connections_.erase(it);
+      connections_reaped_.fetch_add(1, std::memory_order_relaxed);
     } else {
       ++it;
     }
   }
+}
+
+void Server::ReapLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // Condition-signalled by exiting connection threads; the timeout is a
+    // backstop (e.g. a notify that raced Stop) — not load-bearing.
+    reap_cv_.wait_for(lock, std::chrono::milliseconds(250));
+    ReapFinishedConnections();
+  }
+  // Leave whatever remains to Stop(), which owns the final sweep.
 }
 
 void Server::AcceptLoop() {
@@ -132,9 +163,14 @@ void Server::AcceptLoop() {
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (opts_.io_timeout_ms > 0) {
+      // Best-effort: a connection that cannot arm timeouts still works,
+      // it just blocks like a pre-timeout build.
+      (void)SetRecvTimeout(fd, opts_.io_timeout_ms);
+      (void)SetSendTimeout(fd, opts_.io_timeout_ms);
+    }
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(mu_);
-    ReapFinishedConnections();
     auto connection = std::make_unique<Connection>();
     connection->fd = fd;
     Connection* raw = connection.get();
@@ -150,7 +186,17 @@ void Server::ServeConnection(Connection* connection) {
   std::unordered_set<exec::SessionId> sessions;
   for (;;) {
     auto payload = RecvFramePayload(fd);
-    if (!payload.ok()) break;  // clean EOF, Stop(), or a broken stream
+    if (!payload.ok()) {
+      // A recv timeout at the frame boundary is just an idle client — keep
+      // the connection, using the wakeup as a stop check. Anything else
+      // (clean EOF, Stop(), a broken or mid-frame-stalled stream) ends the
+      // connection.
+      if (payload.status().code() == StatusCode::kDeadlineExceeded &&
+          !stopping_.load(std::memory_order_acquire)) {
+        continue;
+      }
+      break;
+    }
     auto request = DecodeRequestPayload(payload.value());
     WireResponse response;
     if (!request.ok()) {
@@ -176,6 +222,7 @@ void Server::ServeConnection(Connection* connection) {
         if (id.ok()) {
           response.session_id = id.value();
           sessions.insert(id.value());
+          sessions_open_.fetch_add(1, std::memory_order_acq_rel);
         } else {
           response.status = id.status();
         }
@@ -211,6 +258,7 @@ void Server::ServeConnection(Connection* connection) {
         } else {
           response.status = service_->CloseSession(id);
           sessions.erase(id);
+          sessions_open_.fetch_sub(1, std::memory_order_acq_rel);
         }
         break;
       }
@@ -224,12 +272,14 @@ void Server::ServeConnection(Connection* connection) {
   }
   for (const exec::SessionId id : sessions) {
     (void)service_->CloseSession(id);
+    sessions_open_.fetch_sub(1, std::memory_order_acq_rel);
   }
   // Shut down our side so the peer sees EOF promptly, then hand the fd
-  // (and this thread) to the reaper — the acceptor on the next accept,
-  // or Stop(). The fd is closed exactly once, always after the join.
+  // (and this thread) to the reaper thread (or Stop). The fd is closed
+  // exactly once, always after the join.
   ::shutdown(fd, SHUT_RDWR);
   connection->done.store(true, std::memory_order_release);
+  reap_cv_.notify_one();
 }
 
 }  // namespace mcn::api

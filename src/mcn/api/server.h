@@ -11,11 +11,16 @@
 // Concurrency model: one acceptor thread plus one thread per connection
 // (connections are long-lived clients; per-request concurrency comes from
 // the QueryService's worker groups, which the connection threads block
-// on). Sessions opened by a connection are closed when it disconnects.
+// on). A dedicated reaper thread joins finished connection threads as they
+// exit (condition-signalled, with a periodic timer sweep as backstop), so
+// a long-running server never accumulates dead threads or fds between
+// accepts. Sessions opened by a connection are closed when it disconnects;
+// Stop() asserts the server leaked none.
 #ifndef MCN_API_SERVER_H_
 #define MCN_API_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -36,6 +41,12 @@ class Server {
     int port = 0;
     /// Listen backlog.
     int backlog = 64;
+    /// SO_RCVTIMEO/SO_SNDTIMEO on accepted connections; 0 = block forever.
+    /// With a timeout set, a recv timeout at a frame boundary is treated
+    /// as idleness (the connection stays open; the wakeup doubles as a
+    /// stop check), while a timeout *mid-frame* or on send means a stalled
+    /// or dead peer and drops the connection (DESIGN.md §10).
+    int io_timeout_ms = 0;
   };
 
   /// Binds and starts accepting. `service` must outlive the server.
@@ -47,8 +58,10 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Stops accepting, unblocks and joins every connection thread, and
-  /// closes their sessions. Idempotent.
+  /// Stops accepting, unblocks and joins every connection thread (and the
+  /// reaper), and closes their sessions. Aborts (MCN_CHECK) if any wire
+  /// session survived its connection — that would be a session-table leak.
+  /// Idempotent.
   void Stop();
 
   /// The bound port (useful with Options::port = 0).
@@ -59,30 +72,49 @@ class Server {
     return connections_accepted_.load(std::memory_order_relaxed);
   }
 
+  /// Finished connection threads joined by the reaper (not by Stop) —
+  /// observable evidence the reaper runs without new accepts.
+  uint64_t connections_reaped() const {
+    return connections_reaped_.load(std::memory_order_relaxed);
+  }
+
+  /// Wire sessions currently open across live connections.
+  int64_t sessions_open() const {
+    return sessions_open_.load(std::memory_order_relaxed);
+  }
+
  private:
-  Server(exec::QueryService* service, int listen_fd, int port);
+  Server(exec::QueryService* service, int listen_fd, int port,
+         const Options& options);
 
   struct Connection {
     int fd = -1;
     std::thread thread;
     /// Set by the connection thread on exit; a done connection's fd and
-    /// thread are reaped by the acceptor (on the next accept) or by Stop.
+    /// thread are reaped by the reaper thread or by Stop.
     std::atomic<bool> done{false};
   };
 
   void AcceptLoop();
+  void ReapLoop();
   void ServeConnection(Connection* connection);
-  /// mu_ held: joins + closes finished connections (long-running servers
-  /// would otherwise leak one fd + one dead thread per disconnect).
+  /// mu_ held: joins + closes finished connections.
   void ReapFinishedConnections();
 
   exec::QueryService* service_;
   int listen_fd_;
   int port_;
+  Options opts_;
   std::thread acceptor_;
+  std::thread reaper_;
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_reaped_{0};
+  /// Open wire sessions (incremented on OpenSession, decremented on close
+  /// — explicit or disconnect cleanup). Must be 0 after Stop joins.
+  std::atomic<int64_t> sessions_open_{0};
   std::mutex mu_;  ///< guards connections_ (fds + threads)
+  std::condition_variable reap_cv_;  ///< signalled when a connection ends
   std::vector<std::unique_ptr<Connection>> connections_;
 };
 

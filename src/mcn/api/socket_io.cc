@@ -1,12 +1,16 @@
 #include "mcn/api/socket_io.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include "mcn/api/wire.h"
+#include "mcn/common/fault_injector.h"
 
 namespace mcn::api {
 
@@ -17,45 +21,129 @@ Status ErrnoStatus(const char* what) {
 
 namespace {
 
-/// Reads exactly `n` bytes; returns the count actually read (short only on
-/// EOF), or -1 on a hard error.
-ssize_t ReadFull(int fd, char* buf, size_t n) {
+Status SetTimeoutOpt(int fd, int optname, int timeout_ms) {
+  if (timeout_ms < 0) {
+    return Status::InvalidArgument("socket timeout must be >= 0");
+  }
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof(tv)) != 0) {
+    return ErrnoStatus("setsockopt(timeout)");
+  }
+  return Status::OK();
+}
+
+/// Why a full read stopped short.
+enum class ReadStop { kDone, kEof, kTimeout, kError };
+
+struct ReadResult {
   size_t got = 0;
-  while (got < n) {
-    const ssize_t r = ::read(fd, buf + got, n - got);
-    if (r == 0) break;  // peer closed
+  ReadStop stop = ReadStop::kDone;
+};
+
+/// Reads exactly `n` bytes unless EOF, an armed SO_RCVTIMEO expires, or a
+/// hard error interrupts; `got` always counts the bytes delivered.
+ReadResult ReadFull(int fd, char* buf, size_t n) {
+  ReadResult rr;
+  while (rr.got < n) {
+    const ssize_t r = ::read(fd, buf + rr.got, n - rr.got);
+    if (r == 0) {
+      rr.stop = ReadStop::kEof;
+      return rr;
+    }
     if (r < 0) {
       if (errno == EINTR) continue;
-      return -1;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        rr.stop = ReadStop::kTimeout;
+        return rr;
+      }
+      rr.stop = ReadStop::kError;
+      return rr;
     }
-    got += static_cast<size_t>(r);
+    rr.got += static_cast<size_t>(r);
   }
-  return static_cast<ssize_t>(got);
+  return rr;
 }
 
 }  // namespace
 
+Status SetRecvTimeout(int fd, int timeout_ms) {
+  return SetTimeoutOpt(fd, SO_RCVTIMEO, timeout_ms);
+}
+
+Status SetSendTimeout(int fd, int timeout_ms) {
+  return SetTimeoutOpt(fd, SO_SNDTIMEO, timeout_ms);
+}
+
 Status SendFrame(int fd, const std::string& frame) {
+  size_t limit = frame.size();
+  bool torn = false;
+  if (FaultInjector* fi = FaultInjector::Get(); fi != nullptr) {
+    const FaultInjector::SendFault f = fi->OnSend();
+    if (f.kind == FaultInjector::SendFault::kEio) {
+      return Status::IOError("injected send failure");
+    }
+    if (f.kind == FaultInjector::SendFault::kTorn) {
+      // Deliver only a prefix, then break the connection so the peer
+      // observes a mid-frame EOF (its Corruption path, never NotFound).
+      torn = true;
+      limit = static_cast<size_t>(static_cast<double>(frame.size()) *
+                                  f.torn_fraction);
+    }
+  }
   size_t sent = 0;
-  while (sent < frame.size()) {
+  while (sent < limit) {
     const ssize_t w =
-        ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+        ::send(fd, frame.data() + sent, limit - sent, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return sent == 0
+                   ? Status::DeadlineExceeded("send timed out")
+                   : Status::IOError("send timed out mid-frame");
+      }
       return ErrnoStatus("send");
     }
     sent += static_cast<size_t>(w);
+  }
+  if (torn) {
+    ::shutdown(fd, SHUT_RDWR);
+    return Status::IOError("injected torn write");
   }
   return Status::OK();
 }
 
 Result<std::string> RecvFramePayload(int fd) {
+  if (FaultInjector* fi = FaultInjector::Get(); fi != nullptr) {
+    const FaultInjector::RecvFault f = fi->OnRecv();
+    if (f.kind == FaultInjector::RecvFault::kEio) {
+      return Status::IOError("injected recv failure");
+    }
+    if (f.kind == FaultInjector::RecvFault::kDelay) {
+      std::this_thread::sleep_for(std::chrono::microseconds(f.delay_us));
+    }
+  }
+
   char prefix[4];
-  const ssize_t got = ReadFull(fd, prefix, sizeof(prefix));
-  if (got < 0) return ErrnoStatus("recv length");
-  if (got == 0) return Status::NotFound("connection closed");
-  if (got < static_cast<ssize_t>(sizeof(prefix))) {
-    return Status::Corruption("wire: truncated frame length");
+  const ReadResult head = ReadFull(fd, prefix, sizeof(prefix));
+  switch (head.stop) {
+    case ReadStop::kDone:
+      break;
+    case ReadStop::kEof:
+      if (head.got == 0) return Status::NotFound("connection closed");
+      // Bytes of a length prefix arrived and then the peer died: this is a
+      // torn frame, not a clean shutdown.
+      return Status::Corruption("wire: peer closed mid-frame (got " +
+                                std::to_string(head.got) +
+                                " of 4 length bytes)");
+    case ReadStop::kTimeout:
+      if (head.got == 0) {
+        return Status::DeadlineExceeded("recv timed out at frame boundary");
+      }
+      return Status::IOError("recv timed out mid-frame (length prefix)");
+    case ReadStop::kError:
+      return ErrnoStatus("recv length");
   }
   uint32_t len = 0;
   for (int i = 0; i < 4; ++i) {
@@ -67,10 +155,18 @@ Result<std::string> RecvFramePayload(int fd) {
   }
   std::string payload(len, '\0');
   if (len > 0) {
-    const ssize_t body = ReadFull(fd, payload.data(), len);
-    if (body < 0) return ErrnoStatus("recv payload");
-    if (body < static_cast<ssize_t>(len)) {
-      return Status::Corruption("wire: truncated frame payload");
+    const ReadResult body = ReadFull(fd, payload.data(), len);
+    switch (body.stop) {
+      case ReadStop::kDone:
+        break;
+      case ReadStop::kEof:
+        return Status::Corruption(
+            "wire: peer closed mid-frame (got " + std::to_string(body.got) +
+            " of " + std::to_string(len) + " payload bytes)");
+      case ReadStop::kTimeout:
+        return Status::IOError("recv timed out mid-frame (payload)");
+      case ReadStop::kError:
+        return ErrnoStatus("recv payload");
     }
   }
   return payload;

@@ -2,6 +2,17 @@
 // full-write of encoded frames, length-prefix-driven full-read of incoming
 // ones. Shared by api::Client and api::Server; nothing here interprets the
 // payload.
+//
+// Failure model (DESIGN.md §10): every outcome is a typed Status.
+//   - NotFound        clean EOF at a frame boundary (orderly shutdown); the
+//                     ONLY recv outcome that is not an error.
+//   - DeadlineExceeded an armed SO_RCVTIMEO/SO_SNDTIMEO expired before the
+//                     first byte of a frame moved (idle timeout).
+//   - IOError         syscall failure, or a timeout that hit mid-frame (the
+//                     stream is desynchronized; the connection is dead).
+//   - Corruption      the peer died mid-frame or the length prefix is
+//                     implausible (> kMaxFramePayload).
+// A mid-frame EOF is never reported as NotFound.
 #ifndef MCN_API_SOCKET_IO_H_
 #define MCN_API_SOCKET_IO_H_
 
@@ -16,13 +27,22 @@ namespace mcn::api {
 /// api/ layer's socket syscall failures.
 Status ErrnoStatus(const char* what);
 
-/// Writes all of `frame` (an Encode*Frame result) to `fd`; IOError on any
-/// short write or closed peer.
+/// Arms (timeout_ms > 0) or clears (timeout_ms == 0) SO_RCVTIMEO on `fd`.
+/// With a timeout armed, RecvFramePayload returns DeadlineExceeded when no
+/// frame starts within the window, IOError when one stalls mid-frame.
+Status SetRecvTimeout(int fd, int timeout_ms);
+
+/// Same for SO_SNDTIMEO / SendFrame.
+Status SetSendTimeout(int fd, int timeout_ms);
+
+/// Writes all of `frame` (an Encode*Frame result) to `fd`. DeadlineExceeded
+/// if an armed send timeout expires before any byte is written, IOError on
+/// a mid-frame timeout, short write, or closed peer.
 Status SendFrame(int fd, const std::string& frame);
 
 /// Reads one length-prefixed frame and returns its *payload* (prefix
-/// stripped), ready for Decode*Payload. NotFound signals clean EOF at a
-/// frame boundary; anything else that goes wrong is IOError/Corruption.
+/// stripped), ready for Decode*Payload. See the failure model above for the
+/// NotFound / DeadlineExceeded / IOError / Corruption contract.
 Result<std::string> RecvFramePayload(int fd);
 
 }  // namespace mcn::api

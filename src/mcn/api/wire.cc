@@ -64,6 +64,7 @@ void PutQuerySpec(std::string* out, const QuerySpec& spec) {
   PutU8(out, static_cast<uint8_t>(spec.engine));
   PutVarint(out, static_cast<uint64_t>(spec.parallelism));
   PutVarint(out, static_cast<uint64_t>(spec.k));
+  PutVarint(out, static_cast<uint64_t>(spec.deadline_ms));
   PutLocation(out, spec.location);
   PutDoubleVec(out, spec.preference.weights);
   PutF64(out, spec.preference.constraints.epsilon);
@@ -216,7 +217,7 @@ uint32_t GetU32(WireReader* in, const char* what) {
 
 Status GetStatus(WireReader* in) {
   const uint64_t code = in->GetVarint();
-  if (code > static_cast<uint64_t>(StatusCode::kInternal)) {
+  if (code > static_cast<uint64_t>(kMaxStatusCode)) {
     in->Fail("unknown status code");
     return Status::OK();
   }
@@ -281,14 +282,17 @@ QuerySpec GetQuerySpec(WireReader* in) {
   spec.engine = static_cast<expand::EngineKind>(engine);
   const uint64_t parallelism = in->GetVarint();
   const uint64_t k = in->GetVarint();
+  const uint64_t deadline_ms = in->GetVarint();
   if (!in->failed() &&
       (parallelism > std::numeric_limits<int32_t>::max() ||
-       k > std::numeric_limits<int32_t>::max())) {
+       k > std::numeric_limits<int32_t>::max() ||
+       deadline_ms > std::numeric_limits<int32_t>::max())) {
     in->Fail("field out of int32 range");
     return spec;
   }
   spec.parallelism = static_cast<int32_t>(parallelism);
   spec.k = static_cast<int32_t>(k);
+  spec.deadline_ms = static_cast<int32_t>(deadline_ms);
   spec.location = GetLocation(in);
   spec.preference.weights = GetDoubleVec(in);
   spec.preference.constraints.epsilon = in->GetF64();

@@ -23,8 +23,8 @@
 // with
 //
 //   QuerySpec     := kind(u8) engine(u8) parallelism(varint) k(varint)
-//                    Location weights(vec<f64>) epsilon(f64)
-//                    cost_caps(vec<f64>)
+//                    deadline_ms(varint) Location weights(vec<f64>)
+//                    epsilon(f64) cost_caps(vec<f64>)
 //   Location      := 0(u8) node(varint) | 1(u8) u(varint) v(varint)
 //                    frac(f64)
 //   QueryResponse := Status kind(u8) exhausted(u8) dim(varint)
@@ -56,7 +56,9 @@ namespace mcn::api {
 
 /// Protocol version byte, bumped on any incompatible grammar change. A
 /// decoder rejects frames carrying any other value.
-inline constexpr uint8_t kWireVersion = 1;
+/// v2: QuerySpec gained deadline_ms; Status codes extended with the
+/// failure-model codes (DeadlineExceeded/ResourceExhausted/Cancelled).
+inline constexpr uint8_t kWireVersion = 2;
 
 /// Hard ceiling on one frame's payload: protects a peer from allocating
 /// unbounded memory on a garbage length prefix.

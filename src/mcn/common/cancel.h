@@ -1,0 +1,82 @@
+// CancelToken: cooperative cancellation + deadline carrier for one query.
+//
+// A token is owned by whoever runs the query (an exec worker, a test, a
+// bench loop) and is observed — never mutated — by the expansion layer. The
+// expansion checks the token at its natural quiescent points (turn barriers
+// in ParallelProbeScheduler, settle steps in SingleExpansion) and unwinds
+// with a typed Status, so an expired or cancelled query stops fetching pages
+// instead of running to completion (DESIGN.md §10).
+//
+// Checking is cheap: one relaxed atomic load, plus a steady_clock read only
+// when a deadline is armed. Determinism note: cancellation only changes
+// *whether* a query finishes, never the bytes of a successful result — an
+// aborted query yields an error Status and no result hash.
+#ifndef MCN_COMMON_CANCEL_H_
+#define MCN_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "mcn/common/status.h"
+
+namespace mcn {
+
+/// Cooperative cancellation flag with an optional absolute deadline.
+/// Thread-safe: Cancel() may race with any number of Check() callers.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+
+  /// Token that expires `deadline_ms` milliseconds from now. 0 means "no
+  /// deadline" (the token can still be cancelled explicitly). Tokens are
+  /// pinned in place (atomic member), so construct them where they live.
+  explicit CancelToken(int64_t deadline_ms) {
+    if (deadline_ms > 0) {
+      deadline_ = Clock::now() + std::chrono::milliseconds(deadline_ms);
+      has_deadline_ = true;
+    }
+  }
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Arms an absolute deadline (e.g. anchored at request admission). Must
+  /// be called before the token is shared with other threads.
+  void ArmDeadline(Clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+
+  /// Requests cancellation (e.g. client went away). Idempotent.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point deadline() const { return deadline_; }
+
+  bool expired() const {
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  /// OK while the query may keep running; Cancelled/DeadlineExceeded once it
+  /// must unwind. The typed code is what ends up on the wire.
+  Status Check() const {
+    if (cancelled()) return Status::Cancelled("query cancelled");
+    if (expired()) return Status::DeadlineExceeded("query deadline exceeded");
+    return Status::OK();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;       // immutable after construction
+  Clock::time_point deadline_{};    // valid iff has_deadline_
+};
+
+}  // namespace mcn
+
+#endif  // MCN_COMMON_CANCEL_H_

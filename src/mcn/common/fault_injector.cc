@@ -1,0 +1,161 @@
+#include "mcn/common/fault_injector.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "mcn/common/macros.h"
+
+namespace mcn {
+
+std::atomic<FaultInjector*> FaultInjector::installed_{nullptr};
+
+namespace {
+
+// Splits "a=1,b=2" into (key, value) pairs; empty segments are skipped.
+Status SplitPairs(std::string_view spec,
+                  std::vector<std::pair<std::string, std::string>>* out) {
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    std::string_view part = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (part.empty()) continue;
+    size_t eq = part.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument("fault spec: expected key=value, got '" +
+                                     std::string(part) + "'");
+    }
+    out->emplace_back(std::string(part.substr(0, eq)),
+                      std::string(part.substr(eq + 1)));
+  }
+  return Status::OK();
+}
+
+Status ParseProb(const std::string& key, const std::string& val, double* out) {
+  char* end = nullptr;
+  double d = std::strtod(val.c_str(), &end);
+  if (end == nullptr || *end != '\0' || d < 0.0 || d > 1.0) {
+    return Status::InvalidArgument("fault spec: " + key +
+                                   " must be a probability in [0,1], got '" +
+                                   val + "'");
+  }
+  *out = d;
+  return Status::OK();
+}
+
+Status ParseU64(const std::string& key, const std::string& val,
+                uint64_t* out) {
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(val.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || val.empty()) {
+    return Status::InvalidArgument("fault spec: " + key +
+                                   " must be an integer, got '" + val + "'");
+  }
+  *out = static_cast<uint64_t>(v);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FaultInjector::Options> FaultInjector::ParseSpec(
+    std::string_view spec) {
+  Options o;
+  std::vector<std::pair<std::string, std::string>> pairs;
+  MCN_RETURN_IF_ERROR(SplitPairs(spec, &pairs));
+  for (const auto& [key, val] : pairs) {
+    if (key == "seed") {
+      MCN_RETURN_IF_ERROR(ParseU64(key, val, &o.seed));
+    } else if (key == "disk_eio") {
+      MCN_RETURN_IF_ERROR(ParseProb(key, val, &o.disk_eio));
+    } else if (key == "disk_delay") {
+      MCN_RETURN_IF_ERROR(ParseProb(key, val, &o.disk_delay));
+    } else if (key == "disk_delay_us") {
+      uint64_t v = 0;
+      MCN_RETURN_IF_ERROR(ParseU64(key, val, &v));
+      o.disk_delay_us = static_cast<int>(v);
+    } else if (key == "send_eio") {
+      MCN_RETURN_IF_ERROR(ParseProb(key, val, &o.send_eio));
+    } else if (key == "torn_write") {
+      MCN_RETURN_IF_ERROR(ParseProb(key, val, &o.torn_write));
+    } else if (key == "recv_eio") {
+      MCN_RETURN_IF_ERROR(ParseProb(key, val, &o.recv_eio));
+    } else if (key == "recv_delay") {
+      MCN_RETURN_IF_ERROR(ParseProb(key, val, &o.recv_delay));
+    } else if (key == "recv_delay_us") {
+      uint64_t v = 0;
+      MCN_RETURN_IF_ERROR(ParseU64(key, val, &v));
+      o.recv_delay_us = static_cast<int>(v);
+    } else {
+      return Status::InvalidArgument("fault spec: unknown key '" + key + "'");
+    }
+  }
+  return o;
+}
+
+FaultInjector::FaultInjector(const Options& opts)
+    : opts_(opts), rng_(opts.seed) {}
+
+void FaultInjector::Install(FaultInjector* fi) {
+  installed_.store(fi, std::memory_order_release);
+}
+
+bool FaultInjector::Draw(double p) {
+  if (p <= 0.0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return rng_.Bernoulli(p);
+}
+
+double FaultInjector::DrawUniform() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rng_.NextDouble();
+}
+
+Status FaultInjector::OnDiskRead() {
+  if (!enabled()) return Status::OK();
+  if (Draw(opts_.disk_delay)) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(opts_.disk_delay_us));
+  }
+  if (Draw(opts_.disk_eio)) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::IOError("injected disk EIO");
+  }
+  return Status::OK();
+}
+
+FaultInjector::SendFault FaultInjector::OnSend() {
+  SendFault f;
+  if (!enabled()) return f;
+  if (Draw(opts_.torn_write)) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    f.kind = SendFault::kTorn;
+    f.torn_fraction = DrawUniform();
+    return f;
+  }
+  if (Draw(opts_.send_eio)) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    f.kind = SendFault::kEio;
+  }
+  return f;
+}
+
+FaultInjector::RecvFault FaultInjector::OnRecv() {
+  RecvFault f;
+  if (!enabled()) return f;
+  if (Draw(opts_.recv_delay)) {
+    f.kind = RecvFault::kDelay;
+    f.delay_us = opts_.recv_delay_us;
+    return f;
+  }
+  if (Draw(opts_.recv_eio)) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    f.kind = RecvFault::kEio;
+  }
+  return f;
+}
+
+}  // namespace mcn

@@ -1,0 +1,121 @@
+// FaultInjector: a deterministic, process-wide fault seam for chaos testing
+// (DESIGN.md §10). When installed, the storage and socket layers consult it
+// at their I/O boundaries and inject typed failures — disk EIO, delayed
+// reads, torn (short) writes, outright send/recv errors and mid-frame
+// disconnects — with per-site probabilities drawn from a seeded PRNG, so a
+// failing chaos run is reproducible from its seed.
+//
+// The injector is installed globally (one per process) because the fault
+// sites sit under layers that have no options plumbing of their own
+// (DiskManager::ReadPageRef, socket_io free functions). The fast path when
+// no injector is installed is a single relaxed atomic load. Probability
+// draws take a mutex — acceptable because faults are only ever enabled in
+// chaos tests and benches, never in production-path benchmarks.
+//
+// Lifecycle contract: Install/Uninstall are not hot-swappable under load —
+// install before starting the workload, uninstall after quiescing it (the
+// chaos tests bracket server start/stop). `set_enabled(false)` IS safe under
+// load and is how a test "heals" faults mid-run.
+#ifndef MCN_COMMON_FAULT_INJECTOR_H_
+#define MCN_COMMON_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "mcn/common/random.h"
+#include "mcn/common/result.h"
+#include "mcn/common/status.h"
+
+namespace mcn {
+
+class FaultInjector {
+ public:
+  /// Per-site fault probabilities (0 disables a site). Parsed from a spec
+  /// string like "disk_eio=0.01,torn_write=0.05,seed=42" (see ParseSpec).
+  struct Options {
+    uint64_t seed = 1;
+    double disk_eio = 0.0;      ///< DiskManager read returns IOError
+    double disk_delay = 0.0;    ///< DiskManager read sleeps first
+    int disk_delay_us = 200;
+    double send_eio = 0.0;      ///< SendFrame fails with IOError
+    double torn_write = 0.0;    ///< SendFrame writes a prefix, then breaks
+    double recv_eio = 0.0;      ///< RecvFramePayload fails with IOError
+    double recv_delay = 0.0;    ///< RecvFramePayload sleeps first
+    int recv_delay_us = 200;
+  };
+
+  /// Parses "key=value,key=value" with the keys named in Options
+  /// (probabilities in [0,1]; `seed`, `disk_delay_us`, `recv_delay_us` are
+  /// integers). Unknown keys or malformed values are InvalidArgument.
+  static Result<Options> ParseSpec(std::string_view spec);
+
+  explicit FaultInjector(const Options& opts);
+
+  /// Installs `fi` as the process-wide injector (nullptr uninstalls). The
+  /// caller keeps ownership and must keep it alive until uninstalled and
+  /// all I/O has quiesced.
+  static void Install(FaultInjector* fi);
+
+  /// The installed injector, or nullptr (the common fast path).
+  static FaultInjector* Get() {
+    return installed_.load(std::memory_order_acquire);
+  }
+
+  /// Master switch: a disabled injector injects nothing but stays
+  /// installed. Safe to flip under load — this is how chaos tests heal the
+  /// world before the parity replay.
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_release); }
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  const Options& options() const { return opts_; }
+
+  /// Total faults injected so far (all sites).
+  uint64_t injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+  // --- Fault sites -------------------------------------------------------
+
+  /// Consulted by DiskManager read paths. Returns non-OK to inject a fault
+  /// (after any injected delay has been slept here).
+  Status OnDiskRead();
+
+  struct SendFault {
+    enum Kind { kNone, kEio, kTorn };
+    Kind kind = kNone;
+    /// For kTorn: fraction of the frame to actually write before breaking
+    /// the connection, in [0,1).
+    double torn_fraction = 0.0;
+  };
+  /// Consulted by SendFrame before writing.
+  SendFault OnSend();
+
+  struct RecvFault {
+    enum Kind { kNone, kEio, kDelay };
+    Kind kind = kNone;
+    int delay_us = 0;
+  };
+  /// Consulted by RecvFramePayload before reading.
+  RecvFault OnRecv();
+
+ private:
+  /// True with probability p; one PRNG draw under the mutex.
+  bool Draw(double p);
+  double DrawUniform();
+
+  static std::atomic<FaultInjector*> installed_;
+
+  Options opts_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<uint64_t> injected_{0};
+  std::mutex mu_;
+  Random rng_;
+};
+
+}  // namespace mcn
+
+#endif  // MCN_COMMON_FAULT_INJECTOR_H_

@@ -20,7 +20,15 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  // Failure-model codes (appended so wire-encoded values stay stable).
+  kDeadlineExceeded,
+  kResourceExhausted,
+  kCancelled,
 };
+
+/// Largest valid StatusCode value; the wire decoder rejects anything above
+/// this, so new codes must be appended, never inserted.
+inline constexpr StatusCode kMaxStatusCode = StatusCode::kCancelled;
 
 /// Returns a human-readable name for `code` ("Ok", "NotFound", ...).
 std::string_view StatusCodeToString(StatusCode code);
@@ -57,6 +65,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -167,14 +167,18 @@ void QueryService::StartGroups() {
             ->set_home_shard(worker.home_shard);
       }
     }
+    group.inflight = std::make_unique<std::atomic<int64_t>>(0);
     group.pool = std::make_unique<ThreadPool<Task>>(
         group.count, opts_.queue_capacity,
         [this, g](Task&& task, int local_worker) {
           Execute(std::move(task), groups_[g], local_worker);
         },
-        [](Task&& task) {
+        [this, g](Task&& task) {
           if (task.session != nullptr) {
             task.session->inflight.fetch_sub(1, std::memory_order_acq_rel);
+          }
+          if (opts_.max_inflight > 0) {
+            groups_[g].inflight->fetch_sub(1, std::memory_order_acq_rel);
           }
           QueryResult discarded;
           discarded.status = Status::FailedPrecondition(
@@ -221,6 +225,38 @@ int QueryService::RouteGroupIndex(const graph::Location& location) const {
 
 std::future<QueryResult> QueryService::Enqueue(Task&& task, Group& group) {
   std::future<QueryResult> future = task.promise.get_future();
+  if (opts_.max_inflight > 0) {
+    // Admission control (DESIGN.md §10): never park the caller. The
+    // in-flight ticket is taken optimistically and returned on any
+    // rejection; Execute / the discard handler return it at completion.
+    auto& inflight = *group.inflight;
+    if (inflight.fetch_add(1, std::memory_order_acq_rel) >=
+        static_cast<int64_t>(opts_.max_inflight)) {
+      inflight.fetch_sub(1, std::memory_order_acq_rel);
+      if (task.session != nullptr) {
+        task.session->inflight.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return ReadyFailure(Status::ResourceExhausted(
+          "QueryService: group over max_inflight (" +
+          std::to_string(opts_.max_inflight) + "), load shed"));
+    }
+    const auto outcome = group.pool->TrySubmit(std::move(task));
+    if (outcome == ThreadPool<Task>::TryResult::kAccepted) return future;
+    inflight.fetch_sub(1, std::memory_order_acq_rel);
+    // TrySubmit left the task unconsumed: a session batch still owns its
+    // ticket — return it before resolving.
+    if (task.session != nullptr) {
+      task.session->inflight.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    if (outcome == ThreadPool<Task>::TryResult::kFull) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return ReadyFailure(Status::ResourceExhausted(
+          "QueryService: group queue full, load shed"));
+    }
+    return ReadyFailure(
+        Status::FailedPrecondition("QueryService is shut down"));
+  }
   if (!group.pool->Submit(std::move(task))) {
     // Shutdown already began: Submit did not consume the task, so a
     // session batch still owns its inflight ticket — return it, and
@@ -237,8 +273,16 @@ std::future<QueryResult> QueryService::Enqueue(Task&& task, Group& group) {
 std::future<QueryResult> QueryService::Submit(api::QuerySpec spec) {
   Task task;
   Group& group = groups_[RouteGroupIndex(spec.location)];
-  task.spec = std::move(spec);
   task.enqueue_time = std::chrono::steady_clock::now();
+  if (spec.deadline_ms > 0) {
+    // The deadline covers the full request lifetime from admission: queue
+    // wait counts against it, so an overloaded service times the query out
+    // instead of running it long after the client gave up.
+    task.has_deadline = true;
+    task.deadline =
+        task.enqueue_time + std::chrono::milliseconds(spec.deadline_ms);
+  }
+  task.spec = std::move(spec);
   return Enqueue(std::move(task), group);
 }
 
@@ -319,9 +363,15 @@ std::future<QueryResult> QueryService::SessionNext(SessionId id, int n) {
   }
   Task task;
   Group& group = groups_[session->group];
-  task.session = std::move(session);
   task.batch_n = n;
   task.enqueue_time = std::chrono::steady_clock::now();
+  if (session->spec.deadline_ms > 0) {
+    // A session's deadline applies per batch, re-anchored at each pull.
+    task.has_deadline = true;
+    task.deadline = task.enqueue_time +
+                    std::chrono::milliseconds(session->spec.deadline_ms);
+  }
+  task.session = std::move(session);
   return Enqueue(std::move(task), group);
 }
 
@@ -377,9 +427,24 @@ void QueryService::Execute(Task&& task, Group& group, int local_worker) {
     shard.pinned = true;
   }
   const bool is_session = task.session != nullptr;
-  QueryResult result = is_session
-                           ? RunSessionBatch(*task.session, task.batch_n)
-                           : RunQuery(task.spec, shard);
+  QueryResult result;
+  if (task.has_deadline &&
+      std::chrono::steady_clock::now() >= task.deadline) {
+    // Expired while queued: resolve without executing — the whole point of
+    // a deadline under overload (DESIGN.md §10).
+    result.status = Status::DeadlineExceeded(
+        "query deadline expired before execution");
+    result.kind =
+        is_session ? QueryKind::kIncrementalTopK : task.spec.kind;
+    result.result_hash = algo::kFnvOffsetBasis;
+  } else {
+    CancelToken token;
+    if (task.has_deadline) token.ArmDeadline(task.deadline);
+    const CancelToken* cancel = task.has_deadline ? &token : nullptr;
+    result = is_session
+                 ? RunSessionBatch(*task.session, task.batch_n, cancel)
+                 : RunQuery(task.spec, shard, cancel);
+  }
   if (is_session) {
     // Refresh last_used *before* returning the inflight ticket: the
     // moment inflight hits 0 the session is evictable, and an eviction
@@ -411,6 +476,11 @@ void QueryService::Execute(Task&& task, Group& group, int local_worker) {
       if (is_session) ++shard.session_batches;
     } else {
       ++shard.failed;
+      if (result.status.code() == StatusCode::kDeadlineExceeded) {
+        ++shard.timed_out;
+      } else if (result.status.code() == StatusCode::kCancelled) {
+        ++shard.cancelled;
+      }
     }
     shard.latency_ms.push_back(result.stats.latency_seconds * 1e3);
     shard.buffer_misses += result.stats.buffer_misses;
@@ -419,9 +489,14 @@ void QueryService::Execute(Task&& task, Group& group, int local_worker) {
     shard.stall_seconds += result.stats.stall_seconds;
   }
   task.promise.set_value(std::move(result));
+  if (opts_.max_inflight > 0) {
+    // Return the admission ticket last: the query is no longer in flight.
+    group.inflight->fetch_sub(1, std::memory_order_acq_rel);
+  }
 }
 
-QueryResult QueryService::RunSessionBatch(Session& session, int n) {
+QueryResult QueryService::RunSessionBatch(Session& session, int n,
+                                          const CancelToken* cancel) {
   QueryResult result;
   result.kind = QueryKind::kIncrementalTopK;
   result.result_hash = algo::kFnvOffsetBasis;
@@ -467,10 +542,14 @@ QueryResult QueryService::RunSessionBatch(Session& session, int n) {
   // constrained batch still fills up, DESIGN.md §9) or the component is
   // exhausted.
   const auto& constraints = session.spec.preference.constraints;
+  // The token lives on this worker's stack; install it for the batch only
+  // — the engine outlives it across batches.
+  session.engine->SetCancelToken(cancel);
   auto batch = session.query->NextBatch(
       n, [&constraints](const algo::TopKEntry& row) {
         return algo::PassesCaps(constraints, row);
       });
+  session.engine->SetCancelToken(nullptr);
   if (!batch.ok()) {
     result.status = batch.status();
     return result;
@@ -486,7 +565,8 @@ QueryResult QueryService::RunSessionBatch(Session& session, int n) {
 }
 
 QueryResult QueryService::RunQuery(const api::QuerySpec& spec,
-                                   Worker& worker) {
+                                   Worker& worker,
+                                   const CancelToken* cancel) {
   QueryResult result;
   result.kind = spec.kind;
   result.result_hash = algo::kFnvOffsetBasis;
@@ -574,6 +654,10 @@ QueryResult QueryService::RunQuery(const api::QuerySpec& spec,
     engine_holder = std::move(engine_or).value();
   }
   expand::NnEngine* engine = engine_holder.get();
+  // Cooperative cancellation: the expansions check the token per settle,
+  // the turn scheduler at every barrier. Engine and token die with this
+  // call, so no clearing is needed.
+  engine->SetCancelToken(cancel);
   algo::QueryOptions exec;
   exec.parallelism = par;
   exec.scheduler = scheduler.get();
@@ -671,6 +755,8 @@ ServiceStats QueryService::Snapshot() const {
       expansion = worker->expansion.get();  // published under mu
       stats.completed += worker->completed;
       stats.failed += worker->failed;
+      stats.timed_out += worker->timed_out;
+      stats.cancelled += worker->cancelled;
       stats.session_batches += worker->session_batches;
       stats.buffer_misses += worker->buffer_misses;
       stats.buffer_accesses += worker->buffer_accesses;
@@ -698,6 +784,7 @@ ServiceStats QueryService::Snapshot() const {
       row.remote_fetches += io.remote_fetches;
     }
   }
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
   stats.open_sessions = num_open_sessions();
   stats.wall_seconds = uptime_.ElapsedSeconds();
   if (stats.wall_seconds > 0) {
@@ -713,6 +800,8 @@ void QueryService::ResetStats() {
     std::lock_guard<std::mutex> lock(worker->mu);
     worker->completed = 0;
     worker->failed = 0;
+    worker->timed_out = 0;
+    worker->cancelled = 0;
     worker->session_batches = 0;
     worker->buffer_misses = 0;
     worker->buffer_accesses = 0;
@@ -727,6 +816,7 @@ void QueryService::ResetStats() {
       }
     }
   }
+  rejected_.store(0, std::memory_order_relaxed);
   uptime_.Restart();
 }
 

@@ -57,6 +57,7 @@
 #include "mcn/algo/incremental_topk.h"
 #include "mcn/api/query_response.h"
 #include "mcn/api/query_spec.h"
+#include "mcn/common/cancel.h"
 #include "mcn/common/result.h"
 #include "mcn/common/status.h"
 #include "mcn/common/stopwatch.h"
@@ -198,6 +199,13 @@ struct ServiceOptions {
   /// Sessions untouched for this long are evicted lazily (checked on the
   /// next OpenSession). <= 0 disables idle eviction.
   double session_idle_seconds = 300.0;
+  /// Admission control (DESIGN.md §10): bound on queries in flight
+  /// (queued + executing) per worker group. 0 = unbounded, with the legacy
+  /// blocking back-pressure on a full ring. > 0 = load-shedding: a Submit
+  /// that would exceed the cap — or land on a full ring — resolves
+  /// immediately with ResourceExhausted instead of blocking the caller,
+  /// and is counted in ServiceStats::rejected.
+  size_t max_inflight = 0;
 };
 
 /// See the file comment. Thread-safe: Submit/session calls/Drain/Snapshot
@@ -317,6 +325,11 @@ class QueryService {
     int batch_n = 0;
     std::promise<QueryResult> promise;
     std::chrono::steady_clock::time_point enqueue_time{};
+    /// Absolute deadline (anchored at admission, DESIGN.md §10). A task
+    /// found expired at dequeue resolves DeadlineExceeded without running;
+    /// a running one is cancelled cooperatively via CancelToken.
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
   };
 
   /// Per-worker shard: reader (owning its pool set) confined to one worker
@@ -335,6 +348,8 @@ class QueryService {
     std::vector<double> latency_ms;
     uint64_t completed = 0;
     uint64_t failed = 0;
+    uint64_t timed_out = 0;   ///< failed with DeadlineExceeded
+    uint64_t cancelled = 0;   ///< failed with Cancelled
     uint64_t session_batches = 0;
     uint64_t buffer_misses = 0;
     uint64_t buffer_accesses = 0;
@@ -349,6 +364,9 @@ class QueryService {
     int base = 0;
     int count = 0;
     std::unique_ptr<ThreadPool<Task>> pool;
+    /// Queries admitted and not yet finished (max_inflight > 0 only).
+    /// Boxed so Group stays movable for groups_.resize().
+    std::unique_ptr<std::atomic<int64_t>> inflight;
   };
 
   QueryService(storage::DiskManager* disk, shard::ShardedStorage* storage,
@@ -372,10 +390,13 @@ class QueryService {
 
   void Execute(Task&& task, Group& group, int local_worker);
   /// Runs the query on `worker`'s shard; fills everything but the latency
-  /// fields of the result stats.
-  QueryResult RunQuery(const api::QuerySpec& spec, Worker& worker);
+  /// fields of the result stats. `cancel` (nullable) is checked
+  /// cooperatively by the expansion layer.
+  QueryResult RunQuery(const api::QuerySpec& spec, Worker& worker,
+                       const CancelToken* cancel);
   /// Runs one session batch (creating the session's engine on first use).
-  QueryResult RunSessionBatch(Session& session, int n);
+  QueryResult RunSessionBatch(Session& session, int n,
+                              const CancelToken* cancel);
 
   /// sessions_mu_ held: drops idle sessions past the idle timeout (runs
   /// on every OpenSession).
@@ -396,6 +417,8 @@ class QueryService {
   SessionId next_session_id_ = 1;
   Stopwatch uptime_;
   bool shut_down_ = false;
+  /// Load-shed submissions (ServiceStats::rejected).
+  std::atomic<uint64_t> rejected_{0};
 };
 
 }  // namespace mcn::exec

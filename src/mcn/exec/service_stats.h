@@ -50,6 +50,13 @@ struct ShardServiceStats {
 struct ServiceStats {
   uint64_t completed = 0;   ///< queries finished with an OK status
   uint64_t failed = 0;      ///< queries finished with a non-OK status
+  /// Failure-model slice (DESIGN.md §10). rejected counts load-shed
+  /// submissions (ResourceExhausted at admission; NOT counted in failed —
+  /// they never entered a queue). timed_out / cancelled count queries that
+  /// resolved DeadlineExceeded / Cancelled (also counted in failed).
+  uint64_t rejected = 0;
+  uint64_t timed_out = 0;
+  uint64_t cancelled = 0;
   /// Streaming-session slice (DESIGN.md §9): batches are also counted in
   /// completed/failed; open_sessions is the table size at snapshot time.
   uint64_t session_batches = 0;

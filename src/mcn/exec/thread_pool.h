@@ -49,6 +49,14 @@ class Semaphore {
     --count_;
   }
 
+  /// Non-blocking Acquire: takes a ticket iff one is available right now.
+  bool TryAcquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (count_ <= 0) return false;
+    --count_;
+    return true;
+  }
+
   void Release(ptrdiff_t n = 1) {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -136,6 +144,36 @@ class ThreadPool {
     items_.Release();
     inflight_submits_.fetch_sub(1, std::memory_order_acq_rel);
     return true;
+  }
+
+  /// Non-blocking Submit for admission control (DESIGN.md §10): never
+  /// parks on a full ring. Outcomes: kAccepted (task enqueued), kFull (ring
+  /// is full right now — the caller load-sheds), kShutdown (pool no longer
+  /// accepts). The task is consumed only on kAccepted.
+  enum class TryResult { kAccepted, kFull, kShutdown };
+  TryResult TrySubmit(Task&& task) {
+    inflight_submits_.fetch_add(1, std::memory_order_acq_rel);
+    if (!accepting_.load(std::memory_order_acquire)) {
+      inflight_submits_.fetch_sub(1, std::memory_order_acq_rel);
+      return TryResult::kShutdown;
+    }
+    if (!spaces_.TryAcquire()) {
+      inflight_submits_.fetch_sub(1, std::memory_order_acq_rel);
+      return TryResult::kFull;
+    }
+    if (!accepting_.load(std::memory_order_acquire)) {
+      spaces_.Release();
+      inflight_submits_.fetch_sub(1, std::memory_order_acq_rel);
+      return TryResult::kShutdown;
+    }
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      ++pending_;
+    }
+    while (!queue_.TryPush(std::move(task))) std::this_thread::yield();
+    items_.Release();
+    inflight_submits_.fetch_sub(1, std::memory_order_acq_rel);
+    return TryResult::kAccepted;
   }
 
   /// Blocks until every task submitted so far has finished executing.

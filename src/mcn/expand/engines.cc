@@ -26,6 +26,11 @@ void NnEngine::SetFilter(const FacilityFilter* filter) {
   for (SingleExpansion& e : expansions_) e.set_filter(filter);
 }
 
+void NnEngine::SetCancelToken(const CancelToken* cancel) {
+  cancel_ = cancel;
+  for (SingleExpansion& e : expansions_) e.set_cancel(cancel);
+}
+
 Status NnEngine::Init(std::unique_ptr<FetchProvider> fetch,
                       const graph::Location& q) {
   fetch_ = std::move(fetch);

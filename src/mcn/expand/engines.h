@@ -57,6 +57,12 @@ class NnEngine {
   /// Installs/clears the shrinking-stage candidate filter on all expansions.
   void SetFilter(const FacilityFilter* filter);
 
+  /// Installs/clears a cooperative cancellation token on all expansions
+  /// (DESIGN.md §10). The turn scheduler also checks it at turn barriers.
+  /// The token must outlive the query; nullptr clears.
+  void SetCancelToken(const CancelToken* cancel);
+  const CancelToken* cancel_token() const { return cancel_; }
+
   /// The edge containing facility `f` (facility-tree probe on disk engines;
   /// charged to the buffer pool).
   virtual Result<graph::EdgeKey> LocateFacilityEdge(graph::FacilityId f) = 0;
@@ -70,6 +76,7 @@ class NnEngine {
 
   std::unique_ptr<FetchProvider> fetch_;
   std::vector<SingleExpansion> expansions_;
+  const CancelToken* cancel_ = nullptr;
 };
 
 /// LSA flavor (independent fetches).

@@ -79,6 +79,12 @@ Status ParallelProbeScheduler::RunTurn(Op op, const std::vector<int>& targets,
                                        int stride) {
   MCN_CHECK(!targets.empty());
   MCN_CHECK(stride >= 1);
+  // Turn-barrier cancellation point (DESIGN.md §10): an expired query fails
+  // the turn before any probe is dispatched, so no pool worker starts work
+  // on its behalf.
+  if (const CancelToken* cancel = engine_->cancel_token(); cancel != nullptr) {
+    MCN_RETURN_IF_ERROR(cancel->Check());
+  }
   const size_t n = targets.size();
   for (size_t k = 0; k < n; ++k) {
     MCN_DCHECK(targets[k] >= 0 && targets[k] < engine_->num_costs());

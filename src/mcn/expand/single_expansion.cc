@@ -105,6 +105,12 @@ Status SingleExpansion::ExpandNode(graph::NodeId v, double key) {
 }
 
 Result<ExpansionEvent> SingleExpansion::Step() {
+  // Cancellation point: checked once per settled element, so an expired
+  // query stops before its next fetch. Exhaustion still reports cleanly —
+  // an empty heap costs nothing to finish.
+  if (cancel_ != nullptr && !heap_.empty()) {
+    MCN_RETURN_IF_ERROR(cancel_->Check());
+  }
   while (!heap_.empty()) {
     HeapItem item = heap_.top();
     heap_.pop();

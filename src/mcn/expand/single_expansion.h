@@ -13,6 +13,7 @@
 #include <limits>
 #include <vector>
 
+#include "mcn/common/cancel.h"
 #include "mcn/common/flat_u64_map.h"
 #include "mcn/common/result.h"
 #include "mcn/expand/dary_heap.h"
@@ -101,6 +102,11 @@ class SingleExpansion {
   /// nullptr = no filter (growing stage: every facility is en-heaped).
   void set_filter(const FacilityFilter* filter) { filter_ = filter; }
 
+  /// Cooperative cancellation (DESIGN.md §10): with a token installed,
+  /// Step() checks it before settling and unwinds with the token's typed
+  /// Status (DeadlineExceeded/Cancelled). nullptr = never cancelled.
+  void set_cancel(const CancelToken* cancel) { cancel_ = cancel; }
+
   int cost_index() const { return cost_index_; }
   const Stats& stats() const { return stats_; }
 
@@ -141,6 +147,7 @@ class SingleExpansion {
   std::vector<double> node_dist_;
   std::vector<double> fac_dist_;
   const FacilityFilter* filter_ = nullptr;
+  const CancelToken* cancel_ = nullptr;
   Stats stats_;
 };
 

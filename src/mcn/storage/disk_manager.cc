@@ -3,6 +3,7 @@
 #include <cstring>
 #include <utility>
 
+#include "mcn/common/fault_injector.h"
 #include "mcn/common/macros.h"
 
 namespace mcn::storage {
@@ -119,6 +120,9 @@ Status DiskManager::CheckPage(PageId id) const {
 
 Status DiskManager::ReadPage(PageId id, std::byte* out) {
   MCN_RETURN_IF_ERROR(CheckPage(id));
+  if (FaultInjector* fi = FaultInjector::Get(); fi != nullptr) {
+    MCN_RETURN_IF_ERROR(fi->OnDiskRead());
+  }
   std::memcpy(out, files_[id.file].pages[id.page].data(), kPageSize);
   page_reads_.fetch_add(1, std::memory_order_relaxed);
   files_[id.file].reads.fetch_add(1, std::memory_order_relaxed);
@@ -127,6 +131,12 @@ Status DiskManager::ReadPage(PageId id, std::byte* out) {
 
 Result<const std::byte*> DiskManager::ReadPageRef(PageId id) {
   MCN_RETURN_IF_ERROR(CheckPage(id));
+  // Fault seam (DESIGN.md §10): an injected failure happens *before* the
+  // counters tick, like a real EIO — the read never completed, so replay
+  // parity after healing compares equal logical/physical totals.
+  if (FaultInjector* fi = FaultInjector::Get(); fi != nullptr) {
+    MCN_RETURN_IF_ERROR(fi->OnDiskRead());
+  }
   page_reads_.fetch_add(1, std::memory_order_relaxed);
   files_[id.file].reads.fetch_add(1, std::memory_order_relaxed);
   return files_[id.file].pages[id.page].data();

@@ -1,0 +1,265 @@
+// Unit tests for the socket framing layer (DESIGN.md §9, §10) against real
+// kernel sockets via socketpair(2): the clean-EOF / mid-frame-EOF
+// distinction (a torn frame must never surface as NotFound), oversized
+// length prefixes, SO_RCVTIMEO / SO_SNDTIMEO timeout classification at and
+// inside frame boundaries, EINTR resumption under a real (non-SA_RESTART)
+// signal, and short reads/writes across a kernel buffer much smaller than
+// the frame.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <pthread.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "mcn/api/socket_io.h"
+#include "mcn/api/wire.h"
+#include "mcn/common/status.h"
+
+namespace mcn::api {
+namespace {
+
+/// A connected AF_UNIX stream pair, closed on scope exit. a = "peer under
+/// test" (usually the reader), b = "remote" the test manipulates.
+struct SocketPair {
+  int a = -1;
+  int b = -1;
+
+  SocketPair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+  }
+  ~SocketPair() {
+    CloseA();
+    CloseB();
+  }
+  void CloseA() {
+    if (a >= 0) ::close(a);
+    a = -1;
+  }
+  void CloseB() {
+    if (b >= 0) ::close(b);
+    b = -1;
+  }
+};
+
+/// A raw frame: 4-byte LE length prefix + payload.
+std::string Frame(const std::string& payload) {
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  std::string frame;
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<char>((n >> (8 * i)) & 0xff));
+  }
+  frame += payload;
+  return frame;
+}
+
+/// Writes raw bytes without SendFrame's framing (for torn/partial frames).
+void RawWrite(int fd, const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t w = ::write(fd, bytes.data() + off, bytes.size() - off);
+    ASSERT_GT(w, 0);
+    off += static_cast<size_t>(w);
+  }
+}
+
+TEST(SocketIoTest, RoundTripsFramesIncludingEmptyPayload) {
+  SocketPair sp;
+  ASSERT_TRUE(SendFrame(sp.b, Frame("hello wire")).ok());
+  ASSERT_TRUE(SendFrame(sp.b, Frame("")).ok());
+  auto first = RecvFramePayload(sp.a);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first.value(), "hello wire");
+  auto second = RecvFramePayload(sp.a);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value(), "");
+}
+
+TEST(SocketIoTest, CleanEofAtBoundaryIsNotFound) {
+  SocketPair sp;
+  sp.CloseB();
+  auto payload = RecvFramePayload(sp.a);
+  ASSERT_FALSE(payload.ok());
+  EXPECT_EQ(payload.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SocketIoTest, EofInsideLengthPrefixIsCorruptionNotNotFound) {
+  SocketPair sp;
+  RawWrite(sp.b, std::string("\x0a\x00", 2));  // 2 of 4 prefix bytes
+  sp.CloseB();
+  auto payload = RecvFramePayload(sp.a);
+  ASSERT_FALSE(payload.ok());
+  EXPECT_EQ(payload.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SocketIoTest, EofInsidePayloadIsCorruptionNotNotFound) {
+  SocketPair sp;
+  const std::string frame = Frame("0123456789");
+  RawWrite(sp.b, frame.substr(0, frame.size() - 4));  // 6 of 10 payload bytes
+  sp.CloseB();
+  auto payload = RecvFramePayload(sp.a);
+  ASSERT_FALSE(payload.ok());
+  EXPECT_EQ(payload.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SocketIoTest, OversizedLengthPrefixIsCorruption) {
+  SocketPair sp;
+  const uint32_t huge = kMaxFramePayload + 1;
+  std::string prefix;
+  for (int i = 0; i < 4; ++i) {
+    prefix.push_back(static_cast<char>((huge >> (8 * i)) & 0xff));
+  }
+  RawWrite(sp.b, prefix);
+  auto payload = RecvFramePayload(sp.a);
+  ASSERT_FALSE(payload.ok());
+  EXPECT_EQ(payload.status().code(), StatusCode::kCorruption);
+  // No allocation of `huge` bytes happened; the test not OOMing is the
+  // observable. The connection is garbage from here on by contract.
+}
+
+TEST(SocketIoTest, RecvTimeoutAtBoundaryIsDeadlineExceeded) {
+  SocketPair sp;
+  ASSERT_TRUE(SetRecvTimeout(sp.a, 30).ok());
+  const auto t0 = std::chrono::steady_clock::now();
+  auto payload = RecvFramePayload(sp.a);
+  ASSERT_FALSE(payload.ok());
+  EXPECT_EQ(payload.status().code(), StatusCode::kDeadlineExceeded);
+  // And it actually waited (not an instant EAGAIN misclassification).
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(20));
+}
+
+TEST(SocketIoTest, RecvTimeoutMidPrefixIsIOError) {
+  SocketPair sp;
+  ASSERT_TRUE(SetRecvTimeout(sp.a, 30).ok());
+  RawWrite(sp.b, std::string("\x0a", 1));  // 1 of 4 prefix bytes, then stall
+  auto payload = RecvFramePayload(sp.a);
+  ASSERT_FALSE(payload.ok());
+  EXPECT_EQ(payload.status().code(), StatusCode::kIOError);
+}
+
+TEST(SocketIoTest, RecvTimeoutMidPayloadIsIOError) {
+  SocketPair sp;
+  ASSERT_TRUE(SetRecvTimeout(sp.a, 30).ok());
+  const std::string frame = Frame("0123456789");
+  RawWrite(sp.b, frame.substr(0, 7));  // full prefix + 3 payload bytes
+  auto payload = RecvFramePayload(sp.a);
+  ASSERT_FALSE(payload.ok());
+  EXPECT_EQ(payload.status().code(), StatusCode::kIOError);
+}
+
+TEST(SocketIoTest, ClearingRecvTimeoutBlocksAgain) {
+  SocketPair sp;
+  ASSERT_TRUE(SetRecvTimeout(sp.a, 20).ok());
+  ASSERT_TRUE(SetRecvTimeout(sp.a, 0).ok());  // clear
+  std::thread feeder([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    RawWrite(sp.b, Frame("late"));
+  });
+  // With the timeout cleared this blocks past the old 20ms window.
+  auto payload = RecvFramePayload(sp.a);
+  feeder.join();
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  EXPECT_EQ(payload.value(), "late");
+}
+
+TEST(SocketIoTest, SendTimeoutClassifiesBoundaryVsMidFrame) {
+  SocketPair sp;
+  ASSERT_TRUE(SetSendTimeout(sp.b, 30).ok());
+  // A frame far larger than the kernel buffer with nobody reading: some
+  // bytes go out, then the armed timeout hits mid-frame.
+  const std::string big = Frame(std::string(4u << 20, 'x'));
+  Status mid = SendFrame(sp.b, big);
+  ASSERT_FALSE(mid.ok());
+  EXPECT_EQ(mid.code(), StatusCode::kIOError);
+  // The buffer is now full: a fresh frame cannot move its first byte, so
+  // the failure is at the frame boundary — DeadlineExceeded.
+  Status boundary = SendFrame(sp.b, Frame("y"));
+  ASSERT_FALSE(boundary.ok());
+  EXPECT_EQ(boundary.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(SocketIoTest, SendToClosedPeerIsIOErrorNotSignal) {
+  SocketPair sp;
+  sp.CloseA();
+  // MSG_NOSIGNAL: EPIPE as a Status, no SIGPIPE. The first small send may
+  // land in the (dead) buffer; keep pushing until the error surfaces.
+  Status last;
+  for (int i = 0; i < 8 && last.ok(); ++i) {
+    last = SendFrame(sp.b, Frame(std::string(64 * 1024, 'z')));
+  }
+  ASSERT_FALSE(last.ok());
+  EXPECT_EQ(last.code(), StatusCode::kIOError);
+}
+
+TEST(SocketIoTest, LargeFrameSurvivesShortReadsAndWrites) {
+  // 2 MiB through a ~200 KiB kernel buffer forces both SendFrame's write
+  // loop and ReadFull's read loop through many partial transfers.
+  SocketPair sp;
+  std::string payload(2u << 20, '\0');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>((i * 131) & 0xff);
+  }
+  Status send_status;
+  std::thread writer(
+      [&] { send_status = SendFrame(sp.b, Frame(payload)); });
+  auto received = RecvFramePayload(sp.a);
+  writer.join();
+  ASSERT_TRUE(send_status.ok()) << send_status.ToString();
+  ASSERT_TRUE(received.ok()) << received.status().ToString();
+  EXPECT_EQ(received.value(), payload);
+}
+
+void NoopSignalHandler(int) {}
+
+TEST(SocketIoTest, EintrFromARealSignalResumesTheRead) {
+  // Install a SIGUSR1 handler *without* SA_RESTART so blocked reads
+  // genuinely return EINTR (with SA_RESTART the kernel would hide the
+  // interruption and the loop under test would never see it).
+  struct sigaction action{};
+  struct sigaction previous{};
+  action.sa_handler = NoopSignalHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // deliberately no SA_RESTART
+  ASSERT_EQ(::sigaction(SIGUSR1, &action, &previous), 0);
+
+  SocketPair sp;
+  const std::string payload(4096, 'q');
+  const std::string frame = Frame(payload);
+
+  Result<std::string> received = Status::Internal("not run");
+  std::thread reader([&] { received = RecvFramePayload(sp.a); });
+  const pthread_t reader_handle = reader.native_handle();
+
+  // Trickle the frame while peppering the reader with signals, so EINTR
+  // hits both the prefix read and the payload read with high probability.
+  size_t off = 0;
+  const size_t chunk = 512;
+  while (off < frame.size()) {
+    ::pthread_kill(reader_handle, SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    const size_t n = std::min(chunk, frame.size() - off);
+    RawWrite(sp.b, frame.substr(off, n));
+    off += n;
+  }
+  for (int i = 0; i < 4; ++i) {
+    ::pthread_kill(reader_handle, SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  reader.join();
+  ASSERT_EQ(::sigaction(SIGUSR1, &previous, nullptr), 0);
+
+  ASSERT_TRUE(received.ok()) << received.status().ToString();
+  EXPECT_EQ(received.value(), payload);
+}
+
+}  // namespace
+}  // namespace mcn::api

@@ -34,6 +34,10 @@ QuerySpec RandomSpec(Random& rng) {
   spec.engine = rng.Next() % 2 == 0 ? expand::EngineKind::kLsa
                                           : expand::EngineKind::kCea;
   spec.parallelism = static_cast<int32_t>(rng.Next() % 5);
+  // Half the specs carry a deadline (v2 field), half keep the 0 default.
+  if (rng.Next() % 2 == 0) {
+    spec.deadline_ms = 1 + static_cast<int32_t>(rng.Next() % 600000);
+  }
   if (spec.kind != QueryKind::kSkyline) {
     for (int j = 0; j < d; ++j) {
       spec.preference.weights.push_back(rng.NextDouble() * 10.0);
@@ -276,9 +280,10 @@ TEST(WireFormatTest, RejectsIdsBeyond32Bits) {
   request.type = MsgType::kExecute;
   request.spec = SkylineSpec(graph::Location::AtNode(3));
   std::string spec_payload = PayloadOf(EncodeRequestFrame(request));
-  // Grammar: kind(1) engine(1) parallelism(1) k(1) loc_tag(1) node(1).
+  // Grammar: kind(1) engine(1) parallelism(1) k(1) deadline_ms(1)
+  // loc_tag(1) node(1).
   // Splice the 5-byte big varint in place of the 1-byte node id.
-  const size_t node_pos = 2 + 5;  // version+type, then 5 single-byte fields
+  const size_t node_pos = 2 + 6;  // version+type, then 6 single-byte fields
   std::string mutated = spec_payload.substr(0, node_pos);
   mutated += payload.substr(2);  // the big varint encoded above
   mutated += spec_payload.substr(node_pos + 1);

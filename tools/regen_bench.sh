@@ -7,7 +7,8 @@
 #
 #   cmake --build build -j --target bench_fig08a_skyline_facilities \
 #       bench_fig10a_topk_facilities bench_service_throughput \
-#       bench_parallel_expansion bench_shard_scaling bench_wire_throughput
+#       bench_parallel_expansion bench_shard_scaling bench_wire_throughput \
+#       bench_fault_recovery
 #   tools/regen_bench.sh [output=BENCH_current.json]
 #
 # Diff against the tracked baseline with:
@@ -28,12 +29,13 @@ benches=(
   bench_parallel_expansion
   bench_shard_scaling
   bench_wire_throughput
+  bench_fault_recovery
 )
 
 # One entry per bench above: the figure-title substring the merged JSON
 # must contain. Keeps a gate-aborted bench (set -e stops before the merge,
 # or a stale output file survives) from silently shipping as "regenerated".
-required_figs="Figure 8(a),Figure 10(a),Service throughput,Parallel d-expansion,Shard scaling,Wire throughput"
+required_figs="Figure 8(a),Figure 10(a),Service throughput,Parallel d-expansion,Shard scaling,Wire throughput,Fault recovery"
 
 for bench in "${benches[@]}"; do
   echo "== $bench =="
