@@ -47,6 +47,7 @@ struct ServiceRun {
   RunMetrics metrics;
   std::vector<uint64_t> hashes;  ///< per request, submission order
   std::vector<uint64_t> misses;  ///< per request, submission order
+  obs::Snapshot snapshot;        ///< registry snapshot at shutdown
 };
 
 struct Reference {
@@ -130,6 +131,7 @@ ServiceRun RunService(gen::Instance& instance, expand::EngineKind kind,
   run.metrics.latency_p99_ms = stats.latency_p99_ms;
   run.metrics.qps =
       static_cast<double>(locations.size()) / wall_seconds;
+  run.snapshot = (*service)->MetricsSnapshot();
   (*service)->Shutdown();
   return run;
 }
@@ -202,7 +204,11 @@ int Main() {
     AlgoComparison c;
     c.lsa = lsa.metrics;
     c.cea = cea.metrics;
-    PrintRow(std::to_string(workers), c);
+    // One "obs" object per row: both engines' service registries merged
+    // (same instrument names, values add).
+    obs::Snapshot row_obs = lsa.snapshot;
+    row_obs.Merge(cea.snapshot);
+    PrintRow(std::to_string(workers), c, row_obs);
     std::printf(
         "    service: LSA %7.2f qps  p50/p95/p99 %7.1f/%7.1f/%7.1f ms | "
         "CEA %7.2f qps  p50/p95/p99 %7.1f/%7.1f/%7.1f ms\n",

@@ -26,6 +26,11 @@
 //   MCN_WIRE_WORKERS      service workers                 (default 4)
 //   MCN_WIRE_STALL_US     slept stall per miss, in us     (default 20)
 //   MCN_WIRE_MIN_SPEEDUP  abort threshold, 0 disables     (default 2.0)
+//   MCN_TRACE_OUT         when set, an extra post-sweep capture run stands
+//                         up a K=4 *sharded* service, enables the tracer,
+//                         drives a short mixed wire load, and writes the
+//                         merged Chrome trace_event JSON (Perfetto-loadable)
+//                         to this path — the CI bench-smoke trace artifact
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
@@ -44,6 +49,7 @@
 #include "mcn/exec/query_service.h"
 #include "mcn/exec/service_stats.h"
 #include "mcn/gen/workload.h"
+#include "mcn/obs/trace.h"
 
 namespace mcn::bench {
 namespace {
@@ -147,6 +153,67 @@ void CheckSessionParity(exec::QueryService& service, int port,
 struct SweepPoint {
   RunMetrics metrics;
 };
+
+/// MCN_TRACE_OUT capture run (after the sweep, outside the timed window):
+/// stands up a K=4 *sharded* service behind a fresh wire server, turns the
+/// tracer on, drives a short mixed load with intra-query parallelism (so
+/// the trace shows pooled kExpansionTurn spans and kProbeFetch events with
+/// miss + local/remote flags), and writes the merged Chrome trace_event
+/// JSON to `path` — loadable in https://ui.perfetto.dev.
+void CaptureShardedTrace(const BenchEnv& env, const char* path) {
+  constexpr int kShards = 4;
+  gen::ExperimentConfig config;
+  gen::ExperimentConfig scaled = config.Scaled(env.scale);
+  std::printf("trace capture: building K=%d sharded layout...\n", kShards);
+  auto instance = gen::BuildShardedInstance(scaled, kShards);
+  MCN_CHECK(instance.ok());
+  exec::ServiceOptions opts;
+  opts.num_workers = 4;
+  opts.queue_capacity = 64;
+  opts.pool_frames_per_worker = (*instance)->pool_frames;
+  opts.per_query_parallelism = 2;  // spec.parallelism below clamps to this
+  auto service = exec::QueryService::Create(&(*instance)->storage,
+                                            (*instance)->files, opts);
+  MCN_CHECK(service.ok());
+  auto server = api::Server::Start((*service).get(), {});
+  MCN_CHECK(server.ok());
+
+  obs::Tracer::Global().Enable();
+  Random rng(777);
+  const int d = (*instance)->graph.num_costs();
+  auto client = api::Client::Connect("127.0.0.1", (*server)->port());
+  MCN_CHECK(client.ok());
+  for (int i = 0; i < 12; ++i) {
+    const graph::Location loc = (*instance)->RandomQueryLocation(rng);
+    api::QuerySpec spec;
+    if (i % 3 == 0) {
+      spec = api::SkylineSpec(loc);
+    } else {
+      std::vector<double> weights(d);
+      for (double& w : weights) w = rng.NextDouble();
+      spec = i % 3 == 1 ? api::TopKSpec(loc, 4, std::move(weights))
+                        : api::IncrementalSpec(loc, 3, std::move(weights));
+    }
+    spec.parallelism = 2;  // pooled turns -> kExpansionTurn trace spans
+    auto response = (*client)->Execute(spec);
+    MCN_CHECK(response.ok());
+    MCN_CHECK(response.value().status.ok());
+  }
+  // Scrape the trace over the wire (kGetTrace) — the same bytes a live
+  // tools/mcn_stat.py --trace pull would see.
+  auto trace = (*client)->GetTrace();
+  MCN_CHECK(trace.ok());
+  obs::Tracer::Global().Disable();
+  std::FILE* f = std::fopen(path, "w");
+  MCN_CHECK(f != nullptr);
+  std::fwrite(trace.value().data(), 1, trace.value().size(), f);
+  std::fclose(f);
+  std::printf(
+      "trace capture: %zu bytes -> %s (load in https://ui.perfetto.dev)\n",
+      trace.value().size(), path);
+  (*server)->Stop();
+  (*service)->Shutdown();
+}
 
 SweepPoint RunClients(int port, int num_clients,
                       const std::vector<api::QuerySpec>& specs,
@@ -294,7 +361,9 @@ int Main() {
     AlgoComparison c;
     c.lsa = lsa.metrics;
     c.cea = cea.metrics;
-    PrintRow(std::to_string(clients), c);
+    // Row "obs" object: the service registry after both engines' sweeps
+    // (ResetStats above scoped it to this client count).
+    PrintRow(std::to_string(clients), c, (*service)->MetricsSnapshot());
     std::printf(
         "    wire: LSA %7.2f qps  rtt p50/p95/p99 %6.2f/%6.2f/%6.2f ms | "
         "CEA %7.2f qps  rtt p50/p95/p99 %6.2f/%6.2f/%6.2f ms\n",
@@ -322,6 +391,11 @@ int Main() {
   }
   (*server)->Stop();
   (*service)->Shutdown();
+
+  if (const char* trace_out = std::getenv("MCN_TRACE_OUT");
+      trace_out != nullptr && *trace_out != '\0') {
+    CaptureShardedTrace(env, trace_out);
+  }
   return 0;
 }
 

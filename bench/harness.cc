@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 #include "mcn/algo/skyline_query.h"
 #include "mcn/algo/topk_query.h"
@@ -41,7 +42,29 @@ QueryOutcome MakeOutcome(const std::vector<Entry>& entries) {
 struct JsonRow {
   std::string param;
   AlgoComparison c;
+  /// Flattened registry snapshot (may be empty): name -> value pairs for
+  /// the row's "obs" object. Informational only; bench_diff.py ignores it.
+  std::vector<std::pair<std::string, double>> obs;
 };
+
+std::vector<std::pair<std::string, double>> FlattenSnapshot(
+    const obs::Snapshot& snap) {
+  std::vector<std::pair<std::string, double>> flat;
+  flat.reserve(snap.counters.size() + snap.gauges.size() +
+               3 * snap.histograms.size());
+  for (const obs::CounterRow& c : snap.counters) {
+    flat.emplace_back(c.name, static_cast<double>(c.value));
+  }
+  for (const obs::GaugeRow& g : snap.gauges) {
+    flat.emplace_back(g.name, g.value);
+  }
+  for (const obs::HistogramSnapshot& h : snap.histograms) {
+    flat.emplace_back(h.name + ".count", static_cast<double>(h.count));
+    flat.emplace_back(h.name + ".mean", h.Mean());
+    flat.emplace_back(h.name + ".p99", h.ValueAtQuantile(0.99));
+  }
+  return flat;
+}
 
 struct JsonFigure {
   std::string figure;
@@ -99,7 +122,7 @@ void WriteJson() {
                  st.env.json_path.c_str());
     return;
   }
-  std::fprintf(f, "{\n  \"schema\": \"mcn-bench-v2\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"mcn-bench-v3\",\n");
   std::fprintf(f,
                "  \"scale\": %.9g,\n  \"queries_per_point\": %d,\n"
                "  \"io_latency_ms\": %.9g,\n  \"figures\": [\n",
@@ -119,6 +142,15 @@ void WriteJson() {
       WriteMetrics(f, "lsa", row.c.lsa);
       std::fprintf(f, ",\n");
       WriteMetrics(f, "cea", row.c.cea);
+      if (!row.obs.empty()) {
+        std::fprintf(f, ",\n        \"obs\": {");
+        for (size_t oi = 0; oi < row.obs.size(); ++oi) {
+          std::fprintf(f, "%s\"%s\": %.9g", oi > 0 ? ", " : "",
+                       JsonEscape(row.obs[oi].first).c_str(),
+                       row.obs[oi].second);
+        }
+        std::fprintf(f, "}");
+      }
       std::fprintf(f, "\n      }%s\n", ri + 1 < fig.rows.size() ? "," : "");
     }
     std::fprintf(f, "     ]}%s\n", fi + 1 < st.figures.size() ? "," : "");
@@ -225,9 +257,15 @@ void PrintHeader(const std::string& figure, const std::string& varying,
 }
 
 void PrintRow(const std::string& param_value, const AlgoComparison& c) {
+  PrintRow(param_value, c, obs::Snapshot{});
+}
+
+void PrintRow(const std::string& param_value, const AlgoComparison& c,
+              const obs::Snapshot& obs_snapshot) {
   JsonState& st = State();
   if (st.figure_open) {
-    st.figures.back().rows.push_back(JsonRow{param_value, c});
+    st.figures.back().rows.push_back(
+        JsonRow{param_value, c, FlattenSnapshot(obs_snapshot)});
   }
   double speedup = c.cea.AvgModeled() > 0
                        ? c.lsa.AvgModeled() / c.cea.AvgModeled()

@@ -14,7 +14,9 @@
 //   MCN_IO_LATENCY_MS  modeled per-miss latency in ms (default 5)
 //   MCN_BENCH_JSON     when set, a machine-readable record of every figure
 //                      run by the process is (re)written to this path after
-//                      each PrintFooter (schema: DESIGN.md §5)
+//                      each PrintFooter (schema mcn-bench-v3: DESIGN.md §5;
+//                      rows may carry an "obs" object of registry metrics —
+//                      tools/bench_diff.py ignores obs-only keys)
 #ifndef MCN_BENCH_HARNESS_H_
 #define MCN_BENCH_HARNESS_H_
 
@@ -27,6 +29,7 @@
 #include "mcn/algo/result_hash.h"
 #include "mcn/expand/engines.h"
 #include "mcn/gen/workload.h"
+#include "mcn/obs/metrics.h"
 #include "mcn/shard/partition.h"
 
 namespace mcn::bench {
@@ -124,6 +127,12 @@ QueryFn TopKRunner(int k, int num_costs);
 void PrintHeader(const std::string& figure, const std::string& varying,
                  const gen::ExperimentConfig& base, const BenchEnv& env);
 void PrintRow(const std::string& param_value, const AlgoComparison& c);
+/// As above, additionally attaching a metrics-registry snapshot to the
+/// row's JSON record as a flat "obs" object (counters and gauges by name,
+/// histograms as <name>.count / <name>.mean / <name>.p99). Observability
+/// keys are informational: tools/bench_diff.py ignores them.
+void PrintRow(const std::string& param_value, const AlgoComparison& c,
+              const obs::Snapshot& obs_snapshot);
 void PrintFooter();
 
 }  // namespace mcn::bench

@@ -32,10 +32,27 @@
 //                    install a deterministic fault injector, e.g.
 //                    "seed=7,disk_eio=0.01,recv_delay=0.05" (see
 //                    common/fault_injector.h for the key set).
+//
+// Observability flags (DESIGN.md §11; see examples/PROFILING.md for a
+// profiling walkthrough):
+//   --metrics-port=P bind a second wire endpoint on port P dedicated to
+//                    introspection scrapes (kGetMetrics/kGetTrace) — point
+//                    tools/mcn_stat.py at it without contending with query
+//                    traffic. The main port answers them too.
+//   --trace-out=PATH enable the query tracer at startup and write the
+//                    merged Chrome trace_event JSON to PATH on shutdown
+//                    (load in https://ui.perfetto.dev).
+//   --slow-query-ms=T
+//                    attach a flight recorder and log every query slower
+//                    than T ms as one JSON line (with a replay_hex frame
+//                    for tools/replay_query.py). 0 = record digests only.
+//   --slow-query-log=PATH
+//                    append slow-query lines to PATH instead of stderr.
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -45,6 +62,8 @@
 #include "mcn/common/random.h"
 #include "mcn/exec/query_service.h"
 #include "mcn/gen/workload.h"
+#include "mcn/obs/flight_recorder.h"
+#include "mcn/obs/trace.h"
 
 using mcn::Random;
 using mcn::api::QueryKind;
@@ -66,6 +85,10 @@ struct Flags {
   int deadline_ms = 0;
   int max_inflight = 0;
   std::string inject_faults;
+  int metrics_port = -1;  ///< -1 = no dedicated introspection endpoint
+  std::string trace_out;
+  int slow_query_ms = -1;  ///< -1 = no flight recorder
+  std::string slow_query_log;
 };
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -92,6 +115,18 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       if (flags->max_inflight < 0) return false;
     } else if (std::strncmp(arg, "--inject-faults=", 16) == 0) {
       flags->inject_faults = arg + 16;
+    } else if (std::strncmp(arg, "--metrics-port=", 15) == 0) {
+      flags->metrics_port = std::atoi(arg + 15);
+      if (flags->metrics_port < 0 || flags->metrics_port > 65535) {
+        return false;
+      }
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      flags->trace_out = arg + 12;
+    } else if (std::strncmp(arg, "--slow-query-ms=", 16) == 0) {
+      flags->slow_query_ms = std::atoi(arg + 16);
+      if (flags->slow_query_ms < 0) return false;
+    } else if (std::strncmp(arg, "--slow-query-log=", 17) == 0) {
+      flags->slow_query_log = arg + 17;
     } else {
       return false;
     }
@@ -298,7 +333,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s [--port=P] [--serve] [--shards=K] [--workers=N] "
                  "[--pin-workers] [--deadline-ms=D] [--max-inflight=M] "
-                 "[--inject-faults=SPEC]\n",
+                 "[--inject-faults=SPEC] [--metrics-port=P] "
+                 "[--trace-out=PATH] [--slow-query-ms=T] "
+                 "[--slow-query-log=PATH]\n",
                  argv[0]);
     return 2;
   }
@@ -336,6 +373,27 @@ int main(int argc, char** argv) {
               (*instance)->files.num_boundary_edges,
               (*instance)->files.num_shards());
 
+  // Observability wiring (DESIGN.md §11): tracer on when a trace sink is
+  // named; a flight recorder when a slow-query threshold is set.
+  if (!flags.trace_out.empty()) {
+    mcn::obs::Tracer::Global().Enable();
+    std::printf("tracing enabled: Chrome JSON -> %s on shutdown\n",
+                flags.trace_out.c_str());
+  }
+  std::unique_ptr<mcn::obs::FlightRecorder> flight_recorder;
+  if (flags.slow_query_ms >= 0) {
+    mcn::obs::FlightRecorder::Options recorder_options;
+    recorder_options.slow_query_ms =
+        static_cast<double>(flags.slow_query_ms);
+    recorder_options.log_path = flags.slow_query_log;
+    flight_recorder =
+        std::make_unique<mcn::obs::FlightRecorder>(recorder_options);
+    std::printf("flight recorder on: slow-query threshold %dms -> %s\n",
+                flags.slow_query_ms,
+                flags.slow_query_log.empty() ? "stderr"
+                                             : flags.slow_query_log.c_str());
+  }
+
   ServiceOptions options;
   options.num_workers = flags.workers;
   options.queue_capacity = 256;
@@ -343,6 +401,7 @@ int main(int argc, char** argv) {
   options.io_latency_ms = 5.0;  // accounted, not slept, in this demo
   options.pin_workers = flags.pin_workers;
   options.max_inflight = static_cast<size_t>(flags.max_inflight);
+  options.flight_recorder = flight_recorder.get();
   auto service = QueryService::Create(&(*instance)->storage,
                                       (*instance)->files, options);
   if (!service.ok()) {
@@ -366,6 +425,26 @@ int main(int argc, char** argv) {
       options.pool_frames_per_worker,
       flags.pin_workers ? ", workers pinned (best effort)" : "");
 
+  // Optional dedicated introspection endpoint: a second wire server over
+  // the same service, so ops scrapes never queue behind query traffic.
+  std::unique_ptr<mcn::api::Server> metrics_server;
+  if (flags.metrics_port >= 0) {
+    mcn::api::Server::Options metrics_options;
+    metrics_options.port = flags.metrics_port;
+    auto started =
+        mcn::api::Server::Start((*service).get(), metrics_options);
+    if (!started.ok()) {
+      std::fprintf(stderr, "metrics server failed: %s\n",
+                   started.status().ToString().c_str());
+      return 1;
+    }
+    metrics_server = std::move(started).value();
+    std::printf(
+        "introspection endpoint on 127.0.0.1:%d — scrape with "
+        "tools/mcn_stat.py --port %d\n",
+        metrics_server->port(), metrics_server->port());
+  }
+
   int rc = 0;
   if (flags.serve) {
     std::printf("--serve: accepting connections until stdin closes...\n");
@@ -380,8 +459,27 @@ int main(int argc, char** argv) {
   } else {
     rc = RunDemo(**service, (*server)->port(), flags.deadline_ms, **instance);
   }
+  if (metrics_server != nullptr) metrics_server->Stop();
   (*server)->Stop();
   (*service)->Shutdown();
+  if (!flags.trace_out.empty()) {
+    const std::string json = mcn::obs::Tracer::Global().ExportChromeJson();
+    std::FILE* f = std::fopen(flags.trace_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "--trace-out: cannot open %s\n",
+                   flags.trace_out.c_str());
+    } else {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("wrote %zu trace bytes to %s\n", json.size(),
+                  flags.trace_out.c_str());
+    }
+  }
+  if (flight_recorder != nullptr) {
+    std::printf("flight recorder: %" PRIu64 " digests recorded, %" PRIu64
+                " slow queries logged\n",
+                flight_recorder->recorded(), flight_recorder->slow_logged());
+  }
   {
     ServiceStats stats = (*service)->Snapshot();
     std::printf("exit stats: %" PRIu64 " completed, %" PRIu64 " failed, "

@@ -5,6 +5,7 @@
 #include "mcn/algo/turn_dispatch.h"
 #include "mcn/common/macros.h"
 #include "mcn/expand/probe_scheduler.h"
+#include "mcn/obs/trace.h"
 
 namespace mcn::algo {
 
@@ -110,6 +111,8 @@ Status SkylineQuery::Advance() {
 
 Status SkylineQuery::DrainStep() {
   ++stats_.drain_rounds;
+  obs::RecordInstant(obs::CurrentTraceContext(),
+                     obs::EventType::kDominanceRound, stats_.drain_rounds);
   for (int i = 0; i < d_; ++i) {
     // Stopped expansions may still hold the boundary key: step them too
     // (their stopped status resumes after the drain).
@@ -193,6 +196,8 @@ Status SkylineQuery::AdvanceTurn() {
 
 Status SkylineQuery::DrainTurn() {
   ++stats_.drain_rounds;
+  obs::RecordInstant(obs::CurrentTraceContext(),
+                     obs::EventType::kDominanceRound, stats_.drain_rounds);
   const bool batched = opts_.probe_policy == ProbePolicy::kRoundRobin;
   std::vector<int>& targets = turn_targets_;
   targets.clear();

@@ -214,6 +214,26 @@ Result<QueryResponse> Client::Next(uint64_t session_id, int n) {
   return std::move(response.response);
 }
 
+Result<obs::Snapshot> Client::GetMetrics() {
+  WireRequest request;
+  request.type = MsgType::kGetMetrics;
+  MCN_ASSIGN_OR_RETURN(
+      WireResponse response,
+      RoundTripWithRetry(EncodeRequestFrame(request), MsgType::kMetrics));
+  MCN_RETURN_IF_ERROR(response.status);
+  return std::move(response.snapshot);
+}
+
+Result<std::string> Client::GetTrace() {
+  WireRequest request;
+  request.type = MsgType::kGetTrace;
+  MCN_ASSIGN_OR_RETURN(
+      WireResponse response,
+      RoundTripWithRetry(EncodeRequestFrame(request), MsgType::kTrace));
+  MCN_RETURN_IF_ERROR(response.status);
+  return std::move(response.trace_json);
+}
+
 Status Client::CloseSession(uint64_t session_id) {
   WireRequest request;
   request.type = MsgType::kCloseSession;

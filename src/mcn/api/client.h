@@ -84,6 +84,15 @@ class Client {
   /// Closes a session on the server. Not retried.
   Status CloseSession(uint64_t session_id);
 
+  /// Scrapes the server's metrics snapshot (counters, gauges, latency
+  /// histograms — the same data QueryService::MetricsSnapshot returns
+  /// in process). A pure read; retried like Execute.
+  Result<obs::Snapshot> GetMetrics();
+
+  /// Drains the server's trace buffers as a Chrome trace_event JSON
+  /// document (empty trace when tracing is off). A pure read; retried.
+  Result<std::string> GetTrace();
+
   /// Transport retries performed so far (reconnect + resend of an
   /// idempotent call).
   uint64_t retries() const { return retries_; }

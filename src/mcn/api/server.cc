@@ -15,6 +15,7 @@
 #include "mcn/api/socket_io.h"
 #include "mcn/api/wire.h"
 #include "mcn/common/macros.h"
+#include "mcn/obs/trace.h"
 
 namespace mcn::api {
 
@@ -22,17 +23,28 @@ namespace {
 
 /// Sends `response`, degrading a frame-cap overflow (a result row set a
 /// remote client sized, e.g. a huge-k top-k) to a small error response
-/// instead of aborting the process.
-Status SendResponse(int fd, const WireResponse& response) {
+/// instead of aborting the process. Encode + send is traced as one
+/// kWireEncode span under the request's context.
+Status SendResponse(int fd, const WireResponse& response,
+                    obs::TraceContext trace) {
+  const auto start = std::chrono::steady_clock::now();
   auto frame = TryEncodeResponseFrame(response);
+  Status sent;
+  size_t bytes = 0;
   if (!frame.ok()) {
     WireResponse overflow;
     overflow.type = MsgType::kResponse;
     overflow.response.kind = response.response.kind;
     overflow.response.status = frame.status();
-    return SendFrame(fd, EncodeResponseFrame(overflow));
+    std::string encoded = EncodeResponseFrame(overflow);
+    bytes = encoded.size();
+    sent = SendFrame(fd, encoded);
+  } else {
+    bytes = frame.value().size();
+    sent = SendFrame(fd, frame.value());
   }
-  return SendFrame(fd, frame.value());
+  obs::RecordSpanSince(trace, obs::EventType::kWireEncode, start, bytes);
+  return sent;
 }
 
 }  // namespace
@@ -197,14 +209,22 @@ void Server::ServeConnection(Connection* connection) {
       }
       break;
     }
+    // One trace context per request: the wire decode/encode spans and the
+    // query the service runs for it share a query id (QueryService::Submit
+    // adopts the caller's installed context instead of minting one).
+    const obs::TraceContext trace = obs::StartQueryTrace();
+    const obs::TraceContextScope trace_scope(trace);
+    const auto decode_start = std::chrono::steady_clock::now();
     auto request = DecodeRequestPayload(payload.value());
+    obs::RecordSpanSince(trace, obs::EventType::kWireDecode, decode_start,
+                         payload.value().size());
     WireResponse response;
     if (!request.ok()) {
       // Malformed frame: report the decode error, then drop the
       // connection — after a framing error the stream cannot be trusted.
       response.type = MsgType::kResponse;
       response.response.status = request.status();
-      (void)SendResponse(fd, response);
+      (void)SendResponse(fd, response, trace);
       break;
     }
     bool drop = false;
@@ -262,13 +282,21 @@ void Server::ServeConnection(Connection* connection) {
         }
         break;
       }
+      case MsgType::kGetMetrics:
+        response.type = MsgType::kMetrics;
+        response.snapshot = service_->MetricsSnapshot();
+        break;
+      case MsgType::kGetTrace:
+        response.type = MsgType::kTrace;
+        response.trace_json = obs::Tracer::Global().ExportChromeJson();
+        break;
       default:
         // DecodeRequestPayload only produces the cases above.
         drop = true;
         break;
     }
     if (drop) break;
-    if (!SendResponse(fd, response).ok()) break;
+    if (!SendResponse(fd, response, trace).ok()) break;
   }
   for (const exec::SessionId id : sessions) {
     (void)service_->CloseSession(id);

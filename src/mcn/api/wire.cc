@@ -102,6 +102,34 @@ void PutQueryResponse(std::string* out, const QueryResponse& response) {
   PutF64(out, response.exec_seconds);
 }
 
+void PutName(std::string* out, const std::string& name) {
+  PutVarint(out, name.size());
+  out->append(name);
+}
+
+void PutSnapshot(std::string* out, const obs::Snapshot& snap) {
+  PutVarint(out, snap.counters.size());
+  for (const obs::CounterRow& c : snap.counters) {
+    PutName(out, c.name);
+    PutVarint(out, c.value);
+  }
+  PutVarint(out, snap.gauges.size());
+  for (const obs::GaugeRow& g : snap.gauges) {
+    PutName(out, g.name);
+    PutF64(out, g.value);
+  }
+  PutVarint(out, snap.histograms.size());
+  for (const obs::HistogramSnapshot& h : snap.histograms) {
+    PutName(out, h.name);
+    PutVarint(out, h.sum);
+    PutVarint(out, h.buckets.size());
+    for (const auto& [index, count] : h.buckets) {
+      PutVarint(out, index);
+      PutVarint(out, count);
+    }
+  }
+}
+
 std::string FinishFrame(std::string payload) {
   MCN_CHECK(payload.size() <= kMaxFramePayload);
   std::string frame;
@@ -363,6 +391,71 @@ QueryResponse GetQueryResponse(WireReader* in) {
   return response;
 }
 
+std::string GetName(WireReader* in) {
+  const uint64_t len = in->GetCount(1);
+  return in->GetBytes(len);
+}
+
+obs::Snapshot GetSnapshot(WireReader* in) {
+  obs::Snapshot snap;
+  // Each counter row is at least name-count(1) + value(1) bytes; the same
+  // floor holds for gauges (1 + 8) and histograms (1 + 1 + 1).
+  const uint64_t counters = in->GetCount(2);
+  if (in->failed()) return snap;
+  snap.counters.reserve(counters);
+  for (uint64_t i = 0; i < counters && !in->failed(); ++i) {
+    obs::CounterRow row;
+    row.name = GetName(in);
+    row.value = in->GetVarint();
+    snap.counters.push_back(std::move(row));
+  }
+  const uint64_t gauges = in->GetCount(9);
+  if (in->failed()) return snap;
+  snap.gauges.reserve(gauges);
+  for (uint64_t i = 0; i < gauges && !in->failed(); ++i) {
+    obs::GaugeRow row;
+    row.name = GetName(in);
+    row.value = in->GetF64();
+    snap.gauges.push_back(std::move(row));
+  }
+  const uint64_t hists = in->GetCount(3);
+  if (in->failed()) return snap;
+  snap.histograms.reserve(hists);
+  for (uint64_t i = 0; i < hists && !in->failed(); ++i) {
+    obs::HistogramSnapshot h;
+    h.name = GetName(in);
+    h.sum = in->GetVarint();
+    const uint64_t buckets = in->GetCount(2);
+    if (in->failed()) return snap;
+    h.buckets.reserve(buckets);
+    uint64_t prev = 0;
+    for (uint64_t b = 0; b < buckets && !in->failed(); ++b) {
+      const uint64_t index = in->GetVarint();
+      const uint64_t count = in->GetVarint();
+      if (in->failed()) break;
+      // Canonical sparse form: strictly ascending indices inside the
+      // bucket space, no zero-count entries (see the header grammar).
+      if (index >= static_cast<uint64_t>(obs::Histogram::kNumBuckets)) {
+        in->Fail("histogram bucket index out of range");
+        break;
+      }
+      if (b > 0 && index <= prev) {
+        in->Fail("histogram buckets not ascending");
+        break;
+      }
+      if (count == 0) {
+        in->Fail("zero-count histogram bucket");
+        break;
+      }
+      prev = index;
+      h.buckets.emplace_back(static_cast<uint32_t>(index), count);
+      h.count += count;
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
 Result<WireReader> OpenPayload(const std::string& payload) {
   WireReader in(payload);
   const uint8_t version = in.GetU8();
@@ -401,6 +494,9 @@ std::string EncodeRequestFrame(const WireRequest& request) {
     case MsgType::kCloseSession:
       PutVarint(&payload, request.session_id);
       break;
+    case MsgType::kGetMetrics:
+    case MsgType::kGetTrace:
+      break;  // empty bodies
     default:
       MCN_CHECK(false && "EncodeRequestFrame: not a request type");
   }
@@ -423,6 +519,15 @@ std::string BuildResponsePayload(const WireResponse& response) {
       break;
     case MsgType::kSessionClosed:
       PutStatus(&payload, response.status);
+      break;
+    case MsgType::kMetrics:
+      PutStatus(&payload, response.status);
+      PutSnapshot(&payload, response.snapshot);
+      break;
+    case MsgType::kTrace:
+      PutStatus(&payload, response.status);
+      PutVarint(&payload, response.trace_json.size());
+      payload.append(response.trace_json);
       break;
     default:
       MCN_CHECK(false && "EncodeResponseFrame: not a response type");
@@ -471,6 +576,10 @@ Result<WireRequest> DecodeRequestPayload(const std::string& payload) {
       request.type = MsgType::kCloseSession;
       request.session_id = in.GetVarint();
       break;
+    case MsgType::kGetMetrics:
+    case MsgType::kGetTrace:
+      request.type = static_cast<MsgType>(type);
+      break;  // empty bodies
     default:
       return Status::Corruption("wire: unknown request type " +
                                 std::to_string(type));
@@ -497,6 +606,18 @@ Result<WireResponse> DecodeResponsePayload(const std::string& payload) {
       response.type = MsgType::kSessionClosed;
       response.status = GetStatus(&in);
       break;
+    case MsgType::kMetrics:
+      response.type = MsgType::kMetrics;
+      response.status = GetStatus(&in);
+      response.snapshot = GetSnapshot(&in);
+      break;
+    case MsgType::kTrace: {
+      response.type = MsgType::kTrace;
+      response.status = GetStatus(&in);
+      const uint64_t len = in.GetCount(1);
+      response.trace_json = in.GetBytes(len);
+      break;
+    }
     default:
       return Status::Corruption("wire: unknown response type " +
                                 std::to_string(type));

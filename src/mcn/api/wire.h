@@ -13,12 +13,17 @@
 //   kOpenSession  := QuerySpec              (kind must be incremental)
 //   kNext         := session_id(varint) n(varint)
 //   kCloseSession := session_id(varint)
+//   kGetMetrics   := (empty)                (introspection scrape)
+//   kGetTrace     := (empty)                (drain the trace buffers)
 //
 // Response bodies:
 //
 //   kResponse      := QueryResponse         (also carries query errors)
 //   kSessionOpened := Status session_id(varint)
 //   kSessionClosed := Status
+//   kMetrics       := Status counters(vec<Counter>) gauges(vec<Gauge>)
+//                     hists(vec<Hist>)
+//   kTrace         := Status json(vec<u8>)  (Chrome trace_event document)
 //
 // with
 //
@@ -32,8 +37,17 @@
 //                    misses(varint) accesses(varint) exec_seconds(f64)
 //   row           := facility(varint) known_mask(varint) cost(f64){dim}
 //                  | facility(varint) score(f64) cost(f64){dim}   (top-k)
+//   Counter       := name(vec<u8>) value(varint)
+//   Gauge         := name(vec<u8>) value(f64)
+//   Hist          := name(vec<u8>) sum(varint) buckets(vec<Bucket>)
+//   Bucket        := index(varint) count(varint)
 //   Status        := code(varint) message(vec<u8>)
 //   vec<T>        := count(varint) T{count}
+//
+// Hist buckets are the sparse form of obs::HistogramSnapshot: indices
+// strictly ascending, every count nonzero, indices < the histogram's
+// bucket space; the snapshot's total count is derived as the bucket-count
+// sum (never carried redundantly).
 //
 // Encoding is canonical (one byte sequence per value: minimal-length
 // varints, fixed field order), so decode(encode(x)) == x and
@@ -51,6 +65,7 @@
 #include "mcn/api/query_spec.h"
 #include "mcn/common/result.h"
 #include "mcn/common/status.h"
+#include "mcn/obs/metrics.h"
 
 namespace mcn::api {
 
@@ -58,6 +73,9 @@ namespace mcn::api {
 /// decoder rejects frames carrying any other value.
 /// v2: QuerySpec gained deadline_ms; Status codes extended with the
 /// failure-model codes (DeadlineExceeded/ResourceExhausted/Cancelled).
+/// The introspection messages (kGetMetrics/kGetTrace and their replies)
+/// are additive — new type bytes, no change to any v2 body — so they ride
+/// on version 2; an older peer answers them with "unknown type".
 inline constexpr uint8_t kWireVersion = 2;
 
 /// Hard ceiling on one frame's payload: protects a peer from allocating
@@ -70,9 +88,13 @@ enum class MsgType : uint8_t {
   kOpenSession = 0x02,
   kNext = 0x03,
   kCloseSession = 0x04,
+  kGetMetrics = 0x05,
+  kGetTrace = 0x06,
   kResponse = 0x81,
   kSessionOpened = 0x82,
   kSessionClosed = 0x83,
+  kMetrics = 0x85,
+  kTrace = 0x86,
 };
 
 /// Decoded request envelope. Which fields are meaningful depends on `type`
@@ -88,8 +110,10 @@ struct WireRequest {
 struct WireResponse {
   MsgType type = MsgType::kResponse;
   QueryResponse response;     ///< kResponse
-  Status status;              ///< kSessionOpened / kSessionClosed
+  Status status;              ///< kSessionOpened/kSessionClosed/kMetrics/kTrace
   uint64_t session_id = 0;    ///< kSessionOpened
+  obs::Snapshot snapshot;     ///< kMetrics
+  std::string trace_json;     ///< kTrace
 };
 
 /// Encodes a complete frame (length prefix + versioned payload). For

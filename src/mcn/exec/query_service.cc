@@ -9,6 +9,7 @@
 #include "mcn/algo/result_hash.h"
 #include "mcn/algo/skyline_query.h"
 #include "mcn/algo/topk_query.h"
+#include "mcn/api/wire.h"
 #include "mcn/common/macros.h"
 #include "mcn/exec/affinity.h"
 
@@ -126,7 +127,31 @@ QueryService::QueryService(storage::DiskManager* disk,
       storage_(storage),
       files_(files),
       sharded_files_(sharded_files),
-      opts_(options) {
+      opts_(options),
+      registry_(options.num_workers) {
+  // Resolve every instrument once; workers then record lock-free with
+  // slot = worker index (exact per-worker slots — the registry rounds the
+  // count up to a power of two, never down below num_workers <= 64).
+  namespace mn = metric_names;
+  metrics_.completed = registry_.GetCounter(mn::kCompleted);
+  metrics_.failed = registry_.GetCounter(mn::kFailed);
+  metrics_.rejected = registry_.GetCounter(mn::kRejected);
+  metrics_.timed_out = registry_.GetCounter(mn::kTimedOut);
+  metrics_.cancelled = registry_.GetCounter(mn::kCancelled);
+  metrics_.session_batches = registry_.GetCounter(mn::kSessionBatches);
+  metrics_.buffer_misses = registry_.GetCounter(mn::kBufferMisses);
+  metrics_.buffer_accesses = registry_.GetCounter(mn::kBufferAccesses);
+  metrics_.cpu_micros = registry_.GetCounter(mn::kCpuMicros);
+  metrics_.stall_micros = registry_.GetCounter(mn::kStallMicros);
+  metrics_.queue_micros = registry_.GetCounter(mn::kQueueMicros);
+  metrics_.latency_us = registry_.GetHistogram(mn::kLatencyUs);
+  const int num_shards = storage != nullptr ? storage->num_shards() : 0;
+  for (int s = 0; s < num_shards; ++s) {
+    metrics_.shard_completed.push_back(
+        registry_.GetCounter(mn::Shard(s, "completed")));
+    metrics_.shard_misses.push_back(
+        registry_.GetCounter(mn::Shard(s, "buffer_misses")));
+  }
   workers_.reserve(opts_.num_workers);
   for (int w = 0; w < opts_.num_workers; ++w) {
     auto worker = std::make_unique<Worker>();
@@ -236,7 +261,7 @@ std::future<QueryResult> QueryService::Enqueue(Task&& task, Group& group) {
       if (task.session != nullptr) {
         task.session->inflight.fetch_sub(1, std::memory_order_acq_rel);
       }
-      rejected_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.rejected->Add(1);
       return ReadyFailure(Status::ResourceExhausted(
           "QueryService: group over max_inflight (" +
           std::to_string(opts_.max_inflight) + "), load shed"));
@@ -250,7 +275,7 @@ std::future<QueryResult> QueryService::Enqueue(Task&& task, Group& group) {
       task.session->inflight.fetch_sub(1, std::memory_order_acq_rel);
     }
     if (outcome == ThreadPool<Task>::TryResult::kFull) {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.rejected->Add(1);
       return ReadyFailure(Status::ResourceExhausted(
           "QueryService: group queue full, load shed"));
     }
@@ -273,6 +298,12 @@ std::future<QueryResult> QueryService::Enqueue(Task&& task, Group& group) {
 std::future<QueryResult> QueryService::Submit(api::QuerySpec spec) {
   Task task;
   Group& group = groups_[RouteGroupIndex(spec.location)];
+  // Adopt the caller's installed trace context (the wire server traces
+  // decode/encode under the same query id) or mint a fresh one.
+  task.trace = obs::CurrentTraceContext();
+  if (!task.trace.active()) task.trace = obs::StartQueryTrace();
+  obs::RecordInstant(task.trace, obs::EventType::kAdmission,
+                     static_cast<uint64_t>(&group - groups_.data()));
   task.enqueue_time = std::chrono::steady_clock::now();
   if (spec.deadline_ms > 0) {
     // The deadline covers the full request lifetime from admission: queue
@@ -364,6 +395,10 @@ std::future<QueryResult> QueryService::SessionNext(SessionId id, int n) {
   Task task;
   Group& group = groups_[session->group];
   task.batch_n = n;
+  task.trace = obs::CurrentTraceContext();
+  if (!task.trace.active()) task.trace = obs::StartQueryTrace();
+  obs::RecordInstant(task.trace, obs::EventType::kAdmission,
+                     static_cast<uint64_t>(session->group));
   task.enqueue_time = std::chrono::steady_clock::now();
   if (session->spec.deadline_ms > 0) {
     // A session's deadline applies per batch, re-anchored at each pull.
@@ -427,6 +462,12 @@ void QueryService::Execute(Task&& task, Group& group, int local_worker) {
     shard.pinned = true;
   }
   const bool is_session = task.session != nullptr;
+  // Install the query's trace identity for everything this worker (and
+  // the probe pool it may fan out to) does on its behalf.
+  const obs::TraceContextScope trace_scope(task.trace);
+  obs::RecordSpanSince(task.trace, obs::EventType::kQueueWait,
+                       task.enqueue_time,
+                       static_cast<uint64_t>(worker_index));
   QueryResult result;
   if (task.has_deadline &&
       std::chrono::steady_clock::now() >= task.deadline) {
@@ -441,11 +482,17 @@ void QueryService::Execute(Task&& task, Group& group, int local_worker) {
     CancelToken token;
     if (task.has_deadline) token.ArmDeadline(task.deadline);
     const CancelToken* cancel = task.has_deadline ? &token : nullptr;
+    obs::TraceSpan exec_span(
+        obs::EventType::kExec,
+        static_cast<uint64_t>(is_session ? QueryKind::kIncrementalTopK
+                                         : task.spec.kind));
     result = is_session
                  ? RunSessionBatch(*task.session, task.batch_n, cancel)
                  : RunQuery(task.spec, shard, cancel);
   }
   if (is_session) {
+    obs::RecordInstant(task.trace, obs::EventType::kSessionBatch,
+                       static_cast<uint64_t>(task.batch_n));
     // Refresh last_used *before* returning the inflight ticket: the
     // moment inflight hits 0 the session is evictable, and an eviction
     // pass racing this completion must see a fresh timestamp — not the
@@ -465,28 +512,71 @@ void QueryService::Execute(Task&& task, Group& group, int local_worker) {
       static_cast<double>(result.stats.buffer_misses) * opts_.io_latency_ms /
       1000.0;
   if (opts_.simulate_io_stalls && result.stats.stall_seconds > 0) {
+    const auto stall_start = std::chrono::steady_clock::now();
     std::this_thread::sleep_for(
         std::chrono::duration<double>(result.stats.stall_seconds));
+    obs::RecordSpanSince(task.trace, obs::EventType::kStall, stall_start,
+                         result.stats.buffer_misses);
   }
   result.stats.latency_seconds = SecondsSince(task.enqueue_time);
-  {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    if (result.status.ok()) {
-      ++shard.completed;
-      if (is_session) ++shard.session_batches;
-    } else {
-      ++shard.failed;
-      if (result.status.code() == StatusCode::kDeadlineExceeded) {
-        ++shard.timed_out;
-      } else if (result.status.code() == StatusCode::kCancelled) {
-        ++shard.cancelled;
-      }
+  // The whole-request span, admission -> completion (encloses the queue
+  // wait and exec spans at equal start timestamp).
+  obs::RecordSpanSince(task.trace, obs::EventType::kQuery, task.enqueue_time,
+                       static_cast<uint64_t>(result.kind));
+  // Service aggregation: shared lock-free instruments, slot = worker
+  // index — no mutex, no cross-worker cache-line traffic (DESIGN.md §11).
+  const int slot = worker_index;
+  if (result.status.ok()) {
+    metrics_.completed->Add(1, slot);
+    if (is_session) metrics_.session_batches->Add(1, slot);
+    if (sharded()) metrics_.shard_completed[group.shard]->Add(1, slot);
+  } else {
+    metrics_.failed->Add(1, slot);
+    if (result.status.code() == StatusCode::kDeadlineExceeded) {
+      metrics_.timed_out->Add(1, slot);
+    } else if (result.status.code() == StatusCode::kCancelled) {
+      metrics_.cancelled->Add(1, slot);
     }
-    shard.latency_ms.push_back(result.stats.latency_seconds * 1e3);
-    shard.buffer_misses += result.stats.buffer_misses;
-    shard.buffer_accesses += result.stats.buffer_accesses;
-    shard.cpu_seconds += result.stats.exec_seconds;
-    shard.stall_seconds += result.stats.stall_seconds;
+  }
+  metrics_.latency_us->Record(
+      static_cast<uint64_t>(result.stats.latency_seconds * 1e6), slot);
+  metrics_.buffer_misses->Add(result.stats.buffer_misses, slot);
+  metrics_.buffer_accesses->Add(result.stats.buffer_accesses, slot);
+  metrics_.cpu_micros->Add(
+      static_cast<uint64_t>(result.stats.exec_seconds * 1e6), slot);
+  metrics_.stall_micros->Add(
+      static_cast<uint64_t>(result.stats.stall_seconds * 1e6), slot);
+  metrics_.queue_micros->Add(
+      static_cast<uint64_t>(std::max(result.stats.queue_seconds, 0.0) * 1e6),
+      slot);
+  if (sharded()) {
+    metrics_.shard_misses[group.shard]->Add(result.stats.buffer_misses, slot);
+  }
+  if (opts_.flight_recorder != nullptr) {
+    obs::QueryDigest digest;
+    digest.trace_query_id = task.trace.query_id;
+    digest.kind = is_session ? "session"
+                             : api::QueryKindName(task.spec.kind);
+    digest.worker = worker_index;
+    digest.shard = result.stats.shard;
+    digest.status = std::string(StatusCodeToString(result.status.code()));
+    digest.session_batch = is_session;
+    digest.queue_ms = result.stats.queue_seconds * 1e3;
+    digest.exec_ms = result.stats.exec_seconds * 1e3;
+    digest.stall_ms = result.stats.stall_seconds * 1e3;
+    digest.latency_ms = result.stats.latency_seconds * 1e3;
+    digest.buffer_misses = result.stats.buffer_misses;
+    digest.buffer_accesses = result.stats.buffer_accesses;
+    digest.result_hash = result.result_hash;
+    // The spec as a replayable kExecute wire frame. A session batch is
+    // approximated as a one-shot incremental pull of this batch's size —
+    // the closest stateless reproduction of the stream position.
+    api::WireRequest replay;
+    replay.type = api::MsgType::kExecute;
+    replay.spec = is_session ? task.session->spec : task.spec;
+    if (is_session) replay.spec.k = task.batch_n;
+    digest.spec_frame_hex = obs::ToHex(api::EncodeRequestFrame(replay));
+    opts_.flight_recorder->Record(std::move(digest));
   }
   task.promise.set_value(std::move(result));
   if (opts_.max_inflight > 0) {
@@ -600,10 +690,11 @@ QueryResult QueryService::RunQuery(const api::QuerySpec& spec,
     MCN_CHECK(executor.ok());
     auto built = std::move(executor).value();
     if (sharded()) built->SetHomeShard(worker.home_shard);
-    // Published under the stats mutex: Snapshot samples the executor's
-    // routed-fetch counters from other threads.
-    std::lock_guard<std::mutex> lock(worker.mu);
     worker.expansion = std::move(built);
+    // Release-published: MetricsSnapshot samples the executor's
+    // routed-fetch counters from other threads through this pointer.
+    worker.expansion_pub.store(worker.expansion.get(),
+                               std::memory_order_release);
   }
   const bool turn_mode = par >= 1;
   const bool pooled = par > 1;
@@ -735,88 +826,76 @@ QueryResult QueryService::RunQuery(const api::QuerySpec& spec,
   return result;
 }
 
-ServiceStats QueryService::Snapshot() const {
-  ServiceStats stats;
-  std::vector<double> samples;
+obs::Snapshot QueryService::MetricsSnapshot() const {
+  namespace mn = metric_names;
+  obs::Snapshot snap = registry_.TakeSnapshot();
   if (sharded()) {
-    stats.per_shard.resize(storage_->num_shards());
-    for (int s = 0; s < storage_->num_shards(); ++s) {
-      stats.per_shard[s].shard = s;
-    }
-  }
-  for (size_t w = 0; w < workers_.size(); ++w) {
-    const auto& worker = workers_[w];
-    uint64_t completed, misses;
-    const ExpansionExecutor* expansion;
-    {
-      std::lock_guard<std::mutex> lock(worker->mu);
-      completed = worker->completed;
-      misses = worker->buffer_misses;
-      expansion = worker->expansion.get();  // published under mu
-      stats.completed += worker->completed;
-      stats.failed += worker->failed;
-      stats.timed_out += worker->timed_out;
-      stats.cancelled += worker->cancelled;
-      stats.session_batches += worker->session_batches;
-      stats.buffer_misses += worker->buffer_misses;
-      stats.buffer_accesses += worker->buffer_accesses;
-      stats.cpu_seconds += worker->cpu_seconds;
-      stats.stall_seconds += worker->stall_seconds;
-      samples.insert(samples.end(), worker->latency_ms.begin(),
-                     worker->latency_ms.end());
-    }
-    if (sharded() && worker->home_shard != shard::kInvalidShard) {
-      ShardServiceStats& row = stats.per_shard[worker->home_shard];
-      ++row.workers;
-      row.completed += completed;
-      row.buffer_misses += misses;
-      // Routed-fetch counters are relaxed atomics on the reader, safe to
-      // sample while the worker keeps executing.
+    // Routed-fetch counters are relaxed atomics on each worker's reader
+    // (and probe rig), safe to sample while the workers keep executing;
+    // they are appended as derived rows rather than mirrored into the
+    // registry on the hot path.
+    for (const auto& worker : workers_) {
+      if (worker->home_shard == shard::kInvalidShard) continue;
       auto io = static_cast<const shard::ShardedNetworkReader*>(
                     worker->reader.get())
                     ->shard_io_stats();
+      const ExpansionExecutor* expansion =
+          worker->expansion_pub.load(std::memory_order_acquire);
       if (expansion != nullptr) {
         const auto pooled_io = expansion->ShardIoStats();
         io.local_fetches += pooled_io.local_fetches;
         io.remote_fetches += pooled_io.remote_fetches;
       }
-      row.local_fetches += io.local_fetches;
-      row.remote_fetches += io.remote_fetches;
+      const int s = static_cast<int>(worker->home_shard);
+      snap.AddCounter(mn::Shard(s, "local_fetches"), io.local_fetches);
+      snap.AddCounter(mn::Shard(s, "remote_fetches"), io.remote_fetches);
+    }
+    for (const Group& group : groups_) {
+      snap.AddCounter(mn::Shard(static_cast<int>(group.shard), "workers"),
+                      static_cast<uint64_t>(group.count));
+    }
+    // Make sure every shard has rows even before any traffic touches it.
+    for (int s = 0; s < storage_->num_shards(); ++s) {
+      snap.AddCounter(mn::Shard(s, "local_fetches"), 0);
+      snap.AddCounter(mn::Shard(s, "remote_fetches"), 0);
+      snap.AddCounter(mn::Shard(s, "workers"), 0);
     }
   }
-  stats.rejected = rejected_.load(std::memory_order_relaxed);
-  stats.open_sessions = num_open_sessions();
-  stats.wall_seconds = uptime_.ElapsedSeconds();
-  if (stats.wall_seconds > 0) {
-    stats.qps = static_cast<double>(stats.completed + stats.failed) /
-                stats.wall_seconds;
+  // Disk I/O totals, merged across shard disks by the same name-keyed path
+  // the per-file stats use.
+  const storage::DiskManager::Stats disk_io =
+      sharded() ? storage_->MergedStats() : disk_->stats();
+  snap.AddCounter(mn::kDiskPageReads, disk_io.page_reads);
+  snap.AddCounter(mn::kDiskPageWrites, disk_io.page_writes);
+  for (const auto& file : disk_io.per_file_reads) {
+    snap.AddCounter("mcn.disk.file." + file.name + ".reads", file.reads);
   }
-  stats.ComputePercentiles(samples);
-  return stats;
+  snap.SetGauge(mn::kOpenSessions,
+                static_cast<double>(num_open_sessions()));
+  snap.SetGauge(mn::kWallSeconds, uptime_.ElapsedSeconds());
+  snap.SetGauge(mn::kNumShards,
+                sharded() ? static_cast<double>(storage_->num_shards()) : 0);
+  return snap;
+}
+
+ServiceStats QueryService::Snapshot() const {
+  // One merge path (DESIGN.md §11): ServiceStats is a view over the
+  // registry snapshot — nothing is aggregated here that MetricsSnapshot
+  // (and hence the wire introspection) does not also expose.
+  return ServiceStatsFromSnapshot(MetricsSnapshot());
 }
 
 void QueryService::ResetStats() {
+  registry_.ResetAll();
   for (const auto& worker : workers_) {
-    std::lock_guard<std::mutex> lock(worker->mu);
-    worker->completed = 0;
-    worker->failed = 0;
-    worker->timed_out = 0;
-    worker->cancelled = 0;
-    worker->session_batches = 0;
-    worker->buffer_misses = 0;
-    worker->buffer_accesses = 0;
-    worker->cpu_seconds = 0;
-    worker->stall_seconds = 0;
-    worker->latency_ms.clear();
     if (sharded()) {
       static_cast<shard::ShardedNetworkReader*>(worker->reader.get())
           ->ResetShardIoStats();
-      if (worker->expansion != nullptr) {
-        worker->expansion->ResetShardIoStats();
-      }
+      ExpansionExecutor* expansion =
+          worker->expansion_pub.load(std::memory_order_acquire);
+      if (expansion != nullptr) expansion->ResetShardIoStats();
     }
   }
-  rejected_.store(0, std::memory_order_relaxed);
   uptime_.Restart();
 }
 

@@ -68,6 +68,9 @@
 #include "mcn/graph/location.h"
 #include "mcn/net/network_builder.h"
 #include "mcn/net/network_reader.h"
+#include "mcn/obs/flight_recorder.h"
+#include "mcn/obs/metrics.h"
+#include "mcn/obs/trace.h"
 #include "mcn/shard/sharded_builder.h"
 #include "mcn/shard/sharded_reader.h"
 #include "mcn/shard/sharded_storage.h"
@@ -206,6 +209,10 @@ struct ServiceOptions {
   /// immediately with ResourceExhausted instead of blocking the caller,
   /// and is counted in ServiceStats::rejected.
   size_t max_inflight = 0;
+  /// Observability (DESIGN.md §11): when set, every finished query/batch
+  /// is digested into this recorder (last-N ring + slow-query log). Not
+  /// owned; must outlive the service.
+  obs::FlightRecorder* flight_recorder = nullptr;
 };
 
 /// See the file comment. Thread-safe: Submit/session calls/Drain/Snapshot
@@ -276,8 +283,14 @@ class QueryService {
   void Shutdown(bool drain = true);
 
   /// Aggregated service statistics since construction (or ResetStats);
-  /// sharded services also fill ServiceStats::per_shard.
+  /// sharded services also fill ServiceStats::per_shard. A thin view:
+  /// ServiceStatsFromSnapshot(MetricsSnapshot()).
   ServiceStats Snapshot() const;
+
+  /// The full observability snapshot (DESIGN.md §11): every registry
+  /// instrument plus sampled per-shard reader counters, disk I/O totals
+  /// and liveness gauges. This is what api::Server serves for kGetMetrics.
+  obs::Snapshot MetricsSnapshot() const;
 
   /// Clears the aggregation and restarts the QPS window. Call only while
   /// no query is in flight.
@@ -330,11 +343,16 @@ class QueryService {
     /// a running one is cancelled cooperatively via CancelToken.
     bool has_deadline = false;
     std::chrono::steady_clock::time_point deadline{};
+    /// Trace identity stamped at admission (inactive when tracing is off);
+    /// the executing worker installs it thread-locally for the query.
+    obs::TraceContext trace;
   };
 
   /// Per-worker shard: reader (owning its pool set) confined to one worker
-  /// thread, and that worker's slice of the service aggregation (merged by
-  /// Snapshot).
+  /// thread. The service aggregation that used to live here (latency
+  /// samples + a mutex-guarded counter block per worker) moved into the
+  /// service's obs::Registry — workers record through shared lock-free
+  /// instruments, slot = worker index (DESIGN.md §11).
   struct Worker {
     /// Flat mode only: the single pool behind `reader` (the reader owns
     /// its per-shard pools in sharded mode).
@@ -343,18 +361,31 @@ class QueryService {
     shard::ShardId home_shard = shard::kInvalidShard;
     bool pinned = false;  ///< pin attempted (worker-thread confined)
     /// Intra-query probe rig; only built when per_query_parallelism > 1.
+    /// Owned here, published through `expansion_pub` (release store after
+    /// construction) so MetricsSnapshot can sample its routed-fetch
+    /// counters from other threads without a lock.
     std::unique_ptr<ExpansionExecutor> expansion;
-    mutable std::mutex mu;  ///< guards the aggregation below vs Snapshot
-    std::vector<double> latency_ms;
-    uint64_t completed = 0;
-    uint64_t failed = 0;
-    uint64_t timed_out = 0;   ///< failed with DeadlineExceeded
-    uint64_t cancelled = 0;   ///< failed with Cancelled
-    uint64_t session_batches = 0;
-    uint64_t buffer_misses = 0;
-    uint64_t buffer_accesses = 0;
-    double cpu_seconds = 0;
-    double stall_seconds = 0;
+    std::atomic<ExpansionExecutor*> expansion_pub{nullptr};
+  };
+
+  /// Cached instrument handles (resolved once at construction; recording
+  /// through them never touches the registry mutex).
+  struct Metrics {
+    obs::Counter* completed = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* timed_out = nullptr;
+    obs::Counter* cancelled = nullptr;
+    obs::Counter* session_batches = nullptr;
+    obs::Counter* buffer_misses = nullptr;
+    obs::Counter* buffer_accesses = nullptr;
+    obs::Counter* cpu_micros = nullptr;
+    obs::Counter* stall_micros = nullptr;
+    obs::Counter* queue_micros = nullptr;
+    obs::Histogram* latency_us = nullptr;
+    /// Sharded services: per-shard completion/miss attribution.
+    std::vector<obs::Counter*> shard_completed;
+    std::vector<obs::Counter*> shard_misses;
   };
 
   /// One shard-affine worker group: a slice [base, base + count) of
@@ -417,8 +448,10 @@ class QueryService {
   SessionId next_session_id_ = 1;
   Stopwatch uptime_;
   bool shut_down_ = false;
-  /// Load-shed submissions (ServiceStats::rejected).
-  std::atomic<uint64_t> rejected_{0};
+  /// Service-scoped instrument registry (per-instance so tests and
+  /// side-by-side services never double-count), sized one slot per worker.
+  obs::Registry registry_;
+  Metrics metrics_;
 };
 
 }  // namespace mcn::exec

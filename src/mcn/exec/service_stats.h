@@ -8,8 +8,10 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "mcn/obs/metrics.h"
 #include "mcn/shard/partition.h"
 
 namespace mcn::exec {
@@ -81,6 +83,82 @@ struct ServiceStats {
     latency_p99_ms = PercentileSorted(latency_ms_samples, 99);
   }
 };
+
+/// Canonical instrument names of the service registry (DESIGN.md §11).
+/// Everything QueryService records lives under "mcn.service." /
+/// "mcn.shard<k>." / "mcn.disk." — the names the wire introspection
+/// (kGetMetrics) exposes and tools/mcn_stat.py prints.
+namespace metric_names {
+inline constexpr char kCompleted[] = "mcn.service.completed";
+inline constexpr char kFailed[] = "mcn.service.failed";
+inline constexpr char kRejected[] = "mcn.service.rejected";
+inline constexpr char kTimedOut[] = "mcn.service.timed_out";
+inline constexpr char kCancelled[] = "mcn.service.cancelled";
+inline constexpr char kSessionBatches[] = "mcn.service.session_batches";
+inline constexpr char kBufferMisses[] = "mcn.service.buffer_misses";
+inline constexpr char kBufferAccesses[] = "mcn.service.buffer_accesses";
+inline constexpr char kCpuMicros[] = "mcn.service.cpu_micros";
+inline constexpr char kStallMicros[] = "mcn.service.stall_micros";
+inline constexpr char kQueueMicros[] = "mcn.service.queue_micros";
+inline constexpr char kLatencyUs[] = "mcn.service.latency_us";
+inline constexpr char kOpenSessions[] = "mcn.service.open_sessions";
+inline constexpr char kWallSeconds[] = "mcn.service.wall_seconds";
+inline constexpr char kNumShards[] = "mcn.service.num_shards";
+inline constexpr char kDiskPageReads[] = "mcn.disk.page_reads";
+inline constexpr char kDiskPageWrites[] = "mcn.disk.page_writes";
+
+inline std::string Shard(int shard, const char* suffix) {
+  return "mcn.shard" + std::to_string(shard) + "." + suffix;
+}
+}  // namespace metric_names
+
+/// The one merge path (DESIGN.md §11): ServiceStats is a *view* over an
+/// obs::Snapshot — QueryService::Snapshot() is exactly
+/// ServiceStatsFromSnapshot(MetricsSnapshot()). Latency percentiles come
+/// from the log-bucketed histogram (bucket-midpoint estimates, ≤ 12.5%
+/// relative error), not raw samples.
+inline ServiceStats ServiceStatsFromSnapshot(const obs::Snapshot& snap) {
+  namespace mn = metric_names;
+  ServiceStats stats;
+  stats.completed = snap.CounterValue(mn::kCompleted);
+  stats.failed = snap.CounterValue(mn::kFailed);
+  stats.rejected = snap.CounterValue(mn::kRejected);
+  stats.timed_out = snap.CounterValue(mn::kTimedOut);
+  stats.cancelled = snap.CounterValue(mn::kCancelled);
+  stats.session_batches = snap.CounterValue(mn::kSessionBatches);
+  stats.buffer_misses = snap.CounterValue(mn::kBufferMisses);
+  stats.buffer_accesses = snap.CounterValue(mn::kBufferAccesses);
+  stats.cpu_seconds =
+      static_cast<double>(snap.CounterValue(mn::kCpuMicros)) / 1e6;
+  stats.stall_seconds =
+      static_cast<double>(snap.CounterValue(mn::kStallMicros)) / 1e6;
+  stats.open_sessions =
+      static_cast<uint64_t>(snap.GaugeValue(mn::kOpenSessions));
+  stats.wall_seconds = snap.GaugeValue(mn::kWallSeconds);
+  if (stats.wall_seconds > 0) {
+    stats.qps = static_cast<double>(stats.completed + stats.failed) /
+                stats.wall_seconds;
+  }
+  if (const obs::HistogramSnapshot* h = snap.FindHistogram(mn::kLatencyUs)) {
+    stats.latency_p50_ms = h->ValueAtQuantile(0.50) / 1e3;
+    stats.latency_p95_ms = h->ValueAtQuantile(0.95) / 1e3;
+    stats.latency_p99_ms = h->ValueAtQuantile(0.99) / 1e3;
+  }
+  const int num_shards = static_cast<int>(snap.GaugeValue(mn::kNumShards));
+  stats.per_shard.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    ShardServiceStats row;
+    row.shard = s;
+    row.workers =
+        static_cast<int>(snap.CounterValue(mn::Shard(s, "workers")));
+    row.completed = snap.CounterValue(mn::Shard(s, "completed"));
+    row.buffer_misses = snap.CounterValue(mn::Shard(s, "buffer_misses"));
+    row.local_fetches = snap.CounterValue(mn::Shard(s, "local_fetches"));
+    row.remote_fetches = snap.CounterValue(mn::Shard(s, "remote_fetches"));
+    stats.per_shard.push_back(row);
+  }
+  return stats;
+}
 
 }  // namespace mcn::exec
 

@@ -54,6 +54,9 @@ void ParallelProbeScheduler::Execute(uint32_t slot, int reader_slot) {
 }
 
 void ParallelProbeScheduler::ExecuteFromPool(uint32_t slot, int worker) {
+  // Re-install the owning query's trace context on this pool thread so
+  // fetch events recorded under this probe attribute to the right query.
+  const obs::TraceContextScope trace_scope(trace_ctx_);
   Execute(slot, worker + 1);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -90,6 +93,13 @@ Status ParallelProbeScheduler::RunTurn(Op op, const std::vector<int>& targets,
     MCN_DCHECK(targets[k] >= 0 && targets[k] < engine_->num_costs());
     MCN_DCHECK(k == 0 || targets[k] > targets[k - 1]);  // determinism
   }
+  // Capture the caller's trace context for the pool threads and span the
+  // whole turn (dispatch + barrier): arg0 = width, arg1 = pooled.
+  trace_ctx_ = obs::CurrentTraceContext();
+  const bool pooled = pool_ != nullptr && n > 1;
+  obs::TraceSpan turn_span(obs::EventType::kExpansionTurn,
+                           static_cast<uint64_t>(n));
+  turn_span.set_arg1(pooled ? 1 : 0);
   ++stats_.turns;
   stats_.probes += n;
   stats_.max_width = std::max(stats_.max_width, static_cast<uint64_t>(n));

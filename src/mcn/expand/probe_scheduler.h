@@ -41,6 +41,7 @@
 #include "mcn/common/result.h"
 #include "mcn/exec/thread_pool.h"
 #include "mcn/expand/engines.h"
+#include "mcn/obs/trace.h"
 
 namespace mcn::expand {
 
@@ -138,6 +139,11 @@ class ParallelProbeScheduler {
 
   Op op_ = Op::kNextNN;
   int stride_ = 1;
+  /// The owning query's trace context, captured from the caller thread at
+  /// each turn and re-installed on probe-pool threads so per-probe fetch
+  /// events attribute to the right query (obs/trace.h). Written before the
+  /// turn's probes are dispatched (happens-before via the pool's queue).
+  obs::TraceContext trace_ctx_;
   std::vector<Probe> probes_;
   std::mutex mu_;
   std::condition_variable cv_;

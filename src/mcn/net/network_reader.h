@@ -17,6 +17,7 @@
 #include "mcn/index/bplus_tree.h"
 #include "mcn/net/format.h"
 #include "mcn/net/network_builder.h"
+#include "mcn/obs/trace.h"
 #include "mcn/storage/buffer_pool.h"
 
 namespace mcn::net {
@@ -69,6 +70,13 @@ class NetworkReader {
   /// record. Used to seed expansions when the query lies on an edge.
   Result<AdjEntry> FindEdgeEntry(graph::NodeId a, graph::NodeId b) const;
 
+  /// Whether the record getters emit kProbeFetch trace events (obs/trace.h).
+  /// Routing readers that record their own routed-fetch events (where the
+  /// local/remote flag is known) suppress their inner flat readers with
+  /// false, so each record fetch yields exactly one event.
+  void set_trace_fetches(bool v) { trace_fetches_ = v; }
+  bool trace_fetches() const { return trace_fetches_; }
+
  protected:
   /// For routing subclasses that own per-shard pools instead of one flat
   /// pool: `files` carries the global metadata (counts, d, total pages);
@@ -80,6 +88,7 @@ class NetworkReader {
  private:
   NetworkFiles files_;
   storage::BufferPool* pool_;
+  bool trace_fetches_ = true;
 };
 
 }  // namespace mcn::net

@@ -1,0 +1,160 @@
+#include "mcn/obs/flight_recorder.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace mcn::obs {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// JSON string escaping for the few fields that carry free text (kind and
+/// status names are ASCII identifiers today, but the log must never emit
+/// malformed JSON regardless of what lands in them).
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+}  // namespace
+
+std::string ToHex(const std::string& bytes) {
+  std::string hex;
+  hex.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    hex.push_back(kHexDigits[c >> 4]);
+    hex.push_back(kHexDigits[c & 0xf]);
+  }
+  return hex;
+}
+
+bool FromHex(const std::string& hex, std::string* bytes) {
+  if (hex.size() % 2 != 0) return false;
+  bytes->clear();
+  bytes->reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = HexValue(hex[i]);
+    const int lo = HexValue(hex[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    bytes->push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return true;
+}
+
+std::string DigestToJson(const QueryDigest& d) {
+  std::string out;
+  out.reserve(256 + d.spec_frame_hex.size());
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "{\"seq\": %" PRIu64 ", \"query\": %u, ",
+                d.seq, d.trace_query_id);
+  out += buf;
+  out += "\"kind\": ";
+  AppendJsonString(&out, d.kind);
+  out += ", \"status\": ";
+  AppendJsonString(&out, d.status);
+  std::snprintf(buf, sizeof(buf),
+                ", \"worker\": %d, \"shard\": %d, \"session_batch\": %s, "
+                "\"queue_ms\": %.3f, \"exec_ms\": %.3f, \"stall_ms\": %.3f, "
+                "\"latency_ms\": %.3f, \"buffer_misses\": %" PRIu64
+                ", \"buffer_accesses\": %" PRIu64
+                // Hex string, not a JSON number: u64 hashes exceed 2^53 and
+                // would be silently rounded by double-based JSON parsers.
+                ", \"result_hash\": \"%016" PRIx64 "\", \"replay_hex\": ",
+                d.worker, d.shard, d.session_batch ? "true" : "false",
+                d.queue_ms, d.exec_ms, d.stall_ms, d.latency_ms,
+                d.buffer_misses, d.buffer_accesses, d.result_hash);
+  out += buf;
+  AppendJsonString(&out, d.spec_frame_hex);
+  out += "}";
+  return out;
+}
+
+FlightRecorder::FlightRecorder() : FlightRecorder(Options()) {}
+
+FlightRecorder::FlightRecorder(Options options)
+    : options_(std::move(options)) {
+  if (options_.capacity == 0) options_.capacity = 1;
+  ring_.reserve(options_.capacity);
+}
+
+void FlightRecorder::Record(QueryDigest digest) {
+  bool slow = false;
+  std::string line;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    digest.seq = ++recorded_;
+    slow = options_.slow_query_ms > 0 &&
+           digest.latency_ms >= options_.slow_query_ms;
+    if (slow) {
+      ++slow_logged_;
+      line = DigestToJson(digest);
+    }
+    if (ring_.size() < options_.capacity) {
+      ring_.push_back(std::move(digest));
+    } else {
+      ring_[next_] = std::move(digest);
+    }
+    next_ = (next_ + 1) % options_.capacity;
+  }
+  if (!slow) return;
+  // I/O outside the lock: a slow filesystem must not stall recording.
+  if (options_.log_path.empty()) {
+    std::fprintf(stderr, "[mcn slow-query] %s\n", line.c_str());
+  } else {
+    std::FILE* f = std::fopen(options_.log_path.c_str(), "a");
+    if (f != nullptr) {
+      std::fprintf(f, "%s\n", line.c_str());
+      std::fclose(f);
+    }
+  }
+}
+
+std::vector<QueryDigest> FlightRecorder::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryDigest> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < options_.capacity) {
+    out = ring_;  // not yet wrapped: ring_ is already oldest-first
+  } else {
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % ring_.size()]);
+    }
+  }
+  return out;
+}
+
+uint64_t FlightRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+uint64_t FlightRecorder::slow_logged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_logged_;
+}
+
+}  // namespace mcn::obs

@@ -1,0 +1,84 @@
+// Flight recorder + slow-query log (DESIGN.md §11).
+//
+// A bounded in-memory ring of the last-N completed-query digests — enough
+// to answer "what just happened" on a live server without any tracing
+// enabled — plus a structured one-line-JSON slow-query log: any query
+// whose wall latency exceeds the configured threshold is dumped with its
+// spec serialized as a hex-encoded wire frame (`replay_hex`), so
+// tools/replay_query.py can re-send the exact bytes against a server for
+// byte-for-byte reproduction.
+//
+// Recording takes one short mutex on query completion (not per probe or
+// per turn), which is far off the hot path; the same digest feeds both the
+// ring and the slow log.
+#ifndef MCN_OBS_FLIGHT_RECORDER_H_
+#define MCN_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mcn::obs {
+
+/// Lower-case hex of `bytes` ("" for empty).
+std::string ToHex(const std::string& bytes);
+/// Inverse of ToHex; returns false on odd length or non-hex characters.
+bool FromHex(const std::string& hex, std::string* bytes);
+
+/// Everything the recorder keeps about one finished query.
+struct QueryDigest {
+  uint64_t seq = 0;            ///< recorder-assigned, 1-based, monotone
+  uint32_t trace_query_id = 0; ///< 0 when tracing was off
+  std::string kind;            ///< "skyline" | "topk" | "incremental" | ...
+  int worker = -1;
+  int shard = -1;
+  std::string status;          ///< StatusCodeToString of the result
+  bool session_batch = false;  ///< SessionNext batch, not a one-shot query
+  double queue_ms = 0;         ///< admission -> execution start
+  double exec_ms = 0;          ///< execution start -> completion
+  double stall_ms = 0;         ///< modeled I/O stall inside exec
+  double latency_ms = 0;       ///< admission -> completion (queue + exec)
+  uint64_t buffer_misses = 0;
+  uint64_t buffer_accesses = 0;
+  uint64_t result_hash = 0;
+  std::string spec_frame_hex;  ///< hex kExecute wire frame for replay
+};
+
+/// Formats `digest` as the recorder's one-line JSON object (no newline).
+std::string DigestToJson(const QueryDigest& digest);
+
+class FlightRecorder {
+ public:
+  struct Options {
+    size_t capacity = 256;     ///< digests retained in the ring
+    double slow_query_ms = 0;  ///< 0 disables the slow-query log
+    std::string log_path;      ///< "" logs slow queries to stderr
+  };
+
+  FlightRecorder();
+  explicit FlightRecorder(Options options);
+
+  /// Stamps `digest.seq`, appends it to the ring and, when it qualifies,
+  /// writes the slow-query log line.
+  void Record(QueryDigest digest);
+
+  /// The retained digests, oldest first.
+  std::vector<QueryDigest> Recent() const;
+
+  uint64_t recorded() const;
+  uint64_t slow_logged() const;
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  mutable std::mutex mu_;
+  std::vector<QueryDigest> ring_;  ///< wraps at `next_`
+  size_t next_ = 0;
+  uint64_t recorded_ = 0;
+  uint64_t slow_logged_ = 0;
+};
+
+}  // namespace mcn::obs
+
+#endif  // MCN_OBS_FLIGHT_RECORDER_H_

@@ -31,8 +31,49 @@ ShardedNetworkReader::ShardedNetworkReader(ShardedStorage* storage,
         storage->disk(s), frames_per_shard));
     readers_.push_back(std::make_unique<net::NetworkReader>(
         files.shards[s], pools_.back().get()));
+    // This routing layer records the per-fetch trace events itself (it
+    // knows the local/remote flag); suppress the inner flat readers so a
+    // routed fetch yields exactly one kProbeFetch event.
+    readers_.back()->set_trace_fetches(false);
   }
 }
+
+/// Records one kProbeFetch trace event for a routed record fetch, with the
+/// miss flag from shard `s`'s pool delta and the remote flag from the
+/// home-shard affinity. No-op unless tracing is on and a query context is
+/// installed on this thread.
+class ShardedNetworkReader::FetchTrace {
+ public:
+  FetchTrace(const ShardedNetworkReader* reader, ShardId s)
+      : context_(obs::CurrentTraceContext()) {
+    if (!reader->trace_fetches() || !context_.active() ||
+        !obs::Tracer::Global().enabled()) {
+      return;
+    }
+    reader_ = reader;
+    shard_ = s;
+    misses_before_ = reader->pools_[s]->stats().misses;
+  }
+
+  void Record(uint64_t key) {
+    if (reader_ == nullptr) return;
+    uint64_t flags = 0;
+    if (reader_->pools_[shard_]->stats().misses > misses_before_) {
+      flags |= obs::kFetchMiss;
+    }
+    if (reader_->home_shard_ != kInvalidShard &&
+        shard_ != reader_->home_shard_) {
+      flags |= obs::kFetchRemote;
+    }
+    obs::RecordInstant(context_, obs::EventType::kProbeFetch, key, flags);
+  }
+
+ private:
+  obs::TraceContext context_;
+  const ShardedNetworkReader* reader_ = nullptr;
+  ShardId shard_ = kInvalidShard;
+  uint64_t misses_before_ = 0;
+};
 
 ShardId ShardedNetworkReader::Route(ShardId target) const {
   MCN_DCHECK(target < readers_.size());
@@ -51,7 +92,10 @@ Status ShardedNetworkReader::GetAdjacency(
     return Status::InvalidArgument("GetAdjacency: node out of range");
   }
   const ShardId s = Route(partition_->of_node(node));
-  return readers_[s]->GetAdjacency(node, out);
+  FetchTrace fetch_trace(this, s);
+  const Status status = readers_[s]->GetAdjacency(node, out);
+  if (status.ok()) fetch_trace.Record(node);
+  return status;
 }
 
 Status ShardedNetworkReader::GetFacilities(
@@ -65,7 +109,10 @@ Status ShardedNetworkReader::GetFacilities(
     return Status::InvalidArgument("GetFacilities: edge out of range");
   }
   const ShardId s = Route(partition_->of_edge(edge));
-  return readers_[s]->GetFacilities(edge, ref, out);
+  FetchTrace fetch_trace(this, s);
+  const Status status = readers_[s]->GetFacilities(edge, ref, out);
+  if (status.ok()) fetch_trace.Record(edge.u);
+  return status;
 }
 
 Result<graph::EdgeKey> ShardedNetworkReader::LocateFacilityEdge(

@@ -81,6 +81,8 @@ class ShardedNetworkReader : public net::NetworkReader {
   }
 
  private:
+  class FetchTrace;  ///< per-routed-fetch kProbeFetch recorder (see .cc)
+
   ShardId Route(ShardId target) const;  ///< counts, returns target
 
   ShardedStorage* storage_;

@@ -5,6 +5,7 @@
 
 #include "mcn/common/fault_injector.h"
 #include "mcn/common/macros.h"
+#include "mcn/obs/metrics.h"
 
 namespace mcn::storage {
 
@@ -12,18 +13,12 @@ DiskManager::Stats& DiskManager::Stats::operator+=(const Stats& o) {
   page_reads += o.page_reads;
   page_writes += o.page_writes;
   // Merge the per-file breakdown by name, so same-kind files of different
-  // managers (e.g. every shard's "adjacency_file") fold into one row.
-  for (const FileReads& fr : o.per_file_reads) {
-    bool found = false;
-    for (FileReads& mine : per_file_reads) {
-      if (mine.name == fr.name) {
-        mine.reads += fr.reads;
-        found = true;
-        break;
-      }
-    }
-    if (!found) per_file_reads.push_back(fr);
-  }
+  // managers (e.g. every shard's "adjacency_file") fold into one row —
+  // the same name-keyed merge the metrics registry snapshots use.
+  obs::MergeRowsByName(&per_file_reads, o.per_file_reads,
+                       [](FileReads& into, const FileReads& from) {
+                         into.reads += from.reads;
+                       });
   return *this;
 }
 

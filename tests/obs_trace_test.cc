@@ -1,0 +1,377 @@
+// Trace-layer invariants (DESIGN.md §11): per-thread rings wrap keeping
+// the most recent events, concurrent writers + a live exporter are
+// data-race-free (this test is in the TSan stress set), and
+// ExportChromeJson always emits a syntactically valid Chrome trace_event
+// document — verified by parsing it back with a minimal JSON parser, not
+// by substring luck.
+#include "mcn/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mcn::obs {
+namespace {
+
+// ----------------------------------------------------------- mini JSON
+// A strict recursive-descent validator for the JSON subset the exporter
+// emits (objects, arrays, strings without escapes beyond \", numbers,
+// bools). On success, counts the elements of the top-level "traceEvents"
+// array and records which "name" values appeared.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool Validate() {
+    SkipWs();
+    if (!ParseValue(/*depth=*/0)) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+  int trace_events() const { return trace_events_; }
+  bool SawName(const std::string& name) const {
+    for (const auto& n : names_) {
+      if (n == name) return true;
+    }
+    return false;
+  }
+
+ private:
+  bool ParseValue(int depth) {
+    if (depth > 32 || pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        std::string unused;
+        return ParseString(&unused);
+      }
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  bool ParseObject(int depth) {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      const size_t value_start = pos_;
+      if (!ParseValue(depth + 1)) return false;
+      if (key == "traceEvents" && depth == 0) {
+        trace_events_ = CountTopLevelElements(value_start);
+      }
+      if (key == "name") {
+        // The value just parsed was a string: re-slice it.
+        std::string name = s_.substr(value_start, pos_ - value_start);
+        if (name.size() >= 2) names_.push_back(name.substr(1, name.size() - 2));
+      }
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseArray(int depth) {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!ParseValue(depth + 1)) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        if (pos_ + 1 >= s_.size()) return false;
+        ++pos_;
+      }
+      out->push_back(s_[pos_]);
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool ParseNumber() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* lit) {
+    const std::string want(lit);
+    if (s_.compare(pos_, want.size(), want) != 0) return false;
+    pos_ += want.size();
+    return true;
+  }
+
+  int CountTopLevelElements(size_t array_start) const {
+    // The value at array_start..pos_ is a validated array: count its
+    // depth-1 commas (no strings in the exporter contain commas that
+    // matter here because we track string state).
+    if (s_[array_start] != '[') return -1;
+    int depth = 0, count = 0;
+    bool in_string = false, any = false;
+    for (size_t i = array_start; i < pos_; ++i) {
+      const char c = s_[i];
+      if (in_string) {
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          in_string = false;
+        }
+        continue;
+      }
+      if (c == '"') {
+        if (depth == 1) any = true;
+        in_string = true;
+      } else if (c == '[' || c == '{') {
+        if (depth == 1) any = true;
+        ++depth;
+      } else if (c == ']' || c == '}') {
+        --depth;
+      } else if (c == ',' && depth == 1) {
+        ++count;
+      } else if (depth == 1 && !std::isspace(static_cast<unsigned char>(c))) {
+        any = true;
+      }
+    }
+    return any ? count + 1 : 0;
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+  int trace_events_ = -1;
+  std::vector<std::string> names_;
+};
+
+TEST(TraceJsonTest, EmptyExportIsValidJson) {
+  Tracer::Global().Disable();
+  Tracer::Global().Clear();
+  const std::string json = Tracer::Global().ExportChromeJson();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.Validate()) << json;
+}
+
+#if MCN_OBS
+
+TEST(TraceRingTest, DisabledTracerRecordsNothing) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Enable(64);
+  tracer.Disable();
+  tracer.Clear();
+  const uint64_t before = tracer.total_appended();
+  EXPECT_FALSE(StartQueryTrace().active());
+  const TraceContext forced{123};
+  const TraceContextScope scope(forced);
+  { TraceSpan span(EventType::kExec, 1); }
+  RecordInstant(forced, EventType::kAdmission, 1);
+  EXPECT_EQ(tracer.total_appended(), before);
+}
+
+TEST(TraceRingTest, WraparoundKeepsMostRecentEvents) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Enable(/*events_per_ring=*/64);
+  const TraceContext context = StartQueryTrace();
+  ASSERT_TRUE(context.active());
+  const TraceContextScope scope(context);
+  for (uint64_t i = 0; i < 500; ++i) {
+    RecordInstant(context, EventType::kDominanceRound, i);
+  }
+  EXPECT_EQ(tracer.total_appended(), 500u);
+
+  const std::string json = tracer.ExportChromeJson();
+  tracer.Disable();
+  JsonChecker checker(json);
+  ASSERT_TRUE(checker.Validate()) << json;
+  // This thread's ring holds exactly its capacity, and it is the newest
+  // 64 events (rounds 436..499) that survived the wrap.
+  EXPECT_EQ(checker.trace_events(), 64);
+  EXPECT_NE(json.find("\"round\": 499"), std::string::npos);
+  EXPECT_NE(json.find("\"round\": 436"), std::string::npos);
+  EXPECT_EQ(json.find("\"round\": 435"), std::string::npos);
+  tracer.Clear();
+}
+
+TEST(TraceRingTest, SpansCarryTypeNamesAndQueryIds) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Enable(1024);
+  const TraceContext context = StartQueryTrace();
+  const TraceContextScope scope(context);
+  {
+    TraceSpan query(EventType::kQuery, 1);
+    TraceSpan turn(EventType::kExpansionTurn, 3);
+    turn.set_arg1(1);
+    RecordInstant(context, EventType::kProbeFetch, 42,
+                  kFetchMiss | kFetchRemote);
+  }
+  const std::string json = tracer.ExportChromeJson();
+  tracer.Disable();
+  JsonChecker checker(json);
+  ASSERT_TRUE(checker.Validate()) << json;
+  EXPECT_EQ(checker.trace_events(), 3);
+  EXPECT_TRUE(checker.SawName("query"));
+  EXPECT_TRUE(checker.SawName("expansion_turn"));
+  EXPECT_TRUE(checker.SawName("probe_fetch"));
+  // Flag bits decode into readable args.
+  EXPECT_NE(json.find("\"miss\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"remote\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"pooled\": 1"), std::string::npos);
+  tracer.Clear();
+}
+
+TEST(TraceRingTest, SpanWithoutActiveContextIsFree) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Enable(64);
+  const uint64_t before = tracer.total_appended();
+  // No TraceContextScope installed: spans must not record.
+  { TraceSpan span(EventType::kExec, 1); }
+  EXPECT_EQ(tracer.total_appended(), before);
+  tracer.Disable();
+  tracer.Clear();
+}
+
+TEST(TraceStressTest, ConcurrentWritersAndLiveExport) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Enable(/*events_per_ring=*/256);
+  constexpr int kWriters = 4;
+  constexpr int kEventsPerWriter = 20000;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&tracer] {
+      const TraceContext context{tracer.NewQueryId()};
+      const TraceContextScope scope(context);
+      for (int i = 0; i < kEventsPerWriter; ++i) {
+        if (i % 3 == 0) {
+          TraceSpan span(EventType::kExpansionTurn,
+                         static_cast<uint64_t>(i));
+        } else {
+          RecordInstant(context, EventType::kProbeFetch,
+                        static_cast<uint64_t>(i), i % 4);
+        }
+      }
+    });
+  }
+  // Live exports while the writers hammer their rings: every export must
+  // be a valid document (a torn read would produce garbage JSON).
+  for (int i = 0; i < 10; ++i) {
+    const std::string json = tracer.ExportChromeJson();
+    JsonChecker checker(json);
+    ASSERT_TRUE(checker.Validate()) << "live export " << i << " invalid";
+  }
+  for (auto& t : writers) t.join();
+
+  EXPECT_GE(tracer.total_appended(),
+            static_cast<uint64_t>(kWriters) * kEventsPerWriter);
+  const std::string json = tracer.ExportChromeJson();
+  tracer.Disable();
+  JsonChecker checker(json);
+  ASSERT_TRUE(checker.Validate());
+  // Each writer thread's ring retains exactly its capacity.
+  EXPECT_EQ(checker.trace_events(), kWriters * 256);
+  tracer.Clear();
+}
+
+TEST(TraceContextTest, ScopesNestAndRestore) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Enable(64);
+  const TraceContext outer = StartQueryTrace();
+  const TraceContext inner = StartQueryTrace();
+  ASSERT_NE(outer.query_id, inner.query_id);
+  EXPECT_FALSE(CurrentTraceContext().active());
+  {
+    TraceContextScope outer_scope(outer);
+    EXPECT_EQ(CurrentTraceContext().query_id, outer.query_id);
+    {
+      TraceContextScope inner_scope(inner);
+      EXPECT_EQ(CurrentTraceContext().query_id, inner.query_id);
+    }
+    EXPECT_EQ(CurrentTraceContext().query_id, outer.query_id);
+  }
+  EXPECT_FALSE(CurrentTraceContext().active());
+  tracer.Disable();
+  tracer.Clear();
+}
+
+#else  // !MCN_OBS
+
+TEST(TraceStubTest, StubLayerIsInertButWellFormed) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Enable(1024);
+  EXPECT_FALSE(tracer.enabled());
+  EXPECT_FALSE(StartQueryTrace().active());
+  const std::string json = tracer.ExportChromeJson();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.Validate()) << json;
+  EXPECT_EQ(checker.trace_events(), 0);
+  EXPECT_EQ(tracer.total_appended(), 0u);
+}
+
+#endif  // MCN_OBS
+
+}  // namespace
+}  // namespace mcn::obs

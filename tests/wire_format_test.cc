@@ -350,5 +350,154 @@ TEST(WireFormatTest, GarbageFuzzNeverCrashes) {
   }
 }
 
+// ----------------------------------------------- introspection messages
+
+obs::Snapshot RandomSnapshot(Random& rng) {
+  obs::Snapshot snapshot;
+  const int counters = static_cast<int>(rng.Next() % 6);
+  for (int i = 0; i < counters; ++i) {
+    snapshot.AddCounter("mcn.test.counter." + std::to_string(i),
+                        rng.Next() >> (rng.Next() % 48));
+  }
+  const int gauges = static_cast<int>(rng.Next() % 4);
+  for (int i = 0; i < gauges; ++i) {
+    snapshot.SetGauge("mcn.test.gauge." + std::to_string(i),
+                      rng.NextDouble() * 1e6);
+  }
+  const int hists = static_cast<int>(rng.Next() % 3);
+  for (int i = 0; i < hists; ++i) {
+    obs::HistogramSnapshot h;
+    h.name = "mcn.test.hist." + std::to_string(i);
+    // Canonical sparse form: strictly ascending indices, nonzero counts,
+    // total count derived from the buckets.
+    uint32_t index = 0;
+    const int buckets = static_cast<int>(rng.Next() % 8);
+    for (int b = 0; b < buckets; ++b) {
+      index += 1 + static_cast<uint32_t>(rng.Next() % 50);
+      if (index >= obs::Histogram::kNumBuckets) break;
+      const uint64_t count = 1 + rng.Next() % 1000;
+      h.buckets.emplace_back(index, count);
+      h.count += count;
+      h.sum += count * obs::Histogram::BucketLowerBound(index);
+    }
+    snapshot.histograms.push_back(std::move(h));
+  }
+  return snapshot;
+}
+
+TEST(WireFormatTest, IntrospectionRequestsRoundTrip) {
+  for (MsgType type : {MsgType::kGetMetrics, MsgType::kGetTrace}) {
+    WireRequest request;
+    request.type = type;
+    const std::string frame = EncodeRequestFrame(request);
+    // Empty body: version + type only.
+    EXPECT_EQ(frame.size(), 4u + 2u);
+    auto decoded = DecodeRequestPayload(PayloadOf(frame));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().type, type);
+    EXPECT_EQ(EncodeRequestFrame(decoded.value()), frame);
+
+    // The body is empty by the grammar: trailing bytes are corruption.
+    std::string trailing = PayloadOf(frame);
+    trailing.push_back('\0');
+    EXPECT_FALSE(DecodeRequestPayload(trailing).ok());
+  }
+}
+
+TEST(WireFormatTest, MetricsResponseRoundTripRandomized) {
+  const uint64_t seed = test::AnnounceSeed("WireFormatTest.Metrics");
+  Random rng(seed ^ 0xAB5Cull);
+  for (int i = 0; i < 200; ++i) {
+    WireResponse response;
+    response.type = MsgType::kMetrics;
+    if (i % 10 == 0) {
+      response.status = Status::Internal("scrape failed");
+    } else {
+      response.snapshot = RandomSnapshot(rng);
+    }
+    const std::string frame = EncodeResponseFrame(response);
+    auto decoded = DecodeResponsePayload(PayloadOf(frame));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().type, MsgType::kMetrics);
+    EXPECT_EQ(decoded.value().status, response.status);
+    const obs::Snapshot& got = decoded.value().snapshot;
+    ASSERT_EQ(got.counters.size(), response.snapshot.counters.size());
+    for (size_t c = 0; c < got.counters.size(); ++c) {
+      EXPECT_EQ(got.counters[c].name, response.snapshot.counters[c].name);
+      EXPECT_EQ(got.counters[c].value, response.snapshot.counters[c].value);
+    }
+    ASSERT_EQ(got.gauges.size(), response.snapshot.gauges.size());
+    for (size_t g = 0; g < got.gauges.size(); ++g) {
+      EXPECT_EQ(got.gauges[g].name, response.snapshot.gauges[g].name);
+      // f64 on the wire is the raw bit pattern: bit-exact round trip.
+      EXPECT_EQ(got.gauges[g].value, response.snapshot.gauges[g].value);
+    }
+    ASSERT_EQ(got.histograms.size(), response.snapshot.histograms.size());
+    for (size_t h = 0; h < got.histograms.size(); ++h) {
+      const auto& a = got.histograms[h];
+      const auto& b = response.snapshot.histograms[h];
+      EXPECT_EQ(a.name, b.name);
+      EXPECT_EQ(a.sum, b.sum);
+      EXPECT_EQ(a.buckets, b.buckets);
+      // The total count is derived, never transported redundantly.
+      EXPECT_EQ(a.count, b.count);
+    }
+    // Canonical: re-encoding the decoded value reproduces the frame.
+    EXPECT_EQ(EncodeResponseFrame(decoded.value()), frame);
+  }
+}
+
+TEST(WireFormatTest, TraceResponseRoundTrip) {
+  WireResponse response;
+  response.type = MsgType::kTrace;
+  // The JSON document is opaque bytes to the wire layer — include the
+  // full byte alphabet to prove it.
+  for (int i = 0; i < 256; ++i) {
+    response.trace_json.push_back(static_cast<char>(i));
+  }
+  const std::string frame = EncodeResponseFrame(response);
+  auto decoded = DecodeResponsePayload(PayloadOf(frame));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().type, MsgType::kTrace);
+  EXPECT_EQ(decoded.value().trace_json, response.trace_json);
+  EXPECT_EQ(EncodeResponseFrame(decoded.value()), frame);
+
+  WireResponse failed;
+  failed.type = MsgType::kTrace;
+  failed.status = Status::Unimplemented("tracing compiled out");
+  auto f = DecodeResponsePayload(PayloadOf(EncodeResponseFrame(failed)));
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f.value().status, failed.status);
+}
+
+TEST(WireFormatTest, IntrospectionResponsesRejectTruncationAndGarbage) {
+  const uint64_t seed = test::AnnounceSeed("WireFormatTest.MetricsFuzz");
+  Random rng(seed ^ 0xFEEDull);
+  WireResponse response;
+  response.type = MsgType::kMetrics;
+  response.snapshot = RandomSnapshot(rng);
+  while (response.snapshot.counters.empty() ||
+         response.snapshot.histograms.empty()) {
+    response.snapshot = RandomSnapshot(rng);
+  }
+  const std::string payload = PayloadOf(EncodeResponseFrame(response));
+  // Every proper prefix must fail cleanly.
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(DecodeResponsePayload(payload.substr(0, cut)).ok())
+        << "prefix length " << cut << " accepted";
+  }
+  // Bit-flip fuzz: accepted mutants must still re-encode canonically.
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = payload;
+    const size_t pos = rng.Next() % mutated.size();
+    mutated[pos] =
+        static_cast<char>(mutated[pos] ^ (1u << (rng.Next() % 8)));
+    auto decoded = DecodeResponsePayload(mutated);
+    if (decoded.ok()) {
+      EXPECT_EQ(PayloadOf(EncodeResponseFrame(decoded.value())), mutated);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace mcn::api

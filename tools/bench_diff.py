@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Diff two MCN_BENCH_JSON files (schema mcn-bench-v2, DESIGN.md §5).
+"""Diff two MCN_BENCH_JSON files (schema mcn-bench-v3, DESIGN.md §5).
 
 Usage:
     tools/bench_diff.py BENCH_baseline.json BENCH_current.json \
@@ -15,6 +15,10 @@ by row (matched by the `param` value):
     whose |time delta| exceeds --tolerance (default 10%) flagged;
   * figures or rows present in only one file are listed as added/removed
     (informational, not an error);
+  * observability-only row keys (the v3 "obs" object of registry metrics)
+    are ignored entirely — only the lsa/cea measurement objects are
+    compared, so obs counters may drift freely while a result-hash
+    mismatch still hard-fails;
   * --require-figs makes a regen run fail LOUDLY when expected figures are
     missing from the *current* file: each comma-separated entry must be a
     substring of at least one current figure title. A bench binary that

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Gate the observability layer's overhead on the throughput benches.
+
+Compares QPS between two MCN_BENCH_JSON records — a baseline build (e.g.
+-DMCN_OBS=0, tracing compiled out) and the default build (metrics on,
+tracing off) — and fails when the default build's best QPS falls more than
+--max-loss-pct below the baseline's on any compared row (ISSUE: ≤ 2%).
+
+Each record may hold several repetitions of the same figure (append runs
+to one file, or pass multiple files per side): for every (figure, row,
+algo) the MAX qps across repetitions is compared, which filters scheduler
+noise the way best-of-N benchmarking does.
+
+Usage:
+    tools/check_overhead.py --baseline FILE [FILE...] --current FILE \
+        [FILE...] [--max-loss-pct 2.0] [--figures SUBSTR[,SUBSTR...]]
+
+Rows with qps == 0 on either side (non-throughput figures) are skipped.
+Exit codes: 0 within budget, 1 over budget, 2 usage/schema error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(paths, figure_filters):
+    """(figure, param, algo) -> max qps across all files/repetitions."""
+    best = {}
+    for path in paths:
+        try:
+            with open(path) as f:
+                record = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            sys.exit(f"error: cannot read {path}: {e}")
+        if not str(record.get("schema", "")).startswith("mcn-bench-"):
+            sys.exit(f"error: {path}: not an mcn bench record")
+        for fig in record.get("figures", []):
+            title = fig.get("figure", "")
+            if figure_filters and not any(s in title
+                                          for s in figure_filters):
+                continue
+            for row in fig.get("rows", []):
+                for algo in ("lsa", "cea"):
+                    qps = row.get(algo, {}).get("qps", 0.0)
+                    key = (title, row.get("param", ""), algo)
+                    best[key] = max(best.get(key, 0.0), qps)
+    return best
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Observability overhead gate on bench QPS.")
+    parser.add_argument("--baseline", nargs="+", required=True,
+                        help="bench JSON(s) from the MCN_OBS=0 build")
+    parser.add_argument("--current", nargs="+", required=True,
+                        help="bench JSON(s) from the default build")
+    parser.add_argument("--max-loss-pct", type=float, default=2.0)
+    parser.add_argument("--figures", default="throughput",
+                        help="comma-separated figure-title substrings to "
+                             "compare (default: 'throughput')")
+    args = parser.parse_args()
+
+    filters = [s.strip() for s in args.figures.split(",") if s.strip()]
+    base = load_rows(args.baseline, filters)
+    curr = load_rows(args.current, filters)
+
+    common = sorted(k for k in base if k in curr
+                    and base[k] > 0 and curr[k] > 0)
+    if not common:
+        sys.exit("error: no comparable qps rows between the two sides "
+                 f"(figure filter: {filters})")
+
+    failures = 0
+    print(f"{'figure / row / algo':<64} {'base qps':>10} {'curr qps':>10} "
+          f"{'delta':>8}")
+    for key in common:
+        b, c = base[key], curr[key]
+        loss_pct = 100.0 * (b - c) / b
+        label = f"{key[0][:40]} / {key[1]} / {key[2]}"
+        over = loss_pct > args.max_loss_pct
+        if over:
+            failures += 1
+        print(f"{label:<64} {b:>10.2f} {c:>10.2f} {-loss_pct:>+7.1f}%"
+              f"{'  <-- over budget' if over else ''}")
+
+    if failures:
+        print(f"FAILURE: {failures} row(s) lose more than "
+              f"{args.max_loss_pct:g}% QPS with observability on.")
+        return 1
+    print(f"all {len(common)} rows within the {args.max_loss_pct:g}% "
+          f"overhead budget.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,267 @@
+#!/usr/bin/env python3
+"""Scrape a live query_server's metrics registry over the wire.
+
+Speaks the introspection leg of the mcn wire protocol (DESIGN.md §9/§11):
+sends a kGetMetrics (0x05) frame and decodes the kMetrics (0x85) reply —
+counters, gauges and log-bucketed latency histograms by instrument name.
+Pure stdlib; no dependency on the C++ build.
+
+Usage:
+    tools/mcn_stat.py [--host HOST] --port PORT [--watch SECONDS]
+        [--trace-out PATH] [--prefix SUBSTR]
+
+  --watch SECONDS   re-scrape every SECONDS, printing deltas for counters
+  --trace-out PATH  additionally send kGetTrace and write the returned
+                    Chrome trace_event JSON to PATH (ui.perfetto.dev)
+  --prefix SUBSTR   only print instruments whose name contains SUBSTR
+
+Exit codes: 0 ok, 1 protocol/connection error.
+"""
+
+import argparse
+import socket
+import struct
+import sys
+import time
+
+WIRE_VERSION = 2
+MSG_GET_METRICS = 0x05
+MSG_GET_TRACE = 0x06
+MSG_METRICS = 0x85
+MSG_TRACE = 0x86
+
+# Histogram bucket geometry (src/mcn/obs/metrics.h): identity buckets
+# 0..15, then 8 sub-buckets per octave.
+IDENTITY_BUCKETS = 16
+SUB_BUCKETS = 8
+NUM_BUCKETS = 496
+
+
+class ProtocolError(Exception):
+    pass
+
+
+def bucket_lower_bound(index):
+    if index < IDENTITY_BUCKETS:
+        return float(index)
+    octave = (index - IDENTITY_BUCKETS) // SUB_BUCKETS + 4
+    sub = (index - IDENTITY_BUCKETS) % SUB_BUCKETS
+    return float((1 << octave) + (sub << (octave - 3)))
+
+
+def bucket_midpoint(index):
+    lo = bucket_lower_bound(index)
+    if index + 1 < NUM_BUCKETS:
+        hi = bucket_lower_bound(index + 1)
+    else:
+        hi = lo * 1.125
+    return (lo + hi) / 2.0
+
+
+class Reader:
+    """Bounds-checked cursor over one frame payload."""
+
+    def __init__(self, data):
+        self.data = data
+        self.pos = 0
+
+    def u8(self):
+        if self.pos >= len(self.data):
+            raise ProtocolError("truncated frame (u8)")
+        b = self.data[self.pos]
+        self.pos += 1
+        return b
+
+    def varint(self):
+        result = 0
+        shift = 0
+        while True:
+            b = self.u8()
+            result |= (b & 0x7F) << shift
+            if not b & 0x80:
+                return result
+            shift += 7
+            if shift > 63:
+                raise ProtocolError("varint too long")
+
+    def f64(self):
+        if self.pos + 8 > len(self.data):
+            raise ProtocolError("truncated frame (f64)")
+        (v,) = struct.unpack_from("<d", self.data, self.pos)
+        self.pos += 8
+        return v
+
+    def blob(self):
+        n = self.varint()
+        if self.pos + n > len(self.data):
+            raise ProtocolError("truncated frame (blob)")
+        out = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return out
+
+    def name(self):
+        return self.blob().decode("utf-8", errors="replace")
+
+    def done(self):
+        return self.pos == len(self.data)
+
+
+def send_frame(sock, msg_type):
+    payload = bytes([WIRE_VERSION, msg_type])
+    sock.sendall(struct.pack("<I", len(payload)) + payload)
+
+
+def recv_exact(sock, n):
+    chunks = []
+    while n:
+        chunk = sock.recv(n)
+        if not chunk:
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock):
+    (length,) = struct.unpack("<I", recv_exact(sock, 4))
+    return recv_exact(sock, length)
+
+
+def read_status(r):
+    code = r.varint()
+    message = r.name()
+    return code, message
+
+
+def scrape_metrics(sock):
+    """Returns (counters, gauges, hists): name-keyed dicts; hists map to
+    (sum, [(index, count), ...])."""
+    send_frame(sock, MSG_GET_METRICS)
+    r = Reader(recv_frame(sock))
+    if r.u8() != WIRE_VERSION:
+        raise ProtocolError("wire version mismatch")
+    if r.u8() != MSG_METRICS:
+        raise ProtocolError("unexpected reply type (want kMetrics)")
+    code, message = read_status(r)
+    if code != 0:
+        raise ProtocolError(f"server status {code}: {message}")
+    counters = {}
+    for _ in range(r.varint()):
+        name = r.name()
+        counters[name] = r.varint()
+    gauges = {}
+    for _ in range(r.varint()):
+        name = r.name()
+        gauges[name] = r.f64()
+    hists = {}
+    for _ in range(r.varint()):
+        name = r.name()
+        total = r.varint()
+        buckets = [(r.varint(), r.varint()) for _ in range(r.varint())]
+        hists[name] = (total, buckets)
+    if not r.done():
+        raise ProtocolError("trailing bytes in kMetrics reply")
+    return counters, gauges, hists
+
+
+def scrape_trace(sock):
+    send_frame(sock, MSG_GET_TRACE)
+    r = Reader(recv_frame(sock))
+    if r.u8() != WIRE_VERSION:
+        raise ProtocolError("wire version mismatch")
+    if r.u8() != MSG_TRACE:
+        raise ProtocolError("unexpected reply type (want kTrace)")
+    code, message = read_status(r)
+    if code != 0:
+        raise ProtocolError(f"server status {code}: {message}")
+    return r.blob()
+
+
+def hist_quantile(buckets, q):
+    count = sum(c for _, c in buckets)
+    if count == 0:
+        return 0.0
+    rank = max(1, int(-(-q * count // 1)))  # ceil(q * count), at least 1
+    seen = 0
+    for index, c in buckets:
+        seen += c
+        if seen >= rank:
+            return bucket_midpoint(index)
+    return bucket_midpoint(buckets[-1][0])
+
+
+def print_snapshot(counters, gauges, hists, prefix, previous=None):
+    def keep(name):
+        return prefix in name
+
+    rows = []
+    for name in sorted(counters):
+        if not keep(name):
+            continue
+        delta = ""
+        if previous is not None:
+            delta = f"  (+{counters[name] - previous.get(name, 0)})"
+        rows.append(f"  {name:<44} {counters[name]:>14}{delta}")
+    for name in sorted(gauges):
+        if keep(name):
+            rows.append(f"  {name:<44} {gauges[name]:>14.6g}")
+    for name in sorted(hists):
+        if not keep(name):
+            continue
+        value_sum, buckets = hists[name]
+        count = sum(c for _, c in buckets)
+        mean = value_sum / count if count else 0.0
+        p50 = hist_quantile(buckets, 0.50)
+        p99 = hist_quantile(buckets, 0.99)
+        rows.append(f"  {name:<44} count={count} mean={mean:.1f} "
+                    f"p50={p50:.1f} p99={p99:.1f}")
+    print("\n".join(rows) if rows else "  (no matching instruments)")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Scrape a live mcn query_server's metrics registry.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--watch", type=float, default=0.0,
+                        help="re-scrape every N seconds (0 = once)")
+    parser.add_argument("--trace-out", default="",
+                        help="also pull the trace buffers (kGetTrace) and "
+                             "write the Chrome JSON here")
+    parser.add_argument("--prefix", default="",
+                        help="only show instruments containing this substring")
+    args = parser.parse_args()
+
+    try:
+        sock = socket.create_connection((args.host, args.port), timeout=10)
+    except OSError as e:
+        sys.exit(f"error: cannot connect to {args.host}:{args.port}: {e}")
+
+    try:
+        previous = None
+        while True:
+            counters, gauges, hists = scrape_metrics(sock)
+            stamp = time.strftime("%H:%M:%S")
+            print(f"-- {args.host}:{args.port} @ {stamp} --")
+            print_snapshot(counters, gauges, hists, args.prefix, previous)
+            if args.watch <= 0:
+                break
+            previous = counters
+            time.sleep(args.watch)
+        if args.trace_out:
+            trace = scrape_trace(sock)
+            with open(args.trace_out, "wb") as f:
+                f.write(trace)
+            print(f"wrote {len(trace)} trace bytes to {args.trace_out} "
+                  f"(load in https://ui.perfetto.dev)")
+    except ProtocolError as e:
+        sys.exit(f"error: {e}")
+    except KeyboardInterrupt:
+        pass
+    finally:
+        sock.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_current.json (schema mcn-bench-v2, DESIGN.md §5).
+# Regenerates BENCH_current.json (schema mcn-bench-v3, DESIGN.md §5).
 #
 # Runs the tracked reference benchmarks at default scale — each binary
 # writes its own JSON record, then the figure arrays are merged in run

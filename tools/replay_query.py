@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Replay a slow-query log entry against a live server, byte for byte.
+
+The flight recorder's slow-query log (DESIGN.md §11) carries each offending
+query's spec as `replay_hex`: the complete kExecute wire frame (length
+prefix included) that re-runs the identical query. This tool sends those
+bytes verbatim — no re-encoding, so the replay is exactly the frame the
+server originally decoded — and summarizes the kResponse reply (status,
+result hash, logical I/O), which can be compared against the digest's
+`result_hash` field for a deterministic-replay check.
+
+Usage:
+    tools/replay_query.py [--host HOST] --port PORT HEX
+    tools/replay_query.py --port PORT --from-log slow.log [--seq N]
+
+  HEX         the replay_hex string (or a file containing it)
+  --from-log  read a slow-query log (one JSON object per line) and replay
+              the entry with "seq" == --seq (default: the last entry)
+
+Exit codes: 0 replay OK, 1 error or non-OK query status.
+"""
+
+import argparse
+import json
+import os
+import socket
+import struct
+import sys
+
+WIRE_VERSION = 2
+MSG_RESPONSE = 0x81
+
+STATUS_NAMES = [
+    "OK", "InvalidArgument", "NotFound", "OutOfRange", "Corruption",
+    "IOError", "FailedPrecondition", "Unimplemented", "Internal",
+    "DeadlineExceeded", "ResourceExhausted", "Cancelled",
+]
+
+KIND_NAMES = {0: "skyline", 1: "top-k", 2: "incremental"}
+
+
+class ProtocolError(Exception):
+    pass
+
+
+class Reader:
+    def __init__(self, data):
+        self.data = data
+        self.pos = 0
+
+    def u8(self):
+        if self.pos >= len(self.data):
+            raise ProtocolError("truncated frame (u8)")
+        b = self.data[self.pos]
+        self.pos += 1
+        return b
+
+    def varint(self):
+        result = 0
+        shift = 0
+        while True:
+            b = self.u8()
+            result |= (b & 0x7F) << shift
+            if not b & 0x80:
+                return result
+            shift += 7
+            if shift > 63:
+                raise ProtocolError("varint too long")
+
+    def f64(self):
+        (v,) = struct.unpack_from("<d", self.data, self.pos)
+        self.pos += 8
+        return v
+
+    def u64(self):
+        (v,) = struct.unpack_from("<Q", self.data, self.pos)
+        self.pos += 8
+        return v
+
+    def blob(self):
+        n = self.varint()
+        if self.pos + n > len(self.data):
+            raise ProtocolError("truncated frame (blob)")
+        out = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return out
+
+
+def recv_exact(sock, n):
+    chunks = []
+    while n:
+        chunk = sock.recv(n)
+        if not chunk:
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def decode_response(payload):
+    """Decodes a kResponse payload into a summary dict."""
+    r = Reader(payload)
+    if r.u8() != WIRE_VERSION:
+        raise ProtocolError("wire version mismatch")
+    if r.u8() != MSG_RESPONSE:
+        raise ProtocolError("unexpected reply type (want kResponse)")
+    code = r.varint()
+    message = r.blob().decode("utf-8", errors="replace")
+    kind = r.u8()
+    exhausted = r.u8()
+    dim = r.varint()
+    rows = r.varint()
+    for _ in range(rows):
+        r.varint()  # facility
+        if kind == 0:
+            r.varint()  # known_mask
+        else:
+            r.f64()  # score
+        for _ in range(dim):
+            r.f64()
+    result_hash = r.u64()
+    misses = r.varint()
+    accesses = r.varint()
+    exec_seconds = r.f64()
+    return {
+        "status": STATUS_NAMES[code] if code < len(STATUS_NAMES) else code,
+        "message": message,
+        "kind": KIND_NAMES.get(kind, kind),
+        "exhausted": bool(exhausted),
+        "rows": rows,
+        "result_hash": f"{result_hash:016x}",
+        "buffer_misses": misses,
+        "buffer_accesses": accesses,
+        "exec_seconds": exec_seconds,
+        "ok": code == 0,
+    }
+
+
+def normalize_hash(h):
+    """Digest hashes are 16-digit hex strings; tolerate raw integers too."""
+    if h is None:
+        return None
+    if isinstance(h, int):
+        return f"{h:016x}"
+    s = str(h).strip().lower()
+    if s.startswith("0x"):
+        s = s[2:]
+    return s.zfill(16)
+
+
+def load_hex(args):
+    if args.from_log:
+        entries = []
+        with open(args.from_log) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                # Server log lines carry a "[mcn slow-query] " prefix when
+                # the recorder writes to stderr; strip anything before '{'.
+                brace = line.find("{")
+                if brace < 0:
+                    continue
+                try:
+                    entries.append(json.loads(line[brace:]))
+                except json.JSONDecodeError:
+                    continue
+        if not entries:
+            sys.exit(f"error: no slow-query entries in {args.from_log}")
+        if args.seq is not None:
+            matches = [e for e in entries if e.get("seq") == args.seq]
+            if not matches:
+                sys.exit(f"error: no entry with seq={args.seq}")
+            entry = matches[0]
+        else:
+            entry = entries[-1]
+        original_hash = normalize_hash(entry.get("result_hash"))
+        print(f"replaying seq={entry.get('seq')} kind={entry.get('kind')} "
+              f"latency={entry.get('latency_ms')}ms "
+              f"original hash={original_hash}")
+        return entry["replay_hex"], original_hash
+    hex_arg = args.hex
+    if hex_arg and os.path.exists(hex_arg):
+        with open(hex_arg) as f:
+            hex_arg = f.read().strip()
+    if not hex_arg:
+        sys.exit("error: pass HEX or --from-log")
+    return hex_arg, None
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Replay a slow-query log entry byte for byte.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("hex", nargs="?", default="",
+                        help="replay_hex string, or a file containing it")
+    parser.add_argument("--from-log", default="",
+                        help="slow-query log file to pull the entry from")
+    parser.add_argument("--seq", type=int, default=None,
+                        help="digest seq to replay (with --from-log)")
+    args = parser.parse_args()
+
+    replay_hex, original_hash = load_hex(args)
+    try:
+        frame = bytes.fromhex(replay_hex)
+    except ValueError as e:
+        sys.exit(f"error: bad hex: {e}")
+    if len(frame) < 6:
+        sys.exit("error: frame too short to be a wire frame")
+
+    try:
+        sock = socket.create_connection((args.host, args.port), timeout=30)
+    except OSError as e:
+        sys.exit(f"error: cannot connect to {args.host}:{args.port}: {e}")
+    try:
+        sock.sendall(frame)  # verbatim: length prefix is already in the hex
+        (length,) = struct.unpack("<I", recv_exact(sock, 4))
+        summary = decode_response(recv_exact(sock, length))
+    except ProtocolError as e:
+        sys.exit(f"error: {e}")
+    finally:
+        sock.close()
+
+    for key, value in summary.items():
+        if key != "ok":
+            print(f"  {key:<16} {value}")
+    if original_hash is not None:
+        match = summary["result_hash"] == original_hash
+        print(f"  replay hash {'MATCHES' if match else 'DIFFERS FROM'} "
+              f"the recorded digest")
+        return 0 if (summary["ok"] and match) else 1
+    return 0 if summary["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
