@@ -14,6 +14,10 @@ namespace mcn::expand {
 class ParallelProbeScheduler;
 }  // namespace mcn::expand
 
+namespace mcn::net {
+class LandmarkIndexReader;
+}  // namespace mcn::net
+
 namespace mcn::algo {
 
 /// Aggregate cost function f over a (complete) cost vector. Must be
@@ -39,6 +43,11 @@ struct QueryOptions {
   /// parity comparisons must hold it fixed. Ignored by the width-1
   /// ablation policies and the drain stage.
   int turn_stride = 8;
+  /// Optional landmark lower-bound index (DESIGN.md §12). Must be validated
+  /// and outlive the query; non-null arms the skyline prune oracle on
+  /// serial round-robin runs (other schedules ignore it). Pruning is exact:
+  /// results and report order are byte-identical with or without it.
+  net::LandmarkIndexReader* landmark_index = nullptr;
 };
 
 /// The paper's experimental aggregate: f(p) = sum_i alpha_i * c_i(p).

@@ -1,0 +1,271 @@
+#include "mcn/algo/prune_oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "mcn/common/flat_u64_map.h"
+#include "mcn/common/macros.h"
+#include "mcn/graph/location.h"
+
+namespace mcn::algo {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+PruneOracle::PruneOracle(const expand::NnEngine* engine,
+                         net::LandmarkIndexReader* index,
+                         const expand::FacilityFilter* filter,
+                         uint64_t* checked, uint64_t* cut)
+    : engine_(engine),
+      index_(index),
+      filter_(filter),
+      checked_(checked),
+      cut_(cut) {}
+
+Result<std::unique_ptr<PruneOracle>> PruneOracle::Create(
+    const expand::NnEngine* engine, net::LandmarkIndexReader* index,
+    const expand::FacilityFilter* filter,
+    std::vector<ProtectedFacility> protected_facilities, uint64_t* checked,
+    uint64_t* cut) {
+  MCN_CHECK(engine != nullptr && index != nullptr && filter != nullptr);
+  MCN_CHECK(checked != nullptr && cut != nullptr);
+  auto oracle = std::unique_ptr<PruneOracle>(
+      new PruneOracle(engine, index, filter, checked, cut));
+  oracle->d_ = engine->num_costs();
+  oracle->L_ = index->num_landmarks();
+  MCN_CHECK(oracle->d_ == index->num_costs());
+  MCN_CHECK(oracle->L_ > 0);
+  const int d = oracle->d_;
+  const uint32_t L = oracle->L_;
+
+  // Distinct endpoints, in first-appearance order (deterministic: the
+  // snapshot arrives in BuildFilter's iteration order). Keys are node+1:
+  // the map's empty-key sentinel must stay unused.
+  FlatU64Map ep_of;
+  for (const ProtectedFacility& pf : protected_facilities) {
+    for (graph::NodeId node : {pf.u, pf.v}) {
+      uint32_t k = ep_of.Find(static_cast<uint64_t>(node) + 1);
+      if (k == FlatU64Map::kNoValue) {
+        k = static_cast<uint32_t>(oracle->endpoints_.size());
+        oracle->endpoints_.push_back(Endpoint{node, {}});
+        ep_of.Insert(static_cast<uint64_t>(node) + 1, k);
+      }
+      oracle->endpoints_[k].facilities.push_back(pf.facility);
+    }
+  }
+
+  const size_t row_len = static_cast<size_t>(d) * L;
+  oracle->row_scratch_.assign(row_len, 0.0f);
+  oracle->ep_lo_.assign(oracle->endpoints_.size() * row_len, 0.0);
+  oracle->ep_hi_.assign(oracle->endpoints_.size() * row_len, 0.0);
+  for (size_t k = 0; k < oracle->endpoints_.size(); ++k) {
+    MCN_RETURN_IF_ERROR(index->LoadNodeRow(oracle->endpoints_[k].node,
+                                           oracle->row_scratch_.data()));
+    for (size_t j = 0; j < row_len; ++j) {
+      const float lo = oracle->row_scratch_[j];
+      oracle->ep_lo_[k * row_len + j] = lo;
+      oracle->ep_hi_[k * row_len + j] = net::LandmarkUpperBound(lo);
+    }
+  }
+
+  // Bounds on dist_i(q, lm), both ways. Node query: q's own row. Edge
+  // query: through either endpoint, with the partial-edge cost rounded
+  // *up* so the double product cannot undercut the true length — which
+  // makes it safe on both sides (hi: add it; lo: subtract it).
+  oracle->q_hi_.assign(row_len, kInf);
+  oracle->q_lo_.assign(row_len, 0.0);
+  const graph::Location& q = engine->query();
+  if (q.is_node()) {
+    MCN_RETURN_IF_ERROR(index->LoadNodeRow(q.node(),
+                                           oracle->row_scratch_.data()));
+    for (size_t j = 0; j < row_len; ++j) {
+      oracle->q_lo_[j] = oracle->row_scratch_[j];
+      oracle->q_hi_[j] = net::LandmarkUpperBound(oracle->row_scratch_[j]);
+    }
+  } else {
+    const graph::CostVector& w = engine->seed_edge_costs();
+    MCN_CHECK(w.dim() == d);
+    std::vector<double> end_lo(2 * row_len, kInf);
+    std::vector<double> end_hi(2 * row_len, kInf);
+    const graph::NodeId ends[2] = {q.edge().u, q.edge().v};
+    for (int s = 0; s < 2; ++s) {
+      MCN_RETURN_IF_ERROR(
+          index->LoadNodeRow(ends[s], oracle->row_scratch_.data()));
+      for (size_t j = 0; j < row_len; ++j) {
+        end_lo[s * row_len + j] = oracle->row_scratch_[j];
+        end_hi[s * row_len + j] =
+            net::LandmarkUpperBound(oracle->row_scratch_[j]);
+      }
+    }
+    for (int i = 0; i < d; ++i) {
+      const double to_u = std::nextafter(q.frac() * w[i], kInf);
+      const double to_v = std::nextafter((1.0 - q.frac()) * w[i], kInf);
+      for (uint32_t lm = 0; lm < L; ++lm) {
+        const size_t j = static_cast<size_t>(i) * L + lm;
+        oracle->q_hi_[j] =
+            std::min(to_u + end_hi[j], to_v + end_hi[row_len + j]);
+        if (std::isfinite(end_lo[j])) {
+          // dist(q, lm) >= dist(end, lm) - dist(q, end) for either end.
+          oracle->q_lo_[j] = std::max(
+              0.0, std::max(end_lo[j] - to_u, end_lo[row_len + j] - to_v));
+        }
+      }
+    }
+  }
+
+  oracle->ub0_.assign(oracle->endpoints_.size() * d, kInf);
+  for (size_t k = 0; k < oracle->endpoints_.size(); ++k) {
+    for (int i = 0; i < d; ++i) {
+      double best = kInf;
+      for (uint32_t lm = 0; lm < L; ++lm) {
+        const size_t j = static_cast<size_t>(i) * L + lm;
+        best = std::min(best, oracle->q_hi_[j] + oracle->ep_hi_[k * row_len + j]);
+      }
+      oracle->ub0_[k * d + i] = best;
+    }
+  }
+
+  oracle->screen_.assign(row_len, -kInf);
+  oracle->maxub_.assign(d, -kInf);
+  oracle->gate_.assign(d, -kInf);
+  oracle->refresh_in_.assign(d, 0);  // refresh on each expansion's first call
+  return oracle;
+}
+
+bool PruneOracle::EndpointLive(int i, const Endpoint& ep) const {
+  const expand::SingleExpansion& exp = engine_->expansion(i);
+  for (graph::FacilityId f : ep.facilities) {
+    if (filter_->Contains(f) && !exp.FacilitySettled(f)) return true;
+  }
+  return false;
+}
+
+double PruneOracle::UpperBound(int i, size_t ep_idx) const {
+  // The endpoint is unsettled (callers check), so its tentative key is a
+  // live upper bound (+inf when never relaxed).
+  const double tent =
+      engine_->expansion(i).NodeTentativeKey(endpoints_[ep_idx].node);
+  return std::min(ub0_[ep_idx * d_ + i], tent);
+}
+
+void PruneOracle::RefreshScreens(int i) {
+  double* screen = &screen_[static_cast<size_t>(i) * L_];
+  for (uint32_t lm = 0; lm < L_; ++lm) screen[lm] = -kInf;
+  maxub_[i] = -kInf;
+  gate_[i] = -kInf;
+  const expand::SingleExpansion& exp = engine_->expansion(i);
+  const size_t row_len = static_cast<size_t>(d_) * L_;
+  const double* q_hi = &q_hi_[static_cast<size_t>(i) * L_];
+  const double* q_lo = &q_lo_[static_cast<size_t>(i) * L_];
+  for (size_t k = 0; k < endpoints_.size(); ++k) {
+    if (exp.NodeSettled(endpoints_[k].node)) continue;
+    if (!EndpointLive(i, endpoints_[k])) continue;
+    const double ub = UpperBound(i, k);
+    maxub_[i] = std::max(maxub_[i], ub);
+    const double* lo_e = &ep_lo_[k * row_len + static_cast<size_t>(i) * L_];
+    const double* hi_e = &ep_hi_[k * row_len + static_cast<size_t>(i) * L_];
+    // This endpoint's gate term: certifying it via landmark lm implies
+    // 2*key exceeds one of the two thresholds (header, fast path 2), so
+    // it implies 2*key > min over lm. Landmarks with non-finite inputs
+    // cannot produce a certificate (unreachable component) and impose no
+    // threshold; an endpoint with no usable landmark (or ub = inf) can
+    // never be certified, its +inf term disables every check for free.
+    double term = kInf;
+    if (std::isfinite(ub)) {
+      for (uint32_t lm = 0; lm < L_; ++lm) {
+        if (!std::isfinite(q_hi[lm]) || !std::isfinite(hi_e[lm])) continue;
+        term = std::min(term, ub + std::min(hi_e[lm] - q_hi[lm],
+                                            q_lo[lm] - lo_e[lm]));
+      }
+    }
+    gate_[i] = std::max(gate_[i], term);
+    for (uint32_t lm = 0; lm < L_; ++lm) {
+      screen[lm] = std::max(screen[lm], ub + hi_e[lm]);
+    }
+  }
+}
+
+bool PruneOracle::ShouldPrune(int cost_index, graph::NodeId v, double key) {
+  ++*checked_;
+  const int i = cost_index;
+  if (refresh_in_[i] == 0) {
+    RefreshScreens(i);
+    refresh_in_[i] = kScreenRefresh;
+  }
+  --refresh_in_[i];
+
+  // Zero-I/O fast path: past the farthest live endpoint's upper bound,
+  // settling v cannot matter to anyone — lower_bound(dist_i(v, e)) = 0
+  // already certifies every endpoint, so no index row is read. A node on
+  // a shortest q->e path pops at g <= dist_i(q, e) <= UB_i(e) <= maxub
+  // and never takes this branch (the strict > keeps the tree intact).
+  if (key > maxub_[i]) {
+    ++*cut_;
+    return true;
+  }
+
+  // Zero-I/O fast path: below the certificate gate no landmark can
+  // certify every live endpoint (header, fast path 2) — the check
+  // declines without reading v's row. This is where most failing checks
+  // land, so the oracle's index reads track its successful prunes instead
+  // of its call count.
+  if (2.0 * key <= gate_[i]) return false;
+
+  // At most one counted fetch against the index pool per node per query
+  // (the memo serves repeat checks from other expansions); a failed load
+  // just declines to prune (pruning is an optimization, never a
+  // correctness dependency).
+  const size_t full_row = static_cast<size_t>(d_) * L_;
+  uint32_t slot = row_cache_.Find(static_cast<uint64_t>(v) + 1);
+  if (slot == FlatU64Map::kNoValue) {
+    if (!index_->LoadNodeRow(v, row_scratch_.data()).ok()) return false;
+    slot = static_cast<uint32_t>(row_arena_.size() / full_row);
+    row_cache_.Insert(static_cast<uint64_t>(v) + 1, slot);
+    row_arena_.insert(row_arena_.end(), row_scratch_.begin(),
+                      row_scratch_.end());
+  }
+  const float* row = row_arena_.data() + slot * full_row +
+                     static_cast<size_t>(i) * L_;
+
+  // Fast path: one comparison certifies the prune for every live endpoint
+  // at once. Screens may be stale but only ever too large (see header).
+  const double* screen = &screen_[static_cast<size_t>(i) * L_];
+  for (uint32_t lm = 0; lm < L_; ++lm) {
+    if (screen[lm] < kInf && key + row[lm] > screen[lm]) {
+      ++*cut_;
+      return true;
+    }
+  }
+
+  // Full check: every live protected endpoint needs its own certificate.
+  const expand::SingleExpansion& exp = engine_->expansion(i);
+  const size_t row_len = static_cast<size_t>(d_) * L_;
+  for (size_t k = 0; k < endpoints_.size(); ++k) {
+    const Endpoint& ep = endpoints_[k];
+    if (exp.NodeSettled(ep.node)) continue;
+    if (!EndpointLive(i, ep)) continue;
+    const double ub = UpperBound(i, k);
+    const double* lo_e = &ep_lo_[k * row_len + static_cast<size_t>(i) * L_];
+    const double* hi_e = &ep_hi_[k * row_len + static_cast<size_t>(i) * L_];
+    bool certified = false;
+    for (uint32_t lm = 0; lm < L_ && !certified; ++lm) {
+      const double lo_v = row[lm];
+      if (std::isfinite(hi_e[lm]) && key + (lo_v - hi_e[lm]) > ub) {
+        certified = true;
+        break;
+      }
+      const double hi_v = net::LandmarkUpperBound(row[lm]);
+      if (std::isfinite(hi_v) && key + (lo_e[lm] - hi_v) > ub) {
+        certified = true;
+      }
+    }
+    if (!certified) return false;
+  }
+  ++*cut_;
+  return true;
+}
+
+}  // namespace mcn::algo

@@ -1,7 +1,9 @@
 #include "mcn/algo/skyline_query.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "mcn/algo/prune_oracle.h"
 #include "mcn/algo/turn_dispatch.h"
 #include "mcn/common/macros.h"
 #include "mcn/expand/probe_scheduler.h"
@@ -25,6 +27,8 @@ SkylineQuery::SkylineQuery(expand::NnEngine* engine, SkylineOptions options)
     MCN_CHECK(opts_.exec.scheduler->engine() == engine);
   }
 }
+
+SkylineQuery::~SkylineQuery() = default;
 
 SkylineEntry SkylineQuery::MakeEntry(graph::FacilityId f) const {
   uint32_t s = store_.Find(f);
@@ -445,6 +449,15 @@ Status SkylineQuery::Pin(uint32_t s) {
 }
 
 Status SkylineQuery::BuildFilter() {
+  // Landmark pruning (DESIGN.md §12) is confined to the serial round-robin
+  // schedule: the ablation frontier policies compare live frontier keys in
+  // PickExpansion, and turn mode strides through the scheduler — both
+  // observe which nodes expanded, so eliding expansions there would change
+  // the event order. Serial round-robin only observes facility pops.
+  const bool want_pruner = opts_.exec.landmark_index != nullptr &&
+                           !turn_mode_ &&
+                           opts_.probe_policy == ProbePolicy::kRoundRobin;
+  std::vector<PruneOracle::ProtectedFacility> snapshot;
   // Candidates and non-pinned skyline members both stay visible to the
   // shrinking-stage expansions.
   for (const std::vector<uint32_t>* list :
@@ -454,10 +467,19 @@ Status SkylineQuery::BuildFilter() {
       MCN_ASSIGN_OR_RETURN(graph::EdgeKey edge,
                            engine_->LocateFacilityEdge(id));
       filter_.Add(edge, id);
+      if (want_pruner) snapshot.push_back({id, edge.u, edge.v});
     }
   }
   engine_->SetFilter(&filter_);
   filter_installed_ = true;
+  if (want_pruner && !snapshot.empty()) {
+    MCN_ASSIGN_OR_RETURN(
+        pruner_,
+        PruneOracle::Create(engine_, opts_.exec.landmark_index, &filter_,
+                            std::move(snapshot), &stats_.prune_checked,
+                            &stats_.prune_cut));
+    engine_->SetPruner(pruner_.get());
+  }
   return Status::OK();
 }
 

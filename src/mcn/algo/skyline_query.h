@@ -29,6 +29,7 @@
 #define MCN_ALGO_SKYLINE_QUERY_H_
 
 #include <deque>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -38,6 +39,8 @@
 #include "mcn/expand/engines.h"
 
 namespace mcn::algo {
+
+class PruneOracle;
 
 struct SkylineOptions {
   /// §IV-A enhancement 1: report each cost type's first NN directly.
@@ -68,12 +71,15 @@ class SkylineQuery {
     uint64_t skyline_size = 0;
     uint64_t drain_rounds = 0;      ///< tie/threat drain steps
     uint64_t deferred_pins = 0;     ///< candidate reports deferred
+    uint64_t prune_checked = 0;     ///< node pops the prune oracle examined
+    uint64_t prune_cut = 0;         ///< node expansions elided by the oracle
     bool reached_shrinking = false;
   };
 
   /// `engine` must outlive the query and be freshly created at the query
   /// location (engines are single-use).
   explicit SkylineQuery(expand::NnEngine* engine, SkylineOptions options = {});
+  ~SkylineQuery();
 
   /// Next confirmed skyline facility, or nullopt when the skyline is
   /// complete. Costs reflect what is known at retrieval time.
@@ -156,6 +162,9 @@ class SkylineQuery {
   std::vector<uint32_t> pending_pins_;    ///< store slots
   expand::FacilityFilter filter_;
   bool filter_installed_ = false;
+  // Landmark prune oracle (DESIGN.md §12), created at BuildFilter when the
+  // run is serial round-robin and a validated index was supplied.
+  std::unique_ptr<PruneOracle> pruner_;
   std::vector<int> turn_targets_;  ///< turn-mode scratch (no per-turn alloc)
   std::deque<graph::FacilityId> output_;
   int turn_ = 0;

@@ -45,15 +45,18 @@ Result<std::unique_ptr<ExpansionExecutor>> ExpansionExecutor::Create(
   auto executor = std::unique_ptr<ExpansionExecutor>(
       new ExpansionExecutor(nullptr, storage, parallelism));
   const int slots = parallelism + 1;
-  const size_t frames_per_shard =
+  const std::vector<size_t> shard_frames =
       split_budget_across_shards
-          ? shard::FramesPerShard(pool_frames_per_slot, storage->num_shards())
-          : pool_frames_per_slot;
+          ? shard::SplitFramesAcrossShards(pool_frames_per_slot,
+                                           storage->num_shards())
+          : std::vector<size_t>(
+                static_cast<size_t>(storage->num_shards()),
+                pool_frames_per_slot);
   executor->readers_.reserve(slots);
   for (int s = 0; s < slots; ++s) {
     executor->readers_.push_back(
         std::make_unique<shard::ShardedNetworkReader>(storage, files,
-                                                      frames_per_shard));
+                                                      shard_frames));
   }
   return Finish(std::move(executor));
 }

@@ -99,6 +99,12 @@ Result<std::unique_ptr<QueryService>> QueryService::Create(
     return Status::InvalidArgument("QueryService: null disk");
   }
   MCN_RETURN_IF_ERROR(ValidateOptions(options));
+  if (options.enable_prune_index && files.landmark.present()) {
+    // Surface a corrupt/mismatched index as a Create error, not a crash
+    // in the constructor (which builds one reader per worker).
+    net::LandmarkIndexReader probe(disk, files.landmark);
+    MCN_RETURN_IF_ERROR(probe.Validate());
+  }
   return std::unique_ptr<QueryService>(
       new QueryService(disk, nullptr, files, {}, options));
 }
@@ -114,6 +120,11 @@ Result<std::unique_ptr<QueryService>> QueryService::Create(
         "QueryService: storage/files shard count mismatch");
   }
   MCN_RETURN_IF_ERROR(ValidateOptions(options));
+  if (options.enable_prune_index && files.landmark.present()) {
+    // The global index row file lives on shard 0's disk (DESIGN.md §12).
+    net::LandmarkIndexReader probe(storage->disk(0), files.landmark);
+    MCN_RETURN_IF_ERROR(probe.Validate());
+  }
   return std::unique_ptr<QueryService>(
       new QueryService(nullptr, storage, {}, files, options));
 }
@@ -141,6 +152,8 @@ QueryService::QueryService(storage::DiskManager* disk,
   metrics_.session_batches = registry_.GetCounter(mn::kSessionBatches);
   metrics_.buffer_misses = registry_.GetCounter(mn::kBufferMisses);
   metrics_.buffer_accesses = registry_.GetCounter(mn::kBufferAccesses);
+  metrics_.prune_checked = registry_.GetCounter(mn::kPruneChecked);
+  metrics_.prune_cut = registry_.GetCounter(mn::kPruneCut);
   metrics_.cpu_micros = registry_.GetCounter(mn::kCpuMicros);
   metrics_.stall_micros = registry_.GetCounter(mn::kStallMicros);
   metrics_.queue_micros = registry_.GetCounter(mn::kQueueMicros);
@@ -152,10 +165,19 @@ QueryService::QueryService(storage::DiskManager* disk,
     metrics_.shard_misses.push_back(
         registry_.GetCounter(mn::Shard(s, "buffer_misses")));
   }
+  const net::LandmarkIndexFiles& landmark_files =
+      storage != nullptr ? sharded_files_.landmark : files_.landmark;
   workers_.reserve(opts_.num_workers);
   for (int w = 0; w < opts_.num_workers; ++w) {
     auto worker = std::make_unique<Worker>();
     worker->reader = MakeReader(&worker->pool);
+    if (opts_.enable_prune_index && landmark_files.present()) {
+      // Create() validated the index file already; a per-worker reader
+      // over the same pages cannot fail differently.
+      worker->landmark = std::make_unique<net::LandmarkIndexReader>(
+          storage != nullptr ? storage_->disk(0) : disk_, landmark_files);
+      MCN_CHECK(worker->landmark->Validate().ok());
+    }
     workers_.push_back(std::move(worker));
   }
   // Freeze the shared storage read-only for the service's lifetime; the
@@ -223,13 +245,15 @@ std::unique_ptr<net::NetworkReader> QueryService::MakeReader(
   // run over an equal-capacity pool) holds exactly because both get the
   // same pool budget and split policy.
   if (sharded()) {
-    const size_t frames_per_shard =
+    const std::vector<size_t> shard_frames =
         opts_.split_pool_across_shards
-            ? shard::FramesPerShard(opts_.pool_frames_per_worker,
-                                    storage_->num_shards())
-            : opts_.pool_frames_per_worker;
+            ? shard::SplitFramesAcrossShards(opts_.pool_frames_per_worker,
+                                             storage_->num_shards())
+            : std::vector<size_t>(
+                  static_cast<size_t>(storage_->num_shards()),
+                  opts_.pool_frames_per_worker);
     return std::make_unique<shard::ShardedNetworkReader>(
-        storage_, sharded_files_, frames_per_shard);
+        storage_, sharded_files_, shard_frames);
   }
   *flat_pool = std::make_unique<storage::BufferPool>(
       disk_, opts_.pool_frames_per_worker);
@@ -493,15 +517,6 @@ void QueryService::Execute(Task&& task, Group& group, int local_worker) {
   if (is_session) {
     obs::RecordInstant(task.trace, obs::EventType::kSessionBatch,
                        static_cast<uint64_t>(task.batch_n));
-    // Refresh last_used *before* returning the inflight ticket: the
-    // moment inflight hits 0 the session is evictable, and an eviction
-    // pass racing this completion must see a fresh timestamp — not the
-    // submit-time one — or it could reclaim an actively-streamed session.
-    {
-      std::lock_guard<std::mutex> lock(sessions_mu_);
-      task.session->last_used = std::chrono::steady_clock::now();
-    }
-    task.session->inflight.fetch_sub(1, std::memory_order_acq_rel);
   }
   result.stats.worker = worker_index;
   result.stats.shard =
@@ -542,6 +557,12 @@ void QueryService::Execute(Task&& task, Group& group, int local_worker) {
       static_cast<uint64_t>(result.stats.latency_seconds * 1e6), slot);
   metrics_.buffer_misses->Add(result.stats.buffer_misses, slot);
   metrics_.buffer_accesses->Add(result.stats.buffer_accesses, slot);
+  if (result.stats.prune_checked > 0) {
+    metrics_.prune_checked->Add(result.stats.prune_checked, slot);
+    metrics_.prune_cut->Add(result.stats.prune_cut, slot);
+    obs::RecordInstant(task.trace, obs::EventType::kProbePrune,
+                       result.stats.prune_cut, result.stats.prune_checked);
+  }
   metrics_.cpu_micros->Add(
       static_cast<uint64_t>(result.stats.exec_seconds * 1e6), slot);
   metrics_.stall_micros->Add(
@@ -577,6 +598,21 @@ void QueryService::Execute(Task&& task, Group& group, int local_worker) {
     if (is_session) replay.spec.k = task.batch_n;
     digest.spec_frame_hex = obs::ToHex(api::EncodeRequestFrame(replay));
     opts_.flight_recorder->Record(std::move(digest));
+  }
+  if (is_session) {
+    // A batch is "in flight" for eviction purposes until its completion is
+    // client-visible — which includes the modeled I/O stall slept above.
+    // Returning the ticket any earlier (the old code did, before the
+    // stall) leaves the session evictable with an aging timestamp while
+    // the client is still blocked on this very batch: a stall longer than
+    // session_idle_seconds let the lazy timeout sweep reclaim an actively
+    // streamed session. So: refresh last_used first, then return the
+    // ticket — the eviction window reopens only with a fresh timestamp.
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      task.session->last_used = std::chrono::steady_clock::now();
+    }
+    task.session->inflight.fetch_sub(1, std::memory_order_acq_rel);
   }
   task.promise.set_value(std::move(result));
   if (opts_.max_inflight > 0) {
@@ -702,10 +738,22 @@ QueryResult QueryService::RunQuery(const api::QuerySpec& spec,
   if (opts_.cold_cache_per_query) {
     worker.reader->ResetIoState();
     if (worker.expansion != nullptr) worker.expansion->ResetIoState();
+    // The index pool follows the same independent-query model, so a
+    // query's prune I/O is deterministic regardless of what ran before.
+    if (worker.landmark != nullptr) worker.landmark->ResetIoState();
   }
   auto io_now = [&]() -> storage::BufferPool::Stats {
-    return pooled ? worker.expansion->PoolStats()
-                  : worker.reader->PoolStats();
+    storage::BufferPool::Stats s = pooled ? worker.expansion->PoolStats()
+                                          : worker.reader->PoolStats();
+    if (worker.landmark != nullptr) {
+      // Honest I/O accounting: what the oracle spends on index pages is
+      // part of the query's miss total, not hidden in a side pool.
+      const storage::BufferPool::Stats li = worker.landmark->pool().stats();
+      s.hits += li.hits;
+      s.misses += li.misses;
+      s.evictions += li.evictions;
+    }
+    return s;
   };
   const storage::BufferPool::Stats before = io_now();
 
@@ -758,6 +806,9 @@ QueryResult QueryService::RunQuery(const api::QuerySpec& spec,
     case QueryKind::kSkyline: {
       algo::SkylineOptions sky_opts;
       sky_opts.exec = exec;
+      // The query gates internally (serial round-robin only); passing the
+      // reader on turn-mode requests is a documented no-op.
+      sky_opts.exec.landmark_index = worker.landmark.get();
       algo::SkylineQuery query(engine, sky_opts);
       auto rows = query.ComputeAll();
       if (!rows.ok()) {
@@ -765,6 +816,8 @@ QueryResult QueryService::RunQuery(const api::QuerySpec& spec,
         return result;
       }
       result.skyline = std::move(rows).value();
+      result.stats.prune_checked = query.stats().prune_checked;
+      result.stats.prune_cut = query.stats().prune_cut;
       break;
     }
     case QueryKind::kTopK: {

@@ -127,6 +127,13 @@ struct QueryStats {
   double latency_seconds = 0;
   uint64_t buffer_misses = 0;
   uint64_t buffer_accesses = 0;
+  /// Prune-oracle work for this query (skyline + enable_prune_index only):
+  /// frontier pops tested against the landmark bound, and the subset cut
+  /// before their adjacency probe. buffer_misses includes the index pool's
+  /// misses when the worker holds an index reader, so the reported I/O is
+  /// the honest total.
+  uint64_t prune_checked = 0;
+  uint64_t prune_cut = 0;
 };
 
 /// Outcome of one request (or one session batch). Exactly one of
@@ -159,9 +166,10 @@ struct ServiceOptions {
   /// LRU frames per worker (the paper's buffer size; see
   /// gen::BufferFrames). Every worker gets the same capacity so per-query
   /// miss counts match a single-threaded run exactly. In sharded mode the
-  /// budget is split evenly across the worker's K shard pools
-  /// (shard::FramesPerShard). Sessions get the same budget, so a session
-  /// stream's logical I/O matches a local IncrementalTopK run.
+  /// budget is split exactly across the worker's K shard pools
+  /// (shard::SplitFramesAcrossShards — remainder frames are distributed,
+  /// not dropped). Sessions get the same budget, so a session stream's
+  /// logical I/O matches a local IncrementalTopK run.
   size_t pool_frames_per_worker = 0;
   /// Modeled I/O latency charged per buffer miss (as in the bench harness).
   double io_latency_ms = 5.0;
@@ -213,6 +221,15 @@ struct ServiceOptions {
   /// is digested into this recorder (last-N ring + slow-query log). Not
   /// owned; must outlive the service.
   obs::FlightRecorder* flight_recorder = nullptr;
+  /// Landmark lower-bound pruning (DESIGN.md §12). Opt-in: when true and
+  /// the served network carries a built index (NetworkFiles::landmark /
+  /// ShardedNetworkFiles::landmark), every worker gets a validated
+  /// LandmarkIndexReader (its own small pool, charged separately from the
+  /// network pools) and serial skyline queries run with the prune oracle.
+  /// Results are byte-identical either way — the index only elides
+  /// adjacency probes whose subtrees cannot matter. The default keeps
+  /// existing services byte-stable in stats as well as results.
+  bool enable_prune_index = false;
 };
 
 /// See the file comment. Thread-safe: Submit/session calls/Drain/Snapshot
@@ -366,6 +383,10 @@ class QueryService {
     /// counters from other threads without a lock.
     std::unique_ptr<ExpansionExecutor> expansion;
     std::atomic<ExpansionExecutor*> expansion_pub{nullptr};
+    /// Validated landmark-index reader (enable_prune_index and a present
+    /// index only); worker-thread confined like `reader`. Owns its own
+    /// small pool — see net::kLandmarkPoolFrames.
+    std::unique_ptr<net::LandmarkIndexReader> landmark;
   };
 
   /// Cached instrument handles (resolved once at construction; recording
@@ -379,6 +400,8 @@ class QueryService {
     obs::Counter* session_batches = nullptr;
     obs::Counter* buffer_misses = nullptr;
     obs::Counter* buffer_accesses = nullptr;
+    obs::Counter* prune_checked = nullptr;
+    obs::Counter* prune_cut = nullptr;
     obs::Counter* cpu_micros = nullptr;
     obs::Counter* stall_micros = nullptr;
     obs::Counter* queue_micros = nullptr;

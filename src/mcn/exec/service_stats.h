@@ -65,6 +65,11 @@ struct ServiceStats {
   uint64_t open_sessions = 0;
   uint64_t buffer_misses = 0;
   uint64_t buffer_accesses = 0;
+  /// Landmark prune-index slice (DESIGN.md §12): frontier pops tested
+  /// against the lower-bound oracle and the subset it cut before the
+  /// adjacency probe. Zero unless ServiceOptions::enable_prune_index.
+  uint64_t prune_checked = 0;
+  uint64_t prune_cut = 0;
   double cpu_seconds = 0;    ///< summed per-query execution time
   double stall_seconds = 0;  ///< summed modeled I/O stall time
   double wall_seconds = 0;   ///< measurement window (service uptime)
@@ -97,6 +102,8 @@ inline constexpr char kCancelled[] = "mcn.service.cancelled";
 inline constexpr char kSessionBatches[] = "mcn.service.session_batches";
 inline constexpr char kBufferMisses[] = "mcn.service.buffer_misses";
 inline constexpr char kBufferAccesses[] = "mcn.service.buffer_accesses";
+inline constexpr char kPruneChecked[] = "mcn.service.prune_checked";
+inline constexpr char kPruneCut[] = "mcn.service.prune_cut";
 inline constexpr char kCpuMicros[] = "mcn.service.cpu_micros";
 inline constexpr char kStallMicros[] = "mcn.service.stall_micros";
 inline constexpr char kQueueMicros[] = "mcn.service.queue_micros";
@@ -128,6 +135,8 @@ inline ServiceStats ServiceStatsFromSnapshot(const obs::Snapshot& snap) {
   stats.session_batches = snap.CounterValue(mn::kSessionBatches);
   stats.buffer_misses = snap.CounterValue(mn::kBufferMisses);
   stats.buffer_accesses = snap.CounterValue(mn::kBufferAccesses);
+  stats.prune_checked = snap.CounterValue(mn::kPruneChecked);
+  stats.prune_cut = snap.CounterValue(mn::kPruneCut);
   stats.cpu_seconds =
       static_cast<double>(snap.CounterValue(mn::kCpuMicros)) / 1e6;
   stats.stall_seconds =

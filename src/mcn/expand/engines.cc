@@ -26,6 +26,10 @@ void NnEngine::SetFilter(const FacilityFilter* filter) {
   for (SingleExpansion& e : expansions_) e.set_filter(filter);
 }
 
+void NnEngine::SetPruner(NodePruner* pruner) {
+  for (SingleExpansion& e : expansions_) e.set_pruner(pruner);
+}
+
 void NnEngine::SetCancelToken(const CancelToken* cancel) {
   cancel_ = cancel;
   for (SingleExpansion& e : expansions_) e.set_cancel(cancel);
@@ -34,8 +38,10 @@ void NnEngine::SetCancelToken(const CancelToken* cancel) {
 Status NnEngine::Init(std::unique_ptr<FetchProvider> fetch,
                       const graph::Location& q) {
   fetch_ = std::move(fetch);
+  query_ = q;
   int d = fetch_->num_costs();
   MCN_ASSIGN_OR_RETURN(FetchProvider::SeedInfo seed, fetch_->GetSeedInfo(q));
+  if (!q.is_node()) seed_edge_costs_ = seed.edge_costs;
   expansions_.reserve(d);
   for (int i = 0; i < d; ++i) {
     expansions_.emplace_back(i, fetch_.get());

@@ -57,6 +57,10 @@ class NnEngine {
   /// Installs/clears the shrinking-stage candidate filter on all expansions.
   void SetFilter(const FacilityFilter* filter);
 
+  /// Installs/clears a frontier prune hook on all expansions (DESIGN.md
+  /// §12). The pruner must outlive the query; nullptr clears.
+  void SetPruner(NodePruner* pruner);
+
   /// Installs/clears a cooperative cancellation token on all expansions
   /// (DESIGN.md §10). The turn scheduler also checks it at turn barriers.
   /// The token must outlive the query; nullptr clears.
@@ -70,6 +74,15 @@ class NnEngine {
   const FetchProvider& fetch() const { return *fetch_; }
   const SingleExpansion& expansion(int i) const { return expansions_[i]; }
 
+  /// The query location the engine was seeded at, and — for on-edge
+  /// locations — the query edge's cost vector (dim 0 for node locations).
+  /// Retained so the prune oracle can bound dist(q, ·) without re-fetching
+  /// seed records.
+  const graph::Location& query() const { return query_; }
+  const graph::CostVector& seed_edge_costs() const {
+    return seed_edge_costs_;
+  }
+
  protected:
   /// Builds d seeded expansions over `fetch` (takes ownership).
   Status Init(std::unique_ptr<FetchProvider> fetch, const graph::Location& q);
@@ -77,6 +90,8 @@ class NnEngine {
   std::unique_ptr<FetchProvider> fetch_;
   std::vector<SingleExpansion> expansions_;
   const CancelToken* cancel_ = nullptr;
+  graph::Location query_ = graph::Location::AtNode(graph::kInvalidNode);
+  graph::CostVector seed_edge_costs_;
 };
 
 /// LSA flavor (independent fetches).

@@ -125,6 +125,16 @@ Result<ExpansionEvent> SingleExpansion::Step() {
     }
     graph::NodeId v = static_cast<graph::NodeId>(item.tagged_id);
     if (item.key > node_dist_[v]) continue;  // stale or already settled
+    // The pruner must be asked while v still reads as unsettled: a
+    // protected facility endpoint recognizes itself through its live
+    // tentative key (key + 0 > UB fails), which the settle below destroys.
+    if (pruner_ != nullptr && pruner_->ShouldPrune(cost_index_, v, item.key)) {
+      node_dist_[v] = kSettled;
+      ++stats_.nodes_pruned;
+      // Settled-but-not-expanded: neighbors are never relaxed and no page
+      // is fetched; the event keeps Step()'s one-element contract.
+      return ExpansionEvent{ExpansionEvent::Type::kNode, v, item.key};
+    }
     node_dist_[v] = kSettled;
     ++stats_.nodes_settled;
     MCN_RETURN_IF_ERROR(ExpandNode(v, item.key));

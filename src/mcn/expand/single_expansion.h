@@ -55,6 +55,11 @@ class FacilityFilter {
     return fac < fac_entries_.size() &&
            fac_entries_[fac].edge_packed == edge.Pack();
   }
+  /// Whether `fac` is currently registered (on any edge).
+  bool Contains(graph::FacilityId fac) const {
+    return fac < fac_entries_.size() &&
+           fac_entries_[fac].edge_packed != FlatU64Map::kEmptyKey;
+  }
   size_t num_facilities() const { return num_facilities_; }
   bool empty() const { return num_facilities_ == 0; }
 
@@ -70,6 +75,20 @@ class FacilityFilter {
   size_t num_facilities_ = 0;
 };
 
+/// Frontier prune hook (DESIGN.md §12): consulted once per node pop,
+/// *before* the node's adjacency probe. Returning true elides the
+/// expansion — the node is marked settled but its neighbors are never
+/// relaxed and no page is fetched. Implementations must be sound w.r.t.
+/// the caller's protected set (see algo/prune_oracle.h for the exactness
+/// argument); the expansion itself applies the decision blindly.
+class NodePruner {
+ public:
+  virtual ~NodePruner() = default;
+  /// `cost_index` identifies the asking expansion; `v` is about to settle
+  /// at exact distance `key`.
+  virtual bool ShouldPrune(int cost_index, graph::NodeId v, double key) = 0;
+};
+
 /// Incremental NN expansion for one cost type over a FetchProvider.
 class SingleExpansion {
  public:
@@ -78,6 +97,7 @@ class SingleExpansion {
     uint64_t facilities_settled = 0;
     uint64_t heap_pushes = 0;
     uint64_t heap_pops = 0;
+    uint64_t nodes_pruned = 0;  ///< settled without an adjacency probe
   };
 
   /// `fetch` must outlive the expansion and is typically shared among the d
@@ -102,6 +122,11 @@ class SingleExpansion {
   /// nullptr = no filter (growing stage: every facility is en-heaped).
   void set_filter(const FacilityFilter* filter) { filter_ = filter; }
 
+  /// nullptr = no pruning (the default). Installed by the skyline prune
+  /// oracle alongside the shrinking-stage filter; must outlive the
+  /// expansion's remaining steps.
+  void set_pruner(NodePruner* pruner) { pruner_ = pruner; }
+
   /// Cooperative cancellation (DESIGN.md §10): with a token installed,
   /// Step() checks it before settling and unwinds with the token's typed
   /// Status (DeadlineExceeded/Cancelled). nullptr = never cancelled.
@@ -114,6 +139,11 @@ class SingleExpansion {
   bool FacilitySettled(graph::FacilityId f) const {
     return fac_dist_[f] == kSettled;
   }
+  /// Tentative distance of an unsettled node: its best live heap key, or
+  /// +infinity when never relaxed. Meaningless (the kSettled sentinel) once
+  /// the node settles — callers check NodeSettled first. Always an upper
+  /// bound on the node's true distance.
+  double NodeTentativeKey(graph::NodeId v) const { return node_dist_[v]; }
 
  private:
   struct HeapItem {
@@ -147,6 +177,7 @@ class SingleExpansion {
   std::vector<double> node_dist_;
   std::vector<double> fac_dist_;
   const FacilityFilter* filter_ = nullptr;
+  NodePruner* pruner_ = nullptr;
   const CancelToken* cancel_ = nullptr;
   Stats stats_;
 };

@@ -27,12 +27,16 @@ std::string ExperimentConfig::ToString() const {
   s += " dist=" + std::string(gen::ToString(distribution));
   s += " buffer=" + std::to_string(buffer_pct) + "%";
   s += " seed=" + std::to_string(seed);
+  // Only configs that ask for an index mention it: pre-existing workload
+  // descriptions (and the bench figures keyed on them) stay byte-stable.
+  if (landmarks > 0) s += " L=" + std::to_string(landmarks);
   return s;
 }
 
 void Instance::ResetIoState() {
   pool->Clear();
   pool->ResetStats();
+  if (landmark_reader != nullptr) landmark_reader->ResetIoState();
   disk.ResetStats();
 }
 
@@ -93,6 +97,17 @@ Result<std::unique_ptr<Instance>> BuildInstance(
       std::make_unique<storage::BufferPool>(&instance->disk, frames);
   instance->reader = std::make_unique<net::NetworkReader>(
       instance->files, instance->pool.get());
+  if (config.landmarks > 0) {
+    const std::vector<graph::NodeId> landmarks = net::SelectLandmarks(
+        instance->graph, config.landmarks, /*num_shards=*/1, {});
+    MCN_ASSIGN_OR_RETURN(
+        instance->files.landmark,
+        net::BuildLandmarkIndex(&instance->disk, instance->graph, landmarks,
+                                "landmark_index"));
+    instance->landmark_reader = std::make_unique<net::LandmarkIndexReader>(
+        &instance->disk, instance->files.landmark);
+    MCN_RETURN_IF_ERROR(instance->landmark_reader->Validate());
+  }
   instance->disk.ResetStats();  // build-time writes are not query I/O
   return instance;
 }
@@ -118,8 +133,22 @@ Result<std::unique_ptr<ShardedInstance>> BuildShardedInstance(
       BufferFrames(config.buffer_pct, instance->files.total_pages);
   instance->reader = std::make_unique<shard::ShardedNetworkReader>(
       &instance->storage, instance->files,
-      shard::FramesPerShard(instance->pool_frames,
-                            instance->storage.num_shards()));
+      shard::SplitFramesAcrossShards(instance->pool_frames,
+                                     instance->storage.num_shards()));
+  if (config.landmarks > 0) {
+    // One global index with a boundary-biased, per-shard landmark quota;
+    // the row file lives on shard 0's disk.
+    const shard::Partition& part = instance->storage.partition();
+    const std::vector<graph::NodeId> landmarks = net::SelectLandmarks(
+        instance->graph, config.landmarks, part.num_shards, part.node_shard);
+    MCN_ASSIGN_OR_RETURN(
+        instance->files.landmark,
+        net::BuildLandmarkIndex(instance->storage.disk(0), instance->graph,
+                                landmarks, "landmark_index"));
+    instance->landmark_reader = std::make_unique<net::LandmarkIndexReader>(
+        instance->storage.disk(0), instance->files.landmark);
+    MCN_RETURN_IF_ERROR(instance->landmark_reader->Validate());
+  }
   instance->storage.ResetStats();  // build-time writes are not query I/O
   return instance;
 }

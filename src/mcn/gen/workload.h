@@ -17,6 +17,7 @@
 #include "mcn/graph/facility.h"
 #include "mcn/graph/location.h"
 #include "mcn/graph/multi_cost_graph.h"
+#include "mcn/net/landmark_index.h"
 #include "mcn/net/network_builder.h"
 #include "mcn/net/network_reader.h"
 #include "mcn/shard/partition.h"
@@ -38,6 +39,9 @@ struct ExperimentConfig {
   CostDistribution distribution = CostDistribution::kAntiCorrelated;
   double buffer_pct = 1.0;       ///< LRU buffer, % of the MCN pages
   uint64_t seed = 7;
+  /// Landmarks for the lower-bound prune index (DESIGN.md §12); 0 (the
+  /// default) builds no index, keeping every existing workload byte-stable.
+  uint32_t landmarks = 0;
 
   /// Proportionally scaled-down copy (for fast benchmark runs); keeps at
   /// least a small viable network.
@@ -58,6 +62,9 @@ struct Instance {
   net::NetworkFiles files;
   std::unique_ptr<storage::BufferPool> pool;
   std::unique_ptr<net::NetworkReader> reader;
+  /// Validated index reader when the config asked for landmarks; null
+  /// otherwise. Owns its own pool — main-pool stats are unaffected.
+  std::unique_ptr<net::LandmarkIndexReader> landmark_reader;
 
   /// Uniform random query location (paper: uniform over the network).
   graph::Location RandomQueryLocation(Random& rng) const {
@@ -92,6 +99,9 @@ struct ShardedInstance {
   shard::ShardedNetworkFiles files;
   /// Per-shard pool set sized like Instance::pool split across shards.
   std::unique_ptr<shard::ShardedNetworkReader> reader;
+  /// Validated reader over the global landmark index (file on shard 0's
+  /// disk) when the config asked for landmarks; null otherwise.
+  std::unique_ptr<net::LandmarkIndexReader> landmark_reader;
   /// Flat-equivalent frame budget (BufferFrames of the config), before
   /// the per-shard split — what service/executor callers should pass on.
   size_t pool_frames = 0;
@@ -103,6 +113,7 @@ struct ShardedInstance {
   void ResetIoState() {
     reader->ResetIoState();
     reader->ResetShardIoStats();
+    if (landmark_reader != nullptr) landmark_reader->ResetIoState();
     storage.ResetStats();
   }
 };

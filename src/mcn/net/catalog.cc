@@ -33,6 +33,17 @@ Status SaveCatalog(const NetworkFiles& files, const std::string& path) {
   out << "num_facilities=" << files.num_facilities << "\n";
   out << "num_costs=" << files.num_costs << "\n";
   out << "total_pages=" << files.total_pages << "\n";
+  // Landmark index keys are written only when an index was built; readers
+  // of older catalogs (and older readers of newer catalogs) interoperate
+  // because the keys are optional on load.
+  if (files.landmark.present()) {
+    out << "lm_file=" << files.landmark.file << "\n";
+    out << "lm_landmarks=" << files.landmark.num_landmarks << "\n";
+    out << "lm_nodes=" << files.landmark.num_nodes << "\n";
+    out << "lm_costs=" << files.landmark.num_costs << "\n";
+    out << "lm_records_per_page=" << files.landmark.records_per_page << "\n";
+    out << "lm_pages=" << files.landmark.num_pages << "\n";
+  }
   if (!out.good()) return Status::IOError("write to " + path + " failed");
   return Status::OK();
 }
@@ -82,6 +93,21 @@ Result<NetworkFiles> LoadCatalog(const std::string& path) {
   files.num_facilities = static_cast<uint32_t>(kv["num_facilities"]);
   files.num_costs = static_cast<int>(kv["num_costs"]);
   files.total_pages = kv["total_pages"];
+  if (kv.count("lm_landmarks") != 0 && kv["lm_landmarks"] > 0) {
+    for (const char* key : {"lm_file", "lm_nodes", "lm_costs",
+                            "lm_records_per_page", "lm_pages"}) {
+      if (kv.find(key) == kv.end()) {
+        return Status::Corruption(std::string("catalog misses key ") + key);
+      }
+    }
+    files.landmark.file = static_cast<storage::FileId>(kv["lm_file"]);
+    files.landmark.num_landmarks = static_cast<uint32_t>(kv["lm_landmarks"]);
+    files.landmark.num_nodes = static_cast<uint32_t>(kv["lm_nodes"]);
+    files.landmark.num_costs = static_cast<int>(kv["lm_costs"]);
+    files.landmark.records_per_page =
+        static_cast<uint32_t>(kv["lm_records_per_page"]);
+    files.landmark.num_pages = kv["lm_pages"];
+  }
   return files;
 }
 

@@ -11,6 +11,7 @@
 #include "mcn/graph/multi_cost_graph.h"
 #include "mcn/index/bplus_tree.h"
 #include "mcn/net/format.h"
+#include "mcn/net/landmark_index.h"
 #include "mcn/storage/disk_manager.h"
 
 namespace mcn::net {
@@ -29,8 +30,14 @@ struct NetworkFiles {
   int num_costs = 0;
 
   /// Pages across the four structures; the paper sizes the LRU buffer as a
-  /// percentage of this.
+  /// percentage of this. The optional landmark index below is deliberately
+  /// *excluded*: index-on and index-off runs must size the main pool
+  /// identically (the index reader owns its own small pool).
   uint64_t total_pages = 0;
+
+  /// Optional landmark lower-bound index (DESIGN.md §12); `present()` is
+  /// false when the database was built without one.
+  LandmarkIndexFiles landmark;
 };
 
 /// Writes the storage scheme for `graph` + `facilities` into fresh files on

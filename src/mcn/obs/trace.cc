@@ -30,6 +30,8 @@ const char* EventTypeName(EventType type) {
       return "wire_decode";
     case EventType::kStall:
       return "stall";
+    case EventType::kProbePrune:
+      return "probe_prune";
   }
   return "unknown";
 }

@@ -53,6 +53,8 @@ enum class EventType : uint8_t {
   kWireEncode,      ///< response frame encode + send (arg0 = bytes)
   kWireDecode,      ///< request frame decode (arg0 = bytes)
   kStall,           ///< modeled I/O stall sleep (arg0 = misses)
+  kProbePrune,      ///< prune-index cuts in one query (arg0 = cut,
+                    ///< arg1 = checked)
 };
 const char* EventTypeName(EventType type);
 

@@ -78,6 +78,12 @@ struct ShardedNetworkFiles {
   uint64_t total_pages = 0;
   uint32_t num_boundary_edges = 0;
 
+  /// Optional landmark lower-bound index (DESIGN.md §12). One *global*
+  /// index whose file lives on shard 0's disk (landmark selection is
+  /// boundary-biased per shard, but rows cover every node). Excluded from
+  /// total_pages like the flat field.
+  net::LandmarkIndexFiles landmark;
+
   int num_shards() const { return static_cast<int>(shards.size()); }
 
   /// Metadata-only NetworkFiles carrying the global totals, for code that

@@ -13,9 +13,33 @@ size_t FramesPerShard(size_t total_frames, int num_shards) {
   return per_shard > 0 ? per_shard : 1;
 }
 
+std::vector<size_t> SplitFramesAcrossShards(size_t total_frames,
+                                            int num_shards) {
+  MCN_CHECK(num_shards > 0);
+  const size_t k = static_cast<size_t>(num_shards);
+  std::vector<size_t> frames(k, total_frames / k);
+  const size_t remainder = total_frames % k;
+  for (size_t s = 0; s < remainder; ++s) ++frames[s];
+  if (total_frames > 0) {
+    // One-frame floor: a zero-capacity pool cannot serve any fetch.
+    for (size_t& f : frames) {
+      if (f == 0) f = 1;
+    }
+  }
+  return frames;
+}
+
 ShardedNetworkReader::ShardedNetworkReader(ShardedStorage* storage,
                                            const ShardedNetworkFiles& files,
                                            size_t frames_per_shard)
+    : ShardedNetworkReader(
+          storage, files,
+          std::vector<size_t>(static_cast<size_t>(files.num_shards()),
+                              frames_per_shard)) {}
+
+ShardedNetworkReader::ShardedNetworkReader(ShardedStorage* storage,
+                                           const ShardedNetworkFiles& files,
+                                           const std::vector<size_t>& frames)
     : net::NetworkReader(files.Global()),
       storage_(storage),
       partition_(&storage->partition()),
@@ -23,12 +47,13 @@ ShardedNetworkReader::ShardedNetworkReader(ShardedStorage* storage,
       fetches_to_shard_(files.num_shards()) {
   MCN_CHECK(storage != nullptr);
   MCN_CHECK(files.num_shards() == storage->num_shards());
+  MCN_CHECK(frames.size() == static_cast<size_t>(files.num_shards()));
   const int k = files.num_shards();
   pools_.reserve(k);
   readers_.reserve(k);
   for (ShardId s = 0; s < static_cast<ShardId>(k); ++s) {
     pools_.push_back(std::make_unique<storage::BufferPool>(
-        storage->disk(s), frames_per_shard));
+        storage->disk(s), frames[s]));
     readers_.push_back(std::make_unique<net::NetworkReader>(
         files.shards[s], pools_.back().get()));
     // This routing layer records the per-fetch trace events itself (it

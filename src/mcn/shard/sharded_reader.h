@@ -50,10 +50,17 @@ class ShardedNetworkReader : public net::NetworkReader {
 
   /// `storage`/`files` describe a built sharded network; both must outlive
   /// the reader. `frames_per_shard` sizes each shard's LRU pool — callers
-  /// splitting a flat budget B across K shards pass FramesPerShard(B, K).
+  /// splitting a flat budget B across K shards pass
+  /// SplitFramesAcrossShards(B, K) to the vector overload below so no
+  /// remainder frames are dropped.
   ShardedNetworkReader(ShardedStorage* storage,
                        const ShardedNetworkFiles& files,
                        size_t frames_per_shard);
+  /// Per-shard pool sizes (`frames[s]` frames for shard s); `frames` must
+  /// have one entry per shard.
+  ShardedNetworkReader(ShardedStorage* storage,
+                       const ShardedNetworkFiles& files,
+                       const std::vector<size_t>& frames);
 
   int num_shards() const { return static_cast<int>(readers_.size()); }
 
@@ -102,7 +109,18 @@ class ShardedNetworkReader : public net::NetworkReader {
 
 /// Even split of a flat frame budget across K shard pools (at least one
 /// frame each when the budget is non-zero, so tiny buffers stay usable).
+/// Deprecated in favor of SplitFramesAcrossShards: the floored division
+/// silently drops up to K-1 remainder frames, shrinking the effective
+/// buffer of non-divisible budgets.
 size_t FramesPerShard(size_t total_frames, int num_shards);
+
+/// Exact split of a flat frame budget across K shard pools: shard s gets
+/// total/K frames plus one of the total%K remainder frames (s < total%K),
+/// so the sum equals `total_frames` whenever total_frames >= K. Budgets
+/// smaller than K keep the one-frame floor (every pool must be usable), the
+/// only case where the sum exceeds the budget.
+std::vector<size_t> SplitFramesAcrossShards(size_t total_frames,
+                                            int num_shards);
 
 }  // namespace mcn::shard
 

@@ -165,8 +165,8 @@ TEST(ApiServerE2eTest, WireSessionReplaysLocalIterator) {
   {
     shard::ShardedNetworkReader reader(
         &ep.instance->storage, ep.instance->files,
-        shard::FramesPerShard(ep.instance->pool_frames,
-                              ep.instance->storage.num_shards()));
+        shard::SplitFramesAcrossShards(ep.instance->pool_frames,
+                                       ep.instance->storage.num_shards()));
     auto engine = expand::MakeEngine(spec.engine, &reader, loc);
     ASSERT_TRUE(engine.ok());
     algo::IncrementalTopK local(engine.value().get(),

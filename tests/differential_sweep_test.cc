@@ -32,6 +32,7 @@
 #include "mcn/exec/expansion_executor.h"
 #include "mcn/expand/engines.h"
 #include "mcn/expand/probe_scheduler.h"
+#include "mcn/gen/workload.h"
 #include "mcn/shard/partition.h"
 #include "mcn/shard/sharded_builder.h"
 #include "mcn/shard/sharded_storage.h"
@@ -452,6 +453,140 @@ TEST(DifferentialSweepTest, ShardCountInvariance) {
       }
     }
   }
+}
+
+// Prune-index on/off parity (DESIGN.md §12): with the landmark oracle
+// installed, every spec kind under every probe policy must return
+// byte-identical results — and the I/O accounting must be "net of pruned
+// probes": each pruned pop is an adjacency request the off run issued, and
+// the on run's requests are a subset of the off run's (pruned subtrees
+// vanish wholesale, hence <=, not ==). The oracle is armed only on serial
+// round-robin skyline runs; every other leg — other policies, other
+// processors, and the turn schedule — must keep the index literally
+// invisible: zero prunes and identical request counts, not just identical
+// results.
+TEST(DifferentialSweepTest, PruneIndexOnOffParity) {
+  const uint64_t base = test::AnnounceSeed("differential_sweep_test");
+  uint64_t total_cut = 0;
+
+  auto nodes_pruned = [](expand::NnEngine* engine) {
+    uint64_t pruned = 0;
+    for (int i = 0; i < engine->fetch().num_costs(); ++i) {
+      pruned += engine->expansion(i).stats().nodes_pruned;
+    }
+    return pruned;
+  };
+
+  for (int d : {2, 3, 4}) {
+    gen::ExperimentConfig config;
+    config.nodes = 500;
+    config.edges = 700;
+    config.facilities = 48;
+    config.clusters = 4;
+    config.num_costs = d;
+    config.buffer_pct = 1.0;
+    config.seed = test::DeriveSeed(base, 700 + static_cast<uint64_t>(d));
+    config.landmarks = 8;
+    auto instance = gen::BuildInstance(config).value();
+    ASSERT_TRUE(instance->files.landmark.present());
+    net::LandmarkIndexReader* index = instance->landmark_reader.get();
+
+    Random rng(test::DeriveSeed(config.seed, 7));
+    for (int qi = 0; qi < 2; ++qi) {
+      graph::Location q = instance->RandomQueryLocation(rng);
+      AggregateFn f = WeightedSum(
+          test::TestWeights(d, test::DeriveSeed(config.seed, 500 + qi)));
+      const int k =
+          2 + static_cast<int>(test::DeriveSeed(config.seed, qi) % 5);
+
+      for (ProbePolicy policy :
+           {ProbePolicy::kRoundRobin, ProbePolicy::kSmallestFrontier,
+            ProbePolicy::kLargestFrontier}) {
+        for (Algo algo : {Algo::kSkyline, Algo::kTopK, Algo::kIncremental}) {
+          SCOPED_TRACE("d=" + std::to_string(d) + " q=" + q.ToString() +
+                       " policy=" + std::to_string(static_cast<int>(policy)) +
+                       " algo=" + AlgoName(algo) + " | " + ReseedHint());
+          instance->ResetIoState();
+          auto engine_off =
+              expand::MakeEngine(expand::EngineKind::kCea,
+                                 instance->reader.get(), q)
+                  .value();
+          Capture off = RunOne(algo, engine_off.get(), QueryOptions{},
+                               policy, f, k);
+          ASSERT_EQ(nodes_pruned(engine_off.get()), 0u);
+
+          instance->ResetIoState();
+          auto engine_on =
+              expand::MakeEngine(expand::EngineKind::kCea,
+                                 instance->reader.get(), q)
+                  .value();
+          QueryOptions with_index;
+          with_index.landmark_index = index;
+          Capture on = RunOne(algo, engine_on.get(), with_index, policy, f, k);
+          const uint64_t pruned = nodes_pruned(engine_on.get());
+
+          // Exactness: the oracle may only skip probes, never change
+          // results — the full entry set, order and scores included.
+          EXPECT_EQ(off.hash, on.hash);
+          EXPECT_EQ(off.ids, on.ids);
+          EXPECT_EQ(off.scores, on.scores);
+
+          const bool armed =
+              algo == Algo::kSkyline && policy == ProbePolicy::kRoundRobin;
+          if (armed) {
+            // Net-of-pruned-probes accounting: every pruned pop is a pop
+            // the off run probed, and pruned subtrees also vanish.
+            EXPECT_LE(on.fetch.adjacency_requests + pruned,
+                      off.fetch.adjacency_requests);
+            EXPECT_LE(on.fetch.facility_requests,
+                      off.fetch.facility_requests);
+            total_cut += pruned;
+          } else {
+            // Dormant legs: the index must be invisible to the schedule,
+            // not merely harmless to the results.
+            EXPECT_EQ(pruned, 0u);
+            EXPECT_EQ(on.fetch.adjacency_requests,
+                      off.fetch.adjacency_requests);
+            EXPECT_EQ(on.fetch.facility_requests,
+                      off.fetch.facility_requests);
+          }
+        }
+      }
+
+      // The turn schedule ignores the oracle by design (it would change
+      // the deterministic event order): parallelism 1 with the index on
+      // must replay the index-off turn schedule byte for byte.
+      {
+        SCOPED_TRACE("turn-mode d=" + std::to_string(d) + " q=" +
+                     q.ToString() + " | " + ReseedHint());
+        auto executor = exec::ExpansionExecutor::Create(
+                            &instance->disk, instance->files, /*parallelism=*/1,
+                            instance->pool->capacity())
+                            .value();
+        std::vector<Capture> runs;
+        for (net::LandmarkIndexReader* idx :
+             {static_cast<net::LandmarkIndexReader*>(nullptr), index}) {
+          executor->ResetIoState();
+          auto rig = executor->NewQuery(q).value();
+          QueryOptions exec_opts;
+          exec_opts.parallelism = 1;
+          exec_opts.scheduler = rig.scheduler.get();
+          exec_opts.landmark_index = idx;
+          runs.push_back(RunOne(Algo::kSkyline, rig.engine.get(), exec_opts,
+                                ProbePolicy::kRoundRobin, f, k));
+          EXPECT_EQ(nodes_pruned(rig.engine.get()), 0u);
+        }
+        EXPECT_EQ(runs[0].hash, runs[1].hash);
+        EXPECT_EQ(runs[0].ids, runs[1].ids);
+        EXPECT_EQ(runs[0].fetch.adjacency_requests,
+                  runs[1].fetch.adjacency_requests);
+        EXPECT_EQ(runs[0].fetch.facility_requests,
+                  runs[1].fetch.facility_requests);
+      }
+    }
+  }
+  // The sweep as a whole must exercise the prune path for real.
+  EXPECT_GT(total_cut, 0u);
 }
 
 }  // namespace

@@ -8,7 +8,7 @@
 #   cmake --build build -j --target bench_fig08a_skyline_facilities \
 #       bench_fig10a_topk_facilities bench_service_throughput \
 #       bench_parallel_expansion bench_shard_scaling bench_wire_throughput \
-#       bench_fault_recovery
+#       bench_fault_recovery bench_prune_index
 #   tools/regen_bench.sh [output=BENCH_current.json]
 #
 # Diff against the tracked baseline with:
@@ -30,12 +30,13 @@ benches=(
   bench_shard_scaling
   bench_wire_throughput
   bench_fault_recovery
+  bench_prune_index
 )
 
 # One entry per bench above: the figure-title substring the merged JSON
 # must contain. Keeps a gate-aborted bench (set -e stops before the merge,
 # or a stale output file survives) from silently shipping as "regenerated".
-required_figs="Figure 8(a),Figure 10(a),Service throughput,Parallel d-expansion,Shard scaling,Wire throughput,Fault recovery"
+required_figs="Figure 8(a),Figure 10(a),Service throughput,Parallel d-expansion,Shard scaling,Wire throughput,Fault recovery,Prune index"
 
 for bench in "${benches[@]}"; do
   echo "== $bench =="
