@@ -24,6 +24,15 @@
 //   MCN_SERVICE_STALL_US     slept stall per miss, in us  (default 20;
 //                            modeled_seconds still uses MCN_IO_LATENCY_MS)
 //   MCN_SERVICE_MIN_SPEEDUP  abort threshold, 0 disables  (default 2.5)
+//
+// A second figure ("Service result cache", DESIGN.md §13) replays a
+// Zipf-skewed stream of repeated queries (MCN_SERVICE_CACHE_REQUESTS,
+// default 192, over ~16 distinct locations) twice — result cache off vs
+// on (64 entries) — at 4 workers with the same slept stalls. Every
+// response hash is checked against the single-threaded reference; the run
+// aborts on any mismatch and fails when the cached QPS is below
+// MCN_SERVICE_CACHE_MIN_SPEEDUP (default 2.0) x the uncached QPS.
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -157,6 +166,89 @@ void CheckParity(const char* engine, int workers, const Reference& ref,
   }
 }
 
+// One leg of the result-cache figure: serves `order` (indexes into
+// `distinct`) through a 4-worker service after a one-pass warmup, checks
+// every response hash against the reference, and measures replay QPS.
+ServiceRun RunCacheLeg(gen::Instance& instance, size_t cache_entries,
+                       double stall_us, const BenchEnv& env,
+                       const std::vector<graph::Location>& distinct,
+                       const std::vector<size_t>& order,
+                       const Reference& ref) {
+  exec::ServiceOptions opts;
+  opts.num_workers = 4;
+  opts.queue_capacity = order.size() + distinct.size() + 1;
+  opts.pool_frames_per_worker = instance.pool->capacity();
+  opts.io_latency_ms = stall_us / 1000.0;
+  opts.simulate_io_stalls = stall_us > 0;
+  opts.result_cache_entries = cache_entries;
+  auto service =
+      exec::QueryService::Create(&instance.disk, instance.files, opts);
+  MCN_CHECK(service.ok());
+
+  auto submit = [&](const graph::Location& loc) {
+    api::QuerySpec spec;
+    spec.kind = exec::QueryKind::kSkyline;
+    spec.engine = expand::EngineKind::kCea;
+    spec.location = loc;
+    return (*service)->Submit(std::move(spec));
+  };
+
+  // Warmup pass: each distinct query once, so the cached leg measures
+  // steady-state hits (the uncached leg pays the same pass for fairness).
+  std::vector<std::future<exec::QueryResult>> warm;
+  warm.reserve(distinct.size());
+  for (const graph::Location& loc : distinct) warm.push_back(submit(loc));
+  for (size_t i = 0; i < warm.size(); ++i) {
+    exec::QueryResult result = warm[i].get();
+    MCN_CHECK(result.status.ok());
+    MCN_CHECK(result.result_hash == ref.hashes[i]);
+  }
+  (*service)->Drain();
+
+  std::vector<std::future<exec::QueryResult>> futures;
+  futures.reserve(order.size());
+  Stopwatch wall;
+  for (size_t idx : order) futures.push_back(submit(distinct[idx]));
+
+  ServiceRun run;
+  run.metrics.queries = static_cast<int>(order.size());
+  for (size_t i = 0; i < futures.size(); ++i) {
+    exec::QueryResult result = futures[i].get();
+    MCN_CHECK(result.status.ok());
+    if (result.result_hash != ref.hashes[order[i]]) {
+      std::fprintf(stderr,
+                   "PARITY FAILURE: cache=%zu request %zu hash %016" PRIx64
+                   " != single-threaded %016" PRIx64 "\n",
+                   cache_entries, i, result.result_hash,
+                   ref.hashes[order[i]]);
+      std::abort();
+    }
+    run.metrics.result_hash =
+        algo::FnvMixU64(run.metrics.result_hash, result.result_hash);
+    run.metrics.result_size += static_cast<double>(result.skyline.size());
+    run.metrics.cpu_seconds += result.stats.exec_seconds;
+    // Cache hits return sanitized stats (zero misses): the aggregate
+    // counts only the work actually executed during the replay.
+    run.metrics.buffer_misses += result.stats.buffer_misses;
+    run.metrics.buffer_accesses += result.stats.buffer_accesses;
+    run.metrics.modeled_seconds +=
+        result.stats.exec_seconds +
+        static_cast<double>(result.stats.buffer_misses) *
+            env.io_latency_ms / 1000.0;
+  }
+  double wall_seconds = wall.ElapsedSeconds();
+  run.metrics.result_size /= static_cast<double>(order.size());
+  run.metrics.qps = static_cast<double>(order.size()) / wall_seconds;
+
+  exec::ServiceStats stats = (*service)->Snapshot();
+  run.metrics.latency_p50_ms = stats.latency_p50_ms;
+  run.metrics.latency_p95_ms = stats.latency_p95_ms;
+  run.metrics.latency_p99_ms = stats.latency_p99_ms;
+  run.snapshot = (*service)->MetricsSnapshot();
+  (*service)->Shutdown();
+  return run;
+}
+
 int Main() {
   BenchEnv env = BenchEnv::FromEnvironment();
   const int num_requests =
@@ -239,6 +331,83 @@ int Main() {
                  "FAILURE: 4-worker QPS speedup below %.2fx "
                  "(MCN_SERVICE_MIN_SPEEDUP)\n",
                  min_speedup);
+    return 1;
+  }
+
+  // ---- Result-cache figure (DESIGN.md §13) ----
+  const int cache_requests =
+      static_cast<int>(EnvDouble("MCN_SERVICE_CACHE_REQUESTS", 192));
+  const double cache_min_speedup =
+      EnvDouble("MCN_SERVICE_CACHE_MIN_SPEEDUP", 2.0);
+  MCN_CHECK(cache_requests > 0);
+  const size_t num_distinct =
+      std::min<size_t>(16, locations.size());
+  std::vector<graph::Location> distinct(locations.begin(),
+                                        locations.begin() + num_distinct);
+  Reference ref_distinct;
+  ref_distinct.hashes.assign(ref_cea.hashes.begin(),
+                             ref_cea.hashes.begin() + num_distinct);
+
+  // Zipf(1) popularity over the distinct queries: rank r drawn with
+  // weight 1/(r+1) — the repeat-heavy stream result sharing exists for.
+  std::vector<double> cumulative(num_distinct);
+  double mass = 0;
+  for (size_t r = 0; r < num_distinct; ++r) {
+    mass += 1.0 / static_cast<double>(r + 1);
+    cumulative[r] = mass;
+  }
+  Random zipf_rng(4051);
+  std::vector<size_t> order;
+  order.reserve(static_cast<size_t>(cache_requests));
+  for (int i = 0; i < cache_requests; ++i) {
+    const double u = zipf_rng.NextDouble() * mass;
+    size_t rank = 0;
+    while (rank + 1 < num_distinct && cumulative[rank] < u) ++rank;
+    order.push_back(rank);
+  }
+
+  PrintHeader(
+      "Service result cache: Zipf repeat QPS, off vs on (fig. 8(a) base)",
+      "cache", scaled, env);
+  std::printf(
+      "replay=%d requests over %zu distinct queries, 4 workers "
+      "(MCN_SERVICE_CACHE_REQUESTS)\n",
+      cache_requests, num_distinct);
+  ServiceRun off = RunCacheLeg(**instance, /*cache_entries=*/0, stall_us,
+                               env, distinct, order, ref_distinct);
+  AlgoComparison c_off;
+  c_off.cea = off.metrics;
+  SetNextRowMeta("serial", "memory");
+  PrintRow("off", c_off, off.snapshot);
+  ServiceRun on = RunCacheLeg(**instance, /*cache_entries=*/64, stall_us,
+                              env, distinct, order, ref_distinct);
+  exec::ServiceStats on_stats = exec::ServiceStatsFromSnapshot(on.snapshot);
+  AlgoComparison c_on;
+  c_on.cea = on.metrics;
+  SetNextRowMeta("serial", "memory");
+  PrintRow("on", c_on, on.snapshot);
+  std::printf(
+      "    cache: %" PRIu64 " hits, %" PRIu64 " misses, %" PRIu64
+      " coalesced | CEA off %7.2f qps -> on %7.2f qps\n",
+      on_stats.cache_hits, on_stats.cache_misses, on_stats.cache_coalesced,
+      off.metrics.qps, on.metrics.qps);
+  PrintFooter();
+
+  const double cache_speedup =
+      off.metrics.qps > 0 ? on.metrics.qps / off.metrics.qps : 0;
+  std::printf(
+      "every replayed response hash identical to single-threaded "
+      "execution; cached QPS gain: %.2fx\n",
+      cache_speedup);
+  if (on_stats.cache_hits == 0) {
+    std::fprintf(stderr, "FAILURE: cached leg served no hits\n");
+    return 1;
+  }
+  if (cache_min_speedup > 0 && cache_speedup < cache_min_speedup) {
+    std::fprintf(stderr,
+                 "FAILURE: cached QPS gain %.2fx below %.2fx "
+                 "(MCN_SERVICE_CACHE_MIN_SPEEDUP)\n",
+                 cache_speedup, cache_min_speedup);
     return 1;
   }
   return 0;

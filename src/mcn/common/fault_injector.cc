@@ -89,6 +89,8 @@ Result<FaultInjector::Options> FaultInjector::ParseSpec(
       uint64_t v = 0;
       MCN_RETURN_IF_ERROR(ParseU64(key, val, &v));
       o.recv_delay_us = static_cast<int>(v);
+    } else if (key == "file_eio") {
+      MCN_RETURN_IF_ERROR(ParseProb(key, val, &o.file_eio));
     } else {
       return Status::InvalidArgument("fault spec: unknown key '" + key + "'");
     }
@@ -123,6 +125,15 @@ Status FaultInjector::OnDiskRead() {
   if (Draw(opts_.disk_eio)) {
     injected_.fetch_add(1, std::memory_order_relaxed);
     return Status::IOError("injected disk EIO");
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::OnFileRead() {
+  if (!enabled()) return Status::OK();
+  if (Draw(opts_.file_eio)) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::IOError("injected file-backend EIO");
   }
   return Status::OK();
 }

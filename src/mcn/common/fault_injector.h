@@ -46,6 +46,7 @@ class FaultInjector {
     double recv_eio = 0.0;      ///< RecvFramePayload fails with IOError
     double recv_delay = 0.0;    ///< RecvFramePayload sleeps first
     int recv_delay_us = 200;
+    double file_eio = 0.0;      ///< file-backend batched read fails (EIO)
   };
 
   /// Parses "key=value,key=value" with the keys named in Options
@@ -83,6 +84,13 @@ class FaultInjector {
   /// Consulted by DiskManager read paths. Returns non-OK to inject a fault
   /// (after any injected delay has been slept here).
   Status OnDiskRead();
+
+  /// Consulted per page by the file-backed batched read path
+  /// (DiskManager::ReadPagesBatch over a FileIoBackend), before any
+  /// physical read or counter tick — the io_uring/preadv analog of
+  /// OnDiskRead, keyed separately so chaos specs can storm one seam
+  /// without the other.
+  Status OnFileRead();
 
   struct SendFault {
     enum Kind { kNone, kEio, kTorn };

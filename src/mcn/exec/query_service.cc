@@ -12,8 +12,19 @@
 #include "mcn/api/wire.h"
 #include "mcn/common/macros.h"
 #include "mcn/exec/affinity.h"
+#include "mcn/exec/result_cache.h"
 
 namespace mcn::exec {
+
+const char* StallModelName(StallModel model) {
+  switch (model) {
+    case StallModel::kSerial:
+      return "serial";
+    case StallModel::kOverlapped:
+      return "overlapped";
+  }
+  return "unknown";
+}
 
 namespace {
 
@@ -154,6 +165,10 @@ QueryService::QueryService(storage::DiskManager* disk,
   metrics_.buffer_accesses = registry_.GetCounter(mn::kBufferAccesses);
   metrics_.prune_checked = registry_.GetCounter(mn::kPruneChecked);
   metrics_.prune_cut = registry_.GetCounter(mn::kPruneCut);
+  metrics_.cache_hit = registry_.GetCounter(mn::kCacheHit);
+  metrics_.cache_miss = registry_.GetCounter(mn::kCacheMiss);
+  metrics_.cache_coalesced = registry_.GetCounter(mn::kCacheCoalesced);
+  metrics_.overlapped_misses = registry_.GetCounter(mn::kOverlappedMisses);
   metrics_.cpu_micros = registry_.GetCounter(mn::kCpuMicros);
   metrics_.stall_micros = registry_.GetCounter(mn::kStallMicros);
   metrics_.queue_micros = registry_.GetCounter(mn::kQueueMicros);
@@ -179,6 +194,9 @@ QueryService::QueryService(storage::DiskManager* disk,
       MCN_CHECK(worker->landmark->Validate().ok());
     }
     workers_.push_back(std::move(worker));
+  }
+  if (opts_.result_cache_entries > 0) {
+    result_cache_ = std::make_unique<ResultCache>(opts_.result_cache_entries);
   }
   // Freeze the shared storage read-only for the service's lifetime; the
   // storage layer DCHECKs any mutation from here on (DESIGN.md §6).
@@ -230,6 +248,9 @@ void QueryService::StartGroups() {
           QueryResult discarded;
           discarded.status = Status::FailedPrecondition(
               "query discarded by non-draining shutdown");
+          // A flighted task that never runs must still settle its
+          // coalesced waiters (shared fate, never a hang).
+          AbandonCacheFlight(task, discarded.status);
           task.promise.set_value(std::move(discarded));
         });
   }
@@ -272,6 +293,17 @@ int QueryService::RouteGroupIndex(const graph::Location& location) const {
   return static_cast<int>(s % groups_.size());
 }
 
+void QueryService::AbandonCacheFlight(Task& task, const Status& status) {
+  if (task.cache_flight == nullptr) return;
+  MCN_DCHECK(result_cache_ != nullptr);
+  QueryResult failed;
+  failed.status = status;
+  failed.result_hash = algo::kFnvOffsetBasis;
+  result_cache_->Complete(task.cache_flight, task.cache_key,
+                          task.cache_epoch, failed);
+  task.cache_flight = nullptr;
+}
+
 std::future<QueryResult> QueryService::Enqueue(Task&& task, Group& group) {
   std::future<QueryResult> future = task.promise.get_future();
   if (opts_.max_inflight > 0) {
@@ -286,9 +318,11 @@ std::future<QueryResult> QueryService::Enqueue(Task&& task, Group& group) {
         task.session->inflight.fetch_sub(1, std::memory_order_acq_rel);
       }
       metrics_.rejected->Add(1);
-      return ReadyFailure(Status::ResourceExhausted(
+      Status shed = Status::ResourceExhausted(
           "QueryService: group over max_inflight (" +
-          std::to_string(opts_.max_inflight) + "), load shed"));
+          std::to_string(opts_.max_inflight) + "), load shed");
+      AbandonCacheFlight(task, shed);
+      return ReadyFailure(std::move(shed));
     }
     const auto outcome = group.pool->TrySubmit(std::move(task));
     if (outcome == ThreadPool<Task>::TryResult::kAccepted) return future;
@@ -300,11 +334,14 @@ std::future<QueryResult> QueryService::Enqueue(Task&& task, Group& group) {
     }
     if (outcome == ThreadPool<Task>::TryResult::kFull) {
       metrics_.rejected->Add(1);
-      return ReadyFailure(Status::ResourceExhausted(
-          "QueryService: group queue full, load shed"));
+      Status shed = Status::ResourceExhausted(
+          "QueryService: group queue full, load shed");
+      AbandonCacheFlight(task, shed);
+      return ReadyFailure(std::move(shed));
     }
-    return ReadyFailure(
-        Status::FailedPrecondition("QueryService is shut down"));
+    Status down = Status::FailedPrecondition("QueryService is shut down");
+    AbandonCacheFlight(task, down);
+    return ReadyFailure(std::move(down));
   }
   if (!group.pool->Submit(std::move(task))) {
     // Shutdown already began: Submit did not consume the task, so a
@@ -313,10 +350,30 @@ std::future<QueryResult> QueryService::Enqueue(Task&& task, Group& group) {
     if (task.session != nullptr) {
       task.session->inflight.fetch_sub(1, std::memory_order_acq_rel);
     }
-    return ReadyFailure(
-        Status::FailedPrecondition("QueryService is shut down"));
+    Status down = Status::FailedPrecondition("QueryService is shut down");
+    AbandonCacheFlight(task, down);
+    return ReadyFailure(std::move(down));
   }
   return future;
+}
+
+std::string QueryService::CanonicalCacheKey(const api::QuerySpec& spec,
+                                            uint64_t epoch) {
+  // The canonical kExecute wire frame of the spec with execution-strategy
+  // fields normalized away: the determinism contract (DESIGN.md §7) makes
+  // results byte-identical across engine flavor and parallelism, and a
+  // deadline changes when a query fails, never what it returns.
+  api::WireRequest request;
+  request.type = api::MsgType::kExecute;
+  request.spec = spec;
+  request.spec.engine = expand::EngineKind::kCea;
+  request.spec.parallelism = 0;
+  request.spec.deadline_ms = 0;
+  std::string key = api::EncodeRequestFrame(request);
+  for (int shift = 0; shift < 64; shift += 8) {
+    key.push_back(static_cast<char>((epoch >> shift) & 0xff));
+  }
+  return key;
 }
 
 std::future<QueryResult> QueryService::Submit(api::QuerySpec spec) {
@@ -338,6 +395,33 @@ std::future<QueryResult> QueryService::Submit(api::QuerySpec spec) {
         task.enqueue_time + std::chrono::milliseconds(spec.deadline_ms);
   }
   task.spec = std::move(spec);
+  if (result_cache_ != nullptr) {
+    // Cross-query sharing (DESIGN.md §13). Hits and coalesced waiters
+    // resolve without entering a queue (and without counting in
+    // completed/failed — like rejected, they were never admitted); a miss
+    // rides the task as the single-flight owner.
+    const uint64_t epoch = network_epoch();
+    std::string key = CanonicalCacheKey(task.spec, epoch);
+    ResultCache::Lookup lookup = result_cache_->Acquire(key, epoch);
+    switch (lookup.outcome) {
+      case ResultCache::Lookup::Outcome::kHit: {
+        metrics_.cache_hit->Add(1);
+        std::promise<QueryResult> ready;
+        std::future<QueryResult> future = ready.get_future();
+        ready.set_value(std::move(lookup.cached));
+        return future;
+      }
+      case ResultCache::Lookup::Outcome::kCoalesced:
+        metrics_.cache_coalesced->Add(1);
+        return std::move(lookup.future);
+      case ResultCache::Lookup::Outcome::kMiss:
+        metrics_.cache_miss->Add(1);
+        task.cache_flight = std::move(lookup.flight);
+        task.cache_key = std::move(key);
+        task.cache_epoch = epoch;
+        break;
+    }
+  }
   return Enqueue(std::move(task), group);
 }
 
@@ -521,17 +605,32 @@ void QueryService::Execute(Task&& task, Group& group, int local_worker) {
   result.stats.worker = worker_index;
   result.stats.shard =
       sharded() ? static_cast<int>(group.shard) : -1;
-  result.stats.queue_seconds =
-      SecondsSince(task.enqueue_time) - result.stats.exec_seconds;
+  // exec_seconds excludes any stall already slept at turn barriers, so
+  // subtract both shares or the queue wait would absorb the slept time.
+  result.stats.queue_seconds = SecondsSince(task.enqueue_time) -
+                               result.stats.exec_seconds -
+                               result.stats.stall_slept_seconds;
+  // Modeled I/O charge per the query's effective stall model (DESIGN.md
+  // §13): the serial per-miss sum, or the overlapped per-turn-max charge
+  // RunQuery computed for turn-mode queries.
+  const bool overlapped =
+      result.stats.stall_model == StallModel::kOverlapped;
   result.stats.stall_seconds =
-      static_cast<double>(result.stats.buffer_misses) * opts_.io_latency_ms /
-      1000.0;
-  if (opts_.simulate_io_stalls && result.stats.stall_seconds > 0) {
-    const auto stall_start = std::chrono::steady_clock::now();
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(result.stats.stall_seconds));
-    obs::RecordSpanSince(task.trace, obs::EventType::kStall, stall_start,
-                         result.stats.buffer_misses);
+      static_cast<double>(overlapped ? result.stats.overlapped_misses
+                                     : result.stats.buffer_misses) *
+      opts_.io_latency_ms / 1000.0;
+  if (opts_.simulate_io_stalls) {
+    // The overlapped model already slept per turn at the barriers; only
+    // the residual (serial-charged seeding misses, rounding) is left.
+    const double residual =
+        result.stats.stall_seconds - result.stats.stall_slept_seconds;
+    if (residual > 0) {
+      const auto stall_start = std::chrono::steady_clock::now();
+      std::this_thread::sleep_for(std::chrono::duration<double>(residual));
+      obs::RecordSpanSince(task.trace, obs::EventType::kStall, stall_start,
+                           overlapped ? result.stats.overlapped_misses
+                                      : result.stats.buffer_misses);
+    }
   }
   result.stats.latency_seconds = SecondsSince(task.enqueue_time);
   // The whole-request span, admission -> completion (encloses the queue
@@ -557,6 +656,9 @@ void QueryService::Execute(Task&& task, Group& group, int local_worker) {
       static_cast<uint64_t>(result.stats.latency_seconds * 1e6), slot);
   metrics_.buffer_misses->Add(result.stats.buffer_misses, slot);
   metrics_.buffer_accesses->Add(result.stats.buffer_accesses, slot);
+  if (overlapped) {
+    metrics_.overlapped_misses->Add(result.stats.overlapped_misses, slot);
+  }
   if (result.stats.prune_checked > 0) {
     metrics_.prune_checked->Add(result.stats.prune_checked, slot);
     metrics_.prune_cut->Add(result.stats.prune_cut, slot);
@@ -613,6 +715,13 @@ void QueryService::Execute(Task&& task, Group& group, int local_worker) {
       task.session->last_used = std::chrono::steady_clock::now();
     }
     task.session->inflight.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  if (task.cache_flight != nullptr) {
+    // Publish before resolving the owner's promise: waiters and the store
+    // are settled by the time any client sees the result. Failures (and
+    // stale epochs) are not stored; waiters share the flight's fate.
+    result_cache_->Complete(task.cache_flight, task.cache_key,
+                            task.cache_epoch, result);
   }
   task.promise.set_value(std::move(result));
   if (opts_.max_inflight > 0) {
@@ -792,6 +901,57 @@ QueryResult QueryService::RunQuery(const api::QuerySpec& spec,
     }
     engine_holder = std::move(engine_or).value();
   }
+  // Turn-level overlapped I/O (DESIGN.md §13): arm the scheduler to
+  // sample per-probe miss deltas — and optionally sleep the turn's max at
+  // the barrier and/or replay the turn's misses as one batched read.
+  if (scheduler != nullptr &&
+      (opts_.stall_model == StallModel::kOverlapped ||
+       opts_.replay_batch_io)) {
+    expand::ParallelProbeScheduler::TurnIoOptions io;
+    if (pooled) {
+      ExpansionExecutor* rig = worker.expansion.get();
+      io.slot_misses = [rig](int reader_slot) {
+        return rig->readers()[static_cast<size_t>(reader_slot)]
+            ->PoolStats()
+            .misses;
+      };
+    } else {
+      net::NetworkReader* reader = worker.reader.get();
+      io.slot_misses = [reader](int) { return reader->PoolStats().misses; };
+    }
+    if (opts_.stall_model == StallModel::kOverlapped &&
+        opts_.simulate_io_stalls) {
+      io.sleep_latency_ms = opts_.io_latency_ms;
+    }
+    if (opts_.replay_batch_io && !sharded() &&
+        disk_->io_backend() != storage::IoBackendKind::kMemory) {
+      // Physical replay is flat + file-backed only: sharded disks have no
+      // image, and a memory backend would make the replay a pure memcpy
+      // exercise. Pools log their missed PageIds; the barrier drains the
+      // logs into one ReadPagesBatch. Stale entries from a previous query
+      // are drained away before arming.
+      std::vector<storage::BufferPool*> pools;
+      if (pooled) {
+        for (const auto& slot_reader : worker.expansion->readers()) {
+          pools.push_back(slot_reader->pool());
+        }
+      } else {
+        pools.push_back(worker.pool.get());
+      }
+      for (storage::BufferPool* pool : pools) {
+        pool->set_record_misses(true);
+        (void)pool->DrainMissedPages();
+      }
+      io.drain_missed = [pools](std::vector<storage::PageId>* out) {
+        for (storage::BufferPool* pool : pools) {
+          std::vector<storage::PageId> drained = pool->DrainMissedPages();
+          out->insert(out->end(), drained.begin(), drained.end());
+        }
+      };
+      io.batch_disk = disk_;
+    }
+    scheduler->SetTurnIo(std::move(io));
+  }
   expand::NnEngine* engine = engine_holder.get();
   // Cooperative cancellation: the expansions check the token per settle,
   // the turn scheduler at every barrier. Engine and token die with this
@@ -871,6 +1031,24 @@ QueryResult QueryService::RunQuery(const api::QuerySpec& spec,
   result.stats.buffer_misses = after.misses - before.misses;
   result.stats.buffer_accesses = after.accesses() - before.accesses();
 
+  if (scheduler != nullptr && opts_.stall_model == StallModel::kOverlapped) {
+    // Overlapped charge = the scheduler's per-turn max sum, plus the
+    // serial residue: misses outside any probe (engine seeding), which
+    // nothing overlapped.
+    const expand::ParallelProbeScheduler::Stats& turns = scheduler->stats();
+    const uint64_t residue =
+        result.stats.buffer_misses > turns.probe_misses
+            ? result.stats.buffer_misses - turns.probe_misses
+            : 0;
+    result.stats.stall_model = StallModel::kOverlapped;
+    result.stats.overlapped_misses = turns.overlapped_misses + residue;
+    result.stats.stall_slept_seconds = turns.slept_seconds;
+    // The watch ran through the barrier sleeps; keep exec_seconds pure
+    // compute like the serial model's (whose stall is slept outside it).
+    result.stats.exec_seconds =
+        std::max(0.0, result.stats.exec_seconds - turns.slept_seconds);
+  }
+
   // Hashed outside the measured window, like the bench harness; the hash
   // covers exactly the rows the client receives (post-constraint).
   result.result_hash = spec.kind == QueryKind::kSkyline
@@ -920,15 +1098,33 @@ obs::Snapshot QueryService::MetricsSnapshot() const {
       sharded() ? storage_->MergedStats() : disk_->stats();
   snap.AddCounter(mn::kDiskPageReads, disk_io.page_reads);
   snap.AddCounter(mn::kDiskPageWrites, disk_io.page_writes);
+  // Batched-read slice (DESIGN.md §13): zero rows until a turn replay or
+  // an explicit ReadPagesBatch touches the disk, so the introspection
+  // surface is stable either way.
+  snap.AddCounter(mn::kIoBatchReads, disk_io.batch_reads);
+  snap.AddCounter(mn::kIoBatchPages, disk_io.batch_pages);
+  snap.AddCounter(mn::kIoBatchMaxPages, disk_io.batch_max_pages);
   for (const auto& file : disk_io.per_file_reads) {
     snap.AddCounter("mcn.disk.file." + file.name + ".reads", file.reads);
   }
+  if (result_cache_ != nullptr) {
+    const ResultCache::Stats cache = result_cache_->stats();
+    snap.AddCounter(mn::kCacheEvictions, cache.evictions);
+    snap.SetGauge(mn::kCacheEntries, static_cast<double>(cache.entries));
+  }
+  snap.SetGauge(mn::kNetworkEpoch, static_cast<double>(network_epoch()));
   snap.SetGauge(mn::kOpenSessions,
                 static_cast<double>(num_open_sessions()));
   snap.SetGauge(mn::kWallSeconds, uptime_.ElapsedSeconds());
   snap.SetGauge(mn::kNumShards,
                 sharded() ? static_cast<double>(storage_->num_shards()) : 0);
   return snap;
+}
+
+void QueryService::BumpNetworkEpoch() {
+  const uint64_t next =
+      network_epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (result_cache_ != nullptr) result_cache_->InvalidateAll(next);
 }
 
 ServiceStats QueryService::Snapshot() const {

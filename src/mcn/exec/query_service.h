@@ -50,6 +50,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -79,9 +80,29 @@
 
 namespace mcn::exec {
 
+class ResultCache;    // exec/result_cache.h
+struct ResultFlight;  // exec/result_cache.h
+
 /// The canonical kind enum lives in the api layer; exec re-exports it so
 /// existing exec::QueryKind::kSkyline spellings keep working.
 using QueryKind = api::QueryKind;
+
+/// How a query's modeled I/O stall is charged (DESIGN.md §13).
+///
+/// kSerial is the classic model: every buffer miss costs one io_latency,
+/// so stall = misses x latency — the schedule where each fetch waits for
+/// the previous one. kOverlapped models a turn's misses as issued
+/// together (one batched read per barrier): each turn costs only its
+/// *maximum* per-probe miss delta, so stall = sum over turns of
+/// max(probe miss deltas) x latency, plus the serial residue of misses
+/// outside any probe (engine seeding). The overlapped model applies to
+/// turn-mode requests (QuerySpec::parallelism >= 1); classic serial-path
+/// queries fall back to kSerial charging regardless of the option.
+enum class StallModel {
+  kSerial = 0,
+  kOverlapped,
+};
+const char* StallModelName(StallModel model);  ///< "serial"/"overlapped"
 
 /// Streaming-session handle (see OpenSession). Ids are service-scoped and
 /// never reused.
@@ -120,7 +141,24 @@ struct QueryStats {
   int shard = -1;            ///< executing group's home shard (-1 = flat)
   double queue_seconds = 0;  ///< submit -> start of execution
   double exec_seconds = 0;   ///< engine construction + query computation
-  double stall_seconds = 0;  ///< modeled I/O: misses x io_latency_ms
+  /// Modeled I/O time, charged under `stall_model`: misses x
+  /// io_latency_ms for StallModel::kSerial, overlapped_misses x
+  /// io_latency_ms for StallModel::kOverlapped (per-turn max instead of
+  /// per-miss sum — see the enum).
+  double stall_seconds = 0;
+  /// The model that produced stall_seconds for *this* query: the
+  /// service's configured model, downgraded to kSerial on classic
+  /// serial-path requests (parallelism 0), where no turn structure exists
+  /// to overlap.
+  StallModel stall_model = StallModel::kSerial;
+  /// Overlapped charge units (kOverlapped only): sum over turns of the
+  /// max per-probe miss delta, plus misses outside any probe (engine
+  /// seeding), which stay serial.
+  uint64_t overlapped_misses = 0;
+  /// Portion of stall_seconds already slept at turn barriers
+  /// (simulate_io_stalls + kOverlapped); the executor sleeps only the
+  /// residual after the query returns.
+  double stall_slept_seconds = 0;
   /// Full request latency: queue wait + execution + stall (the stall is
   /// slept for real when ServiceOptions::simulate_io_stalls is set,
   /// otherwise only accounted).
@@ -176,6 +214,27 @@ struct ServiceOptions {
   /// Sleep each query's modeled stall for real, so wall-clock throughput
   /// reflects overlapped I/O. Keep off for pure-CPU tests.
   bool simulate_io_stalls = false;
+  /// Which stall model charges modeled I/O time (DESIGN.md §13). With
+  /// kOverlapped, turn-mode queries charge each turn's max per-probe miss
+  /// delta instead of the per-miss sum, and simulate_io_stalls sleeps
+  /// per turn at the barrier (the residual — seeding misses charged
+  /// serially — is slept after the query). kSerial keeps every query
+  /// byte-stable with the pre-§13 behavior.
+  StallModel stall_model = StallModel::kSerial;
+  /// Physically replay each turn's drained buffer misses as one
+  /// DiskManager::ReadPagesBatch (kIoBatch trace span; mcn.io.batch_*
+  /// counters). Effective only on flat services whose disk has a file
+  /// backend attached (DiskManager::AttachFileBackend) — otherwise a
+  /// silent no-op. Replayed pages double-count in mcn.disk.page_reads
+  /// next to the pool's logical fetches; the batch_* counters isolate
+  /// the batched share.
+  bool replay_batch_io = false;
+  /// Cross-query result sharing (DESIGN.md §13): > 0 bounds an LRU cache
+  /// of finished one-shot results keyed by canonical spec + network
+  /// epoch, with single-flight coalescing of concurrent identical
+  /// requests. 0 disables caching entirely (byte-stable default).
+  /// Sessions always bypass the cache.
+  size_t result_cache_entries = 0;
   /// Clear + reset the worker's pools before each query (the paper's
   /// independent-query model; also what makes per-query miss counts
   /// deterministic across worker counts). When false, a worker's pools
@@ -324,6 +383,24 @@ class QueryService {
   size_t num_open_sessions() const;
   const ServiceOptions& options() const { return opts_; }
 
+  /// Cross-query sharing epoch (DESIGN.md §13). Bumping invalidates every
+  /// cached result — the seam to call when the served network changes
+  /// under a future online-update path. In-flight queries resolve
+  /// normally; their results are just not stored. No-op counter-wise when
+  /// result_cache_entries is 0 (the epoch still advances).
+  void BumpNetworkEpoch();
+  uint64_t network_epoch() const {
+    return network_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// The result cache's key for `spec` under `epoch`: the canonical
+  /// kExecute wire frame of the spec with execution-strategy fields
+  /// (engine, parallelism, deadline) normalized away — the determinism
+  /// contract makes results identical across those — plus the epoch.
+  /// Exposed for tests.
+  static std::string CanonicalCacheKey(const api::QuerySpec& spec,
+                                       uint64_t epoch);
+
  private:
   /// One pinned incremental stream (DESIGN.md §9): its own reader/pool
   /// set and iterator, warm across batches, confined to one batch at a
@@ -363,6 +440,13 @@ class QueryService {
     /// Trace identity stamped at admission (inactive when tracing is off);
     /// the executing worker installs it thread-locally for the query.
     obs::TraceContext trace;
+    /// Result-cache single-flight token (DESIGN.md §13): non-null on the
+    /// one task computing a cache key. Whoever finishes the task — the
+    /// executor, the discard handler, or an admission-failure path — must
+    /// Complete the flight or coalesced waiters hang.
+    std::shared_ptr<ResultFlight> cache_flight;
+    std::string cache_key;
+    uint64_t cache_epoch = 0;
   };
 
   /// Per-worker shard: reader (owning its pool set) confined to one worker
@@ -402,6 +486,10 @@ class QueryService {
     obs::Counter* buffer_accesses = nullptr;
     obs::Counter* prune_checked = nullptr;
     obs::Counter* prune_cut = nullptr;
+    obs::Counter* cache_hit = nullptr;
+    obs::Counter* cache_miss = nullptr;
+    obs::Counter* cache_coalesced = nullptr;
+    obs::Counter* overlapped_misses = nullptr;
     obs::Counter* cpu_micros = nullptr;
     obs::Counter* stall_micros = nullptr;
     obs::Counter* queue_micros = nullptr;
@@ -442,6 +530,11 @@ class QueryService {
   /// the service is shut down.
   std::future<QueryResult> Enqueue(Task&& task, Group& group);
 
+  /// Settles a task's cache flight with a failure (waiters share the
+  /// fate); no-op when the task carries none. Every path that resolves a
+  /// flighted task without executing it must call this.
+  void AbandonCacheFlight(Task& task, const Status& status);
+
   void Execute(Task&& task, Group& group, int local_worker);
   /// Runs the query on `worker`'s shard; fills everything but the latency
   /// fields of the result stats. `cancel` (nullable) is checked
@@ -470,6 +563,10 @@ class QueryService {
   std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_;
   SessionId next_session_id_ = 1;
   Stopwatch uptime_;
+  /// Cross-query result cache (null unless result_cache_entries > 0) and
+  /// the epoch its keys carry (DESIGN.md §13).
+  std::unique_ptr<ResultCache> result_cache_;
+  std::atomic<uint64_t> network_epoch_{0};
   bool shut_down_ = false;
   /// Service-scoped instrument registry (per-instance so tests and
   /// side-by-side services never double-count), sized one slot per worker.

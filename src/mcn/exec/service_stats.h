@@ -70,6 +70,19 @@ struct ServiceStats {
   /// adjacency probe. Zero unless ServiceOptions::enable_prune_index.
   uint64_t prune_checked = 0;
   uint64_t prune_cut = 0;
+  /// Result-cache slice (DESIGN.md §13). Hits and coalesced waiters never
+  /// enter a queue, so — like rejected — they are NOT counted in
+  /// completed/failed; these counters are the authoritative
+  /// served-from-cache totals. Zero unless result_cache_entries > 0.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_coalesced = 0;
+  /// Overlapped-I/O slice (DESIGN.md §13): summed per-turn-max charge
+  /// units (zero under StallModel::kSerial) and batched replay totals
+  /// from the disk layer (zero without replay_batch_io + a file backend).
+  uint64_t overlapped_misses = 0;
+  uint64_t io_batches = 0;
+  uint64_t io_batch_pages = 0;
   double cpu_seconds = 0;    ///< summed per-query execution time
   double stall_seconds = 0;  ///< summed modeled I/O stall time
   double wall_seconds = 0;   ///< measurement window (service uptime)
@@ -104,6 +117,13 @@ inline constexpr char kBufferMisses[] = "mcn.service.buffer_misses";
 inline constexpr char kBufferAccesses[] = "mcn.service.buffer_accesses";
 inline constexpr char kPruneChecked[] = "mcn.service.prune_checked";
 inline constexpr char kPruneCut[] = "mcn.service.prune_cut";
+inline constexpr char kCacheHit[] = "mcn.service.cache_hit";
+inline constexpr char kCacheMiss[] = "mcn.service.cache_miss";
+inline constexpr char kCacheCoalesced[] = "mcn.service.cache_coalesced";
+inline constexpr char kCacheEvictions[] = "mcn.service.cache_evictions";
+inline constexpr char kCacheEntries[] = "mcn.service.cache_entries";
+inline constexpr char kNetworkEpoch[] = "mcn.service.network_epoch";
+inline constexpr char kOverlappedMisses[] = "mcn.service.overlapped_misses";
 inline constexpr char kCpuMicros[] = "mcn.service.cpu_micros";
 inline constexpr char kStallMicros[] = "mcn.service.stall_micros";
 inline constexpr char kQueueMicros[] = "mcn.service.queue_micros";
@@ -113,6 +133,9 @@ inline constexpr char kWallSeconds[] = "mcn.service.wall_seconds";
 inline constexpr char kNumShards[] = "mcn.service.num_shards";
 inline constexpr char kDiskPageReads[] = "mcn.disk.page_reads";
 inline constexpr char kDiskPageWrites[] = "mcn.disk.page_writes";
+inline constexpr char kIoBatchReads[] = "mcn.io.batch_reads";
+inline constexpr char kIoBatchPages[] = "mcn.io.batch_pages";
+inline constexpr char kIoBatchMaxPages[] = "mcn.io.batch_max_pages";
 
 inline std::string Shard(int shard, const char* suffix) {
   return "mcn.shard" + std::to_string(shard) + "." + suffix;
@@ -137,6 +160,12 @@ inline ServiceStats ServiceStatsFromSnapshot(const obs::Snapshot& snap) {
   stats.buffer_accesses = snap.CounterValue(mn::kBufferAccesses);
   stats.prune_checked = snap.CounterValue(mn::kPruneChecked);
   stats.prune_cut = snap.CounterValue(mn::kPruneCut);
+  stats.cache_hits = snap.CounterValue(mn::kCacheHit);
+  stats.cache_misses = snap.CounterValue(mn::kCacheMiss);
+  stats.cache_coalesced = snap.CounterValue(mn::kCacheCoalesced);
+  stats.overlapped_misses = snap.CounterValue(mn::kOverlappedMisses);
+  stats.io_batches = snap.CounterValue(mn::kIoBatchReads);
+  stats.io_batch_pages = snap.CounterValue(mn::kIoBatchPages);
   stats.cpu_seconds =
       static_cast<double>(snap.CounterValue(mn::kCpuMicros)) / 1e6;
   stats.stall_seconds =

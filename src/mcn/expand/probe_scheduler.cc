@@ -1,10 +1,13 @@
 #include "mcn/expand/probe_scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
+#include <thread>
 
 #include "mcn/common/macros.h"
 #include "mcn/expand/striped_fetch.h"
+#include "mcn/storage/page.h"
 
 namespace mcn::expand {
 
@@ -33,6 +36,19 @@ void ParallelProbeScheduler::Discard(ProbeTask&& task) {
 void ParallelProbeScheduler::Execute(uint32_t slot, int reader_slot) {
   Probe& probe = probes_[slot];
   if (striped_ != nullptr) StripedCachedFetch::BindWorkerSlot(reader_slot);
+  if (io_.slot_misses == nullptr) {
+    ExecuteOp(probe);
+    return;
+  }
+  // Turn I/O armed: bracket the probe with its reader slot's miss counter.
+  // Probes sharing a worker run sequentially on that thread, so the delta
+  // is exactly this probe's misses.
+  const uint64_t before = io_.slot_misses(reader_slot);
+  ExecuteOp(probe);
+  probe.miss_delta = io_.slot_misses(reader_slot) - before;
+}
+
+void ParallelProbeScheduler::ExecuteOp(Probe& probe) {
   if (op_ == Op::kNextNN) {
     auto nn = engine_->NextNN(probe.expansion);
     if (nn.ok()) {
@@ -117,6 +133,7 @@ Status ParallelProbeScheduler::RunTurn(Op op, const std::vector<int>& targets,
     probe.status = Status::OK();
     probe.nn.reset();
     probe.events.clear();
+    probe.miss_delta = 0;
   }
 
   if (pool_ == nullptr || n == 1) {
@@ -145,6 +162,46 @@ Status ParallelProbeScheduler::RunTurn(Op op, const std::vector<int>& targets,
 
   for (const Probe& probe : probes_) {
     if (!probe.status.ok()) return probe.status;
+  }
+  if (io_.enabled()) {
+    MCN_RETURN_IF_ERROR(FinishTurnIo());
+  }
+  return Status::OK();
+}
+
+Status ParallelProbeScheduler::FinishTurnIo() {
+  uint64_t turn_max = 0;
+  for (const Probe& probe : probes_) {
+    stats_.probe_misses += probe.miss_delta;
+    turn_max = std::max(turn_max, probe.miss_delta);
+  }
+  stats_.overlapped_misses += turn_max;
+  if (io_.batch_disk != nullptr && io_.drain_missed != nullptr) {
+    batch_ids_.clear();
+    io_.drain_missed(&batch_ids_);
+    if (!batch_ids_.empty()) {
+      obs::TraceSpan batch_span(obs::EventType::kIoBatch,
+                                static_cast<uint64_t>(batch_ids_.size()));
+      batch_span.set_arg1(turn_max);
+      batch_buf_.resize(batch_ids_.size() * storage::kPageSize);
+      batch_ptrs_.resize(batch_ids_.size());
+      for (size_t i = 0; i < batch_ids_.size(); ++i) {
+        batch_ptrs_[i] = batch_buf_.data() + i * storage::kPageSize;
+      }
+      MCN_RETURN_IF_ERROR(
+          io_.batch_disk->ReadPagesBatch(batch_ids_, batch_ptrs_));
+      ++stats_.io_batches;
+      stats_.io_batch_pages += batch_ids_.size();
+    }
+  }
+  if (turn_max > 0 && io_.sleep_latency_ms > 0) {
+    obs::TraceSpan stall_span(obs::EventType::kStall, turn_max);
+    const auto start = std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        static_cast<double>(turn_max) * io_.sleep_latency_ms));
+    stats_.slept_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
   }
   return Status::OK();
 }

@@ -33,7 +33,9 @@
 #define MCN_EXPAND_PROBE_SCHEDULER_H_
 
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -42,6 +44,7 @@
 #include "mcn/exec/thread_pool.h"
 #include "mcn/expand/engines.h"
 #include "mcn/obs/trace.h"
+#include "mcn/storage/disk_manager.h"
 
 namespace mcn::expand {
 
@@ -71,7 +74,45 @@ class ParallelProbeScheduler {
     uint64_t probes = 0;
     uint64_t pooled_probes = 0;  ///< probes executed on the pool
     uint64_t max_width = 0;      ///< widest turn
+    // Turn-level I/O accounting (DESIGN.md §13; all zero unless SetTurnIo
+    // armed the scheduler).
+    uint64_t probe_misses = 0;      ///< sum of per-probe miss deltas
+    uint64_t overlapped_misses = 0; ///< sum over turns of max probe delta
+    uint64_t io_batches = 0;        ///< batched turn replays issued
+    uint64_t io_batch_pages = 0;    ///< pages replayed through batches
+    double slept_seconds = 0;       ///< measured per-turn modeled sleeps
   };
+
+  /// Per-turn overlapped-I/O options (DESIGN.md §13). With slot_misses
+  /// set, each probe samples its reader slot's cumulative buffer misses
+  /// on the executing thread (before/after — per-worker probes run
+  /// sequentially, so the delta is well defined), and each turn
+  /// accumulates the max delta into Stats::overlapped_misses: the
+  /// overlapped stall model's unit of charge, replacing the serial
+  /// model's per-miss sum. Optionally the barrier sleeps the turn's max
+  /// (sleep_latency_ms) and/or physically replays the turn's misses as
+  /// one DiskManager::ReadPagesBatch (drain_missed + batch_disk).
+  struct TurnIoOptions {
+    /// Cumulative buffer misses visible to a reader slot (0 = caller
+    /// thread, worker + 1 = pool workers). Called from the executing
+    /// thread; must only touch that slot's thread-confined pool.
+    std::function<uint64_t(int reader_slot)> slot_misses;
+    /// Appends every reader slot's logged missed PageIds (clearing the
+    /// logs). Called at the barrier on the caller thread — the barrier's
+    /// happens-before edges make the cross-slot drain safe.
+    std::function<void(std::vector<storage::PageId>*)> drain_missed;
+    /// Disk to replay drained misses on (null = no physical replay).
+    storage::DiskManager* batch_disk = nullptr;
+    /// Modeled per-miss stall slept at each barrier for the turn's max
+    /// delta (<= 0 disables the sleep; the service then charges stall
+    /// without simulating it).
+    double sleep_latency_ms = 0.0;
+
+    bool enabled() const { return slot_misses != nullptr; }
+  };
+  /// Arms (or disarms, with a default-constructed value) turn-level I/O.
+  /// Call between turns only.
+  void SetTurnIo(TurnIoOptions io) { io_ = std::move(io); }
 
   /// `engine` must be backed by a thread-safe provider when `pool` is not
   /// null (pass its StripedCachedFetch as `striped` so pooled probes bind
@@ -120,14 +161,20 @@ class ParallelProbeScheduler {
     Status status = Status::OK();
     std::optional<FacilityAtCost> nn;
     std::vector<ExpansionEvent> events;
+    uint64_t miss_delta = 0;  ///< this probe's buffer-miss delta (turn I/O)
   };
 
   /// Executes probe `slot` of the current turn; `reader_slot` selects the
   /// StripedCachedFetch reader (0 = caller thread, worker + 1 otherwise).
   void Execute(uint32_t slot, int reader_slot);
+  /// The engine call of one probe (Execute minus slot binding/sampling).
+  void ExecuteOp(Probe& probe);
   void ExecuteFromPool(uint32_t slot, int worker);
   void AbortFromPool(uint32_t slot);
   Status RunTurn(Op op, const std::vector<int>& targets, int stride);
+  /// Barrier-time turn I/O: max-delta accounting, optional batched replay
+  /// (kIoBatch span) and optional modeled sleep. Caller thread only.
+  Status FinishTurnIo();
   /// Outcome delivery order per `mode_`: identity for kTurnBarrier (slots
   /// are already ascending by expansion), cost-sorted for kFrontierOrdered.
   std::vector<uint32_t> DeliveryOrder() const;
@@ -149,6 +196,11 @@ class ParallelProbeScheduler {
   std::condition_variable cv_;
   size_t outstanding_ = 0;
   Stats stats_;
+  TurnIoOptions io_;
+  // Scratch for batched turn replay (reused across turns).
+  std::vector<storage::PageId> batch_ids_;
+  std::vector<std::byte> batch_buf_;
+  std::vector<std::byte*> batch_ptrs_;
 };
 
 }  // namespace mcn::expand

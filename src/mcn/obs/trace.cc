@@ -32,6 +32,8 @@ const char* EventTypeName(EventType type) {
       return "stall";
     case EventType::kProbePrune:
       return "probe_prune";
+    case EventType::kIoBatch:
+      return "io_batch";
   }
   return "unknown";
 }
@@ -136,6 +138,14 @@ void AppendArgs(std::string* out, const TraceEvent& e) {
       break;
     case EventType::kStall:
       a0 = "misses";
+      break;
+    case EventType::kProbePrune:
+      a0 = "cut";
+      a1 = "checked";
+      break;
+    case EventType::kIoBatch:
+      a0 = "pages";
+      a1 = "turn_misses";
       break;
     case EventType::kProbeFetch:
       // Decoded flag bits: the hit/miss + local/remote attribution the

@@ -1,17 +1,22 @@
 #include "mcn/storage/disk_manager.h"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
 #include "mcn/common/fault_injector.h"
 #include "mcn/common/macros.h"
 #include "mcn/obs/metrics.h"
+#include "mcn/storage/persistence.h"
 
 namespace mcn::storage {
 
 DiskManager::Stats& DiskManager::Stats::operator+=(const Stats& o) {
   page_reads += o.page_reads;
   page_writes += o.page_writes;
+  batch_reads += o.batch_reads;
+  batch_pages += o.batch_pages;
+  batch_max_pages = std::max(batch_max_pages, o.batch_max_pages);
   // Merge the per-file breakdown by name, so same-kind files of different
   // managers (e.g. every shard's "adjacency_file") fold into one row —
   // the same name-keyed merge the metrics registry snapshots use.
@@ -38,7 +43,12 @@ DiskManager::Stats DiskManager::MergeStats(std::span<const Stats> parts) {
 DiskManager::DiskManager(DiskManager&& o) noexcept
     : files_(std::move(o.files_)),
       page_reads_(o.page_reads_.load(std::memory_order_relaxed)),
-      page_writes_(o.page_writes_.load(std::memory_order_relaxed)) {
+      page_writes_(o.page_writes_.load(std::memory_order_relaxed)),
+      batch_reads_(o.batch_reads_.load(std::memory_order_relaxed)),
+      batch_pages_(o.batch_pages_.load(std::memory_order_relaxed)),
+      batch_max_pages_(o.batch_max_pages_.load(std::memory_order_relaxed)),
+      backend_(std::move(o.backend_)),
+      backend_page0_offset_(std::move(o.backend_page0_offset_)) {
   MCN_DCHECK(o.concurrent_reader_scopes() == 0);
 }
 
@@ -50,6 +60,14 @@ DiskManager& DiskManager::operator=(DiskManager&& o) noexcept {
                     std::memory_order_relaxed);
   page_writes_.store(o.page_writes_.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
+  batch_reads_.store(o.batch_reads_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  batch_pages_.store(o.batch_pages_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  batch_max_pages_.store(o.batch_max_pages_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  backend_ = std::move(o.backend_);
+  backend_page0_offset_ = std::move(o.backend_page0_offset_);
   return *this;
 }
 
@@ -69,6 +87,9 @@ DiskManager::Stats DiskManager::stats() const {
   Stats s;
   s.page_reads = page_reads_.load(std::memory_order_relaxed);
   s.page_writes = page_writes_.load(std::memory_order_relaxed);
+  s.batch_reads = batch_reads_.load(std::memory_order_relaxed);
+  s.batch_pages = batch_pages_.load(std::memory_order_relaxed);
+  s.batch_max_pages = batch_max_pages_.load(std::memory_order_relaxed);
   s.per_file_reads.reserve(files_.size());
   for (const File& f : files_) {
     s.per_file_reads.push_back(
@@ -81,6 +102,9 @@ void DiskManager::ResetStats() {
   CheckMutable();
   page_reads_.store(0, std::memory_order_relaxed);
   page_writes_.store(0, std::memory_order_relaxed);
+  batch_reads_.store(0, std::memory_order_relaxed);
+  batch_pages_.store(0, std::memory_order_relaxed);
+  batch_max_pages_.store(0, std::memory_order_relaxed);
   for (File& f : files_) f.reads.store(0, std::memory_order_relaxed);
 }
 
@@ -135,6 +159,80 @@ Result<const std::byte*> DiskManager::ReadPageRef(PageId id) {
   page_reads_.fetch_add(1, std::memory_order_relaxed);
   files_[id.file].reads.fetch_add(1, std::memory_order_relaxed);
   return files_[id.file].pages[id.page].data();
+}
+
+Status DiskManager::ReadPagesBatch(std::span<const PageId> ids,
+                                   std::span<std::byte* const> out) {
+  MCN_CHECK(ids.size() == out.size());
+  if (ids.empty()) return Status::OK();
+  for (PageId id : ids) {
+    MCN_RETURN_IF_ERROR(CheckPage(id));
+  }
+  // Fault seam, per page and before any read or counter tick, like
+  // ReadPageRef: an injected EIO means the batch never completed.
+  if (FaultInjector* fi = FaultInjector::Get(); fi != nullptr) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      MCN_RETURN_IF_ERROR(backend_ != nullptr ? fi->OnFileRead()
+                                              : fi->OnDiskRead());
+    }
+  }
+  if (backend_ != nullptr) {
+    std::vector<uint64_t> offsets(ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      offsets[i] = backend_page0_offset_[ids[i].file] +
+                   static_cast<uint64_t>(ids[i].page) * kPageSize;
+    }
+    MCN_RETURN_IF_ERROR(backend_->ReadBatch(offsets, out, kPageSize));
+  } else {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      std::memcpy(out[i], files_[ids[i].file].pages[ids[i].page].data(),
+                  kPageSize);
+    }
+  }
+  // Counter equivalence: n batched pages tick exactly like n ReadPage
+  // calls, plus the batch_* accounting.
+  page_reads_.fetch_add(ids.size(), std::memory_order_relaxed);
+  for (PageId id : ids) {
+    files_[id.file].reads.fetch_add(1, std::memory_order_relaxed);
+  }
+  batch_reads_.fetch_add(1, std::memory_order_relaxed);
+  batch_pages_.fetch_add(ids.size(), std::memory_order_relaxed);
+  uint64_t seen = batch_max_pages_.load(std::memory_order_relaxed);
+  while (seen < ids.size() &&
+         !batch_max_pages_.compare_exchange_weak(seen, ids.size(),
+                                                 std::memory_order_relaxed)) {
+  }
+  return Status::OK();
+}
+
+Status DiskManager::AttachFileBackend(const std::string& path,
+                                      IoBackendKind requested) {
+  CheckMutable();
+  if (requested == IoBackendKind::kMemory) {
+    return Status::InvalidArgument(
+        "AttachFileBackend: kMemory means no backend — use "
+        "DetachFileBackend");
+  }
+  MCN_RETURN_IF_ERROR(SaveDiskImage(*this, path));
+  // The MCNDISK1 layout (persistence.h) is deterministic, so page offsets
+  // are computable: 8-byte magic + u32 file count, then per file a
+  // u32 name_len + name + u32 num_pages header followed by the raw pages.
+  backend_page0_offset_.clear();
+  backend_page0_offset_.reserve(files_.size());
+  uint64_t offset = 8 + 4;
+  for (const File& f : files_) {
+    offset += 4 + f.name.size() + 4;
+    backend_page0_offset_.push_back(offset);
+    offset += static_cast<uint64_t>(f.pages.size()) * kPageSize;
+  }
+  MCN_ASSIGN_OR_RETURN(backend_, FileIoBackend::Open(path, requested));
+  return Status::OK();
+}
+
+void DiskManager::DetachFileBackend() {
+  CheckMutable();
+  backend_.reset();
+  backend_page0_offset_.clear();
 }
 
 Status DiskManager::WritePage(PageId id, const std::byte* data) {

@@ -18,12 +18,14 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "mcn/common/result.h"
 #include "mcn/common/status.h"
+#include "mcn/storage/io_backend.h"
 #include "mcn/storage/page.h"
 
 namespace mcn::storage {
@@ -47,6 +49,14 @@ class DiskManager {
 
     uint64_t page_reads = 0;
     uint64_t page_writes = 0;
+    /// Batched-read accounting (DESIGN.md §13): ReadPagesBatch calls,
+    /// pages served through them (each also counted in page_reads — the
+    /// single-read/batched-read counter-equivalence contract), and the
+    /// widest batch seen. operator+= sums the first two and maxes the
+    /// third (a merged snapshot's widest batch is the widest anywhere).
+    uint64_t batch_reads = 0;
+    uint64_t batch_pages = 0;
+    uint64_t batch_max_pages = 0;
     std::vector<FileReads> per_file_reads;
 
     Stats& operator+=(const Stats& o);
@@ -88,6 +98,33 @@ class DiskManager {
 
   /// Overwrites a full page from `data` (kPageSize bytes).
   Status WritePage(PageId id, const std::byte* data);
+
+  /// Batched counted read (DESIGN.md §13): fills out[i] (kPageSize bytes
+  /// each) with the page bytes of ids[i]. With a file backend attached the
+  /// pages come off the on-disk image through one overlapped submission
+  /// (io_uring or the preadv worker ring); otherwise they are memcpy'd
+  /// from the in-memory files. Counter contract: a batch of n pages ticks
+  /// page_reads and the per-file counters exactly as n ReadPage calls
+  /// would, plus the batch_* stats. Safe for concurrent readers.
+  Status ReadPagesBatch(std::span<const PageId> ids,
+                        std::span<std::byte* const> out);
+
+  /// Spills the (frozen) in-memory image to `path` in the MCNDISK1 format
+  /// of storage/persistence.h and opens it as the physical plane behind
+  /// ReadPagesBatch. `requested` must be kPreadv or kIoUring; an io_uring
+  /// that the kernel refuses degrades to kPreadv (io_backend() reports
+  /// what actually runs). Build-time only (CheckMutable); the in-memory
+  /// pages remain authoritative for ReadPage/ReadPageRef/PageData, so
+  /// pointer stability and all existing callers are untouched.
+  Status AttachFileBackend(const std::string& path, IoBackendKind requested);
+
+  /// Drops the file backend; ReadPagesBatch serves from memory again.
+  void DetachFileBackend();
+
+  /// Active physical read path (kMemory when no backend is attached).
+  IoBackendKind io_backend() const {
+    return backend_ == nullptr ? IoBackendKind::kMemory : backend_->kind();
+  }
 
   /// Raw, uncounted access to a page's bytes (persistence/tooling only —
   /// query code must go through the BufferPool so I/O is accounted).
@@ -147,7 +184,15 @@ class DiskManager {
   std::vector<File> files_;
   std::atomic<uint64_t> page_reads_{0};
   std::atomic<uint64_t> page_writes_{0};
+  std::atomic<uint64_t> batch_reads_{0};
+  std::atomic<uint64_t> batch_pages_{0};
+  std::atomic<uint64_t> batch_max_pages_{0};
   std::atomic<int> concurrent_readers_{0};
+  /// Physical plane behind ReadPagesBatch; null = serve from memory.
+  std::unique_ptr<FileIoBackend> backend_;
+  /// Byte offset of each file's page 0 in the attached image (MCNDISK1
+  /// layout); indexed by FileId, valid while backend_ is set.
+  std::vector<uint64_t> backend_page0_offset_;
 };
 
 }  // namespace mcn::storage

@@ -1,0 +1,404 @@
+#include "mcn/storage/io_backend.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "mcn/common/macros.h"
+
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+#define MCN_HAVE_IO_URING 1
+#else
+#define MCN_HAVE_IO_URING 0
+#endif
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#if MCN_HAVE_IO_URING
+#include <linux/io_uring.h>
+#include <sys/syscall.h>
+#endif
+
+namespace mcn::storage {
+namespace {
+
+// Worker threads backing the preadv ring, in addition to the calling
+// thread. Small on purpose: a turn batch is d-to-tens of pages.
+constexpr int kPreadvWorkers = 3;
+
+// Batches at or below this run a plain inline loop — waking workers costs
+// more than two preads.
+constexpr size_t kInlineBatchLimit = 2;
+
+#if MCN_HAVE_IO_URING
+constexpr unsigned kUringEntries = 64;
+
+int SysIoUringSetup(unsigned entries, io_uring_params* params) {
+  return static_cast<int>(syscall(__NR_io_uring_setup, entries, params));
+}
+
+int SysIoUringEnter(int fd, unsigned to_submit, unsigned min_complete,
+                    unsigned flags) {
+  return static_cast<int>(
+      syscall(__NR_io_uring_enter, fd, to_submit, min_complete, flags,
+              nullptr, 0));
+}
+#endif  // MCN_HAVE_IO_URING
+
+Status ErrnoError(const std::string& what, int err) {
+  return Status::IOError(what + ": " + std::strerror(err));
+}
+
+}  // namespace
+
+const char* IoBackendKindName(IoBackendKind kind) {
+  switch (kind) {
+    case IoBackendKind::kMemory:
+      return "memory";
+    case IoBackendKind::kPreadv:
+      return "preadv";
+    case IoBackendKind::kIoUring:
+      return "io_uring";
+  }
+  return "unknown";
+}
+
+bool IoUringCompiledIn() { return MCN_HAVE_IO_URING != 0; }
+
+FileIoBackend::FileIoBackend(std::string path, int fd, size_t)
+    : path_(std::move(path)), fd_(fd) {}
+
+Result<std::unique_ptr<FileIoBackend>> FileIoBackend::Open(
+    const std::string& path, IoBackendKind requested) {
+  if (requested == IoBackendKind::kMemory) {
+    return Status::InvalidArgument(
+        "FileIoBackend: kMemory is the no-backend mode, not a file backend");
+  }
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return ErrnoError("FileIoBackend: open(" + path + ")", errno);
+  }
+  std::unique_ptr<FileIoBackend> backend(
+      new FileIoBackend(path, fd, /*page_size_hint=*/0));
+  if (requested == IoBackendKind::kIoUring) {
+    // Best effort: a refused ring (seccomp, CONFIG_IO_URING=n) degrades
+    // to the worker ring; kind() tells callers which mode actually runs.
+    if (backend->SetupUring().ok()) {
+      backend->kind_ = IoBackendKind::kIoUring;
+      return backend;
+    }
+  }
+  backend->kind_ = IoBackendKind::kPreadv;
+  backend->StartWorkers();
+  return backend;
+}
+
+FileIoBackend::~FileIoBackend() {
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  TeardownUring();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FileIoBackend::ReadBatch(std::span<const uint64_t> offsets,
+                                std::span<std::byte* const> out,
+                                size_t page_size) {
+  MCN_CHECK(offsets.size() == out.size());
+  if (offsets.empty()) return Status::OK();
+  if (offsets.size() <= kInlineBatchLimit) {
+    for (size_t i = 0; i < offsets.size(); ++i) {
+      MCN_RETURN_IF_ERROR(ReadAt(out[i], page_size, offsets[i]));
+    }
+    return Status::OK();
+  }
+  std::lock_guard<std::mutex> lock(batch_mu_);
+  if (kind_ == IoBackendKind::kIoUring) {
+    return ReadBatchUring(offsets, out, page_size);
+  }
+  return ReadBatchPreadv(offsets, out, page_size);
+}
+
+Status FileIoBackend::ReadAt(std::byte* buf, size_t len,
+                             uint64_t offset) const {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::pread(fd_, buf + done, len - done,
+                        static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("FileIoBackend: pread(" + path_ + ")", errno);
+    }
+    if (n == 0) {
+      return Status::IOError("FileIoBackend: short read past EOF in " + path_);
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------- io_uring
+
+#if MCN_HAVE_IO_URING
+
+Status FileIoBackend::SetupUring() {
+  io_uring_params params;
+  std::memset(&params, 0, sizeof(params));
+  ring_fd_ = SysIoUringSetup(kUringEntries, &params);
+  if (ring_fd_ < 0) {
+    return ErrnoError("io_uring_setup", errno);
+  }
+  sq_entries_ = params.sq_entries;
+  cq_entries_ = params.cq_entries;
+  sq_ring_bytes_ = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+  cq_ring_bytes_ =
+      params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+  sqes_bytes_ = params.sq_entries * sizeof(io_uring_sqe);
+
+  // Modern kernels (IORING_FEAT_SINGLE_MMAP) share one ring mapping; map
+  // the larger span at both offsets regardless — mapping twice is valid
+  // either way and keeps the teardown uniform.
+  sq_ring_ = ::mmap(nullptr, sq_ring_bytes_, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+  cq_ring_ = ::mmap(nullptr, cq_ring_bytes_, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
+  sqes_ = ::mmap(nullptr, sqes_bytes_, PROT_READ | PROT_WRITE,
+                 MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES);
+  if (sq_ring_ == MAP_FAILED || cq_ring_ == MAP_FAILED ||
+      sqes_ == MAP_FAILED) {
+    int err = errno;
+    if (sq_ring_ == MAP_FAILED) sq_ring_ = nullptr;
+    if (cq_ring_ == MAP_FAILED) cq_ring_ = nullptr;
+    if (sqes_ == MAP_FAILED) sqes_ = nullptr;
+    TeardownUring();
+    return ErrnoError("io_uring mmap", err);
+  }
+  auto* sq = static_cast<unsigned char*>(sq_ring_);
+  sq_head_ = reinterpret_cast<unsigned*>(sq + params.sq_off.head);
+  sq_tail_ = reinterpret_cast<unsigned*>(sq + params.sq_off.tail);
+  sq_mask_ = reinterpret_cast<unsigned*>(sq + params.sq_off.ring_mask);
+  sq_array_ = reinterpret_cast<unsigned*>(sq + params.sq_off.array);
+  auto* cq = static_cast<unsigned char*>(cq_ring_);
+  cq_head_ = reinterpret_cast<unsigned*>(cq + params.cq_off.head);
+  cq_tail_ = reinterpret_cast<unsigned*>(cq + params.cq_off.tail);
+  cq_mask_ = reinterpret_cast<unsigned*>(cq + params.cq_off.ring_mask);
+  cqes_ = cq + params.cq_off.cqes;
+  return Status::OK();
+}
+
+void FileIoBackend::TeardownUring() {
+  if (sq_ring_ != nullptr) ::munmap(sq_ring_, sq_ring_bytes_);
+  if (cq_ring_ != nullptr) ::munmap(cq_ring_, cq_ring_bytes_);
+  if (sqes_ != nullptr) ::munmap(sqes_, sqes_bytes_);
+  sq_ring_ = cq_ring_ = sqes_ = nullptr;
+  if (ring_fd_ >= 0) ::close(ring_fd_);
+  ring_fd_ = -1;
+}
+
+Status FileIoBackend::ReadBatchUring(std::span<const uint64_t> offsets,
+                                     std::span<std::byte* const> out,
+                                     size_t page_size) {
+  auto* sqes = static_cast<io_uring_sqe*>(sqes_);
+  auto* cqes = static_cast<io_uring_cqe*>(cqes_);
+  size_t submitted = 0;
+  while (submitted < offsets.size()) {
+    const unsigned chunk = static_cast<unsigned>(
+        std::min<size_t>(sq_entries_, offsets.size() - submitted));
+    unsigned tail = __atomic_load_n(sq_tail_, __ATOMIC_RELAXED);
+    for (unsigned i = 0; i < chunk; ++i) {
+      const unsigned index = (tail + i) & *sq_mask_;
+      io_uring_sqe* sqe = &sqes[index];
+      std::memset(sqe, 0, sizeof(*sqe));
+      sqe->opcode = IORING_OP_READ;
+      sqe->fd = fd_;
+      sqe->addr = reinterpret_cast<uint64_t>(out[submitted + i]);
+      sqe->len = static_cast<unsigned>(page_size);
+      sqe->off = offsets[submitted + i];
+      sqe->user_data = submitted + i;
+      sq_array_[index] = index;
+    }
+    __atomic_store_n(sq_tail_, tail + chunk, __ATOMIC_RELEASE);
+    int rc = SysIoUringEnter(ring_fd_, chunk, chunk, IORING_ENTER_GETEVENTS);
+    if (rc < 0) {
+      return ErrnoError("io_uring_enter", errno);
+    }
+    // Reap exactly this chunk's completions.
+    unsigned reaped = 0;
+    unsigned head = __atomic_load_n(cq_head_, __ATOMIC_RELAXED);
+    while (reaped < chunk) {
+      const unsigned cq_tail = __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE);
+      if (head == cq_tail) {
+        // min_complete == chunk should have waited, but kernels may
+        // return early on signals; wait for the rest.
+        rc = SysIoUringEnter(ring_fd_, 0, chunk - reaped,
+                             IORING_ENTER_GETEVENTS);
+        if (rc < 0 && errno != EINTR) {
+          return ErrnoError("io_uring_enter (reap)", errno);
+        }
+        continue;
+      }
+      const io_uring_cqe& cqe = cqes[head & *cq_mask_];
+      const int res = cqe.res;
+      ++head;
+      ++reaped;
+      __atomic_store_n(cq_head_, head, __ATOMIC_RELEASE);
+      if (res < 0) {
+        return ErrnoError("io_uring read(" + path_ + ")", -res);
+      }
+      if (static_cast<size_t>(res) != page_size) {
+        return Status::IOError("io_uring short read in " + path_);
+      }
+    }
+    submitted += chunk;
+  }
+  return Status::OK();
+}
+
+#else  // !MCN_HAVE_IO_URING
+
+Status FileIoBackend::SetupUring() {
+  return Status::Unimplemented("io_uring not compiled in");
+}
+void FileIoBackend::TeardownUring() {}
+Status FileIoBackend::ReadBatchUring(std::span<const uint64_t>,
+                                     std::span<std::byte* const>, size_t) {
+  return Status::Unimplemented("io_uring not compiled in");
+}
+
+#endif  // MCN_HAVE_IO_URING
+
+// ------------------------------------------------------- preadv worker ring
+
+void FileIoBackend::StartWorkers() {
+  workers_.reserve(kPreadvWorkers);
+  for (int i = 0; i < kPreadvWorkers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void FileIoBackend::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(work_mu_);
+      work_cv_.wait(lock, [&] {
+        return stopping_ || generation_ != seen_generation;
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+    }
+    DrainRuns();
+  }
+}
+
+void FileIoBackend::DrainRuns() {
+  Batch* batch;
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    batch = current_;
+  }
+  if (batch == nullptr) return;
+  bool finished_some = false;
+  for (;;) {
+    const size_t run_index =
+        batch->next_run.fetch_add(1, std::memory_order_relaxed);
+    if (run_index >= batch->runs.size()) break;
+    const Run& run = batch->runs[run_index];
+    // One preadv per run of file-consecutive pages: the iovec list
+    // points at the batch's (scattered) destination buffers.
+    iovec iov[64];
+    size_t page = 0;
+    while (page < run.count && batch->first_errno.load(
+                                   std::memory_order_relaxed) == 0) {
+      const size_t take = std::min<size_t>(run.count - page, 64);
+      for (size_t j = 0; j < take; ++j) {
+        iov[j].iov_base = batch->bufs[run.first + page + j];
+        iov[j].iov_len = batch->page_size;
+      }
+      size_t want = take * batch->page_size;
+      uint64_t offset = batch->offsets[run.first + page];
+      // preadv may return short; re-issue a plain loop on shortness.
+      ssize_t n = ::preadv(fd_, iov, static_cast<int>(take),
+                           static_cast<off_t>(offset));
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0) {
+        int expected = 0;
+        batch->first_errno.compare_exchange_strong(expected, errno);
+        break;
+      }
+      if (static_cast<size_t>(n) != want) {
+        // Short vectored read (EOF straddle or kernel split): finish the
+        // affected pages with the single-read loop.
+        for (size_t j = 0; j < take; ++j) {
+          Status s = ReadAt(batch->bufs[run.first + page + j],
+                            batch->page_size,
+                            batch->offsets[run.first + page + j]);
+          if (!s.ok()) {
+            int expected = 0;
+            batch->first_errno.compare_exchange_strong(expected, EIO);
+            break;
+          }
+        }
+      }
+      page += take;
+    }
+    finished_some = true;
+    if (batch->remaining_runs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Take the lock before notifying: a completer that decremented to
+      // zero between the waiter's predicate check and its block would
+      // otherwise notify into the void (lost wakeup).
+      { std::lock_guard<std::mutex> lock(work_mu_); }
+      done_cv_.notify_all();
+    }
+  }
+  (void)finished_some;
+}
+
+Status FileIoBackend::ReadBatchPreadv(std::span<const uint64_t> offsets,
+                                      std::span<std::byte* const> out,
+                                      size_t page_size) {
+  Batch batch;
+  batch.offsets = offsets.data();
+  batch.bufs = out.data();
+  batch.page_size = page_size;
+  // Coalesce file-consecutive pages into preadv runs.
+  size_t start = 0;
+  for (size_t i = 1; i <= offsets.size(); ++i) {
+    if (i == offsets.size() ||
+        offsets[i] != offsets[i - 1] + page_size) {
+      batch.runs.push_back(Run{start, i - start});
+      start = i;
+    }
+  }
+  batch.remaining_runs.store(batch.runs.size(), std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    current_ = &batch;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The caller participates instead of idling.
+  DrainRuns();
+  {
+    std::unique_lock<std::mutex> lock(work_mu_);
+    done_cv_.wait(lock, [&] {
+      return batch.remaining_runs.load(std::memory_order_acquire) == 0;
+    });
+    current_ = nullptr;
+  }
+  const int err = batch.first_errno.load(std::memory_order_relaxed);
+  if (err != 0) {
+    return ErrnoError("FileIoBackend: preadv(" + path_ + ")", err);
+  }
+  return Status::OK();
+}
+
+}  // namespace mcn::storage

@@ -1,0 +1,235 @@
+// Tests for the file-backed batched read path (DESIGN.md §13): the
+// MCNDISK1 spill written by DiskManager::AttachFileBackend, byte parity of
+// ReadPagesBatch against the in-memory pages for every Fig. 2 file
+// (including the landmark index), the single-read/batched-read counter
+// equivalence contract, the io_uring -> preadv degradation switch, and the
+// `file_eio` chaos seam.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mcn/common/fault_injector.h"
+#include "mcn/common/macros.h"
+#include "mcn/gen/workload.h"
+#include "mcn/storage/disk_manager.h"
+#include "mcn/storage/io_backend.h"
+#include "mcn/storage/persistence.h"
+#include "test_util.h"
+
+namespace mcn {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// A built instance whose disk carries every Fig. 2 file plus the
+/// landmark index files (DESIGN.md §12) — the widest file census an
+/// attached image has to cover.
+std::unique_ptr<gen::Instance> InstanceWithLandmarks() {
+  gen::ExperimentConfig config = gen::ExperimentConfig().Scaled(0.005);
+  config.landmarks = 4;
+  auto instance = gen::BuildInstance(config);
+  MCN_CHECK(instance.ok());
+  return std::move(instance.value());
+}
+
+/// Every allocated PageId of `disk`, file by file.
+std::vector<storage::PageId> AllPages(const storage::DiskManager& disk) {
+  std::vector<storage::PageId> ids;
+  for (storage::FileId f = 0; f < disk.num_files(); ++f) {
+    const uint32_t pages = disk.NumPages(f).value();
+    for (uint32_t p = 0; p < pages; ++p) ids.push_back({f, p});
+  }
+  return ids;
+}
+
+/// Runs one ReadPagesBatch over `ids` and returns the fetched buffers.
+std::vector<std::vector<std::byte>> FetchBatch(
+    storage::DiskManager& disk, const std::vector<storage::PageId>& ids) {
+  std::vector<std::vector<std::byte>> bufs(
+      ids.size(), std::vector<std::byte>(storage::kPageSize));
+  std::vector<std::byte*> ptrs;
+  ptrs.reserve(ids.size());
+  for (auto& b : bufs) ptrs.push_back(b.data());
+  Status status = disk.ReadPagesBatch(ids, ptrs);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return bufs;
+}
+
+TEST(IoBackendTest, AttachedImageRoundTripsEveryFileByteIdentical) {
+  auto instance = InstanceWithLandmarks();
+  storage::DiskManager& disk = instance->disk;
+
+  // The census must include the landmark index (the file the PR-8 prune
+  // oracle reads) — otherwise this test is not covering Fig. 2 + §12.
+  bool saw_landmark = false;
+  for (storage::FileId f = 0; f < disk.num_files(); ++f) {
+    if (disk.FileName(f).value().find("landmark") != std::string::npos) {
+      saw_landmark = true;
+    }
+  }
+  ASSERT_TRUE(saw_landmark);
+
+  const std::string path = TempPath("io_backend_roundtrip.img");
+  ASSERT_TRUE(
+      disk.AttachFileBackend(path, storage::IoBackendKind::kPreadv).ok());
+
+  // The spill is a regular MCNDISK1 image: LoadDiskImage must reproduce
+  // every file, name and page byte-for-byte.
+  auto loaded = storage::LoadDiskImage(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_files(), disk.num_files());
+  for (storage::FileId f = 0; f < disk.num_files(); ++f) {
+    EXPECT_EQ(loaded->FileName(f).value(), disk.FileName(f).value());
+    ASSERT_EQ(loaded->NumPages(f).value(), disk.NumPages(f).value());
+    for (uint32_t p = 0; p < disk.NumPages(f).value(); ++p) {
+      const std::byte* want = disk.PageData({f, p}).value();
+      const std::byte* got = loaded->PageData({f, p}).value();
+      ASSERT_EQ(std::memcmp(got, want, storage::kPageSize), 0)
+          << "file " << disk.FileName(f).value() << " page " << p;
+    }
+  }
+
+  // And the physical read path must serve the same bytes: one batch over
+  // every page of every file, compared against the in-memory truth.
+  const std::vector<storage::PageId> ids = AllPages(disk);
+  const auto bufs = FetchBatch(disk, ids);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const std::byte* want = disk.PageData(ids[i]).value();
+    ASSERT_EQ(std::memcmp(bufs[i].data(), want, storage::kPageSize), 0)
+        << "file " << disk.FileName(ids[i].file).value() << " page "
+        << ids[i].page;
+  }
+
+  disk.DetachFileBackend();
+  EXPECT_EQ(disk.io_backend(), storage::IoBackendKind::kMemory);
+  std::remove(path.c_str());
+}
+
+TEST(IoBackendTest, BatchedReadsTickCountersLikeSingleReads) {
+  test::DiskFixture fx(test::TinyGraph(),
+                       test::TinyFacilities(test::TinyGraph()), 16);
+  storage::DiskManager& disk = fx.disk;
+  const std::vector<storage::PageId> ids = AllPages(disk);
+  ASSERT_GE(ids.size(), 2u);
+
+  // Reference: n single reads.
+  disk.ResetStats();
+  std::vector<std::byte> page(storage::kPageSize);
+  for (const storage::PageId& id : ids) {
+    ASSERT_TRUE(disk.ReadPage(id, page.data()).ok());
+  }
+  const storage::DiskManager::Stats single = disk.stats();
+  EXPECT_EQ(single.page_reads, ids.size());
+  EXPECT_EQ(single.batch_reads, 0u);
+
+  // One batch over the same pages: identical page_reads and per-file
+  // slices, plus the batch_* accounting — in memory mode...
+  disk.ResetStats();
+  FetchBatch(disk, ids);
+  storage::DiskManager::Stats batched = disk.stats();
+  EXPECT_EQ(batched.page_reads, single.page_reads);
+  ASSERT_EQ(batched.per_file_reads.size(), single.per_file_reads.size());
+  for (size_t f = 0; f < single.per_file_reads.size(); ++f) {
+    EXPECT_EQ(batched.per_file_reads[f].reads,
+              single.per_file_reads[f].reads)
+        << single.per_file_reads[f].name;
+  }
+  EXPECT_EQ(batched.batch_reads, 1u);
+  EXPECT_EQ(batched.batch_pages, ids.size());
+  EXPECT_EQ(batched.batch_max_pages, ids.size());
+
+  // ...and identically with a file backend attached.
+  const std::string path = TempPath("io_backend_counters.img");
+  ASSERT_TRUE(
+      disk.AttachFileBackend(path, storage::IoBackendKind::kPreadv).ok());
+  disk.ResetStats();
+  FetchBatch(disk, ids);
+  batched = disk.stats();
+  EXPECT_EQ(batched.page_reads, single.page_reads);
+  for (size_t f = 0; f < single.per_file_reads.size(); ++f) {
+    EXPECT_EQ(batched.per_file_reads[f].reads,
+              single.per_file_reads[f].reads)
+        << single.per_file_reads[f].name;
+  }
+  EXPECT_EQ(batched.batch_reads, 1u);
+  EXPECT_EQ(batched.batch_pages, ids.size());
+  disk.DetachFileBackend();
+  std::remove(path.c_str());
+}
+
+TEST(IoBackendTest, OpenDegradesIoUringGracefully) {
+  // A real (tiny) image to open.
+  storage::DiskManager disk;
+  storage::FileId f = disk.CreateFile("solo");
+  disk.AllocatePage(f).value();
+  const std::string path = TempPath("io_backend_degrade.img");
+  ASSERT_TRUE(storage::SaveDiskImage(disk, path).ok());
+
+  auto backend =
+      storage::FileIoBackend::Open(path, storage::IoBackendKind::kIoUring);
+  ASSERT_TRUE(backend.ok()) << backend.status().ToString();
+  if (storage::IoUringCompiledIn()) {
+    // Either the ring came up or the kernel refused and we degraded; both
+    // kinds are valid, crashing or erroring is not.
+    EXPECT_TRUE((*backend)->kind() == storage::IoBackendKind::kIoUring ||
+                (*backend)->kind() == storage::IoBackendKind::kPreadv);
+  } else {
+    EXPECT_EQ((*backend)->kind(), storage::IoBackendKind::kPreadv);
+  }
+  // kMemory is never a physical backend.
+  EXPECT_FALSE(
+      storage::FileIoBackend::Open(path, storage::IoBackendKind::kMemory)
+          .ok());
+  EXPECT_FALSE(storage::FileIoBackend::Open(TempPath("missing.img"),
+                                            storage::IoBackendKind::kPreadv)
+                   .ok());
+  std::remove(path.c_str());
+}
+
+TEST(IoBackendTest, FileEioFaultSeamFiresBeforeCounters) {
+  test::DiskFixture fx(test::TinyGraph(),
+                       test::TinyFacilities(test::TinyGraph()), 16);
+  storage::DiskManager& disk = fx.disk;
+  const std::vector<storage::PageId> ids = AllPages(disk);
+  const std::string path = TempPath("io_backend_fault.img");
+  ASSERT_TRUE(
+      disk.AttachFileBackend(path, storage::IoBackendKind::kPreadv).ok());
+
+  auto opts = FaultInjector::ParseSpec("file_eio=1.0,seed=9");
+  ASSERT_TRUE(opts.ok()) << opts.status().ToString();
+  FaultInjector injector(opts.value());
+  FaultInjector::Install(&injector);
+
+  disk.ResetStats();
+  std::vector<std::vector<std::byte>> bufs(
+      ids.size(), std::vector<std::byte>(storage::kPageSize));
+  std::vector<std::byte*> ptrs;
+  for (auto& b : bufs) ptrs.push_back(b.data());
+  Status status = disk.ReadPagesBatch(ids, ptrs);
+  EXPECT_FALSE(status.ok());
+  EXPECT_GE(injector.injected(), 1u);
+  // The seam sits before any physical read or counter tick: a faulted
+  // batch must leave the I/O accounting untouched.
+  EXPECT_EQ(disk.stats().page_reads, 0u);
+  EXPECT_EQ(disk.stats().batch_reads, 0u);
+
+  // Healing the world (the chaos-test idiom) restores byte-exact service.
+  injector.set_enabled(false);
+  const auto healthy = FetchBatch(disk, ids);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(std::memcmp(healthy[i].data(), disk.PageData(ids[i]).value(),
+                          storage::kPageSize),
+              0);
+  }
+  FaultInjector::Install(nullptr);
+  disk.DetachFileBackend();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mcn

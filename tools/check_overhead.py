@@ -38,9 +38,25 @@ def die(msg):
     sys.exit(2)
 
 
+# Row "obs" counters surfaced when a row is over budget: the cache / batched
+# I/O activity (DESIGN.md §13) that most plausibly explains a throughput
+# shift that is NOT observability overhead.
+DIAG_COUNTERS = (
+    "mcn.service.cache_hit",
+    "mcn.service.cache_miss",
+    "mcn.service.cache_coalesced",
+    "mcn.service.overlapped_misses",
+    "mcn.io.batch_reads",
+    "mcn.io.batch_pages",
+)
+
+
 def load_rows(paths, figure_filters):
-    """(figure, param, algo) -> list of qps across all files/repetitions."""
+    """Returns (runs, diag): (figure, param, algo) -> list of qps across
+    all files/repetitions, and the same key -> {counter: value} for the
+    DIAG_COUNTERS seen in the row's "obs" object (last repetition wins)."""
     runs = {}
+    diag = {}
     for path in paths:
         try:
             with open(path) as f:
@@ -55,13 +71,18 @@ def load_rows(paths, figure_filters):
                                           for s in figure_filters):
                 continue
             for row in fig.get("rows", []):
+                obs = row.get("obs", {})
                 for algo in ("lsa", "cea"):
                     qps = row.get(algo, {}).get("qps", 0.0)
                     if qps <= 0:
                         continue  # non-throughput row
                     key = (title, row.get("param", ""), algo)
                     runs.setdefault(key, []).append(qps)
-    return runs
+                    found = {name: obs[name] for name in DIAG_COUNTERS
+                             if name in obs}
+                    if found:
+                        diag[key] = found
+    return runs, diag
 
 
 def spread(values):
@@ -88,8 +109,8 @@ def main():
         die("error: --min-reps must be >= 1")
 
     filters = [s.strip() for s in args.figures.split(",") if s.strip()]
-    base = load_rows(args.baseline, filters)
-    curr = load_rows(args.current, filters)
+    base, base_diag = load_rows(args.baseline, filters)
+    curr, curr_diag = load_rows(args.current, filters)
 
     common = sorted(k for k in base if k in curr)
     if not common:
@@ -121,6 +142,15 @@ def main():
             # ranges mean runner noise; disjoint ranges mean a regression.
             print(f"    baseline runs: {spread(base[key])}  "
                   f"current runs: {spread(curr[key])}")
+            # Cache / batched-I/O counters: a hit-rate or batch-width skew
+            # between the sides means the workloads differed — not obs
+            # overhead (DESIGN.md §13).
+            for side, d in (("baseline", base_diag), ("current", curr_diag)):
+                if key in d:
+                    pretty = " ".join(f"{name}={value:g}"
+                                      for name, value in sorted(
+                                          d[key].items()))
+                    print(f"    {side} cache/io: {pretty}")
 
     if failures:
         print(f"FAILURE: {failures} row(s) lose more than "

@@ -215,6 +215,23 @@ def print_snapshot(counters, gauges, hists, prefix, previous=None):
         p99 = hist_quantile(buckets, 0.99)
         rows.append(f"  {name:<44} count={count} mean={mean:.1f} "
                     f"p50={p50:.1f} p99={p99:.1f}")
+
+    # Derived summaries (DESIGN.md §13): result-cache hit rate and batched
+    # read width, shown whenever the underlying counters are present.
+    hits = counters.get("mcn.service.cache_hit", 0)
+    misses = counters.get("mcn.service.cache_miss", 0)
+    coalesced = counters.get("mcn.service.cache_coalesced", 0)
+    if keep("mcn.service.cache") and (hits or misses or coalesced):
+        served = hits + coalesced
+        total = served + misses
+        rate = 100.0 * served / total if total else 0.0
+        rows.append(f"  {'cache hit rate (hits+coalesced)':<44} "
+                    f"{rate:>13.1f}%")
+    batches = counters.get("mcn.io.batch_reads", 0)
+    pages = counters.get("mcn.io.batch_pages", 0)
+    if keep("mcn.io.batch") and batches:
+        rows.append(f"  {'avg pages per batched read':<44} "
+                    f"{pages / batches:>14.2f}")
     print("\n".join(rows) if rows else "  (no matching instruments)")
 
 

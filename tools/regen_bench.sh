@@ -8,7 +8,7 @@
 #   cmake --build build -j --target bench_fig08a_skyline_facilities \
 #       bench_fig10a_topk_facilities bench_service_throughput \
 #       bench_parallel_expansion bench_shard_scaling bench_wire_throughput \
-#       bench_fault_recovery bench_prune_index
+#       bench_fault_recovery bench_prune_index bench_io_overlap
 #   tools/regen_bench.sh [output=BENCH_current.json]
 #
 # Diff against the tracked baseline with:
@@ -31,12 +31,13 @@ benches=(
   bench_wire_throughput
   bench_fault_recovery
   bench_prune_index
+  bench_io_overlap
 )
 
 # One entry per bench above: the figure-title substring the merged JSON
 # must contain. Keeps a gate-aborted bench (set -e stops before the merge,
 # or a stale output file survives) from silently shipping as "regenerated".
-required_figs="Figure 8(a),Figure 10(a),Service throughput,Parallel d-expansion,Shard scaling,Wire throughput,Fault recovery,Prune index"
+required_figs="Figure 8(a),Figure 10(a),Service throughput,Service result cache,Parallel d-expansion,Shard scaling,Wire throughput,Fault recovery,Prune index,Overlapped I/O"
 
 for bench in "${benches[@]}"; do
   echo "== $bench =="
