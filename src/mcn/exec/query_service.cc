@@ -411,9 +411,28 @@ std::future<QueryResult> QueryService::Submit(api::QuerySpec spec) {
         ready.set_value(std::move(lookup.cached));
         return future;
       }
-      case ResultCache::Lookup::Outcome::kCoalesced:
+      case ResultCache::Lookup::Outcome::kCoalesced: {
         metrics_.cache_coalesced->Add(1);
-        return std::move(lookup.future);
+        if (!task.has_deadline) return std::move(lookup.future);
+        // A coalesced waiter never enters the queue where deadlines are
+        // enforced, and deadline_ms is normalized out of the cache key —
+        // so enforce this waiter's own deadline when its future is
+        // consumed instead of inheriting the owning flight's unbounded
+        // wait. Deferred: runs on the consumer's get()/wait() call.
+        return std::async(
+            std::launch::deferred,
+            [fut = std::move(lookup.future),
+             deadline = task.deadline]() mutable -> QueryResult {
+              if (fut.wait_until(deadline) == std::future_status::timeout) {
+                QueryResult timed_out;
+                timed_out.status = Status::DeadlineExceeded(
+                    "deadline exceeded while coalesced on an identical "
+                    "in-flight query");
+                return timed_out;
+              }
+              return fut.get();
+            });
+      }
       case ResultCache::Lookup::Outcome::kMiss:
         metrics_.cache_miss->Add(1);
         task.cache_flight = std::move(lookup.flight);
@@ -904,6 +923,20 @@ QueryResult QueryService::RunQuery(const api::QuerySpec& spec,
   // Turn-level overlapped I/O (DESIGN.md §13): arm the scheduler to
   // sample per-probe miss deltas — and optionally sleep the turn's max at
   // the barrier and/or replay the turn's misses as one batched read.
+  //
+  // Miss recording is scoped to this query: the pools are persistent, and
+  // a later serial-path query (scheduler == nullptr) has no barrier to
+  // drain them, so leaving recording armed would grow the miss log
+  // without bound on serial-heavy workloads.
+  struct MissRecordingGuard {
+    std::vector<storage::BufferPool*> pools;
+    ~MissRecordingGuard() {
+      for (storage::BufferPool* pool : pools) {
+        pool->set_record_misses(false);
+        (void)pool->DrainMissedPages();
+      }
+    }
+  } miss_recording;
   if (scheduler != nullptr &&
       (opts_.stall_model == StallModel::kOverlapped ||
        opts_.replay_batch_io)) {
@@ -930,19 +963,19 @@ QueryResult QueryService::RunQuery(const api::QuerySpec& spec,
       // exercise. Pools log their missed PageIds; the barrier drains the
       // logs into one ReadPagesBatch. Stale entries from a previous query
       // are drained away before arming.
-      std::vector<storage::BufferPool*> pools;
       if (pooled) {
         for (const auto& slot_reader : worker.expansion->readers()) {
-          pools.push_back(slot_reader->pool());
+          miss_recording.pools.push_back(slot_reader->pool());
         }
       } else {
-        pools.push_back(worker.pool.get());
+        miss_recording.pools.push_back(worker.pool.get());
       }
-      for (storage::BufferPool* pool : pools) {
+      for (storage::BufferPool* pool : miss_recording.pools) {
         pool->set_record_misses(true);
         (void)pool->DrainMissedPages();
       }
-      io.drain_missed = [pools](std::vector<storage::PageId>* out) {
+      io.drain_missed = [pools = miss_recording.pools](
+                            std::vector<storage::PageId>* out) {
         for (storage::BufferPool* pool : pools) {
           std::vector<storage::PageId> drained = pool->DrainMissedPages();
           out->insert(out->end(), drained.begin(), drained.end());

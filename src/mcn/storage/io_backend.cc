@@ -226,11 +226,36 @@ Status FileIoBackend::ReadBatchUring(std::span<const uint64_t> offsets,
       sq_array_[index] = index;
     }
     __atomic_store_n(sq_tail_, tail + chunk, __ATOMIC_RELEASE);
-    int rc = SysIoUringEnter(ring_fd_, chunk, chunk, IORING_ENTER_GETEVENTS);
-    if (rc < 0) {
-      return ErrnoError("io_uring_enter", errno);
+    // Submit until the kernel has consumed the whole chunk. A negative
+    // return means nothing was consumed this call (partial submits come
+    // back as a positive count), so EINTR is a plain retry; any other
+    // failure leaves published SQEs the kernel may still complete into
+    // this CQ later — the ring can no longer pair CQEs with batches, so
+    // poison it and serve this batch (and all future ones) via preadv.
+    unsigned consumed = 0;
+    while (consumed < chunk) {
+      const unsigned to_submit = chunk - consumed;
+      // Block for the whole chunk only on the common full-submit call; a
+      // partial resubmit passes min_complete = 0 and lets the reap loop
+      // wait (demanding `chunk` completions with fewer requests in
+      // flight could block forever).
+      const unsigned min_complete = to_submit == chunk ? chunk : 0;
+      int rc = SysIoUringEnter(ring_fd_, to_submit, min_complete,
+                               IORING_ENTER_GETEVENTS);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        TeardownUring();
+        kind_ = IoBackendKind::kPreadv;
+        StartWorkers();
+        // Re-reading pages earlier chunks already completed is
+        // idempotent: the image is immutable and read-only.
+        return ReadBatchPreadv(offsets, out, page_size);
+      }
+      consumed += static_cast<unsigned>(rc);
     }
-    // Reap exactly this chunk's completions.
+    // Reap exactly this chunk's completions — all of them even after a
+    // read failure, so no stale CQE leaks into the next batch's count.
+    Status failure;
     unsigned reaped = 0;
     unsigned head = __atomic_load_n(cq_head_, __ATOMIC_RELAXED);
     while (reaped < chunk) {
@@ -238,25 +263,49 @@ Status FileIoBackend::ReadBatchUring(std::span<const uint64_t> offsets,
       if (head == cq_tail) {
         // min_complete == chunk should have waited, but kernels may
         // return early on signals; wait for the rest.
-        rc = SysIoUringEnter(ring_fd_, 0, chunk - reaped,
-                             IORING_ENTER_GETEVENTS);
+        int rc = SysIoUringEnter(ring_fd_, 0, chunk - reaped,
+                                 IORING_ENTER_GETEVENTS);
         if (rc < 0 && errno != EINTR) {
-          return ErrnoError("io_uring_enter (reap)", errno);
+          if (failure.ok()) {
+            failure = ErrnoError("io_uring_enter (reap)", errno);
+          }
+          break;
         }
         continue;
       }
       const io_uring_cqe& cqe = cqes[head & *cq_mask_];
       const int res = cqe.res;
+      const size_t idx = static_cast<size_t>(cqe.user_data);
       ++head;
       ++reaped;
       __atomic_store_n(cq_head_, head, __ATOMIC_RELEASE);
       if (res < 0) {
-        return ErrnoError("io_uring read(" + path_ + ")", -res);
-      }
-      if (static_cast<size_t>(res) != page_size) {
-        return Status::IOError("io_uring short read in " + path_);
+        if (failure.ok()) {
+          failure = ErrnoError("io_uring read(" + path_ + ")", -res);
+        }
+      } else if (res == 0) {
+        if (failure.ok()) {
+          failure =
+              Status::IOError("io_uring read past EOF in " + path_);
+        }
+      } else if (static_cast<size_t>(res) < page_size) {
+        // Legitimate kernel short read: finish the page synchronously,
+        // mirroring the preadv path's single-read recovery.
+        Status s = ReadAt(out[idx] + res,
+                          page_size - static_cast<size_t>(res),
+                          offsets[idx] + static_cast<uint64_t>(res));
+        if (!s.ok() && failure.ok()) failure = std::move(s);
       }
     }
+    if (reaped < chunk) {
+      // Reap-side enter failed terminally with completions still owed:
+      // same poisoned-ring situation as a failed submit.
+      TeardownUring();
+      kind_ = IoBackendKind::kPreadv;
+      StartWorkers();
+      return failure;
+    }
+    MCN_RETURN_IF_ERROR(failure);
     submitted += chunk;
   }
   return Status::OK();
@@ -302,11 +351,15 @@ void FileIoBackend::WorkerLoop() {
 void FileIoBackend::DrainRuns() {
   Batch* batch;
   {
+    // Register as a drainer under the same lock that publishes
+    // `current_`: from here until the decrement below, the batch owner
+    // in ReadBatchPreadv cannot return (and destroy the stack Batch)
+    // even if this drainer claims no run.
     std::lock_guard<std::mutex> lock(work_mu_);
     batch = current_;
+    if (batch == nullptr) return;
+    ++drainers_;
   }
-  if (batch == nullptr) return;
-  bool finished_some = false;
   for (;;) {
     const size_t run_index =
         batch->next_run.fetch_add(1, std::memory_order_relaxed);
@@ -350,16 +403,18 @@ void FileIoBackend::DrainRuns() {
       }
       page += take;
     }
-    finished_some = true;
-    if (batch->remaining_runs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      // Take the lock before notifying: a completer that decremented to
-      // zero between the waiter's predicate check and its block would
-      // otherwise notify into the void (lost wakeup).
-      { std::lock_guard<std::mutex> lock(work_mu_); }
-      done_cv_.notify_all();
-    }
+    batch->remaining_runs.fetch_sub(1, std::memory_order_acq_rel);
   }
-  (void)finished_some;
+  {
+    // Deregister under the lock, then notify: the owner waits for both
+    // remaining_runs == 0 and drainers_ == 0, so notifying only here
+    // (after the last touch of `batch`) covers both conditions without
+    // a lost wakeup — a completer that got here between the owner's
+    // predicate check and its block notifies after the lock round-trip.
+    std::lock_guard<std::mutex> lock(work_mu_);
+    --drainers_;
+  }
+  done_cv_.notify_all();
 }
 
 Status FileIoBackend::ReadBatchPreadv(std::span<const uint64_t> offsets,
@@ -388,9 +443,14 @@ Status FileIoBackend::ReadBatchPreadv(std::span<const uint64_t> offsets,
   // The caller participates instead of idling.
   DrainRuns();
   {
+    // Wait for the work to finish AND for every drainer to let go of the
+    // batch pointer: a late-waking worker may hold `&batch` without ever
+    // claiming a run, and returning before it exits would hand it a
+    // dangling pointer to this stack frame.
     std::unique_lock<std::mutex> lock(work_mu_);
     done_cv_.wait(lock, [&] {
-      return batch.remaining_runs.load(std::memory_order_acquire) == 0;
+      return batch.remaining_runs.load(std::memory_order_acquire) == 0 &&
+             drainers_ == 0;
     });
     current_ = nullptr;
   }

@@ -144,6 +144,12 @@ class FileIoBackend {
   uint64_t generation_ = 0;  ///< bumped per batch, guarded by work_mu_
   bool stopping_ = false;
   Batch* current_ = nullptr;  ///< guarded by work_mu_
+  /// Workers currently inside DrainRuns holding a `current_` pointer,
+  /// guarded by work_mu_. The batch owner must wait for this to reach
+  /// zero before letting its stack-allocated Batch die: a worker that
+  /// grabbed the pointer but claimed no run touches the Batch after
+  /// remaining_runs hits zero.
+  size_t drainers_ = 0;
   std::vector<std::thread> workers_;
 };
 

@@ -6,9 +6,11 @@
 // `file_eio` chaos seam.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "mcn/common/fault_injector.h"
@@ -188,6 +190,73 @@ TEST(IoBackendTest, OpenDegradesIoUringGracefully) {
   EXPECT_FALSE(storage::FileIoBackend::Open(TempPath("missing.img"),
                                             storage::IoBackendKind::kPreadv)
                    .ok());
+  std::remove(path.c_str());
+}
+
+TEST(IoBackendTest, PreadvRingSurvivesBackToBackBatchChurn) {
+  // Regression test: a late-waking preadv worker could read `current_`,
+  // claim no run, and touch the batch after its owner had already
+  // observed remaining_runs == 0, returned, and destroyed the
+  // stack-allocated Batch. Back-to-back batches from several threads
+  // maximize that window; the TSan run of this test is the real
+  // assertion, the byte-parity checks are the Release-mode one.
+  storage::DiskManager disk;
+  const storage::FileId file = disk.CreateFile("churn");
+  constexpr uint32_t kPages = 48;
+  std::vector<std::byte> page(storage::kPageSize);
+  for (uint32_t p = 0; p < kPages; ++p) {
+    disk.AllocatePage(file).value();
+    std::memset(page.data(), static_cast<int>(p + 1), storage::kPageSize);
+    ASSERT_TRUE(disk.WritePage({file, p}, page.data()).ok());
+  }
+  const std::string path = TempPath("io_backend_churn.img");
+  ASSERT_TRUE(storage::SaveDiskImage(disk, path).ok());
+  auto backend =
+      storage::FileIoBackend::Open(path, storage::IoBackendKind::kPreadv);
+  ASSERT_TRUE(backend.ok()) << backend.status().ToString();
+
+  // MCNDISK1 layout (persistence.cc): magic(8) + num_files(4) +
+  // name_len(4) + name + num_pages(4), then file 0's raw pages.
+  const uint64_t data_off = 8 + 4 + 4 + std::strlen("churn") + 4;
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 400;
+  constexpr int kBatch = 5;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<std::byte> bufs[kBatch];
+      for (auto& b : bufs) b.resize(storage::kPageSize);
+      for (int it = 0; it < kIters; ++it) {
+        // Scattered (non-consecutive) pages force multiple preadv runs
+        // per batch, so the worker ring engages every iteration.
+        uint64_t offsets[kBatch];
+        std::byte* ptrs[kBatch];
+        uint32_t pages[kBatch];
+        for (int j = 0; j < kBatch; ++j) {
+          pages[j] =
+              static_cast<uint32_t>((t * 7 + it * 11 + j * 13) % kPages);
+          offsets[j] = data_off + uint64_t{pages[j]} * storage::kPageSize;
+          ptrs[j] = bufs[j].data();
+        }
+        Status s = (*backend)->ReadBatch(offsets, ptrs, storage::kPageSize);
+        if (!s.ok()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (int j = 0; j < kBatch; ++j) {
+          if (std::memcmp(bufs[j].data(),
+                          disk.PageData({file, pages[j]}).value(),
+                          storage::kPageSize) != 0) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
   std::remove(path.c_str());
 }
 

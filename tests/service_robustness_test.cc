@@ -153,6 +153,43 @@ TEST(ServiceRobustnessTest, DeadlinedQueriesBehindSlowTrafficTimeOut) {
   rig.service->Shutdown();
 }
 
+TEST(ServiceRobustnessTest, CoalescedCacheWaiterHonorsItsOwnDeadline) {
+  // A coalesced waiter rides another flight's future and never enters the
+  // queue where deadlines are normally enforced (deadline_ms is also
+  // normalized out of the cache key) — its own deadline must still fire
+  // instead of inheriting the owning flight's unbounded wait.
+  ServiceOptions opts;
+  opts.num_workers = 1;
+  opts.queue_capacity = 64;
+  opts.io_latency_ms = 1.0;
+  opts.simulate_io_stalls = true;
+  opts.result_cache_entries = 8;
+  Rig rig = Rig::Make(opts);
+  Random rng(7);
+
+  // The filler occupies the single worker (every miss sleeps), so the
+  // owner is still queued — its flight provably in-flight — when the
+  // deadlined waiter submits the identical spec.
+  QuerySpec spec = rig.Skyline(rng);
+  std::future<QueryResult> filler = rig.service->Submit(rig.Skyline(rng));
+  std::future<QueryResult> owner = rig.service->Submit(spec);
+  QuerySpec deadlined = spec;
+  deadlined.deadline_ms = 1;
+  std::future<QueryResult> waiter = rig.service->Submit(std::move(deadlined));
+
+  QueryResult waited = waiter.get();
+  ASSERT_FALSE(waited.status.ok());
+  EXPECT_EQ(waited.status.code(), StatusCode::kDeadlineExceeded)
+      << waited.status.ToString();
+
+  // The flight itself (and the filler) still complete normally.
+  EXPECT_TRUE(filler.get().status.ok());
+  EXPECT_TRUE(owner.get().status.ok());
+  ServiceStats stats = rig.service->Snapshot();
+  EXPECT_EQ(stats.cache_coalesced, 1u);
+  rig.service->Shutdown();
+}
+
 TEST(ServiceRobustnessTest, AdmissionControlShedsOverCapImmediately) {
   ServiceOptions opts;
   opts.num_workers = 1;
