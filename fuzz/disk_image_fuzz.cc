@@ -1,0 +1,12 @@
+// libFuzzer entry point for the disk-image target (MCN_FUZZ=ON builds).
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/disk_image_target.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (!mcn::fuzz::RunDiskImageTarget(data, size)) {
+    __builtin_trap();  // surface the violation as a libFuzzer crash
+  }
+  return 0;
+}

@@ -1,0 +1,12 @@
+// libFuzzer entry point for the wire decoder target (MCN_FUZZ=ON builds).
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/wire_decode_target.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (!mcn::fuzz::RunWireDecodeTarget(data, size)) {
+    __builtin_trap();  // surface the violation as a libFuzzer crash
+  }
+  return 0;
+}

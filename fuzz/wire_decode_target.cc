@@ -1,0 +1,65 @@
+#include "fuzz/wire_decode_target.h"
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "mcn/api/wire.h"
+
+namespace mcn::fuzz {
+namespace {
+
+/// Frame payload produced by an Encode*Frame call (strips the u32 length
+/// prefix).
+std::string_view FramePayload(const std::string& frame) {
+  return std::string_view(frame).substr(4);
+}
+
+bool CheckCanonical(const char* what, const std::string& payload,
+                    std::string_view reencoded) {
+  if (reencoded == payload) return true;
+  std::fprintf(stderr,
+               "wire_decode_target: %s decode accepted a non-canonical "
+               "payload (%zu in, %zu re-encoded)\n",
+               what, payload.size(), reencoded.size());
+  return false;
+}
+
+}  // namespace
+
+bool RunWireDecodeTarget(const uint8_t* data, size_t size) {
+  const std::string payload(reinterpret_cast<const char*>(data), size);
+
+  if (auto request = api::DecodeRequestPayload(payload); request.ok()) {
+    const std::string frame = api::EncodeRequestFrame(*request);
+    if (!CheckCanonical("request", payload, FramePayload(frame))) {
+      return false;
+    }
+  }
+
+  if (auto response = api::DecodeResponsePayload(payload); response.ok()) {
+    // TryEncode: a decoded response is bounded by the input frame, but the
+    // encoder's size check must still come back as Status, not CHECK.
+    auto frame = api::TryEncodeResponseFrame(*response);
+    if (!frame.ok()) {
+      std::fprintf(stderr,
+                   "wire_decode_target: decoded response failed to "
+                   "re-encode: %s\n",
+                   frame.status().message().c_str());
+      return false;
+    }
+    if (!CheckCanonical("response", payload, FramePayload(*frame))) {
+      return false;
+    }
+  }
+
+  return true;
+}
+
+bool WireInputDecodes(const uint8_t* data, size_t size) {
+  const std::string payload(reinterpret_cast<const char*>(data), size);
+  return api::DecodeRequestPayload(payload).ok() ||
+         api::DecodeResponsePayload(payload).ok();
+}
+
+}  // namespace mcn::fuzz

@@ -1,0 +1,30 @@
+// Fuzz target for the wire protocol decoders (api/wire.h), shared between
+// the libFuzzer entry point (wire_decode_fuzz.cc) and the checked-in seed
+// corpus replay test (tests/fuzz_corpus_replay_test.cc).
+//
+// The input is treated as one frame *payload* (the bytes after the u32
+// length prefix) and fed to both DecodeRequestPayload and
+// DecodeResponsePayload. A decode is allowed to reject the input with a
+// Status; it must never crash, and when it accepts, re-encoding the
+// decoded value must reproduce the input byte-for-byte (the canonical
+// encoding invariant the result cache keys on).
+#ifndef MCN_FUZZ_WIRE_DECODE_TARGET_H_
+#define MCN_FUZZ_WIRE_DECODE_TARGET_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mcn::fuzz {
+
+/// Returns true when every invariant held on this input (a clean decode
+/// rejection counts as held); false on a canonicality violation, with a
+/// diagnostic on stderr.
+bool RunWireDecodeTarget(const uint8_t* data, size_t size);
+
+/// True when DecodeRequestPayload or DecodeResponsePayload accepts the
+/// input — the replay test uses it to assert the seeds are meaningful.
+bool WireInputDecodes(const uint8_t* data, size_t size);
+
+}  // namespace mcn::fuzz
+
+#endif  // MCN_FUZZ_WIRE_DECODE_TARGET_H_

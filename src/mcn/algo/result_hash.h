@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "mcn/algo/common.h"
+#include "mcn/common/macros.h"
 
 namespace mcn::algo {
 
@@ -17,7 +18,7 @@ namespace mcn::algo {
 inline constexpr uint64_t kFnvOffsetBasis = 1469598103934665603ull;
 
 /// Folds the 8 bytes of `x` (LSB first) into an FNV-1a state.
-inline uint64_t FnvMixU64(uint64_t h, uint64_t x) {
+MCN_NO_SANITIZE_INTEGER inline uint64_t FnvMixU64(uint64_t h, uint64_t x) {
   for (int b = 0; b < 8; ++b) {
     h ^= (x >> (8 * b)) & 0xFFu;
     h *= 1099511628211ull;

@@ -113,13 +113,13 @@ void Server::Stop() {
   {
     // Taking mu_ guarantees the reaper is inside its wait (it holds mu_
     // everywhere else), so this notify cannot be lost.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
   }
-  reap_cv_.notify_all();
+  reap_cv_.NotifyAll();
   if (reaper_.joinable()) reaper_.join();
   std::vector<std::unique_ptr<Connection>> connections;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     connections.swap(connections_);
   }
   for (auto& connection : connections) {
@@ -152,11 +152,11 @@ void Server::ReapFinishedConnections() {
 }
 
 void Server::ReapLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   while (!stopping_.load(std::memory_order_acquire)) {
     // Condition-signalled by exiting connection threads; the timeout is a
     // backstop (e.g. a notify that raced Stop) — not load-bearing.
-    reap_cv_.wait_for(lock, std::chrono::milliseconds(250));
+    reap_cv_.WaitFor(&mu_, std::chrono::milliseconds(250));
     ReapFinishedConnections();
   }
   // Leave whatever remains to Stop(), which owns the final sweep.
@@ -182,7 +182,7 @@ void Server::AcceptLoop() {
       (void)SetSendTimeout(fd, opts_.io_timeout_ms);
     }
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto connection = std::make_unique<Connection>();
     connection->fd = fd;
     Connection* raw = connection.get();
@@ -307,7 +307,7 @@ void Server::ServeConnection(Connection* connection) {
   // exactly once, always after the join.
   ::shutdown(fd, SHUT_RDWR);
   connection->done.store(true, std::memory_order_release);
-  reap_cv_.notify_one();
+  reap_cv_.NotifyOne();
 }
 
 }  // namespace mcn::api

@@ -20,14 +20,14 @@
 #define MCN_API_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "mcn/common/mutex.h"
 #include "mcn/common/result.h"
+#include "mcn/common/thread_annotations.h"
 #include "mcn/common/status.h"
 #include "mcn/exec/query_service.h"
 
@@ -98,8 +98,8 @@ class Server {
   void AcceptLoop();
   void ReapLoop();
   void ServeConnection(Connection* connection);
-  /// mu_ held: joins + closes finished connections.
-  void ReapFinishedConnections();
+  /// Joins + closes finished connections.
+  void ReapFinishedConnections() MCN_REQUIRES(mu_);
 
   exec::QueryService* service_;
   int listen_fd_;
@@ -113,9 +113,10 @@ class Server {
   /// Open wire sessions (incremented on OpenSession, decremented on close
   /// — explicit or disconnect cleanup). Must be 0 after Stop joins.
   std::atomic<int64_t> sessions_open_{0};
-  std::mutex mu_;  ///< guards connections_ (fds + threads)
-  std::condition_variable reap_cv_;  ///< signalled when a connection ends
-  std::vector<std::unique_ptr<Connection>> connections_;
+  Mutex mu_;
+  CondVar reap_cv_;  ///< signalled when a connection ends
+  /// Live connections (fds + threads).
+  std::vector<std::unique_ptr<Connection>> connections_ MCN_GUARDED_BY(mu_);
 };
 
 }  // namespace mcn::api

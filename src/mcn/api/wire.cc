@@ -131,6 +131,9 @@ void PutSnapshot(std::string* out, const obs::Snapshot& snap) {
 }
 
 std::string FinishFrame(std::string payload) {
+  // Encode side: an oversized payload is a programmer error (callers with
+  // unbounded row sets go through TryEncodeResponseFrame), never remote
+  // input. mcn-lint: disable-next-line=check-in-decode
   MCN_CHECK(payload.size() <= kMaxFramePayload);
   std::string frame;
   frame.reserve(4 + payload.size());
@@ -498,6 +501,9 @@ std::string EncodeRequestFrame(const WireRequest& request) {
     case MsgType::kGetTrace:
       break;  // empty bodies
     default:
+      // Encode side: the caller passed a response MsgType in a request
+      // envelope — programmer error, not remote input.
+      // mcn-lint: disable-next-line=check-in-decode
       MCN_CHECK(false && "EncodeRequestFrame: not a request type");
   }
   return FinishFrame(std::move(payload));
@@ -530,6 +536,9 @@ std::string BuildResponsePayload(const WireResponse& response) {
       payload.append(response.trace_json);
       break;
     default:
+      // Encode side: the caller passed a request MsgType in a response
+      // envelope — programmer error, not remote input.
+      // mcn-lint: disable-next-line=check-in-decode
       MCN_CHECK(false && "EncodeResponseFrame: not a response type");
   }
   return payload;

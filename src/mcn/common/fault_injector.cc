@@ -107,12 +107,12 @@ void FaultInjector::Install(FaultInjector* fi) {
 
 bool FaultInjector::Draw(double p) {
   if (p <= 0.0) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return rng_.Bernoulli(p);
 }
 
 double FaultInjector::DrawUniform() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return rng_.NextDouble();
 }
 

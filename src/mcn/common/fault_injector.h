@@ -22,13 +22,14 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 
+#include "mcn/common/mutex.h"
 #include "mcn/common/random.h"
 #include "mcn/common/result.h"
 #include "mcn/common/status.h"
+#include "mcn/common/thread_annotations.h"
 
 namespace mcn {
 
@@ -120,8 +121,8 @@ class FaultInjector {
   Options opts_;
   std::atomic<bool> enabled_{true};
   std::atomic<uint64_t> injected_{0};
-  std::mutex mu_;
-  Random rng_;
+  Mutex mu_;
+  Random rng_ MCN_GUARDED_BY(mu_);
 };
 
 }  // namespace mcn

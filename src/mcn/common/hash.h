@@ -7,10 +7,12 @@
 
 #include <cstdint>
 
+#include "mcn/common/macros.h"
+
 namespace mcn {
 
 /// splitmix64 finalizer: a fast, well-distributed 64-bit mix.
-inline uint64_t MixU64(uint64_t x) {
+MCN_NO_SANITIZE_INTEGER inline uint64_t MixU64(uint64_t x) {
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
   return x ^ (x >> 31);

@@ -36,6 +36,15 @@
 #define MCN_CONCAT_INNER_(a, b) a##b
 #define MCN_CONCAT_(a, b) MCN_CONCAT_INNER_(a, b)
 
+// Marks a function whose unsigned wraparound is deliberate (hash mixers,
+// PRNG state transitions) so clang's -fsanitize=integer does not flag it.
+// The wraparound there is the algorithm, not a bug.
+#if defined(__clang__)
+#define MCN_NO_SANITIZE_INTEGER __attribute__((no_sanitize("integer")))
+#else
+#define MCN_NO_SANITIZE_INTEGER
+#endif
+
 // Evaluates `rexpr` (a Result<T>), propagates the error, otherwise moves the
 // value into `lhs`. `lhs` may be a declaration, e.g.
 //   MCN_ASSIGN_OR_RETURN(auto reader, NetworkReader::Open(...));

@@ -7,7 +7,7 @@
 namespace mcn {
 namespace {
 
-uint64_t SplitMix64(uint64_t& x) {
+MCN_NO_SANITIZE_INTEGER uint64_t SplitMix64(uint64_t& x) {
   x += 0x9E3779B97F4A7C15ull;
   uint64_t z = x;
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
@@ -15,7 +15,9 @@ uint64_t SplitMix64(uint64_t& x) {
   return z ^ (z >> 31);
 }
 
-uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+MCN_NO_SANITIZE_INTEGER uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
 
 }  // namespace
 
@@ -26,7 +28,7 @@ Random::Random(uint64_t seed) {
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
 }
 
-uint64_t Random::Next() {
+MCN_NO_SANITIZE_INTEGER uint64_t Random::Next() {
   const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
   const uint64_t t = s_[1] << 17;
   s_[2] ^= s_[0];
@@ -38,7 +40,7 @@ uint64_t Random::Next() {
   return result;
 }
 
-uint64_t Random::Uniform(uint64_t bound) {
+MCN_NO_SANITIZE_INTEGER uint64_t Random::Uniform(uint64_t bound) {
   MCN_DCHECK(bound > 0);
   // Debiased modulo (Lemire-style rejection would be faster; this is simple
   // and unbiased enough for workload generation).

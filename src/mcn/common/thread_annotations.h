@@ -1,0 +1,77 @@
+// Clang Thread Safety Analysis attribute macros (abseil-style).
+//
+// These expand to clang `thread_safety` attributes when the compiler
+// supports them and to nothing otherwise (GCC builds the same sources
+// unannotated). The CI `static-analysis` job compiles the tree with
+// clang and `-Wthread-safety -Werror=thread-safety`, which turns every
+// violated contract below into a build failure.
+//
+// Conventions (see DESIGN.md §14):
+//   - data members guarded by a lock get `MCN_GUARDED_BY(mu_)`;
+//   - private helpers that expect the caller to hold a lock get
+//     `MCN_REQUIRES(mu_)` instead of a "mu_ held" comment;
+//   - public entry points that must NOT be called with the lock held
+//     (they acquire it themselves) get `MCN_EXCLUDES(mu_)`;
+//   - lock wrapper types use `MCN_CAPABILITY` / `MCN_SCOPED_CAPABILITY`
+//     with `MCN_ACQUIRE` / `MCN_RELEASE` / `MCN_TRY_ACQUIRE` on their
+//     lock/unlock methods (see common/mutex.h);
+//   - `MCN_NO_THREAD_SAFETY_ANALYSIS` is a last resort and always
+//     carries a comment explaining why the analysis cannot see the
+//     invariant.
+#ifndef MCN_COMMON_THREAD_ANNOTATIONS_H_
+#define MCN_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define MCN_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define MCN_THREAD_ANNOTATION_(x)  // no-op
+#endif
+
+#define MCN_CAPABILITY(x) MCN_THREAD_ANNOTATION_(capability(x))
+
+#define MCN_SCOPED_CAPABILITY MCN_THREAD_ANNOTATION_(scoped_lockable)
+
+#define MCN_GUARDED_BY(x) MCN_THREAD_ANNOTATION_(guarded_by(x))
+
+#define MCN_PT_GUARDED_BY(x) MCN_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+#define MCN_ACQUIRED_BEFORE(...) \
+  MCN_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+#define MCN_ACQUIRED_AFTER(...) \
+  MCN_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+#define MCN_REQUIRES(...) \
+  MCN_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+#define MCN_REQUIRES_SHARED(...) \
+  MCN_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+#define MCN_ACQUIRE(...) \
+  MCN_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+#define MCN_ACQUIRE_SHARED(...) \
+  MCN_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+#define MCN_RELEASE(...) \
+  MCN_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+#define MCN_RELEASE_SHARED(...) \
+  MCN_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+#define MCN_TRY_ACQUIRE(...) \
+  MCN_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+#define MCN_TRY_ACQUIRE_SHARED(...) \
+  MCN_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+#define MCN_EXCLUDES(...) MCN_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+#define MCN_ASSERT_CAPABILITY(x) MCN_THREAD_ANNOTATION_(assert_capability(x))
+
+#define MCN_RETURN_CAPABILITY(x) MCN_THREAD_ANNOTATION_(lock_returned(x))
+
+#define MCN_NO_THREAD_SAFETY_ANALYSIS \
+  MCN_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // MCN_COMMON_THREAD_ANNOTATIONS_H_

@@ -458,7 +458,7 @@ Result<SessionId> QueryService::OpenSession(api::QuerySpec spec) {
   session->group = RouteGroupIndex(spec.location);
   session->spec = std::move(spec);
   session->last_used = std::chrono::steady_clock::now();
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(&sessions_mu_);
   if (shut_down_) {
     return Status::FailedPrecondition("QueryService is shut down");
   }
@@ -509,7 +509,7 @@ bool QueryService::MakeSessionRoom() {
 std::future<QueryResult> QueryService::SessionNext(SessionId id, int n) {
   std::shared_ptr<Session> session;
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(&sessions_mu_);
     auto it = sessions_.find(id);
     if (it == sessions_.end()) {
       return ReadyFailure(Status::NotFound(
@@ -538,7 +538,7 @@ std::future<QueryResult> QueryService::SessionNext(SessionId id, int n) {
 }
 
 Status QueryService::CloseSession(SessionId id) {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(&sessions_mu_);
   auto it = sessions_.find(id);
   if (it == sessions_.end()) {
     return Status::NotFound("CloseSession: unknown session " +
@@ -550,7 +550,7 @@ Status QueryService::CloseSession(SessionId id) {
 }
 
 size_t QueryService::num_open_sessions() const {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(&sessions_mu_);
   return sessions_.size();
 }
 
@@ -560,7 +560,7 @@ void QueryService::Drain() {
 
 void QueryService::Shutdown(bool drain) {
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(&sessions_mu_);
     if (shut_down_) return;
     shut_down_ = true;
   }
@@ -568,7 +568,7 @@ void QueryService::Shutdown(bool drain) {
   {
     // Drop the streams (their pools read the shared storage) before the
     // read-only freeze is lifted.
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(&sessions_mu_);
     sessions_.clear();
   }
   if (sharded()) {
@@ -730,7 +730,7 @@ void QueryService::Execute(Task&& task, Group& group, int local_worker) {
     // streamed session. So: refresh last_used first, then return the
     // ticket — the eviction window reopens only with a fresh timestamp.
     {
-      std::lock_guard<std::mutex> lock(sessions_mu_);
+      MutexLock lock(&sessions_mu_);
       task.session->last_used = std::chrono::steady_clock::now();
     }
     task.session->inflight.fetch_sub(1, std::memory_order_acq_rel);
@@ -761,7 +761,7 @@ QueryResult QueryService::RunSessionBatch(Session& session, int n,
   }
   // One batch at a time per session; concurrent SessionNext calls on the
   // same id serialize here (each on some worker of the home group).
-  std::lock_guard<std::mutex> lock(session.mu);
+  MutexLock lock(&session.mu);
   Stopwatch watch;
   if (session.reader == nullptr) {
     // First batch: build the session's private reader set (no I/O yet —

@@ -49,7 +49,6 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -59,9 +58,11 @@
 #include "mcn/api/query_response.h"
 #include "mcn/api/query_spec.h"
 #include "mcn/common/cancel.h"
+#include "mcn/common/mutex.h"
 #include "mcn/common/result.h"
 #include "mcn/common/status.h"
 #include "mcn/common/stopwatch.h"
+#include "mcn/common/thread_annotations.h"
 #include "mcn/exec/expansion_executor.h"
 #include "mcn/exec/service_stats.h"
 #include "mcn/exec/thread_pool.h"
@@ -411,16 +412,18 @@ class QueryService {
     int group = 0;  ///< home-shard group index (routing affinity)
     /// Flat mode only: the pool behind `reader` (sharded readers own
     /// their per-shard pools).
-    std::unique_ptr<storage::BufferPool> pool;
-    std::unique_ptr<net::NetworkReader> reader;
-    std::unique_ptr<expand::NnEngine> engine;
-    std::unique_ptr<algo::IncrementalTopK> query;
-    std::mutex mu;  ///< serializes batches on this session
+    std::unique_ptr<storage::BufferPool> pool MCN_GUARDED_BY(mu);
+    std::unique_ptr<net::NetworkReader> reader MCN_GUARDED_BY(mu);
+    std::unique_ptr<expand::NnEngine> engine MCN_GUARDED_BY(mu);
+    std::unique_ptr<algo::IncrementalTopK> query MCN_GUARDED_BY(mu);
+    Mutex mu;  ///< serializes batches on this session
     /// Batches submitted but not yet finished; only idle (== 0) sessions
     /// are evictable.
     std::atomic<int> inflight{0};
-    /// Last submit/completion, for LRU + idle eviction (guarded by the
-    /// service's sessions_mu_).
+    /// Last submit/completion, for LRU + idle eviction. Guarded by the
+    /// *service's* sessions_mu_ (a cross-object contract TSA cannot
+    /// express as GUARDED_BY; the REQUIRES(sessions_mu_) helpers below
+    /// are the checked part of it).
     std::chrono::steady_clock::time_point last_used{};
   };
 
@@ -545,12 +548,12 @@ class QueryService {
   QueryResult RunSessionBatch(Session& session, int n,
                               const CancelToken* cancel);
 
-  /// sessions_mu_ held: drops idle sessions past the idle timeout (runs
-  /// on every OpenSession).
-  void EvictExpiredSessions();
-  /// sessions_mu_ held: drops the LRU idle session to make room in a
-  /// full table. False = every session is busy.
-  bool MakeSessionRoom();
+  /// Drops idle sessions past the idle timeout (runs on every
+  /// OpenSession).
+  void EvictExpiredSessions() MCN_REQUIRES(sessions_mu_);
+  /// Drops the LRU idle session to make room in a full table. False =
+  /// every session is busy.
+  bool MakeSessionRoom() MCN_REQUIRES(sessions_mu_);
 
   storage::DiskManager* disk_ = nullptr;        ///< flat mode
   shard::ShardedStorage* storage_ = nullptr;    ///< sharded mode
@@ -559,15 +562,16 @@ class QueryService {
   ServiceOptions opts_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<Group> groups_;
-  mutable std::mutex sessions_mu_;
-  std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_;
-  SessionId next_session_id_ = 1;
+  mutable Mutex sessions_mu_;
+  std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_
+      MCN_GUARDED_BY(sessions_mu_);
+  SessionId next_session_id_ MCN_GUARDED_BY(sessions_mu_) = 1;
   Stopwatch uptime_;
   /// Cross-query result cache (null unless result_cache_entries > 0) and
   /// the epoch its keys carry (DESIGN.md §13).
   std::unique_ptr<ResultCache> result_cache_;
   std::atomic<uint64_t> network_epoch_{0};
-  bool shut_down_ = false;
+  bool shut_down_ MCN_GUARDED_BY(sessions_mu_) = false;
   /// Service-scoped instrument registry (per-instance so tests and
   /// side-by-side services never double-count), sized one slot per worker.
   obs::Registry registry_;

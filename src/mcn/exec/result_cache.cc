@@ -20,7 +20,7 @@ QueryResult ResultCache::SanitizedCopy(const QueryResult& result) {
 ResultCache::Lookup ResultCache::Acquire(const std::string& key,
                                          uint64_t epoch) {
   Lookup lookup;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (epoch > current_epoch_) current_epoch_ = epoch;
   auto it = map_.find(key);
   if (it != map_.end()) {
@@ -50,7 +50,7 @@ size_t ResultCache::Complete(const std::shared_ptr<ResultFlight>& flight,
                              const QueryResult& result) {
   std::vector<std::promise<QueryResult>> waiters;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = inflight_.find(key);
     if (it != inflight_.end() && it->second == flight) inflight_.erase(it);
     // No new waiter can attach once the flight is unmapped, so the swap
@@ -74,7 +74,7 @@ size_t ResultCache::Complete(const std::shared_ptr<ResultFlight>& flight,
 }
 
 void ResultCache::InvalidateAll(uint64_t new_epoch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (new_epoch > current_epoch_) current_epoch_ = new_epoch;
   ++stats_.invalidations;
   map_.clear();
@@ -83,7 +83,7 @@ void ResultCache::InvalidateAll(uint64_t new_epoch) {
 }
 
 ResultCache::Stats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Stats snapshot = stats_;
   snapshot.entries = map_.size();
   snapshot.inflight = inflight_.size();

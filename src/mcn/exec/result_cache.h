@@ -31,11 +31,12 @@
 #include <future>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "mcn/common/mutex.h"
+#include "mcn/common/thread_annotations.h"
 #include "mcn/exec/query_service.h"
 
 namespace mcn::exec {
@@ -65,7 +66,7 @@ class ResultCache {
   /// parameter additionally raises the cache's current epoch so stale
   /// completions racing a bump are not stored). See the file comment for
   /// the three outcomes and the kMiss owner's Complete obligation.
-  Lookup Acquire(const std::string& key, uint64_t epoch);
+  Lookup Acquire(const std::string& key, uint64_t epoch) MCN_EXCLUDES(mu_);
 
   /// Publishes `flight`'s result: detaches the flight from the in-flight
   /// table (if it is still the one mapped at `key`), stores the result
@@ -76,13 +77,13 @@ class ResultCache {
   /// call exactly once.
   size_t Complete(const std::shared_ptr<ResultFlight>& flight,
                   const std::string& key, uint64_t epoch,
-                  const QueryResult& result);
+                  const QueryResult& result) MCN_EXCLUDES(mu_);
 
   /// Epoch bump: drops every stored entry and raises the current epoch to
   /// `new_epoch` (monotonic). In-flight entries are deliberately kept —
   /// their waiters must still resolve via Complete; the stale results are
   /// just not stored.
-  void InvalidateAll(uint64_t new_epoch);
+  void InvalidateAll(uint64_t new_epoch) MCN_EXCLUDES(mu_);
 
   struct Stats {
     uint64_t hits = 0;
@@ -94,7 +95,7 @@ class ResultCache {
     size_t entries = 0;          ///< stored entries at snapshot time
     size_t inflight = 0;         ///< single-flight computations at snapshot
   };
-  Stats stats() const;
+  Stats stats() const MCN_EXCLUDES(mu_);
 
   size_t max_entries() const { return max_entries_; }
 
@@ -108,12 +109,15 @@ class ResultCache {
   static QueryResult SanitizedCopy(const QueryResult& result);
 
   const size_t max_entries_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
-  std::unordered_map<std::string, std::shared_ptr<ResultFlight>> inflight_;
-  uint64_t current_epoch_ = 0;
-  Stats stats_;
+  mutable Mutex mu_;
+  /// front = most recently used
+  std::list<Entry> lru_ MCN_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::list<Entry>::iterator> map_
+      MCN_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::shared_ptr<ResultFlight>> inflight_
+      MCN_GUARDED_BY(mu_);
+  uint64_t current_epoch_ MCN_GUARDED_BY(mu_) = 0;
+  Stats stats_ MCN_GUARDED_BY(mu_);
 };
 
 }  // namespace mcn::exec

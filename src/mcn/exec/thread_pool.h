@@ -22,16 +22,16 @@
 #define MCN_EXEC_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "mcn/common/macros.h"
+#include "mcn/common/mutex.h"
+#include "mcn/common/thread_annotations.h"
 #include "mcn/exec/mpmc_queue.h"
 
 namespace mcn::exec {
@@ -43,36 +43,36 @@ class Semaphore {
  public:
   explicit Semaphore(ptrdiff_t initial) : count_(initial) {}
 
-  void Acquire() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return count_ > 0; });
+  void Acquire() MCN_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (count_ <= 0) cv_.Wait(&mu_);
     --count_;
   }
 
   /// Non-blocking Acquire: takes a ticket iff one is available right now.
-  bool TryAcquire() {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool TryAcquire() MCN_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     if (count_ <= 0) return false;
     --count_;
     return true;
   }
 
-  void Release(ptrdiff_t n = 1) {
+  void Release(ptrdiff_t n = 1) MCN_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       count_ += n;
     }
     if (n == 1) {
-      cv_.notify_one();
+      cv_.NotifyOne();
     } else {
-      cv_.notify_all();
+      cv_.NotifyAll();
     }
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  ptrdiff_t count_;
+  Mutex mu_;
+  CondVar cv_;
+  ptrdiff_t count_ MCN_GUARDED_BY(mu_);
 };
 
 /// Fixed pool of `num_workers` threads executing tasks of type `Task`.
@@ -135,7 +135,7 @@ class ThreadPool {
       return false;
     }
     {
-      std::lock_guard<std::mutex> lock(pending_mu_);
+      MutexLock lock(&pending_mu_);
       ++pending_;
     }
     // A ticket from `spaces_` guarantees room; TryPush only fails
@@ -167,7 +167,7 @@ class ThreadPool {
       return TryResult::kShutdown;
     }
     {
-      std::lock_guard<std::mutex> lock(pending_mu_);
+      MutexLock lock(&pending_mu_);
       ++pending_;
     }
     while (!queue_.TryPush(std::move(task))) std::this_thread::yield();
@@ -178,9 +178,9 @@ class ThreadPool {
 
   /// Blocks until every task submitted so far has finished executing.
   /// (Only meaningful while no concurrent submitter is racing the wait.)
-  void Drain() {
-    std::unique_lock<std::mutex> lock(pending_mu_);
-    pending_cv_.wait(lock, [&] { return pending_ == 0; });
+  void Drain() MCN_EXCLUDES(pending_mu_) {
+    MutexLock lock(&pending_mu_);
+    while (pending_ != 0) pending_cv_.Wait(&pending_mu_);
   }
 
   /// Stops the pool. Idempotent; see the file comment for drain semantics.
@@ -208,10 +208,10 @@ class ThreadPool {
       ++discarded;
     }
     if (discarded > 0) {
-      std::lock_guard<std::mutex> lock(pending_mu_);
+      MutexLock lock(&pending_mu_);
       MCN_DCHECK(pending_ >= discarded);
       pending_ -= discarded;
-      pending_cv_.notify_all();
+      pending_cv_.NotifyAll();
     }
     // Unblock any submitter still parked on a full ring; accepting_ is
     // false, so it will observe the shutdown and return the ticket.
@@ -232,10 +232,10 @@ class ThreadPool {
       spaces_.Release();
       executed_.fetch_add(1, std::memory_order_relaxed);
       {
-        std::lock_guard<std::mutex> lock(pending_mu_);
+        MutexLock lock(&pending_mu_);
         MCN_DCHECK(pending_ > 0);
         --pending_;
-        if (pending_ == 0) pending_cv_.notify_all();
+        if (pending_ == 0) pending_cv_.NotifyAll();
       }
     }
   }
@@ -249,9 +249,10 @@ class ThreadPool {
   std::atomic<bool> stop_{false};
   std::atomic<int> inflight_submits_{0};
   std::atomic<uint64_t> executed_{0};
-  std::mutex pending_mu_;
-  std::condition_variable pending_cv_;
-  size_t pending_ = 0;  ///< submitted but not yet finished (or discarded)
+  Mutex pending_mu_;
+  CondVar pending_cv_;
+  /// Submitted but not yet finished (or discarded).
+  size_t pending_ MCN_GUARDED_BY(pending_mu_) = 0;
   std::vector<std::thread> threads_;
 };
 

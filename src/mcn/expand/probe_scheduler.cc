@@ -75,10 +75,10 @@ void ParallelProbeScheduler::ExecuteFromPool(uint32_t slot, int worker) {
   const obs::TraceContextScope trace_scope(trace_ctx_);
   Execute(slot, worker + 1);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     MCN_DCHECK(outstanding_ > 0);
     --outstanding_;
-    if (outstanding_ == 0) cv_.notify_all();
+    if (outstanding_ == 0) cv_.NotifyAll();
   }
 }
 
@@ -88,10 +88,10 @@ void ParallelProbeScheduler::AbortFromPool(uint32_t slot) {
   // the barrier with an error instead of hanging it.
   probes_[slot].status = Status::FailedPrecondition(
       "probe discarded by pool shutdown");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   MCN_DCHECK(outstanding_ > 0);
   --outstanding_;
-  if (outstanding_ == 0) cv_.notify_all();
+  if (outstanding_ == 0) cv_.NotifyAll();
 }
 
 Status ParallelProbeScheduler::RunTurn(Op op, const std::vector<int>& targets,
@@ -142,7 +142,7 @@ Status ParallelProbeScheduler::RunTurn(Op op, const std::vector<int>& targets,
   } else {
     stats_.pooled_probes += n;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       outstanding_ = n;
     }
     for (uint32_t slot = 0; slot < n; ++slot) {
@@ -151,13 +151,13 @@ Status ParallelProbeScheduler::RunTurn(Op op, const std::vector<int>& targets,
         // an error; the turn fails after the in-flight probes finish.
         probes_[slot].status =
             Status::FailedPrecondition("probe pool is shut down");
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         --outstanding_;
-        if (outstanding_ == 0) cv_.notify_all();
+        if (outstanding_ == 0) cv_.NotifyAll();
       }
     }
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return outstanding_ == 0; });
+    MutexLock lock(&mu_);
+    while (outstanding_ != 0) cv_.Wait(&mu_);
   }
 
   for (const Probe& probe : probes_) {

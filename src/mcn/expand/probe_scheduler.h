@@ -32,15 +32,15 @@
 #ifndef MCN_EXPAND_PROBE_SCHEDULER_H_
 #define MCN_EXPAND_PROBE_SCHEDULER_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "mcn/common/mutex.h"
 #include "mcn/common/result.h"
+#include "mcn/common/thread_annotations.h"
 #include "mcn/exec/thread_pool.h"
 #include "mcn/expand/engines.h"
 #include "mcn/obs/trace.h"
@@ -192,9 +192,10 @@ class ParallelProbeScheduler {
   /// turn's probes are dispatched (happens-before via the pool's queue).
   obs::TraceContext trace_ctx_;
   std::vector<Probe> probes_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  size_t outstanding_ = 0;
+  Mutex mu_;
+  CondVar cv_;
+  /// Barrier counter: probes of the current turn not yet finished.
+  size_t outstanding_ MCN_GUARDED_BY(mu_) = 0;
   Stats stats_;
   TurnIoOptions io_;
   // Scratch for batched turn replay (reused across turns).

@@ -50,7 +50,7 @@ template <typename Row>
 size_t StripedCachedFetch::StripeTable<Row>::TotalRows() const {
   size_t total = 0;
   for (const Stripe& s : stripes) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(&s.mu);
     total += s.rows.size();
   }
   return total;
@@ -64,12 +64,18 @@ Result<const std::vector<Row>*> StripedCachedFetch::GetOrFetch(
   typename Table::Stripe& stripe =
       table.stripes[static_cast<size_t>(MixU64(key)) & (kNumStripes - 1)];
 
-  std::unique_lock<std::mutex> lock(stripe.mu);
+  stripe.mu.Lock();
   bool waited = false;
   for (;;) {
     uint32_t v = stripe.map.Find(key);
     if (v == FlatU64Map::kNoValue) break;  // we fetch
-    if (v != Table::kInFlight) return &stripe.rows[v];
+    if (v != Table::kInFlight) {
+      // Published rows have stable addresses (deque), so the pointer
+      // stays valid after the stripe lock is dropped.
+      const std::vector<Row>* published = &stripe.rows[v];
+      stripe.mu.Unlock();
+      return published;
+    }
     // Another probe is fetching this record: wait for it instead of
     // re-fetching (the single-flight guard). Counted once per waiting
     // probe, not per wakeup.
@@ -77,29 +83,32 @@ Result<const std::vector<Row>*> StripedCachedFetch::GetOrFetch(
       waited = true;
       single_flight_waits_.fetch_add(1, std::memory_order_relaxed);
     }
-    stripe.cv.wait(lock);
+    stripe.cv.Wait(&stripe.mu);
   }
   stripe.map.Insert(key, Table::kInFlight);
-  lock.unlock();
+  stripe.mu.Unlock();
 
   physical_counter.fetch_add(1, std::memory_order_relaxed);
   std::vector<Row> row;
   Status status = fetch(&row);
   MaybeStall();
 
-  lock.lock();
+  stripe.mu.Lock();
   stripe.map.Erase(key);
   if (!status.ok()) {
     // Leave the key absent so a retry can re-fetch; wake the waiters (they
     // will loop, find it absent, and become fetchers themselves).
-    stripe.cv.notify_all();
+    stripe.cv.NotifyAll();
+    stripe.mu.Unlock();
     return status;
   }
   uint32_t idx = static_cast<uint32_t>(stripe.rows.size());
   stripe.rows.push_back(std::move(row));
   stripe.map.Insert(key, idx);
-  stripe.cv.notify_all();
-  return &stripe.rows[idx];
+  stripe.cv.NotifyAll();
+  const std::vector<Row>* published = &stripe.rows[idx];
+  stripe.mu.Unlock();
+  return published;
 }
 
 Result<const std::vector<net::AdjEntry>*> StripedCachedFetch::GetAdjacency(

@@ -23,13 +23,13 @@
 #define MCN_EXPAND_STRIPED_FETCH_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
 #include "mcn/common/flat_u64_map.h"
+#include "mcn/common/mutex.h"
+#include "mcn/common/thread_annotations.h"
 #include "mcn/common/result.h"
 #include "mcn/expand/fetch_provider.h"
 #include "mcn/net/network_reader.h"
@@ -96,10 +96,12 @@ class StripedCachedFetch : public FetchProvider {
     static constexpr uint32_t kInFlight = 0xFFFFFFFEu;
 
     struct Stripe {
-      mutable std::mutex mu;
-      std::condition_variable cv;
-      FlatU64Map map;  ///< key -> row index, or kInFlight
-      std::deque<std::vector<Row>> rows;  ///< stable addresses
+      mutable Mutex mu;
+      CondVar cv;
+      /// key -> row index, or kInFlight
+      FlatU64Map map MCN_GUARDED_BY(mu);
+      /// stable addresses: published row pointers outlive the lock
+      std::deque<std::vector<Row>> rows MCN_GUARDED_BY(mu);
     };
 
     explicit StripeTable(size_t num_stripes) : stripes(num_stripes) {}

@@ -246,7 +246,8 @@ Status LandmarkIndexReader::Validate() {
   if (reader.count() < 1) {
     return Status::Corruption("landmark index: empty header page");
   }
-  std::span<const std::byte> rec = reader.Record(0);
+  // The page may come from a loaded image: bounds-checked access only.
+  MCN_ASSIGN_OR_RETURN(std::span<const std::byte> rec, reader.TryRecord(0));
   if (rec.size() < kHeaderFixedBytes) {
     return Status::Corruption("landmark index: short header record");
   }
@@ -265,6 +266,11 @@ Status LandmarkIndexReader::Validate() {
       L != files_.num_landmarks || rpp != files_.records_per_page) {
     return Status::Corruption(
         "landmark index: header disagrees with catalog");
+  }
+  if (rpp == 0) {
+    // LoadNodeRow divides by records_per_page; a zero here would only
+    // come from a corrupt image that the catalog happens to agree with.
+    return Status::Corruption("landmark index: zero records per page");
   }
   if (rec.size() < kHeaderFixedBytes + 4u * L) {
     return Status::Corruption("landmark index: truncated landmark ids");
@@ -288,10 +294,9 @@ Status LandmarkIndexReader::LoadNodeRow(graph::NodeId v, float* out) {
   MCN_ASSIGN_OR_RETURN(storage::BufferPool::PageGuard guard, pool_.Fetch(id));
   storage::SlottedPageReader reader(guard.data());
   const uint16_t slot = static_cast<uint16_t>(v % rpp);
-  if (slot >= reader.count()) {
-    return Status::Corruption("landmark index: missing node record");
-  }
-  std::span<const std::byte> rec = reader.Record(slot);
+  // The page may come from a loaded image: bounds-checked access only.
+  MCN_ASSIGN_OR_RETURN(std::span<const std::byte> rec,
+                       reader.TryRecord(slot));
   const size_t bytes = RowBytes(files_.num_costs, files_.num_landmarks);
   if (rec.size() != bytes) {
     return Status::Corruption("landmark index: bad node record size");

@@ -105,7 +105,7 @@ void FlightRecorder::Record(QueryDigest digest) {
   bool slow = false;
   std::string line;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     digest.seq = ++recorded_;
     slow = options_.slow_query_ms > 0 &&
            digest.latency_ms >= options_.slow_query_ms;
@@ -134,7 +134,7 @@ void FlightRecorder::Record(QueryDigest digest) {
 }
 
 std::vector<QueryDigest> FlightRecorder::Recent() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<QueryDigest> out;
   out.reserve(ring_.size());
   if (ring_.size() < options_.capacity) {
@@ -148,12 +148,12 @@ std::vector<QueryDigest> FlightRecorder::Recent() const {
 }
 
 uint64_t FlightRecorder::recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return recorded_;
 }
 
 uint64_t FlightRecorder::slow_logged() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return slow_logged_;
 }
 

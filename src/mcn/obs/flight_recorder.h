@@ -15,9 +15,11 @@
 #define MCN_OBS_FLIGHT_RECORDER_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "mcn/common/mutex.h"
+#include "mcn/common/thread_annotations.h"
 
 namespace mcn::obs {
 
@@ -72,11 +74,12 @@ class FlightRecorder {
 
  private:
   Options options_;
-  mutable std::mutex mu_;
-  std::vector<QueryDigest> ring_;  ///< wraps at `next_`
-  size_t next_ = 0;
-  uint64_t recorded_ = 0;
-  uint64_t slow_logged_ = 0;
+  mutable Mutex mu_;
+  /// wraps at `next_`
+  std::vector<QueryDigest> ring_ MCN_GUARDED_BY(mu_);
+  size_t next_ MCN_GUARDED_BY(mu_) = 0;
+  uint64_t recorded_ MCN_GUARDED_BY(mu_) = 0;
+  uint64_t slow_logged_ MCN_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace mcn::obs

@@ -146,7 +146,7 @@ Registry::Registry(int slots_hint)
               : static_cast<int>(std::thread::hardware_concurrency()))) {}
 
 Counter* Registry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [n, c] : counters_) {
     if (n == name) return c.get();
   }
@@ -155,7 +155,7 @@ Counter* Registry::GetCounter(const std::string& name) {
 }
 
 Gauge* Registry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [n, g] : gauges_) {
     if (n == name) return g.get();
   }
@@ -164,7 +164,7 @@ Gauge* Registry::GetGauge(const std::string& name) {
 }
 
 Histogram* Registry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [n, h] : histograms_) {
     if (n == name) return h.get();
   }
@@ -173,7 +173,7 @@ Histogram* Registry::GetHistogram(const std::string& name) {
 }
 
 Snapshot Registry::TakeSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Snapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
@@ -194,7 +194,7 @@ Snapshot Registry::TakeSnapshot() const {
 }
 
 void Registry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();

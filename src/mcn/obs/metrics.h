@@ -28,10 +28,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "mcn/common/mutex.h"
+#include "mcn/common/thread_annotations.h"
 
 namespace mcn::obs {
 
@@ -271,10 +273,13 @@ class Registry {
 
  private:
   int num_slots_;
-  mutable std::mutex mu_;  ///< creation + snapshot only, never recording
-  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
-  std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_;
-  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
+  mutable Mutex mu_;  ///< creation + snapshot only, never recording
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_
+      MCN_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_
+      MCN_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_
+      MCN_GUARDED_BY(mu_);
 };
 
 }  // namespace mcn::obs

@@ -47,10 +47,10 @@ Tracer& Tracer::Global() {
 
 void Tracer::Enable(size_t events_per_ring) {
   if (events_per_ring == 0) events_per_ring = 1;
-  std::lock_guard<std::mutex> lock(rings_mu_);
+  MutexLock lock(&rings_mu_);
   capacity_ = events_per_ring;
   for (auto& ring : rings_) {
-    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    MutexLock ring_lock(&ring->mu);
     ring->events.assign(capacity_, TraceEvent{});
     ring->head = 0;
     ring->appended = 0;
@@ -65,7 +65,7 @@ Tracer::Ring* Tracer::ThreadRing() {
   // Enable, never freed, so the cached pointer stays valid.
   thread_local Ring* ring = nullptr;
   if (ring == nullptr) {
-    std::lock_guard<std::mutex> lock(rings_mu_);
+    MutexLock lock(&rings_mu_);
     rings_.push_back(std::make_unique<Ring>());
     ring = rings_.back().get();
     ring->events.assign(capacity_, TraceEvent{});
@@ -76,7 +76,7 @@ Tracer::Ring* Tracer::ThreadRing() {
 void Tracer::Append(const TraceEvent& event) {
   if (!enabled()) return;
   Ring* ring = ThreadRing();
-  std::lock_guard<std::mutex> lock(ring->mu);
+  MutexLock lock(&ring->mu);
   if (ring->events.empty()) return;
   ring->events[ring->head] = event;
   ring->head = (ring->head + 1) % ring->events.size();
@@ -84,20 +84,19 @@ void Tracer::Append(const TraceEvent& event) {
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(rings_mu_);
+  MutexLock lock(&rings_mu_);
   for (auto& ring : rings_) {
-    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    MutexLock ring_lock(&ring->mu);
     ring->head = 0;
     ring->appended = 0;
   }
 }
 
 uint64_t Tracer::total_appended() const {
-  auto* self = const_cast<Tracer*>(this);
-  std::lock_guard<std::mutex> lock(self->rings_mu_);
+  MutexLock lock(&rings_mu_);
   uint64_t total = 0;
-  for (auto& ring : self->rings_) {
-    std::lock_guard<std::mutex> ring_lock(ring->mu);
+  for (const auto& ring : rings_) {
+    MutexLock ring_lock(&ring->mu);
     total += ring->appended;
   }
   return total;
@@ -178,10 +177,10 @@ std::string Tracer::ExportChromeJson() {
   };
   std::vector<Tagged> all;
   {
-    std::lock_guard<std::mutex> lock(rings_mu_);
+    MutexLock lock(&rings_mu_);
     for (size_t r = 0; r < rings_.size(); ++r) {
       Ring& ring = *rings_[r];
-      std::lock_guard<std::mutex> ring_lock(ring.mu);
+      MutexLock ring_lock(&ring.mu);
       const size_t cap = ring.events.size();
       if (cap == 0 || ring.appended == 0) continue;
       const size_t n = ring.appended < cap

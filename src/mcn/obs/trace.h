@@ -34,8 +34,10 @@
 #if MCN_OBS
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "mcn/common/mutex.h"
+#include "mcn/common/thread_annotations.h"
 #endif
 
 namespace mcn::obs {
@@ -127,10 +129,11 @@ class Tracer {
   using Clock = std::chrono::steady_clock;
 
   struct Ring {
-    std::mutex mu;
-    std::vector<TraceEvent> events;  ///< fixed capacity, wraps at head
-    size_t head = 0;
-    uint64_t appended = 0;
+    Mutex mu;
+    /// fixed capacity, wraps at head
+    std::vector<TraceEvent> events MCN_GUARDED_BY(mu);
+    size_t head MCN_GUARDED_BY(mu) = 0;
+    uint64_t appended MCN_GUARDED_BY(mu) = 0;
   };
 
   Tracer() : epoch_(Clock::now()) {}
@@ -139,9 +142,9 @@ class Tracer {
   Clock::time_point epoch_;
   std::atomic<bool> enabled_{false};
   std::atomic<uint32_t> next_query_{0};
-  std::mutex rings_mu_;  ///< guards rings_ and capacity_
-  std::vector<std::unique_ptr<Ring>> rings_;
-  size_t capacity_ = 1 << 16;
+  mutable Mutex rings_mu_;
+  std::vector<std::unique_ptr<Ring>> rings_ MCN_GUARDED_BY(rings_mu_);
+  size_t capacity_ MCN_GUARDED_BY(rings_mu_) = 1 << 16;
 };
 
 namespace internal {

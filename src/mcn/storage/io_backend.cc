@@ -100,10 +100,10 @@ Result<std::unique_ptr<FileIoBackend>> FileIoBackend::Open(
 
 FileIoBackend::~FileIoBackend() {
   {
-    std::lock_guard<std::mutex> lock(work_mu_);
+    MutexLock lock(&work_mu_);
     stopping_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
   TeardownUring();
   if (fd_ >= 0) ::close(fd_);
@@ -120,7 +120,7 @@ Status FileIoBackend::ReadBatch(std::span<const uint64_t> offsets,
     }
     return Status::OK();
   }
-  std::lock_guard<std::mutex> lock(batch_mu_);
+  MutexLock lock(&batch_mu_);
   if (kind_ == IoBackendKind::kIoUring) {
     return ReadBatchUring(offsets, out, page_size);
   }
@@ -337,10 +337,10 @@ void FileIoBackend::WorkerLoop() {
   uint64_t seen_generation = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(work_mu_);
-      work_cv_.wait(lock, [&] {
-        return stopping_ || generation_ != seen_generation;
-      });
+      MutexLock lock(&work_mu_);
+      while (!stopping_ && generation_ == seen_generation) {
+        work_cv_.Wait(&work_mu_);
+      }
       if (stopping_) return;
       seen_generation = generation_;
     }
@@ -355,7 +355,7 @@ void FileIoBackend::DrainRuns() {
     // `current_`: from here until the decrement below, the batch owner
     // in ReadBatchPreadv cannot return (and destroy the stack Batch)
     // even if this drainer claims no run.
-    std::lock_guard<std::mutex> lock(work_mu_);
+    MutexLock lock(&work_mu_);
     batch = current_;
     if (batch == nullptr) return;
     ++drainers_;
@@ -411,10 +411,10 @@ void FileIoBackend::DrainRuns() {
     // (after the last touch of `batch`) covers both conditions without
     // a lost wakeup — a completer that got here between the owner's
     // predicate check and its block notifies after the lock round-trip.
-    std::lock_guard<std::mutex> lock(work_mu_);
+    MutexLock lock(&work_mu_);
     --drainers_;
   }
-  done_cv_.notify_all();
+  done_cv_.NotifyAll();
 }
 
 Status FileIoBackend::ReadBatchPreadv(std::span<const uint64_t> offsets,
@@ -435,11 +435,11 @@ Status FileIoBackend::ReadBatchPreadv(std::span<const uint64_t> offsets,
   }
   batch.remaining_runs.store(batch.runs.size(), std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(work_mu_);
+    MutexLock lock(&work_mu_);
     current_ = &batch;
     ++generation_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   // The caller participates instead of idling.
   DrainRuns();
   {
@@ -447,11 +447,11 @@ Status FileIoBackend::ReadBatchPreadv(std::span<const uint64_t> offsets,
     // batch pointer: a late-waking worker may hold `&batch` without ever
     // claiming a run, and returning before it exits would hand it a
     // dangling pointer to this stack frame.
-    std::unique_lock<std::mutex> lock(work_mu_);
-    done_cv_.wait(lock, [&] {
-      return batch.remaining_runs.load(std::memory_order_acquire) == 0 &&
-             drainers_ == 0;
-    });
+    MutexLock lock(&work_mu_);
+    while (batch.remaining_runs.load(std::memory_order_acquire) != 0 ||
+           drainers_ != 0) {
+      done_cv_.Wait(&work_mu_);
+    }
     current_ = nullptr;
   }
   const int err = batch.first_errno.load(std::memory_order_relaxed);

@@ -26,18 +26,18 @@
 #define MCN_STORAGE_IO_BACKEND_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "mcn/common/mutex.h"
 #include "mcn/common/result.h"
 #include "mcn/common/status.h"
+#include "mcn/common/thread_annotations.h"
 
 namespace mcn::storage {
 
@@ -101,8 +101,12 @@ class FileIoBackend {
   int fd_ = -1;
   IoBackendKind kind_ = IoBackendKind::kPreadv;
 
-  // One batch in flight at a time, either path.
-  std::mutex batch_mu_;
+  /// One batch in flight at a time, either path. A pure serialization
+  /// capability: the ring/worker state it protects is the whole io_uring
+  /// block below plus the Batch hand-off machinery, touched only by the
+  /// thread holding it (workers reach the Batch through `current_`,
+  /// which has its own guard).
+  Mutex batch_mu_;
 
   // --- io_uring state (raw syscalls; valid when kind_ == kIoUring) ---
   int ring_fd_ = -1;
@@ -138,18 +142,18 @@ class FileIoBackend {
     std::atomic<size_t> remaining_runs{0};
     std::atomic<int> first_errno{0};
   };
-  std::mutex work_mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  uint64_t generation_ = 0;  ///< bumped per batch, guarded by work_mu_
-  bool stopping_ = false;
-  Batch* current_ = nullptr;  ///< guarded by work_mu_
-  /// Workers currently inside DrainRuns holding a `current_` pointer,
-  /// guarded by work_mu_. The batch owner must wait for this to reach
-  /// zero before letting its stack-allocated Batch die: a worker that
-  /// grabbed the pointer but claimed no run touches the Batch after
-  /// remaining_runs hits zero.
-  size_t drainers_ = 0;
+  Mutex work_mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  /// Bumped per batch.
+  uint64_t generation_ MCN_GUARDED_BY(work_mu_) = 0;
+  bool stopping_ MCN_GUARDED_BY(work_mu_) = false;
+  Batch* current_ MCN_GUARDED_BY(work_mu_) = nullptr;
+  /// Workers currently inside DrainRuns holding a `current_` pointer.
+  /// The batch owner must wait for this to reach zero before letting its
+  /// stack-allocated Batch die: a worker that grabbed the pointer but
+  /// claimed no run touches the Batch after remaining_runs hits zero.
+  size_t drainers_ MCN_GUARDED_BY(work_mu_) = 0;
   std::vector<std::thread> workers_;
 };
 

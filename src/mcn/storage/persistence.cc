@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
 #include "mcn/common/macros.h"
 
@@ -16,7 +17,7 @@ void Write(std::ofstream& out, T v) {
 }
 
 template <typename T>
-bool ReadValue(std::ifstream& in, T* v) {
+bool ReadValue(std::istream& in, T* v) {
   in.read(reinterpret_cast<char*>(v), sizeof(T));
   return in.good();
 }
@@ -43,13 +44,11 @@ Status SaveDiskImage(const DiskManager& disk, const std::string& path) {
   return Status::OK();
 }
 
-Result<DiskManager> LoadDiskImage(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open " + path);
+Result<DiskManager> LoadDiskImage(std::istream& in) {
   char magic[8];
   in.read(magic, sizeof(magic));
   if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::Corruption(path + ": not an mcn disk image");
+    return Status::Corruption("not an mcn disk image");
   }
   uint32_t num_files = 0;
   if (!ReadValue(in, &num_files) || num_files > 1024) {
@@ -79,6 +78,22 @@ Result<DiskManager> LoadDiskImage(const std::string& path) {
   }
   disk.ResetStats();  // load I/O is not query I/O
   return disk;
+}
+
+Result<DiskManager> LoadDiskImage(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  Result<DiskManager> result = LoadDiskImage(in);
+  if (!result.ok()) {
+    return Status(result.status().code(),
+                  path + ": " + result.status().message());
+  }
+  return result;
+}
+
+Result<DiskManager> LoadDiskImageFromBuffer(std::string_view bytes) {
+  std::istringstream in(std::string(bytes), std::ios::binary);
+  return LoadDiskImage(in);
 }
 
 }  // namespace mcn::storage

@@ -12,7 +12,9 @@
 #ifndef MCN_STORAGE_PERSISTENCE_H_
 #define MCN_STORAGE_PERSISTENCE_H_
 
+#include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "mcn/common/result.h"
 #include "mcn/storage/disk_manager.h"
@@ -24,6 +26,14 @@ Status SaveDiskImage(const DiskManager& disk, const std::string& path);
 
 /// Reads a disk image previously written by SaveDiskImage.
 Result<DiskManager> LoadDiskImage(const std::string& path);
+
+/// Parses a disk image from an already-open stream positioned at the
+/// magic. Untrusted-input seam: every malformed prefix must come back as
+/// a Status, never a crash (the disk-image fuzz target drives this).
+Result<DiskManager> LoadDiskImage(std::istream& in);
+
+/// Parses a disk image held entirely in memory (no filesystem access).
+Result<DiskManager> LoadDiskImageFromBuffer(std::string_view bytes);
 
 }  // namespace mcn::storage
 

@@ -74,4 +74,19 @@ std::span<const std::byte> SlottedPageReader::Record(uint16_t slot) const {
   return {page_ + offset, length};
 }
 
+Result<std::span<const std::byte>> SlottedPageReader::TryRecord(
+    uint16_t slot) const {
+  const size_t dir_end = kHeaderBytes + kSlotBytes * (size_t{slot} + 1);
+  if (slot >= count() || dir_end > kPageSize) {
+    return Status::Corruption("slotted page: slot out of range");
+  }
+  const std::byte* slot_entry = page_ + kHeaderBytes + kSlotBytes * slot;
+  uint16_t offset = Load16(slot_entry);
+  uint16_t length = Load16(slot_entry + 2);
+  if (static_cast<size_t>(offset) + length > kPageSize) {
+    return Status::Corruption("slotted page: record overruns page");
+  }
+  return std::span<const std::byte>{page_ + offset, length};
+}
+
 }  // namespace mcn::storage

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <span>
 
+#include "mcn/common/result.h"
 #include "mcn/storage/page.h"
 
 namespace mcn::storage {
@@ -47,8 +48,17 @@ class SlottedPageReader {
 
   uint16_t count() const;
 
-  /// Record bytes for `slot`; slot must be < count().
+  /// Record bytes for `slot`; slot must be < count(). Trusts the page
+  /// layout (self-built pages on the query path); corrupt directories
+  /// are a fatal invariant violation here, use TryRecord for pages of
+  /// untrusted provenance.
   std::span<const std::byte> Record(uint16_t slot) const;
+
+  /// Bounds-checked record access for pages of untrusted provenance
+  /// (e.g. a loaded disk image): a slot out of range, a directory entry
+  /// past the page end, or a record overrunning the page comes back as
+  /// Corruption instead of aborting.
+  Result<std::span<const std::byte>> TryRecord(uint16_t slot) const;
 
  private:
   const std::byte* page_;

@@ -1,0 +1,42 @@
+// Negative test for the thread-safety contracts: this TU accesses a
+// GUARDED_BY member without holding its mutex and MUST FAIL to compile
+// under clang with -Wthread-safety -Werror=thread-safety. CMake builds it
+// as an EXCLUDE_FROM_ALL target wrapped in a WILL_FAIL ctest entry
+// (label: static), so a regression that silently disables the analysis —
+// a broken macro, a lost compile flag — turns the test red.
+//
+// Keep exactly one violation per guarded pattern here; a clean compile of
+// any of them means the analysis is off.
+#include "mcn/common/mutex.h"
+#include "mcn/common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  // VIOLATION: writes balance_ without mu_ held.
+  void DepositUnlocked(int amount) { balance_ += amount; }
+
+  // VIOLATION: Wait on a mutex the caller does not hold.
+  void WaitUnlocked() { cv_.Wait(&mu_); }
+
+  // VIOLATION: REQUIRES callee invoked without the lock.
+  void CallRequiresUnlocked() { AssumeLocked(); }
+
+ private:
+  void AssumeLocked() MCN_REQUIRES(mu_) { balance_ = 0; }
+
+  mcn::Mutex mu_;
+  mcn::CondVar cv_;
+  int balance_ MCN_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.DepositUnlocked(1);
+  account.WaitUnlocked();
+  account.CallRequiresUnlocked();
+  return 0;
+}
